@@ -1,0 +1,76 @@
+// Figure 2a — "Recognition latency reduction under different network
+// conditions." Reproduces the paper's three series (Origin, Cache Hit,
+// Cache Miss) across the five (B_M->E, B_E->C) conditions and reports
+// the headline metric: latency reduction of a cache hit vs Origin
+// (paper: up to 52.28%).
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "common/log.h"
+#include "core/cost_model.h"
+
+namespace coic::bench {
+namespace {
+
+void PrintFigure2a() {
+  PrintHeader(
+      "Figure 2a: recognition latency (ms) vs network condition\n"
+      "series: Origin (cloud offload, no cache) | Cache Hit | Cache Miss\n"
+      "paper headline: CoIC reduces recognition latency by up to 52.28%");
+  std::printf("%-22s %12s %12s %12s %12s\n", "condition (Mbps)", "Origin",
+              "CacheHit", "CacheMiss", "reduction");
+  double best_reduction = 0;
+  for (const auto& cond : core::Figure2aConditions()) {
+    const double origin_ms = MeasureRecognitionOrigin(cond);
+    const auto coic = MeasureRecognitionCoic(cond);
+    const double reduction = (1.0 - coic.hit_ms / origin_ms) * 100.0;
+    best_reduction = std::max(best_reduction, reduction);
+    char label[64];
+    std::snprintf(label, sizeof(label), "BM->E=%3.0f BE->C=%.0f",
+                  cond.mobile_edge.mbps(), cond.edge_cloud.mbps());
+    std::printf("%-22s %12.1f %12.1f %12.1f %11.1f%%\n", label, origin_ms,
+                coic.hit_ms, coic.miss_ms, reduction);
+  }
+  std::printf("\nmax hit-vs-origin reduction: %.2f%% (paper: 52.28%%)\n",
+              best_reduction);
+  const core::CostModel costs;
+  std::printf("Local baseline (full on-device DNN, no offload): %.0f ms at "
+              "every condition\n",
+              costs.recognition.local_full_inference.millis());
+}
+
+// Engine microbenchmark: wall time to simulate one full CoIC exchange
+// (miss + hit) at a given condition index.
+void BM_SimulatedCoicExchange(benchmark::State& state) {
+  const auto& cond = core::Figure2aConditions()[
+      static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    const auto result = MeasureRecognitionCoic(cond, /*repeats=*/1);
+    benchmark::DoNotOptimize(result);
+  }
+  const auto sample = MeasureRecognitionCoic(cond, /*repeats=*/1);
+  state.counters["sim_hit_ms"] = sample.hit_ms;
+  state.counters["sim_miss_ms"] = sample.miss_ms;
+}
+BENCHMARK(BM_SimulatedCoicExchange)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedOriginExchange(benchmark::State& state) {
+  const auto& cond = core::Figure2aConditions()[
+      static_cast<std::size_t>(state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MeasureRecognitionOrigin(cond, /*repeats=*/1));
+  }
+  state.counters["sim_origin_ms"] = MeasureRecognitionOrigin(cond, 1);
+}
+BENCHMARK(BM_SimulatedOriginExchange)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace coic::bench
+
+int main(int argc, char** argv) {
+  coic::SetLogLevel(coic::LogLevel::kWarn);
+  coic::bench::PrintFigure2a();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,209 @@
+// Engine microbenchmarks: the hot paths under every figure — codec,
+// cache probes, similarity indexes, feature extraction, simulator event
+// throughput, model (de)serialization.
+#include <benchmark/benchmark.h>
+
+#include "cache/ic_cache.h"
+#include "cache/similarity_index.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "netsim/link.h"
+#include "netsim/scheduler.h"
+#include "proto/envelope.h"
+#include "render/loader.h"
+#include "render/model.h"
+#include "render/panorama.h"
+#include "vision/features.h"
+#include "vision/image.h"
+
+namespace coic {
+namespace {
+
+std::vector<float> RandomUnitVector(Rng& rng, std::size_t dim) {
+  std::vector<float> v(dim);
+  double norm = 0;
+  for (auto& x : v) {
+    x = static_cast<float>(rng.NextGaussian());
+    norm += static_cast<double>(x) * x;
+  }
+  norm = std::sqrt(norm);
+  for (auto& x : v) x = static_cast<float>(x / norm);
+  return v;
+}
+
+// --------------------------------- proto -----------------------------------
+
+void BM_EnvelopeEncode(benchmark::State& state) {
+  const ByteVec payload = DeterministicBytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        proto::EncodeEnvelope(proto::MessageType::kPing, 1, payload));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EnvelopeEncode)->Arg(1024)->Arg(256 * 1024)->Arg(2 * 1024 * 1024);
+
+void BM_EnvelopeDecode(benchmark::State& state) {
+  const ByteVec frame = proto::EncodeEnvelope(
+      proto::MessageType::kPing, 1,
+      DeterministicBytes(static_cast<std::size_t>(state.range(0)), 1));
+  for (auto _ : state) {
+    auto env = proto::DecodeEnvelope(frame);
+    benchmark::DoNotOptimize(env);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EnvelopeDecode)->Arg(1024)->Arg(256 * 1024)->Arg(2 * 1024 * 1024);
+
+void BM_RecognitionRequestRoundTrip(benchmark::State& state) {
+  Rng rng(1);
+  proto::RecognitionRequest req;
+  req.descriptor = proto::FeatureDescriptor::ForVector(
+      proto::TaskKind::kRecognition, RandomUnitVector(rng, 64));
+  for (auto _ : state) {
+    const ByteVec frame =
+        proto::EncodeMessage(proto::MessageType::kRecognitionRequest, 1, req);
+    auto env = proto::DecodeEnvelope(frame);
+    auto decoded = proto::DecodePayloadAs<proto::RecognitionRequest>(
+        env.value(), proto::MessageType::kRecognitionRequest);
+    benchmark::DoNotOptimize(decoded);
+  }
+}
+BENCHMARK(BM_RecognitionRequestRoundTrip);
+
+// --------------------------------- cache -----------------------------------
+
+void BM_IcCacheExactLookup(benchmark::State& state) {
+  cache::IcCache ic_cache(cache::IcCacheConfig{});
+  const std::int64_t entries = state.range(0);
+  for (std::int64_t i = 0; i < entries; ++i) {
+    ic_cache.Insert(proto::FeatureDescriptor::ForHash(
+                        proto::TaskKind::kRender,
+                        Digest128{1, static_cast<std::uint64_t>(i) + 1}),
+                    DeterministicBytes(64, i), SimTime::Epoch());
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    const auto key = proto::FeatureDescriptor::ForHash(
+        proto::TaskKind::kRender,
+        Digest128{1, 1 + rng.NextBelow(static_cast<std::uint64_t>(entries))});
+    benchmark::DoNotOptimize(ic_cache.Lookup(key, SimTime::Epoch()));
+  }
+}
+BENCHMARK(BM_IcCacheExactLookup)->Arg(100)->Arg(10'000);
+
+void BM_SimilarityLookupLinearVsLsh(benchmark::State& state) {
+  const bool use_lsh = state.range(1) != 0;
+  cache::IcCacheConfig config;
+  config.use_lsh = use_lsh;
+  cache::IcCache ic_cache(config);
+  Rng rng(3);
+  std::vector<std::vector<float>> stored;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    stored.push_back(RandomUnitVector(rng, 64));
+    ic_cache.Insert(proto::FeatureDescriptor::ForVector(
+                        proto::TaskKind::kRecognition, stored.back()),
+                    DeterministicBytes(64, i), SimTime::Epoch());
+  }
+  for (auto _ : state) {
+    auto query = stored[rng.NextBelow(stored.size())];
+    query[0] += 0.01f;
+    benchmark::DoNotOptimize(ic_cache.Lookup(
+        proto::FeatureDescriptor::ForVector(proto::TaskKind::kRecognition,
+                                            std::move(query)),
+        SimTime::Epoch()));
+  }
+  state.SetLabel(use_lsh ? "lsh" : "linear");
+}
+BENCHMARK(BM_SimilarityLookupLinearVsLsh)
+    ->Args({1000, 0})
+    ->Args({1000, 1})
+    ->Args({10'000, 0})
+    ->Args({10'000, 1});
+
+// --------------------------------- vision ----------------------------------
+
+void BM_SyntheticImageGenerate(benchmark::State& state) {
+  std::uint64_t scene = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vision::SyntheticImage::Generate({.scene_id = ++scene}));
+  }
+}
+BENCHMARK(BM_SyntheticImageGenerate);
+
+void BM_FeatureExtract(benchmark::State& state) {
+  const vision::FeatureExtractor extractor;
+  const auto img = vision::SyntheticImage::Generate({.scene_id = 1});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(extractor.Extract(img));
+  }
+}
+BENCHMARK(BM_FeatureExtract);
+
+// --------------------------------- render ----------------------------------
+
+void BM_ModelSerializeParse(benchmark::State& state) {
+  render::ProceduralModelParams params;
+  params.target_serialized_bytes = static_cast<Bytes>(state.range(0));
+  const auto model = render::BuildProceduralModel(params);
+  const ByteVec bytes = render::SerializeModel(model);
+  for (auto _ : state) {
+    auto loaded = render::LoadModel(bytes);
+    benchmark::DoNotOptimize(loaded);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ModelSerializeParse)->Arg(231'000)->Arg(7'050'000);
+
+void BM_PanoramaGenerate(benchmark::State& state) {
+  std::uint32_t frame = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(render::Panorama::Generate(1, ++frame));
+  }
+}
+BENCHMARK(BM_PanoramaGenerate);
+
+// --------------------------------- netsim ----------------------------------
+
+void BM_SchedulerThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    netsim::EventScheduler sched;
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      sched.ScheduleAt(SimTime::FromMicros(i * 7 % 5000),
+                       [&fired] { ++fired; });
+    }
+    sched.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SchedulerThroughput);
+
+void BM_LinkMessageThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    netsim::EventScheduler sched;
+    netsim::LinkConfig config;
+    config.bandwidth = Bandwidth::Gbps(10);
+    netsim::Link link(sched, "bench", config);
+    std::uint64_t delivered = 0;
+    for (int i = 0; i < 1000; ++i) {
+      link.Send(ByteVec(64), [&delivered](ByteVec) { ++delivered; });
+    }
+    sched.Run();
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_LinkMessageThroughput);
+
+}  // namespace
+}  // namespace coic
+
+int main(int argc, char** argv) {
+  coic::SetLogLevel(coic::LogLevel::kWarn);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each bench binary prints the paper-style table first (the actual
+// reproduction artifact) and then runs google-benchmark microbenchmarks
+// of the same code paths (engine throughput).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/sim_pipeline.h"
+
+namespace coic::bench {
+
+/// Prints a separator + title for a reproduced figure/table.
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+/// Measures CoIC recognition at one network condition: returns
+/// {miss_ms, hit_ms} means, using `repeats` perturbed re-requests of the
+/// same object for the hit series.
+struct HitMissLatency {
+  double miss_ms = 0;
+  double hit_ms = 0;
+};
+
+inline HitMissLatency MeasureRecognitionCoic(const core::NetworkCondition& cond,
+                                             int repeats = 5,
+                                             std::uint64_t scene_id = 3) {
+  core::PipelineConfig config;
+  config.mode = proto::OffloadMode::kCoic;
+  config.network = cond;
+  core::SimPipeline pipeline(config);
+
+  pipeline.EnqueueRecognition({.scene_id = scene_id});
+  const auto cold = pipeline.Run();
+  HitMissLatency result;
+  result.miss_ms = cold[0].latency.millis();
+
+  core::QoeAggregator hits;
+  for (int i = 1; i <= repeats; ++i) {
+    pipeline.EnqueueRecognition(
+        {.scene_id = scene_id, .view_angle_deg = static_cast<double>(i - 3)});
+  }
+  hits.AddAll(pipeline.Run());
+  result.hit_ms = hits.MeanLatencyMs();
+  return result;
+}
+
+/// Mean Origin-mode recognition latency at one condition.
+inline double MeasureRecognitionOrigin(const core::NetworkCondition& cond,
+                                       int repeats = 3,
+                                       std::uint64_t scene_id = 3) {
+  core::PipelineConfig config;
+  config.mode = proto::OffloadMode::kOrigin;
+  config.network = cond;
+  core::SimPipeline pipeline(config);
+  for (int i = 0; i < repeats; ++i) {
+    pipeline.EnqueueRecognition({.scene_id = scene_id});
+  }
+  core::QoeAggregator agg;
+  agg.AddAll(pipeline.Run());
+  return agg.MeanLatencyMs();
+}
+
+}  // namespace coic::bench

@@ -1,0 +1,61 @@
+#include "cache/admission.h"
+
+#include <bit>
+
+#include "common/rng.h"
+
+namespace coic::cache {
+
+FrequencySketch::FrequencySketch(std::size_t capacity_hint) {
+  COIC_CHECK(capacity_hint >= 1);
+  slots_ = std::bit_ceil(capacity_hint * 8);
+  aging_window_ = static_cast<std::uint64_t>(capacity_hint) * 10;
+  counters_.assign(kRows * slots_ / 2, 0);  // two 4-bit counters per byte
+}
+
+std::size_t FrequencySketch::IndexFor(int row, std::uint64_t key) const noexcept {
+  std::uint64_t h = key ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(row + 1));
+  h = SplitMix64(h);
+  return static_cast<std::size_t>(row) * slots_ +
+         static_cast<std::size_t>(h & (slots_ - 1));
+}
+
+std::uint8_t FrequencySketch::Get(std::size_t idx) const noexcept {
+  const std::uint8_t byte = counters_[idx / 2];
+  return idx % 2 == 0 ? (byte & 0x0F) : (byte >> 4);
+}
+
+void FrequencySketch::Increment(std::size_t idx) noexcept {
+  std::uint8_t& byte = counters_[idx / 2];
+  if (idx % 2 == 0) {
+    if ((byte & 0x0F) < 15) ++byte;
+  } else {
+    if ((byte >> 4) < 15) byte += 0x10;
+  }
+}
+
+void FrequencySketch::Record(std::uint64_t key) noexcept {
+  for (int row = 0; row < kRows; ++row) {
+    Increment(IndexFor(row, key));
+  }
+  if (++samples_ >= aging_window_) Age();
+}
+
+std::uint32_t FrequencySketch::Estimate(std::uint64_t key) const noexcept {
+  std::uint32_t best = 15;
+  for (int row = 0; row < kRows; ++row) {
+    const std::uint32_t c = Get(IndexFor(row, key));
+    if (c < best) best = c;
+  }
+  return best;
+}
+
+void FrequencySketch::Age() noexcept {
+  for (auto& byte : counters_) {
+    // Halve both nibbles in place.
+    byte = static_cast<std::uint8_t>(((byte >> 1) & 0x77));
+  }
+  samples_ = 0;
+}
+
+}  // namespace coic::cache

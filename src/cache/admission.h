@@ -1,0 +1,77 @@
+// Admission control — TinyLFU-style frequency gatekeeping.
+//
+// The paper's prototype admits every miss into the edge cache. Under
+// byte pressure that lets one-shot requests (a tourist's one-off object)
+// evict results that co-located users re-request constantly. A TinyLFU
+// gate estimates each key's access frequency with a Count-Min sketch and
+// admits a new entry only if it is at least as popular as the eviction
+// victim it would displace. Shipped as an optional IcCache feature and
+// quantified in bench_eviction_ablation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coic::cache {
+
+/// 4-bit Count-Min sketch with periodic halving ("aging") so the
+/// frequency estimate tracks the recent workload, not all history.
+class FrequencySketch {
+ public:
+  /// `capacity_hint` ~ the number of distinct hot keys to track. The
+  /// sketch allocates ~8 counters per hint for a low collision rate.
+  explicit FrequencySketch(std::size_t capacity_hint);
+
+  /// Records one access.
+  void Record(std::uint64_t key) noexcept;
+
+  /// Estimated access count (saturates at 15; min over rows).
+  [[nodiscard]] std::uint32_t Estimate(std::uint64_t key) const noexcept;
+
+  /// Total Record() calls since the last aging pass.
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+
+  /// Halves every counter. Called automatically once samples() exceeds
+  /// the aging window; exposed for tests.
+  void Age() noexcept;
+
+ private:
+  static constexpr int kRows = 4;
+
+  [[nodiscard]] std::size_t IndexFor(int row, std::uint64_t key) const noexcept;
+  [[nodiscard]] std::uint8_t Get(std::size_t idx) const noexcept;
+  void Increment(std::size_t idx) noexcept;
+
+  std::size_t slots_;          ///< Counters per row (power of two).
+  std::uint64_t aging_window_;
+  std::uint64_t samples_ = 0;
+  /// Packed 4-bit counters, kRows * slots_ of them.
+  std::vector<std::uint8_t> counters_;
+};
+
+/// TinyLFU admission decision: admit a candidate only if its estimated
+/// frequency beats the victim's. Stateless aside from the sketch.
+class TinyLfuAdmission {
+ public:
+  explicit TinyLfuAdmission(std::size_t capacity_hint)
+      : sketch_(capacity_hint) {}
+
+  /// Records that `key` was requested (hit or miss) — feeds the sketch.
+  void OnRequest(std::uint64_t key) noexcept { sketch_.Record(key); }
+
+  /// Should `candidate` displace `victim`? Ties admit the candidate
+  /// (recency bias: the candidate was just requested).
+  [[nodiscard]] bool Admit(std::uint64_t candidate,
+                           std::uint64_t victim) const noexcept {
+    return sketch_.Estimate(candidate) >= sketch_.Estimate(victim);
+  }
+
+  [[nodiscard]] const FrequencySketch& sketch() const noexcept { return sketch_; }
+
+ private:
+  FrequencySketch sketch_;
+};
+
+}  // namespace coic::cache

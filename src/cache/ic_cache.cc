@@ -1,0 +1,191 @@
+#include "cache/ic_cache.h"
+
+#include "common/rng.h"
+
+namespace coic::cache {
+
+using proto::DescriptorKind;
+using proto::FeatureDescriptor;
+using proto::TaskKind;
+
+IcCache::IcCache(IcCacheConfig config)
+    : config_(config), policy_(MakePolicy(config.policy)) {
+  COIC_CHECK_MSG(config.similarity_threshold >= 0,
+                 "similarity threshold must be non-negative");
+  for (auto& idx : vector_index_) {
+    if (config.use_lsh) {
+      idx = std::make_unique<LshIndex>(config.lsh);
+    } else {
+      idx = std::make_unique<LinearIndex>();
+    }
+  }
+  if (config.use_tinylfu) {
+    admission_ =
+        std::make_unique<TinyLfuAdmission>(config.tinylfu_capacity_hint);
+  }
+}
+
+std::uint64_t IcCache::SketchKey(const FeatureDescriptor& key) noexcept {
+  if (key.kind() == DescriptorKind::kContentHash) return key.IndexKey();
+  // Sign-bit signature: perturbed views of one object flip few signs, so
+  // they usually collapse onto the same sketch key — which is exactly
+  // the granularity frequency estimation wants.
+  std::uint64_t sig = 0xcbf29ce484222325ULL;
+  std::uint64_t bits = 0;
+  std::size_t n = 0;
+  for (const float v : key.vector()) {
+    bits = (bits << 1) | (v >= 0 ? 1u : 0u);
+    if (++n % 64 == 0) {
+      sig ^= SplitMix64(bits);
+      bits = 0;
+    }
+  }
+  sig ^= SplitMix64(bits);
+  return sig ^ static_cast<std::uint64_t>(key.task());
+}
+
+LookupOutcome IcCache::Lookup(const FeatureDescriptor& key, SimTime now) {
+  LookupOutcome out;
+  if (admission_) admission_->OnRequest(SketchKey(key));
+
+  if (key.kind() == DescriptorKind::kContentHash) {
+    const auto it = exact_.find(key.IndexKey());
+    if (it != exact_.end()) {
+      Entry& e = entries_.at(it->second);
+      // Guard against 64-bit IndexKey collisions with a full-digest check.
+      if (e.key.digest() == key.digest() && e.key.task() == key.task()) {
+        if (Expired(e, now)) {
+          RemoveEntry(it->second, /*eviction=*/false, /*expiration=*/true);
+        } else {
+          out.hit = true;
+          out.entry = it->second;
+          out.distance = 0;
+          e.last_access = now;
+          policy_->OnAccess(out.entry);
+          out.payload = &e.payload;
+        }
+      }
+    }
+  } else {
+    const auto neighbor = VectorIndexFor(key.task()).Nearest(key.vector());
+    if (neighbor && neighbor->distance <= config_.similarity_threshold) {
+      Entry& e = entries_.at(neighbor->id);
+      if (Expired(e, now)) {
+        RemoveEntry(neighbor->id, /*eviction=*/false, /*expiration=*/true);
+      } else {
+        out.hit = true;
+        out.entry = neighbor->id;
+        out.distance = neighbor->distance;
+        e.last_access = now;
+        policy_->OnAccess(out.entry);
+        out.payload = &e.payload;
+      }
+    }
+  }
+
+  if (out.hit) {
+    ++stats_.hits;
+  } else {
+    ++stats_.misses;
+  }
+  return out;
+}
+
+EntryId IcCache::Insert(const FeatureDescriptor& key, ByteVec payload,
+                        SimTime now) {
+  // Exact keys replace any existing entry for the same content.
+  if (key.kind() == DescriptorKind::kContentHash) {
+    const auto it = exact_.find(key.IndexKey());
+    if (it != exact_.end()) {
+      Entry& e = entries_.at(it->second);
+      if (e.key.digest() == key.digest() && e.key.task() == key.task()) {
+        const EntryId id = it->second;
+        bytes_used_ -= e.charged_bytes;
+        e.payload = std::move(payload);
+        e.charged_bytes = e.payload.size() + e.key.WireSize() + kEntryOverhead;
+        e.inserted_at = now;
+        e.last_access = now;
+        bytes_used_ += e.charged_bytes;
+        policy_->OnAccess(id);
+        ++stats_.updates;
+        EvictUntilFits(id);
+        return id;
+      }
+    }
+  }
+
+  const EntryId id = next_id_++;
+  Entry e;
+  e.key = key;
+  e.payload = std::move(payload);
+  e.charged_bytes = e.payload.size() + key.WireSize() + kEntryOverhead;
+  e.inserted_at = now;
+  e.last_access = now;
+  e.sketch_key = SketchKey(key);
+  bytes_used_ += e.charged_bytes;
+
+  if (key.kind() == DescriptorKind::kContentHash) {
+    exact_[key.IndexKey()] = id;
+  } else {
+    VectorIndexFor(key.task()).Insert(id, key.vector());
+  }
+  entries_.emplace(id, std::move(e));
+  policy_->OnInsert(id);
+  ++stats_.insertions;
+
+  EvictUntilFits(id);
+  return id;
+}
+
+void IcCache::RemoveEntry(EntryId id, bool count_as_eviction,
+                          bool count_as_expiration) {
+  const auto it = entries_.find(id);
+  COIC_CHECK_MSG(it != entries_.end(), "removing unknown entry");
+  const Entry& e = it->second;
+  if (e.key.kind() == DescriptorKind::kContentHash) {
+    exact_.erase(e.key.IndexKey());
+  } else {
+    VectorIndexFor(e.key.task()).Remove(id);
+  }
+  bytes_used_ -= e.charged_bytes;
+  policy_->OnErase(id);
+  entries_.erase(it);
+  if (count_as_eviction) ++stats_.evictions;
+  if (count_as_expiration) ++stats_.expirations;
+}
+
+void IcCache::EvictUntilFits(EntryId candidate) {
+  if (config_.capacity_bytes == 0) return;
+  while (bytes_used_ > config_.capacity_bytes && !entries_.empty()) {
+    const auto victim = policy_->Victim();
+    COIC_CHECK_MSG(victim.has_value(), "policy lost track of entries");
+    if (admission_ && candidate != 0 && *victim != candidate) {
+      const auto candidate_it = entries_.find(candidate);
+      const auto victim_it = entries_.find(*victim);
+      if (candidate_it != entries_.end() && victim_it != entries_.end() &&
+          !admission_->Admit(candidate_it->second.sketch_key,
+                             victim_it->second.sketch_key)) {
+        // The would-be victim is hotter than the newcomer: bounce the
+        // newcomer instead (TinyLFU admission reject).
+        RemoveEntry(candidate, /*eviction=*/false, /*expiration=*/false);
+        ++stats_.admission_rejects;
+        continue;
+      }
+    }
+    RemoveEntry(*victim, /*eviction=*/true, /*expiration=*/false);
+  }
+}
+
+bool IcCache::Erase(EntryId id) {
+  if (entries_.count(id) == 0) return false;
+  RemoveEntry(id, /*eviction=*/false, /*expiration=*/false);
+  return true;
+}
+
+void IcCache::Clear() {
+  while (!entries_.empty()) {
+    RemoveEntry(entries_.begin()->first, false, false);
+  }
+}
+
+}  // namespace coic::cache

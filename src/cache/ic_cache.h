@@ -1,0 +1,152 @@
+// IcCache — the edge-resident result cache at the centre of CoIC.
+//
+// Keys are proto::FeatureDescriptor values. Content-hash descriptors
+// (render / panorama tasks) match exactly; feature-vector descriptors
+// (recognition) match approximately: nearest neighbour within the
+// configured distance threshold (paper §2). Values are opaque result
+// payloads (annotation blobs, loaded model bytes, panoramic frames).
+//
+// Capacity is accounted in bytes (payload + descriptor + bookkeeping);
+// overflow evicts victims nominated by a pluggable EvictionPolicy.
+// Entries may also carry a TTL, expired lazily on access.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "cache/admission.h"
+#include "cache/policy.h"
+#include "cache/similarity_index.h"
+#include "common/bytes.h"
+#include "common/time.h"
+#include "common/units.h"
+#include "proto/descriptor.h"
+
+namespace coic::cache {
+
+struct IcCacheConfig {
+  /// Byte budget; 0 means unlimited (Figure 2a/2b runs are unconstrained,
+  /// the eviction ablation sweeps this).
+  Bytes capacity_bytes = 0;
+  PolicyKind policy = PolicyKind::kLru;
+  /// Feature-vector hit threshold (L2). Descriptor vectors are
+  /// L2-normalized, so this is in [0, 2]; the threshold ablation bench
+  /// sweeps it.
+  double similarity_threshold = 0.25;
+  /// Per-entry time-to-live; Infinite = never expires.
+  Duration ttl = Duration::Infinite();
+  /// Use LSH instead of exact linear scan for vector lookups.
+  bool use_lsh = false;
+  LshParams lsh;
+  /// TinyLFU admission: a new entry only displaces an eviction victim it
+  /// is (estimated) at least as popular as. Protects the hot working set
+  /// from one-shot requests under byte pressure.
+  bool use_tinylfu = false;
+  /// Sketch sizing hint ~ number of distinct hot keys.
+  std::size_t tinylfu_capacity_hint = 1024;
+};
+
+struct IcCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t updates = 0;      ///< Re-insert over an existing exact key.
+  std::uint64_t evictions = 0;    ///< Capacity-driven removals.
+  std::uint64_t expirations = 0;  ///< TTL-driven removals.
+  std::uint64_t admission_rejects = 0;  ///< Candidates TinyLFU bounced.
+
+  [[nodiscard]] double HitRate() const noexcept {
+    const auto total = hits + misses;
+    return total == 0 ? 0 : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Result of a cache probe.
+struct LookupOutcome {
+  bool hit = false;
+  EntryId entry = 0;
+  /// L2 distance of the matched neighbour (0 for exact-hash hits).
+  double distance = 0;
+  /// Borrowed pointer into the cache, valid until the next mutating call.
+  const ByteVec* payload = nullptr;
+};
+
+class IcCache {
+ public:
+  explicit IcCache(IcCacheConfig config);
+
+  IcCache(const IcCache&) = delete;
+  IcCache& operator=(const IcCache&) = delete;
+
+  /// Probes for `key` at simulated time `now`. A hit refreshes recency.
+  LookupOutcome Lookup(const proto::FeatureDescriptor& key, SimTime now);
+
+  /// Inserts a result under `key`, evicting as needed to respect the byte
+  /// budget. Exact-hash keys that already exist are updated in place.
+  /// Returns the entry id (stable until eviction).
+  EntryId Insert(const proto::FeatureDescriptor& key, ByteVec payload,
+                 SimTime now);
+
+  /// Erases one entry; returns false if absent.
+  bool Erase(EntryId id);
+
+  /// Drops everything (stats are preserved).
+  void Clear();
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] Bytes bytes_used() const noexcept { return bytes_used_; }
+  [[nodiscard]] const IcCacheConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const IcCacheStats& stats() const noexcept { return stats_; }
+
+  /// Fixed per-entry bookkeeping charge added to payload+descriptor size.
+  static constexpr Bytes kEntryOverhead = 64;
+
+ private:
+  struct Entry {
+    proto::FeatureDescriptor key;
+    ByteVec payload;
+    Bytes charged_bytes = 0;
+    SimTime inserted_at;
+    SimTime last_access;
+    std::uint64_t sketch_key = 0;  ///< TinyLFU frequency key.
+  };
+
+  /// Frequency-sketch key: exact keys use their index key; vector keys
+  /// use a sign-bit signature so near-identical descriptors share a key.
+  static std::uint64_t SketchKey(const proto::FeatureDescriptor& key) noexcept;
+
+  [[nodiscard]] bool Expired(const Entry& e, SimTime now) const noexcept {
+    return config_.ttl != Duration::Infinite() &&
+           now - e.inserted_at > config_.ttl;
+  }
+
+  NearestNeighborIndex& VectorIndexFor(proto::TaskKind task) noexcept {
+    return *vector_index_[static_cast<std::size_t>(task)];
+  }
+
+  void RemoveEntry(EntryId id, bool count_as_eviction, bool count_as_expiration);
+
+  /// Evicts until the byte budget holds. `candidate` is the just-added
+  /// entry; with TinyLFU enabled it is itself evicted (admission reject)
+  /// the moment a victim with higher estimated frequency would otherwise
+  /// be displaced. 0 = no candidate (plain re-fit).
+  void EvictUntilFits(EntryId candidate);
+
+  IcCacheConfig config_;
+  IcCacheStats stats_;
+  Bytes bytes_used_ = 0;
+  std::unique_ptr<EvictionPolicy> policy_;
+  std::unique_ptr<TinyLfuAdmission> admission_;
+  EntryId next_id_ = 1;
+  std::unordered_map<EntryId, Entry> entries_;
+  /// Exact index: FeatureDescriptor::IndexKey() -> entry, for hash keys.
+  std::unordered_map<std::uint64_t, EntryId> exact_;
+  /// One vector index per TaskKind (only kRecognition is populated in
+  /// practice, but the layout is uniform).
+  std::array<std::unique_ptr<NearestNeighborIndex>, 3> vector_index_;
+};
+
+}  // namespace coic::cache

@@ -1,0 +1,168 @@
+#include "cache/policy.h"
+
+#include <cmath>
+
+namespace coic::cache {
+
+std::string_view PolicyKindName(PolicyKind kind) noexcept {
+  switch (kind) {
+    case PolicyKind::kLru: return "lru";
+    case PolicyKind::kFifo: return "fifo";
+    case PolicyKind::kLfu: return "lfu";
+    case PolicyKind::kSlru: return "slru";
+  }
+  return "unknown";
+}
+
+// --------------------------------- LRU -------------------------------------
+
+void LruPolicy::OnInsert(EntryId id) {
+  COIC_CHECK_MSG(pos_.count(id) == 0, "duplicate insert into LRU policy");
+  order_.push_front(id);
+  pos_[id] = order_.begin();
+}
+
+void LruPolicy::OnAccess(EntryId id) {
+  const auto it = pos_.find(id);
+  COIC_CHECK_MSG(it != pos_.end(), "access of untracked entry");
+  order_.splice(order_.begin(), order_, it->second);
+}
+
+void LruPolicy::OnErase(EntryId id) {
+  const auto it = pos_.find(id);
+  COIC_CHECK_MSG(it != pos_.end(), "erase of untracked entry");
+  order_.erase(it->second);
+  pos_.erase(it);
+}
+
+std::optional<EntryId> LruPolicy::Victim() const {
+  if (order_.empty()) return std::nullopt;
+  return order_.back();
+}
+
+// --------------------------------- FIFO ------------------------------------
+
+void FifoPolicy::OnInsert(EntryId id) {
+  COIC_CHECK_MSG(pos_.count(id) == 0, "duplicate insert into FIFO policy");
+  order_.push_front(id);
+  pos_[id] = order_.begin();
+}
+
+void FifoPolicy::OnErase(EntryId id) {
+  const auto it = pos_.find(id);
+  COIC_CHECK_MSG(it != pos_.end(), "erase of untracked entry");
+  order_.erase(it->second);
+  pos_.erase(it);
+}
+
+std::optional<EntryId> FifoPolicy::Victim() const {
+  if (order_.empty()) return std::nullopt;
+  return order_.back();
+}
+
+// --------------------------------- LFU -------------------------------------
+
+void LfuPolicy::Place(EntryId id, std::uint64_t freq) {
+  auto& bucket = buckets_[freq];
+  bucket.push_front(id);
+  where_[id] = Where{freq, bucket.begin()};
+}
+
+void LfuPolicy::OnInsert(EntryId id) {
+  COIC_CHECK_MSG(where_.count(id) == 0, "duplicate insert into LFU policy");
+  Place(id, 1);
+}
+
+void LfuPolicy::OnAccess(EntryId id) {
+  const auto it = where_.find(id);
+  COIC_CHECK_MSG(it != where_.end(), "access of untracked entry");
+  const Where old = it->second;
+  auto bucket_it = buckets_.find(old.freq);
+  bucket_it->second.erase(old.it);
+  if (bucket_it->second.empty()) buckets_.erase(bucket_it);
+  Place(id, old.freq + 1);
+}
+
+void LfuPolicy::OnErase(EntryId id) {
+  const auto it = where_.find(id);
+  COIC_CHECK_MSG(it != where_.end(), "erase of untracked entry");
+  auto bucket_it = buckets_.find(it->second.freq);
+  bucket_it->second.erase(it->second.it);
+  if (bucket_it->second.empty()) buckets_.erase(bucket_it);
+  where_.erase(it);
+}
+
+std::optional<EntryId> LfuPolicy::Victim() const {
+  if (buckets_.empty()) return std::nullopt;
+  // Lowest frequency bucket, least-recently-used element within it.
+  return buckets_.begin()->second.back();
+}
+
+// --------------------------------- SLRU ------------------------------------
+
+SlruPolicy::SlruPolicy(double protected_fraction)
+    : protected_fraction_(protected_fraction) {
+  COIC_CHECK_MSG(protected_fraction > 0 && protected_fraction < 1,
+                 "protected fraction must be in (0, 1)");
+}
+
+void SlruPolicy::OnInsert(EntryId id) {
+  COIC_CHECK_MSG(where_.count(id) == 0, "duplicate insert into SLRU policy");
+  probation_.push_front(id);
+  where_[id] = Where{Segment::kProbation, probation_.begin()};
+}
+
+void SlruPolicy::OnAccess(EntryId id) {
+  const auto it = where_.find(id);
+  COIC_CHECK_MSG(it != where_.end(), "access of untracked entry");
+  if (it->second.segment == Segment::kProbation) {
+    probation_.erase(it->second.it);
+    protected_.push_front(id);
+    it->second = Where{Segment::kProtected, protected_.begin()};
+    EnforceProtectedBound();
+  } else {
+    protected_.splice(protected_.begin(), protected_, it->second.it);
+  }
+}
+
+void SlruPolicy::EnforceProtectedBound() {
+  const auto bound = static_cast<std::size_t>(
+      std::ceil(protected_fraction_ * static_cast<double>(where_.size())));
+  while (protected_.size() > bound && !protected_.empty()) {
+    const EntryId demoted = protected_.back();
+    protected_.pop_back();
+    probation_.push_front(demoted);
+    where_[demoted] = Where{Segment::kProbation, probation_.begin()};
+  }
+}
+
+void SlruPolicy::OnErase(EntryId id) {
+  const auto it = where_.find(id);
+  COIC_CHECK_MSG(it != where_.end(), "erase of untracked entry");
+  if (it->second.segment == Segment::kProbation) {
+    probation_.erase(it->second.it);
+  } else {
+    protected_.erase(it->second.it);
+  }
+  where_.erase(it);
+}
+
+std::optional<EntryId> SlruPolicy::Victim() const {
+  // Probationary entries go first; fall back to the protected LRU tail.
+  if (!probation_.empty()) return probation_.back();
+  if (!protected_.empty()) return protected_.back();
+  return std::nullopt;
+}
+
+std::unique_ptr<EvictionPolicy> MakePolicy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kLru: return std::make_unique<LruPolicy>();
+    case PolicyKind::kFifo: return std::make_unique<FifoPolicy>();
+    case PolicyKind::kLfu: return std::make_unique<LfuPolicy>();
+    case PolicyKind::kSlru: return std::make_unique<SlruPolicy>();
+  }
+  COIC_CHECK_MSG(false, "unknown policy kind");
+  return nullptr;
+}
+
+}  // namespace coic::cache

@@ -1,0 +1,134 @@
+// Eviction policies for the edge IC cache.
+//
+// The paper notes its prototype uses a "simple cache management policy"
+// and lists better cache management as future work (§4). We therefore
+// implement a policy family behind one interface and ship an ablation
+// bench (bench_eviction_ablation) comparing them under Zipf workloads.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace coic::cache {
+
+using EntryId = std::uint64_t;
+
+enum class PolicyKind : std::uint8_t { kLru = 0, kFifo = 1, kLfu = 2, kSlru = 3 };
+
+std::string_view PolicyKindName(PolicyKind kind) noexcept;
+
+/// Tracks entry recency/frequency and nominates eviction victims.
+/// Policies never own payloads; the cache drives them via callbacks.
+class EvictionPolicy {
+ public:
+  virtual ~EvictionPolicy() = default;
+
+  /// A new entry entered the cache. `id` must not be currently tracked.
+  virtual void OnInsert(EntryId id) = 0;
+
+  /// An existing entry was hit.
+  virtual void OnAccess(EntryId id) = 0;
+
+  /// An entry left the cache (eviction or explicit erase).
+  virtual void OnErase(EntryId id) = 0;
+
+  /// The entry the policy would evict next; nullopt if empty.
+  [[nodiscard]] virtual std::optional<EntryId> Victim() const = 0;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t tracked() const noexcept = 0;
+};
+
+/// Least-recently-used: classic list+map, O(1) per operation.
+class LruPolicy final : public EvictionPolicy {
+ public:
+  void OnInsert(EntryId id) override;
+  void OnAccess(EntryId id) override;
+  void OnErase(EntryId id) override;
+  [[nodiscard]] std::optional<EntryId> Victim() const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "lru"; }
+  [[nodiscard]] std::size_t tracked() const noexcept override { return pos_.size(); }
+
+ private:
+  std::list<EntryId> order_;  // front = most recent
+  std::unordered_map<EntryId, std::list<EntryId>::iterator> pos_;
+};
+
+/// First-in-first-out: insertion order only; accesses are ignored.
+class FifoPolicy final : public EvictionPolicy {
+ public:
+  void OnInsert(EntryId id) override;
+  void OnAccess(EntryId /*id*/) override {}
+  void OnErase(EntryId id) override;
+  [[nodiscard]] std::optional<EntryId> Victim() const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "fifo"; }
+  [[nodiscard]] std::size_t tracked() const noexcept override { return pos_.size(); }
+
+ private:
+  std::list<EntryId> order_;  // front = newest
+  std::unordered_map<EntryId, std::list<EntryId>::iterator> pos_;
+};
+
+/// Least-frequently-used with LRU tiebreak inside each frequency class
+/// (the O(1) LFU of Ketan Shah et al.): frequency buckets in a sorted
+/// map, each bucket an LRU list.
+class LfuPolicy final : public EvictionPolicy {
+ public:
+  void OnInsert(EntryId id) override;
+  void OnAccess(EntryId id) override;
+  void OnErase(EntryId id) override;
+  [[nodiscard]] std::optional<EntryId> Victim() const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "lfu"; }
+  [[nodiscard]] std::size_t tracked() const noexcept override { return where_.size(); }
+
+ private:
+  struct Where {
+    std::uint64_t freq;
+    std::list<EntryId>::iterator it;
+  };
+  void Place(EntryId id, std::uint64_t freq);
+
+  std::map<std::uint64_t, std::list<EntryId>> buckets_;  // freq -> LRU list
+  std::unordered_map<EntryId, Where> where_;
+};
+
+/// Segmented LRU: new entries go to a probationary segment; a hit
+/// promotes to the protected segment (bounded to `protected_fraction` of
+/// tracked entries, overflow demotes back to probation). Scan-resistant:
+/// one-shot items never displace the hot set.
+class SlruPolicy final : public EvictionPolicy {
+ public:
+  explicit SlruPolicy(double protected_fraction = 0.8);
+
+  void OnInsert(EntryId id) override;
+  void OnAccess(EntryId id) override;
+  void OnErase(EntryId id) override;
+  [[nodiscard]] std::optional<EntryId> Victim() const override;
+  [[nodiscard]] std::string_view name() const noexcept override { return "slru"; }
+  [[nodiscard]] std::size_t tracked() const noexcept override { return where_.size(); }
+
+ private:
+  enum class Segment : std::uint8_t { kProbation, kProtected };
+  struct Where {
+    Segment segment;
+    std::list<EntryId>::iterator it;
+  };
+  void EnforceProtectedBound();
+
+  double protected_fraction_;
+  std::list<EntryId> probation_;   // front = most recent
+  std::list<EntryId> protected_;   // front = most recent
+  std::unordered_map<EntryId, Where> where_;
+};
+
+/// Factory keyed by PolicyKind.
+std::unique_ptr<EvictionPolicy> MakePolicy(PolicyKind kind);
+
+}  // namespace coic::cache

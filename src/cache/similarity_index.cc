@@ -1,0 +1,145 @@
+#include "cache/similarity_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace coic::cache {
+namespace {
+
+double L2Distance(std::span<const float> a, std::span<const float> b) noexcept {
+  double acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+// ------------------------------- LinearIndex -------------------------------
+
+void LinearIndex::Insert(std::uint64_t id, std::span<const float> vec) {
+  COIC_CHECK_MSG(!vec.empty(), "cannot index an empty vector");
+  if (dim_ == 0) dim_ = vec.size();
+  COIC_CHECK_MSG(vec.size() == dim_, "dimension mismatch");
+  COIC_CHECK_MSG(row_of_.count(id) == 0, "duplicate id");
+  row_of_[id] = ids_.size();
+  ids_.push_back(id);
+  data_.insert(data_.end(), vec.begin(), vec.end());
+}
+
+bool LinearIndex::Remove(std::uint64_t id) {
+  const auto it = row_of_.find(id);
+  if (it == row_of_.end()) return false;
+  const std::size_t row = it->second;
+  const std::size_t last = ids_.size() - 1;
+  if (row != last) {
+    // Swap-with-last keeps storage dense.
+    std::copy_n(data_.begin() + static_cast<std::ptrdiff_t>(last * dim_), dim_,
+                data_.begin() + static_cast<std::ptrdiff_t>(row * dim_));
+    ids_[row] = ids_[last];
+    row_of_[ids_[row]] = row;
+  }
+  ids_.pop_back();
+  data_.resize(ids_.size() * dim_);
+  row_of_.erase(it);
+  return true;
+}
+
+std::optional<Neighbor> LinearIndex::Nearest(std::span<const float> query) const {
+  if (ids_.empty()) return std::nullopt;
+  COIC_CHECK_MSG(query.size() == dim_, "query dimension mismatch");
+  std::size_t best_row = 0;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t row = 0; row < ids_.size(); ++row) {
+    const std::span<const float> v(data_.data() + row * dim_, dim_);
+    const double d = L2Distance(query, v);
+    if (d < best) {
+      best = d;
+      best_row = row;
+    }
+  }
+  return Neighbor{ids_[best_row], best};
+}
+
+// -------------------------------- LshIndex ---------------------------------
+
+LshIndex::LshIndex(LshParams params) : params_(params) {
+  COIC_CHECK(params.tables >= 1);
+  COIC_CHECK_MSG(params.hyperplanes >= 1 && params.hyperplanes <= 32,
+                 "signature must fit a u32");
+  tables_.resize(params.tables);
+}
+
+void LshIndex::EnsurePlanes(std::size_t dim) const {
+  if (dim_ != 0) {
+    COIC_CHECK_MSG(dim == dim_, "dimension mismatch");
+    return;
+  }
+  dim_ = dim;
+  Rng rng(params_.seed);
+  planes_.resize(params_.tables);
+  for (auto& table_planes : planes_) {
+    table_planes.resize(params_.hyperplanes * dim_);
+    for (auto& x : table_planes) x = static_cast<float>(rng.NextGaussian());
+  }
+}
+
+std::uint32_t LshIndex::Signature(std::size_t table,
+                                  std::span<const float> vec) const {
+  const auto& tp = planes_[table];
+  std::uint32_t sig = 0;
+  for (std::size_t h = 0; h < params_.hyperplanes; ++h) {
+    double dot = 0;
+    const float* plane = tp.data() + h * dim_;
+    for (std::size_t i = 0; i < dim_; ++i) dot += static_cast<double>(plane[i]) * vec[i];
+    if (dot >= 0) sig |= (1u << h);
+  }
+  return sig;
+}
+
+void LshIndex::Insert(std::uint64_t id, std::span<const float> vec) {
+  COIC_CHECK_MSG(!vec.empty(), "cannot index an empty vector");
+  EnsurePlanes(vec.size());
+  COIC_CHECK_MSG(vectors_.count(id) == 0, "duplicate id");
+  vectors_[id].assign(vec.begin(), vec.end());
+  for (std::size_t t = 0; t < params_.tables; ++t) {
+    tables_[t][Signature(t, vec)].push_back(id);
+  }
+}
+
+bool LshIndex::Remove(std::uint64_t id) {
+  const auto it = vectors_.find(id);
+  if (it == vectors_.end()) return false;
+  const std::span<const float> vec(it->second);
+  for (std::size_t t = 0; t < params_.tables; ++t) {
+    auto& bucket = tables_[t][Signature(t, vec)];
+    bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+  }
+  vectors_.erase(it);
+  return true;
+}
+
+std::optional<Neighbor> LshIndex::Nearest(std::span<const float> query) const {
+  if (vectors_.empty()) return std::nullopt;
+  COIC_CHECK_MSG(query.size() == dim_, "query dimension mismatch");
+  std::optional<Neighbor> best;
+  last_probe_count_ = 0;
+  // Dedup candidates across tables without allocating a set: tolerate
+  // re-scoring (idempotent) and just track the best.
+  for (std::size_t t = 0; t < params_.tables; ++t) {
+    const auto bucket_it = tables_[t].find(Signature(t, query));
+    if (bucket_it == tables_[t].end()) continue;
+    for (const std::uint64_t id : bucket_it->second) {
+      ++last_probe_count_;
+      const auto vec_it = vectors_.find(id);
+      const double d = L2Distance(query, vec_it->second);
+      if (!best || d < best->distance) best = Neighbor{id, d};
+    }
+  }
+  return best;
+}
+
+}  // namespace coic::cache

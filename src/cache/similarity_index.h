@@ -1,0 +1,109 @@
+// Approximate-match index over feature-vector descriptors.
+//
+// The paper's hit rule for recognition tasks: "If the distance between
+// the new feature descriptor and another one in the cache is under a
+// certain threshold, CoIC determines that the computation result is
+// already in the cache." (§2)
+//
+// Two implementations behind one interface:
+//   * LinearIndex — exact nearest neighbour by scan; ground truth.
+//   * LshIndex    — random-hyperplane locality-sensitive hashing with
+//                   multiple tables; sub-linear probes at high recall on
+//                   clustered data (the regime CoIC lives in: descriptors
+//                   of the same physical object form tight clusters).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace coic::cache {
+
+/// Nearest-neighbour answer: entry id and L2 distance.
+struct Neighbor {
+  std::uint64_t id = 0;
+  double distance = 0;
+};
+
+class NearestNeighborIndex {
+ public:
+  virtual ~NearestNeighborIndex() = default;
+
+  /// Adds a vector under `id`. Ids are unique; dimension is fixed by the
+  /// first insert and enforced thereafter.
+  virtual void Insert(std::uint64_t id, std::span<const float> vec) = 0;
+
+  /// Removes `id`; returns false if absent.
+  virtual bool Remove(std::uint64_t id) = 0;
+
+  /// Closest stored vector to `query`, or nullopt if empty. LSH may
+  /// return a near (not exact) neighbour or nullopt on probe miss.
+  [[nodiscard]] virtual std::optional<Neighbor> Nearest(
+      std::span<const float> query) const = 0;
+
+  [[nodiscard]] virtual std::size_t size() const noexcept = 0;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+};
+
+/// Exact scan. O(n) per query, cache-friendly flat storage.
+class LinearIndex final : public NearestNeighborIndex {
+ public:
+  void Insert(std::uint64_t id, std::span<const float> vec) override;
+  bool Remove(std::uint64_t id) override;
+  [[nodiscard]] std::optional<Neighbor> Nearest(
+      std::span<const float> query) const override;
+  [[nodiscard]] std::size_t size() const noexcept override { return ids_.size(); }
+  [[nodiscard]] std::string_view name() const noexcept override { return "linear"; }
+
+ private:
+  std::size_t dim_ = 0;
+  std::vector<std::uint64_t> ids_;
+  std::vector<float> data_;  // row-major, ids_.size() x dim_
+  std::unordered_map<std::uint64_t, std::size_t> row_of_;
+};
+
+struct LshParams {
+  std::size_t tables = 8;        ///< Independent hash tables.
+  std::size_t hyperplanes = 12;  ///< Bits per table signature.
+  std::uint64_t seed = 0xC01C;   ///< Hyperplane RNG seed.
+};
+
+/// Random-hyperplane LSH (sign of dot product per plane → bit). A query
+/// probes its bucket in every table and scans the union of candidates.
+class LshIndex final : public NearestNeighborIndex {
+ public:
+  explicit LshIndex(LshParams params = {});
+
+  void Insert(std::uint64_t id, std::span<const float> vec) override;
+  bool Remove(std::uint64_t id) override;
+  [[nodiscard]] std::optional<Neighbor> Nearest(
+      std::span<const float> query) const override;
+  [[nodiscard]] std::size_t size() const noexcept override { return vectors_.size(); }
+  [[nodiscard]] std::string_view name() const noexcept override { return "lsh"; }
+
+  /// Candidates examined by the last Nearest call (probe cost metric for
+  /// the ablation bench).
+  [[nodiscard]] std::size_t last_probe_count() const noexcept { return last_probe_count_; }
+
+ private:
+  void EnsurePlanes(std::size_t dim) const;
+  [[nodiscard]] std::uint32_t Signature(std::size_t table,
+                                        std::span<const float> vec) const;
+
+  LshParams params_;
+  mutable std::size_t dim_ = 0;
+  /// planes_[t] holds `hyperplanes` row vectors of dimension dim_.
+  mutable std::vector<std::vector<float>> planes_;
+  std::vector<std::unordered_map<std::uint32_t, std::vector<std::uint64_t>>> tables_;
+  std::unordered_map<std::uint64_t, std::vector<float>> vectors_;
+  mutable std::size_t last_probe_count_ = 0;
+};
+
+}  // namespace coic::cache

@@ -1,0 +1,90 @@
+#include "common/bytes.h"
+
+#include <bit>
+
+#include "common/rng.h"
+
+namespace coic {
+
+static_assert(std::endian::native == std::endian::little,
+              "CoIC wire codec assumes a little-endian host; add byte "
+              "swapping in ByteWriter/ByteReader before porting");
+
+Status ByteReader::ReadBlob(ByteVec& out) {
+  std::uint32_t len;
+  const std::size_t start = pos_;
+  COIC_RETURN_IF_ERROR(ReadU32(len));
+  if (remaining() < len) {
+    pos_ = start;
+    return Status(StatusCode::kDataLoss, "blob length exceeds buffer");
+  }
+  out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return Status::Ok();
+}
+
+Status ByteReader::ReadBytes(ByteVec& out, std::size_t n) {
+  if (remaining() < n) {
+    return Status(StatusCode::kDataLoss, "raw read past end of buffer");
+  }
+  out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += n;
+  return Status::Ok();
+}
+
+Status ByteReader::ReadString(std::string& out) {
+  std::uint32_t len;
+  const std::size_t start = pos_;
+  COIC_RETURN_IF_ERROR(ReadU32(len));
+  if (remaining() < len) {
+    pos_ = start;
+    return Status(StatusCode::kDataLoss, "string length exceeds buffer");
+  }
+  out.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
+  pos_ += len;
+  return Status::Ok();
+}
+
+Status ByteReader::ReadF32Vector(std::vector<float>& out) {
+  std::uint32_t count;
+  const std::size_t start = pos_;
+  COIC_RETURN_IF_ERROR(ReadU32(count));
+  if (remaining() < static_cast<std::size_t>(count) * 4) {
+    pos_ = start;
+    return Status(StatusCode::kDataLoss, "f32 vector exceeds buffer");
+  }
+  out.resize(count);
+  for (auto& f : out) {
+    // Cannot fail: size checked above.
+    (void)ReadF32(f);
+  }
+  return Status::Ok();
+}
+
+Status ByteReader::Skip(std::size_t n) noexcept {
+  if (remaining() < n) {
+    return Status(StatusCode::kDataLoss, "skip past end of buffer");
+  }
+  pos_ += n;
+  return Status::Ok();
+}
+
+ByteVec DeterministicBytes(std::size_t size, std::uint64_t seed) {
+  ByteVec out(size);
+  Rng rng(seed);
+  std::size_t i = 0;
+  while (i + 8 <= size) {
+    const std::uint64_t word = rng.NextU64();
+    std::memcpy(out.data() + i, &word, 8);
+    i += 8;
+  }
+  if (i < size) {
+    const std::uint64_t word = rng.NextU64();
+    std::memcpy(out.data() + i, &word, size - i);
+  }
+  return out;
+}
+
+}  // namespace coic

@@ -1,0 +1,152 @@
+// Byte-buffer primitives: ByteWriter / ByteReader.
+//
+// All CoIC wire messages are encoded little-endian with explicit widths.
+// ByteWriter appends to a growable buffer; ByteReader is a non-owning
+// cursor over a span that reports truncation as Status (kDataLoss)
+// instead of UB — the decoder must be safe on hostile input since in the
+// real deployment these bytes arrive from the network.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coic {
+
+using ByteVec = std::vector<std::uint8_t>;
+
+/// Appends fixed-width little-endian scalars, length-prefixed blobs and
+/// strings to an owned buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+  explicit ByteWriter(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  void WriteU8(std::uint8_t v) { buf_.push_back(v); }
+  void WriteU16(std::uint16_t v) { AppendLE(&v, 2); }
+  void WriteU32(std::uint32_t v) { AppendLE(&v, 4); }
+  void WriteU64(std::uint64_t v) { AppendLE(&v, 8); }
+  void WriteI64(std::int64_t v) { WriteU64(static_cast<std::uint64_t>(v)); }
+  void WriteF32(float v) {
+    std::uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    WriteU32(bits);
+  }
+  void WriteF64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    WriteU64(bits);
+  }
+
+  /// Raw bytes, no length prefix.
+  void WriteRaw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// u32 length prefix + bytes.
+  void WriteBlob(std::span<const std::uint8_t> data) {
+    WriteU32(static_cast<std::uint32_t>(data.size()));
+    WriteRaw(data);
+  }
+
+  /// u32 length prefix + UTF-8 bytes.
+  void WriteString(std::string_view s) {
+    WriteU32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// u32 count + tightly packed f32s.
+  void WriteF32Vector(std::span<const float> v) {
+    WriteU32(static_cast<std::uint32_t>(v.size()));
+    for (const float f : v) WriteF32(f);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept { return buf_; }
+
+  /// Moves the buffer out; the writer is empty afterwards.
+  [[nodiscard]] ByteVec TakeBytes() noexcept { return std::move(buf_); }
+
+ private:
+  void AppendLE(const void* p, std::size_t n) {
+    // Little-endian host assumed (x86-64 / aarch64 Linux); a static_assert
+    // in bytes.cc guards the port to a BE platform.
+    const auto* bytes = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), bytes, bytes + n);
+  }
+  ByteVec buf_;
+};
+
+/// Sequential decoder over a non-owned byte span. Every Read* returns
+/// Status and leaves the cursor untouched on failure.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool AtEnd() const noexcept { return pos_ == data_.size(); }
+
+  Status ReadU8(std::uint8_t& out) noexcept { return ReadLE(&out, 1); }
+  Status ReadU16(std::uint16_t& out) noexcept { return ReadLE(&out, 2); }
+  Status ReadU32(std::uint32_t& out) noexcept { return ReadLE(&out, 4); }
+  Status ReadU64(std::uint64_t& out) noexcept { return ReadLE(&out, 8); }
+  Status ReadI64(std::int64_t& out) noexcept {
+    std::uint64_t u;
+    COIC_RETURN_IF_ERROR(ReadU64(u));
+    out = static_cast<std::int64_t>(u);
+    return Status::Ok();
+  }
+  Status ReadF32(float& out) noexcept {
+    std::uint32_t bits;
+    COIC_RETURN_IF_ERROR(ReadU32(bits));
+    std::memcpy(&out, &bits, 4);
+    return Status::Ok();
+  }
+  Status ReadF64(double& out) noexcept {
+    std::uint64_t bits;
+    COIC_RETURN_IF_ERROR(ReadU64(bits));
+    std::memcpy(&out, &bits, 8);
+    return Status::Ok();
+  }
+
+  /// Reads a u32-length-prefixed blob into an owned vector.
+  Status ReadBlob(ByteVec& out);
+
+  /// Reads exactly `n` raw bytes (no length prefix) into an owned vector.
+  Status ReadBytes(ByteVec& out, std::size_t n);
+
+  /// Reads a u32-length-prefixed string.
+  Status ReadString(std::string& out);
+
+  /// Reads a u32-count-prefixed packed f32 vector.
+  Status ReadF32Vector(std::vector<float>& out);
+
+  /// Skips n bytes.
+  Status Skip(std::size_t n) noexcept;
+
+ private:
+  Status ReadLE(void* out, std::size_t n) noexcept {
+    if (remaining() < n) {
+      return Status(StatusCode::kDataLoss, "buffer truncated");
+    }
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return Status::Ok();
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: a ByteVec filled with deterministic pseudo-random content
+/// of exactly `size` bytes (used to fabricate payloads whose ContentDigest
+/// is stable across runs).
+ByteVec DeterministicBytes(std::size_t size, std::uint64_t seed);
+
+}  // namespace coic

@@ -1,0 +1,54 @@
+#include "common/log.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace coic {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+std::mutex g_sink_mutex;
+
+const char* LevelTag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "D";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kError: return "E";
+    case LogLevel::kOff: return "?";
+  }
+  return "?";
+}
+
+std::string_view Basename(std::string_view path) noexcept {
+  const auto pos = path.find_last_of('/');
+  return pos == std::string_view::npos ? path : path.substr(pos + 1);
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() noexcept {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+bool LogEnabled(LogLevel level) noexcept {
+  return static_cast<int>(level) >= g_level.load(std::memory_order_relaxed);
+}
+
+void EmitLogLine(LogLevel level, std::string_view file, int line,
+                 std::string_view message) {
+  const std::string_view base = Basename(file);
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s %.*s:%d] %.*s\n", LevelTag(level),
+               static_cast<int>(base.size()), base.data(), line,
+               static_cast<int>(message.size()), message.data());
+}
+
+}  // namespace internal
+}  // namespace coic

@@ -1,0 +1,56 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded and the real transport logs from
+// multiple threads, so the sink takes a lock per line. Level filtering is
+// a cheap atomic read; benches run with the level at kWarn so logging
+// never shows up in profiles.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string_view>
+
+namespace coic {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; lines below it are discarded before formatting.
+void SetLogLevel(LogLevel level) noexcept;
+LogLevel GetLogLevel() noexcept;
+
+namespace internal {
+
+bool LogEnabled(LogLevel level) noexcept;
+void EmitLogLine(LogLevel level, std::string_view file, int line,
+                 std::string_view message);
+
+/// Stream-collecting helper; emits on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line) noexcept
+      : level_(level), file_(file), line_(line) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { EmitLogLine(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define COIC_LOG(level)                                          \
+  if (!::coic::internal::LogEnabled(::coic::LogLevel::level)) {  \
+  } else                                                         \
+    ::coic::internal::LogLine(::coic::LogLevel::level, __FILE__, __LINE__)
+
+}  // namespace coic

@@ -1,0 +1,31 @@
+#include "common/rng.h"
+
+#include <algorithm>
+
+namespace coic {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double skew) : skew_(skew) {
+  COIC_CHECK(n >= 1);
+  COIC_CHECK(skew >= 0);
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), skew);
+    cdf_[k] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against FP round-down at the tail
+}
+
+std::size_t ZipfDistribution::Sample(Rng& rng) const noexcept {
+  const double u = rng.NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Pmf(std::size_t rank) const {
+  COIC_CHECK(rank < cdf_.size());
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace coic

@@ -1,0 +1,127 @@
+// Deterministic random-number generation.
+//
+// Every stochastic component in the repo (synthetic scenes, workload
+// traces, link loss) draws from an explicitly seeded Rng so that tests and
+// benches are reproducible bit-for-bit across runs and machines. We avoid
+// std::mt19937 + std::*_distribution because libstdc++ does not guarantee
+// cross-version distribution stability; xoshiro256** plus hand-rolled
+// distributions is stable by construction.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coic {
+
+/// SplitMix64: used to expand a single seed into xoshiro state, and as a
+/// cheap stateless mixer for hashing integer tuples.
+constexpr std::uint64_t SplitMix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, tiny state; the repo-wide PRNG.
+class Rng {
+ public:
+  /// Seeds deterministically; two Rngs with the same seed produce the same
+  /// stream on every platform.
+  explicit Rng(std::uint64_t seed) noexcept { Reseed(seed); }
+
+  void Reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  /// Uniform over all 64-bit values.
+  std::uint64_t NextU64() noexcept {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0. Uses rejection to avoid modulo bias.
+  std::uint64_t NextBelow(std::uint64_t n) noexcept {
+    COIC_CHECK(n > 0);
+    const std::uint64_t threshold = (0 - n) % n;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = NextU64();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t NextInRange(std::int64_t lo, std::int64_t hi) noexcept {
+    COIC_CHECK(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    NextBelow(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() noexcept {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box–Muller (deterministic, no cached spare to
+  /// keep the stream position independent of call pattern).
+  double NextGaussian() noexcept {
+    double u1 = NextDouble();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Bernoulli trial.
+  bool NextBool(double p_true) noexcept { return NextDouble() < p_true; }
+
+  /// Exponential with the given rate (mean 1/rate). Rate must be positive.
+  double NextExponential(double rate) noexcept {
+    COIC_CHECK(rate > 0);
+    double u = NextDouble();
+    if (u < 1e-300) u = 1e-300;
+    return -std::log(u) / rate;
+  }
+
+ private:
+  static constexpr std::uint64_t Rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf(s) sampler over ranks {0, .., n-1}: rank k is drawn with
+/// probability proportional to 1/(k+1)^s. Precomputes the CDF once; each
+/// sample is a binary search. This is the popularity model used by the
+/// trace generator (popular objects = shared stop signs / avatars).
+class ZipfDistribution {
+ public:
+  /// n must be >= 1; s >= 0 (s == 0 degenerates to uniform).
+  ZipfDistribution(std::size_t n, double skew);
+
+  [[nodiscard]] std::size_t n() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double skew() const noexcept { return skew_; }
+
+  /// Draws a rank in [0, n).
+  std::size_t Sample(Rng& rng) const noexcept;
+
+  /// Probability mass of a given rank (for tests).
+  [[nodiscard]] double Pmf(std::size_t rank) const;
+
+ private:
+  double skew_ = 0;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k); cdf_.back() == 1.0
+};
+
+}  // namespace coic

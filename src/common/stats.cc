@@ -1,0 +1,92 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace coic {
+
+void OnlineStats::Merge(const OnlineStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ += delta * static_cast<double>(other.n_) / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Sample::mean() const noexcept {
+  if (values_.empty()) return 0;
+  double acc = 0;
+  for (const double v : values_) acc += v;
+  return acc / static_cast<double>(values_.size());
+}
+
+double Sample::Percentile(double q) const {
+  COIC_CHECK(!values_.empty());
+  COIC_CHECK(q >= 0 && q <= 100);
+  if (dirty_) {
+    std::sort(values_.begin(), values_.end());
+    dirty_ = false;
+  }
+  if (values_.size() == 1) return values_[0];
+  const double pos = q / 100.0 * static_cast<double>(values_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= values_.size()) return values_.back();
+  return values_[lo] * (1 - frac) + values_[lo + 1] * frac;
+}
+
+int LatencyHistogram::BucketFor(std::int64_t us) noexcept {
+  if (us <= 1) return 0;
+  // log_sqrt2(us) = 2 * log2(us)
+  const int b = static_cast<int>(2.0 * std::log2(static_cast<double>(us)));
+  return b >= kBuckets ? kBuckets - 1 : b;
+}
+
+double LatencyHistogram::BucketLowerBound(int b) noexcept {
+  return std::pow(2.0, static_cast<double>(b) / 2.0);
+}
+
+void LatencyHistogram::AddMicros(std::int64_t us) noexcept {
+  ++buckets_[BucketFor(us)];
+  ++total_;
+}
+
+double LatencyHistogram::QuantileMicros(double q) const noexcept {
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_ - 1));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen > target) {
+      // Midpoint of the bucket in linear space.
+      return (BucketLowerBound(b) + BucketLowerBound(b + 1)) / 2.0;
+    }
+  }
+  return BucketLowerBound(kBuckets);
+}
+
+std::string LatencyHistogram::ToString() const {
+  std::string out;
+  char line[96];
+  for (int b = 0; b < kBuckets; ++b) {
+    if (buckets_[b] == 0) continue;
+    std::snprintf(line, sizeof(line), "[%9.0f, %9.0f) us  %llu\n",
+                  BucketLowerBound(b), BucketLowerBound(b + 1),
+                  static_cast<unsigned long long>(buckets_[b]));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace coic

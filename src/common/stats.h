@@ -1,0 +1,98 @@
+// Measurement primitives used by benches and QoE accounting.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coic {
+
+/// Streaming mean/variance/min/max via Welford's algorithm. O(1) memory,
+/// numerically stable; used for per-link utilization and compute-time
+/// accounting inside the simulator where storing samples would distort
+/// the hot loop.
+class OnlineStats {
+ public:
+  void Add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  void Merge(const OnlineStats& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0; }
+  [[nodiscard]] double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0;
+  }
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Retains all samples and answers exact percentile queries. Benches use
+/// this for p50/p95/p99 latency rows; sample counts there are small
+/// enough (<= a few 100k) that exactness beats sketching.
+class Sample {
+ public:
+  void Add(double x) { values_.push_back(x); dirty_ = true; }
+  void Reserve(std::size_t n) { values_.reserve(n); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return values_.empty(); }
+  [[nodiscard]] double mean() const noexcept;
+
+  /// Exact percentile with linear interpolation; q in [0, 100].
+  /// Precondition: !empty().
+  [[nodiscard]] double Percentile(double q) const;
+
+  [[nodiscard]] double min() const { return Percentile(0); }
+  [[nodiscard]] double median() const { return Percentile(50); }
+  [[nodiscard]] double max() const { return Percentile(100); }
+
+  void Clear() noexcept { values_.clear(); dirty_ = true; }
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool dirty_ = true;
+};
+
+/// Log-bucketed histogram (powers of sqrt(2) above 1us) for latency
+/// distributions whose range spans decades.
+class LatencyHistogram {
+ public:
+  void AddMicros(std::int64_t us) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+
+  /// Approximate quantile from bucket boundaries; q in [0,1].
+  [[nodiscard]] double QuantileMicros(double q) const noexcept;
+
+  /// One bucket per row: "[lo_us, hi_us) count".
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  static constexpr int kBuckets = 96;
+  static int BucketFor(std::int64_t us) noexcept;
+  static double BucketLowerBound(int b) noexcept;
+
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace coic

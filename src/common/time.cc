@@ -1,0 +1,25 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace coic {
+namespace {
+
+std::string FormatMicros(std::int64_t us) {
+  char buf[48];
+  if (us >= 1'000'000 || us <= -1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.3f s", static_cast<double>(us) / 1e6);
+  } else if (us >= 1'000 || us <= -1'000) {
+    std::snprintf(buf, sizeof(buf), "%.3f ms", static_cast<double>(us) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld us", static_cast<long long>(us));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string Duration::ToString() const { return FormatMicros(us_); }
+std::string SimTime::ToString() const { return "t=" + FormatMicros(us_); }
+
+}  // namespace coic

@@ -1,0 +1,78 @@
+// Simulated-time strong types.
+//
+// All of netsim / core measure time as integral microseconds on a simulated
+// clock. Wrapping the raw int64 in strong types (Core Guidelines I.4 —
+// "make interfaces precisely and strongly typed") prevents the classic
+// bandwidth-math bugs (ms vs us, bits vs bytes) at compile time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace coic {
+
+/// A span of simulated time, in microseconds. Value-semantic, totally
+/// ordered, closed under + and - and integer scaling.
+class Duration {
+ public:
+  constexpr Duration() noexcept = default;
+
+  static constexpr Duration Micros(std::int64_t us) noexcept { return Duration(us); }
+  static constexpr Duration Millis(std::int64_t ms) noexcept { return Duration(ms * 1000); }
+  static constexpr Duration Seconds(double s) noexcept {
+    return Duration(static_cast<std::int64_t>(s * 1e6));
+  }
+  static constexpr Duration Zero() noexcept { return Duration(0); }
+  /// Largest representable span; used as "no timeout".
+  static constexpr Duration Infinite() noexcept { return Duration(INT64_MAX); }
+
+  [[nodiscard]] constexpr std::int64_t micros() const noexcept { return us_; }
+  [[nodiscard]] constexpr double millis() const noexcept { return static_cast<double>(us_) / 1e3; }
+  [[nodiscard]] constexpr double seconds() const noexcept { return static_cast<double>(us_) / 1e6; }
+
+  constexpr Duration& operator+=(Duration d) noexcept { us_ += d.us_; return *this; }
+  constexpr Duration& operator-=(Duration d) noexcept { us_ -= d.us_; return *this; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) noexcept { return Duration(a.us_ + b.us_); }
+  friend constexpr Duration operator-(Duration a, Duration b) noexcept { return Duration(a.us_ - b.us_); }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) noexcept { return Duration(a.us_ * k); }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) noexcept { return Duration(a.us_ * k); }
+  friend constexpr auto operator<=>(Duration a, Duration b) noexcept = default;
+
+  /// "1.250 ms" / "2.000 s" style rendering for logs and bench tables.
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  constexpr explicit Duration(std::int64_t us) noexcept : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+/// An absolute instant on the simulated clock (microseconds since sim
+/// epoch). Instants and Durations form the usual affine space.
+class SimTime {
+ public:
+  constexpr SimTime() noexcept = default;
+
+  static constexpr SimTime Epoch() noexcept { return SimTime(0); }
+  static constexpr SimTime FromMicros(std::int64_t us) noexcept { return SimTime(us); }
+
+  [[nodiscard]] constexpr std::int64_t micros() const noexcept { return us_; }
+  [[nodiscard]] constexpr double millis() const noexcept { return static_cast<double>(us_) / 1e3; }
+  [[nodiscard]] constexpr double seconds() const noexcept { return static_cast<double>(us_) / 1e6; }
+
+  friend constexpr SimTime operator+(SimTime t, Duration d) noexcept { return SimTime(t.us_ + d.micros()); }
+  friend constexpr SimTime operator+(Duration d, SimTime t) noexcept { return t + d; }
+  friend constexpr SimTime operator-(SimTime t, Duration d) noexcept { return SimTime(t.us_ - d.micros()); }
+  friend constexpr Duration operator-(SimTime a, SimTime b) noexcept {
+    return Duration::Micros(a.us_ - b.us_);
+  }
+  friend constexpr auto operator<=>(SimTime a, SimTime b) noexcept = default;
+
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t us) noexcept : us_(us) {}
+  std::int64_t us_ = 0;
+};
+
+}  // namespace coic

@@ -1,0 +1,26 @@
+#include "common/units.h"
+
+#include <cstdio>
+
+namespace coic {
+
+std::string FormatBytes(Bytes n) {
+  char buf[48];
+  const double d = static_cast<double>(n);
+  if (n >= MB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.2f MB", d / 1e6);
+  } else if (n >= KB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", d / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B", static_cast<unsigned long long>(n));
+  }
+  return buf;
+}
+
+std::string Bandwidth::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.1f Mbps", mbps());
+  return buf;
+}
+
+}  // namespace coic

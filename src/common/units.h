@@ -1,0 +1,61 @@
+// Data-size and bandwidth units.
+//
+// Bandwidth is the quantity the paper sweeps (Figure 2a's x-axis), so it
+// gets a strong type with the bits-per-second arithmetic done in one
+// audited place instead of scattered through call sites.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/time.h"
+
+namespace coic {
+
+/// Bytes as a plain integer type alias; sizes come straight from
+/// serialized buffers so an alias (not a wrapper) keeps interop cheap.
+using Bytes = std::uint64_t;
+
+constexpr Bytes KiB(std::uint64_t n) noexcept { return n * 1024; }
+constexpr Bytes MiB(std::uint64_t n) noexcept { return n * 1024 * 1024; }
+/// The paper reports model sizes in (decimal) KB; keep both spellings.
+constexpr Bytes KB(std::uint64_t n) noexcept { return n * 1000; }
+constexpr Bytes MB(std::uint64_t n) noexcept { return n * 1000 * 1000; }
+
+/// "1.5 MB" / "231.0 KB" human rendering.
+std::string FormatBytes(Bytes n);
+
+/// Link bandwidth. Stored in bits per second.
+class Bandwidth {
+ public:
+  constexpr Bandwidth() noexcept = default;
+
+  static constexpr Bandwidth BitsPerSecond(std::int64_t bps) noexcept { return Bandwidth(bps); }
+  static constexpr Bandwidth Mbps(double mbps) noexcept {
+    return Bandwidth(static_cast<std::int64_t>(mbps * 1e6));
+  }
+  static constexpr Bandwidth Gbps(double gbps) noexcept {
+    return Bandwidth(static_cast<std::int64_t>(gbps * 1e9));
+  }
+
+  [[nodiscard]] constexpr std::int64_t bps() const noexcept { return bps_; }
+  [[nodiscard]] constexpr double mbps() const noexcept { return static_cast<double>(bps_) / 1e6; }
+
+  /// Serialization delay for `n` bytes at this rate. Rounds up to the next
+  /// microsecond so a transfer never completes "for free".
+  [[nodiscard]] constexpr Duration TransmitTime(Bytes n) const noexcept {
+    const __int128 bits = static_cast<__int128>(n) * 8;
+    const __int128 us = (bits * 1'000'000 + bps_ - 1) / bps_;
+    return Duration::Micros(static_cast<std::int64_t>(us));
+  }
+
+  friend constexpr auto operator<=>(Bandwidth a, Bandwidth b) noexcept = default;
+
+  [[nodiscard]] std::string ToString() const;
+
+ private:
+  constexpr explicit Bandwidth(std::int64_t bps) noexcept : bps_(bps) {}
+  std::int64_t bps_ = 1;  // never zero: avoids div-by-zero on default object
+};
+
+}  // namespace coic

@@ -1,0 +1,228 @@
+#include "core/client.h"
+
+#include <utility>
+
+#include "common/log.h"
+#include "render/loader.h"
+
+namespace coic::core {
+
+using proto::Envelope;
+using proto::MessageType;
+using proto::OffloadMode;
+using proto::TaskKind;
+
+CoicClient::CoicClient(Config config, SendToEdgeFn send, DelayFn delay,
+                       NowFn now)
+    : config_(config), send_(std::move(send)), delay_(std::move(delay)),
+      now_(std::move(now)), extractor_(config.extractor),
+      next_request_id_(config.first_request_id) {}
+
+Digest128 CoicClient::PanoramaIdentityDigest(std::uint64_t video_id,
+                                             std::uint32_t frame_index) {
+  ByteWriter w;
+  w.WriteU64(video_id);
+  w.WriteU32(frame_index);
+  return ContentDigest(w.bytes());
+}
+
+void CoicClient::StartRecognition(const vision::SceneParams& scene,
+                                  std::string expected_label,
+                                  CompletionFn done) {
+  const std::uint64_t request_id = NextRequestId();
+  PendingRequest pending;
+  pending.task = TaskKind::kRecognition;
+  pending.started_at = now_();
+  pending.expected_label = std::move(expected_label);
+  pending.object_id = scene.scene_id;
+  pending.done = std::move(done);
+
+  proto::RecognitionRequest req;
+  req.user_id = config_.user_id;
+  req.app_id = config_.app_id;
+  req.frame_id = request_id;
+  req.mode = config_.mode;
+
+  const vision::SyntheticImage image = vision::SyntheticImage::Generate(scene);
+
+  if (config_.mode == OffloadMode::kOrigin) {
+    // Baseline: ship the whole frame; no on-device DNN work.
+    req.image =
+        image.SerializeForWire(config_.costs.recognition.frame_bytes);
+    // Origin still needs a syntactically valid descriptor field; a
+    // content hash marks "no feature extraction happened".
+    req.descriptor = proto::FeatureDescriptor::ForHash(TaskKind::kRecognition,
+                                                       image.ContentHash());
+    pending_.emplace(request_id, std::move(pending));
+    send_(proto::EncodeMessage(MessageType::kRecognitionRequest, request_id,
+                               req));
+    return;
+  }
+
+  // CoIC: pay the on-device extraction, then ship only the descriptor.
+  const Duration extraction = config_.costs.recognition.mobile_extraction;
+  pending.client_compute += extraction;
+  pending_.emplace(request_id, std::move(pending));
+  req.descriptor = proto::FeatureDescriptor::ForVector(
+      TaskKind::kRecognition, extractor_.Extract(image));
+  delay_(extraction, [this, request_id, req = std::move(req)] {
+    send_(proto::EncodeMessage(MessageType::kRecognitionRequest, request_id,
+                               req));
+  });
+}
+
+void CoicClient::StartRender(std::uint64_t model_id, const Digest128& digest,
+                             CompletionFn done) {
+  const std::uint64_t request_id = NextRequestId();
+  PendingRequest pending;
+  pending.task = TaskKind::kRender;
+  pending.started_at = now_();
+  pending.object_id = model_id;
+  pending.done = std::move(done);
+
+  proto::RenderRequest req;
+  req.user_id = config_.user_id;
+  req.app_id = config_.app_id;
+  req.model_id = model_id;
+  req.mode = config_.mode;
+  req.descriptor = proto::FeatureDescriptor::ForHash(TaskKind::kRender, digest);
+
+  const Duration prep = config_.costs.render.client_request_prep;
+  pending.client_compute += prep;
+  pending_.emplace(request_id, std::move(pending));
+  delay_(prep, [this, request_id, req = std::move(req)] {
+    send_(proto::EncodeMessage(MessageType::kRenderRequest, request_id, req));
+  });
+}
+
+void CoicClient::StartPanorama(std::uint64_t video_id,
+                               std::uint32_t frame_index,
+                               const proto::Viewport& viewport,
+                               CompletionFn done) {
+  const std::uint64_t request_id = NextRequestId();
+  PendingRequest pending;
+  pending.task = TaskKind::kPanorama;
+  pending.started_at = now_();
+  pending.object_id = video_id;
+  pending.done = std::move(done);
+  pending_.emplace(request_id, std::move(pending));
+
+  proto::PanoramaRequest req;
+  req.user_id = config_.user_id;
+  req.video_id = video_id;
+  req.frame_index = frame_index;
+  req.mode = config_.mode;
+  req.viewport = viewport;
+  req.descriptor = proto::FeatureDescriptor::ForHash(
+      TaskKind::kPanorama, PanoramaIdentityDigest(video_id, frame_index));
+  send_(proto::EncodeMessage(MessageType::kPanoramaRequest, request_id, req));
+}
+
+void CoicClient::FinishWithError(std::uint64_t request_id) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  PendingRequest pending = std::move(it->second);
+  pending_.erase(it);
+  RequestOutcome outcome;
+  outcome.task = pending.task;
+  outcome.error = true;
+  outcome.latency = now_() - pending.started_at;
+  outcome.object_id = pending.object_id;
+  pending.done(std::move(outcome));
+}
+
+void CoicClient::OnEdgeFrame(ByteVec frame) {
+  auto env_or = proto::DecodeEnvelope(frame);
+  if (!env_or.ok()) {
+    COIC_LOG(kWarn) << "client: dropping undecodable frame";
+    return;
+  }
+  Envelope env = std::move(env_or).value();
+  const auto it = pending_.find(env.request_id);
+  if (it == pending_.end()) {
+    COIC_LOG(kWarn) << "client: reply for unknown request " << env.request_id;
+    return;
+  }
+
+  if (env.type == MessageType::kError) {
+    FinishWithError(env.request_id);
+    return;
+  }
+
+  PendingRequest pending = std::move(it->second);
+  pending_.erase(it);
+
+  RequestOutcome outcome;
+  outcome.task = pending.task;
+  outcome.object_id = pending.object_id;
+  outcome.client_compute = pending.client_compute;
+
+  switch (pending.task) {
+    case TaskKind::kRecognition: {
+      auto result = proto::DecodePayloadAs<proto::RecognitionResult>(
+          env, MessageType::kRecognitionResult);
+      if (!result.ok()) {
+        pending_.emplace(env.request_id, std::move(pending));
+        FinishWithError(env.request_id);
+        return;
+      }
+      outcome.source = result.value().source;
+      outcome.label = result.value().label;
+      outcome.correct = outcome.label == pending.expected_label;
+      outcome.result_bytes = result.value().annotation.size();
+      // The annotation is display-ready; no post-receive compute.
+      outcome.latency = now_() - pending.started_at;
+      pending.done(std::move(outcome));
+      return;
+    }
+
+    case TaskKind::kRender: {
+      auto result = proto::DecodePayloadAs<proto::RenderResult>(
+          env, MessageType::kRenderResult);
+      if (!result.ok()) {
+        pending_.emplace(env.request_id, std::move(pending));
+        FinishWithError(env.request_id);
+        return;
+      }
+      const Bytes size = result.value().model_bytes.size();
+      // Ingest is real: parse + buffer build, with calibrated wall time.
+      auto loaded = render::LoadModel(result.value().model_bytes);
+      const bool parse_ok = loaded.ok();
+      const Duration install = config_.costs.ClientModelInstall(size);
+      outcome.source = result.value().source;
+      outcome.result_bytes = size;
+      outcome.client_compute = pending.client_compute + install;
+      outcome.error = !parse_ok;
+      delay_(install, [this, outcome = std::move(outcome),
+                       started_at = pending.started_at,
+                       done = std::move(pending.done)]() mutable {
+        outcome.latency = now_() - started_at;
+        done(std::move(outcome));
+      });
+      return;
+    }
+
+    case TaskKind::kPanorama: {
+      auto result = proto::DecodePayloadAs<proto::PanoramaResult>(
+          env, MessageType::kPanoramaResult);
+      if (!result.ok()) {
+        pending_.emplace(env.request_id, std::move(pending));
+        FinishWithError(env.request_id);
+        return;
+      }
+      const Duration crop = config_.costs.panorama.client_crop;
+      outcome.source = result.value().source;
+      outcome.result_bytes = result.value().frame.size();
+      outcome.client_compute = pending.client_compute + crop;
+      delay_(crop, [this, outcome = std::move(outcome),
+                    started_at = pending.started_at,
+                    done = std::move(pending.done)]() mutable {
+        outcome.latency = now_() - started_at;
+        done(std::move(outcome));
+      });
+      return;
+    }
+  }
+}
+
+}  // namespace coic::core

@@ -1,0 +1,115 @@
+// CoicClient — the mobile-device actor.
+//
+// Owns the client half of the protocol for all three IC task families:
+//   recognition — run the DNN's lower layers (simulated cost), extract
+//     the feature-vector descriptor, send it (CoIC) or upload the full
+//     frame (Origin);
+//   rendering   — resolve the asset digest, request the model, then
+//     ingest the returned bytes into the renderer;
+//   panorama    — request the frame by identity digest, then crop the
+//     viewport locally.
+// Latency is measured from task start to result-ready-for-display,
+// exactly the user-perceived window the paper's figures report.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "core/cost_model.h"
+#include "core/services.h"
+#include "proto/envelope.h"
+#include "vision/features.h"
+#include "vision/image.h"
+
+namespace coic::core {
+
+/// Per-request QoE record; one row of the figures' underlying data.
+struct RequestOutcome {
+  proto::TaskKind task = proto::TaskKind::kRecognition;
+  proto::ResultSource source = proto::ResultSource::kCloud;
+  /// Start-to-display latency (the figures' y-axis).
+  Duration latency = Duration::Zero();
+  /// Client-side compute included in `latency` (extraction / ingest /
+  /// crop) — reported so benches can decompose the bar.
+  Duration client_compute = Duration::Zero();
+  /// Recognition: label returned; empty otherwise.
+  std::string label;
+  /// Recognition: whether the label matched the scene's ground truth.
+  bool correct = false;
+  /// Render: model id; panorama: video id.
+  std::uint64_t object_id = 0;
+  /// Result payload size (annotation / model / panorama bytes).
+  Bytes result_bytes = 0;
+  bool error = false;
+};
+
+class CoicClient {
+ public:
+  struct Config {
+    CostModel costs;
+    proto::OffloadMode mode = proto::OffloadMode::kCoic;
+    vision::FeatureExtractorConfig extractor;
+    std::uint32_t user_id = 1;
+    std::uint32_t app_id = 1;
+    /// First request id issued. Live deployments set a random base so
+    /// concurrent clients at one edge never collide; the simulator keeps
+    /// the default for reproducible ids.
+    std::uint64_t first_request_id = 1;
+  };
+
+  using SendToEdgeFn = std::function<void(ByteVec frame)>;
+  using CompletionFn = std::function<void(RequestOutcome)>;
+
+  CoicClient(Config config, SendToEdgeFn send, DelayFn delay, NowFn now);
+
+  /// Begins a recognition task on `scene`. `expected_label` is the
+  /// ground truth used to fill RequestOutcome::correct.
+  void StartRecognition(const vision::SceneParams& scene,
+                        std::string expected_label, CompletionFn done);
+
+  /// Begins a render/load task for the model owning `digest`.
+  void StartRender(std::uint64_t model_id, const Digest128& digest,
+                   CompletionFn done);
+
+  /// Begins a panorama-frame fetch.
+  void StartPanorama(std::uint64_t video_id, std::uint32_t frame_index,
+                     const proto::Viewport& viewport, CompletionFn done);
+
+  /// Frames arriving from the edge.
+  void OnEdgeFrame(ByteVec frame);
+
+  /// Identity digest for a panoramic frame, shared by client and tests.
+  static Digest128 PanoramaIdentityDigest(std::uint64_t video_id,
+                                          std::uint32_t frame_index);
+
+  [[nodiscard]] std::size_t inflight() const noexcept { return pending_.size(); }
+  [[nodiscard]] const vision::FeatureExtractor& extractor() const noexcept {
+    return extractor_;
+  }
+
+ private:
+  struct PendingRequest {
+    proto::TaskKind task;
+    SimTime started_at;
+    Duration client_compute;
+    std::string expected_label;
+    std::uint64_t object_id = 0;
+    CompletionFn done;
+  };
+
+  std::uint64_t NextRequestId() noexcept { return next_request_id_++; }
+  void FinishWithError(std::uint64_t request_id);
+
+  Config config_;
+  SendToEdgeFn send_;
+  DelayFn delay_;
+  NowFn now_;
+  vision::FeatureExtractor extractor_;
+  std::uint64_t next_request_id_;
+  std::unordered_map<std::uint64_t, PendingRequest> pending_;
+};
+
+}  // namespace coic::core

@@ -1,0 +1,92 @@
+// CoopPipeline — two edge venues cooperating over a LAN peer link.
+//
+// The paper's framing is explicitly cooperative: "improve QoE of
+// immersive computing by cooperatively sharing and utilizing
+// intermediate IC results among different applications/users." Within
+// one edge that sharing is the IC cache; across edges this pipeline adds
+// the peer-probe protocol (PeerLookupRequest/Reply): a venue that misses
+// locally asks its neighbor before paying the cloud WAN trip.
+//
+// Topology:
+//
+//   mobileA —wifi— edgeA —peer LAN— edgeB —wifi— mobileB
+//                    \                /
+//                     \—— WAN ——— cloud ——— WAN ——/
+#pragma once
+
+#include <deque>
+
+#include "core/client.h"
+#include "core/services.h"
+#include "netsim/network.h"
+
+namespace coic::core {
+
+struct CoopPipelineConfig {
+  /// Per-venue access + WAN bandwidths (both venues symmetric).
+  NetworkCondition network{Bandwidth::Mbps(100), Bandwidth::Mbps(10)};
+  /// The edge-to-edge LAN link.
+  Bandwidth peer_bandwidth = Bandwidth::Gbps(1);
+  Duration peer_propagation = Duration::Millis(1);
+  /// Disable to measure the non-cooperative baseline on an identical
+  /// topology (misses go straight to the cloud).
+  bool cooperative = true;
+  CostModel costs;
+  cache::IcCacheConfig cache;
+  vision::FeatureExtractorConfig extractor;
+  std::uint32_t recognition_classes = 20;
+  Duration mobile_edge_propagation = kMobileEdgePropagation;
+  Duration edge_cloud_propagation = kEdgeCloudPropagation;
+};
+
+/// A RequestOutcome tagged with the venue (0 or 1) that issued it.
+struct VenueOutcome {
+  int venue = 0;
+  RequestOutcome outcome;
+};
+
+class CoopPipeline {
+ public:
+  explicit CoopPipeline(CoopPipelineConfig config);
+
+  /// Registers a model with the shared cloud store; returns its digest.
+  Digest128 RegisterModel(std::uint64_t model_id, Bytes serialized_size);
+
+  void EnqueueRecognitionAt(int venue, const vision::SceneParams& scene);
+  void EnqueueRenderAt(int venue, std::uint64_t model_id);
+  void EnqueuePanoramaAt(int venue, std::uint64_t video_id,
+                         std::uint32_t frame_index);
+
+  /// Runs all queued operations sequentially; outcomes in issue order.
+  std::vector<VenueOutcome> Run();
+
+  [[nodiscard]] EdgeService& edge(int venue) {
+    COIC_CHECK(venue == 0 || venue == 1);
+    return *edges_[venue];
+  }
+  [[nodiscard]] CloudService& cloud() noexcept { return *cloud_; }
+  [[nodiscard]] netsim::EventScheduler& scheduler() noexcept { return sched_; }
+
+ private:
+  struct Op {
+    int venue;
+    std::function<void(CoicClient::CompletionFn)> start;
+  };
+
+  void IssueNext();
+
+  CoopPipelineConfig config_;
+  netsim::EventScheduler sched_;
+  netsim::Network net_;
+  netsim::NodeId mobiles_[2]{};
+  netsim::NodeId edge_nodes_[2]{};
+  netsim::NodeId cloud_node_ = 0;
+  std::unique_ptr<CloudService> cloud_;
+  std::unique_ptr<EdgeService> edges_[2];
+  std::unique_ptr<CoicClient> clients_[2];
+  std::unordered_map<std::uint64_t, Digest128> model_digests_;
+  std::deque<Op> ops_;
+  std::vector<VenueOutcome> outcomes_;
+};
+
+}  // namespace coic::core

@@ -1,0 +1,24 @@
+#include "core/cost_model.h"
+
+namespace coic::core {
+
+const std::vector<NetworkCondition>& Figure2aConditions() {
+  // (B_M->E, B_E->C) pairs exactly as labelled on Figure 2a's x-axis.
+  static const std::vector<NetworkCondition> kConditions = {
+      {Bandwidth::Mbps(90), Bandwidth::Mbps(9)},
+      {Bandwidth::Mbps(100), Bandwidth::Mbps(10)},
+      {Bandwidth::Mbps(200), Bandwidth::Mbps(20)},
+      {Bandwidth::Mbps(300), Bandwidth::Mbps(30)},
+      {Bandwidth::Mbps(400), Bandwidth::Mbps(40)},
+  };
+  return kConditions;
+}
+
+NetworkCondition Figure2bCondition() noexcept {
+  // The rendering experiment runs on the testbed's full-rate 802.11ac
+  // WiFi (the paper quotes "up to 400 Mbps available throughput") with a
+  // mid-range edge-to-cloud uplink.
+  return {Bandwidth::Mbps(400), Bandwidth::Mbps(30)};
+}
+
+}  // namespace coic::core

@@ -1,0 +1,112 @@
+// Calibrated compute/transfer cost model.
+//
+// The testbed quantities the paper holds fixed (Pixel SoC inference
+// speed, cloud GPU speed, frame/annotation sizes) are constants here,
+// chosen so the simulated Figure 2a/2b reproduce the paper's shape:
+//
+//  * Figure 2a — Origin at the most constrained network condition
+//    (B_M->E = 90 Mbps, B_E->C = 9 Mbps) lands near the figure's 2400 ms
+//    ceiling, and the cache-hit reduction peaks at ~52% (paper: 52.28%),
+//    shrinking as bandwidth grows (the paper reports the reduction "up
+//    to" that figure across conditions).
+//  * Figure 2b — Origin for the largest model (15053 KB) lands near the
+//    figure's 6000 ms ceiling and the cache-hit load-latency reduction
+//    approaches ~76% (paper: 75.86%) at the largest model.
+//
+// Every latency formula lives in the pipelines; this header is the only
+// place numbers come from, so re-calibration is one edit.
+#pragma once
+
+#include <vector>
+
+#include "common/time.h"
+#include "common/units.h"
+
+namespace coic::core {
+
+/// Object-recognition task constants (Figure 2a workload).
+struct RecognitionCosts {
+  /// Camera frame upload size in Origin mode (4K-class JPEG).
+  Bytes frame_bytes = 1'800'000;
+  /// The "high-quality 3D annotation" result blob.
+  Bytes annotation_bytes = 450'000;
+  /// Mobile-side DNN feature extraction (partial forward pass on a
+  /// 2018-class phone SoC). This is the price CoIC pays on every request
+  /// — and why the reduction tops out near 52% instead of 90%.
+  Duration mobile_extraction = Duration::Millis(1100);
+  /// Cloud-side full inference from the raw frame (GPU).
+  Duration cloud_full_inference = Duration::Millis(150);
+  /// Cloud-side inference resumed from the shipped descriptor (the
+  /// remaining upper layers only) on a cache miss.
+  Duration cloud_descriptor_inference = Duration::Millis(80);
+  /// Full on-device inference (Local baseline; the reason offloading
+  /// exists at all).
+  Duration local_full_inference = Duration::Millis(2800);
+};
+
+/// 3D-model rendering task constants (Figure 2b workload).
+struct RenderCosts {
+  /// Cloud-side model load (parse + prepare) per KB of asset.
+  Duration cloud_load_per_kb = Duration::Micros(40);
+  /// Client-side ingest (decode + GPU upload) per KB; paid in every mode
+  /// because the bytes must reach the phone's renderer regardless.
+  Duration client_install_per_kb = Duration::Micros(75);
+  /// Client-side request preparation (asset resolution + hashing).
+  Duration client_request_prep = Duration::Millis(25);
+  /// Draw call budget after load (not part of load latency, used by the
+  /// renderer example).
+  Duration draw_time = Duration::Millis(11);
+};
+
+/// Panoramic VR streaming constants (§1.2 third insight).
+struct PanoramaCosts {
+  /// Cloud-side panorama render/encode per frame.
+  Duration cloud_render = Duration::Millis(70);
+  /// Client-side viewport crop of a received panorama.
+  Duration client_crop = Duration::Millis(8);
+  /// Panoramic frame wire size (4K-class).
+  Bytes frame_bytes = 2'400'000;
+};
+
+/// Edge cache service costs.
+struct EdgeCosts {
+  Duration cache_lookup = Duration::Millis(2);
+  Duration cache_insert = Duration::Millis(1);
+};
+
+struct CostModel {
+  RecognitionCosts recognition;
+  RenderCosts render;
+  PanoramaCosts panorama;
+  EdgeCosts edge;
+
+  /// Cloud model-load time for an asset of `size` bytes.
+  [[nodiscard]] Duration CloudModelLoad(Bytes size) const noexcept {
+    return Duration::Micros(render.cloud_load_per_kb.micros() *
+                            static_cast<std::int64_t>(size / 1000));
+  }
+
+  /// Client ingest time for model bytes of `size`.
+  [[nodiscard]] Duration ClientModelInstall(Bytes size) const noexcept {
+    return Duration::Micros(render.client_install_per_kb.micros() *
+                            static_cast<std::int64_t>(size / 1000));
+  }
+};
+
+/// The five network conditions swept by Figure 2a, as (B_M->E, B_E->C)
+/// in Mbps, ordered as the figure's x-axis.
+struct NetworkCondition {
+  Bandwidth mobile_edge;
+  Bandwidth edge_cloud;
+};
+
+const std::vector<NetworkCondition>& Figure2aConditions();
+
+/// The fixed network condition used for the Figure 2b rendering sweep.
+NetworkCondition Figure2bCondition() noexcept;
+
+/// One-way propagation delays of the testbed topology.
+inline constexpr Duration kMobileEdgePropagation = Duration::Millis(2);
+inline constexpr Duration kEdgeCloudPropagation = Duration::Millis(20);
+
+}  // namespace coic::core

@@ -1,0 +1,66 @@
+#include "core/layered.h"
+
+namespace coic::core {
+
+LayeredRecognitionCache::LayeredRecognitionCache(LayeredCacheConfig config)
+    : config_(config) {
+  COIC_CHECK(config.layers >= 1);
+  COIC_CHECK_MSG(config.threshold_shallow >= config.threshold_deep,
+                 "shallow threshold must be the tolerant one");
+  extractors_.reserve(config.layers);
+  for (std::uint32_t layer = 0; layer < config.layers; ++layer) {
+    vision::FeatureExtractorConfig fc;
+    fc.grid = 8;
+    fc.output_dim = 48;
+    // Each layer projects through an independent basis — distinct
+    // feature subspaces, as distinct DNN stages would produce.
+    fc.seed = config.seed ^ (0x9E3779B97F4A7C15ULL * (layer + 1));
+    extractors_.emplace_back(fc);
+    indexes_.push_back(std::make_unique<cache::LinearIndex>());
+  }
+}
+
+double LayeredRecognitionCache::ThresholdFor(std::uint32_t layer) const noexcept {
+  if (config_.layers == 1) return config_.threshold_deep;
+  const double t = static_cast<double>(layer) /
+                   static_cast<double>(config_.layers - 1);
+  return config_.threshold_shallow +
+         (config_.threshold_deep - config_.threshold_shallow) * t;
+}
+
+LayeredOutcome LayeredRecognitionCache::Process(
+    const vision::SyntheticImage& image) {
+  // Extract all layer activations once.
+  std::vector<std::vector<float>> activations;
+  activations.reserve(config_.layers);
+  for (const auto& extractor : extractors_) {
+    activations.push_back(extractor.Extract(image));
+  }
+
+  LayeredOutcome outcome;
+  // Probe deepest-first: the deepest matching prefix saves the most.
+  for (std::uint32_t layer = config_.layers; layer-- > 0;) {
+    const auto neighbor = indexes_[layer]->Nearest(activations[layer]);
+    if (neighbor && neighbor->distance <= ThresholdFor(layer)) {
+      outcome.matched_depth = layer + 1;
+      break;
+    }
+  }
+  outcome.cloud_compute =
+      config_.cloud_cost_per_layer *
+      static_cast<std::int64_t>(config_.layers - outcome.matched_depth);
+
+  // Share this frame's activations with future requests.
+  for (std::uint32_t layer = 0; layer < config_.layers; ++layer) {
+    indexes_[layer]->Insert(next_id_, activations[layer]);
+    ++next_id_;
+  }
+  return outcome;
+}
+
+Duration LayeredRecognitionCache::CoarseEquivalentCost(
+    const LayeredOutcome& o) const noexcept {
+  return o.full_hit(config_.layers) ? Duration::Zero() : FullCost();
+}
+
+}  // namespace coic::core

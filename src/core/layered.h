@@ -1,0 +1,92 @@
+// Fine-grained (per-DNN-layer) result reuse — the paper's §4 roadmap.
+//
+// "Since the current CoIC can only identify coarse-grained IC tasks with
+//  simple cache management policy, we are exploring the improvement that
+//  can efficiently and accurately identify reusable IC workload in
+//  fine-grained (e.g., the result of a specific DNN layer)."
+//
+// Model: the recognition DNN is a stack of `layers` stages. Each stage's
+// activation gets its own descriptor (an independent projection of the
+// frame), and each layer has its own reuse threshold. Shallow layers
+// compute generic features that remain valid across substantial view
+// changes (loose threshold); the deeper the layer, the more view- and
+// pose-specific the activation a cached copy must replace, so the
+// threshold tightens with depth — the final layer's threshold is the
+// strict whole-result rule. A request probes from the deepest layer down
+// and reuses the deepest prefix whose activation matches within that
+// layer's threshold; the cloud recomputes only the remaining suffix.
+// Coarse CoIC is the special case "match at the final (strict) layer or
+// recompute everything".
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/similarity_index.h"
+#include "common/time.h"
+#include "vision/features.h"
+#include "vision/image.h"
+
+namespace coic::core {
+
+struct LayeredCacheConfig {
+  /// DNN depth in reusable stages.
+  std::uint32_t layers = 8;
+  /// Cloud compute per stage (uniform stage cost keeps the ablation
+  /// interpretable; total full inference = layers * per-layer).
+  Duration cloud_cost_per_layer = Duration::Millis(19);
+  /// Reuse threshold at layer 1 (shallow, generic features — tolerant).
+  double threshold_shallow = 0.45;
+  /// Reuse threshold at the final layer (whole-result reuse — strict).
+  double threshold_deep = 0.07;
+  /// Seed for the per-layer extractor banks.
+  std::uint64_t seed = 0x1A7E;
+};
+
+/// Result of pushing one frame through the layered cache.
+struct LayeredOutcome {
+  /// Deepest layer whose activation matched a cached one (0 = nothing
+  /// matched, layers = full-result hit).
+  std::uint32_t matched_depth = 0;
+  /// Cloud compute actually spent: (layers - matched_depth) stages.
+  Duration cloud_compute = Duration::Zero();
+  [[nodiscard]] bool full_hit(std::uint32_t layers) const noexcept {
+    return matched_depth == layers;
+  }
+};
+
+class LayeredRecognitionCache {
+ public:
+  explicit LayeredRecognitionCache(LayeredCacheConfig config = {});
+
+  /// Processes a frame: probes each layer deepest-first, then inserts
+  /// this frame's activations at every layer so later similar frames can
+  /// reuse them.
+  LayeredOutcome Process(const vision::SyntheticImage& image);
+
+  /// What coarse (whole-result-only) CoIC would have spent on the same
+  /// frame: zero on a full-depth match, full recompute otherwise.
+  [[nodiscard]] Duration CoarseEquivalentCost(const LayeredOutcome& o) const noexcept;
+
+  /// Full no-cache inference cost.
+  [[nodiscard]] Duration FullCost() const noexcept {
+    return config_.cloud_cost_per_layer *
+           static_cast<std::int64_t>(config_.layers);
+  }
+
+  [[nodiscard]] const LayeredCacheConfig& config() const noexcept { return config_; }
+
+  /// Reuse threshold for 0-based layer index.
+  [[nodiscard]] double ThresholdFor(std::uint32_t layer) const noexcept;
+
+ private:
+  LayeredCacheConfig config_;
+  /// One extractor per layer; deeper = coarser pooling grid.
+  std::vector<vision::FeatureExtractor> extractors_;
+  /// One similarity index per layer.
+  std::vector<std::unique_ptr<cache::LinearIndex>> indexes_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace coic::core

@@ -1,0 +1,52 @@
+#include "core/metrics.h"
+
+namespace coic::core {
+
+void QoeAggregator::Add(const RequestOutcome& outcome) {
+  ++count_;
+  if (outcome.error) {
+    ++errors_;
+    return;
+  }
+  latency_ms_.Add(outcome.latency.millis());
+  switch (outcome.source) {
+    case proto::ResultSource::kEdgeCache:
+      ++edge_hits_;
+      break;
+    case proto::ResultSource::kCloud:
+      ++cloud_served_;
+      break;
+    case proto::ResultSource::kLocal:
+      break;
+  }
+  if (outcome.task == proto::TaskKind::kRecognition) {
+    ++recognition_total_;
+    if (outcome.correct) ++recognition_correct_;
+  }
+}
+
+void QoeAggregator::AddAll(const std::vector<RequestOutcome>& outcomes) {
+  for (const auto& o : outcomes) Add(o);
+}
+
+double QoeAggregator::HitRate() const noexcept {
+  const auto served = edge_hits_ + cloud_served_;
+  return served == 0 ? 0
+                     : static_cast<double>(edge_hits_) /
+                           static_cast<double>(served);
+}
+
+double QoeAggregator::Accuracy() const noexcept {
+  return recognition_total_ == 0
+             ? 0
+             : static_cast<double>(recognition_correct_) /
+                   static_cast<double>(recognition_total_);
+}
+
+double QoeAggregator::ReductionPercentVs(const QoeAggregator& baseline) const {
+  const double base = baseline.MeanLatencyMs();
+  if (base <= 0) return 0;
+  return (1.0 - MeanLatencyMs() / base) * 100.0;
+}
+
+}  // namespace coic::core

@@ -1,0 +1,48 @@
+// QoE aggregation over RequestOutcome streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "core/client.h"
+
+namespace coic::core {
+
+/// Accumulates outcomes into the numbers the paper's figures report:
+/// mean/percentile latency, hit rate, and reduction vs a baseline.
+class QoeAggregator {
+ public:
+  void Add(const RequestOutcome& outcome);
+  void AddAll(const std::vector<RequestOutcome>& outcomes);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t errors() const noexcept { return errors_; }
+  [[nodiscard]] std::uint64_t edge_hits() const noexcept { return edge_hits_; }
+  [[nodiscard]] std::uint64_t cloud_served() const noexcept { return cloud_served_; }
+  [[nodiscard]] double HitRate() const noexcept;
+  /// Fraction of recognition outcomes whose label matched ground truth.
+  [[nodiscard]] double Accuracy() const noexcept;
+
+  [[nodiscard]] double MeanLatencyMs() const { return latency_ms_.mean(); }
+  [[nodiscard]] double PercentileLatencyMs(double q) const {
+    return latency_ms_.Percentile(q);
+  }
+  [[nodiscard]] const Sample& latencies_ms() const noexcept { return latency_ms_; }
+
+  /// Latency reduction of `this` relative to `baseline` mean latency,
+  /// in percent (the paper's "reduce up to 52.28%" metric).
+  [[nodiscard]] double ReductionPercentVs(const QoeAggregator& baseline) const;
+
+ private:
+  Sample latency_ms_;
+  std::uint64_t count_ = 0;
+  std::uint64_t errors_ = 0;
+  std::uint64_t edge_hits_ = 0;
+  std::uint64_t cloud_served_ = 0;
+  std::uint64_t recognition_total_ = 0;
+  std::uint64_t recognition_correct_ = 0;
+};
+
+}  // namespace coic::core

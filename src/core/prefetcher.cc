@@ -1,0 +1,71 @@
+#include "core/prefetcher.h"
+
+#include <cmath>
+
+namespace coic::core {
+
+PopularityTracker::PopularityTracker(Duration half_life) {
+  COIC_CHECK_MSG(half_life > Duration::Zero(), "half-life must be positive");
+  lambda_ = std::log(2.0) / static_cast<double>(half_life.micros());
+}
+
+double PopularityTracker::Decay(const DecayedCount& entry, SimTime now) const {
+  const auto elapsed = static_cast<double>((now - entry.updated_at).micros());
+  return elapsed <= 0 ? entry.score : entry.score * std::exp(-lambda_ * elapsed);
+}
+
+void PopularityTracker::Observe(std::uint64_t key, SimTime now) {
+  auto& entry = scores_[key];
+  entry.score = Decay(entry, now) + 1.0;
+  entry.updated_at = now;
+}
+
+double PopularityTracker::ScoreAt(std::uint64_t key, SimTime now) const {
+  const auto it = scores_.find(key);
+  return it == scores_.end() ? 0.0 : Decay(it->second, now);
+}
+
+std::vector<std::uint64_t> PopularityTracker::TopK(std::size_t k,
+                                                   SimTime now) const {
+  std::vector<std::pair<double, std::uint64_t>> ranked;
+  ranked.reserve(scores_.size());
+  for (const auto& [key, entry] : scores_) {
+    ranked.emplace_back(Decay(entry, now), key);
+  }
+  const std::size_t take = std::min(k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(take),
+                    ranked.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;  // deterministic tiebreak
+                    });
+  std::vector<std::uint64_t> out;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) out.push_back(ranked[i].second);
+  return out;
+}
+
+void PopularityTracker::Compact(SimTime now, double threshold) {
+  for (auto it = scores_.begin(); it != scores_.end();) {
+    if (Decay(it->second, now) < threshold) {
+      it = scores_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+std::size_t EdgePrefetcher::WarmUp(cache::IcCache& cache, std::size_t k,
+                                   SimTime now) {
+  std::size_t inserted = 0;
+  for (const std::uint64_t key : tracker_.TopK(k, now)) {
+    ++fetches_;
+    auto fetched = fetch_(key);
+    if (!fetched.ok()) continue;  // content no longer available
+    cache.Insert(fetched.value().descriptor, std::move(fetched.value().payload),
+                 now);
+    ++inserted;
+  }
+  return inserted;
+}
+
+}  // namespace coic::core

@@ -1,0 +1,87 @@
+// Popularity-driven edge prefetching.
+//
+// CoIC as published is purely reactive: the first user at a venue always
+// pays the cloud miss. The edge, however, observes every descriptor that
+// crosses it, so it can rank content by recent popularity and pull hot
+// results *before* the next request — converting first-user misses into
+// hits whenever popularity is stable (the stop-sign at the crossroads is
+// requested every minute). This module is that ranking plus the cache
+// warm-up hook; bench/tests quantify the first-request win.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/ic_cache.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace coic::core {
+
+/// Exponentially-decayed popularity counter over opaque content keys
+/// (model digests, panorama identities, descriptor sketch keys).
+class PopularityTracker {
+ public:
+  /// `half_life`: time for a count to decay to half its weight.
+  explicit PopularityTracker(Duration half_life = Duration::Seconds(60));
+
+  /// Records one request for `key` at time `now` (non-decreasing).
+  void Observe(std::uint64_t key, SimTime now);
+
+  /// Decayed popularity score of `key` at `now`.
+  [[nodiscard]] double ScoreAt(std::uint64_t key, SimTime now) const;
+
+  /// The `k` hottest keys at `now`, most popular first.
+  [[nodiscard]] std::vector<std::uint64_t> TopK(std::size_t k, SimTime now) const;
+
+  [[nodiscard]] std::size_t tracked_keys() const noexcept { return scores_.size(); }
+
+  /// Drops keys whose decayed score fell below `threshold` (compaction).
+  void Compact(SimTime now, double threshold = 0.01);
+
+ private:
+  struct DecayedCount {
+    double score = 0;
+    SimTime updated_at;
+  };
+  [[nodiscard]] double Decay(const DecayedCount& entry, SimTime now) const;
+
+  double lambda_;  ///< ln2 / half-life, per microsecond.
+  std::unordered_map<std::uint64_t, DecayedCount> scores_;
+};
+
+/// Warm-up helper: given a popularity ranking and a fetch function that
+/// produces the (descriptor, result payload) for a key, pushes the top-K
+/// into an IcCache. The fetch function abstracts where the bytes come
+/// from — the cloud registry in the benches, a peer edge in a deployment.
+class EdgePrefetcher {
+ public:
+  struct Fetched {
+    proto::FeatureDescriptor descriptor;
+    ByteVec payload;
+  };
+  /// Returns the cacheable result for `key`, or kNotFound.
+  using FetchFn = std::function<Result<Fetched>(std::uint64_t key)>;
+
+  EdgePrefetcher(PopularityTracker& tracker, FetchFn fetch)
+      : tracker_(tracker), fetch_(std::move(fetch)) {
+    COIC_CHECK(fetch_ != nullptr);
+  }
+
+  /// Prefetches up to `k` hottest keys into `cache`; returns how many
+  /// entries were actually inserted (keys already cached are counted —
+  /// insert is idempotent for exact keys).
+  std::size_t WarmUp(cache::IcCache& cache, std::size_t k, SimTime now);
+
+  [[nodiscard]] std::uint64_t fetches_issued() const noexcept { return fetches_; }
+
+ private:
+  PopularityTracker& tracker_;
+  FetchFn fetch_;
+  std::uint64_t fetches_ = 0;
+};
+
+}  // namespace coic::core

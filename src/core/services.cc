@@ -1,0 +1,511 @@
+#include "core/services.h"
+
+#include <utility>
+
+#include "common/log.h"
+#include "vision/image.h"
+
+namespace coic::core {
+
+using proto::Envelope;
+using proto::MessageType;
+using proto::OffloadMode;
+using proto::ResultSource;
+
+// ---------------------------------------------------------------------------
+// CloudService
+// ---------------------------------------------------------------------------
+
+CloudService::CloudService(Config config, SendFn send, DelayFn delay)
+    : config_(config), send_(std::move(send)), delay_(std::move(delay)),
+      extractor_(config.extractor) {
+  COIC_CHECK(config_.recognition_classes >= 1);
+  std::vector<vision::ObjectClass> classes;
+  classes.reserve(config_.recognition_classes);
+  for (std::uint32_t c = 0; c < config_.recognition_classes; ++c) {
+    // Scene ids 1..N; scene 0 is reserved as "never registered".
+    classes.push_back({c + 1, LabelForScene(c + 1)});
+  }
+  recognition_ =
+      std::make_unique<vision::RecognitionModel>(std::move(classes), extractor_);
+}
+
+std::string CloudService::LabelForScene(std::uint64_t scene_id) {
+  return "object_" + std::to_string(scene_id);
+}
+
+void CloudService::RegisterModel(std::uint64_t model_id, Bytes serialized_size) {
+  COIC_CHECK(models_.RegisterProcedural(model_id, serialized_size).ok());
+}
+
+void CloudService::Reply(MessageType type, std::uint64_t request_id,
+                         const ByteVec& payload) {
+  send_(Peer::kClient, proto::EncodeEnvelope(type, request_id, payload));
+}
+
+void CloudService::ReplyError(std::uint64_t request_id, StatusCode code,
+                              const std::string& message) {
+  proto::ErrorReply err;
+  err.code = static_cast<std::uint16_t>(code);
+  err.message = message;
+  send_(Peer::kClient,
+        proto::EncodeMessage(MessageType::kError, request_id, err));
+}
+
+void CloudService::OnFrame(ByteVec frame) {
+  auto env = proto::DecodeEnvelope(frame);
+  if (!env.ok()) {
+    COIC_LOG(kWarn) << "cloud: dropping undecodable frame: "
+                    << env.status().ToString();
+    return;
+  }
+  switch (env.value().type) {
+    case MessageType::kPing:
+      Reply(MessageType::kPong, env.value().request_id, {});
+      return;
+    case MessageType::kRecognitionRequest:
+      HandleRecognition(env.value());
+      return;
+    case MessageType::kRenderRequest:
+      HandleRender(env.value());
+      return;
+    case MessageType::kPanoramaRequest:
+      HandlePanorama(env.value());
+      return;
+    default:
+      ReplyError(env.value().request_id, StatusCode::kUnimplemented,
+                 "cloud does not handle this message type");
+  }
+}
+
+void CloudService::HandleRecognition(const Envelope& env) {
+  auto req = proto::DecodePayloadAs<proto::RecognitionRequest>(
+      env, MessageType::kRecognitionRequest);
+  if (!req.ok()) {
+    ReplyError(env.request_id, req.status().code(), req.status().message());
+    return;
+  }
+  const auto& request = req.value();
+  ++tasks_executed_;
+
+  vision::Recognition recognized;
+  Duration compute;
+  if (request.mode == OffloadMode::kOrigin) {
+    // Full task: decode the uploaded frame and run the complete DNN.
+    auto image = vision::SyntheticImage::DecodeWire(request.image);
+    if (!image.ok()) {
+      ReplyError(env.request_id, image.status().code(),
+                 image.status().message());
+      return;
+    }
+    recognized = recognition_->Classify(image.value());
+    compute = config_.costs.recognition.cloud_full_inference;
+  } else {
+    if (request.descriptor.kind() != proto::DescriptorKind::kFeatureVector) {
+      ReplyError(env.request_id, StatusCode::kInvalidArgument,
+                 "recognition requires a feature-vector descriptor");
+      return;
+    }
+    // Miss-forward: resume inference from the client's descriptor (the
+    // DNN's upper layers only).
+    recognized = recognition_->ClassifyDescriptor(request.descriptor.vector());
+    compute = config_.costs.recognition.cloud_descriptor_inference;
+  }
+
+  proto::RecognitionResult result;
+  result.frame_id = request.frame_id;
+  result.label = recognized.label;
+  result.confidence = recognized.confidence;
+  result.source = ResultSource::kCloud;
+  result.annotation = vision::RecognitionModel::MakeAnnotation(
+      recognized.label, config_.costs.recognition.annotation_bytes);
+
+  ByteWriter w;
+  result.Encode(w);
+  delay_(compute, [this, request_id = env.request_id,
+                   payload = w.TakeBytes()] {
+    Reply(MessageType::kRecognitionResult, request_id, payload);
+  });
+}
+
+void CloudService::HandleRender(const Envelope& env) {
+  auto req = proto::DecodePayloadAs<proto::RenderRequest>(
+      env, MessageType::kRenderRequest);
+  if (!req.ok()) {
+    ReplyError(env.request_id, req.status().code(), req.status().message());
+    return;
+  }
+  const auto& request = req.value();
+  ++tasks_executed_;
+
+  const auto model_id = models_.FindByDigest(request.descriptor.digest());
+  if (!model_id) {
+    ReplyError(env.request_id, StatusCode::kNotFound,
+               "no model with requested digest");
+    return;
+  }
+  const auto bytes = models_.BytesFor(*model_id);
+  COIC_CHECK(bytes.ok());
+
+  proto::RenderResult result;
+  result.model_id = *model_id;
+  result.source = ResultSource::kCloud;
+  result.model_bytes.assign(bytes.value().begin(), bytes.value().end());
+
+  ByteWriter w;
+  result.Encode(w);
+  const Duration load = config_.costs.CloudModelLoad(result.model_bytes.size());
+  delay_(load, [this, request_id = env.request_id, payload = w.TakeBytes()] {
+    Reply(MessageType::kRenderResult, request_id, payload);
+  });
+}
+
+void CloudService::HandlePanorama(const Envelope& env) {
+  auto req = proto::DecodePayloadAs<proto::PanoramaRequest>(
+      env, MessageType::kPanoramaRequest);
+  if (!req.ok()) {
+    ReplyError(env.request_id, req.status().code(), req.status().message());
+    return;
+  }
+  const auto& request = req.value();
+  ++tasks_executed_;
+
+  const render::Panorama pano =
+      render::Panorama::Generate(request.video_id, request.frame_index);
+  proto::PanoramaResult result;
+  result.video_id = request.video_id;
+  result.frame_index = request.frame_index;
+  result.source = ResultSource::kCloud;
+  result.width = pano.width();
+  result.height = pano.height();
+  result.frame = pano.Encode();
+  // Pad the encoded raster to the production 4K wire size so transfer
+  // costs match the paper's regime.
+  const Bytes target = config_.costs.panorama.frame_bytes;
+  if (result.frame.size() < target) {
+    const ByteVec pad = DeterministicBytes(
+        target - result.frame.size(),
+        request.video_id * 31 + request.frame_index);
+    result.frame.insert(result.frame.end(), pad.begin(), pad.end());
+  }
+
+  ByteWriter w;
+  result.Encode(w);
+  delay_(config_.costs.panorama.cloud_render,
+         [this, request_id = env.request_id, payload = w.TakeBytes()] {
+           Reply(MessageType::kPanoramaResult, request_id, payload);
+         });
+}
+
+// ---------------------------------------------------------------------------
+// EdgeService
+// ---------------------------------------------------------------------------
+
+EdgeService::EdgeService(Config config, SendFn send, DelayFn delay, NowFn now)
+    : config_(config), send_(std::move(send)), delay_(std::move(delay)),
+      now_(std::move(now)), cache_(config.cache) {}
+
+void EdgeService::ForwardToCloud(const Envelope& env, PendingForward pending) {
+  COIC_CHECK_MSG(pending_.count(env.request_id) == 0,
+                 "duplicate in-flight request id at edge");
+  pending_.emplace(env.request_id, std::move(pending));
+  ++forwards_;
+  send_(Peer::kCloud,
+        proto::EncodeEnvelope(env.type, env.request_id, env.payload));
+}
+
+ByteVec EdgeService::PatchResultSource(proto::MessageType type,
+                                       std::span<const std::uint8_t> payload,
+                                       ResultSource source) {
+  ByteReader r(payload);
+  ByteWriter w;
+  switch (type) {
+    case MessageType::kRecognitionResult: {
+      auto cached = proto::RecognitionResult::Decode(r);
+      COIC_CHECK_MSG(cached.ok(), "corrupt cached recognition result");
+      auto result = std::move(cached).value();
+      result.source = source;
+      result.Encode(w);
+      break;
+    }
+    case MessageType::kRenderResult: {
+      auto cached = proto::RenderResult::Decode(r);
+      COIC_CHECK_MSG(cached.ok(), "corrupt cached render result");
+      auto result = std::move(cached).value();
+      result.source = source;
+      result.Encode(w);
+      break;
+    }
+    case MessageType::kPanoramaResult: {
+      auto cached = proto::PanoramaResult::Decode(r);
+      COIC_CHECK_MSG(cached.ok(), "corrupt cached panorama result");
+      auto result = std::move(cached).value();
+      result.source = source;
+      result.Encode(w);
+      break;
+    }
+    default:
+      COIC_CHECK_MSG(false, "unsupported cached reply type");
+  }
+  return w.TakeBytes();
+}
+
+bool EdgeService::TryServeFromCache(const proto::FeatureDescriptor& key,
+                                    proto::MessageType reply_type,
+                                    std::uint64_t request_id) {
+  const auto outcome = cache_.Lookup(key, now_());
+  if (!outcome.hit) return false;
+  // Patch the cached result so the client sees the true source (edge,
+  // not cloud).
+  send_(Peer::kClient,
+        proto::EncodeEnvelope(
+            reply_type, request_id,
+            PatchResultSource(reply_type, *outcome.payload,
+                              ResultSource::kEdgeCache)));
+  return true;
+}
+
+void EdgeService::OnLocalMiss(proto::Envelope env,
+                              proto::FeatureDescriptor descriptor,
+                              proto::MessageType reply_type) {
+  if (!config_.cooperative) {
+    ForwardToCloud(env, {env.type, OffloadMode::kCoic, std::move(descriptor),
+                         {}, /*at_peer=*/false});
+    return;
+  }
+  // Cooperative path: park the request and probe the peer edge first.
+  proto::PeerLookupRequest query;
+  query.descriptor = descriptor;
+  query.reply_type = reply_type;
+  PendingForward pending{env.type, OffloadMode::kCoic, std::move(descriptor),
+                         env, /*at_peer=*/true};
+  COIC_CHECK_MSG(pending_.count(env.request_id) == 0,
+                 "duplicate in-flight request id at edge");
+  pending_.emplace(env.request_id, std::move(pending));
+  send_(Peer::kPeerEdge,
+        proto::EncodeMessage(MessageType::kPeerLookupRequest, env.request_id,
+                             query));
+}
+
+void EdgeService::HandlePeerLookupRequest(const proto::Envelope& env) {
+  auto req = proto::DecodePayloadAs<proto::PeerLookupRequest>(
+      env, MessageType::kPeerLookupRequest);
+  if (!req.ok()) {
+    COIC_LOG(kWarn) << "edge: bad peer lookup request";
+    return;
+  }
+  ++peer_queries_served_;
+  auto descriptor = req.value().descriptor;
+  auto reply_type = req.value().reply_type;
+  delay_(config_.costs.edge.cache_lookup,
+         [this, request_id = env.request_id, descriptor = std::move(descriptor),
+          reply_type] {
+           proto::PeerLookupReply reply;
+           reply.reply_type = reply_type;
+           const auto outcome = cache_.Lookup(descriptor, now_());
+           if (outcome.hit) {
+             reply.found = true;
+             reply.payload = *outcome.payload;
+           }
+           send_(Peer::kPeerEdge,
+                 proto::EncodeMessage(MessageType::kPeerLookupReply,
+                                      request_id, reply));
+         });
+}
+
+void EdgeService::HandlePeerLookupReply(const proto::Envelope& env) {
+  auto reply = proto::DecodePayloadAs<proto::PeerLookupReply>(
+      env, MessageType::kPeerLookupReply);
+  if (!reply.ok()) {
+    COIC_LOG(kWarn) << "edge: bad peer lookup reply";
+    return;
+  }
+  const auto it = pending_.find(env.request_id);
+  if (it == pending_.end() || !it->second.at_peer) {
+    COIC_LOG(kWarn) << "edge: unexpected peer reply " << env.request_id;
+    return;
+  }
+  PendingForward pending = std::move(it->second);
+  pending_.erase(it);
+
+  if (!reply.value().found) {
+    // Peer miss: fall through to the cloud with the original request.
+    // (The envelope is pulled out first: passing `pending.original` and
+    // `std::move(pending)` in one call would read a moved-from field
+    // under GCC's right-to-left argument evaluation.)
+    const Envelope original = std::move(pending.original);
+    pending.at_peer = false;
+    ForwardToCloud(original, std::move(pending));
+    return;
+  }
+
+  // Peer hit: adopt the result into the local cache, then serve the
+  // client marked as a peer-edge result.
+  ++peer_hits_;
+  auto result = std::move(reply).value();
+  delay_(config_.costs.edge.cache_insert,
+         [this, request_id = env.request_id,
+          key = std::move(*pending.insert_key),
+          result = std::move(result)] {
+           cache_.Insert(key, result.payload, now_());
+           send_(Peer::kClient,
+                 proto::EncodeEnvelope(
+                     result.reply_type, request_id,
+                     PatchResultSource(result.reply_type, result.payload,
+                                       ResultSource::kPeerEdge)));
+         });
+}
+
+void EdgeService::OnPeerFrame(ByteVec frame) {
+  auto env_or = proto::DecodeEnvelope(frame);
+  if (!env_or.ok()) {
+    COIC_LOG(kWarn) << "edge: dropping undecodable peer frame";
+    return;
+  }
+  const Envelope env = std::move(env_or).value();
+  switch (env.type) {
+    case MessageType::kPeerLookupRequest:
+      HandlePeerLookupRequest(env);
+      return;
+    case MessageType::kPeerLookupReply:
+      HandlePeerLookupReply(env);
+      return;
+    default:
+      COIC_LOG(kWarn) << "edge: unexpected peer message type";
+  }
+}
+
+void EdgeService::OnClientFrame(ByteVec frame) {
+  auto env_or = proto::DecodeEnvelope(frame);
+  if (!env_or.ok()) {
+    COIC_LOG(kWarn) << "edge: dropping undecodable client frame: "
+                    << env_or.status().ToString();
+    return;
+  }
+  Envelope env = std::move(env_or).value();
+
+  switch (env.type) {
+    case MessageType::kPing:
+      send_(Peer::kClient,
+            proto::EncodeEnvelope(MessageType::kPong, env.request_id, {}));
+      return;
+
+    case MessageType::kCacheStatsRequest: {
+      proto::CacheStatsReply reply;
+      const auto& s = cache_.stats();
+      reply.hits = s.hits;
+      reply.misses = s.misses;
+      reply.insertions = s.insertions;
+      reply.evictions = s.evictions;
+      reply.bytes_used = cache_.bytes_used();
+      reply.bytes_capacity = cache_.config().capacity_bytes;
+      send_(Peer::kClient, proto::EncodeMessage(MessageType::kCacheStatsReply,
+                                                env.request_id, reply));
+      return;
+    }
+
+    case MessageType::kRecognitionRequest: {
+      auto req = proto::DecodePayloadAs<proto::RecognitionRequest>(
+          env, MessageType::kRecognitionRequest);
+      if (!req.ok()) return;
+      if (req.value().mode == OffloadMode::kOrigin) {
+        // Baseline: pure relay, no cache involvement.
+        ForwardToCloud(env, {env.type, OffloadMode::kOrigin, std::nullopt});
+        return;
+      }
+      auto descriptor = req.value().descriptor;
+      delay_(config_.costs.edge.cache_lookup,
+             [this, env = std::move(env), descriptor = std::move(descriptor)] {
+               if (!TryServeFromCache(descriptor,
+                                      MessageType::kRecognitionResult,
+                                      env.request_id)) {
+                 OnLocalMiss(std::move(env), std::move(descriptor),
+                             MessageType::kRecognitionResult);
+               }
+             });
+      return;
+    }
+
+    case MessageType::kRenderRequest: {
+      auto req = proto::DecodePayloadAs<proto::RenderRequest>(
+          env, MessageType::kRenderRequest);
+      if (!req.ok()) return;
+      if (req.value().mode == OffloadMode::kOrigin) {
+        ForwardToCloud(env, {env.type, OffloadMode::kOrigin, std::nullopt});
+        return;
+      }
+      auto descriptor = req.value().descriptor;
+      delay_(config_.costs.edge.cache_lookup,
+             [this, env = std::move(env), descriptor = std::move(descriptor)] {
+               if (!TryServeFromCache(descriptor, MessageType::kRenderResult,
+                                      env.request_id)) {
+                 OnLocalMiss(std::move(env), std::move(descriptor),
+                             MessageType::kRenderResult);
+               }
+             });
+      return;
+    }
+
+    case MessageType::kPanoramaRequest: {
+      auto req = proto::DecodePayloadAs<proto::PanoramaRequest>(
+          env, MessageType::kPanoramaRequest);
+      if (!req.ok()) return;
+      if (req.value().mode == OffloadMode::kOrigin) {
+        ForwardToCloud(env, {env.type, OffloadMode::kOrigin, std::nullopt});
+        return;
+      }
+      auto descriptor = req.value().descriptor;
+      delay_(config_.costs.edge.cache_lookup,
+             [this, env = std::move(env), descriptor = std::move(descriptor)] {
+               if (!TryServeFromCache(descriptor, MessageType::kPanoramaResult,
+                                      env.request_id)) {
+                 OnLocalMiss(std::move(env), std::move(descriptor),
+                             MessageType::kPanoramaResult);
+               }
+             });
+      return;
+    }
+
+    default:
+      COIC_LOG(kWarn) << "edge: unexpected client message type";
+  }
+}
+
+void EdgeService::OnCloudFrame(ByteVec frame) {
+  auto env_or = proto::DecodeEnvelope(frame);
+  if (!env_or.ok()) {
+    COIC_LOG(kWarn) << "edge: dropping undecodable cloud frame: "
+                    << env_or.status().ToString();
+    return;
+  }
+  Envelope env = std::move(env_or).value();
+
+  const auto it = pending_.find(env.request_id);
+  if (it == pending_.end()) {
+    COIC_LOG(kWarn) << "edge: cloud reply for unknown request "
+                    << env.request_id;
+    return;
+  }
+  PendingForward pending = std::move(it->second);
+  pending_.erase(it);
+
+  const bool cacheable = pending.mode == OffloadMode::kCoic &&
+                         pending.insert_key.has_value() &&
+                         env.type != MessageType::kError;
+  if (!cacheable) {
+    send_(Peer::kClient,
+          proto::EncodeEnvelope(env.type, env.request_id, env.payload));
+    return;
+  }
+
+  // Figure 1: "the edge forwards the request to the cloud and inserts
+  // the result to the edge cache" — insert, then relay to the client.
+  delay_(config_.costs.edge.cache_insert,
+         [this, env = std::move(env), key = std::move(*pending.insert_key)] {
+           cache_.Insert(key, env.payload, now_());
+           send_(Peer::kClient,
+                 proto::EncodeEnvelope(env.type, env.request_id, env.payload));
+         });
+}
+
+}  // namespace coic::core

@@ -1,0 +1,181 @@
+// EdgeService and CloudService — the two server-side actors of Figure 1.
+//
+// Both are transport-agnostic message processors: they consume decoded
+// envelopes and emit reply envelopes through a SendFn, with compute
+// latency injected through a DelayFn. The simulator binds SendFn to
+// netsim::Network and DelayFn to the event scheduler; the real TCP
+// transport binds SendFn to a socket write and DelayFn to an immediate
+// call (host compute is real there). One implementation, two substrates.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "cache/ic_cache.h"
+#include "common/time.h"
+#include "core/cost_model.h"
+#include "proto/envelope.h"
+#include "render/panorama.h"
+#include "render/registry.h"
+#include "vision/recognition.h"
+
+namespace coic::core {
+
+/// Emits an encoded envelope toward a peer. `Peer` distinguishes the
+/// directions an edge can talk (client side, cloud side, and — when
+/// cooperation is enabled — a neighboring edge).
+enum class Peer : std::uint8_t { kClient = 0, kCloud = 1, kPeerEdge = 2 };
+using SendFn = std::function<void(Peer to, ByteVec frame)>;
+
+/// Runs `fn` after simulated `delay` (scheduler-bound in the simulator,
+/// immediate in the real transport).
+using DelayFn = std::function<void(Duration delay, std::function<void()> fn)>;
+
+/// Current simulated time (for cache TTL bookkeeping).
+using NowFn = std::function<SimTime()>;
+
+// ---------------------------------------------------------------------------
+// CloudService
+// ---------------------------------------------------------------------------
+
+/// The cloud computing platform: executes complete IC tasks. Owns the
+/// recognition DNN stand-in and the model/panorama stores.
+class CloudService {
+ public:
+  struct Config {
+    CostModel costs;
+    std::uint32_t recognition_classes = 20;
+    vision::FeatureExtractorConfig extractor;
+  };
+
+  CloudService(Config config, SendFn send, DelayFn delay);
+
+  /// Registers a 3D model of exactly `serialized_size` bytes.
+  void RegisterModel(std::uint64_t model_id, Bytes serialized_size);
+
+  /// Entry point for frames arriving from the edge.
+  void OnFrame(ByteVec frame);
+
+  [[nodiscard]] const vision::RecognitionModel& recognition_model() const {
+    return *recognition_;
+  }
+  [[nodiscard]] const render::ModelRegistry& model_registry() const {
+    return models_;
+  }
+  [[nodiscard]] const vision::FeatureExtractor& extractor() const {
+    return extractor_;
+  }
+  [[nodiscard]] std::uint64_t tasks_executed() const noexcept {
+    return tasks_executed_;
+  }
+
+  /// Canonical label for a synthetic scene — what recognition should
+  /// return when it gets the right answer.
+  static std::string LabelForScene(std::uint64_t scene_id);
+
+ private:
+  void HandleRecognition(const proto::Envelope& env);
+  void HandleRender(const proto::Envelope& env);
+  void HandlePanorama(const proto::Envelope& env);
+  void Reply(proto::MessageType type, std::uint64_t request_id,
+             const ByteVec& payload);
+  void ReplyError(std::uint64_t request_id, StatusCode code,
+                  const std::string& message);
+
+  Config config_;
+  SendFn send_;
+  DelayFn delay_;
+  vision::FeatureExtractor extractor_;
+  std::unique_ptr<vision::RecognitionModel> recognition_;
+  render::ModelRegistry models_;
+  std::uint64_t tasks_executed_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// EdgeService
+// ---------------------------------------------------------------------------
+
+/// The mobile-edge node: terminates client requests, owns the IC cache,
+/// and forwards misses to the cloud (Figure 1's lookup/forward/insert
+/// state machine). Origin-mode requests pass through untouched — the
+/// baseline shares the topology but never consults the cache.
+class EdgeService {
+ public:
+  struct Config {
+    CostModel costs;
+    cache::IcCacheConfig cache;
+    /// When true, a local miss probes the peer edge's cache (one LAN
+    /// round trip) before paying the cloud WAN round trip. The SendFn
+    /// must route Peer::kPeerEdge somewhere for this to function.
+    bool cooperative = false;
+  };
+
+  EdgeService(Config config, SendFn send, DelayFn delay, NowFn now);
+
+  /// Frames arriving from the mobile client.
+  void OnClientFrame(ByteVec frame);
+
+  /// Frames arriving back from the cloud.
+  void OnCloudFrame(ByteVec frame);
+
+  /// Frames arriving from the cooperating peer edge (lookup requests we
+  /// answer, and replies to lookups we issued).
+  void OnPeerFrame(ByteVec frame);
+
+  [[nodiscard]] const cache::IcCache& cache() const noexcept { return cache_; }
+  [[nodiscard]] cache::IcCache& mutable_cache() noexcept { return cache_; }
+
+  /// Number of requests forwarded to the cloud.
+  [[nodiscard]] std::uint64_t forwards() const noexcept { return forwards_; }
+  /// Number of misses answered by the peer edge.
+  [[nodiscard]] std::uint64_t peer_hits() const noexcept { return peer_hits_; }
+  /// Peer lookup queries answered for the neighbor.
+  [[nodiscard]] std::uint64_t peer_queries_served() const noexcept {
+    return peer_queries_served_;
+  }
+
+ private:
+  struct PendingForward {
+    proto::MessageType request_type;
+    proto::OffloadMode mode;
+    /// Cache key to insert the result under (CoIC mode only).
+    std::optional<proto::FeatureDescriptor> insert_key;
+    /// Original client envelope, kept while the request is parked at the
+    /// peer so a peer miss can still fall through to the cloud.
+    proto::Envelope original;
+    bool at_peer = false;
+  };
+
+  /// Runs the Figure 1 lookup for a CoIC request; returns true and sends
+  /// the reply if it hit.
+  bool TryServeFromCache(const proto::FeatureDescriptor& key,
+                         proto::MessageType reply_type,
+                         std::uint64_t request_id);
+  /// Handles the local-miss path: peer probe if cooperative, else cloud.
+  void OnLocalMiss(proto::Envelope env, proto::FeatureDescriptor descriptor,
+                   proto::MessageType reply_type);
+  void ForwardToCloud(const proto::Envelope& env, PendingForward pending);
+  void HandlePeerLookupRequest(const proto::Envelope& env);
+  void HandlePeerLookupReply(const proto::Envelope& env);
+
+  /// Decodes a cached result payload of `type`, stamps `source`, and
+  /// re-encodes it.
+  static ByteVec PatchResultSource(proto::MessageType type,
+                                   std::span<const std::uint8_t> payload,
+                                   proto::ResultSource source);
+
+  Config config_;
+  SendFn send_;
+  DelayFn delay_;
+  NowFn now_;
+  cache::IcCache cache_;
+  std::unordered_map<std::uint64_t, PendingForward> pending_;
+  std::uint64_t forwards_ = 0;
+  std::uint64_t peer_hits_ = 0;
+  std::uint64_t peer_queries_served_ = 0;
+};
+
+}  // namespace coic::core

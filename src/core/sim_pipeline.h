@@ -1,0 +1,82 @@
+// SimPipeline — the whole testbed in one object.
+//
+// Wires a CoicClient, EdgeService and CloudService onto a three-node
+// netsim topology (mobile —WiFi— edge —WAN— cloud) with the bandwidths
+// of one network condition, then replays a queue of IC operations
+// sequentially (one outstanding request at a time — the latency-study
+// regime of Figures 2a/2b) and returns per-request outcomes.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "cache/ic_cache.h"
+#include "core/client.h"
+#include "core/cost_model.h"
+#include "core/services.h"
+#include "netsim/network.h"
+#include "netsim/scheduler.h"
+
+namespace coic::core {
+
+struct PipelineConfig {
+  NetworkCondition network{Bandwidth::Mbps(400), Bandwidth::Mbps(40)};
+  proto::OffloadMode mode = proto::OffloadMode::kCoic;
+  CostModel costs;
+  cache::IcCacheConfig cache;
+  vision::FeatureExtractorConfig extractor;
+  std::uint32_t recognition_classes = 20;
+  Duration mobile_edge_propagation = kMobileEdgePropagation;
+  Duration edge_cloud_propagation = kEdgeCloudPropagation;
+};
+
+class SimPipeline {
+ public:
+  explicit SimPipeline(PipelineConfig config);
+
+  /// Registers a model with the cloud store (needed before EnqueueRender
+  /// for that id). Returns its content digest — the cache key.
+  Digest128 RegisterModel(std::uint64_t model_id, Bytes serialized_size);
+
+  /// Queues operations; they run back-to-back when Run() is called.
+  void EnqueueRecognition(const vision::SceneParams& scene);
+  void EnqueueRender(std::uint64_t model_id);
+  void EnqueuePanorama(std::uint64_t video_id, std::uint32_t frame_index,
+                       const proto::Viewport& viewport = {});
+
+  /// Runs all queued operations to completion; outcomes are returned in
+  /// issue order. Callable repeatedly (cache state persists across
+  /// calls, which is how warm-cache series are measured).
+  std::vector<RequestOutcome> Run();
+
+  [[nodiscard]] const cache::IcCacheStats& edge_cache_stats() const {
+    return edge_->cache().stats();
+  }
+  [[nodiscard]] EdgeService& edge() noexcept { return *edge_; }
+  [[nodiscard]] CloudService& cloud() noexcept { return *cloud_; }
+  [[nodiscard]] CoicClient& client() noexcept { return *client_; }
+  [[nodiscard]] netsim::EventScheduler& scheduler() noexcept { return sched_; }
+  [[nodiscard]] netsim::Network& network() noexcept { return net_; }
+  [[nodiscard]] const PipelineConfig& config() const noexcept { return config_; }
+
+ private:
+  using Op = std::function<void(CoicClient::CompletionFn)>;
+
+  void IssueNext();
+
+  PipelineConfig config_;
+  netsim::EventScheduler sched_;
+  netsim::Network net_;
+  netsim::NodeId mobile_ = 0;
+  netsim::NodeId edge_node_ = 0;
+  netsim::NodeId cloud_node_ = 0;
+  std::unique_ptr<CloudService> cloud_;
+  std::unique_ptr<EdgeService> edge_;
+  std::unique_ptr<CoicClient> client_;
+  std::unordered_map<std::uint64_t, Digest128> model_digests_;
+  std::deque<Op> ops_;
+  std::vector<RequestOutcome> outcomes_;
+};
+
+}  // namespace coic::core

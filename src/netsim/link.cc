@@ -1,0 +1,72 @@
+#include "netsim/link.h"
+
+#include <utility>
+
+namespace coic::netsim {
+
+Link::Link(EventScheduler& sched, std::string name, LinkConfig config)
+    : sched_(sched), name_(std::move(name)), config_(config), rng_(config.seed) {
+  COIC_CHECK_MSG(config.bandwidth.bps() > 0, "link bandwidth must be positive");
+  COIC_CHECK_MSG(config.loss_rate >= 0 && config.loss_rate < 1,
+                 "loss rate must be in [0, 1)");
+}
+
+void Link::Send(ByteVec payload, DeliverFn on_delivered, DropFn on_dropped) {
+  COIC_CHECK(on_delivered != nullptr);
+  const Bytes size = payload.size();
+
+  if (config_.queue_capacity != 0 &&
+      backlog_bytes_ + size > config_.queue_capacity) {
+    ++stats_.frames_dropped_queue;
+    if (on_dropped) on_dropped(DropReason::kQueueOverflow, std::move(payload));
+    return;
+  }
+
+  const SimTime now = sched_.now();
+  const SimTime start = std::max(now, busy_until_);
+  const Duration tx = config_.bandwidth.TransmitTime(size);
+  busy_until_ = start + tx;
+  backlog_bytes_ += size;
+  ++stats_.frames_sent;
+  stats_.busy_time += tx;
+
+  const bool lost = config_.loss_rate > 0 && rng_.NextBool(config_.loss_rate);
+  Duration extra = config_.propagation;
+  if (config_.jitter > Duration::Zero()) {
+    extra += Duration::Micros(static_cast<std::int64_t>(
+        rng_.NextDouble() * static_cast<double>(config_.jitter.micros())));
+  }
+  const SimTime serialized_at = busy_until_;
+  const SimTime deliver_at = serialized_at + extra;
+
+  // Event 1: serialization complete — frees queue space.
+  sched_.ScheduleAt(serialized_at, [this, size] {
+    COIC_CHECK(backlog_bytes_ >= size);
+    backlog_bytes_ -= size;
+  });
+
+  // Event 2: delivery (or loss) after propagation.
+  auto deliver = [this, size, lost, payload = std::move(payload),
+                  on_delivered = std::move(on_delivered),
+                  on_dropped = std::move(on_dropped)]() mutable {
+    if (lost) {
+      ++stats_.frames_dropped_loss;
+      if (on_dropped) on_dropped(DropReason::kRandomLoss, std::move(payload));
+      return;
+    }
+    ++stats_.frames_delivered;
+    stats_.bytes_delivered += size;
+    on_delivered(std::move(payload));
+  };
+  sched_.ScheduleAt(deliver_at, std::move(deliver));
+}
+
+double Link::Utilization() const noexcept {
+  const std::int64_t elapsed = sched_.now().micros();
+  if (elapsed <= 0) return 0;
+  const double busy = static_cast<double>(stats_.busy_time.micros());
+  const double util = busy / static_cast<double>(elapsed);
+  return util > 1.0 ? 1.0 : util;
+}
+
+}  // namespace coic::netsim

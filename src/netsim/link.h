@@ -1,0 +1,101 @@
+// Point-to-point link model.
+//
+// A Link is a unidirectional pipe with the classic store-and-forward
+// delay decomposition the paper's testbed exhibits physically:
+//
+//   delivery = serialization (bytes*8/bandwidth, FIFO behind earlier
+//              frames) + propagation + (optional) jitter
+//
+// plus a byte-capacity drop-tail queue and Bernoulli loss, which is what
+// `tc netem`/`tbf` impose in the paper's experiment ("We use tc to tune
+// the network condition to simulate real wireless/mobile network").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+#include "netsim/scheduler.h"
+
+namespace coic::netsim {
+
+/// Why a frame failed to deliver.
+enum class DropReason : std::uint8_t {
+  kQueueOverflow = 0,  ///< Drop-tail: queue byte capacity exceeded.
+  kRandomLoss = 1,     ///< Bernoulli wire loss.
+};
+
+struct LinkConfig {
+  Bandwidth bandwidth = Bandwidth::Mbps(100);
+  Duration propagation = Duration::Millis(2);
+  /// Byte capacity of the drop-tail queue of frames that have not yet
+  /// begun serialization. 0 means unlimited (the Figure 2a/2b latency
+  /// experiments use unlimited queues, as the testbed's buffers never
+  /// overflowed at one-request-at-a-time load).
+  Bytes queue_capacity = 0;
+  /// Bernoulli per-frame loss probability in [0, 1).
+  double loss_rate = 0;
+  /// Uniform extra delay in [0, jitter] added to propagation.
+  Duration jitter = Duration::Zero();
+  /// Seed for loss/jitter draws (loss and jitter are deterministic given
+  /// the seed and send sequence).
+  std::uint64_t seed = 0x51CA9E;
+};
+
+/// Aggregate link counters (exact, not sampled).
+struct LinkStats {
+  std::uint64_t frames_sent = 0;      ///< Accepted for transmission.
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t frames_dropped_queue = 0;
+  std::uint64_t frames_dropped_loss = 0;
+  Bytes bytes_delivered = 0;
+  Duration busy_time = Duration::Zero();  ///< Total serialization time.
+};
+
+class Link {
+ public:
+  using DeliverFn = std::function<void(ByteVec payload)>;
+  using DropFn = std::function<void(DropReason, ByteVec payload)>;
+
+  Link(EventScheduler& sched, std::string name, LinkConfig config);
+
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Queues `payload` for transmission. `on_delivered` runs at delivery
+  /// time with the payload moved in; `on_dropped` (optional) runs
+  /// immediately on queue overflow or at would-be delivery time on loss.
+  void Send(ByteVec payload, DeliverFn on_delivered, DropFn on_dropped = nullptr);
+
+  /// Reconfigures bandwidth/propagation on the fly (the `tc` analogue —
+  /// the bench sweeps call this between conditions). In-flight frames
+  /// keep the schedule they were assigned at send time.
+  void SetBandwidth(Bandwidth bw) noexcept { config_.bandwidth = bw; }
+  void SetPropagation(Duration d) noexcept { config_.propagation = d; }
+  void SetLossRate(double p) noexcept { config_.loss_rate = p; }
+
+  [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Bytes accepted but not yet fully serialized.
+  [[nodiscard]] Bytes backlog() const noexcept { return backlog_bytes_; }
+
+  /// Link utilization over the sim so far: busy serialization time / now.
+  [[nodiscard]] double Utilization() const noexcept;
+
+ private:
+  EventScheduler& sched_;
+  std::string name_;
+  LinkConfig config_;
+  LinkStats stats_;
+  Rng rng_;
+  SimTime busy_until_ = SimTime::Epoch();
+  Bytes backlog_bytes_ = 0;
+};
+
+}  // namespace coic::netsim

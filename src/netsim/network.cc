@@ -1,0 +1,56 @@
+#include "netsim/network.h"
+
+namespace coic::netsim {
+
+NodeId Network::AddNode(std::string name) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(NodeState{std::move(name), nullptr});
+  return id;
+}
+
+void Network::SetHandler(NodeId node, MessageHandler handler) {
+  COIC_CHECK(node < nodes_.size());
+  nodes_[node].handler = std::move(handler);
+}
+
+void Network::Connect(NodeId a, NodeId b, const LinkConfig& a_to_b,
+                      const LinkConfig& b_to_a) {
+  COIC_CHECK(a < nodes_.size() && b < nodes_.size());
+  COIC_CHECK_MSG(a != b, "self-links are not supported");
+  COIC_CHECK_MSG(links_.count(EdgeKey(a, b)) == 0, "nodes already connected");
+  links_[EdgeKey(a, b)] = std::make_unique<Link>(
+      sched_, nodes_[a].name + "->" + nodes_[b].name, a_to_b);
+  links_[EdgeKey(b, a)] = std::make_unique<Link>(
+      sched_, nodes_[b].name + "->" + nodes_[a].name, b_to_a);
+}
+
+Link& Network::LinkBetween(NodeId from, NodeId to) {
+  const auto it = links_.find(EdgeKey(from, to));
+  COIC_CHECK_MSG(it != links_.end(), "nodes are not adjacent");
+  return *it->second;
+}
+
+bool Network::Adjacent(NodeId from, NodeId to) const {
+  return links_.count(EdgeKey(from, to)) > 0;
+}
+
+void Network::Send(NodeId from, NodeId to, ByteVec payload,
+                   Link::DropFn on_dropped) {
+  Link& link = LinkBetween(from, to);
+  link.Send(std::move(payload),
+            [this, from, to](ByteVec delivered) {
+              COIC_CHECK(to < nodes_.size());
+              auto& handler = nodes_[to].handler;
+              COIC_CHECK_MSG(handler != nullptr,
+                             "frame delivered to node without a handler");
+              handler(from, std::move(delivered));
+            },
+            std::move(on_dropped));
+}
+
+const std::string& Network::NodeName(NodeId id) const {
+  COIC_CHECK(id < nodes_.size());
+  return nodes_[id].name;
+}
+
+}  // namespace coic::netsim

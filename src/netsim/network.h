@@ -1,0 +1,81 @@
+// Network topology: named nodes joined by duplex link pairs, with
+// handler-based message dispatch.
+//
+// This is the substrate the CoIC pipelines run on. The three-tier layout
+// of the paper (mobile -> edge -> cloud) is just a Network with three
+// nodes and two duplex links whose bandwidths are swept per Figure 2a's
+// x-axis (B_M->E, B_E->C).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "netsim/link.h"
+#include "netsim/scheduler.h"
+
+namespace coic::netsim {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kInvalidNode = 0xFFFFFFFF;
+
+/// Receives frames addressed to a node. `from` is the sending node.
+using MessageHandler = std::function<void(NodeId from, ByteVec payload)>;
+
+class Network {
+ public:
+  explicit Network(EventScheduler& sched) : sched_(sched) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Adds a node; name is used in link names and diagnostics.
+  NodeId AddNode(std::string name);
+
+  /// Installs (or replaces) the frame handler for `node`.
+  void SetHandler(NodeId node, MessageHandler handler);
+
+  /// Connects a and b with a pair of unidirectional links.
+  void Connect(NodeId a, NodeId b, const LinkConfig& a_to_b,
+               const LinkConfig& b_to_a);
+
+  /// Symmetric convenience overload.
+  void Connect(NodeId a, NodeId b, const LinkConfig& both) {
+    Connect(a, b, both, both);
+  }
+
+  /// The directed link from->to. CHECK-fails if the nodes are not
+  /// adjacent; topology is static after setup by design.
+  Link& LinkBetween(NodeId from, NodeId to);
+  [[nodiscard]] bool Adjacent(NodeId from, NodeId to) const;
+
+  /// Sends `payload` from->to through the connecting link. Delivery
+  /// invokes the destination handler at the simulated delivery time.
+  /// Drops (loss/overflow) invoke `on_dropped` if provided.
+  void Send(NodeId from, NodeId to, ByteVec payload,
+            Link::DropFn on_dropped = nullptr);
+
+  [[nodiscard]] const std::string& NodeName(NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] EventScheduler& scheduler() noexcept { return sched_; }
+
+ private:
+  struct NodeState {
+    std::string name;
+    MessageHandler handler;
+  };
+
+  static std::uint64_t EdgeKey(NodeId from, NodeId to) noexcept {
+    return (static_cast<std::uint64_t>(from) << 32) | to;
+  }
+
+  EventScheduler& sched_;
+  std::vector<NodeState> nodes_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Link>> links_;
+};
+
+}  // namespace coic::netsim

@@ -1,0 +1,44 @@
+#include "netsim/schedule.h"
+
+namespace coic::netsim {
+
+void LinkConditionScheduler::Apply(EventScheduler& sched, Link& link,
+                                   std::vector<LinkConditionStep> steps) {
+  SimTime previous = sched.now();
+  for (const LinkConditionStep& step : steps) {
+    COIC_CHECK_MSG(step.at >= previous, "schedule steps must be sorted");
+    COIC_CHECK_MSG(step.bandwidth.bps() > 0, "bandwidth must be positive");
+    previous = step.at;
+    sched.ScheduleAt(step.at, [&link, step] {
+      link.SetBandwidth(step.bandwidth);
+      if (step.loss_rate >= 0) link.SetLossRate(step.loss_rate);
+    });
+  }
+}
+
+std::vector<LinkConditionStep> LinkConditionScheduler::SawtoothTrace(
+    SimTime start, Duration period, Bandwidth high, Bandwidth low, int cycles,
+    int steps_per_ramp) {
+  COIC_CHECK(cycles >= 1 && steps_per_ramp >= 2);
+  COIC_CHECK(high.bps() > low.bps());
+  std::vector<LinkConditionStep> steps;
+  const Duration step_len =
+      Duration::Micros(period.micros() / (2 * steps_per_ramp));
+  SimTime t = start;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    for (int leg = 0; leg < 2; ++leg) {       // 0: down-ramp, 1: up-ramp
+      for (int i = 0; i < steps_per_ramp; ++i) {
+        const double frac = static_cast<double>(i) / (steps_per_ramp - 1);
+        const double mix = leg == 0 ? 1.0 - frac : frac;
+        const std::int64_t bps =
+            low.bps() +
+            static_cast<std::int64_t>(mix * static_cast<double>(high.bps() - low.bps()));
+        steps.push_back({t, Bandwidth::BitsPerSecond(bps)});
+        t = t + step_len;
+      }
+    }
+  }
+  return steps;
+}
+
+}  // namespace coic::netsim

@@ -1,0 +1,42 @@
+// Time-varying link conditions — the scripted-`tc` analogue.
+//
+// The paper's testbed re-runs `tc` to change link bandwidth between (and
+// during) experiments. LinkConditionScheduler applies a piecewise
+// schedule of (time, bandwidth[, loss]) steps to a Link through the
+// event scheduler, so a single simulation can traverse a whole bandwidth
+// trace (e.g. a user walking away from the AP) instead of one fixed
+// condition per run.
+#pragma once
+
+#include <vector>
+
+#include "netsim/link.h"
+#include "netsim/scheduler.h"
+
+namespace coic::netsim {
+
+/// One step of a link-condition schedule.
+struct LinkConditionStep {
+  SimTime at;
+  Bandwidth bandwidth;
+  /// Negative = leave the loss rate unchanged.
+  double loss_rate = -1.0;
+};
+
+class LinkConditionScheduler {
+ public:
+  /// Schedules every step against `link`. Steps must be sorted by time
+  /// and not lie in the simulated past. The scheduler object may be
+  /// destroyed after Apply; the events stand on their own.
+  static void Apply(EventScheduler& sched, Link& link,
+                    std::vector<LinkConditionStep> steps);
+
+  /// A sawtooth WiFi walk-away/walk-back trace: bandwidth ramps from
+  /// `high` down to `low` over `period` and back, for `cycles` cycles of
+  /// `steps_per_ramp` discrete steps — a convenient stress schedule.
+  static std::vector<LinkConditionStep> SawtoothTrace(
+      SimTime start, Duration period, Bandwidth high, Bandwidth low,
+      int cycles, int steps_per_ramp = 8);
+};
+
+}  // namespace coic::netsim

@@ -1,0 +1,68 @@
+#include "netsim/scheduler.h"
+
+namespace coic::netsim {
+
+EventId EventScheduler::ScheduleAt(SimTime when, Action action) {
+  COIC_CHECK_MSG(when >= now_, "cannot schedule into the simulated past");
+  COIC_CHECK(action != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Event{when, id, std::move(action)});
+  live_.insert(id);
+  return id;
+}
+
+bool EventScheduler::Cancel(EventId id) {
+  if (live_.count(id) == 0) return false;
+  if (cancelled_.insert(id).second) {
+    ++cancelled_count_;
+    return true;
+  }
+  return false;
+}
+
+void EventScheduler::FireTop() {
+  // const_cast is safe: the element is removed before the action runs.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  live_.erase(ev.id);
+  now_ = ev.when;
+  if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+    cancelled_.erase(it);
+    --cancelled_count_;
+    return;  // cancelled: clock still advances, action does not run
+  }
+  ev.action();
+}
+
+bool EventScheduler::Step() {
+  // Skip over cancelled events so Step() observably fires one action.
+  while (!queue_.empty()) {
+    const bool was_cancelled = cancelled_.count(queue_.top().id) > 0;
+    FireTop();
+    if (!was_cancelled) return true;
+  }
+  return false;
+}
+
+std::uint64_t EventScheduler::Run() {
+  std::uint64_t fired = 0;
+  while (!queue_.empty()) {
+    const bool was_cancelled = cancelled_.count(queue_.top().id) > 0;
+    FireTop();
+    if (!was_cancelled) ++fired;
+  }
+  return fired;
+}
+
+std::uint64_t EventScheduler::RunUntil(SimTime deadline) {
+  std::uint64_t fired = 0;
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    const bool was_cancelled = cancelled_.count(queue_.top().id) > 0;
+    FireTop();
+    if (!was_cancelled) ++fired;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+}  // namespace coic::netsim

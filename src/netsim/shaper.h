@@ -1,0 +1,48 @@
+// Token-bucket traffic shaper — the `tc tbf` analogue.
+//
+// The paper shapes the testbed's links with `tc`; the benches reproduce
+// each network condition by configuring Link bandwidth directly, and the
+// shaper exists to emulate the kernel mechanism itself: rate r, burst b,
+// with frames released when enough tokens have accumulated. A test
+// (ShaperTest.AgreesWithLinkModelAtSteadyState) pins the two models to
+// the same steady-state throughput.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "common/units.h"
+
+namespace coic::netsim {
+
+class TokenBucketShaper {
+ public:
+  /// rate: long-term average rate; burst: bucket depth in bytes (must be
+  /// at least the largest frame admitted, or that frame can never pass).
+  TokenBucketShaper(Bandwidth rate, Bytes burst_bytes);
+
+  /// Consumes tokens for a `bytes`-sized frame and returns the earliest
+  /// instant >= now at which the frame may be released. Calls must have
+  /// non-decreasing `now` (simulated time never rewinds).
+  SimTime Admit(SimTime now, Bytes bytes);
+
+  /// Tokens available at `now` without consuming anything.
+  [[nodiscard]] double TokensAt(SimTime now) const noexcept;
+
+  [[nodiscard]] Bandwidth rate() const noexcept { return rate_; }
+  [[nodiscard]] Bytes burst() const noexcept { return burst_; }
+
+ private:
+  /// Advances the refill clock to `now`.
+  void Refill(SimTime now) noexcept;
+
+  Bandwidth rate_;
+  Bytes burst_;
+  double tokens_;          ///< Current bucket level, bytes.
+  SimTime last_ = SimTime::Epoch();
+  SimTime release_horizon_ = SimTime::Epoch();  ///< FIFO release ordering.
+};
+
+}  // namespace coic::netsim

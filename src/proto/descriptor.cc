@@ -1,0 +1,95 @@
+#include "proto/descriptor.h"
+
+#include <cmath>
+
+namespace coic::proto {
+
+std::string_view TaskKindName(TaskKind kind) noexcept {
+  switch (kind) {
+    case TaskKind::kRecognition: return "recognition";
+    case TaskKind::kRender: return "render";
+    case TaskKind::kPanorama: return "panorama";
+  }
+  return "unknown";
+}
+
+FeatureDescriptor FeatureDescriptor::ForVector(TaskKind task,
+                                               std::vector<float> vec) {
+  COIC_CHECK_MSG(!vec.empty(), "feature vector must be non-empty");
+  FeatureDescriptor d;
+  d.task_ = task;
+  d.kind_ = DescriptorKind::kFeatureVector;
+  d.vector_ = std::move(vec);
+  return d;
+}
+
+FeatureDescriptor FeatureDescriptor::ForHash(TaskKind task, Digest128 digest) {
+  COIC_CHECK_MSG(!digest.IsZero(), "content digest must be non-zero");
+  FeatureDescriptor d;
+  d.task_ = task;
+  d.kind_ = DescriptorKind::kContentHash;
+  d.digest_ = digest;
+  return d;
+}
+
+Bytes FeatureDescriptor::WireSize() const noexcept {
+  // task(1) + kind(1) + vec count(4) + 4*dim + digest(16)
+  return 1 + 1 + 4 + 4 * vector_.size() + 16;
+}
+
+double FeatureDescriptor::DistanceTo(const FeatureDescriptor& other) const {
+  COIC_CHECK(kind_ == DescriptorKind::kFeatureVector);
+  COIC_CHECK(other.kind_ == DescriptorKind::kFeatureVector);
+  COIC_CHECK_MSG(vector_.size() == other.vector_.size(),
+                 "descriptor dimension mismatch");
+  double acc = 0;
+  for (std::size_t i = 0; i < vector_.size(); ++i) {
+    const double d = static_cast<double>(vector_[i]) - other.vector_[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+std::uint64_t FeatureDescriptor::IndexKey() const noexcept {
+  if (kind_ == DescriptorKind::kContentHash) {
+    return digest_.hi ^ (digest_.lo * 0x9E3779B97F4A7C15ULL) ^
+           static_cast<std::uint64_t>(task_);
+  }
+  return static_cast<std::uint64_t>(task_);
+}
+
+void FeatureDescriptor::Encode(ByteWriter& w) const {
+  w.WriteU8(static_cast<std::uint8_t>(task_));
+  w.WriteU8(static_cast<std::uint8_t>(kind_));
+  w.WriteF32Vector(vector_);
+  w.WriteU64(digest_.hi);
+  w.WriteU64(digest_.lo);
+}
+
+Result<FeatureDescriptor> FeatureDescriptor::Decode(ByteReader& r) {
+  std::uint8_t task_raw = 0;
+  std::uint8_t kind_raw = 0;
+  FeatureDescriptor d;
+  COIC_RETURN_IF_ERROR(r.ReadU8(task_raw));
+  COIC_RETURN_IF_ERROR(r.ReadU8(kind_raw));
+  if (task_raw > static_cast<std::uint8_t>(TaskKind::kPanorama)) {
+    return Status(StatusCode::kDataLoss, "bad TaskKind");
+  }
+  if (kind_raw > static_cast<std::uint8_t>(DescriptorKind::kContentHash)) {
+    return Status(StatusCode::kDataLoss, "bad DescriptorKind");
+  }
+  d.task_ = static_cast<TaskKind>(task_raw);
+  d.kind_ = static_cast<DescriptorKind>(kind_raw);
+  COIC_RETURN_IF_ERROR(r.ReadF32Vector(d.vector_));
+  COIC_RETURN_IF_ERROR(r.ReadU64(d.digest_.hi));
+  COIC_RETURN_IF_ERROR(r.ReadU64(d.digest_.lo));
+  if (d.kind_ == DescriptorKind::kFeatureVector && d.vector_.empty()) {
+    return Status(StatusCode::kDataLoss, "vector descriptor without vector");
+  }
+  if (d.kind_ == DescriptorKind::kContentHash && d.digest_.IsZero()) {
+    return Status(StatusCode::kDataLoss, "hash descriptor with zero digest");
+  }
+  return d;
+}
+
+}  // namespace coic::proto

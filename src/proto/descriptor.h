@@ -1,0 +1,91 @@
+// FeatureDescriptor — the key abstraction of the CoIC protocol (paper §2).
+//
+// "CoIC extracts dedicated property from each representative IC task as
+//  the feature descriptor. [...] for an object recognition task using a
+//  DNN model, CoIC uses the feature vector generated from the input
+//  image [...]. For 3D object rendering and VR video streaming tasks,
+//  CoIC uses the hash value of the required 3D model or panoramic
+//  frames."
+//
+// A descriptor therefore has two variants: an approximate-match float
+// vector (recognition) and an exact-match 128-bit content digest
+// (rendering / panorama). It lives in proto because it crosses the wire
+// verbatim as the cache key.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace coic::proto {
+
+/// Which IC task produced the descriptor. Descriptors from different
+/// tasks never match each other even if their bits collide.
+enum class TaskKind : std::uint8_t {
+  kRecognition = 0,  ///< DNN object recognition (approximate match).
+  kRender = 1,       ///< 3D model load/render (exact content-hash match).
+  kPanorama = 2,     ///< Panoramic VR frame (exact content-hash match).
+};
+
+std::string_view TaskKindName(TaskKind kind) noexcept;
+
+/// How the descriptor is compared by the edge cache.
+enum class DescriptorKind : std::uint8_t {
+  kFeatureVector = 0,  ///< L2 distance under threshold => hit.
+  kContentHash = 1,    ///< Digest equality => hit.
+};
+
+/// The wire-format cache key.
+class FeatureDescriptor {
+ public:
+  FeatureDescriptor() = default;
+
+  /// An approximate-match descriptor holding an L2-normalized feature
+  /// vector from the client-side extractor.
+  static FeatureDescriptor ForVector(TaskKind task, std::vector<float> vec);
+
+  /// An exact-match descriptor keyed by content digest (e.g. of the 3D
+  /// model bytes or panoramic frame identity).
+  static FeatureDescriptor ForHash(TaskKind task, Digest128 digest);
+
+  [[nodiscard]] TaskKind task() const noexcept { return task_; }
+  [[nodiscard]] DescriptorKind kind() const noexcept { return kind_; }
+  [[nodiscard]] std::span<const float> vector() const noexcept { return vector_; }
+  [[nodiscard]] const Digest128& digest() const noexcept { return digest_; }
+
+  /// Serialized size in bytes — this is what the client uploads instead
+  /// of the full input, so it drives the Figure 2a latency math.
+  [[nodiscard]] Bytes WireSize() const noexcept;
+
+  /// Euclidean distance between two vector descriptors of equal
+  /// dimension. Precondition: both kFeatureVector with matching dims.
+  [[nodiscard]] double DistanceTo(const FeatureDescriptor& other) const;
+
+  /// Coarse bucketing key for the edge's hash index: content-hash
+  /// descriptors key by digest, vector descriptors by task only (the
+  /// similarity index handles them separately).
+  [[nodiscard]] std::uint64_t IndexKey() const noexcept;
+
+  void Encode(ByteWriter& w) const;
+  static Result<FeatureDescriptor> Decode(ByteReader& r);
+
+  friend bool operator==(const FeatureDescriptor& a,
+                         const FeatureDescriptor& b) noexcept {
+    return a.task_ == b.task_ && a.kind_ == b.kind_ &&
+           a.digest_ == b.digest_ && a.vector_ == b.vector_;
+  }
+
+ private:
+  TaskKind task_ = TaskKind::kRecognition;
+  DescriptorKind kind_ = DescriptorKind::kFeatureVector;
+  std::vector<float> vector_;
+  Digest128 digest_;
+};
+
+}  // namespace coic::proto

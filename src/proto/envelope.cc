@@ -1,0 +1,109 @@
+#include "proto/envelope.h"
+
+namespace coic::proto {
+namespace {
+
+bool ValidMessageType(std::uint8_t raw) noexcept {
+  switch (static_cast<MessageType>(raw)) {
+    case MessageType::kPing:
+    case MessageType::kPong:
+    case MessageType::kError:
+    case MessageType::kRecognitionRequest:
+    case MessageType::kRecognitionResult:
+    case MessageType::kRenderRequest:
+    case MessageType::kRenderResult:
+    case MessageType::kPanoramaRequest:
+    case MessageType::kPanoramaResult:
+    case MessageType::kCacheStatsRequest:
+    case MessageType::kCacheStatsReply:
+    case MessageType::kPeerLookupRequest:
+    case MessageType::kPeerLookupReply:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ByteVec EncodeEnvelope(MessageType type, std::uint64_t request_id,
+                       std::span<const std::uint8_t> payload) {
+  COIC_CHECK_MSG(payload.size() <= kMaxPayloadBytes, "payload too large");
+  ByteWriter w(kEnvelopeHeaderSize + payload.size());
+  w.WriteU32(kEnvelopeMagic);
+  w.WriteU16(kProtocolVersion);
+  w.WriteU8(static_cast<std::uint8_t>(type));
+  w.WriteU8(0);  // flags
+  w.WriteU64(request_id);
+  w.WriteU32(static_cast<std::uint32_t>(payload.size()));
+  w.WriteRaw(payload);
+  return w.TakeBytes();
+}
+
+Result<Envelope> DecodeEnvelope(std::span<const std::uint8_t> data) {
+  ByteReader r(data);
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  std::uint8_t type_raw = 0;
+  std::uint8_t flags = 0;
+  Envelope env;
+  COIC_RETURN_IF_ERROR(r.ReadU32(magic));
+  if (magic != kEnvelopeMagic) {
+    return Status(StatusCode::kDataLoss, "bad envelope magic");
+  }
+  COIC_RETURN_IF_ERROR(r.ReadU16(version));
+  if (version != kProtocolVersion) {
+    return Status(StatusCode::kDataLoss, "unsupported protocol version");
+  }
+  COIC_RETURN_IF_ERROR(r.ReadU8(type_raw));
+  if (!ValidMessageType(type_raw)) {
+    return Status(StatusCode::kDataLoss, "unknown message type");
+  }
+  env.type = static_cast<MessageType>(type_raw);
+  COIC_RETURN_IF_ERROR(r.ReadU8(flags));
+  if (flags != 0) {
+    return Status(StatusCode::kDataLoss, "nonzero reserved flags");
+  }
+  COIC_RETURN_IF_ERROR(r.ReadU64(env.request_id));
+  std::uint32_t payload_len = 0;
+  COIC_RETURN_IF_ERROR(r.ReadU32(payload_len));
+  if (payload_len > kMaxPayloadBytes) {
+    return Status(StatusCode::kDataLoss, "payload length exceeds limit");
+  }
+  if (r.remaining() < payload_len) {
+    return Status(StatusCode::kDataLoss, "payload truncated");
+  }
+  COIC_RETURN_IF_ERROR(r.ReadBytes(env.payload, payload_len));
+  if (!r.AtEnd()) {
+    return Status(StatusCode::kDataLoss, "trailing bytes after envelope");
+  }
+  return env;
+}
+
+Result<std::size_t> PeekFrameSize(std::span<const std::uint8_t> data) {
+  if (data.size() < kEnvelopeHeaderSize) return static_cast<std::size_t>(0);
+  ByteReader r(data);
+  std::uint32_t magic = 0;
+  (void)r.ReadU32(magic);
+  if (magic != kEnvelopeMagic) {
+    return Status(StatusCode::kDataLoss, "bad envelope magic");
+  }
+  std::uint16_t version = 0;
+  (void)r.ReadU16(version);
+  if (version != kProtocolVersion) {
+    return Status(StatusCode::kDataLoss, "unsupported protocol version");
+  }
+  std::uint8_t type_raw = 0;
+  (void)r.ReadU8(type_raw);
+  if (!ValidMessageType(type_raw)) {
+    return Status(StatusCode::kDataLoss, "unknown message type");
+  }
+  (void)r.Skip(1 + 8);  // flags + request id
+  std::uint32_t payload_len = 0;
+  (void)r.ReadU32(payload_len);
+  if (payload_len > kMaxPayloadBytes) {
+    return Status(StatusCode::kDataLoss, "payload length exceeds limit");
+  }
+  return kEnvelopeHeaderSize + static_cast<std::size_t>(payload_len);
+}
+
+}  // namespace coic::proto

@@ -1,0 +1,85 @@
+// Envelope framing.
+//
+// Every CoIC message travels inside a fixed-header envelope:
+//
+//   offset  size  field
+//   0       4     magic "CoIC" (0x43 0x6F 0x49 0x43, read as LE u32)
+//   4       2     protocol version (currently 1)
+//   6       1     MessageType
+//   7       1     flags (reserved, must be 0)
+//   8       8     request id (client-chosen; echoed in the reply)
+//   16      4     payload length N
+//   20      N     payload (message-specific encoding)
+//
+// The same framing is used verbatim by the in-process simulator and the
+// real TCP transport, so a simulated exchange and a socket exchange are
+// byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.h"
+#include "proto/messages.h"
+
+namespace coic::proto {
+
+inline constexpr std::uint32_t kEnvelopeMagic = 0x43496F43;  // "CoIC" LE
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kEnvelopeHeaderSize = 20;
+/// Upper bound on payload size accepted by decoders: a hostile length
+/// field must not drive allocation. 64 MiB comfortably covers 8K
+/// panoramas and the largest evaluated model (15053 KB).
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+/// A decoded envelope; payload is an owned copy so the caller may retire
+/// the input buffer.
+struct Envelope {
+  MessageType type = MessageType::kPing;
+  std::uint64_t request_id = 0;
+  ByteVec payload;
+
+  friend bool operator==(const Envelope&, const Envelope&) = default;
+};
+
+/// Serializes header + payload into one buffer.
+ByteVec EncodeEnvelope(MessageType type, std::uint64_t request_id,
+                       std::span<const std::uint8_t> payload);
+
+/// Convenience: encodes `msg` (any type with Encode(ByteWriter&)) and
+/// wraps it in an envelope.
+template <typename Message>
+ByteVec EncodeMessage(MessageType type, std::uint64_t request_id,
+                      const Message& msg) {
+  ByteWriter w;
+  msg.Encode(w);
+  return EncodeEnvelope(type, request_id, w.bytes());
+}
+
+/// Parses a full envelope from `data`. Fails with kDataLoss on bad magic,
+/// unsupported version, truncated header/payload or oversized length.
+Result<Envelope> DecodeEnvelope(std::span<const std::uint8_t> data);
+
+/// Incremental framing helper for stream transports: given the bytes
+/// accumulated so far, returns the total frame size (header + payload) if
+/// the header is complete, 0 if more header bytes are needed, or an error
+/// if the header is invalid.
+Result<std::size_t> PeekFrameSize(std::span<const std::uint8_t> data);
+
+/// Decodes the payload of `env` as message type M, checking that the
+/// envelope type tag matches `expected`.
+template <typename M>
+Result<M> DecodePayloadAs(const Envelope& env, MessageType expected) {
+  if (env.type != expected) {
+    return Status(StatusCode::kDataLoss, "unexpected message type");
+  }
+  ByteReader r(env.payload);
+  auto result = M::Decode(r);
+  if (!result.ok()) return result.status();
+  if (!r.AtEnd()) {
+    return Status(StatusCode::kDataLoss, "trailing bytes after payload");
+  }
+  return result;
+}
+
+}  // namespace coic::proto

@@ -1,0 +1,297 @@
+#include "proto/messages.h"
+
+namespace coic::proto {
+namespace {
+
+Status DecodeOffloadMode(ByteReader& r, OffloadMode& out) {
+  std::uint8_t raw = 0;
+  COIC_RETURN_IF_ERROR(r.ReadU8(raw));
+  if (raw > static_cast<std::uint8_t>(OffloadMode::kOrigin)) {
+    return Status(StatusCode::kDataLoss, "bad OffloadMode");
+  }
+  out = static_cast<OffloadMode>(raw);
+  return Status::Ok();
+}
+
+Status DecodeResultSource(ByteReader& r, ResultSource& out) {
+  std::uint8_t raw = 0;
+  COIC_RETURN_IF_ERROR(r.ReadU8(raw));
+  if (raw > static_cast<std::uint8_t>(ResultSource::kPeerEdge)) {
+    return Status(StatusCode::kDataLoss, "bad ResultSource");
+  }
+  out = static_cast<ResultSource>(raw);
+  return Status::Ok();
+}
+
+Status DecodeResultMessageType(ByteReader& r, MessageType& out) {
+  std::uint8_t raw = 0;
+  COIC_RETURN_IF_ERROR(r.ReadU8(raw));
+  const auto type = static_cast<MessageType>(raw);
+  if (type != MessageType::kRecognitionResult &&
+      type != MessageType::kRenderResult &&
+      type != MessageType::kPanoramaResult) {
+    return Status(StatusCode::kDataLoss, "peer reply_type is not a result type");
+  }
+  out = type;
+  return Status::Ok();
+}
+
+}  // namespace
+
+std::string_view MessageTypeName(MessageType t) noexcept {
+  switch (t) {
+    case MessageType::kPing: return "Ping";
+    case MessageType::kPong: return "Pong";
+    case MessageType::kError: return "Error";
+    case MessageType::kRecognitionRequest: return "RecognitionRequest";
+    case MessageType::kRecognitionResult: return "RecognitionResult";
+    case MessageType::kRenderRequest: return "RenderRequest";
+    case MessageType::kRenderResult: return "RenderResult";
+    case MessageType::kPanoramaRequest: return "PanoramaRequest";
+    case MessageType::kPanoramaResult: return "PanoramaResult";
+    case MessageType::kCacheStatsRequest: return "CacheStatsRequest";
+    case MessageType::kCacheStatsReply: return "CacheStatsReply";
+    case MessageType::kPeerLookupRequest: return "PeerLookupRequest";
+    case MessageType::kPeerLookupReply: return "PeerLookupReply";
+  }
+  return "Unknown";
+}
+
+// --------------------------- RecognitionRequest ----------------------------
+
+Bytes RecognitionRequest::WireSize() const noexcept {
+  return 4 + 4 + 8 + 1 + descriptor.WireSize() + 4 + image.size();
+}
+
+void RecognitionRequest::Encode(ByteWriter& w) const {
+  w.WriteU32(user_id);
+  w.WriteU32(app_id);
+  w.WriteU64(frame_id);
+  w.WriteU8(static_cast<std::uint8_t>(mode));
+  descriptor.Encode(w);
+  w.WriteBlob(image);
+}
+
+Result<RecognitionRequest> RecognitionRequest::Decode(ByteReader& r) {
+  RecognitionRequest m;
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.user_id));
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.app_id));
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.frame_id));
+  COIC_RETURN_IF_ERROR(DecodeOffloadMode(r, m.mode));
+  auto desc = FeatureDescriptor::Decode(r);
+  if (!desc.ok()) return desc.status();
+  m.descriptor = std::move(desc).value();
+  COIC_RETURN_IF_ERROR(r.ReadBlob(m.image));
+  if (m.mode == OffloadMode::kOrigin && m.image.empty()) {
+    return Status(StatusCode::kDataLoss, "Origin recognition without image");
+  }
+  return m;
+}
+
+// --------------------------- RecognitionResult -----------------------------
+
+Bytes RecognitionResult::WireSize() const noexcept {
+  return 8 + 4 + label.size() + 4 + 1 + 4 + annotation.size();
+}
+
+void RecognitionResult::Encode(ByteWriter& w) const {
+  w.WriteU64(frame_id);
+  w.WriteString(label);
+  w.WriteF32(confidence);
+  w.WriteU8(static_cast<std::uint8_t>(source));
+  w.WriteBlob(annotation);
+}
+
+Result<RecognitionResult> RecognitionResult::Decode(ByteReader& r) {
+  RecognitionResult m;
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.frame_id));
+  COIC_RETURN_IF_ERROR(r.ReadString(m.label));
+  COIC_RETURN_IF_ERROR(r.ReadF32(m.confidence));
+  COIC_RETURN_IF_ERROR(DecodeResultSource(r, m.source));
+  COIC_RETURN_IF_ERROR(r.ReadBlob(m.annotation));
+  return m;
+}
+
+// ------------------------------ RenderRequest ------------------------------
+
+Bytes RenderRequest::WireSize() const noexcept {
+  return 4 + 4 + 8 + 1 + descriptor.WireSize() + 1;
+}
+
+void RenderRequest::Encode(ByteWriter& w) const {
+  w.WriteU32(user_id);
+  w.WriteU32(app_id);
+  w.WriteU64(model_id);
+  w.WriteU8(static_cast<std::uint8_t>(mode));
+  descriptor.Encode(w);
+  w.WriteU8(level_of_detail);
+}
+
+Result<RenderRequest> RenderRequest::Decode(ByteReader& r) {
+  RenderRequest m;
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.user_id));
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.app_id));
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.model_id));
+  COIC_RETURN_IF_ERROR(DecodeOffloadMode(r, m.mode));
+  auto desc = FeatureDescriptor::Decode(r);
+  if (!desc.ok()) return desc.status();
+  m.descriptor = std::move(desc).value();
+  COIC_RETURN_IF_ERROR(r.ReadU8(m.level_of_detail));
+  return m;
+}
+
+// ------------------------------- RenderResult ------------------------------
+
+Bytes RenderResult::WireSize() const noexcept {
+  return 8 + 1 + 4 + model_bytes.size();
+}
+
+void RenderResult::Encode(ByteWriter& w) const {
+  w.WriteU64(model_id);
+  w.WriteU8(static_cast<std::uint8_t>(source));
+  w.WriteBlob(model_bytes);
+}
+
+Result<RenderResult> RenderResult::Decode(ByteReader& r) {
+  RenderResult m;
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.model_id));
+  COIC_RETURN_IF_ERROR(DecodeResultSource(r, m.source));
+  COIC_RETURN_IF_ERROR(r.ReadBlob(m.model_bytes));
+  return m;
+}
+
+// ----------------------------- PanoramaRequest -----------------------------
+
+Bytes PanoramaRequest::WireSize() const noexcept {
+  return 4 + 8 + 4 + 1 + descriptor.WireSize() + 12;
+}
+
+void PanoramaRequest::Encode(ByteWriter& w) const {
+  w.WriteU32(user_id);
+  w.WriteU64(video_id);
+  w.WriteU32(frame_index);
+  w.WriteU8(static_cast<std::uint8_t>(mode));
+  descriptor.Encode(w);
+  w.WriteF32(viewport.yaw_deg);
+  w.WriteF32(viewport.pitch_deg);
+  w.WriteF32(viewport.fov_deg);
+}
+
+Result<PanoramaRequest> PanoramaRequest::Decode(ByteReader& r) {
+  PanoramaRequest m;
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.user_id));
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.video_id));
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.frame_index));
+  COIC_RETURN_IF_ERROR(DecodeOffloadMode(r, m.mode));
+  auto desc = FeatureDescriptor::Decode(r);
+  if (!desc.ok()) return desc.status();
+  m.descriptor = std::move(desc).value();
+  COIC_RETURN_IF_ERROR(r.ReadF32(m.viewport.yaw_deg));
+  COIC_RETURN_IF_ERROR(r.ReadF32(m.viewport.pitch_deg));
+  COIC_RETURN_IF_ERROR(r.ReadF32(m.viewport.fov_deg));
+  return m;
+}
+
+// ------------------------------ PanoramaResult -----------------------------
+
+Bytes PanoramaResult::WireSize() const noexcept {
+  return 8 + 4 + 1 + 2 + 2 + 4 + frame.size();
+}
+
+void PanoramaResult::Encode(ByteWriter& w) const {
+  w.WriteU64(video_id);
+  w.WriteU32(frame_index);
+  w.WriteU8(static_cast<std::uint8_t>(source));
+  w.WriteU16(width);
+  w.WriteU16(height);
+  w.WriteBlob(frame);
+}
+
+Result<PanoramaResult> PanoramaResult::Decode(ByteReader& r) {
+  PanoramaResult m;
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.video_id));
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.frame_index));
+  COIC_RETURN_IF_ERROR(DecodeResultSource(r, m.source));
+  COIC_RETURN_IF_ERROR(r.ReadU16(m.width));
+  COIC_RETURN_IF_ERROR(r.ReadU16(m.height));
+  COIC_RETURN_IF_ERROR(r.ReadBlob(m.frame));
+  return m;
+}
+
+// -------------------------------- ErrorReply -------------------------------
+
+void ErrorReply::Encode(ByteWriter& w) const {
+  w.WriteU16(code);
+  w.WriteString(message);
+}
+
+Result<ErrorReply> ErrorReply::Decode(ByteReader& r) {
+  ErrorReply m;
+  COIC_RETURN_IF_ERROR(r.ReadU16(m.code));
+  COIC_RETURN_IF_ERROR(r.ReadString(m.message));
+  return m;
+}
+
+// ----------------------------- PeerLookupRequest ---------------------------
+
+void PeerLookupRequest::Encode(ByteWriter& w) const {
+  descriptor.Encode(w);
+  w.WriteU8(static_cast<std::uint8_t>(reply_type));
+}
+
+Result<PeerLookupRequest> PeerLookupRequest::Decode(ByteReader& r) {
+  PeerLookupRequest m;
+  auto desc = FeatureDescriptor::Decode(r);
+  if (!desc.ok()) return desc.status();
+  m.descriptor = std::move(desc).value();
+  COIC_RETURN_IF_ERROR(DecodeResultMessageType(r, m.reply_type));
+  return m;
+}
+
+// ------------------------------ PeerLookupReply ----------------------------
+
+void PeerLookupReply::Encode(ByteWriter& w) const {
+  w.WriteU8(found ? 1 : 0);
+  w.WriteU8(static_cast<std::uint8_t>(reply_type));
+  w.WriteBlob(payload);
+}
+
+Result<PeerLookupReply> PeerLookupReply::Decode(ByteReader& r) {
+  PeerLookupReply m;
+  std::uint8_t found_raw = 0;
+  COIC_RETURN_IF_ERROR(r.ReadU8(found_raw));
+  if (found_raw > 1) {
+    return Status(StatusCode::kDataLoss, "bad found flag");
+  }
+  m.found = found_raw == 1;
+  COIC_RETURN_IF_ERROR(DecodeResultMessageType(r, m.reply_type));
+  COIC_RETURN_IF_ERROR(r.ReadBlob(m.payload));
+  if (m.found == m.payload.empty()) {
+    return Status(StatusCode::kDataLoss, "found flag disagrees with payload");
+  }
+  return m;
+}
+
+// ----------------------------- CacheStatsReply -----------------------------
+
+void CacheStatsReply::Encode(ByteWriter& w) const {
+  w.WriteU64(hits);
+  w.WriteU64(misses);
+  w.WriteU64(insertions);
+  w.WriteU64(evictions);
+  w.WriteU64(bytes_used);
+  w.WriteU64(bytes_capacity);
+}
+
+Result<CacheStatsReply> CacheStatsReply::Decode(ByteReader& r) {
+  CacheStatsReply m;
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.hits));
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.misses));
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.insertions));
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.evictions));
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.bytes_used));
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.bytes_capacity));
+  return m;
+}
+
+}  // namespace coic::proto

@@ -1,0 +1,222 @@
+// CoIC wire messages.
+//
+// One struct per protocol message, each with Encode/Decode. The message
+// set covers the three IC task families the paper identifies (object
+// recognition, 3D rendering, panoramic VR streaming) in both CoIC mode
+// (descriptor-first) and Origin mode (full input offload), plus the
+// edge<->cloud forwarding and cache-maintenance messages from Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/units.h"
+#include "proto/descriptor.h"
+
+namespace coic::proto {
+
+/// Wire message discriminator (envelope `type` field).
+enum class MessageType : std::uint8_t {
+  kPing = 0,
+  kPong = 1,
+  kError = 2,
+  kRecognitionRequest = 10,
+  kRecognitionResult = 11,
+  kRenderRequest = 12,
+  kRenderResult = 13,
+  kPanoramaRequest = 14,
+  kPanoramaResult = 15,
+  kCacheStatsRequest = 20,
+  kCacheStatsReply = 21,
+  /// Edge <-> edge cooperation (the "cooperative" in CoIC): an edge that
+  /// misses locally may probe a peer edge's cache before paying the
+  /// cloud round trip.
+  kPeerLookupRequest = 30,
+  kPeerLookupReply = 31,
+};
+
+std::string_view MessageTypeName(MessageType t) noexcept;
+
+/// How a request wants the task executed.
+enum class OffloadMode : std::uint8_t {
+  kCoic = 0,    ///< Descriptor-first: edge cache consulted (Figure 1 path).
+  kOrigin = 1,  ///< Baseline: full input offloaded straight to the cloud.
+};
+
+/// Where a result was produced — clients use this to account hit/miss QoE.
+enum class ResultSource : std::uint8_t {
+  kEdgeCache = 0,  ///< Served from the local edge IC cache (hit).
+  kCloud = 1,      ///< Computed by the cloud (miss or Origin).
+  kLocal = 2,      ///< Computed on-device (Local baseline).
+  kPeerEdge = 3,   ///< Served from a cooperating peer edge's cache.
+};
+
+// ---------------------------------------------------------------------------
+// Recognition (AR object recognition; Figure 2a workload)
+// ---------------------------------------------------------------------------
+
+/// Client -> edge. In kCoic mode carries only the descriptor; in kOrigin
+/// mode carries the full camera frame for cloud inference.
+struct RecognitionRequest {
+  std::uint32_t user_id = 0;
+  std::uint32_t app_id = 0;
+  std::uint64_t frame_id = 0;
+  OffloadMode mode = OffloadMode::kCoic;
+  FeatureDescriptor descriptor;  ///< Valid in kCoic mode.
+  ByteVec image;                 ///< Full frame; non-empty in kOrigin mode.
+
+  [[nodiscard]] Bytes WireSize() const noexcept;
+  void Encode(ByteWriter& w) const;
+  static Result<RecognitionRequest> Decode(ByteReader& r);
+  friend bool operator==(const RecognitionRequest&,
+                         const RecognitionRequest&) = default;
+};
+
+/// Edge/cloud -> client. The annotation blob is the "high-quality 3D
+/// annotation" the paper's demo app overlays on recognized objects.
+struct RecognitionResult {
+  std::uint64_t frame_id = 0;
+  std::string label;
+  float confidence = 0;
+  ResultSource source = ResultSource::kCloud;
+  ByteVec annotation;
+
+  [[nodiscard]] Bytes WireSize() const noexcept;
+  void Encode(ByteWriter& w) const;
+  static Result<RecognitionResult> Decode(ByteReader& r);
+  friend bool operator==(const RecognitionResult&,
+                         const RecognitionResult&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// 3D model rendering (Figure 2b workload)
+// ---------------------------------------------------------------------------
+
+/// Client -> edge: load (and cache) the 3D model named by content digest.
+struct RenderRequest {
+  std::uint32_t user_id = 0;
+  std::uint32_t app_id = 0;
+  std::uint64_t model_id = 0;
+  OffloadMode mode = OffloadMode::kCoic;
+  FeatureDescriptor descriptor;  ///< kContentHash of the model bytes.
+  std::uint8_t level_of_detail = 0;
+
+  [[nodiscard]] Bytes WireSize() const noexcept;
+  void Encode(ByteWriter& w) const;
+  static Result<RenderRequest> Decode(ByteReader& r);
+  friend bool operator==(const RenderRequest&, const RenderRequest&) = default;
+};
+
+/// Edge/cloud -> client: the loaded model payload ready for draw.
+struct RenderResult {
+  std::uint64_t model_id = 0;
+  ResultSource source = ResultSource::kCloud;
+  ByteVec model_bytes;  ///< Parsed/loaded model representation.
+
+  [[nodiscard]] Bytes WireSize() const noexcept;
+  void Encode(ByteWriter& w) const;
+  static Result<RenderResult> Decode(ByteReader& r);
+  friend bool operator==(const RenderResult&, const RenderResult&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Panoramic VR streaming (paper §1.2, third redundancy insight)
+// ---------------------------------------------------------------------------
+
+/// Client viewport orientation; the client crops the panorama locally, so
+/// the request carries it only for logging/prefetch purposes.
+struct Viewport {
+  float yaw_deg = 0;
+  float pitch_deg = 0;
+  float fov_deg = 90;
+  friend bool operator==(const Viewport&, const Viewport&) = default;
+};
+
+struct PanoramaRequest {
+  std::uint32_t user_id = 0;
+  std::uint64_t video_id = 0;
+  std::uint32_t frame_index = 0;
+  OffloadMode mode = OffloadMode::kCoic;
+  FeatureDescriptor descriptor;  ///< kContentHash of the panorama identity.
+  Viewport viewport;
+
+  [[nodiscard]] Bytes WireSize() const noexcept;
+  void Encode(ByteWriter& w) const;
+  static Result<PanoramaRequest> Decode(ByteReader& r);
+  friend bool operator==(const PanoramaRequest&, const PanoramaRequest&) = default;
+};
+
+struct PanoramaResult {
+  std::uint64_t video_id = 0;
+  std::uint32_t frame_index = 0;
+  ResultSource source = ResultSource::kCloud;
+  std::uint16_t width = 0;   ///< Panorama pixel width.
+  std::uint16_t height = 0;  ///< Panorama pixel height.
+  ByteVec frame;             ///< Encoded panoramic frame.
+
+  [[nodiscard]] Bytes WireSize() const noexcept;
+  void Encode(ByteWriter& w) const;
+  static Result<PanoramaResult> Decode(ByteReader& r);
+  friend bool operator==(const PanoramaResult&, const PanoramaResult&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Control / diagnostics
+// ---------------------------------------------------------------------------
+
+struct ErrorReply {
+  std::uint16_t code = 0;  ///< StatusCode as integer.
+  std::string message;
+
+  void Encode(ByteWriter& w) const;
+  static Result<ErrorReply> Decode(ByteReader& r);
+  friend bool operator==(const ErrorReply&, const ErrorReply&) = default;
+};
+
+// ---------------------------------------------------------------------------
+// Edge cooperation
+// ---------------------------------------------------------------------------
+
+/// Edge -> peer edge: "do you have a result for this descriptor?"
+struct PeerLookupRequest {
+  FeatureDescriptor descriptor;
+  /// The result message type the payload decodes as (kRecognitionResult,
+  /// kRenderResult or kPanoramaResult).
+  MessageType reply_type = MessageType::kRecognitionResult;
+
+  void Encode(ByteWriter& w) const;
+  static Result<PeerLookupRequest> Decode(ByteReader& r);
+  friend bool operator==(const PeerLookupRequest&,
+                         const PeerLookupRequest&) = default;
+};
+
+/// Peer edge -> edge: cached payload if found. A peer never forwards to
+/// the cloud on the querier's behalf — cooperation is probe-only, so a
+/// slow peer can only ever add one LAN round trip, never a WAN one.
+struct PeerLookupReply {
+  bool found = false;
+  MessageType reply_type = MessageType::kRecognitionResult;
+  ByteVec payload;  ///< Result message body; empty when !found.
+
+  void Encode(ByteWriter& w) const;
+  static Result<PeerLookupReply> Decode(ByteReader& r);
+  friend bool operator==(const PeerLookupReply&, const PeerLookupReply&) = default;
+};
+
+struct CacheStatsReply {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes_used = 0;
+  std::uint64_t bytes_capacity = 0;
+
+  void Encode(ByteWriter& w) const;
+  static Result<CacheStatsReply> Decode(ByteReader& r);
+  friend bool operator==(const CacheStatsReply&, const CacheStatsReply&) = default;
+};
+
+}  // namespace coic::proto

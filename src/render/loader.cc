@@ -1,0 +1,27 @@
+#include "render/loader.h"
+
+namespace coic::render {
+
+Result<LoadedModel> LoadModel(std::span<const std::uint8_t> serialized) {
+  auto parsed = DeserializeModel(serialized);
+  if (!parsed.ok()) return parsed.status();
+
+  LoadedModel loaded;
+  loaded.model = std::move(parsed).value();
+
+  const auto& mesh = loaded.model.mesh;
+  loaded.vertex_buffer.reserve(mesh.vertices.size() * 8);
+  for (const Vertex& v : mesh.vertices) {
+    loaded.vertex_buffer.insert(loaded.vertex_buffer.end(),
+                                {v.position.x, v.position.y, v.position.z,
+                                 v.normal.x, v.normal.y, v.normal.z, v.u, v.v});
+  }
+  loaded.index_count = static_cast<std::uint32_t>(mesh.indices.size());
+
+  for (const std::uint8_t b : loaded.model.texture) {
+    ++loaded.texture_histogram[b >> 2];
+  }
+  return loaded;
+}
+
+}  // namespace coic::render

@@ -1,0 +1,46 @@
+// Model loading — the expensive step Figure 2b measures.
+//
+// "To execute a rendering task, the renderer has to load the 3D model
+//  into memory first and draw objects on the display. By caching the
+//  loaded data in rendering tasks on the edge, CoIC reduces the load
+//  latency by up to 75.86%."
+//
+// LoadModel does the real work our substrate can do (parse, validate,
+// build an interleaved GPU-style vertex buffer, decode the texture); the
+// wall-clock cost of the paper's loader is modeled separately by the
+// pipelines' CostModel so simulated latency is calibrated, not tied to
+// host CPU speed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "render/model.h"
+
+namespace coic::render {
+
+/// A model resident in memory, ready for draw calls: the parsed asset
+/// plus the interleaved vertex buffer a GPU upload would consume.
+struct LoadedModel {
+  Model3D model;
+  /// position(3) + normal(3) + uv(2) per vertex, interleaved.
+  std::vector<float> vertex_buffer;
+  std::uint32_t index_count = 0;
+  /// Decoded texture summary (our stand-in for texel upload): a 64-bin
+  /// luminance histogram of the texture bytes.
+  std::array<std::uint32_t, 64> texture_histogram{};
+
+  [[nodiscard]] Bytes ResidentBytes() const noexcept {
+    return vertex_buffer.size() * sizeof(float) +
+           model.mesh.indices.size() * sizeof(std::uint32_t) +
+           model.texture.size();
+  }
+};
+
+/// Parses serialized bytes into a LoadedModel. This is the "load the 3D
+/// model into memory" step; it fails loudly on corrupt assets.
+Result<LoadedModel> LoadModel(std::span<const std::uint8_t> serialized);
+
+}  // namespace coic::render

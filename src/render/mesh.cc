@@ -1,0 +1,58 @@
+#include "render/mesh.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace coic::render {
+
+float Length(Vec3 v) noexcept { return std::sqrt(Dot(v, v)); }
+
+Vec3 Normalized(Vec3 v) noexcept {
+  const float len = Length(v);
+  if (len < 1e-12f) return {0, 0, 0};
+  return v * (1.0f / len);
+}
+
+Status Mesh::Validate() const {
+  if (indices.size() % 3 != 0) {
+    return Status(StatusCode::kInvalidArgument,
+                  "index count is not a multiple of 3");
+  }
+  for (const std::uint32_t idx : indices) {
+    if (idx >= vertices.size()) {
+      return Status(StatusCode::kOutOfRange, "index addresses missing vertex");
+    }
+  }
+  return Status::Ok();
+}
+
+BoundingBox Mesh::Bounds() const {
+  COIC_CHECK_MSG(!vertices.empty(), "bounds of an empty mesh");
+  BoundingBox box{vertices[0].position, vertices[0].position};
+  for (const Vertex& v : vertices) {
+    box.min.x = std::min(box.min.x, v.position.x);
+    box.min.y = std::min(box.min.y, v.position.y);
+    box.min.z = std::min(box.min.z, v.position.z);
+    box.max.x = std::max(box.max.x, v.position.x);
+    box.max.y = std::max(box.max.y, v.position.y);
+    box.max.z = std::max(box.max.z, v.position.z);
+  }
+  return box;
+}
+
+void Mesh::RecomputeNormals() {
+  for (auto& v : vertices) v.normal = {0, 0, 0};
+  for (std::size_t t = 0; t + 2 < indices.size(); t += 3) {
+    Vertex& a = vertices[indices[t]];
+    Vertex& b = vertices[indices[t + 1]];
+    Vertex& c = vertices[indices[t + 2]];
+    // Cross product magnitude is 2x triangle area: area weighting for free.
+    const Vec3 face = Cross(b.position - a.position, c.position - a.position);
+    a.normal = a.normal + face;
+    b.normal = b.normal + face;
+    c.normal = c.normal + face;
+  }
+  for (auto& v : vertices) v.normal = Normalized(v.normal);
+}
+
+}  // namespace coic::render

@@ -1,0 +1,70 @@
+// Triangle-mesh geometry for the 3D rendering substrate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace coic::render {
+
+struct Vec3 {
+  float x = 0, y = 0, z = 0;
+
+  friend constexpr Vec3 operator+(Vec3 a, Vec3 b) noexcept {
+    return {a.x + b.x, a.y + b.y, a.z + b.z};
+  }
+  friend constexpr Vec3 operator-(Vec3 a, Vec3 b) noexcept {
+    return {a.x - b.x, a.y - b.y, a.z - b.z};
+  }
+  friend constexpr Vec3 operator*(Vec3 a, float k) noexcept {
+    return {a.x * k, a.y * k, a.z * k};
+  }
+  friend constexpr bool operator==(Vec3, Vec3) noexcept = default;
+};
+
+constexpr Vec3 Cross(Vec3 a, Vec3 b) noexcept {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z, a.x * b.y - a.y * b.x};
+}
+constexpr float Dot(Vec3 a, Vec3 b) noexcept {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+float Length(Vec3 v) noexcept;
+Vec3 Normalized(Vec3 v) noexcept;
+
+struct Vertex {
+  Vec3 position;
+  Vec3 normal;
+  float u = 0, v = 0;  ///< Texture coordinates.
+
+  friend constexpr bool operator==(const Vertex&, const Vertex&) noexcept = default;
+};
+
+struct BoundingBox {
+  Vec3 min{};
+  Vec3 max{};
+};
+
+/// Indexed triangle mesh. Invariant (checked by Validate): every index
+/// addresses a vertex and the index count is a multiple of 3.
+struct Mesh {
+  std::vector<Vertex> vertices;
+  std::vector<std::uint32_t> indices;
+
+  friend bool operator==(const Mesh&, const Mesh&) = default;
+
+  [[nodiscard]] std::size_t triangle_count() const noexcept {
+    return indices.size() / 3;
+  }
+
+  /// OK iff structurally sound (index bounds, triangle multiple).
+  [[nodiscard]] Status Validate() const;
+
+  /// Axis-aligned bounds; precondition: at least one vertex.
+  [[nodiscard]] BoundingBox Bounds() const;
+
+  /// Recomputes per-vertex normals by area-weighted face averaging.
+  void RecomputeNormals();
+};
+
+}  // namespace coic::render

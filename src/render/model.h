@@ -1,0 +1,61 @@
+// 3D model assets: mesh + texture payload, serialization, and the
+// procedural builder that manufactures models at the paper's exact
+// evaluated sizes (Figure 2b sweeps model size in KB).
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "common/hash.h"
+#include "common/units.h"
+#include "render/mesh.h"
+
+namespace coic::render {
+
+/// A serializable 3D asset: identity, geometry and an opaque texture
+/// blob. The texture blob is what lets the builder hit an exact target
+/// byte size — geometry quantizes in vertex-sized steps, texture bytes
+/// fill the remainder (exactly how real assets are dominated by texture).
+struct Model3D {
+  std::uint64_t id = 0;
+  Mesh mesh;
+  ByteVec texture;
+
+  friend bool operator==(const Model3D&, const Model3D&) = default;
+};
+
+/// Serializes to the CoIC asset wire format.
+ByteVec SerializeModel(const Model3D& model);
+
+/// Parses an asset; rejects corrupt input with kDataLoss.
+Result<Model3D> DeserializeModel(std::span<const std::uint8_t> bytes);
+
+/// Exact serialized size of a model without serializing (header + vertex
+/// + index + texture arithmetic). Tested equal to SerializeModel().size().
+Bytes SerializedModelSize(const Model3D& model) noexcept;
+
+struct ProceduralModelParams {
+  std::uint64_t model_id = 1;
+  /// Exact serialized byte size the built model must have. Must be at
+  /// least kMinModelBytes (one quad of geometry + headers).
+  Bytes target_serialized_bytes = KB(231);
+  /// Seed for the texture fill and shape jitter.
+  std::uint64_t seed = 0x3D;
+};
+
+/// Smallest buildable asset: headers + the coarsest sphere (2 rings) +
+/// room for a non-empty texture blob.
+inline constexpr Bytes kMinModelBytes = 1024;
+
+/// Builds a UV-sphere-based model whose serialized size is exactly
+/// `target_serialized_bytes`. Geometry detail scales with the budget
+/// (larger models get denser spheres, as real LODs do); the texture blob
+/// absorbs the remainder byte-exactly.
+Model3D BuildProceduralModel(const ProceduralModelParams& params);
+
+/// Content digest of the serialized form — the exact-match cache key the
+/// paper prescribes for rendering tasks ("the hash value of the required
+/// 3D model").
+Digest128 ModelContentDigest(const Model3D& model);
+
+}  // namespace coic::render

@@ -1,0 +1,75 @@
+#include "render/registry.h"
+
+namespace coic::render {
+
+Status ModelRegistry::RegisterProcedural(std::uint64_t model_id,
+                                         Bytes serialized_size,
+                                         std::uint64_t seed) {
+  ProceduralModelParams params;
+  params.model_id = model_id;
+  params.target_serialized_bytes = serialized_size;
+  params.seed = seed;
+  return RegisterBytes(model_id, SerializeModel(BuildProceduralModel(params)));
+}
+
+Status ModelRegistry::RegisterBytes(std::uint64_t model_id, ByteVec serialized) {
+  if (models_.count(model_id) != 0) {
+    return Status(StatusCode::kAlreadyExists, "model id already registered");
+  }
+  Stored stored;
+  stored.digest = ContentDigest(serialized);
+  stored.bytes = std::move(serialized);
+  by_digest_[stored.digest] = model_id;
+  models_.emplace(model_id, std::move(stored));
+  return Status::Ok();
+}
+
+Result<std::span<const std::uint8_t>> ModelRegistry::BytesFor(
+    std::uint64_t model_id) const {
+  const auto it = models_.find(model_id);
+  if (it == models_.end()) {
+    return Status(StatusCode::kNotFound, "unknown model id");
+  }
+  return std::span<const std::uint8_t>(it->second.bytes);
+}
+
+Result<Digest128> ModelRegistry::DigestFor(std::uint64_t model_id) const {
+  const auto it = models_.find(model_id);
+  if (it == models_.end()) {
+    return Status(StatusCode::kNotFound, "unknown model id");
+  }
+  return it->second.digest;
+}
+
+std::optional<std::uint64_t> ModelRegistry::FindByDigest(
+    const Digest128& digest) const {
+  const auto it = by_digest_.find(digest);
+  if (it == by_digest_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::uint64_t> ModelRegistry::ModelIds() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(models_.size());
+  for (const auto& [id, _] : models_) ids.push_back(id);
+  return ids;
+}
+
+const std::vector<Bytes>& ModelRegistry::Figure2bSizes() {
+  // Sizes in KB as printed along Figure 2b's x-axis.
+  static const std::vector<Bytes> kSizes = {KB(231),  KB(1073), KB(1949),
+                                            KB(7050), KB(13072), KB(15053)};
+  return kSizes;
+}
+
+ModelRegistry ModelRegistry::MakeFigure2bSet(std::uint64_t seed) {
+  ModelRegistry registry;
+  std::uint64_t id = 1;
+  for (const Bytes size : Figure2bSizes()) {
+    COIC_CHECK(registry.RegisterProcedural(id, size, seed).ok());
+    ++id;
+  }
+  return registry;
+}
+
+}  // namespace coic::render

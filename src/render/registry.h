@@ -1,0 +1,61 @@
+// ModelRegistry — the cloud-side asset store.
+//
+// In the paper's testbed, the cloud holds the application's 3D models and
+// serves them (possibly after loading) to the edge. The registry owns the
+// serialized assets, exposes digest-keyed lookup (the cache key space)
+// and manufactures the Figure 2b model set at the paper's exact sizes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/units.h"
+#include "render/model.h"
+
+namespace coic::render {
+
+class ModelRegistry {
+ public:
+  /// Builds and registers a procedural model of exactly `serialized_size`
+  /// bytes under `model_id`. Fails on duplicate id.
+  Status RegisterProcedural(std::uint64_t model_id, Bytes serialized_size,
+                            std::uint64_t seed = 0x3D);
+
+  /// Registers pre-serialized bytes verbatim.
+  Status RegisterBytes(std::uint64_t model_id, ByteVec serialized);
+
+  /// Serialized bytes by model id; kNotFound if absent.
+  [[nodiscard]] Result<std::span<const std::uint8_t>> BytesFor(
+      std::uint64_t model_id) const;
+
+  /// Content digest of a registered model; kNotFound if absent.
+  [[nodiscard]] Result<Digest128> DigestFor(std::uint64_t model_id) const;
+
+  /// Model id owning `digest`, if any.
+  [[nodiscard]] std::optional<std::uint64_t> FindByDigest(
+      const Digest128& digest) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return models_.size(); }
+  [[nodiscard]] std::vector<std::uint64_t> ModelIds() const;
+
+  /// The model sizes evaluated in Figure 2b, in KB as printed on the
+  /// figure's x-axis.
+  static const std::vector<Bytes>& Figure2bSizes();
+
+  /// Convenience: a registry pre-populated with one model per Figure 2b
+  /// size, ids 1..N in size order.
+  static ModelRegistry MakeFigure2bSet(std::uint64_t seed = 0x3D);
+
+ private:
+  struct Stored {
+    ByteVec bytes;
+    Digest128 digest;
+  };
+  std::unordered_map<std::uint64_t, Stored> models_;
+  std::unordered_map<Digest128, std::uint64_t, Digest128Hasher> by_digest_;
+};
+
+}  // namespace coic::render

@@ -1,0 +1,124 @@
+#include "render/renderer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace coic::render {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Vec4 {
+  float x, y, z, w;
+};
+
+Vec4 Transform(const Mat4& m, Vec3 v) noexcept {
+  return {m[0] * v.x + m[4] * v.y + m[8] * v.z + m[12],
+          m[1] * v.x + m[5] * v.y + m[9] * v.z + m[13],
+          m[2] * v.x + m[6] * v.y + m[10] * v.z + m[14],
+          m[3] * v.x + m[7] * v.y + m[11] * v.z + m[15]};
+}
+
+}  // namespace
+
+Mat4 Identity4() {
+  Mat4 m{};
+  m[0] = m[5] = m[10] = m[15] = 1;
+  return m;
+}
+
+Mat4 Multiply(const Mat4& a, const Mat4& b) {
+  Mat4 out{};
+  for (int col = 0; col < 4; ++col) {
+    for (int row = 0; row < 4; ++row) {
+      float acc = 0;
+      for (int k = 0; k < 4; ++k) acc += a[k * 4 + row] * b[col * 4 + k];
+      out[col * 4 + row] = acc;
+    }
+  }
+  return out;
+}
+
+Mat4 Perspective(float fov_y_deg, float aspect, float near_z, float far_z) {
+  COIC_CHECK(fov_y_deg > 0 && fov_y_deg < 180);
+  COIC_CHECK(near_z > 0 && far_z > near_z);
+  const float f = 1.0f / std::tan(static_cast<float>(fov_y_deg * kPi / 360.0));
+  Mat4 m{};
+  m[0] = f / aspect;
+  m[5] = f;
+  m[10] = (far_z + near_z) / (near_z - far_z);
+  m[11] = -1;
+  m[14] = 2 * far_z * near_z / (near_z - far_z);
+  return m;
+}
+
+Mat4 LookAtOrigin(Vec3 eye) {
+  const Vec3 fwd = Normalized(Vec3{0, 0, 0} - eye);
+  Vec3 up{0, 1, 0};
+  if (std::abs(Dot(fwd, up)) > 0.999f) up = {1, 0, 0};
+  const Vec3 right = Normalized(Cross(fwd, up));
+  const Vec3 cam_up = Cross(right, fwd);
+  Mat4 m = Identity4();
+  m[0] = right.x; m[4] = right.y; m[8] = right.z;
+  m[1] = cam_up.x; m[5] = cam_up.y; m[9] = cam_up.z;
+  m[2] = -fwd.x; m[6] = -fwd.y; m[10] = -fwd.z;
+  m[12] = -Dot(right, eye);
+  m[13] = -Dot(cam_up, eye);
+  m[14] = Dot(fwd, eye);
+  return m;
+}
+
+Renderer::Renderer(std::uint32_t viewport_width, std::uint32_t viewport_height)
+    : width_(viewport_width), height_(viewport_height) {
+  COIC_CHECK(viewport_width > 0 && viewport_height > 0);
+}
+
+DrawStats Renderer::Draw(const LoadedModel& model, const Mat4& view_proj) const {
+  DrawStats stats;
+  const auto& mesh = model.model.mesh;
+  const auto& idx = mesh.indices;
+  stats.triangles_submitted = static_cast<std::uint32_t>(idx.size() / 3);
+
+  const auto to_screen = [&](Vec3 p, bool& behind) {
+    const Vec4 clip = Transform(view_proj, p);
+    behind = clip.w <= 1e-6f;
+    const float inv_w = behind ? 0.0f : 1.0f / clip.w;
+    return std::pair<float, float>{
+        (clip.x * inv_w * 0.5f + 0.5f) * static_cast<float>(width_),
+        (0.5f - clip.y * inv_w * 0.5f) * static_cast<float>(height_)};
+  };
+
+  for (std::size_t t = 0; t + 2 < idx.size(); t += 3) {
+    bool behind_a = false, behind_b = false, behind_c = false;
+    const auto [ax, ay] = to_screen(mesh.vertices[idx[t]].position, behind_a);
+    const auto [bx, by] = to_screen(mesh.vertices[idx[t + 1]].position, behind_b);
+    const auto [cx, cy] = to_screen(mesh.vertices[idx[t + 2]].position, behind_c);
+    if (behind_a || behind_b || behind_c) {
+      ++stats.triangles_culled;
+      continue;
+    }
+    // Back-face cull by signed screen-space area (CCW = front).
+    const float area2 = (bx - ax) * (cy - ay) - (cx - ax) * (by - ay);
+    if (area2 >= 0) {
+      ++stats.triangles_culled;
+      continue;
+    }
+    // Clipped bounding-box coverage as the raster-work proxy.
+    const float min_x = std::max(0.0f, std::min({ax, bx, cx}));
+    const float max_x = std::min(static_cast<float>(width_), std::max({ax, bx, cx}));
+    const float min_y = std::max(0.0f, std::min({ay, by, cy}));
+    const float max_y = std::min(static_cast<float>(height_), std::max({ay, by, cy}));
+    if (min_x >= max_x || min_y >= max_y) {
+      ++stats.triangles_culled;
+      continue;
+    }
+    ++stats.triangles_rasterized;
+    stats.pixels_covered += static_cast<std::uint64_t>(max_x - min_x) *
+                            static_cast<std::uint64_t>(max_y - min_y);
+  }
+  return stats;
+}
+
+}  // namespace coic::render

@@ -1,0 +1,55 @@
+// A deterministic software renderer facade.
+//
+// The substrate cannot drive a GPU, but the draw step still has to be
+// real code with model-dependent work so the pipelines exercise it: the
+// renderer transforms every vertex by a view-projection matrix, culls
+// back faces, and accumulates raster statistics from projected triangle
+// bounds. Draw *time* on the paper's devices is supplied by the
+// pipelines' CostModel; DrawStats gives tests something exact to assert.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "render/loader.h"
+#include "render/mesh.h"
+
+namespace coic::render {
+
+/// Column-major 4x4 matrix.
+using Mat4 = std::array<float, 16>;
+
+Mat4 Identity4();
+Mat4 Multiply(const Mat4& a, const Mat4& b);
+/// Right-handed perspective projection.
+Mat4 Perspective(float fov_y_deg, float aspect, float near_z, float far_z);
+/// Camera at `eye` looking at the origin with +Y up.
+Mat4 LookAtOrigin(Vec3 eye);
+
+struct DrawStats {
+  std::uint32_t triangles_submitted = 0;
+  std::uint32_t triangles_culled = 0;    ///< Back-facing or off-screen.
+  std::uint32_t triangles_rasterized = 0;
+  std::uint64_t pixels_covered = 0;      ///< Sum of clipped bbox coverage.
+
+  friend bool operator==(const DrawStats&, const DrawStats&) = default;
+};
+
+class Renderer {
+ public:
+  Renderer(std::uint32_t viewport_width, std::uint32_t viewport_height);
+
+  /// Draws a loaded model under `view_proj`, returning exact raster
+  /// statistics. Pure: no retained state between calls.
+  [[nodiscard]] DrawStats Draw(const LoadedModel& model,
+                               const Mat4& view_proj) const;
+
+  [[nodiscard]] std::uint32_t width() const noexcept { return width_; }
+  [[nodiscard]] std::uint32_t height() const noexcept { return height_; }
+
+ private:
+  std::uint32_t width_;
+  std::uint32_t height_;
+};
+
+}  // namespace coic::render

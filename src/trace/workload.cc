@@ -1,0 +1,213 @@
+#include "trace/workload.h"
+
+#include "common/status.h"
+
+namespace coic::trace {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config)
+    : config_(config), rng_(config.seed),
+      object_popularity_(config.objects, config.zipf_skew) {
+  COIC_CHECK(config.users >= 1);
+  COIC_CHECK(config.apps >= 1);
+  COIC_CHECK(config.objects >= 1);
+  COIC_CHECK(config.colocated_fraction >= 0 && config.colocated_fraction <= 1);
+  COIC_CHECK(config.arrival_rate_hz > 0);
+}
+
+bool WorkloadGenerator::UserIsColocated(std::uint32_t user) const noexcept {
+  // Deterministic membership: the first ceil(f * users) users share the
+  // place. Keeping membership static (not re-drawn per request) matches
+  // the physical story — you are either at the crossroads or not.
+  const auto shared =
+      static_cast<std::uint32_t>(config_.colocated_fraction * config_.users + 0.5);
+  return user < shared;
+}
+
+TraceRecord WorkloadGenerator::NextBase() {
+  TraceRecord rec;
+  clock_ = clock_ + Duration::Seconds(
+                        rng_.NextExponential(config_.arrival_rate_hz));
+  rec.at = clock_;
+  rec.user_id = static_cast<std::uint32_t>(rng_.NextBelow(config_.users));
+  rec.app_id = static_cast<std::uint32_t>(rng_.NextBelow(config_.apps));
+  return rec;
+}
+
+vision::SceneParams WorkloadGenerator::PerturbedScene(std::uint64_t scene_id) {
+  vision::SceneParams scene;
+  scene.scene_id = scene_id;
+  scene.view_angle_deg =
+      (rng_.NextDouble() * 2 - 1) * config_.view_angle_jitter_deg;
+  scene.distance = 1.0 + (rng_.NextDouble() * 2 - 1) * config_.distance_jitter;
+  scene.illumination =
+      1.0 + (rng_.NextDouble() * 2 - 1) * config_.illumination_jitter;
+  return scene;
+}
+
+std::vector<TraceRecord> WorkloadGenerator::GenerateRecognition(std::size_t n) {
+  std::vector<TraceRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceRecord rec = NextBase();
+    rec.type = IcTaskType::kRecognition;
+    const std::size_t rank = object_popularity_.Sample(rng_);
+    const std::uint64_t scene_id = UserIsColocated(rec.user_id)
+                                       ? SharedSceneId(rank)
+                                       : PrivateSceneId(rec.user_id, rank);
+    rec.scene = PerturbedScene(scene_id);
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> WorkloadGenerator::GenerateRender(
+    std::size_t n, std::span<const std::uint64_t> model_ids) {
+  COIC_CHECK_MSG(!model_ids.empty(), "render trace needs a model catalogue");
+  ZipfDistribution popularity(model_ids.size(), config_.zipf_skew);
+  std::vector<TraceRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceRecord rec = NextBase();
+    rec.type = IcTaskType::kRender;
+    rec.model_id = model_ids[popularity.Sample(rng_)];
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> WorkloadGenerator::GeneratePanorama(
+    std::size_t n, std::uint64_t video_id, std::uint32_t frames_in_video) {
+  COIC_CHECK(frames_in_video >= 1);
+  std::vector<TraceRecord> out;
+  out.reserve(n);
+  // Synchronized (co-located) viewers all watch the same playhead, which
+  // advances once per full round of viewers — so a frame rendered for
+  // the first synced viewer is re-requested by the rest (the paper's
+  // shared-panorama redundancy). Solo viewers advance privately.
+  const auto synced = std::max<std::uint32_t>(
+      1, static_cast<std::uint32_t>(config_.colocated_fraction * config_.users + 0.5));
+  std::vector<std::uint32_t> playhead(config_.users, 0);
+  std::uint64_t synced_requests = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    TraceRecord rec = NextBase();
+    rec.type = IcTaskType::kPanorama;
+    rec.video_id = video_id;
+    if (UserIsColocated(rec.user_id)) {
+      const auto head = static_cast<std::uint32_t>(
+          (synced_requests / synced) % frames_in_video);
+      ++synced_requests;
+      // Small random lag models imperfect sync.
+      const std::uint32_t lag = rng_.NextBool(0.15) ? 1 : 0;
+      rec.frame_index = (head + frames_in_video - lag) % frames_in_video;
+    } else {
+      auto& head = playhead[rec.user_id];
+      head = (head + 1) % frames_in_video;
+      rec.frame_index = head;
+    }
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<TraceRecord> WorkloadGenerator::GenerateMixed(
+    std::size_t n, std::span<const std::uint64_t> model_ids,
+    std::uint64_t video_id) {
+  std::vector<TraceRecord> out;
+  out.reserve(n);
+  const auto recognition = GenerateRecognition(n);  // oversampled pools
+  const auto render = GenerateRender(n, model_ids);
+  const auto panorama = GeneratePanorama(n, video_id, 64);
+  std::size_t ri = 0, mi = 0, pi = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t draw = rng_.NextBelow(10);
+    TraceRecord rec;
+    if (draw < 6) {
+      rec = recognition[ri++];
+    } else if (draw < 9) {
+      rec = render[mi++];
+    } else {
+      rec = panorama[pi++];
+    }
+    out.push_back(rec);
+  }
+  // Re-stamp arrivals so the interleaved trace is time-ordered.
+  SimTime t = SimTime::Epoch();
+  for (auto& rec : out) {
+    t = t + Duration::Seconds(rng_.NextExponential(config_.arrival_rate_hz));
+    rec.at = t;
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Trace serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr std::uint32_t kTraceMagic = 0x43525443;  // "CTRC" LE
+}  // namespace
+
+ByteVec SerializeTrace(std::span<const TraceRecord> records) {
+  ByteWriter w;
+  w.WriteU32(kTraceMagic);
+  w.WriteU32(static_cast<std::uint32_t>(records.size()));
+  for (const TraceRecord& rec : records) {
+    w.WriteI64(rec.at.micros());
+    w.WriteU32(rec.user_id);
+    w.WriteU32(rec.app_id);
+    w.WriteU8(static_cast<std::uint8_t>(rec.type));
+    w.WriteU64(rec.scene.scene_id);
+    w.WriteF64(rec.scene.view_angle_deg);
+    w.WriteF64(rec.scene.distance);
+    w.WriteF64(rec.scene.illumination);
+    w.WriteU32(rec.scene.width);
+    w.WriteU32(rec.scene.height);
+    w.WriteU64(rec.model_id);
+    w.WriteU64(rec.video_id);
+    w.WriteU32(rec.frame_index);
+  }
+  return w.TakeBytes();
+}
+
+Result<std::vector<TraceRecord>> DeserializeTrace(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  std::uint32_t magic = 0, count = 0;
+  COIC_RETURN_IF_ERROR(r.ReadU32(magic));
+  if (magic != kTraceMagic) {
+    return Status(StatusCode::kDataLoss, "bad trace magic");
+  }
+  COIC_RETURN_IF_ERROR(r.ReadU32(count));
+  std::vector<TraceRecord> out;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    TraceRecord rec;
+    std::int64_t at_us = 0;
+    std::uint8_t type_raw = 0;
+    COIC_RETURN_IF_ERROR(r.ReadI64(at_us));
+    rec.at = SimTime::FromMicros(at_us);
+    COIC_RETURN_IF_ERROR(r.ReadU32(rec.user_id));
+    COIC_RETURN_IF_ERROR(r.ReadU32(rec.app_id));
+    COIC_RETURN_IF_ERROR(r.ReadU8(type_raw));
+    if (type_raw > static_cast<std::uint8_t>(IcTaskType::kPanorama)) {
+      return Status(StatusCode::kDataLoss, "bad task type in trace");
+    }
+    rec.type = static_cast<IcTaskType>(type_raw);
+    COIC_RETURN_IF_ERROR(r.ReadU64(rec.scene.scene_id));
+    COIC_RETURN_IF_ERROR(r.ReadF64(rec.scene.view_angle_deg));
+    COIC_RETURN_IF_ERROR(r.ReadF64(rec.scene.distance));
+    COIC_RETURN_IF_ERROR(r.ReadF64(rec.scene.illumination));
+    COIC_RETURN_IF_ERROR(r.ReadU32(rec.scene.width));
+    COIC_RETURN_IF_ERROR(r.ReadU32(rec.scene.height));
+    COIC_RETURN_IF_ERROR(r.ReadU64(rec.model_id));
+    COIC_RETURN_IF_ERROR(r.ReadU64(rec.video_id));
+    COIC_RETURN_IF_ERROR(r.ReadU32(rec.frame_index));
+    out.push_back(rec);
+  }
+  if (!r.AtEnd()) {
+    return Status(StatusCode::kDataLoss, "trailing bytes after trace");
+  }
+  return out;
+}
+
+}  // namespace coic::trace

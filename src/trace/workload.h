@@ -1,0 +1,121 @@
+// Workload generation — the §1.2 measurement study, synthesized.
+//
+// The paper's motivating observation is structural redundancy across
+// users and applications: co-located users recognize the same stop sign
+// from different angles, render the same avatar, watch the same
+// panorama. The generator reproduces that structure with explicit knobs:
+//   * `objects` distinct physical objects with Zipf popularity (a few
+//     objects are requested constantly, most rarely);
+//   * a `colocated_fraction` of users share the popular object pool —
+//     the rest see private objects nobody else requests;
+//   * per-request view jitter (angle/distance/illumination) models "the
+//     same stop sign from a different angle".
+// Benches sweep these knobs to map when cooperative caching pays off.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "vision/image.h"
+
+namespace coic::trace {
+
+enum class IcTaskType : std::uint8_t {
+  kRecognition = 0,
+  kRender = 1,
+  kPanorama = 2,
+};
+
+/// One IC request in a trace.
+struct TraceRecord {
+  SimTime at;                 ///< Arrival time (Poisson process).
+  std::uint32_t user_id = 0;
+  std::uint32_t app_id = 0;
+  IcTaskType type = IcTaskType::kRecognition;
+  /// kRecognition: the observed scene (object id + view perturbation).
+  vision::SceneParams scene;
+  /// kRender: which asset.
+  std::uint64_t model_id = 0;
+  /// kPanorama: which stream/frame.
+  std::uint64_t video_id = 0;
+  std::uint32_t frame_index = 0;
+};
+
+struct WorkloadConfig {
+  std::uint32_t users = 8;
+  std::uint32_t apps = 3;
+  /// Distinct physical objects in the shared world.
+  std::uint32_t objects = 50;
+  /// Zipf skew over object popularity (0 = uniform).
+  double zipf_skew = 0.9;
+  /// Fraction of users standing in the shared place (drawing from the
+  /// shared object pool). The rest request private objects.
+  double colocated_fraction = 0.75;
+  /// View perturbation bounds (uniform in +/- these).
+  double view_angle_jitter_deg = 6.0;
+  double distance_jitter = 0.08;
+  double illumination_jitter = 0.10;
+  /// Poisson arrival rate across all users, requests/second.
+  double arrival_rate_hz = 4.0;
+  std::uint64_t seed = 7;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadConfig config);
+
+  /// `n` recognition requests. Object ids map to scene ids 1..objects
+  /// for co-located users, and per-user private ranges above that.
+  std::vector<TraceRecord> GenerateRecognition(std::size_t n);
+
+  /// `n` render requests over the given asset catalogue (Zipf over it).
+  std::vector<TraceRecord> GenerateRender(std::size_t n,
+                                          std::span<const std::uint64_t> model_ids);
+
+  /// `n` panorama requests: users progress through a shared video with
+  /// loosely synchronized frame positions (same-frame redundancy).
+  std::vector<TraceRecord> GeneratePanorama(std::size_t n,
+                                            std::uint64_t video_id,
+                                            std::uint32_t frames_in_video);
+
+  /// A mixed AR-session trace: recognition-heavy with render/panorama
+  /// interleaved (ratios 6:3:1).
+  std::vector<TraceRecord> GenerateMixed(std::size_t n,
+                                         std::span<const std::uint64_t> model_ids,
+                                         std::uint64_t video_id);
+
+  [[nodiscard]] const WorkloadConfig& config() const noexcept { return config_; }
+
+  /// Scene id of shared object at popularity `rank` (1-based scene ids).
+  [[nodiscard]] std::uint64_t SharedSceneId(std::size_t rank) const noexcept {
+    return rank + 1;
+  }
+  /// Scene id of a private object for `user`.
+  [[nodiscard]] std::uint64_t PrivateSceneId(std::uint32_t user,
+                                             std::size_t rank) const noexcept {
+    return static_cast<std::uint64_t>(config_.objects) + 1 +
+           static_cast<std::uint64_t>(user) * 1'000'000 + rank;
+  }
+
+ private:
+  /// Fills arrival time, user, app; advances the Poisson clock.
+  TraceRecord NextBase();
+  [[nodiscard]] bool UserIsColocated(std::uint32_t user) const noexcept;
+  vision::SceneParams PerturbedScene(std::uint64_t scene_id);
+
+  WorkloadConfig config_;
+  Rng rng_;
+  ZipfDistribution object_popularity_;
+  SimTime clock_ = SimTime::Epoch();
+};
+
+/// Binary trace serialization (record/replay for benches and tests).
+ByteVec SerializeTrace(std::span<const TraceRecord> records);
+Result<std::vector<TraceRecord>> DeserializeTrace(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace coic::trace

@@ -1,0 +1,145 @@
+#include "vision/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace coic::vision {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// A scene is a fixed set of Gaussian blobs whose geometry is derived
+/// from scene_id; the view parameters move the camera, not the blobs.
+struct Blob {
+  double cx, cy;     // canonical center in [-1, 1]^2
+  double sigma;      // spread
+  double amplitude;  // brightness
+};
+
+std::vector<Blob> BlobsForScene(std::uint64_t scene_id) {
+  Rng rng(scene_id * 0x9E3779B97F4A7C15ULL + 0xC01C);
+  const std::size_t count = 6 + rng.NextBelow(5);  // 6..10 blobs
+  std::vector<Blob> blobs(count);
+  for (auto& b : blobs) {
+    b.cx = rng.NextDouble() * 1.4 - 0.7;
+    b.cy = rng.NextDouble() * 1.4 - 0.7;
+    b.sigma = 0.08 + rng.NextDouble() * 0.25;
+    b.amplitude = 0.35 + rng.NextDouble() * 0.65;
+  }
+  return blobs;
+}
+
+std::uint64_t SceneTextureKey(std::uint64_t scene_id) noexcept {
+  std::uint64_t s = scene_id ^ 0xA5A5A5A5DEADBEEFULL;
+  return SplitMix64(s);
+}
+
+}  // namespace
+
+SyntheticImage SyntheticImage::Generate(const SceneParams& params) {
+  COIC_CHECK_MSG(params.width >= 8 && params.height >= 8,
+                 "image raster too small");
+  COIC_CHECK_MSG(params.distance > 0.05, "camera inside the object");
+  const auto blobs = BlobsForScene(params.scene_id);
+
+  const double theta = params.view_angle_deg * kPi / 180.0;
+  const double cos_t = std::cos(theta);
+  const double sin_t = std::sin(theta);
+  const double zoom = 1.0 / params.distance;
+
+  std::vector<float> pixels(static_cast<std::size_t>(params.width) *
+                            params.height);
+  for (std::uint32_t y = 0; y < params.height; ++y) {
+    // Pixel coordinates in [-1, 1].
+    const double py = 2.0 * (static_cast<double>(y) + 0.5) / params.height - 1.0;
+    for (std::uint32_t x = 0; x < params.width; ++x) {
+      const double px = 2.0 * (static_cast<double>(x) + 0.5) / params.width - 1.0;
+      // Inverse-rotate the pixel into scene space: rotating the camera by
+      // +theta is sampling the scene rotated by -theta.
+      const double sx = (px * cos_t + py * sin_t) / zoom;
+      const double sy = (-px * sin_t + py * cos_t) / zoom;
+      double v = 0;
+      for (const Blob& b : blobs) {
+        const double dx = sx - b.cx;
+        const double dy = sy - b.cy;
+        v += b.amplitude * std::exp(-(dx * dx + dy * dy) / (2 * b.sigma * b.sigma));
+      }
+      // Deterministic high-frequency texture keyed by scene identity —
+      // distinguishes scenes whose blob layouts happen to be close.
+      const std::uint64_t tex = SceneTextureKey(params.scene_id);
+      v += 0.05 * std::sin(7.0 * sx + static_cast<double>(tex & 7)) *
+           std::cos(5.0 * sy + static_cast<double>((tex >> 3) & 7));
+      v *= params.illumination;
+      pixels[static_cast<std::size_t>(y) * params.width + x] =
+          static_cast<float>(std::clamp(v, 0.0, 4.0));
+    }
+  }
+  return SyntheticImage(params, std::move(pixels));
+}
+
+ByteVec SyntheticImage::EncodePixels() const {
+  ByteVec out(pixels_.size());
+  for (std::size_t i = 0; i < pixels_.size(); ++i) {
+    out[i] = static_cast<std::uint8_t>(
+        std::clamp(pixels_[i] * 64.0f, 0.0f, 255.0f));
+  }
+  return out;
+}
+
+Digest128 SyntheticImage::ContentHash() const {
+  const ByteVec bytes = EncodePixels();
+  return ContentDigest(bytes);
+}
+
+SyntheticImage SyntheticImage::FromPixels(const SceneParams& params,
+                                          std::vector<float> pixels) {
+  COIC_CHECK(pixels.size() ==
+             static_cast<std::size_t>(params.width) * params.height);
+  return SyntheticImage(params, std::move(pixels));
+}
+
+ByteVec SyntheticImage::SerializeForWire(Bytes padded_total) const {
+  ByteWriter w;
+  w.WriteU64(params_.scene_id);
+  w.WriteF64(params_.view_angle_deg);
+  w.WriteF64(params_.distance);
+  w.WriteF64(params_.illumination);
+  w.WriteU32(params_.width);
+  w.WriteU32(params_.height);
+  w.WriteBlob(EncodePixels());
+  const std::size_t body = w.size() + 4;  // +4 for the pad length field
+  const std::size_t pad =
+      padded_total > body ? static_cast<std::size_t>(padded_total) - body : 0;
+  w.WriteBlob(DeterministicBytes(pad, params_.scene_id ^ 0x4A50454Bu));
+  return w.TakeBytes();
+}
+
+Result<SyntheticImage> SyntheticImage::DecodeWire(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  SceneParams params;
+  COIC_RETURN_IF_ERROR(r.ReadU64(params.scene_id));
+  COIC_RETURN_IF_ERROR(r.ReadF64(params.view_angle_deg));
+  COIC_RETURN_IF_ERROR(r.ReadF64(params.distance));
+  COIC_RETURN_IF_ERROR(r.ReadF64(params.illumination));
+  COIC_RETURN_IF_ERROR(r.ReadU32(params.width));
+  COIC_RETURN_IF_ERROR(r.ReadU32(params.height));
+  ByteVec quantized;
+  COIC_RETURN_IF_ERROR(r.ReadBlob(quantized));
+  if (quantized.size() !=
+      static_cast<std::size_t>(params.width) * params.height) {
+    return Status(StatusCode::kDataLoss, "pixel payload size mismatch");
+  }
+  ByteVec padding;
+  COIC_RETURN_IF_ERROR(r.ReadBlob(padding));  // discarded filler
+  std::vector<float> pixels(quantized.size());
+  for (std::size_t i = 0; i < quantized.size(); ++i) {
+    pixels[i] = static_cast<float>(quantized[i]) / 64.0f;
+  }
+  return FromPixels(params, std::move(pixels));
+}
+
+}  // namespace coic::vision

@@ -1,0 +1,66 @@
+#include "vision/recognition.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace coic::vision {
+
+RecognitionModel::RecognitionModel(std::vector<ObjectClass> classes,
+                                   const FeatureExtractor& extractor,
+                                   std::uint32_t views_per_class)
+    : classes_(std::move(classes)), extractor_(extractor) {
+  COIC_CHECK_MSG(!classes_.empty(), "recognition model needs classes");
+  COIC_CHECK(views_per_class >= 1);
+  centroids_.reserve(classes_.size());
+  for (const ObjectClass& cls : classes_) {
+    std::vector<double> acc(extractor_.config().output_dim, 0.0);
+    for (std::uint32_t v = 0; v < views_per_class; ++v) {
+      SceneParams params;
+      params.scene_id = cls.scene_id;
+      params.view_angle_deg = -20.0 + 40.0 * v / std::max(1u, views_per_class - 1);
+      const auto desc = extractor_.Extract(SyntheticImage::Generate(params));
+      for (std::size_t i = 0; i < desc.size(); ++i) acc[i] += desc[i];
+    }
+    std::vector<float> centroid(acc.size());
+    double norm = 0;
+    for (const double v : acc) norm += v * v;
+    norm = std::sqrt(norm);
+    for (std::size_t i = 0; i < acc.size(); ++i) {
+      centroid[i] = static_cast<float>(norm > 1e-12 ? acc[i] / norm : 0.0);
+    }
+    centroids_.push_back(std::move(centroid));
+  }
+}
+
+Recognition RecognitionModel::Classify(const SyntheticImage& image) const {
+  return ClassifyDescriptor(extractor_.Extract(image));
+}
+
+Recognition RecognitionModel::ClassifyDescriptor(
+    std::span<const float> descriptor) const {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < centroids_.size(); ++c) {
+    const double d = DescriptorDistance(descriptor, centroids_[c]);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  Recognition r;
+  r.label = classes_[best].label;
+  r.scene_id = classes_[best].scene_id;
+  // Descriptors and centroids are unit vectors, so distance <= 2.
+  r.confidence = static_cast<float>(1.0 - std::min(best_dist, 2.0) / 2.0);
+  return r;
+}
+
+ByteVec RecognitionModel::MakeAnnotation(const std::string& label,
+                                         Bytes annotation_bytes) {
+  return DeterministicBytes(annotation_bytes, Fnv1a64(label));
+}
+
+}  // namespace coic::vision

@@ -1,0 +1,64 @@
+// Cloud-side object recognition — the "DNN model" of the paper.
+//
+// The model is a nearest-centroid classifier over the same descriptor
+// space the client extractor produces: each registered object class gets
+// a centroid from a set of canonical views; classification returns the
+// closest centroid's label with a distance-derived confidence. This is
+// the full-fidelity "cloud inference" that Origin mode pays for on every
+// frame and CoIC pays for only on cache misses.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "vision/features.h"
+#include "vision/image.h"
+
+namespace coic::vision {
+
+/// One recognizable object class.
+struct ObjectClass {
+  std::uint64_t scene_id = 0;  ///< The synthetic scene rendering this object.
+  std::string label;           ///< E.g. "stop_sign".
+};
+
+struct Recognition {
+  std::string label;
+  float confidence = 0;   ///< In (0, 1]; 1 = exactly on the centroid.
+  std::uint64_t scene_id = 0;
+};
+
+class RecognitionModel {
+ public:
+  /// Builds centroids for `classes` by averaging descriptors over
+  /// `views_per_class` canonical view angles.
+  RecognitionModel(std::vector<ObjectClass> classes,
+                   const FeatureExtractor& extractor,
+                   std::uint32_t views_per_class = 5);
+
+  /// Classifies a frame end-to-end (extract + nearest centroid).
+  [[nodiscard]] Recognition Classify(const SyntheticImage& image) const;
+
+  /// Classifies a pre-extracted descriptor (used by the layer-split
+  /// pipeline where the client already ran the lower layers).
+  [[nodiscard]] Recognition ClassifyDescriptor(std::span<const float> descriptor) const;
+
+  [[nodiscard]] std::size_t class_count() const noexcept { return classes_.size(); }
+  [[nodiscard]] const std::vector<ObjectClass>& classes() const noexcept { return classes_; }
+
+  /// Synthesizes the "high-quality 3D annotation" result blob for a
+  /// label; deterministic per label so cached copies are byte-identical.
+  /// `annotation_bytes` is the blob size (result download cost driver).
+  [[nodiscard]] static ByteVec MakeAnnotation(const std::string& label,
+                                              Bytes annotation_bytes);
+
+ private:
+  std::vector<ObjectClass> classes_;
+  const FeatureExtractor& extractor_;
+  std::vector<std::vector<float>> centroids_;
+};
+
+}  // namespace coic::vision

@@ -1,0 +1,113 @@
+#include "vision/tracking.h"
+
+#include <cmath>
+
+#include "common/status.h"
+
+namespace coic::vision {
+namespace {
+
+bool PatchInside(const SyntheticImage& frame, PatchLocation loc,
+                 std::uint32_t size) noexcept {
+  return loc.x >= 0 && loc.y >= 0 &&
+         loc.x + static_cast<std::int32_t>(size) <=
+             static_cast<std::int32_t>(frame.width()) &&
+         loc.y + static_cast<std::int32_t>(size) <=
+             static_cast<std::int32_t>(frame.height());
+}
+
+}  // namespace
+
+ObjectTracker::ObjectTracker(const SyntheticImage& frame,
+                             PatchLocation location, TrackerConfig config)
+    : config_(config) {
+  COIC_CHECK(config.patch_size >= 4);
+  COIC_CHECK(config.min_score > -1 && config.min_score < 1);
+  COIC_CHECK_MSG(PatchInside(frame, location, config.patch_size),
+                 "template patch outside the frame");
+  CaptureTemplate(frame, location);
+}
+
+void ObjectTracker::CaptureTemplate(const SyntheticImage& frame,
+                                    PatchLocation location) {
+  const std::uint32_t n = config_.patch_size;
+  location_ = location;
+  patch_.resize(static_cast<std::size_t>(n) * n);
+  double sum = 0;
+  for (std::uint32_t y = 0; y < n; ++y) {
+    for (std::uint32_t x = 0; x < n; ++x) {
+      const float v = frame.at(static_cast<std::uint32_t>(location.x) + x,
+                               static_cast<std::uint32_t>(location.y) + y);
+      patch_[static_cast<std::size_t>(y) * n + x] = v;
+      sum += v;
+    }
+  }
+  patch_mean_ = sum / static_cast<double>(patch_.size());
+  double norm = 0;
+  for (const float v : patch_) {
+    const double d = v - patch_mean_;
+    norm += d * d;
+  }
+  patch_norm_ = std::sqrt(norm);
+}
+
+double ObjectTracker::NccAt(const SyntheticImage& frame,
+                            PatchLocation loc) const {
+  const std::uint32_t n = config_.patch_size;
+  // Window statistics first (single pass for mean).
+  double sum = 0;
+  for (std::uint32_t y = 0; y < n; ++y) {
+    for (std::uint32_t x = 0; x < n; ++x) {
+      sum += frame.at(static_cast<std::uint32_t>(loc.x) + x,
+                      static_cast<std::uint32_t>(loc.y) + y);
+    }
+  }
+  const double mean = sum / static_cast<double>(n) / n;
+  double dot = 0, norm = 0;
+  for (std::uint32_t y = 0; y < n; ++y) {
+    for (std::uint32_t x = 0; x < n; ++x) {
+      const double w = frame.at(static_cast<std::uint32_t>(loc.x) + x,
+                                static_cast<std::uint32_t>(loc.y) + y) -
+                       mean;
+      dot += w * (patch_[static_cast<std::size_t>(y) * n + x] - patch_mean_);
+      norm += w * w;
+    }
+  }
+  const double denom = patch_norm_ * std::sqrt(norm);
+  if (denom < 1e-12) return 0;
+  return dot / denom;
+}
+
+TrackResult ObjectTracker::Track(const SyntheticImage& frame) {
+  const auto radius = static_cast<std::int32_t>(config_.search_radius);
+  TrackResult best;
+  best.score = -2;
+  for (std::int32_t dy = -radius; dy <= radius; ++dy) {
+    for (std::int32_t dx = -radius; dx <= radius; ++dx) {
+      const PatchLocation candidate{location_.x + dx, location_.y + dy};
+      if (!PatchInside(frame, candidate, config_.patch_size)) continue;
+      const double score = NccAt(frame, candidate);
+      if (score > best.score) {
+        best.score = score;
+        best.location = candidate;
+        best.dx = dx;
+        best.dy = dy;
+      }
+    }
+  }
+  if (best.score >= config_.min_score) {
+    best.found = true;
+    lost_streak_ = 0;
+    // Re-anchor and refresh the template so slow appearance drift
+    // (lighting, rotation) is absorbed frame by frame.
+    CaptureTemplate(frame, best.location);
+  } else {
+    best.found = false;
+    best.dx = 0;
+    best.dy = 0;
+    ++lost_streak_;
+  }
+  return best;
+}
+
+}  // namespace coic::vision

@@ -1,0 +1,77 @@
+// On-device object tracking.
+//
+// Paper §2: "we did not cache object tracking results for AR applications
+// because tracking is less computation-intensive as compared to
+// recognition. Thus tracking is doable to be efficiently and accurately
+// executed on mobile devices." The AR loop is therefore: recognize once
+// through CoIC (expensive, cached), then *track* the recognized object
+// locally frame-to-frame. This module is that local tracker: normalized
+// cross-correlation template matching over a bounded search window —
+// cheap, deterministic, and entirely client-side.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "vision/image.h"
+
+namespace coic::vision {
+
+/// An axis-aligned patch location in pixel coordinates (top-left corner).
+struct PatchLocation {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+  friend bool operator==(const PatchLocation&, const PatchLocation&) = default;
+};
+
+struct TrackResult {
+  bool found = false;
+  PatchLocation location;     ///< Best-match position in the new frame.
+  double score = 0;           ///< NCC in [-1, 1]; 1 = perfect match.
+  std::int32_t dx = 0;        ///< Displacement from the previous location.
+  std::int32_t dy = 0;
+};
+
+struct TrackerConfig {
+  /// Side length of the square template patch.
+  std::uint32_t patch_size = 16;
+  /// Search radius around the previous location, pixels.
+  std::uint32_t search_radius = 8;
+  /// NCC below this reports lost-track (the AR app then re-runs
+  /// recognition through CoIC).
+  double min_score = 0.6;
+};
+
+/// Tracks one template patch across frames.
+class ObjectTracker {
+ public:
+  /// Captures the template from `frame` at `location`. The patch must
+  /// lie fully inside the frame.
+  ObjectTracker(const SyntheticImage& frame, PatchLocation location,
+                TrackerConfig config = {});
+
+  /// Finds the template in `frame` near the last known location. On
+  /// success the tracker re-anchors (and refreshes the template) at the
+  /// new location; on a lost track the state is unchanged.
+  TrackResult Track(const SyntheticImage& frame);
+
+  [[nodiscard]] PatchLocation location() const noexcept { return location_; }
+  [[nodiscard]] const TrackerConfig& config() const noexcept { return config_; }
+  /// Consecutive lost-track results since the last success.
+  [[nodiscard]] std::uint32_t lost_streak() const noexcept { return lost_streak_; }
+
+ private:
+  void CaptureTemplate(const SyntheticImage& frame, PatchLocation location);
+  [[nodiscard]] double NccAt(const SyntheticImage& frame,
+                             PatchLocation location) const;
+
+  TrackerConfig config_;
+  PatchLocation location_;
+  std::vector<float> patch_;       ///< Template pixels, row-major.
+  double patch_mean_ = 0;
+  double patch_norm_ = 0;          ///< sqrt(sum((p - mean)^2))
+  std::uint32_t lost_streak_ = 0;
+};
+
+}  // namespace coic::vision

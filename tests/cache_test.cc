@@ -1,0 +1,528 @@
+// Edge-cache tests: policy traces, similarity indexes, and IcCache
+// semantics (byte accounting, eviction, TTL, approximate matching).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "cache/ic_cache.h"
+#include "cache/policy.h"
+#include "cache/similarity_index.h"
+#include "common/rng.h"
+
+namespace coic::cache {
+namespace {
+
+using proto::DescriptorKind;
+using proto::FeatureDescriptor;
+using proto::TaskKind;
+
+// ---------------------------------------------------------------------------
+// Eviction policies
+// ---------------------------------------------------------------------------
+
+TEST(LruPolicyTest, EvictsLeastRecentlyUsed) {
+  LruPolicy lru;
+  lru.OnInsert(1);
+  lru.OnInsert(2);
+  lru.OnInsert(3);
+  EXPECT_EQ(lru.Victim(), 1u);
+  lru.OnAccess(1);  // 2 is now coldest
+  EXPECT_EQ(lru.Victim(), 2u);
+  lru.OnErase(2);
+  EXPECT_EQ(lru.Victim(), 3u);
+}
+
+TEST(LruPolicyTest, EmptyHasNoVictim) {
+  LruPolicy lru;
+  EXPECT_EQ(lru.Victim(), std::nullopt);
+  lru.OnInsert(1);
+  lru.OnErase(1);
+  EXPECT_EQ(lru.Victim(), std::nullopt);
+  EXPECT_EQ(lru.tracked(), 0u);
+}
+
+TEST(FifoPolicyTest, IgnoresAccesses) {
+  FifoPolicy fifo;
+  fifo.OnInsert(1);
+  fifo.OnInsert(2);
+  fifo.OnAccess(1);
+  fifo.OnAccess(1);
+  EXPECT_EQ(fifo.Victim(), 1u);  // still the oldest
+}
+
+TEST(LfuPolicyTest, EvictsLeastFrequent) {
+  LfuPolicy lfu;
+  lfu.OnInsert(1);
+  lfu.OnInsert(2);
+  lfu.OnInsert(3);
+  lfu.OnAccess(1);
+  lfu.OnAccess(1);
+  lfu.OnAccess(2);
+  EXPECT_EQ(lfu.Victim(), 3u);  // freq 1
+  lfu.OnAccess(3);
+  lfu.OnAccess(3);
+  lfu.OnAccess(3);
+  EXPECT_EQ(lfu.Victim(), 2u);  // freq 2 beats 1(freq3), 3(freq4)
+}
+
+TEST(LfuPolicyTest, TiebreaksByRecencyWithinFrequency) {
+  LfuPolicy lfu;
+  lfu.OnInsert(1);
+  lfu.OnInsert(2);  // both freq 1; 1 is older
+  EXPECT_EQ(lfu.Victim(), 1u);
+}
+
+TEST(SlruPolicyTest, ProbationEvictedBeforeProtected) {
+  SlruPolicy slru(0.5);
+  slru.OnInsert(1);
+  slru.OnInsert(2);
+  slru.OnAccess(1);  // promote 1 to protected
+  EXPECT_EQ(slru.Victim(), 2u);  // probation evicted first
+}
+
+TEST(SlruPolicyTest, ScanResistance) {
+  // Hot entry accessed repeatedly, then a scan of one-shot entries: the
+  // hot entry must survive as long as any scan entry remains.
+  SlruPolicy slru(0.5);
+  slru.OnInsert(100);
+  slru.OnAccess(100);
+  for (EntryId id = 1; id <= 20; ++id) {
+    slru.OnInsert(id);
+    const auto victim = slru.Victim();
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_NE(*victim, 100u);
+    slru.OnErase(*victim);
+  }
+}
+
+TEST(SlruPolicyTest, ProtectedOverflowDemotes) {
+  SlruPolicy slru(0.34);  // protected bound = ceil(0.34 * n)
+  slru.OnInsert(1);
+  slru.OnInsert(2);
+  slru.OnInsert(3);
+  slru.OnAccess(1);
+  slru.OnAccess(2);
+  slru.OnAccess(3);  // 3 promotions; bound ~2 -> oldest demoted
+  // All三 tracked, victim must exist and be a demoted (probation) entry.
+  EXPECT_EQ(slru.tracked(), 3u);
+  EXPECT_TRUE(slru.Victim().has_value());
+}
+
+TEST(PolicyFactoryTest, MakesEveryKind) {
+  for (const auto kind : {PolicyKind::kLru, PolicyKind::kFifo, PolicyKind::kLfu,
+                          PolicyKind::kSlru}) {
+    const auto policy = MakePolicy(kind);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->name(), PolicyKindName(kind));
+  }
+}
+
+// Property: over a random trace, every policy keeps tracked() consistent
+// and always nominates a currently-tracked victim.
+class PolicyPropertyTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(PolicyPropertyTest, VictimAlwaysTracked) {
+  const auto policy = MakePolicy(GetParam());
+  Rng rng(42);
+  std::set<EntryId> live;
+  EntryId next = 1;
+  for (int step = 0; step < 3000; ++step) {
+    const double p = rng.NextDouble();
+    if (p < 0.4 || live.empty()) {
+      policy->OnInsert(next);
+      live.insert(next);
+      ++next;
+    } else if (p < 0.7) {
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.NextBelow(live.size())));
+      policy->OnAccess(*it);
+    } else {
+      const auto victim = policy->Victim();
+      ASSERT_TRUE(victim.has_value());
+      EXPECT_TRUE(live.count(*victim)) << "victim not live";
+      policy->OnErase(*victim);
+      live.erase(*victim);
+    }
+    EXPECT_EQ(policy->tracked(), live.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyPropertyTest,
+                         ::testing::Values(PolicyKind::kLru, PolicyKind::kFifo,
+                                           PolicyKind::kLfu, PolicyKind::kSlru));
+
+// ---------------------------------------------------------------------------
+// Similarity indexes
+// ---------------------------------------------------------------------------
+
+std::vector<float> RandomUnitVector(Rng& rng, std::size_t dim) {
+  std::vector<float> v(dim);
+  double norm = 0;
+  for (auto& x : v) {
+    x = static_cast<float>(rng.NextGaussian());
+    norm += static_cast<double>(x) * x;
+  }
+  norm = std::sqrt(norm);
+  for (auto& x : v) x = static_cast<float>(x / norm);
+  return v;
+}
+
+TEST(LinearIndexTest, FindsExactMatch) {
+  LinearIndex index;
+  Rng rng(1);
+  const auto target = RandomUnitVector(rng, 32);
+  index.Insert(7, target);
+  for (int i = 0; i < 20; ++i) index.Insert(100 + i, RandomUnitVector(rng, 32));
+  const auto nearest = index.Nearest(target);
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(nearest->id, 7u);
+  EXPECT_NEAR(nearest->distance, 0.0, 1e-6);
+}
+
+TEST(LinearIndexTest, EmptyReturnsNullopt) {
+  LinearIndex index;
+  EXPECT_EQ(index.Nearest(std::vector<float>{1.0f}), std::nullopt);
+}
+
+TEST(LinearIndexTest, RemoveMakesEntryUnfindable) {
+  LinearIndex index;
+  Rng rng(2);
+  const auto a = RandomUnitVector(rng, 16);
+  const auto b = RandomUnitVector(rng, 16);
+  index.Insert(1, a);
+  index.Insert(2, b);
+  EXPECT_TRUE(index.Remove(1));
+  EXPECT_FALSE(index.Remove(1));
+  const auto nearest = index.Nearest(a);
+  ASSERT_TRUE(nearest.has_value());
+  EXPECT_EQ(nearest->id, 2u);
+  EXPECT_EQ(index.size(), 1u);
+}
+
+TEST(LinearIndexTest, SwapRemoveKeepsOtherRowsIntact) {
+  LinearIndex index;
+  Rng rng(3);
+  std::vector<std::vector<float>> vecs;
+  for (std::uint64_t id = 0; id < 50; ++id) {
+    vecs.push_back(RandomUnitVector(rng, 8));
+    index.Insert(id, vecs.back());
+  }
+  // Remove every third entry, then verify all survivors still resolve.
+  for (std::uint64_t id = 0; id < 50; id += 3) EXPECT_TRUE(index.Remove(id));
+  for (std::uint64_t id = 0; id < 50; ++id) {
+    if (id % 3 == 0) continue;
+    const auto nearest = index.Nearest(vecs[id]);
+    ASSERT_TRUE(nearest.has_value());
+    EXPECT_EQ(nearest->id, id);
+    EXPECT_NEAR(nearest->distance, 0.0, 1e-6);
+  }
+}
+
+TEST(LinearIndexTest, ReturnsTrueNearestNeighbor) {
+  // Brute-force ground truth comparison.
+  LinearIndex index;
+  Rng rng(4);
+  std::vector<std::vector<float>> vecs;
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    vecs.push_back(RandomUnitVector(rng, 24));
+    index.Insert(id, vecs.back());
+  }
+  for (int q = 0; q < 20; ++q) {
+    const auto query = RandomUnitVector(rng, 24);
+    double best = 1e300;
+    std::uint64_t best_id = 0;
+    for (std::uint64_t id = 0; id < 200; ++id) {
+      double acc = 0;
+      for (std::size_t i = 0; i < 24; ++i) {
+        const double d = static_cast<double>(query[i]) - vecs[id][i];
+        acc += d * d;
+      }
+      if (acc < best) {
+        best = acc;
+        best_id = id;
+      }
+    }
+    const auto nearest = index.Nearest(query);
+    ASSERT_TRUE(nearest.has_value());
+    EXPECT_EQ(nearest->id, best_id);
+  }
+}
+
+TEST(LshIndexTest, HighRecallOnClusteredData) {
+  // CoIC's regime: tight clusters (views of the same object). LSH must
+  // find the cluster-mate nearly always.
+  LshParams params;
+  params.tables = 12;
+  params.hyperplanes = 10;
+  LshIndex index(params);
+  Rng rng(5);
+  std::vector<std::vector<float>> centers;
+  constexpr int kClusters = 40;
+  for (int c = 0; c < kClusters; ++c) {
+    centers.push_back(RandomUnitVector(rng, 32));
+    index.Insert(static_cast<std::uint64_t>(c), centers.back());
+  }
+  int found = 0;
+  for (int c = 0; c < kClusters; ++c) {
+    auto query = centers[c];
+    for (auto& x : query) x += static_cast<float>(rng.NextGaussian() * 0.02);
+    const auto nearest = index.Nearest(query);
+    if (nearest && nearest->id == static_cast<std::uint64_t>(c)) ++found;
+  }
+  EXPECT_GE(found, kClusters * 9 / 10);
+}
+
+TEST(LshIndexTest, ProbesFewerCandidatesThanLinear) {
+  LshIndex index;
+  Rng rng(6);
+  for (std::uint64_t id = 0; id < 1000; ++id) {
+    index.Insert(id, RandomUnitVector(rng, 32));
+  }
+  (void)index.Nearest(RandomUnitVector(rng, 32));
+  EXPECT_LT(index.last_probe_count(), 1000u);
+}
+
+TEST(LshIndexTest, RemoveWorks) {
+  LshIndex index;
+  Rng rng(7);
+  const auto v = RandomUnitVector(rng, 16);
+  index.Insert(1, v);
+  EXPECT_TRUE(index.Remove(1));
+  EXPECT_FALSE(index.Remove(1));
+  EXPECT_EQ(index.Nearest(v), std::nullopt);
+}
+
+// ---------------------------------------------------------------------------
+// IcCache
+// ---------------------------------------------------------------------------
+
+FeatureDescriptor HashKey(std::uint64_t lo, TaskKind task = TaskKind::kRender) {
+  return FeatureDescriptor::ForHash(task, Digest128{0xABC, lo});
+}
+
+FeatureDescriptor VectorKey(const std::vector<float>& v) {
+  return FeatureDescriptor::ForVector(TaskKind::kRecognition, v);
+}
+
+TEST(IcCacheTest, ExactHitAfterInsert) {
+  IcCache cache(IcCacheConfig{});
+  const auto key = HashKey(1);
+  cache.Insert(key, {1, 2, 3}, SimTime::Epoch());
+  const auto outcome = cache.Lookup(key, SimTime::Epoch());
+  ASSERT_TRUE(outcome.hit);
+  EXPECT_EQ(*outcome.payload, (ByteVec{1, 2, 3}));
+  EXPECT_EQ(outcome.distance, 0.0);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(IcCacheTest, MissOnUnknownKey) {
+  IcCache cache(IcCacheConfig{});
+  EXPECT_FALSE(cache.Lookup(HashKey(99), SimTime::Epoch()).hit);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(IcCacheTest, SameDigestDifferentTaskDoesNotHit) {
+  IcCache cache(IcCacheConfig{});
+  cache.Insert(HashKey(5, TaskKind::kRender), {1}, SimTime::Epoch());
+  EXPECT_FALSE(cache.Lookup(HashKey(5, TaskKind::kPanorama), SimTime::Epoch()).hit);
+}
+
+TEST(IcCacheTest, VectorHitWithinThreshold) {
+  IcCacheConfig config;
+  config.similarity_threshold = 0.3;
+  IcCache cache(config);
+  cache.Insert(VectorKey({1.0f, 0.0f}), {42}, SimTime::Epoch());
+  // Distance 0.2 < 0.3: hit.
+  const auto near = cache.Lookup(VectorKey({1.0f, 0.2f}), SimTime::Epoch());
+  EXPECT_TRUE(near.hit);
+  EXPECT_NEAR(near.distance, 0.2, 1e-6);
+  // Distance 1.0 > 0.3: miss.
+  EXPECT_FALSE(cache.Lookup(VectorKey({0.0f, 1.0f}), SimTime::Epoch()).hit);
+}
+
+TEST(IcCacheTest, ThresholdBoundaryInclusive) {
+  IcCacheConfig config;
+  config.similarity_threshold = 0.5;
+  IcCache cache(config);
+  cache.Insert(VectorKey({0.0f, 0.0f}), {1}, SimTime::Epoch());
+  EXPECT_TRUE(cache.Lookup(VectorKey({0.5f, 0.0f}), SimTime::Epoch()).hit);
+  EXPECT_FALSE(cache.Lookup(VectorKey({0.500001f, 0.0f}), SimTime::Epoch()).hit);
+}
+
+TEST(IcCacheTest, ByteAccountingExact) {
+  IcCache cache(IcCacheConfig{});
+  const auto key1 = HashKey(1);
+  const auto key2 = HashKey(2);
+  cache.Insert(key1, DeterministicBytes(100, 1), SimTime::Epoch());
+  cache.Insert(key2, DeterministicBytes(200, 2), SimTime::Epoch());
+  const Bytes expected = (100 + key1.WireSize() + IcCache::kEntryOverhead) +
+                         (200 + key2.WireSize() + IcCache::kEntryOverhead);
+  EXPECT_EQ(cache.bytes_used(), expected);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.Clear();
+  EXPECT_EQ(cache.bytes_used(), 0u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(IcCacheTest, ExactKeyReinsertUpdatesInPlace) {
+  IcCache cache(IcCacheConfig{});
+  const auto key = HashKey(1);
+  cache.Insert(key, DeterministicBytes(100, 1), SimTime::Epoch());
+  const Bytes before = cache.bytes_used();
+  cache.Insert(key, DeterministicBytes(300, 2), SimTime::Epoch());
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.bytes_used(), before + 200);
+  EXPECT_EQ(cache.stats().insertions, 1u);
+  EXPECT_EQ(cache.stats().updates, 1u);
+  const auto outcome = cache.Lookup(key, SimTime::Epoch());
+  ASSERT_TRUE(outcome.hit);
+  EXPECT_EQ(outcome.payload->size(), 300u);
+}
+
+TEST(IcCacheTest, CapacityEvictsLru) {
+  IcCacheConfig config;
+  config.capacity_bytes = 3 * (100 + HashKey(0).WireSize() + IcCache::kEntryOverhead);
+  config.policy = PolicyKind::kLru;
+  IcCache cache(config);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    cache.Insert(HashKey(i), DeterministicBytes(100, i), SimTime::Epoch());
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  // Touch 1 so 2 becomes the LRU victim.
+  (void)cache.Lookup(HashKey(1), SimTime::Epoch());
+  cache.Insert(HashKey(4), DeterministicBytes(100, 4), SimTime::Epoch());
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.Lookup(HashKey(1), SimTime::Epoch()).hit);
+  EXPECT_FALSE(cache.Lookup(HashKey(2), SimTime::Epoch()).hit);
+  EXPECT_TRUE(cache.Lookup(HashKey(3), SimTime::Epoch()).hit);
+  EXPECT_TRUE(cache.Lookup(HashKey(4), SimTime::Epoch()).hit);
+}
+
+TEST(IcCacheTest, CapacityNeverExceededAfterAnyInsert) {
+  IcCacheConfig config;
+  config.capacity_bytes = 10'000;
+  IcCache cache(config);
+  Rng rng(8);
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    cache.Insert(HashKey(i), DeterministicBytes(rng.NextBelow(900), i),
+                 SimTime::Epoch());
+    EXPECT_LE(cache.bytes_used(), config.capacity_bytes);
+  }
+}
+
+TEST(IcCacheTest, OversizedEntryEvictsEverythingIncludingItself) {
+  IcCacheConfig config;
+  config.capacity_bytes = 500;
+  IcCache cache(config);
+  cache.Insert(HashKey(1), DeterministicBytes(100, 1), SimTime::Epoch());
+  cache.Insert(HashKey(2), DeterministicBytes(10'000, 2), SimTime::Epoch());
+  // The oversized entry cannot fit: the cache must end within capacity.
+  EXPECT_LE(cache.bytes_used(), config.capacity_bytes);
+}
+
+TEST(IcCacheTest, TtlExpiresEntries) {
+  IcCacheConfig config;
+  config.ttl = Duration::Seconds(10);
+  IcCache cache(config);
+  const auto key = HashKey(1);
+  cache.Insert(key, {1}, SimTime::Epoch());
+  EXPECT_TRUE(cache.Lookup(key, SimTime::Epoch() + Duration::Seconds(9)).hit);
+  EXPECT_FALSE(cache.Lookup(key, SimTime::Epoch() + Duration::Seconds(11)).hit);
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(IcCacheTest, VectorEntriesEvictAndUnindex) {
+  IcCacheConfig config;
+  config.similarity_threshold = 0.1;
+  IcCache cache(config);
+  const auto key = VectorKey({1.0f, 0.0f, 0.0f});
+  const auto id = cache.Insert(key, {7}, SimTime::Epoch());
+  EXPECT_TRUE(cache.Lookup(key, SimTime::Epoch()).hit);
+  EXPECT_TRUE(cache.Erase(id));
+  EXPECT_FALSE(cache.Lookup(key, SimTime::Epoch()).hit);
+  EXPECT_FALSE(cache.Erase(id));
+}
+
+TEST(IcCacheTest, LshModeHitsOnClusteredDescriptors) {
+  IcCacheConfig config;
+  config.use_lsh = true;
+  config.similarity_threshold = 0.3;
+  IcCache cache(config);
+  Rng rng(9);
+  const auto base = RandomUnitVector(rng, 32);
+  cache.Insert(VectorKey(base), {1}, SimTime::Epoch());
+  auto query = base;
+  query[0] += 0.01f;
+  EXPECT_TRUE(cache.Lookup(VectorKey(query), SimTime::Epoch()).hit);
+}
+
+TEST(IcCacheTest, HitRefreshesRecency) {
+  IcCacheConfig config;
+  config.capacity_bytes = 2 * (10 + HashKey(0).WireSize() + IcCache::kEntryOverhead);
+  IcCache cache(config);
+  cache.Insert(HashKey(1), DeterministicBytes(10, 1), SimTime::Epoch());
+  cache.Insert(HashKey(2), DeterministicBytes(10, 2), SimTime::Epoch());
+  (void)cache.Lookup(HashKey(1), SimTime::Epoch());  // 1 is now hot
+  cache.Insert(HashKey(3), DeterministicBytes(10, 3), SimTime::Epoch());
+  EXPECT_TRUE(cache.Lookup(HashKey(1), SimTime::Epoch()).hit);
+  EXPECT_FALSE(cache.Lookup(HashKey(2), SimTime::Epoch()).hit);
+}
+
+TEST(IcCacheTest, StatsHitRate) {
+  IcCache cache(IcCacheConfig{});
+  cache.Insert(HashKey(1), {1}, SimTime::Epoch());
+  (void)cache.Lookup(HashKey(1), SimTime::Epoch());
+  (void)cache.Lookup(HashKey(2), SimTime::Epoch());
+  (void)cache.Lookup(HashKey(1), SimTime::Epoch());
+  EXPECT_NEAR(cache.stats().HitRate(), 2.0 / 3.0, 1e-9);
+}
+
+// Property: under a random interleaving of insert/lookup/erase across
+// both descriptor kinds, byte accounting stays exact and capacity holds.
+class IcCachePropertyTest : public ::testing::TestWithParam<PolicyKind> {};
+
+TEST_P(IcCachePropertyTest, AccountingInvariants) {
+  IcCacheConfig config;
+  config.capacity_bytes = 50'000;
+  config.policy = GetParam();
+  config.similarity_threshold = 0.2;
+  IcCache cache(config);
+  Rng rng(10 + static_cast<std::uint64_t>(GetParam()));
+  std::vector<EntryId> ids;
+  for (int step = 0; step < 2000; ++step) {
+    const double p = rng.NextDouble();
+    if (p < 0.5) {
+      const bool vector_kind = rng.NextBool(0.5);
+      const auto payload = DeterministicBytes(rng.NextBelow(2000), step);
+      EntryId id;
+      if (vector_kind) {
+        id = cache.Insert(VectorKey(RandomUnitVector(rng, 16)), payload,
+                          SimTime::FromMicros(step));
+      } else {
+        id = cache.Insert(HashKey(rng.NextBelow(300)), payload,
+                          SimTime::FromMicros(step));
+      }
+      ids.push_back(id);
+    } else if (p < 0.9) {
+      (void)cache.Lookup(HashKey(rng.NextBelow(300)),
+                         SimTime::FromMicros(step));
+    } else if (!ids.empty()) {
+      (void)cache.Erase(ids[rng.NextBelow(ids.size())]);
+    }
+    EXPECT_LE(cache.bytes_used(), config.capacity_bytes);
+    if (cache.size() == 0) EXPECT_EQ(cache.bytes_used(), 0u);
+  }
+  // Drain and verify the accounting returns to zero.
+  cache.Clear();
+  EXPECT_EQ(cache.bytes_used(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, IcCachePropertyTest,
+                         ::testing::Values(PolicyKind::kLru, PolicyKind::kFifo,
+                                           PolicyKind::kLfu, PolicyKind::kSlru));
+
+}  // namespace
+}  // namespace coic::cache

@@ -1,0 +1,490 @@
+// Core framework tests: cost model, end-to-end pipeline invariants (the
+// Figure 1 state machine), QoE metrics, and the layered-cache extension.
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/layered.h"
+#include "core/metrics.h"
+#include "core/sim_pipeline.h"
+
+namespace coic::core {
+namespace {
+
+using proto::OffloadMode;
+using proto::ResultSource;
+using proto::TaskKind;
+
+PipelineConfig BaseConfig(OffloadMode mode,
+                          NetworkCondition cond = {Bandwidth::Mbps(90),
+                                                   Bandwidth::Mbps(9)}) {
+  PipelineConfig config;
+  config.mode = mode;
+  config.network = cond;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Cost model
+// ---------------------------------------------------------------------------
+
+TEST(CostModelTest, Figure2aConditionsMatchPaperAxis) {
+  const auto& conditions = Figure2aConditions();
+  ASSERT_EQ(conditions.size(), 5u);
+  EXPECT_EQ(conditions[0].mobile_edge, Bandwidth::Mbps(90));
+  EXPECT_EQ(conditions[0].edge_cloud, Bandwidth::Mbps(9));
+  EXPECT_EQ(conditions[4].mobile_edge, Bandwidth::Mbps(400));
+  EXPECT_EQ(conditions[4].edge_cloud, Bandwidth::Mbps(40));
+  for (const auto& c : conditions) {
+    EXPECT_NEAR(c.mobile_edge.mbps() / c.edge_cloud.mbps(), 10.0, 1e-9);
+  }
+}
+
+TEST(CostModelTest, ModelLoadScalesLinearly) {
+  const CostModel costs;
+  EXPECT_EQ(costs.CloudModelLoad(KB(1000)).micros(),
+            10 * costs.CloudModelLoad(KB(100)).micros());
+  EXPECT_EQ(costs.ClientModelInstall(0).micros(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Recognition pipeline semantics
+// ---------------------------------------------------------------------------
+
+TEST(PipelineTest, ColdRecognitionMissesThenHits) {
+  SimPipeline pipeline(BaseConfig(OffloadMode::kCoic));
+  pipeline.EnqueueRecognition({.scene_id = 3});
+  pipeline.EnqueueRecognition({.scene_id = 3, .view_angle_deg = 2});
+  pipeline.EnqueueRecognition({.scene_id = 3, .view_angle_deg = -2});
+  const auto outcomes = pipeline.Run();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_EQ(outcomes[0].source, ResultSource::kCloud);
+  EXPECT_EQ(outcomes[1].source, ResultSource::kEdgeCache);
+  EXPECT_EQ(outcomes[2].source, ResultSource::kEdgeCache);
+  EXPECT_EQ(pipeline.edge_cache_stats().hits, 2u);
+  EXPECT_EQ(pipeline.edge_cache_stats().misses, 1u);
+}
+
+TEST(PipelineTest, HitLatencyBelowMissLatency) {
+  SimPipeline pipeline(BaseConfig(OffloadMode::kCoic));
+  pipeline.EnqueueRecognition({.scene_id = 5});
+  pipeline.EnqueueRecognition({.scene_id = 5, .view_angle_deg = 1});
+  const auto outcomes = pipeline.Run();
+  EXPECT_LT(outcomes[1].latency, outcomes[0].latency);
+}
+
+TEST(PipelineTest, DifferentObjectsDoNotCrossHit) {
+  SimPipeline pipeline(BaseConfig(OffloadMode::kCoic));
+  pipeline.EnqueueRecognition({.scene_id = 4});
+  pipeline.EnqueueRecognition({.scene_id = 9});
+  const auto outcomes = pipeline.Run();
+  EXPECT_EQ(outcomes[1].source, ResultSource::kCloud);
+  EXPECT_EQ(pipeline.edge_cache_stats().hits, 0u);
+}
+
+TEST(PipelineTest, RecognitionLabelsCorrectOnHitAndMiss) {
+  SimPipeline pipeline(BaseConfig(OffloadMode::kCoic));
+  pipeline.EnqueueRecognition({.scene_id = 7});
+  pipeline.EnqueueRecognition({.scene_id = 7, .view_angle_deg = 3});
+  for (const auto& outcome : pipeline.Run()) {
+    EXPECT_TRUE(outcome.correct) << outcome.label;
+    EXPECT_EQ(outcome.label, "object_7");
+    EXPECT_FALSE(outcome.error);
+  }
+}
+
+TEST(PipelineTest, OriginNeverTouchesCache) {
+  SimPipeline pipeline(BaseConfig(OffloadMode::kOrigin));
+  for (int i = 0; i < 3; ++i) pipeline.EnqueueRecognition({.scene_id = 2});
+  const auto outcomes = pipeline.Run();
+  for (const auto& outcome : outcomes) {
+    EXPECT_EQ(outcome.source, ResultSource::kCloud);
+  }
+  EXPECT_EQ(pipeline.edge_cache_stats().hits, 0u);
+  EXPECT_EQ(pipeline.edge_cache_stats().misses, 0u);
+  EXPECT_EQ(pipeline.edge_cache_stats().insertions, 0u);
+  EXPECT_EQ(pipeline.cloud().tasks_executed(), 3u);
+}
+
+TEST(PipelineTest, OriginRepeatLatencyConstant) {
+  SimPipeline pipeline(BaseConfig(OffloadMode::kOrigin));
+  pipeline.EnqueueRecognition({.scene_id = 2});
+  pipeline.EnqueueRecognition({.scene_id = 2});
+  const auto outcomes = pipeline.Run();
+  EXPECT_EQ(outcomes[0].latency.micros(), outcomes[1].latency.micros());
+}
+
+TEST(PipelineTest, CacheHitServedWithoutCloud) {
+  SimPipeline pipeline(BaseConfig(OffloadMode::kCoic));
+  pipeline.EnqueueRecognition({.scene_id = 6});
+  (void)pipeline.Run();
+  const auto cloud_tasks_before = pipeline.cloud().tasks_executed();
+  pipeline.EnqueueRecognition({.scene_id = 6, .view_angle_deg = 1});
+  const auto outcomes = pipeline.Run();
+  EXPECT_EQ(outcomes[0].source, ResultSource::kEdgeCache);
+  EXPECT_EQ(pipeline.cloud().tasks_executed(), cloud_tasks_before);
+}
+
+TEST(PipelineTest, MissCostsMoreThanOriginAtSameCondition) {
+  // The cache-miss penalty: CoIC miss = probe + extraction on top of the
+  // forwarded execution. With descriptor-resume inference the miss can
+  // beat Origin at slow networks; at the fastest condition the Origin
+  // transfer advantage vanishes and the miss must cost more.
+  const NetworkCondition fast{Bandwidth::Mbps(400), Bandwidth::Mbps(40)};
+  SimPipeline origin(BaseConfig(OffloadMode::kOrigin, fast));
+  origin.EnqueueRecognition({.scene_id = 8});
+  const auto origin_out = origin.Run();
+
+  SimPipeline coic(BaseConfig(OffloadMode::kCoic, fast));
+  coic.EnqueueRecognition({.scene_id = 8});
+  const auto miss_out = coic.Run();
+
+  EXPECT_GT(miss_out[0].latency, origin_out[0].latency);
+}
+
+TEST(PipelineTest, ClientComputeReportedOnCoicPath) {
+  SimPipeline pipeline(BaseConfig(OffloadMode::kCoic));
+  pipeline.EnqueueRecognition({.scene_id = 1});
+  const auto outcomes = pipeline.Run();
+  const CostModel costs;
+  EXPECT_EQ(outcomes[0].client_compute.micros(),
+            costs.recognition.mobile_extraction.micros());
+  EXPECT_GE(outcomes[0].latency, outcomes[0].client_compute);
+}
+
+// Warm-up property across the whole Figure 2a sweep: at every condition,
+// hit < miss and the hit saves the E->C transfer entirely.
+class Figure2aConditionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Figure2aConditionTest, HitBeatsMissEverywhere) {
+  const auto cond = Figure2aConditions()[GetParam()];
+  SimPipeline pipeline(BaseConfig(OffloadMode::kCoic, cond));
+  pipeline.EnqueueRecognition({.scene_id = 11});
+  pipeline.EnqueueRecognition({.scene_id = 11, .view_angle_deg = 2});
+  const auto outcomes = pipeline.Run();
+  ASSERT_EQ(outcomes[0].source, ResultSource::kCloud);
+  ASSERT_EQ(outcomes[1].source, ResultSource::kEdgeCache);
+  EXPECT_LT(outcomes[1].latency, outcomes[0].latency);
+  // The hit path never crosses E->C: it must beat the miss by at least
+  // the E->C annotation download time.
+  const CostModel costs;
+  const Duration saved = cond.edge_cloud.TransmitTime(
+      costs.recognition.annotation_bytes);
+  EXPECT_LT(outcomes[1].latency + saved,
+            outcomes[0].latency + Duration::Millis(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConditions, Figure2aConditionTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+// ---------------------------------------------------------------------------
+// Render pipeline semantics
+// ---------------------------------------------------------------------------
+
+TEST(PipelineTest, RenderMissThenHitServesSameBytes) {
+  SimPipeline pipeline(BaseConfig(OffloadMode::kCoic, Figure2bCondition()));
+  pipeline.RegisterModel(1, KB(231));
+  pipeline.EnqueueRender(1);
+  pipeline.EnqueueRender(1);
+  const auto outcomes = pipeline.Run();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].source, ResultSource::kCloud);
+  EXPECT_EQ(outcomes[1].source, ResultSource::kEdgeCache);
+  EXPECT_EQ(outcomes[0].result_bytes, KB(231));
+  EXPECT_EQ(outcomes[1].result_bytes, KB(231));
+  EXPECT_FALSE(outcomes[0].error);
+  EXPECT_FALSE(outcomes[1].error);
+  EXPECT_LT(outcomes[1].latency, outcomes[0].latency);
+}
+
+TEST(PipelineTest, RenderHitSkipsCloudLoadAndWanTransfer) {
+  const auto cond = Figure2bCondition();
+  SimPipeline pipeline(BaseConfig(OffloadMode::kCoic, cond));
+  pipeline.RegisterModel(1, KB(7050));
+  pipeline.EnqueueRender(1);
+  pipeline.EnqueueRender(1);
+  const auto outcomes = pipeline.Run();
+  const CostModel costs;
+  const Duration wan = cond.edge_cloud.TransmitTime(KB(7050));
+  const Duration load = costs.CloudModelLoad(KB(7050));
+  EXPECT_LT(outcomes[1].latency + wan + load,
+            outcomes[0].latency + Duration::Millis(5));
+}
+
+TEST(PipelineTest, LargerModelsTakeLonger) {
+  SimPipeline pipeline(BaseConfig(OffloadMode::kCoic, Figure2bCondition()));
+  pipeline.RegisterModel(1, KB(231));
+  pipeline.RegisterModel(2, KB(13072));
+  pipeline.EnqueueRender(1);
+  pipeline.EnqueueRender(2);
+  const auto outcomes = pipeline.Run();
+  EXPECT_LT(outcomes[0].latency * 5, outcomes[1].latency);
+}
+
+TEST(PipelineTest, RenderForUnknownModelFailsCleanly) {
+  SimPipeline pipeline(BaseConfig(OffloadMode::kCoic, Figure2bCondition()));
+  pipeline.RegisterModel(1, KB(64));
+  // Corrupt digest: register then ask for a digest the cloud lacks.
+  SimPipeline other(BaseConfig(OffloadMode::kCoic, Figure2bCondition()));
+  const auto foreign_digest = other.RegisterModel(2, KB(128));
+  pipeline.EnqueueRender(1);
+  (void)pipeline.Run();
+  // Directly exercise the client with a digest unknown to this cloud.
+  bool finished = false;
+  pipeline.client().StartRender(99, foreign_digest,
+                                [&](RequestOutcome outcome) {
+                                  finished = true;
+                                  EXPECT_TRUE(outcome.error);
+                                });
+  pipeline.scheduler().Run();
+  EXPECT_TRUE(finished);
+}
+
+TEST(PipelineTest, DistinctModelsCachedIndependently) {
+  SimPipeline pipeline(BaseConfig(OffloadMode::kCoic, Figure2bCondition()));
+  pipeline.RegisterModel(1, KB(64));
+  pipeline.RegisterModel(2, KB(64));
+  pipeline.EnqueueRender(1);
+  pipeline.EnqueueRender(2);
+  pipeline.EnqueueRender(1);
+  pipeline.EnqueueRender(2);
+  const auto outcomes = pipeline.Run();
+  EXPECT_EQ(outcomes[0].source, ResultSource::kCloud);
+  EXPECT_EQ(outcomes[1].source, ResultSource::kCloud);
+  EXPECT_EQ(outcomes[2].source, ResultSource::kEdgeCache);
+  EXPECT_EQ(outcomes[3].source, ResultSource::kEdgeCache);
+}
+
+// ---------------------------------------------------------------------------
+// Panorama pipeline semantics
+// ---------------------------------------------------------------------------
+
+TEST(PipelineTest, PanoramaSharedFrameHits) {
+  SimPipeline pipeline(BaseConfig(OffloadMode::kCoic));
+  pipeline.EnqueuePanorama(10, 0);
+  pipeline.EnqueuePanorama(10, 0);  // second viewer, same frame
+  pipeline.EnqueuePanorama(10, 1);  // next frame: miss
+  const auto outcomes = pipeline.Run();
+  EXPECT_EQ(outcomes[0].source, ResultSource::kCloud);
+  EXPECT_EQ(outcomes[1].source, ResultSource::kEdgeCache);
+  EXPECT_EQ(outcomes[2].source, ResultSource::kCloud);
+  EXPECT_LT(outcomes[1].latency, outcomes[0].latency);
+}
+
+TEST(PipelineTest, PanoramaFramePaddedToWireSize) {
+  SimPipeline pipeline(BaseConfig(OffloadMode::kCoic));
+  pipeline.EnqueuePanorama(4, 2);
+  const auto outcomes = pipeline.Run();
+  const CostModel costs;
+  EXPECT_EQ(outcomes[0].result_bytes, costs.panorama.frame_bytes);
+}
+
+TEST(PipelineTest, MixedTaskKindsShareOneCacheWithoutInterference) {
+  SimPipeline pipeline(BaseConfig(OffloadMode::kCoic, Figure2bCondition()));
+  pipeline.RegisterModel(1, KB(64));
+  pipeline.EnqueueRecognition({.scene_id = 3});
+  pipeline.EnqueueRender(1);
+  pipeline.EnqueuePanorama(7, 0);
+  pipeline.EnqueueRecognition({.scene_id = 3, .view_angle_deg = 1});
+  pipeline.EnqueueRender(1);
+  pipeline.EnqueuePanorama(7, 0);
+  const auto outcomes = pipeline.Run();
+  ASSERT_EQ(outcomes.size(), 6u);
+  EXPECT_EQ(outcomes[3].source, ResultSource::kEdgeCache);
+  EXPECT_EQ(outcomes[4].source, ResultSource::kEdgeCache);
+  EXPECT_EQ(outcomes[5].source, ResultSource::kEdgeCache);
+  EXPECT_EQ(pipeline.edge_cache_stats().hits, 3u);
+  EXPECT_EQ(pipeline.edge_cache_stats().misses, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Figure-shape assertions (the quantitative repro contract)
+// ---------------------------------------------------------------------------
+
+TEST(FigureShapeTest, Fig2aMaxReductionNearPaperHeadline) {
+  // At (90, 9) the hit reduction must land in the paper's regime
+  // (52.28% reported; we assert 45-60%).
+  const auto cond = Figure2aConditions()[0];
+  SimPipeline origin(BaseConfig(OffloadMode::kOrigin, cond));
+  origin.EnqueueRecognition({.scene_id = 3});
+  const double origin_ms = origin.Run()[0].latency.millis();
+
+  SimPipeline coic(BaseConfig(OffloadMode::kCoic, cond));
+  coic.EnqueueRecognition({.scene_id = 3});
+  (void)coic.Run();
+  coic.EnqueueRecognition({.scene_id = 3, .view_angle_deg = 2});
+  const double hit_ms = coic.Run()[0].latency.millis();
+
+  const double reduction = (1.0 - hit_ms / origin_ms) * 100.0;
+  EXPECT_GT(reduction, 45.0);
+  EXPECT_LT(reduction, 60.0);
+  // Origin at the most constrained condition sits near the figure's
+  // 2400 ms ceiling.
+  EXPECT_GT(origin_ms, 2000.0);
+  EXPECT_LT(origin_ms, 2700.0);
+}
+
+TEST(FigureShapeTest, Fig2aReductionShrinksWithBandwidth) {
+  std::vector<double> reductions;
+  for (const auto& cond : Figure2aConditions()) {
+    SimPipeline origin(BaseConfig(OffloadMode::kOrigin, cond));
+    origin.EnqueueRecognition({.scene_id = 3});
+    const double origin_ms = origin.Run()[0].latency.millis();
+    SimPipeline coic(BaseConfig(OffloadMode::kCoic, cond));
+    coic.EnqueueRecognition({.scene_id = 3});
+    (void)coic.Run();
+    coic.EnqueueRecognition({.scene_id = 3, .view_angle_deg = 2});
+    const double hit_ms = coic.Run()[0].latency.millis();
+    reductions.push_back(1.0 - hit_ms / origin_ms);
+  }
+  for (std::size_t i = 1; i < reductions.size(); ++i) {
+    EXPECT_LT(reductions[i], reductions[i - 1]) << "condition " << i;
+  }
+}
+
+TEST(FigureShapeTest, Fig2bMaxReductionNearPaperHeadline) {
+  // Largest model: load-latency reduction in the paper's regime
+  // (75.86% reported; we assert 70-82%).
+  const auto cond = Figure2bCondition();
+  SimPipeline origin(BaseConfig(OffloadMode::kOrigin, cond));
+  origin.RegisterModel(1, KB(15053));
+  origin.EnqueueRender(1);
+  const double origin_ms = origin.Run()[0].latency.millis();
+
+  SimPipeline coic(BaseConfig(OffloadMode::kCoic, cond));
+  coic.RegisterModel(1, KB(15053));
+  coic.EnqueueRender(1);
+  (void)coic.Run();
+  coic.EnqueueRender(1);
+  const double hit_ms = coic.Run()[0].latency.millis();
+
+  const double reduction = (1.0 - hit_ms / origin_ms) * 100.0;
+  EXPECT_GT(reduction, 70.0);
+  EXPECT_LT(reduction, 82.0);
+  EXPECT_GT(origin_ms, 5000.0);
+  EXPECT_LT(origin_ms, 7000.0);
+}
+
+TEST(FigureShapeTest, Fig2bReductionGrowsWithModelSize) {
+  double previous = -1;
+  for (const Bytes size : {KB(231), KB(1949), KB(15053)}) {
+    SimPipeline origin(BaseConfig(OffloadMode::kOrigin, Figure2bCondition()));
+    origin.RegisterModel(1, size);
+    origin.EnqueueRender(1);
+    const double origin_ms = origin.Run()[0].latency.millis();
+    SimPipeline coic(BaseConfig(OffloadMode::kCoic, Figure2bCondition()));
+    coic.RegisterModel(1, size);
+    coic.EnqueueRender(1);
+    (void)coic.Run();
+    coic.EnqueueRender(1);
+    const double hit_ms = coic.Run()[0].latency.millis();
+    const double reduction = 1.0 - hit_ms / origin_ms;
+    EXPECT_GT(reduction, previous);
+    previous = reduction;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// QoeAggregator
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, AggregatesSourcesAndLatency) {
+  QoeAggregator agg;
+  RequestOutcome hit;
+  hit.source = ResultSource::kEdgeCache;
+  hit.latency = Duration::Millis(100);
+  hit.task = TaskKind::kRecognition;
+  hit.correct = true;
+  RequestOutcome miss;
+  miss.source = ResultSource::kCloud;
+  miss.latency = Duration::Millis(300);
+  miss.task = TaskKind::kRecognition;
+  miss.correct = false;
+  agg.Add(hit);
+  agg.Add(miss);
+  EXPECT_EQ(agg.count(), 2u);
+  EXPECT_DOUBLE_EQ(agg.HitRate(), 0.5);
+  EXPECT_DOUBLE_EQ(agg.MeanLatencyMs(), 200.0);
+  EXPECT_DOUBLE_EQ(agg.Accuracy(), 0.5);
+}
+
+TEST(MetricsTest, ErrorsExcludedFromLatency) {
+  QoeAggregator agg;
+  RequestOutcome err;
+  err.error = true;
+  err.latency = Duration::Millis(10'000);
+  agg.Add(err);
+  RequestOutcome ok;
+  ok.latency = Duration::Millis(100);
+  agg.Add(ok);
+  EXPECT_EQ(agg.errors(), 1u);
+  EXPECT_DOUBLE_EQ(agg.MeanLatencyMs(), 100.0);
+}
+
+TEST(MetricsTest, ReductionVsBaseline) {
+  QoeAggregator coic, origin;
+  RequestOutcome a;
+  a.latency = Duration::Millis(120);
+  coic.Add(a);
+  RequestOutcome b;
+  b.latency = Duration::Millis(240);
+  origin.Add(b);
+  EXPECT_NEAR(coic.ReductionPercentVs(origin), 50.0, 1e-9);
+  EXPECT_NEAR(origin.ReductionPercentVs(coic), -100.0, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Layered (fine-grained) cache — the §4 extension
+// ---------------------------------------------------------------------------
+
+TEST(LayeredTest, FirstFrameMatchesNothing) {
+  LayeredRecognitionCache cache;
+  const auto outcome =
+      cache.Process(vision::SyntheticImage::Generate({.scene_id = 1}));
+  EXPECT_EQ(outcome.matched_depth, 0u);
+  EXPECT_EQ(outcome.cloud_compute, cache.FullCost());
+}
+
+TEST(LayeredTest, IdenticalFrameFullHits) {
+  LayeredRecognitionCache cache;
+  const auto img = vision::SyntheticImage::Generate({.scene_id = 2});
+  (void)cache.Process(img);
+  const auto outcome = cache.Process(img);
+  EXPECT_TRUE(outcome.full_hit(cache.config().layers));
+  EXPECT_EQ(outcome.cloud_compute, Duration::Zero());
+}
+
+TEST(LayeredTest, PerturbedViewReusesPrefix) {
+  LayeredRecognitionCache cache;
+  (void)cache.Process(vision::SyntheticImage::Generate({.scene_id = 3}));
+  // A notably different view of the same object: the shallow, view-
+  // sensitive layers may miss, but deep invariant layers should match.
+  const auto outcome = cache.Process(vision::SyntheticImage::Generate(
+      {.scene_id = 3, .view_angle_deg = 10, .distance = 1.1}));
+  EXPECT_GT(outcome.matched_depth, 0u);
+  EXPECT_LT(outcome.cloud_compute, cache.FullCost());
+}
+
+TEST(LayeredTest, LayeredNeverWorseThanCoarse) {
+  LayeredRecognitionCache cache;
+  Rng rng(31);
+  for (int i = 0; i < 40; ++i) {
+    vision::SceneParams params;
+    params.scene_id = 1 + rng.NextBelow(6);
+    params.view_angle_deg = (rng.NextDouble() * 2 - 1) * 10;
+    params.distance = 1.0 + (rng.NextDouble() * 2 - 1) * 0.1;
+    const auto outcome =
+        cache.Process(vision::SyntheticImage::Generate(params));
+    EXPECT_LE(outcome.cloud_compute, cache.CoarseEquivalentCost(outcome));
+  }
+}
+
+TEST(LayeredTest, DifferentObjectsDoNotFullHit) {
+  LayeredRecognitionCache cache;
+  (void)cache.Process(vision::SyntheticImage::Generate({.scene_id = 100}));
+  const auto outcome =
+      cache.Process(vision::SyntheticImage::Generate({.scene_id = 200}));
+  EXPECT_FALSE(outcome.full_hit(cache.config().layers));
+}
+
+}  // namespace
+}  // namespace coic::core

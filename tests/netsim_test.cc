@@ -1,0 +1,522 @@
+// Simulator tests: scheduler ordering, link timing arithmetic, shaper
+// conformance, network dispatch.
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "netsim/link.h"
+#include "netsim/network.h"
+#include "netsim/scheduler.h"
+#include "netsim/shaper.h"
+
+namespace coic::netsim {
+namespace {
+
+// ---------------------------------------------------------------------------
+// EventScheduler
+// ---------------------------------------------------------------------------
+
+TEST(SchedulerTest, FiresInTimeOrder) {
+  EventScheduler sched;
+  std::vector<int> order;
+  sched.ScheduleAt(SimTime::FromMicros(30), [&] { order.push_back(3); });
+  sched.ScheduleAt(SimTime::FromMicros(10), [&] { order.push_back(1); });
+  sched.ScheduleAt(SimTime::FromMicros(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sched.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sched.now().micros(), 30);
+}
+
+TEST(SchedulerTest, SimultaneousEventsFifo) {
+  EventScheduler sched;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sched.ScheduleAt(SimTime::FromMicros(100), [&order, i] { order.push_back(i); });
+  }
+  sched.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SchedulerTest, ScheduleAfterUsesCurrentTime) {
+  EventScheduler sched;
+  SimTime fired_at;
+  sched.ScheduleAfter(Duration::Millis(1), [&] {
+    sched.ScheduleAfter(Duration::Millis(2),
+                        [&] { fired_at = sched.now(); });
+  });
+  sched.Run();
+  EXPECT_EQ(fired_at.micros(), 3000);
+}
+
+TEST(SchedulerTest, EventsCanScheduleMoreEvents) {
+  EventScheduler sched;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) sched.ScheduleAfter(Duration::Micros(5), chain);
+  };
+  sched.ScheduleAfter(Duration::Micros(5), chain);
+  EXPECT_EQ(sched.Run(), 10u);
+  EXPECT_EQ(sched.now().micros(), 50);
+}
+
+TEST(SchedulerTest, CancelPreventsExecution) {
+  EventScheduler sched;
+  bool ran = false;
+  const EventId id = sched.ScheduleAfter(Duration::Millis(1), [&] { ran = true; });
+  EXPECT_TRUE(sched.Cancel(id));
+  EXPECT_FALSE(sched.Cancel(id));  // double-cancel is a no-op
+  sched.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(SchedulerTest, CancelUnknownIdReturnsFalse) {
+  EventScheduler sched;
+  EXPECT_FALSE(sched.Cancel(999));
+}
+
+TEST(SchedulerTest, CancelAfterFireReturnsFalse) {
+  EventScheduler sched;
+  const EventId id = sched.ScheduleAfter(Duration::Millis(1), [] {});
+  sched.Run();
+  EXPECT_FALSE(sched.Cancel(id));
+}
+
+TEST(SchedulerTest, StepFiresExactlyOne) {
+  EventScheduler sched;
+  int fired = 0;
+  sched.ScheduleAfter(Duration::Micros(1), [&] { ++fired; });
+  sched.ScheduleAfter(Duration::Micros(2), [&] { ++fired; });
+  EXPECT_TRUE(sched.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sched.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sched.Step());
+}
+
+TEST(SchedulerTest, StepSkipsCancelled) {
+  EventScheduler sched;
+  bool ran = false;
+  const EventId id = sched.ScheduleAfter(Duration::Micros(1), [] {});
+  sched.ScheduleAfter(Duration::Micros(2), [&] { ran = true; });
+  sched.Cancel(id);
+  EXPECT_TRUE(sched.Step());  // skips cancelled, fires the live one
+  EXPECT_TRUE(ran);
+}
+
+TEST(SchedulerTest, RunUntilStopsAtDeadline) {
+  EventScheduler sched;
+  int fired = 0;
+  sched.ScheduleAt(SimTime::FromMicros(10), [&] { ++fired; });
+  sched.ScheduleAt(SimTime::FromMicros(20), [&] { ++fired; });
+  sched.ScheduleAt(SimTime::FromMicros(30), [&] { ++fired; });
+  EXPECT_EQ(sched.RunUntil(SimTime::FromMicros(20)), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sched.now().micros(), 20);
+  EXPECT_EQ(sched.pending(), 1u);
+}
+
+TEST(SchedulerTest, RunUntilAdvancesClockWhenIdle) {
+  EventScheduler sched;
+  sched.RunUntil(SimTime::FromMicros(500));
+  EXPECT_EQ(sched.now().micros(), 500);
+}
+
+TEST(SchedulerTest, TimeNeverGoesBackwards) {
+  EventScheduler sched;
+  std::vector<std::int64_t> times;
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    sched.ScheduleAt(SimTime::FromMicros(static_cast<std::int64_t>(rng.NextBelow(1000))),
+                     [&] { times.push_back(sched.now().micros()); });
+  }
+  sched.Run();
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    EXPECT_LE(times[i - 1], times[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Link
+// ---------------------------------------------------------------------------
+
+struct LinkFixture : ::testing::Test {
+  EventScheduler sched;
+};
+
+TEST_F(LinkFixture, DeliveryTimeIsSerializationPlusPropagation) {
+  LinkConfig cfg;
+  cfg.bandwidth = Bandwidth::Mbps(8);       // 1 byte/us
+  cfg.propagation = Duration::Millis(10);
+  Link link(sched, "test", cfg);
+  SimTime delivered_at;
+  link.Send(DeterministicBytes(1000, 1),
+            [&](ByteVec) { delivered_at = sched.now(); });
+  sched.Run();
+  // 1000 bytes at 8 Mbps = 1 ms serialization + 10 ms propagation.
+  EXPECT_EQ(delivered_at.micros(), 11'000);
+}
+
+TEST_F(LinkFixture, BackToBackFramesQueueBehindEachOther) {
+  LinkConfig cfg;
+  cfg.bandwidth = Bandwidth::Mbps(8);
+  cfg.propagation = Duration::Zero();
+  Link link(sched, "test", cfg);
+  std::vector<std::int64_t> deliveries;
+  for (int i = 0; i < 3; ++i) {
+    link.Send(DeterministicBytes(1000, i),
+              [&](ByteVec) { deliveries.push_back(sched.now().micros()); });
+  }
+  sched.Run();
+  EXPECT_EQ(deliveries, (std::vector<std::int64_t>{1000, 2000, 3000}));
+}
+
+TEST_F(LinkFixture, FifoOrderPreserved) {
+  LinkConfig cfg;
+  cfg.bandwidth = Bandwidth::Mbps(100);
+  Link link(sched, "test", cfg);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    ByteVec payload = {static_cast<std::uint8_t>(i)};
+    link.Send(std::move(payload),
+              [&order](ByteVec p) { order.push_back(p[0]); });
+  }
+  sched.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST_F(LinkFixture, PayloadDeliveredIntact) {
+  Link link(sched, "test", LinkConfig{});
+  const ByteVec payload = DeterministicBytes(4096, 7);
+  ByteVec received;
+  link.Send(payload, [&](ByteVec p) { received = std::move(p); });
+  sched.Run();
+  EXPECT_EQ(received, payload);
+}
+
+TEST_F(LinkFixture, QueueOverflowDropsTail) {
+  LinkConfig cfg;
+  cfg.bandwidth = Bandwidth::Mbps(1);  // slow: frames pile up
+  cfg.queue_capacity = 2500;
+  Link link(sched, "test", cfg);
+  int delivered = 0, dropped = 0;
+  DropReason reason{};
+  for (int i = 0; i < 4; ++i) {
+    link.Send(DeterministicBytes(1000, i), [&](ByteVec) { ++delivered; },
+              [&](DropReason r, ByteVec) {
+                ++dropped;
+                reason = r;
+              });
+  }
+  sched.Run();
+  EXPECT_EQ(delivered, 2);  // 2 x 1000 fit under 2500 at send time
+  EXPECT_EQ(dropped, 2);
+  EXPECT_EQ(reason, DropReason::kQueueOverflow);
+  EXPECT_EQ(link.stats().frames_dropped_queue, 2u);
+}
+
+TEST_F(LinkFixture, RandomLossDropsApproximatelyAtRate) {
+  LinkConfig cfg;
+  cfg.bandwidth = Bandwidth::Gbps(10);
+  cfg.loss_rate = 0.2;
+  cfg.seed = 77;
+  Link link(sched, "lossy", cfg);
+  int delivered = 0, dropped = 0;
+  for (int i = 0; i < 2000; ++i) {
+    link.Send({1}, [&](ByteVec) { ++delivered; },
+              [&](DropReason, ByteVec) { ++dropped; });
+  }
+  sched.Run();
+  EXPECT_EQ(delivered + dropped, 2000);
+  EXPECT_NEAR(dropped / 2000.0, 0.2, 0.03);
+  EXPECT_EQ(link.stats().frames_dropped_loss, static_cast<std::uint64_t>(dropped));
+}
+
+TEST_F(LinkFixture, StatsCountBytesAndFrames) {
+  Link link(sched, "test", LinkConfig{});
+  link.Send(DeterministicBytes(100, 1), [](ByteVec) {});
+  link.Send(DeterministicBytes(200, 2), [](ByteVec) {});
+  sched.Run();
+  EXPECT_EQ(link.stats().frames_sent, 2u);
+  EXPECT_EQ(link.stats().frames_delivered, 2u);
+  EXPECT_EQ(link.stats().bytes_delivered, 300u);
+}
+
+TEST_F(LinkFixture, BacklogDrainsAfterSerialization) {
+  LinkConfig cfg;
+  cfg.bandwidth = Bandwidth::Mbps(8);
+  Link link(sched, "test", cfg);
+  link.Send(DeterministicBytes(1000, 1), [](ByteVec) {});
+  EXPECT_EQ(link.backlog(), 1000u);
+  sched.Run();
+  EXPECT_EQ(link.backlog(), 0u);
+}
+
+TEST_F(LinkFixture, BandwidthReconfigurationAffectsNewFrames) {
+  LinkConfig cfg;
+  cfg.bandwidth = Bandwidth::Mbps(8);
+  cfg.propagation = Duration::Zero();
+  Link link(sched, "tc", cfg);
+  std::vector<std::int64_t> at;
+  link.Send(DeterministicBytes(1000, 1),
+            [&](ByteVec) { at.push_back(sched.now().micros()); });
+  sched.Run();
+  link.SetBandwidth(Bandwidth::Mbps(80));  // the tc analogue
+  link.Send(DeterministicBytes(1000, 2),
+            [&](ByteVec) { at.push_back(sched.now().micros()); });
+  sched.Run();
+  EXPECT_EQ(at[0], 1000);          // 1 ms at 8 Mbps
+  EXPECT_EQ(at[1] - at[0], 100);   // 0.1 ms at 80 Mbps
+}
+
+TEST_F(LinkFixture, JitterBoundedByConfig) {
+  LinkConfig cfg;
+  cfg.bandwidth = Bandwidth::Gbps(10);
+  cfg.propagation = Duration::Millis(1);
+  cfg.jitter = Duration::Millis(2);
+  Link link(sched, "jittery", cfg);
+  for (int i = 0; i < 200; ++i) {
+    const SimTime sent = sched.now();
+    link.Send({1}, [&, sent](ByteVec) {
+      const Duration flight = sched.now() - sent;
+      EXPECT_GE(flight, Duration::Millis(1));
+      EXPECT_LE(flight, Duration::Millis(3) + Duration::Micros(10));
+    });
+    sched.Run();
+  }
+}
+
+TEST_F(LinkFixture, UtilizationReflectsBusyFraction) {
+  LinkConfig cfg;
+  cfg.bandwidth = Bandwidth::Mbps(8);
+  cfg.propagation = Duration::Zero();
+  Link link(sched, "util", cfg);
+  link.Send(DeterministicBytes(1000, 1), [](ByteVec) {});  // busy 1 ms
+  sched.Run();
+  sched.RunUntil(SimTime::FromMicros(2000));  // idle another 1 ms
+  EXPECT_NEAR(link.Utilization(), 0.5, 0.01);
+}
+
+// Property: transfer time over a sweep of sizes/bandwidths matches
+// bytes*8/bw + propagation within 1 us rounding.
+struct TransferCase {
+  std::uint64_t bytes;
+  double mbps;
+  std::int64_t prop_us;
+};
+
+class LinkTransferPropertyTest : public ::testing::TestWithParam<TransferCase> {};
+
+TEST_P(LinkTransferPropertyTest, MatchesClosedForm) {
+  const auto param = GetParam();
+  EventScheduler sched;
+  LinkConfig cfg;
+  cfg.bandwidth = Bandwidth::Mbps(param.mbps);
+  cfg.propagation = Duration::Micros(param.prop_us);
+  Link link(sched, "p", cfg);
+  SimTime delivered_at;
+  link.Send(DeterministicBytes(param.bytes, 1),
+            [&](ByteVec) { delivered_at = sched.now(); });
+  sched.Run();
+  const double expected_us =
+      static_cast<double>(param.bytes) * 8.0 / param.mbps + param.prop_us;
+  EXPECT_NEAR(static_cast<double>(delivered_at.micros()), expected_us, 1.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LinkTransferPropertyTest,
+    ::testing::Values(TransferCase{1500, 10, 0}, TransferCase{1500, 400, 2000},
+                      TransferCase{1'800'000, 90, 2000},
+                      TransferCase{1'800'000, 9, 20'000},
+                      TransferCase{15'053'000, 30, 20'000},
+                      TransferCase{64, 1000, 100},
+                      TransferCase{2'400'000, 400, 2000}));
+
+// ---------------------------------------------------------------------------
+// TokenBucketShaper
+// ---------------------------------------------------------------------------
+
+TEST(ShaperTest, BurstPassesImmediately) {
+  TokenBucketShaper shaper(Bandwidth::Mbps(8), 10'000);
+  const SimTime now = SimTime::FromMicros(0);
+  EXPECT_EQ(shaper.Admit(now, 10'000), now);  // full bucket
+}
+
+TEST(ShaperTest, DrainedBucketDelays) {
+  TokenBucketShaper shaper(Bandwidth::Mbps(8), 1000);  // 1 byte/us refill
+  const SimTime t0 = SimTime::Epoch();
+  EXPECT_EQ(shaper.Admit(t0, 1000), t0);
+  // Bucket empty; next 500 bytes need 500 us of refill.
+  EXPECT_EQ(shaper.Admit(t0, 500).micros(), 500);
+}
+
+TEST(ShaperTest, RefillsWhileIdle) {
+  TokenBucketShaper shaper(Bandwidth::Mbps(8), 1000);
+  (void)shaper.Admit(SimTime::Epoch(), 1000);
+  // After 2 ms idle, the bucket is full again (capped at burst).
+  const SimTime later = SimTime::FromMicros(2000);
+  EXPECT_NEAR(shaper.TokensAt(later), 1000.0, 1e-6);
+  EXPECT_EQ(shaper.Admit(later, 1000), later);
+}
+
+TEST(ShaperTest, FifoReleaseOrder) {
+  TokenBucketShaper shaper(Bandwidth::Mbps(8), 1000);
+  const SimTime t0 = SimTime::Epoch();
+  const SimTime r1 = shaper.Admit(t0, 1000);
+  const SimTime r2 = shaper.Admit(t0, 100);
+  const SimTime r3 = shaper.Admit(t0, 100);
+  EXPECT_LE(r1, r2);
+  EXPECT_LE(r2, r3);
+}
+
+TEST(ShaperTest, LongRunRateConvergesToConfigured) {
+  // Push 1000 frames of 1000 bytes through an 8 Mbps shaper: the last
+  // release time must be ~ total_bytes * 8 / rate.
+  TokenBucketShaper shaper(Bandwidth::Mbps(8), 2000);
+  SimTime now = SimTime::Epoch();
+  SimTime last = now;
+  for (int i = 0; i < 1000; ++i) {
+    last = shaper.Admit(now, 1000);
+    now = last;  // arrivals chase the release horizon (saturated source)
+  }
+  const double expected_us = 1000.0 * 1000.0;  // 1 byte/us, minus burst credit
+  EXPECT_NEAR(static_cast<double>(last.micros()), expected_us, 3000);
+}
+
+TEST(ShaperTest, NeverExceedsRatePlusBurstOverAnyWindow) {
+  TokenBucketShaper shaper(Bandwidth::Mbps(80), 5000);
+  Rng rng(5);
+  SimTime now = SimTime::Epoch();
+  std::vector<std::pair<std::int64_t, std::uint64_t>> releases;  // (us, bytes)
+  for (int i = 0; i < 500; ++i) {
+    now = now + Duration::Micros(static_cast<std::int64_t>(rng.NextBelow(300)));
+    const std::uint64_t bytes = 200 + rng.NextBelow(1800);
+    const SimTime release = shaper.Admit(now, bytes);
+    releases.emplace_back(release.micros(), bytes);
+  }
+  // Over any window [a, b], released bytes <= burst + rate * (b - a).
+  const double rate_bytes_per_us = 10.0;  // 80 Mbps
+  for (std::size_t a = 0; a < releases.size(); a += 17) {
+    std::uint64_t sum = 0;
+    for (std::size_t b = a; b < releases.size(); ++b) {
+      sum += releases[b].second;
+      const double window = static_cast<double>(releases[b].first - releases[a].first);
+      EXPECT_LE(static_cast<double>(sum),
+                5000.0 + rate_bytes_per_us * window + 2000.0)
+          << "window [" << a << "," << b << "]";
+    }
+  }
+}
+
+TEST(ShaperTest, AgreesWithLinkModelAtSteadyState) {
+  // A saturated source through a token-bucket shaper and through a Link
+  // of the same rate must complete N frames at (asymptotically) the same
+  // time — the shaper is the mechanism-level model of the same pipe.
+  constexpr int kFrames = 500;
+  constexpr std::uint64_t kFrameBytes = 1200;
+  const Bandwidth rate = Bandwidth::Mbps(24);
+
+  EventScheduler sched;
+  LinkConfig cfg;
+  cfg.bandwidth = rate;
+  cfg.propagation = Duration::Zero();
+  Link link(sched, "pipe", cfg);
+  SimTime link_done;
+  for (int i = 0; i < kFrames; ++i) {
+    link.Send(ByteVec(kFrameBytes), [&](ByteVec) { link_done = sched.now(); });
+  }
+  sched.Run();
+
+  TokenBucketShaper shaper(rate, kFrameBytes);
+  SimTime shaper_done = SimTime::Epoch();
+  for (int i = 0; i < kFrames; ++i) {
+    shaper_done = shaper.Admit(shaper_done, kFrameBytes);
+  }
+
+  const double link_us = static_cast<double>(link_done.micros());
+  const double shaper_us = static_cast<double>(shaper_done.micros());
+  // Within one burst worth of divergence (the shaper's initial credit).
+  EXPECT_NEAR(link_us, shaper_us, 2.0 * rate.TransmitTime(kFrameBytes).micros());
+}
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+TEST(NetworkTest, DeliversToHandlerWithSender) {
+  EventScheduler sched;
+  Network net(sched);
+  const NodeId a = net.AddNode("a");
+  const NodeId b = net.AddNode("b");
+  net.Connect(a, b, LinkConfig{});
+  NodeId from = kInvalidNode;
+  ByteVec got;
+  net.SetHandler(b, [&](NodeId f, ByteVec p) {
+    from = f;
+    got = std::move(p);
+  });
+  net.Send(a, b, {9, 8, 7});
+  sched.Run();
+  EXPECT_EQ(from, a);
+  EXPECT_EQ(got, (ByteVec{9, 8, 7}));
+}
+
+TEST(NetworkTest, DuplexLinksAreIndependent) {
+  EventScheduler sched;
+  Network net(sched);
+  const NodeId a = net.AddNode("a");
+  const NodeId b = net.AddNode("b");
+  LinkConfig fast;
+  fast.bandwidth = Bandwidth::Mbps(400);
+  LinkConfig slow;
+  slow.bandwidth = Bandwidth::Mbps(4);
+  net.Connect(a, b, fast, slow);
+  EXPECT_EQ(net.LinkBetween(a, b).config().bandwidth, Bandwidth::Mbps(400));
+  EXPECT_EQ(net.LinkBetween(b, a).config().bandwidth, Bandwidth::Mbps(4));
+}
+
+TEST(NetworkTest, AdjacencyChecks) {
+  EventScheduler sched;
+  Network net(sched);
+  const NodeId a = net.AddNode("a");
+  const NodeId b = net.AddNode("b");
+  const NodeId c = net.AddNode("c");
+  net.Connect(a, b, LinkConfig{});
+  EXPECT_TRUE(net.Adjacent(a, b));
+  EXPECT_TRUE(net.Adjacent(b, a));
+  EXPECT_FALSE(net.Adjacent(a, c));
+}
+
+TEST(NetworkTest, ThreeTierRelayTiming) {
+  // mobile -> edge -> cloud relay reproduces the sum of per-hop times.
+  EventScheduler sched;
+  Network net(sched);
+  const NodeId m = net.AddNode("mobile");
+  const NodeId e = net.AddNode("edge");
+  const NodeId c = net.AddNode("cloud");
+  LinkConfig wifi;
+  wifi.bandwidth = Bandwidth::Mbps(80);  // 10 bytes/us
+  wifi.propagation = Duration::Millis(2);
+  LinkConfig wan;
+  wan.bandwidth = Bandwidth::Mbps(8);  // 1 byte/us
+  wan.propagation = Duration::Millis(20);
+  net.Connect(m, e, wifi);
+  net.Connect(e, c, wan);
+
+  SimTime arrival;
+  net.SetHandler(e, [&](NodeId, ByteVec p) { net.Send(e, c, std::move(p)); });
+  net.SetHandler(c, [&](NodeId, ByteVec) { arrival = sched.now(); });
+  net.Send(m, e, DeterministicBytes(10'000, 1));
+  sched.Run();
+  // 10k bytes: 1 ms on wifi + 2 ms prop + 10 ms on wan + 20 ms prop.
+  EXPECT_EQ(arrival.micros(), 33'000);
+}
+
+TEST(NetworkTest, NodeNamesRetained) {
+  EventScheduler sched;
+  Network net(sched);
+  const NodeId a = net.AddNode("mobile");
+  EXPECT_EQ(net.NodeName(a), "mobile");
+  EXPECT_EQ(net.node_count(), 1u);
+}
+
+}  // namespace
+}  // namespace coic::netsim

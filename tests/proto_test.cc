@@ -1,0 +1,368 @@
+// Wire-format tests: every message round-trips; decoders reject corrupt
+// and truncated input without UB (property-tested over prefixes).
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "proto/descriptor.h"
+#include "proto/envelope.h"
+#include "proto/messages.h"
+
+namespace coic::proto {
+namespace {
+
+FeatureDescriptor SampleVectorDescriptor(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  std::vector<float> vec(64);
+  for (auto& v : vec) v = static_cast<float>(rng.NextGaussian());
+  return FeatureDescriptor::ForVector(TaskKind::kRecognition, std::move(vec));
+}
+
+FeatureDescriptor SampleHashDescriptor(TaskKind task = TaskKind::kRender) {
+  return FeatureDescriptor::ForHash(task, Digest128{0x1111, 0x2222});
+}
+
+template <typename M>
+M RoundTrip(const M& msg, MessageType type) {
+  const ByteVec frame = EncodeMessage(type, 77, msg);
+  auto env = DecodeEnvelope(frame);
+  EXPECT_TRUE(env.ok()) << env.status().ToString();
+  EXPECT_EQ(env.value().type, type);
+  EXPECT_EQ(env.value().request_id, 77u);
+  auto decoded = DecodePayloadAs<M>(env.value(), type);
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return std::move(decoded).value();
+}
+
+// ---------------------------------------------------------------------------
+// FeatureDescriptor
+// ---------------------------------------------------------------------------
+
+TEST(DescriptorTest, VectorRoundTrip) {
+  const auto d = SampleVectorDescriptor();
+  ByteWriter w;
+  d.Encode(w);
+  ByteReader r(w.bytes());
+  auto decoded = FeatureDescriptor::Decode(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), d);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(DescriptorTest, HashRoundTrip) {
+  const auto d = SampleHashDescriptor(TaskKind::kPanorama);
+  ByteWriter w;
+  d.Encode(w);
+  ByteReader r(w.bytes());
+  auto decoded = FeatureDescriptor::Decode(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), d);
+}
+
+TEST(DescriptorTest, WireSizeMatchesEncoding) {
+  for (const auto& d : {SampleVectorDescriptor(), SampleHashDescriptor()}) {
+    ByteWriter w;
+    d.Encode(w);
+    EXPECT_EQ(d.WireSize(), w.size());
+  }
+}
+
+TEST(DescriptorTest, DistanceIsEuclidean) {
+  auto a = FeatureDescriptor::ForVector(TaskKind::kRecognition, {0.0f, 3.0f});
+  auto b = FeatureDescriptor::ForVector(TaskKind::kRecognition, {4.0f, 0.0f});
+  EXPECT_DOUBLE_EQ(a.DistanceTo(b), 5.0);
+  EXPECT_DOUBLE_EQ(a.DistanceTo(a), 0.0);
+}
+
+TEST(DescriptorTest, HashDescriptorsIndexKeyDiffersByTask) {
+  const auto render = SampleHashDescriptor(TaskKind::kRender);
+  const auto pano = SampleHashDescriptor(TaskKind::kPanorama);
+  EXPECT_NE(render.IndexKey(), pano.IndexKey());
+}
+
+TEST(DescriptorTest, RejectsBadEnumValues) {
+  ByteWriter w;
+  w.WriteU8(99);  // bad task
+  w.WriteU8(0);
+  w.WriteF32Vector(std::vector<float>{1.0f});
+  w.WriteU64(1);
+  w.WriteU64(1);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(FeatureDescriptor::Decode(r).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(DescriptorTest, RejectsVectorKindWithoutVector) {
+  ByteWriter w;
+  w.WriteU8(0);  // recognition
+  w.WriteU8(0);  // vector kind
+  w.WriteF32Vector({});
+  w.WriteU64(0);
+  w.WriteU64(0);
+  ByteReader r(w.bytes());
+  EXPECT_FALSE(FeatureDescriptor::Decode(r).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Message round trips
+// ---------------------------------------------------------------------------
+
+TEST(MessagesTest, RecognitionRequestCoicRoundTrip) {
+  RecognitionRequest m;
+  m.user_id = 3;
+  m.app_id = 9;
+  m.frame_id = 0xF00D;
+  m.mode = OffloadMode::kCoic;
+  m.descriptor = SampleVectorDescriptor(5);
+  EXPECT_EQ(RoundTrip(m, MessageType::kRecognitionRequest), m);
+}
+
+TEST(MessagesTest, RecognitionRequestOriginRoundTrip) {
+  RecognitionRequest m;
+  m.mode = OffloadMode::kOrigin;
+  m.descriptor = SampleHashDescriptor(TaskKind::kRecognition);
+  m.image = DeterministicBytes(5000, 8);
+  EXPECT_EQ(RoundTrip(m, MessageType::kRecognitionRequest), m);
+}
+
+TEST(MessagesTest, OriginRecognitionWithoutImageRejected) {
+  RecognitionRequest m;
+  m.mode = OffloadMode::kOrigin;
+  m.descriptor = SampleHashDescriptor(TaskKind::kRecognition);
+  const ByteVec frame = EncodeMessage(MessageType::kRecognitionRequest, 1, m);
+  auto env = DecodeEnvelope(frame);
+  ASSERT_TRUE(env.ok());
+  EXPECT_FALSE(DecodePayloadAs<RecognitionRequest>(
+                   env.value(), MessageType::kRecognitionRequest)
+                   .ok());
+}
+
+TEST(MessagesTest, RecognitionResultRoundTrip) {
+  RecognitionResult m;
+  m.frame_id = 11;
+  m.label = "stop_sign";
+  m.confidence = 0.93f;
+  m.source = ResultSource::kEdgeCache;
+  m.annotation = DeterministicBytes(1024, 9);
+  EXPECT_EQ(RoundTrip(m, MessageType::kRecognitionResult), m);
+}
+
+TEST(MessagesTest, RenderRequestRoundTrip) {
+  RenderRequest m;
+  m.user_id = 1;
+  m.app_id = 2;
+  m.model_id = 42;
+  m.mode = OffloadMode::kCoic;
+  m.descriptor = SampleHashDescriptor();
+  m.level_of_detail = 3;
+  EXPECT_EQ(RoundTrip(m, MessageType::kRenderRequest), m);
+}
+
+TEST(MessagesTest, RenderResultRoundTrip) {
+  RenderResult m;
+  m.model_id = 42;
+  m.source = ResultSource::kCloud;
+  m.model_bytes = DeterministicBytes(9000, 10);
+  EXPECT_EQ(RoundTrip(m, MessageType::kRenderResult), m);
+}
+
+TEST(MessagesTest, PanoramaRequestRoundTrip) {
+  PanoramaRequest m;
+  m.user_id = 6;
+  m.video_id = 1001;
+  m.frame_index = 77;
+  m.mode = OffloadMode::kCoic;
+  m.descriptor = SampleHashDescriptor(TaskKind::kPanorama);
+  m.viewport = {15.0f, -10.0f, 100.0f};
+  EXPECT_EQ(RoundTrip(m, MessageType::kPanoramaRequest), m);
+}
+
+TEST(MessagesTest, PanoramaResultRoundTrip) {
+  PanoramaResult m;
+  m.video_id = 1001;
+  m.frame_index = 77;
+  m.source = ResultSource::kEdgeCache;
+  m.width = 4096;
+  m.height = 2048;
+  m.frame = DeterministicBytes(2048, 11);
+  EXPECT_EQ(RoundTrip(m, MessageType::kPanoramaResult), m);
+}
+
+TEST(MessagesTest, ErrorReplyRoundTrip) {
+  ErrorReply m;
+  m.code = static_cast<std::uint16_t>(StatusCode::kNotFound);
+  m.message = "no model with requested digest";
+  EXPECT_EQ(RoundTrip(m, MessageType::kError), m);
+}
+
+TEST(MessagesTest, CacheStatsReplyRoundTrip) {
+  CacheStatsReply m;
+  m.hits = 10;
+  m.misses = 3;
+  m.insertions = 3;
+  m.evictions = 1;
+  m.bytes_used = 4096;
+  m.bytes_capacity = 1 << 20;
+  EXPECT_EQ(RoundTrip(m, MessageType::kCacheStatsReply), m);
+}
+
+TEST(MessagesTest, WireSizeMatchesEncodedSize) {
+  RecognitionRequest rec;
+  rec.descriptor = SampleVectorDescriptor();
+  rec.image = DeterministicBytes(100, 1);
+  ByteWriter w1;
+  rec.Encode(w1);
+  EXPECT_EQ(rec.WireSize(), w1.size());
+
+  RenderResult rr;
+  rr.model_bytes = DeterministicBytes(555, 2);
+  ByteWriter w2;
+  rr.Encode(w2);
+  EXPECT_EQ(rr.WireSize(), w2.size());
+
+  PanoramaResult pr;
+  pr.frame = DeterministicBytes(321, 3);
+  ByteWriter w3;
+  pr.Encode(w3);
+  EXPECT_EQ(pr.WireSize(), w3.size());
+}
+
+// ---------------------------------------------------------------------------
+// Envelope
+// ---------------------------------------------------------------------------
+
+TEST(EnvelopeTest, RoundTrip) {
+  const ByteVec payload = DeterministicBytes(100, 12);
+  const ByteVec frame = EncodeEnvelope(MessageType::kPing, 123, payload);
+  EXPECT_EQ(frame.size(), kEnvelopeHeaderSize + payload.size());
+  auto env = DecodeEnvelope(frame);
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env.value().type, MessageType::kPing);
+  EXPECT_EQ(env.value().request_id, 123u);
+  EXPECT_EQ(env.value().payload, payload);
+}
+
+TEST(EnvelopeTest, RejectsBadMagic) {
+  ByteVec frame = EncodeEnvelope(MessageType::kPing, 1, {});
+  frame[0] ^= 0xFF;
+  EXPECT_EQ(DecodeEnvelope(frame).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(EnvelopeTest, RejectsBadVersion) {
+  ByteVec frame = EncodeEnvelope(MessageType::kPing, 1, {});
+  frame[4] = 0x7F;
+  EXPECT_FALSE(DecodeEnvelope(frame).ok());
+}
+
+TEST(EnvelopeTest, RejectsUnknownType) {
+  ByteVec frame = EncodeEnvelope(MessageType::kPing, 1, {});
+  frame[6] = 200;
+  EXPECT_FALSE(DecodeEnvelope(frame).ok());
+}
+
+TEST(EnvelopeTest, RejectsNonzeroFlags) {
+  ByteVec frame = EncodeEnvelope(MessageType::kPing, 1, {});
+  frame[7] = 1;
+  EXPECT_FALSE(DecodeEnvelope(frame).ok());
+}
+
+TEST(EnvelopeTest, RejectsTruncatedPayload) {
+  ByteVec frame = EncodeEnvelope(MessageType::kPing, 1, DeterministicBytes(50, 1));
+  frame.resize(frame.size() - 10);
+  EXPECT_FALSE(DecodeEnvelope(frame).ok());
+}
+
+TEST(EnvelopeTest, RejectsTrailingGarbage) {
+  ByteVec frame = EncodeEnvelope(MessageType::kPing, 1, {});
+  frame.push_back(0);
+  EXPECT_FALSE(DecodeEnvelope(frame).ok());
+}
+
+TEST(EnvelopeTest, RejectsOversizedLengthField) {
+  ByteVec frame = EncodeEnvelope(MessageType::kPing, 1, {});
+  // Patch the length field to a huge value.
+  frame[16] = 0xFF;
+  frame[17] = 0xFF;
+  frame[18] = 0xFF;
+  frame[19] = 0xFF;
+  EXPECT_FALSE(DecodeEnvelope(frame).ok());
+}
+
+TEST(EnvelopeTest, PeekFrameSizeNeedsFullHeader) {
+  const ByteVec frame = EncodeEnvelope(MessageType::kPong, 1, DeterministicBytes(30, 2));
+  for (std::size_t n = 0; n < kEnvelopeHeaderSize; ++n) {
+    auto size = PeekFrameSize(std::span(frame.data(), n));
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(size.value(), 0u) << "header bytes " << n;
+  }
+  auto size = PeekFrameSize(frame);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(size.value(), frame.size());
+}
+
+TEST(EnvelopeTest, PeekFrameSizeRejectsCorruptHeader) {
+  ByteVec frame = EncodeEnvelope(MessageType::kPong, 1, {});
+  frame[0] ^= 0xFF;
+  EXPECT_FALSE(PeekFrameSize(frame).ok());
+}
+
+TEST(EnvelopeTest, DecodePayloadAsRejectsWrongType) {
+  ErrorReply err;
+  err.message = "x";
+  const ByteVec frame = EncodeMessage(MessageType::kError, 1, err);
+  auto env = DecodeEnvelope(frame);
+  ASSERT_TRUE(env.ok());
+  EXPECT_FALSE(
+      DecodePayloadAs<CacheStatsReply>(env.value(), MessageType::kCacheStatsReply)
+          .ok());
+}
+
+TEST(EnvelopeTest, DecodePayloadAsRejectsTrailingBytes) {
+  ErrorReply err;
+  err.message = "x";
+  ByteWriter w;
+  err.Encode(w);
+  ByteVec payload = w.TakeBytes();
+  payload.push_back(0xAA);  // trailing junk inside the payload
+  const ByteVec frame = EncodeEnvelope(MessageType::kError, 1, payload);
+  auto env = DecodeEnvelope(frame);
+  ASSERT_TRUE(env.ok());
+  EXPECT_FALSE(DecodePayloadAs<ErrorReply>(env.value(), MessageType::kError).ok());
+}
+
+// Property: no prefix of a valid frame decodes successfully, and none
+// crashes (safety on truncated network reads).
+class EnvelopeTruncationTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EnvelopeTruncationTest, EveryPrefixFailsCleanly) {
+  RecognitionRequest m;
+  m.descriptor = SampleVectorDescriptor(GetParam());
+  m.image = DeterministicBytes(64 * GetParam(), GetParam());
+  m.mode = OffloadMode::kOrigin;
+  const ByteVec frame = EncodeMessage(MessageType::kRecognitionRequest, 5, m);
+  for (std::size_t n = 0; n < frame.size(); n += 7) {
+    auto result = DecodeEnvelope(std::span(frame.data(), n));
+    EXPECT_FALSE(result.ok()) << "prefix " << n << " decoded";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EnvelopeTruncationTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+// Property: bit flips in the magic, version and flags fields never
+// decode as valid. (The type byte is excluded: a flip there can land on
+// another legal MessageType, which the envelope layer cannot detect —
+// payload decoding catches it instead.)
+TEST(EnvelopeTest, HeaderBitFlipsRejected) {
+  const ByteVec frame = EncodeEnvelope(MessageType::kRenderRequest, 9,
+                                       DeterministicBytes(16, 3));
+  for (const std::size_t byte : {0u, 1u, 2u, 3u, 4u, 5u, 7u}) {
+    for (int bit = 0; bit < 8; ++bit) {
+      ByteVec corrupt = frame;
+      corrupt[byte] ^= static_cast<std::uint8_t>(1 << bit);
+      auto result = DecodeEnvelope(corrupt);
+      EXPECT_FALSE(result.ok()) << "byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coic::proto

@@ -1,0 +1,312 @@
+// Direct unit tests of EdgeService / CloudService against fake
+// transports — no simulator, immediate delays — covering the protocol
+// corners the pipeline tests do not reach (ping, stats, error replies,
+// malformed forwards, pending-state bookkeeping).
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "core/services.h"
+#include "vision/image.h"
+
+namespace coic::core {
+namespace {
+
+using proto::Envelope;
+using proto::MessageType;
+using proto::OffloadMode;
+
+/// Captures frames per destination and hands them out FIFO.
+struct FakeWire {
+  std::deque<ByteVec> to_client;
+  std::deque<ByteVec> to_cloud;
+  std::deque<ByteVec> to_peer;
+
+  SendFn MakeSendFn() {
+    return [this](Peer to, ByteVec frame) {
+      switch (to) {
+        case Peer::kClient: to_client.push_back(std::move(frame)); break;
+        case Peer::kCloud: to_cloud.push_back(std::move(frame)); break;
+        case Peer::kPeerEdge: to_peer.push_back(std::move(frame)); break;
+      }
+    };
+  }
+
+  static Envelope Decode(std::deque<ByteVec>& queue) {
+    EXPECT_FALSE(queue.empty());
+    auto env = proto::DecodeEnvelope(queue.front());
+    EXPECT_TRUE(env.ok()) << env.status().ToString();
+    queue.pop_front();
+    return std::move(env).value();
+  }
+};
+
+DelayFn ImmediateDelay() {
+  return [](Duration, std::function<void()> fn) { fn(); };
+}
+
+NowFn FixedNow() {
+  return [] { return SimTime::Epoch(); };
+}
+
+EdgeService MakeEdge(FakeWire& wire, bool cooperative = false) {
+  EdgeService::Config config;
+  config.cooperative = cooperative;
+  return EdgeService(config, wire.MakeSendFn(), ImmediateDelay(), FixedNow());
+}
+
+CloudService MakeCloud(FakeWire& wire) {
+  CloudService::Config config;
+  config.recognition_classes = 5;
+  return CloudService(config, wire.MakeSendFn(), ImmediateDelay());
+}
+
+proto::RecognitionRequest CoicRecognitionRequest(std::uint64_t scene) {
+  const vision::FeatureExtractor extractor;
+  proto::RecognitionRequest req;
+  req.frame_id = 1;
+  req.mode = OffloadMode::kCoic;
+  req.descriptor = proto::FeatureDescriptor::ForVector(
+      proto::TaskKind::kRecognition,
+      extractor.Extract(vision::SyntheticImage::Generate({.scene_id = scene})));
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// EdgeService protocol corners
+// ---------------------------------------------------------------------------
+
+TEST(EdgeServiceTest, PingPong) {
+  FakeWire wire;
+  auto edge = MakeEdge(wire);
+  edge.OnClientFrame(proto::EncodeEnvelope(MessageType::kPing, 9, {}));
+  const auto reply = FakeWire::Decode(wire.to_client);
+  EXPECT_EQ(reply.type, MessageType::kPong);
+  EXPECT_EQ(reply.request_id, 9u);
+}
+
+TEST(EdgeServiceTest, CacheStatsReflectState) {
+  FakeWire wire;
+  auto edge = MakeEdge(wire);
+  edge.mutable_cache().Insert(
+      proto::FeatureDescriptor::ForHash(proto::TaskKind::kRender,
+                                        Digest128{1, 2}),
+      DeterministicBytes(100, 1), SimTime::Epoch());
+  edge.OnClientFrame(
+      proto::EncodeEnvelope(MessageType::kCacheStatsRequest, 5, {}));
+  const auto env = FakeWire::Decode(wire.to_client);
+  ASSERT_EQ(env.type, MessageType::kCacheStatsReply);
+  auto stats = proto::DecodePayloadAs<proto::CacheStatsReply>(
+      env, MessageType::kCacheStatsReply);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().insertions, 1u);
+  EXPECT_GT(stats.value().bytes_used, 100u);
+}
+
+TEST(EdgeServiceTest, CoicMissForwardsDescriptorOnly) {
+  FakeWire wire;
+  auto edge = MakeEdge(wire);
+  const auto req = CoicRecognitionRequest(3);
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+  EXPECT_TRUE(wire.to_client.empty());  // no premature reply
+  const auto forwarded = FakeWire::Decode(wire.to_cloud);
+  EXPECT_EQ(forwarded.type, MessageType::kRecognitionRequest);
+  EXPECT_EQ(forwarded.request_id, 7u);
+  EXPECT_EQ(edge.forwards(), 1u);
+  // Forwarded payload is the original (descriptor, no image).
+  auto decoded = proto::DecodePayloadAs<proto::RecognitionRequest>(
+      forwarded, MessageType::kRecognitionRequest);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().image.empty());
+}
+
+TEST(EdgeServiceTest, CloudReplyInsertedAndRelayed) {
+  FakeWire wire;
+  auto edge = MakeEdge(wire);
+  edge.OnClientFrame(proto::EncodeMessage(MessageType::kRecognitionRequest, 7,
+                                          CoicRecognitionRequest(3)));
+  (void)FakeWire::Decode(wire.to_cloud);
+
+  proto::RecognitionResult result;
+  result.frame_id = 7;
+  result.label = "object_3";
+  result.source = proto::ResultSource::kCloud;
+  result.annotation = DeterministicBytes(256, 1);
+  edge.OnCloudFrame(
+      proto::EncodeMessage(MessageType::kRecognitionResult, 7, result));
+
+  const auto relayed = FakeWire::Decode(wire.to_client);
+  EXPECT_EQ(relayed.type, MessageType::kRecognitionResult);
+  EXPECT_EQ(edge.cache().stats().insertions, 1u);
+
+  // The same descriptor now hits locally.
+  edge.OnClientFrame(proto::EncodeMessage(MessageType::kRecognitionRequest, 8,
+                                          CoicRecognitionRequest(3)));
+  const auto hit = FakeWire::Decode(wire.to_client);
+  auto hit_result = proto::DecodePayloadAs<proto::RecognitionResult>(
+      hit, MessageType::kRecognitionResult);
+  ASSERT_TRUE(hit_result.ok());
+  EXPECT_EQ(hit_result.value().source, proto::ResultSource::kEdgeCache);
+  EXPECT_EQ(hit_result.value().label, "object_3");
+}
+
+TEST(EdgeServiceTest, UnknownCloudReplyDropped) {
+  FakeWire wire;
+  auto edge = MakeEdge(wire);
+  proto::RecognitionResult result;
+  result.frame_id = 99;
+  edge.OnCloudFrame(
+      proto::EncodeMessage(MessageType::kRecognitionResult, 99, result));
+  EXPECT_TRUE(wire.to_client.empty());
+  EXPECT_EQ(edge.cache().stats().insertions, 0u);
+}
+
+TEST(EdgeServiceTest, ErrorReplyNotCached) {
+  FakeWire wire;
+  auto edge = MakeEdge(wire);
+  edge.OnClientFrame(proto::EncodeMessage(MessageType::kRecognitionRequest, 7,
+                                          CoicRecognitionRequest(3)));
+  (void)FakeWire::Decode(wire.to_cloud);
+  proto::ErrorReply err;
+  err.message = "boom";
+  edge.OnCloudFrame(proto::EncodeMessage(MessageType::kError, 7, err));
+  const auto relayed = FakeWire::Decode(wire.to_client);
+  EXPECT_EQ(relayed.type, MessageType::kError);
+  EXPECT_EQ(edge.cache().stats().insertions, 0u);
+}
+
+TEST(EdgeServiceTest, PeerLookupAnsweredFromCache) {
+  FakeWire wire;
+  auto edge = MakeEdge(wire, /*cooperative=*/true);
+  const auto key = proto::FeatureDescriptor::ForHash(proto::TaskKind::kRender,
+                                                     Digest128{3, 4});
+  proto::RenderResult cached;
+  cached.model_id = 1;
+  cached.model_bytes = DeterministicBytes(64, 2);
+  ByteWriter w;
+  cached.Encode(w);
+  edge.mutable_cache().Insert(key, w.TakeBytes(), SimTime::Epoch());
+
+  proto::PeerLookupRequest query;
+  query.descriptor = key;
+  query.reply_type = MessageType::kRenderResult;
+  edge.OnPeerFrame(
+      proto::EncodeMessage(MessageType::kPeerLookupRequest, 11, query));
+  const auto reply_env = FakeWire::Decode(wire.to_peer);
+  auto reply = proto::DecodePayloadAs<proto::PeerLookupReply>(
+      reply_env, MessageType::kPeerLookupReply);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.value().found);
+  EXPECT_EQ(edge.peer_queries_served(), 1u);
+}
+
+TEST(EdgeServiceTest, PeerLookupMissSaysNo) {
+  FakeWire wire;
+  auto edge = MakeEdge(wire, /*cooperative=*/true);
+  proto::PeerLookupRequest query;
+  query.descriptor = proto::FeatureDescriptor::ForHash(proto::TaskKind::kRender,
+                                                       Digest128{9, 9});
+  query.reply_type = MessageType::kRenderResult;
+  edge.OnPeerFrame(
+      proto::EncodeMessage(MessageType::kPeerLookupRequest, 12, query));
+  auto reply = proto::DecodePayloadAs<proto::PeerLookupReply>(
+      FakeWire::Decode(wire.to_peer), MessageType::kPeerLookupReply);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply.value().found);
+  EXPECT_TRUE(reply.value().payload.empty());
+}
+
+TEST(EdgeServiceTest, GarbagePeerFrameIgnored) {
+  FakeWire wire;
+  auto edge = MakeEdge(wire, /*cooperative=*/true);
+  edge.OnPeerFrame(DeterministicBytes(40, 1));
+  EXPECT_TRUE(wire.to_peer.empty());
+  EXPECT_TRUE(wire.to_client.empty());
+}
+
+// ---------------------------------------------------------------------------
+// CloudService protocol corners
+// ---------------------------------------------------------------------------
+
+TEST(CloudServiceTest, PingPong) {
+  FakeWire wire;
+  auto cloud = MakeCloud(wire);
+  cloud.OnFrame(proto::EncodeEnvelope(MessageType::kPing, 1, {}));
+  EXPECT_EQ(FakeWire::Decode(wire.to_client).type, MessageType::kPong);
+}
+
+TEST(CloudServiceTest, UnhandledTypeGetsError) {
+  FakeWire wire;
+  auto cloud = MakeCloud(wire);
+  cloud.OnFrame(proto::EncodeEnvelope(MessageType::kCacheStatsRequest, 2, {}));
+  const auto env = FakeWire::Decode(wire.to_client);
+  ASSERT_EQ(env.type, MessageType::kError);
+  auto err = proto::DecodePayloadAs<proto::ErrorReply>(env, MessageType::kError);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err.value().code,
+            static_cast<std::uint16_t>(StatusCode::kUnimplemented));
+}
+
+TEST(CloudServiceTest, CoicRecognitionNeedsVectorDescriptor) {
+  FakeWire wire;
+  auto cloud = MakeCloud(wire);
+  proto::RecognitionRequest req;
+  req.mode = OffloadMode::kCoic;
+  req.descriptor = proto::FeatureDescriptor::ForHash(
+      proto::TaskKind::kRecognition, Digest128{1, 1});
+  cloud.OnFrame(proto::EncodeMessage(MessageType::kRecognitionRequest, 3, req));
+  EXPECT_EQ(FakeWire::Decode(wire.to_client).type, MessageType::kError);
+}
+
+TEST(CloudServiceTest, OriginRecognitionClassifiesUploadedFrame) {
+  FakeWire wire;
+  auto cloud = MakeCloud(wire);
+  const auto image = vision::SyntheticImage::Generate({.scene_id = 2});
+  proto::RecognitionRequest req;
+  req.frame_id = 4;
+  req.mode = OffloadMode::kOrigin;
+  req.descriptor = proto::FeatureDescriptor::ForHash(
+      proto::TaskKind::kRecognition, image.ContentHash());
+  req.image = image.SerializeForWire(20'000);
+  cloud.OnFrame(proto::EncodeMessage(MessageType::kRecognitionRequest, 4, req));
+  auto result = proto::DecodePayloadAs<proto::RecognitionResult>(
+      FakeWire::Decode(wire.to_client), MessageType::kRecognitionResult);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().label, "object_2");
+  EXPECT_EQ(result.value().frame_id, 4u);
+  EXPECT_EQ(cloud.tasks_executed(), 1u);
+}
+
+TEST(CloudServiceTest, RenderUnknownDigestIsNotFound) {
+  FakeWire wire;
+  auto cloud = MakeCloud(wire);
+  proto::RenderRequest req;
+  req.descriptor = proto::FeatureDescriptor::ForHash(proto::TaskKind::kRender,
+                                                     Digest128{5, 5});
+  cloud.OnFrame(proto::EncodeMessage(MessageType::kRenderRequest, 6, req));
+  auto err = proto::DecodePayloadAs<proto::ErrorReply>(
+      FakeWire::Decode(wire.to_client), MessageType::kError);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err.value().code, static_cast<std::uint16_t>(StatusCode::kNotFound));
+}
+
+TEST(CloudServiceTest, PanoramaResultPaddedAndDecodable) {
+  FakeWire wire;
+  auto cloud = MakeCloud(wire);
+  proto::PanoramaRequest req;
+  req.video_id = 3;
+  req.frame_index = 1;
+  req.descriptor = proto::FeatureDescriptor::ForHash(proto::TaskKind::kPanorama,
+                                                     Digest128{6, 6});
+  cloud.OnFrame(proto::EncodeMessage(MessageType::kPanoramaRequest, 8, req));
+  auto result = proto::DecodePayloadAs<proto::PanoramaResult>(
+      FakeWire::Decode(wire.to_client), MessageType::kPanoramaResult);
+  ASSERT_TRUE(result.ok());
+  const CostModel costs;
+  EXPECT_EQ(result.value().frame.size(), costs.panorama.frame_bytes);
+  EXPECT_EQ(result.value().video_id, 3u);
+}
+
+}  // namespace
+}  // namespace coic::core

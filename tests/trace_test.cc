@@ -1,0 +1,196 @@
+// Workload-generator tests: redundancy structure, arrival process,
+// serialization round trip.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "trace/workload.h"
+
+namespace coic::trace {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig config;
+  config.users = 8;
+  config.objects = 20;
+  config.zipf_skew = 1.0;
+  config.colocated_fraction = 0.5;
+  config.seed = 99;
+  return config;
+}
+
+TEST(WorkloadTest, DeterministicGivenSeed) {
+  WorkloadGenerator a(SmallConfig()), b(SmallConfig());
+  const auto ta = a.GenerateRecognition(100);
+  const auto tb = b.GenerateRecognition(100);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].scene.scene_id, tb[i].scene.scene_id);
+    EXPECT_EQ(ta[i].at, tb[i].at);
+    EXPECT_EQ(ta[i].user_id, tb[i].user_id);
+  }
+}
+
+TEST(WorkloadTest, ArrivalsMonotoneAndPoissonish) {
+  WorkloadGenerator gen(SmallConfig());
+  const auto trace = gen.GenerateRecognition(2000);
+  double sum_gap = 0;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LT(trace[i - 1].at, trace[i].at);
+    sum_gap += (trace[i].at - trace[i - 1].at).seconds();
+  }
+  const double mean_gap = sum_gap / static_cast<double>(trace.size() - 1);
+  EXPECT_NEAR(mean_gap, 1.0 / SmallConfig().arrival_rate_hz, 0.03);
+}
+
+TEST(WorkloadTest, ColocatedUsersShareObjects) {
+  WorkloadGenerator gen(SmallConfig());
+  const auto trace = gen.GenerateRecognition(3000);
+  std::set<std::uint64_t> shared_scenes, private_scenes;
+  for (const auto& rec : trace) {
+    ASSERT_EQ(rec.type, IcTaskType::kRecognition);
+    if (rec.scene.scene_id <= SmallConfig().objects) {
+      shared_scenes.insert(rec.scene.scene_id);
+    } else {
+      private_scenes.insert(rec.scene.scene_id);
+    }
+  }
+  EXPECT_FALSE(shared_scenes.empty());
+  EXPECT_FALSE(private_scenes.empty());
+  // Private scene ids never collide across users by construction.
+  for (const auto& rec : trace) {
+    if (rec.scene.scene_id > SmallConfig().objects) {
+      const std::uint64_t owner =
+          (rec.scene.scene_id - SmallConfig().objects - 1) / 1'000'000;
+      EXPECT_EQ(owner, rec.user_id);
+    }
+  }
+}
+
+TEST(WorkloadTest, ZipfSkewConcentratesRequests) {
+  WorkloadConfig config = SmallConfig();
+  config.colocated_fraction = 1.0;  // everyone shares
+  config.zipf_skew = 1.2;
+  WorkloadGenerator gen(config);
+  const auto trace = gen.GenerateRecognition(5000);
+  std::map<std::uint64_t, int> counts;
+  for (const auto& rec : trace) ++counts[rec.scene.scene_id];
+  // Top object must dominate the tail object by a wide margin.
+  EXPECT_GT(counts[gen.SharedSceneId(0)], 20 * std::max(1, counts[gen.SharedSceneId(19)]));
+}
+
+TEST(WorkloadTest, ViewJitterWithinBounds) {
+  WorkloadGenerator gen(SmallConfig());
+  for (const auto& rec : gen.GenerateRecognition(500)) {
+    EXPECT_LE(std::abs(rec.scene.view_angle_deg),
+              SmallConfig().view_angle_jitter_deg);
+    EXPECT_NEAR(rec.scene.distance, 1.0, SmallConfig().distance_jitter + 1e-9);
+    EXPECT_NEAR(rec.scene.illumination, 1.0,
+                SmallConfig().illumination_jitter + 1e-9);
+  }
+}
+
+TEST(WorkloadTest, RenderTraceDrawsFromCatalogue) {
+  WorkloadGenerator gen(SmallConfig());
+  const std::vector<std::uint64_t> models = {11, 22, 33};
+  const auto trace = gen.GenerateRender(500, models);
+  std::set<std::uint64_t> seen;
+  for (const auto& rec : trace) {
+    EXPECT_EQ(rec.type, IcTaskType::kRender);
+    seen.insert(rec.model_id);
+    EXPECT_TRUE(rec.model_id == 11 || rec.model_id == 22 || rec.model_id == 33);
+  }
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(WorkloadTest, PanoramaColocatedOverlap) {
+  WorkloadConfig config = SmallConfig();
+  config.colocated_fraction = 1.0;
+  WorkloadGenerator gen(config);
+  const auto trace = gen.GeneratePanorama(1000, 42, 32);
+  // Synchronized viewers: consecutive requests frequently share frames.
+  int repeats = 0;
+  std::map<std::uint32_t, int> counts;
+  for (const auto& rec : trace) {
+    EXPECT_EQ(rec.video_id, 42u);
+    EXPECT_LT(rec.frame_index, 32u);
+    repeats += ++counts[rec.frame_index] > 1;
+  }
+  EXPECT_GT(repeats, 500);
+}
+
+TEST(WorkloadTest, MixedTraceRatiosRoughly631) {
+  WorkloadGenerator gen(SmallConfig());
+  const std::vector<std::uint64_t> models = {1, 2};
+  const auto trace = gen.GenerateMixed(3000, models, 5);
+  int rec = 0, ren = 0, pano = 0;
+  for (const auto& record : trace) {
+    switch (record.type) {
+      case IcTaskType::kRecognition: ++rec; break;
+      case IcTaskType::kRender: ++ren; break;
+      case IcTaskType::kPanorama: ++pano; break;
+    }
+  }
+  EXPECT_NEAR(rec / 3000.0, 0.6, 0.05);
+  EXPECT_NEAR(ren / 3000.0, 0.3, 0.05);
+  EXPECT_NEAR(pano / 3000.0, 0.1, 0.05);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LT(trace[i - 1].at, trace[i].at);
+  }
+}
+
+TEST(TraceSerializationTest, RoundTrip) {
+  WorkloadGenerator gen(SmallConfig());
+  const std::vector<std::uint64_t> models = {1, 2, 3};
+  const auto trace = gen.GenerateMixed(200, models, 9);
+  const ByteVec bytes = SerializeTrace(trace);
+  auto decoded = DeserializeTrace(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(decoded.value()[i].at, trace[i].at);
+    EXPECT_EQ(decoded.value()[i].user_id, trace[i].user_id);
+    EXPECT_EQ(decoded.value()[i].type, trace[i].type);
+    EXPECT_EQ(decoded.value()[i].scene.scene_id, trace[i].scene.scene_id);
+    EXPECT_EQ(decoded.value()[i].model_id, trace[i].model_id);
+    EXPECT_EQ(decoded.value()[i].frame_index, trace[i].frame_index);
+  }
+}
+
+TEST(TraceSerializationTest, RejectsCorruptInput) {
+  WorkloadGenerator gen(SmallConfig());
+  ByteVec bytes = SerializeTrace(gen.GenerateRecognition(10));
+  bytes[0] ^= 0xFF;
+  EXPECT_FALSE(DeserializeTrace(bytes).ok());
+  ByteVec truncated = SerializeTrace(gen.GenerateRecognition(10));
+  truncated.resize(truncated.size() / 2);
+  EXPECT_FALSE(DeserializeTrace(truncated).ok());
+}
+
+TEST(TraceSerializationTest, TrailingBytesRejected) {
+  WorkloadGenerator gen(SmallConfig());
+  ByteVec bytes = SerializeTrace(gen.GenerateRecognition(5));
+  bytes.push_back(0);
+  EXPECT_FALSE(DeserializeTrace(bytes).ok());
+}
+
+// Property: hit-rate potential rises with co-location (the §1.2 claim).
+class ColocationSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ColocationSweepTest, SharedRequestsGrowWithColocation) {
+  WorkloadConfig config = SmallConfig();
+  config.colocated_fraction = GetParam();
+  WorkloadGenerator gen(config);
+  const auto trace = gen.GenerateRecognition(2000);
+  int shared = 0;
+  for (const auto& rec : trace) shared += rec.scene.scene_id <= config.objects;
+  const double fraction = shared / 2000.0;
+  EXPECT_NEAR(fraction, GetParam(), 0.15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, ColocationSweepTest,
+                         ::testing::Values(0.25, 0.5, 0.75, 1.0));
+
+}  // namespace
+}  // namespace coic::trace
