@@ -112,6 +112,7 @@ BENCHMARK(BM_CoopExchange)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   coic::SetLogLevel(coic::LogLevel::kWarn);
   coic::bench::PrintCoopTable();
+  if (coic::bench::QuickMode(argc, argv)) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -93,6 +93,7 @@ BENCHMARK(BM_CacheReplay)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   coic::SetLogLevel(coic::LogLevel::kWarn);
   coic::bench::PrintEvictionSweep();
+  if (coic::bench::QuickMode(argc, argv)) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

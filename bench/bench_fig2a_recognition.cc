@@ -70,6 +70,7 @@ BENCHMARK(BM_SimulatedOriginExchange)->DenseRange(0, 4)->Unit(benchmark::kMillis
 int main(int argc, char** argv) {
   coic::SetLogLevel(coic::LogLevel::kWarn);
   coic::bench::PrintFigure2a();
+  if (coic::bench::QuickMode(argc, argv)) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

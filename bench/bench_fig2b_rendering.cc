@@ -84,6 +84,7 @@ BENCHMARK(BM_SimulatedRenderExchange)->DenseRange(0, 5)->Unit(benchmark::kMillis
 int main(int argc, char** argv) {
   coic::SetLogLevel(coic::LogLevel::kWarn);
   coic::bench::PrintFigure2b();
+  if (coic::bench::QuickMode(argc, argv)) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

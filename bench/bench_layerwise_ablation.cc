@@ -95,6 +95,7 @@ BENCHMARK(BM_LayeredProcess)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   coic::SetLogLevel(coic::LogLevel::kWarn);
   coic::bench::PrintLayeredTable();
+  if (coic::bench::QuickMode(argc, argv)) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

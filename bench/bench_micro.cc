@@ -3,6 +3,7 @@
 // throughput, model (de)serialization.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "cache/ic_cache.h"
 #include "cache/similarity_index.h"
 #include "common/log.h"
@@ -203,6 +204,20 @@ BENCHMARK(BM_LinkMessageThroughput);
 
 int main(int argc, char** argv) {
   coic::SetLogLevel(coic::LogLevel::kWarn);
+  if (coic::bench::QuickMode(argc, argv)) {
+    // Smoke mode: execute every registered microbenchmark once, with the
+    // shortest measurement window google-benchmark accepts. Suffix-less
+    // value on purpose: benchmark 1.7 silently ignores the 1.8+ "0.001s"
+    // spelling (falls back to the 0.5 s default), while 1.8+ still
+    // parses the bare number on its backward-compat path.
+    char name[] = "bench_micro";
+    char min_time[] = "--benchmark_min_time=0.001";
+    char* quick_argv[] = {name, min_time, nullptr};
+    int quick_argc = 2;
+    benchmark::Initialize(&quick_argc, quick_argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -71,6 +71,7 @@ BENCHMARK(BM_PanoramaStream)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 int main(int argc, char** argv) {
   coic::SetLogLevel(coic::LogLevel::kWarn);
   coic::bench::PrintPanoramaTable();
+  if (coic::bench::QuickMode(argc, argv)) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -87,6 +87,7 @@ BENCHMARK(BM_ThresholdSweep)->Arg(10)->Arg(25)->Arg(50)->Unit(benchmark::kMillis
 int main(int argc, char** argv) {
   coic::SetLogLevel(coic::LogLevel::kWarn);
   coic::bench::PrintThresholdSweep();
+  if (coic::bench::QuickMode(argc, argv)) return 0;
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

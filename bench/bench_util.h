@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,17 @@
 #include "core/sim_pipeline.h"
 
 namespace coic::bench {
+
+/// True when argv contains `--quick`. Quick mode prints the paper-style
+/// tables but skips the google-benchmark loop, so every bench binary
+/// doubles as a fast CTest smoke test (label: bench-smoke) and the
+/// reproduction code path can never silently rot.
+inline bool QuickMode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) return true;
+  }
+  return false;
+}
 
 /// Prints a separator + title for a reproduced figure/table.
 inline void PrintHeader(const std::string& title) {

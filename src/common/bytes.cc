@@ -11,7 +11,7 @@ static_assert(std::endian::native == std::endian::little,
               "swapping in ByteWriter/ByteReader before porting");
 
 Status ByteReader::ReadBlob(ByteVec& out) {
-  std::uint32_t len;
+  std::uint32_t len = 0;
   const std::size_t start = pos_;
   COIC_RETURN_IF_ERROR(ReadU32(len));
   if (remaining() < len) {
@@ -35,7 +35,7 @@ Status ByteReader::ReadBytes(ByteVec& out, std::size_t n) {
 }
 
 Status ByteReader::ReadString(std::string& out) {
-  std::uint32_t len;
+  std::uint32_t len = 0;
   const std::size_t start = pos_;
   COIC_RETURN_IF_ERROR(ReadU32(len));
   if (remaining() < len) {

@@ -103,13 +103,13 @@ class ByteReader {
     return Status::Ok();
   }
   Status ReadF32(float& out) noexcept {
-    std::uint32_t bits;
+    std::uint32_t bits = 0;
     COIC_RETURN_IF_ERROR(ReadU32(bits));
     std::memcpy(&out, &bits, 4);
     return Status::Ok();
   }
   Status ReadF64(double& out) noexcept {
-    std::uint64_t bits;
+    std::uint64_t bits = 0;
     COIC_RETURN_IF_ERROR(ReadU64(bits));
     std::memcpy(&out, &bits, 8);
     return Status::Ok();

@@ -16,6 +16,9 @@ void QoeAggregator::Add(const RequestOutcome& outcome) {
     case proto::ResultSource::kCloud:
       ++cloud_served_;
       break;
+    case proto::ResultSource::kPeerEdge:
+      ++peer_hits_;
+      break;
     case proto::ResultSource::kLocal:
       break;
   }
@@ -30,9 +33,9 @@ void QoeAggregator::AddAll(const std::vector<RequestOutcome>& outcomes) {
 }
 
 double QoeAggregator::HitRate() const noexcept {
-  const auto served = edge_hits_ + cloud_served_;
+  const auto served = edge_hits_ + peer_hits_ + cloud_served_;
   return served == 0 ? 0
-                     : static_cast<double>(edge_hits_) /
+                     : static_cast<double>(edge_hits_ + peer_hits_) /
                            static_cast<double>(served);
 }
 

@@ -20,7 +20,10 @@ class QoeAggregator {
   [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
   [[nodiscard]] std::uint64_t errors() const noexcept { return errors_; }
   [[nodiscard]] std::uint64_t edge_hits() const noexcept { return edge_hits_; }
+  [[nodiscard]] std::uint64_t peer_hits() const noexcept { return peer_hits_; }
   [[nodiscard]] std::uint64_t cloud_served() const noexcept { return cloud_served_; }
+  /// Fraction of served results that came out of an IC cache — local edge
+  /// or a cooperating peer edge — rather than cloud compute.
   [[nodiscard]] double HitRate() const noexcept;
   /// Fraction of recognition outcomes whose label matched ground truth.
   [[nodiscard]] double Accuracy() const noexcept;
@@ -40,6 +43,7 @@ class QoeAggregator {
   std::uint64_t count_ = 0;
   std::uint64_t errors_ = 0;
   std::uint64_t edge_hits_ = 0;
+  std::uint64_t peer_hits_ = 0;
   std::uint64_t cloud_served_ = 0;
   std::uint64_t recognition_total_ = 0;
   std::uint64_t recognition_correct_ = 0;

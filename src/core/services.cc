@@ -410,7 +410,8 @@ void EdgeService::OnClientFrame(ByteVec frame) {
       if (!req.ok()) return;
       if (req.value().mode == OffloadMode::kOrigin) {
         // Baseline: pure relay, no cache involvement.
-        ForwardToCloud(env, {env.type, OffloadMode::kOrigin, std::nullopt});
+        ForwardToCloud(env, {env.type, OffloadMode::kOrigin, std::nullopt,
+                             /*original=*/{}, /*at_peer=*/false});
         return;
       }
       auto descriptor = req.value().descriptor;
@@ -431,7 +432,8 @@ void EdgeService::OnClientFrame(ByteVec frame) {
           env, MessageType::kRenderRequest);
       if (!req.ok()) return;
       if (req.value().mode == OffloadMode::kOrigin) {
-        ForwardToCloud(env, {env.type, OffloadMode::kOrigin, std::nullopt});
+        ForwardToCloud(env, {env.type, OffloadMode::kOrigin, std::nullopt,
+                             /*original=*/{}, /*at_peer=*/false});
         return;
       }
       auto descriptor = req.value().descriptor;
@@ -451,7 +453,8 @@ void EdgeService::OnClientFrame(ByteVec frame) {
           env, MessageType::kPanoramaRequest);
       if (!req.ok()) return;
       if (req.value().mode == OffloadMode::kOrigin) {
-        ForwardToCloud(env, {env.type, OffloadMode::kOrigin, std::nullopt});
+        ForwardToCloud(env, {env.type, OffloadMode::kOrigin, std::nullopt,
+                             /*original=*/{}, /*at_peer=*/false});
         return;
       }
       auto descriptor = req.value().descriptor;

@@ -33,8 +33,8 @@ float Length(Vec3 v) noexcept;
 Vec3 Normalized(Vec3 v) noexcept;
 
 struct Vertex {
-  Vec3 position;
-  Vec3 normal;
+  Vec3 position{};
+  Vec3 normal{};
   float u = 0, v = 0;  ///< Texture coordinates.
 
   friend constexpr bool operator==(const Vertex&, const Vertex&) noexcept = default;

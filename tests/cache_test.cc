@@ -513,7 +513,9 @@ TEST_P(IcCachePropertyTest, AccountingInvariants) {
       (void)cache.Erase(ids[rng.NextBelow(ids.size())]);
     }
     EXPECT_LE(cache.bytes_used(), config.capacity_bytes);
-    if (cache.size() == 0) EXPECT_EQ(cache.bytes_used(), 0u);
+    if (cache.size() == 0) {
+      EXPECT_EQ(cache.bytes_used(), 0u);
+    }
   }
   // Drain and verify the accounting returns to zero.
   cache.Clear();

@@ -1,0 +1,486 @@
+// End-to-end cooperative scenarios — the paper's claims exercised as
+// whole-system invariants rather than per-module units.
+//
+// Every test here wires the full stack together (CoicClient + EdgeService
+// + CloudService over the netsim topology, driven by SimPipeline or
+// CoopPipeline, fed by trace::WorkloadGenerator) and asserts a
+// paper-shaped property:
+//   * offloading over a fast link beats on-device compute, and gets
+//     faster as the link gets faster;
+//   * cache hit-rate rises as co-located users revisit similar contexts;
+//   * a warm panorama stream stays inside a per-frame budget that a cold
+//     (cloud-rendered) stream cannot meet, and a shaped link moves the
+//     stream across that budget without errors;
+//   * cooperating peer edges serve each other's misses faster than the
+//     cloud;
+//   * multi-client contention on one access link degrades latency
+//     linearly (FIFO), never catastrophically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/coop_pipeline.h"
+#include "core/cost_model.h"
+#include "core/metrics.h"
+#include "core/sim_pipeline.h"
+#include "netsim/link.h"
+#include "netsim/network.h"
+#include "netsim/scheduler.h"
+#include "trace/workload.h"
+
+namespace coic {
+namespace {
+
+using core::CoopPipeline;
+using core::CoopPipelineConfig;
+using core::NetworkCondition;
+using core::PipelineConfig;
+using core::QoeAggregator;
+using core::RequestOutcome;
+using core::SimPipeline;
+using proto::OffloadMode;
+using proto::ResultSource;
+
+// The paper's most constrained and most generous Figure 2a conditions.
+const NetworkCondition kSlowCondition{Bandwidth::Mbps(90), Bandwidth::Mbps(9)};
+const NetworkCondition kFastCondition{Bandwidth::Mbps(400), Bandwidth::Mbps(40)};
+
+PipelineConfig ConfigFor(OffloadMode mode, const NetworkCondition& cond) {
+  PipelineConfig config;
+  config.mode = mode;
+  config.network = cond;
+  return config;
+}
+
+/// Mean recognition latency (ms) of `repeats` identical-scene requests on
+/// a fresh pipeline in `mode`. In CoIC mode the first request is a cold
+/// miss; with `skip_cold` the miss is excluded so the mean is a pure
+/// warm-hit series.
+double MeanRecognitionMs(OffloadMode mode, const NetworkCondition& cond,
+                         int repeats, bool skip_cold) {
+  SimPipeline pipeline(ConfigFor(mode, cond));
+  pipeline.EnqueueRecognition({.scene_id = 3});
+  const auto cold = pipeline.Run();
+  QoeAggregator agg;
+  if (!skip_cold) agg.AddAll(cold);
+  for (int i = 0; i < repeats; ++i) {
+    pipeline.EnqueueRecognition(
+        {.scene_id = 3, .view_angle_deg = static_cast<double>(i - repeats / 2)});
+  }
+  agg.AddAll(pipeline.Run());
+  return agg.MeanLatencyMs();
+}
+
+// ---------------------------------------------------------------------------
+// Recognition offload latency
+// ---------------------------------------------------------------------------
+
+// Paper §1: offloading exists because on-device inference is too slow.
+// Even a cold CoIC miss (descriptor to the cloud) and a cold Origin
+// upload beat the Local baseline over a fast link.
+TEST(E2eRecognition, OffloadingBeatsLocalOnFastLink) {
+  const core::CostModel costs;
+  const double local_ms = costs.recognition.local_full_inference.millis();
+  const double origin_ms =
+      MeanRecognitionMs(OffloadMode::kOrigin, kFastCondition, 2, false);
+  const double coic_cold_ms =
+      MeanRecognitionMs(OffloadMode::kCoic, kFastCondition, 0, false);
+  EXPECT_LT(origin_ms, local_ms);
+  EXPECT_LT(coic_cold_ms, local_ms);
+}
+
+// Figure 2a's x-axis: the same workload gets faster as the link does, in
+// every mode.
+TEST(E2eRecognition, LatencyDropsWhenLinkGetsFaster) {
+  const double origin_slow =
+      MeanRecognitionMs(OffloadMode::kOrigin, kSlowCondition, 2, false);
+  const double origin_fast =
+      MeanRecognitionMs(OffloadMode::kOrigin, kFastCondition, 2, false);
+  EXPECT_LT(origin_fast, origin_slow);
+
+  const double coic_slow =
+      MeanRecognitionMs(OffloadMode::kCoic, kSlowCondition, 0, false);
+  const double coic_fast =
+      MeanRecognitionMs(OffloadMode::kCoic, kFastCondition, 0, false);
+  EXPECT_LT(coic_fast, coic_slow);
+}
+
+// Figure 2a's headline: at the constrained condition a warm cache hit
+// cuts recognition latency by a large fraction vs Origin (paper: up to
+// 52.28%).
+TEST(E2eRecognition, CacheHitCutsLatencyVsOriginWhenConstrained) {
+  const double origin_ms =
+      MeanRecognitionMs(OffloadMode::kOrigin, kSlowCondition, 4, false);
+  const double hit_ms =
+      MeanRecognitionMs(OffloadMode::kCoic, kSlowCondition, 4, true);
+  ASSERT_GT(origin_ms, 0);
+  const double reduction = (1.0 - hit_ms / origin_ms) * 100.0;
+  EXPECT_GT(reduction, 40.0) << "origin=" << origin_ms << "ms hit=" << hit_ms
+                             << "ms";
+}
+
+// ---------------------------------------------------------------------------
+// Redundancy harvesting across similar contexts
+// ---------------------------------------------------------------------------
+
+/// Replays `records` and returns the cache hit-rate over just that batch.
+double BatchHitRate(SimPipeline& pipeline,
+                    const std::vector<trace::TraceRecord>& records) {
+  const auto before = pipeline.edge_cache_stats();
+  for (const auto& rec : records) pipeline.EnqueueRecognition(rec.scene);
+  pipeline.Run();
+  const auto after = pipeline.edge_cache_stats();
+  const auto hits = after.hits - before.hits;
+  const auto misses = after.misses - before.misses;
+  return hits + misses == 0
+             ? 0
+             : static_cast<double>(hits) / static_cast<double>(hits + misses);
+}
+
+// Paper §1.2: co-located users looking at the same objects from slightly
+// different angles make the edge cache increasingly useful — the hit
+// rate of the second half of a session exceeds the first half's, and a
+// co-located population far out-hits a dispersed one.
+TEST(E2eRedundancy, HitRateRisesAcrossSimilarContexts) {
+  trace::WorkloadConfig workload;
+  workload.users = 8;
+  workload.objects = 16;
+  workload.zipf_skew = 1.0;
+  workload.colocated_fraction = 1.0;
+  trace::WorkloadGenerator gen(workload);
+  const auto records = gen.GenerateRecognition(120);
+  const std::vector<trace::TraceRecord> first(records.begin(),
+                                              records.begin() + 60);
+  const std::vector<trace::TraceRecord> second(records.begin() + 60,
+                                               records.end());
+
+  PipelineConfig config = ConfigFor(OffloadMode::kCoic, kFastCondition);
+  config.recognition_classes = 64;
+  SimPipeline pipeline(config);
+  const double cold_half = BatchHitRate(pipeline, first);
+  const double warm_half = BatchHitRate(pipeline, second);
+  EXPECT_GT(warm_half, cold_half);
+  EXPECT_GT(warm_half, 0.5);
+}
+
+TEST(E2eRedundancy, ColocatedUsersOutHitDispersedUsers) {
+  auto hit_rate_at = [](double colocated_fraction) {
+    trace::WorkloadConfig workload;
+    workload.users = 8;
+    workload.objects = 16;
+    workload.colocated_fraction = colocated_fraction;
+    trace::WorkloadGenerator gen(workload);
+    PipelineConfig config = ConfigFor(OffloadMode::kCoic, kFastCondition);
+    config.recognition_classes = 64;
+    SimPipeline pipeline(config);
+    return BatchHitRate(pipeline, gen.GenerateRecognition(100));
+  };
+  EXPECT_GT(hit_rate_at(1.0), hit_rate_at(0.0) + 0.2);
+}
+
+// ---------------------------------------------------------------------------
+// Rendering and panorama streaming
+// ---------------------------------------------------------------------------
+
+// Figure 2b: the second user to load a shared 3D model gets it from the
+// edge cache, skipping the WAN transfer and the cloud-side load.
+TEST(E2eRender, ModelLoadSharedAcrossUsers) {
+  SimPipeline pipeline(ConfigFor(OffloadMode::kCoic, kFastCondition));
+  pipeline.RegisterModel(7, Bytes{15'053'000});  // Figure 2b's largest asset
+  pipeline.EnqueueRender(7);
+  pipeline.EnqueueRender(7);
+  const auto outcomes = pipeline.Run();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].source, ResultSource::kCloud);
+  EXPECT_EQ(outcomes[1].source, ResultSource::kEdgeCache);
+  EXPECT_FALSE(outcomes[1].error);
+  // The warm load must save at least the WAN leg: well under half.
+  EXPECT_LT(outcomes[1].latency.millis(), 0.5 * outcomes[0].latency.millis());
+}
+
+/// Streams `frames` panorama frames through `pipeline` and returns
+/// per-frame outcomes.
+std::vector<RequestOutcome> StreamPanorama(SimPipeline& pipeline,
+                                           std::uint32_t frames) {
+  for (std::uint32_t f = 0; f < frames; ++f) {
+    pipeline.EnqueuePanorama(/*video_id=*/42, f);
+  }
+  return pipeline.Run();
+}
+
+/// Analytic warm-frame budget at wifi bandwidth `wifi`: cache lookup +
+/// frame transfer + propagation both ways + client crop, with 30% slack.
+double WarmFrameBudgetMs(const core::CostModel& costs, Bandwidth wifi) {
+  const double transfer_ms =
+      static_cast<double>(costs.panorama.frame_bytes) * 8.0 / wifi.mbps() / 1e3;
+  const double fixed_ms = costs.edge.cache_lookup.millis() +
+                          costs.panorama.client_crop.millis() +
+                          2 * core::kMobileEdgePropagation.millis();
+  return 1.3 * (transfer_ms + fixed_ms);
+}
+
+// A second viewer replaying the same panorama stream is served entirely
+// from the edge cache and every frame lands inside the analytic frame
+// budget — while the first (cold, cloud-rendered) pass cannot meet it.
+TEST(E2ePanorama, WarmStreamStaysWithinFrameBudget) {
+  SimPipeline pipeline(ConfigFor(OffloadMode::kCoic, kFastCondition));
+  const auto cold = StreamPanorama(pipeline, 12);   // first viewer
+  const auto warm = StreamPanorama(pipeline, 12);   // second viewer, same video
+  const double budget_ms =
+      WarmFrameBudgetMs(core::CostModel{}, kFastCondition.mobile_edge);
+
+  for (const auto& frame : warm) {
+    EXPECT_FALSE(frame.error);
+    EXPECT_EQ(frame.source, ResultSource::kEdgeCache);
+    EXPECT_LT(frame.latency.millis(), budget_ms);
+  }
+  QoeAggregator cold_agg, warm_agg;
+  cold_agg.AddAll(cold);
+  warm_agg.AddAll(warm);
+  EXPECT_GT(cold_agg.MeanLatencyMs(), budget_ms);
+  EXPECT_LT(3 * warm_agg.MeanLatencyMs(), cold_agg.MeanLatencyMs());
+}
+
+// The `tc` scenario: shaping the access link moves a warm stream across
+// the frame budget smoothly — latency scales with bandwidth, nothing
+// errors and nothing is dropped.
+TEST(E2ePanorama, ShapedLinkDegradesWarmStreamGracefully) {
+  SimPipeline pipeline(ConfigFor(OffloadMode::kCoic, kFastCondition));
+  StreamPanorama(pipeline, 8);  // warm the cache
+  const double budget_ms =
+      WarmFrameBudgetMs(core::CostModel{}, kFastCondition.mobile_edge);
+
+  // SimPipeline adds nodes in mobile, edge, cloud order; shape the
+  // downlink that carries the frames (edge -> mobile).
+  const netsim::NodeId mobile = 0, edge = 1;
+  netsim::Link& downlink = pipeline.network().LinkBetween(edge, mobile);
+
+  downlink.SetBandwidth(Bandwidth::Mbps(300));
+  const auto shaped_ok = StreamPanorama(pipeline, 8);
+  for (const auto& frame : shaped_ok) {
+    EXPECT_FALSE(frame.error);
+    EXPECT_LT(frame.latency.millis(),
+              WarmFrameBudgetMs(core::CostModel{}, Bandwidth::Mbps(300)));
+  }
+
+  downlink.SetBandwidth(Bandwidth::Mbps(50));
+  const auto shaped_slow = StreamPanorama(pipeline, 8);
+  for (const auto& frame : shaped_slow) {
+    EXPECT_FALSE(frame.error);
+    EXPECT_EQ(frame.source, ResultSource::kEdgeCache);
+    // The budget is no longer met, but the stream still flows at the
+    // shaped rate instead of collapsing.
+    EXPECT_GT(frame.latency.millis(), budget_ms);
+    EXPECT_LT(frame.latency.millis(), 10 * budget_ms);
+  }
+  EXPECT_EQ(downlink.stats().frames_dropped_queue, 0u);
+  EXPECT_EQ(downlink.stats().frames_dropped_loss, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cooperative edges
+// ---------------------------------------------------------------------------
+
+// The cooperative claim end-to-end: venue B's first sight of an object
+// venue A already recognized is served over the peer LAN, faster than
+// the identical topology without cooperation, and the aggregator books
+// it as a (peer) hit.
+TEST(E2eCooperative, PeerEdgeServesNeighborMissFasterThanCloud) {
+  auto venue1_latency = [](bool cooperative) {
+    CoopPipelineConfig config;
+    config.cooperative = cooperative;
+    config.network = kSlowCondition;  // expensive WAN: cooperation matters
+    CoopPipeline pipeline(config);
+    pipeline.EnqueueRecognitionAt(0, {.scene_id = 5});
+    pipeline.EnqueueRecognitionAt(1, {.scene_id = 5, .view_angle_deg = 2});
+    const auto outcomes = pipeline.Run();
+    QoeAggregator agg;
+    for (const auto& vo : outcomes) agg.Add(vo.outcome);
+    EXPECT_EQ(agg.errors(), 0u);
+    if (cooperative) {
+      EXPECT_EQ(outcomes[1].outcome.source, ResultSource::kPeerEdge);
+      EXPECT_EQ(agg.peer_hits(), 1u);
+      EXPECT_DOUBLE_EQ(agg.HitRate(), 0.5);
+    } else {
+      EXPECT_EQ(outcomes[1].outcome.source, ResultSource::kCloud);
+      EXPECT_EQ(agg.peer_hits(), 0u);
+    }
+    return outcomes[1].outcome.latency.millis();
+  };
+  EXPECT_LT(venue1_latency(true), venue1_latency(false));
+}
+
+// ---------------------------------------------------------------------------
+// Multi-client contention on the access link
+// ---------------------------------------------------------------------------
+
+// Eight clients' frames hit one AP uplink simultaneously. The FIFO link
+// must deliver all of them, in order, with per-frame delay growing
+// linearly in queue position — graceful degradation, not collapse.
+TEST(E2eContention, SharedUplinkDegradesLinearly) {
+  netsim::EventScheduler sched;
+  netsim::Network net(sched);
+  const auto mobile = net.AddNode("mobile");
+  const auto edge = net.AddNode("edge");
+  netsim::LinkConfig wifi;
+  wifi.bandwidth = Bandwidth::Mbps(100);
+  wifi.propagation = Duration::Millis(2);
+  net.Connect(mobile, edge, wifi);
+
+  constexpr int kClients = 8;
+  constexpr Bytes kFrameBytes = 1'000'000;
+  std::vector<double> delivered_ms;
+  net.SetHandler(edge, [&](netsim::NodeId /*from*/, ByteVec /*payload*/) {
+    delivered_ms.push_back((sched.now() - SimTime::Epoch()).millis());
+  });
+  for (int c = 0; c < kClients; ++c) {
+    net.Send(mobile, edge, ByteVec(kFrameBytes));
+  }
+  sched.Run();
+
+  ASSERT_EQ(delivered_ms.size(), static_cast<std::size_t>(kClients));
+  EXPECT_TRUE(std::is_sorted(delivered_ms.begin(), delivered_ms.end()));
+  const double serialization_ms = kFrameBytes * 8.0 / wifi.bandwidth.mbps() / 1e3;
+  for (int i = 0; i < kClients; ++i) {
+    const double expected = (i + 1) * serialization_ms +
+                            wifi.propagation.millis();
+    EXPECT_NEAR(delivered_ms[static_cast<std::size_t>(i)], expected,
+                0.1 * expected)
+        << "frame " << i;
+  }
+  const auto& stats = net.LinkBetween(mobile, edge).stats();
+  EXPECT_EQ(stats.frames_delivered, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.frames_dropped_queue, 0u);
+  EXPECT_EQ(stats.frames_dropped_loss, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Whole-session traces
+// ---------------------------------------------------------------------------
+
+/// Replays a mixed trace through `pipeline` (models must be registered).
+std::vector<RequestOutcome> ReplayMixed(
+    SimPipeline& pipeline, const std::vector<trace::TraceRecord>& records) {
+  for (const auto& rec : records) {
+    switch (rec.type) {
+      case trace::IcTaskType::kRecognition:
+        pipeline.EnqueueRecognition(rec.scene);
+        break;
+      case trace::IcTaskType::kRender:
+        pipeline.EnqueueRender(rec.model_id);
+        break;
+      case trace::IcTaskType::kPanorama:
+        pipeline.EnqueuePanorama(rec.video_id, rec.frame_index);
+        break;
+    }
+  }
+  return pipeline.Run();
+}
+
+PipelineConfig MixedTraceConfig() {
+  PipelineConfig config = ConfigFor(OffloadMode::kCoic, kFastCondition);
+  config.recognition_classes = 64;
+  return config;
+}
+
+const std::vector<std::uint64_t> kMixedModels{101, 102, 103};
+
+void RegisterMixedModels(SimPipeline& pipeline) {
+  Bytes size = 2'000'000;
+  for (const auto id : kMixedModels) {
+    pipeline.RegisterModel(id, size);
+    size += 1'500'000;
+  }
+}
+
+// A full co-located AR session (recognition-heavy with renders and
+// panorama frames interleaved) runs end-to-end with zero errors and
+// harvests cross-user redundancy.
+TEST(E2eTrace, MixedSessionCompletesAndHarvestsRedundancy) {
+  trace::WorkloadConfig workload;
+  workload.users = 6;
+  workload.objects = 12;
+  workload.colocated_fraction = 1.0;
+  trace::WorkloadGenerator gen(workload);
+  const auto records =
+      gen.GenerateMixed(90, kMixedModels, /*video_id=*/42);
+
+  SimPipeline pipeline(MixedTraceConfig());
+  RegisterMixedModels(pipeline);
+  const auto outcomes = ReplayMixed(pipeline, records);
+
+  ASSERT_EQ(outcomes.size(), records.size());
+  QoeAggregator agg;
+  agg.AddAll(outcomes);
+  EXPECT_EQ(agg.errors(), 0u);
+  EXPECT_GT(agg.HitRate(), 0.3);  // redundancy must be harvested
+  EXPECT_GT(pipeline.edge_cache_stats().insertions, 0u);
+}
+
+// Record/replay integrity: a serialized trace deserializes to records
+// that drive a bit-identical simulation (same sources, same latencies).
+TEST(E2eTrace, SerializedTraceReplaysIdentically) {
+  trace::WorkloadConfig workload;
+  workload.users = 4;
+  workload.objects = 10;
+  trace::WorkloadGenerator gen(workload);
+  const auto records = gen.GenerateMixed(40, kMixedModels, /*video_id=*/42);
+
+  const ByteVec bytes = trace::SerializeTrace(records);
+  const auto decoded = trace::DeserializeTrace(bytes);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), records.size());
+
+  SimPipeline original(MixedTraceConfig());
+  RegisterMixedModels(original);
+  SimPipeline replayed(MixedTraceConfig());
+  RegisterMixedModels(replayed);
+  const auto a = ReplayMixed(original, records);
+  const auto b = ReplayMixed(replayed, decoded.value());
+
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].source, b[i].source) << "request " << i;
+    EXPECT_EQ(a[i].task, b[i].task) << "request " << i;
+    EXPECT_DOUBLE_EQ(a[i].latency.millis(), b[i].latency.millis())
+        << "request " << i;
+  }
+}
+
+// Byte pressure: the same co-located session against a cache two orders
+// of magnitude too small still completes without errors — hit rate
+// drops, latency stays between the warm and Origin extremes.
+TEST(E2eTrace, TinyCacheDegradesGracefullyUnderBytePressure) {
+  trace::WorkloadConfig workload;
+  workload.users = 6;
+  workload.objects = 12;
+  workload.colocated_fraction = 1.0;
+
+  auto run_with_capacity = [&](Bytes capacity) {
+    trace::WorkloadGenerator gen(workload);
+    PipelineConfig config = MixedTraceConfig();
+    config.cache.capacity_bytes = capacity;
+    SimPipeline pipeline(config);
+    QoeAggregator agg;
+    for (const auto& rec : gen.GenerateRecognition(80)) {
+      pipeline.EnqueueRecognition(rec.scene);
+    }
+    agg.AddAll(pipeline.Run());
+    EXPECT_EQ(agg.errors(), 0u);
+    return agg;
+  };
+
+  const auto unlimited = run_with_capacity(0);
+  const auto tiny = run_with_capacity(1'000'000);  // ~2 annotations
+  EXPECT_LT(tiny.HitRate(), unlimited.HitRate());
+  // Still an offload pipeline: every request completed and latency stays
+  // bounded by the cold path (plus scheduler fuzz), not runaway queueing.
+  EXPECT_GE(tiny.MeanLatencyMs(), unlimited.MeanLatencyMs());
+  EXPECT_LT(tiny.MeanLatencyMs(),
+            2.0 * MeanRecognitionMs(OffloadMode::kOrigin, kFastCondition, 2,
+                                    false));
+}
+
+}  // namespace
+}  // namespace coic

@@ -20,7 +20,10 @@ namespace {
 
 Mesh UnitQuad() {
   Mesh mesh;
-  mesh.vertices = {{{0, 0, 0}}, {{1, 0, 0}}, {{1, 1, 0}}, {{0, 1, 0}}};
+  mesh.vertices = {{.position = {0, 0, 0}},
+                   {.position = {1, 0, 0}},
+                   {.position = {1, 1, 0}},
+                   {.position = {0, 1, 0}}};
   mesh.indices = {0, 1, 2, 0, 2, 3};
   return mesh;
 }
