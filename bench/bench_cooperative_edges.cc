@@ -77,6 +77,7 @@ void PrintCoopTable() {
   std::printf("%-10s | %10s %6s %6s %6s | %10s %6s %6s %6s %8s\n", "overlap",
               "mean ms", "local", "cloud", "tasks", "mean ms", "local", "peer",
               "cloud", "saving");
+  BenchJson json("cooperative_edges");
   for (const double overlap : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     const auto off = MeasureCoop(false, overlap, 40);
     const auto on = MeasureCoop(true, overlap, 40);
@@ -91,6 +92,15 @@ void PrintCoopTable() {
                 static_cast<unsigned long long>(on.peer_hits),
                 static_cast<unsigned long long>(on.cloud_served),
                 (1.0 - on.venue_b_mean_ms / off.venue_b_mean_ms) * 100);
+    json.AddRow()
+        .Set("overlap", overlap)
+        .Set("solo_mean_ms", off.venue_b_mean_ms)
+        .Set("coop_mean_ms", on.venue_b_mean_ms)
+        .Set("coop_local_hits", on.local_hits)
+        .Set("coop_peer_hits", on.peer_hits)
+        .Set("coop_cloud_served", on.cloud_served)
+        .Set("saving_pct",
+             (1.0 - on.venue_b_mean_ms / off.venue_b_mean_ms) * 100);
   }
   std::printf("\n'tasks' = cloud executions across both venues; cooperation\n"
               "converts venue B's cloud misses into LAN peer hits as overlap\n"

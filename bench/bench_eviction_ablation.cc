@@ -61,19 +61,24 @@ void PrintEvictionSweep() {
     std::printf(" %9s", std::string(cache::PolicyKindName(policy)).c_str());
   }
   std::printf(" %9s\n", "lru+tlfu");
+  BenchJson json("eviction_ablation");
   for (const Bytes capacity : capacities) {
     if (capacity == 0) {
       std::printf("%-16s", "unlimited");
     } else {
       std::printf("%-16s", FormatBytes(capacity).c_str());
     }
+    auto& row = json.AddRow().Set("capacity_bytes", capacity);
     for (const auto policy : {PolicyKind::kLru, PolicyKind::kFifo,
                               PolicyKind::kLfu, PolicyKind::kSlru}) {
-      std::printf("    %5.1f%%", MeasureHitRate(policy, capacity, 4000) * 100);
+      const double hit_rate = MeasureHitRate(policy, capacity, 4000);
+      std::printf("    %5.1f%%", hit_rate * 100);
+      row.Set(cache::PolicyKindName(policy), hit_rate);
     }
-    std::printf("    %5.1f%%",
-                MeasureHitRate(PolicyKind::kLru, capacity, 4000,
-                               /*tinylfu=*/true) * 100);
+    const double tlfu = MeasureHitRate(PolicyKind::kLru, capacity, 4000,
+                                       /*tinylfu=*/true);
+    std::printf("    %5.1f%%", tlfu * 100);
+    row.Set("lru_tinylfu", tlfu);
     std::printf("\n");
   }
 }

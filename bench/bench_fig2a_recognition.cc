@@ -19,6 +19,7 @@ void PrintFigure2a() {
       "paper headline: CoIC reduces recognition latency by up to 52.28%");
   std::printf("%-22s %12s %12s %12s %12s\n", "condition (Mbps)", "Origin",
               "CacheHit", "CacheMiss", "reduction");
+  BenchJson json("fig2a_recognition");
   double best_reduction = 0;
   for (const auto& cond : core::Figure2aConditions()) {
     const double origin_ms = MeasureRecognitionOrigin(cond);
@@ -30,9 +31,17 @@ void PrintFigure2a() {
                   cond.mobile_edge.mbps(), cond.edge_cloud.mbps());
     std::printf("%-22s %12.1f %12.1f %12.1f %11.1f%%\n", label, origin_ms,
                 coic.hit_ms, coic.miss_ms, reduction);
+    json.AddRow()
+        .Set("mobile_edge_mbps", cond.mobile_edge.mbps())
+        .Set("edge_cloud_mbps", cond.edge_cloud.mbps())
+        .Set("origin_ms", origin_ms)
+        .Set("hit_ms", coic.hit_ms)
+        .Set("miss_ms", coic.miss_ms)
+        .Set("reduction_pct", reduction);
   }
   std::printf("\nmax hit-vs-origin reduction: %.2f%% (paper: 52.28%%)\n",
               best_reduction);
+  json.AddRow().Set("metric", "max_reduction_pct").Set("value", best_reduction);
   const core::CostModel costs;
   std::printf("Local baseline (full on-device DNN, no offload): %.0f ms at "
               "every condition\n",

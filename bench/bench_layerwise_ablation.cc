@@ -62,12 +62,21 @@ void PrintLayeredTable() {
       "6 objects, 150 requests; layered cache reuses deepest matching prefix");
   std::printf("%-18s %10s %10s %10s %10s %10s %8s\n", "view jitter (deg)",
               "nocache", "coarse", "layered", "full-hit", "part-hit", "depth");
+  BenchJson json("layerwise_ablation");
   for (const double jitter : {0.0, 2.0, 5.0, 10.0, 20.0}) {
     const auto r = MeasureLayered(jitter, 150);
     std::printf("%-18.1f %8.1fms %8.1fms %8.1fms %9.1f%% %9.1f%% %8.2f\n",
                 jitter, r.full_cost_ms, r.coarse_cost_ms, r.layered_cost_ms,
                 r.full_hit_rate * 100, r.partial_hit_rate * 100,
                 r.mean_matched_depth);
+    json.AddRow()
+        .Set("view_jitter_deg", jitter)
+        .Set("nocache_ms", r.full_cost_ms)
+        .Set("coarse_ms", r.coarse_cost_ms)
+        .Set("layered_ms", r.layered_cost_ms)
+        .Set("full_hit_rate", r.full_hit_rate)
+        .Set("partial_hit_rate", r.partial_hit_rate)
+        .Set("mean_matched_depth", r.mean_matched_depth);
   }
   std::printf(
       "\nInterpretation: as views diverge, coarse full-result hits vanish\n"

@@ -3,6 +3,8 @@
 // throughput, model (de)serialization.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bench/bench_util.h"
 #include "cache/ic_cache.h"
 #include "cache/similarity_index.h"
@@ -199,11 +201,48 @@ void BM_LinkMessageThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_LinkMessageThroughput);
 
+// Hand-timed hot-path summary: the BENCH_micro.json rows that track the
+// engine's raw throughput across PRs (google-benchmark's own numbers
+// only reach stdout).
+void EmitMicroJson() {
+  using Clock = std::chrono::steady_clock;
+  coic::bench::BenchJson json("micro");
+
+  {
+    const ByteVec payload = DeterministicBytes(256 * 1024, 1);
+    constexpr int kIters = 500;
+    const auto start = Clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(
+          proto::EncodeEnvelope(proto::MessageType::kPing, 1, payload));
+    }
+    const double secs = std::chrono::duration<double>(Clock::now() - start).count();
+    json.AddRow()
+        .Set("path", "envelope_encode_256KiB")
+        .Set("mbytes_per_sec", 256.0 / 1024 * kIters / secs);
+  }
+  {
+    netsim::EventScheduler sched;
+    std::uint64_t fired = 0;
+    constexpr int kEvents = 100'000;
+    const auto start = Clock::now();
+    for (int i = 0; i < kEvents; ++i) {
+      sched.ScheduleAt(SimTime::FromMicros(i * 7 % 5000), [&fired] { ++fired; });
+    }
+    sched.Run();
+    const double secs = std::chrono::duration<double>(Clock::now() - start).count();
+    json.AddRow()
+        .Set("path", "scheduler_events")
+        .Set("events_per_sec", fired / secs);
+  }
+}
+
 }  // namespace
 }  // namespace coic
 
 int main(int argc, char** argv) {
   coic::SetLogLevel(coic::LogLevel::kWarn);
+  coic::EmitMicroJson();
   if (coic::bench::QuickMode(argc, argv)) {
     // Smoke mode: execute every registered microbenchmark once, with the
     // shortest measurement window google-benchmark accepts. Suffix-less

@@ -47,12 +47,19 @@ void PrintPanoramaTable() {
       "48-frame video, (B_M->E, B_E->C) = (100, 10), 96 requests");
   std::printf("%-10s %14s %14s %12s %12s\n", "viewers", "Origin ms",
               "CoIC ms", "hit rate", "reduction");
+  BenchJson json("panorama_streaming");
   for (const std::uint32_t viewers : {1u, 2u, 4u, 8u}) {
     const auto origin = MeasurePanorama(proto::OffloadMode::kOrigin, viewers);
     const auto coic = MeasurePanorama(proto::OffloadMode::kCoic, viewers);
     std::printf("%-10u %14.1f %14.1f %11.1f%% %11.1f%%\n", viewers,
                 origin.mean_ms, coic.mean_ms, coic.hit_rate * 100,
                 (1.0 - coic.mean_ms / origin.mean_ms) * 100);
+    json.AddRow()
+        .Set("viewers", static_cast<std::uint64_t>(viewers))
+        .Set("origin_ms", origin.mean_ms)
+        .Set("coic_ms", coic.mean_ms)
+        .Set("hit_rate", coic.hit_rate)
+        .Set("reduction_pct", (1.0 - coic.mean_ms / origin.mean_ms) * 100);
   }
 }
 

@@ -50,6 +50,7 @@ void PrintColocationSweep() {
       "CoIC recognition over a multi-user trace, (B_M->E, B_E->C) = (100, 10)");
   std::printf("%-22s %10s %16s\n", "colocated fraction", "hit rate",
               "mean latency ms");
+  BenchJson json("redundancy_colocation");
   for (const double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     trace::WorkloadConfig workload;
     workload.users = 8;
@@ -59,6 +60,10 @@ void PrintColocationSweep() {
     const auto result = RunRecognitionTrace(workload, 120);
     std::printf("%-22.2f %9.1f%% %16.1f\n", fraction, result.hit_rate * 100,
                 result.mean_latency_ms);
+    json.AddRow()
+        .Set("colocated_fraction", fraction)
+        .Set("hit_rate", result.hit_rate)
+        .Set("mean_latency_ms", result.mean_latency_ms);
   }
 }
 
@@ -66,6 +71,7 @@ void PrintSkewSweep() {
   PrintHeader(
       "Redundancy study (paper 1.2): hit rate vs object popularity skew");
   std::printf("%-22s %10s %16s\n", "zipf skew", "hit rate", "mean latency ms");
+  BenchJson json("redundancy_skew");
   for (const double skew : {0.0, 0.6, 0.9, 1.2, 1.5}) {
     trace::WorkloadConfig workload;
     workload.users = 8;
@@ -75,6 +81,10 @@ void PrintSkewSweep() {
     const auto result = RunRecognitionTrace(workload, 120);
     std::printf("%-22.2f %9.1f%% %16.1f\n", skew, result.hit_rate * 100,
                 result.mean_latency_ms);
+    json.AddRow()
+        .Set("zipf_skew", skew)
+        .Set("hit_rate", result.hit_rate)
+        .Set("mean_latency_ms", result.mean_latency_ms);
   }
 }
 

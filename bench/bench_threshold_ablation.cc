@@ -63,12 +63,18 @@ void PrintThresholdSweep() {
       "8 shared objects, jittered views, 120 requests");
   std::printf("%-12s %10s %16s %10s\n", "threshold", "hit rate",
               "false-hit rate", "accuracy");
+  BenchJson json("threshold_ablation");
   for (const double threshold :
        {0.05, 0.10, 0.15, 0.20, 0.25, 0.35, 0.50, 0.80, 1.20}) {
     const auto result = MeasureThreshold(threshold, 120);
     std::printf("%-12.2f %9.1f%% %15.1f%% %9.1f%%\n", threshold,
                 result.hit_rate * 100, result.false_hit_rate * 100,
                 result.accuracy * 100);
+    json.AddRow()
+        .Set("threshold", threshold)
+        .Set("hit_rate", result.hit_rate)
+        .Set("false_hit_rate", result.false_hit_rate)
+        .Set("accuracy", result.accuracy);
   }
 }
 

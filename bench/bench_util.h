@@ -5,9 +5,12 @@
 // of the same code paths (engine throughput).
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/metrics.h"
@@ -32,6 +35,100 @@ inline void PrintHeader(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("================================================================\n");
 }
+
+/// Machine-readable companion to the printed tables: every bench emits a
+/// `BENCH_<name>.json` file in the working directory (the build dir when
+/// run under CTest) so the perf trajectory can be tracked across PRs and
+/// uploaded as a CI artifact. Rows mirror the human table one-to-one.
+///
+///   BenchJson json("fig2a_recognition");
+///   json.AddRow().Set("condition", "90/9").Set("origin_ms", 2381.5);
+///   ...
+///   json.Write();  // also invoked by the destructor as a backstop
+class BenchJson {
+ public:
+  class Row {
+   public:
+    Row& Set(std::string_view key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.10g", value);
+      return Raw(key, buf);
+    }
+    Row& Set(std::string_view key, std::uint64_t value) {
+      return Raw(key, std::to_string(value));
+    }
+    Row& Set(std::string_view key, std::int64_t value) {
+      return Raw(key, std::to_string(value));
+    }
+    Row& Set(std::string_view key, int value) {
+      return Set(key, static_cast<std::int64_t>(value));
+    }
+    Row& Set(std::string_view key, std::string_view value) {
+      return Raw(key, '"' + Escaped(value) + '"');
+    }
+    Row& Set(std::string_view key, const char* value) {
+      return Set(key, std::string_view(value));
+    }
+
+   private:
+    friend class BenchJson;
+    Row& Raw(std::string_view key, std::string rendered) {
+      fields_.emplace_back('"' + Escaped(key) + '"', std::move(rendered));
+      return *this;
+    }
+    static std::string Escaped(std::string_view s) {
+      std::string out;
+      out.reserve(s.size());
+      for (const char c : s) {
+        if (c == '"' || c == '\\') out.push_back('\\');
+        if (c == '\n') {
+          out += "\\n";
+          continue;
+        }
+        out.push_back(c);
+      }
+      return out;
+    }
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+  ~BenchJson() { Write(); }
+
+  Row& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes BENCH_<name>.json; idempotent (later calls rewrite the file
+  /// with any rows added since).
+  void Write() {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"rows\": [", name_.c_str());
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "%s\n    {", r == 0 ? "" : ",");
+      const auto& fields = rows_[r].fields_;
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        std::fprintf(f, "%s%s: %s", i == 0 ? "" : ", ",
+                     fields[i].first.c_str(), fields[i].second.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 /// Measures CoIC recognition at one network condition: returns
 /// {miss_ms, hit_ms} means, using `repeats` perturbed re-requests of the

@@ -1,0 +1,103 @@
+// Edge federation — a metro-scale cluster of cooperating venues.
+//
+// Spins up K edge venues on a chosen topology, replays a cluster
+// workload with user mobility (mid-trace venue handoff), and prints the
+// cluster-wide request-source breakdown for the three peer-selection
+// policies plus the non-cooperative baseline: how much cloud traffic a
+// federation absorbs, and how few probes the summary-directed policy
+// needs to do it.
+//
+//   ./federation_cluster [venues] [requests] [topology: mesh|star|ring]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/metrics.h"
+#include "federation/federation_pipeline.h"
+#include "trace/workload.h"
+
+using namespace coic;
+
+namespace {
+
+struct PolicyRun {
+  const char* label;
+  bool cooperative;
+  federation::PeerSelectKind kind;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint32_t venues =
+      argc > 1 ? static_cast<std::uint32_t>(std::atoi(argv[1])) : 4;
+  const std::size_t requests =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 160;
+  federation::TopologyKind topology = federation::TopologyKind::kFullMesh;
+  if (argc > 3 && std::strcmp(argv[3], "star") == 0) {
+    topology = federation::TopologyKind::kStar;
+  } else if (argc > 3 && std::strcmp(argv[3], "ring") == 0) {
+    topology = federation::TopologyKind::kRing;
+  }
+
+  // A metro crowd: users spread across the venues, 5% venue handoff per
+  // request, all drawing avatars from one shared catalogue.
+  trace::ClusterWorkloadConfig workload;
+  workload.base.users = venues * 3;
+  workload.base.objects = 16;
+  workload.venues = venues;
+  workload.handoff_probability = 0.05;
+  const std::vector<std::uint64_t> avatars = {1, 2, 3, 4, 5, 6};
+
+  const PolicyRun runs[] = {
+      {"non-cooperative", false, federation::PeerSelectKind::kBroadcastAll},
+      {"broadcast-all", true, federation::PeerSelectKind::kBroadcastAll},
+      {"summary-directed", true, federation::PeerSelectKind::kSummaryDirected},
+      {"random-k (k=2)", true, federation::PeerSelectKind::kRandomK},
+  };
+
+  std::printf("Edge federation: %u venues, %zu render requests, %s topology\n",
+              venues, requests,
+              topology == federation::TopologyKind::kFullMesh ? "full-mesh"
+              : topology == federation::TopologyKind::kStar   ? "star"
+                                                              : "ring");
+  std::printf("%-18s %9s %7s %7s %7s %8s %8s %8s\n", "policy", "mean ms",
+              "local", "peer", "cloud", "probes", "gossip", "relays");
+
+  for (const auto& run : runs) {
+    federation::FederationPipelineConfig config;
+    config.venues = venues;
+    config.topology = topology;
+    config.cooperative = run.cooperative;
+    config.policy.kind = run.kind;
+    config.policy.random_k = 2;
+    config.gossip_period = Duration::Millis(100);
+    federation::FederationPipeline pipeline(config);
+    for (const std::uint64_t avatar : avatars) {
+      pipeline.RegisterModel(avatar, KB(600 + 200 * avatar));
+    }
+
+    trace::ClusterWorkloadGenerator gen(workload);  // same seed every run
+    for (const auto& placed : gen.GenerateRender(requests, avatars)) {
+      pipeline.EnqueuePlaced(placed);
+    }
+
+    core::QoeAggregator agg;
+    for (const auto& outcome : pipeline.Run()) agg.Add(outcome.outcome);
+    std::printf("%-18s %9.1f %7llu %7llu %7llu %8llu %8llu %8llu\n",
+                run.label, agg.MeanLatencyMs(),
+                static_cast<unsigned long long>(agg.edge_hits()),
+                static_cast<unsigned long long>(agg.peer_hits()),
+                static_cast<unsigned long long>(agg.cloud_served()),
+                static_cast<unsigned long long>(pipeline.total_peer_probes()),
+                static_cast<unsigned long long>(pipeline.summary_updates_sent()),
+                static_cast<unsigned long long>(pipeline.relay_forwards()));
+  }
+
+  std::printf(
+      "\nReading the table: federation converts cloud fetches into LAN peer\n"
+      "hits; summary-directed keeps broadcast's hit rate at a fraction of\n"
+      "its probe traffic, paying instead with periodic gossip messages.\n");
+  return 0;
+}

@@ -188,4 +188,9 @@ void IcCache::Clear() {
   }
 }
 
+void IcCache::ForEachKey(
+    const std::function<void(const proto::FeatureDescriptor&)>& fn) const {
+  for (const auto& [id, entry] : entries_) fn(entry.key);
+}
+
 }  // namespace coic::cache

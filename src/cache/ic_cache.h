@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -92,6 +93,12 @@ class IcCache {
 
   /// Erases one entry; returns false if absent.
   bool Erase(EntryId id);
+
+  /// Visits every resident entry's key in unspecified order. Lazily
+  /// expired entries may still be visited; federation summaries accept
+  /// that slack (a stale advertisement only costs one wasted probe).
+  void ForEachKey(
+      const std::function<void(const proto::FeatureDescriptor&)>& fn) const;
 
   /// Drops everything (stats are preserved).
   void Clear();

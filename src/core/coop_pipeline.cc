@@ -1,185 +1,69 @@
 #include "core/coop_pipeline.h"
 
-#include <cstring>
-
 namespace coic::core {
-namespace {
 
-/// Request id from an encoded envelope (bytes 8..16 LE); used to route
-/// cloud replies back to the edge that forwarded the request.
-std::uint64_t PeekRequestId(std::span<const std::uint8_t> frame) {
-  COIC_CHECK(frame.size() >= proto::kEnvelopeHeaderSize);
-  std::uint64_t id = 0;
-  std::memcpy(&id, frame.data() + 8, 8);
-  return id;
+federation::FederationPipelineConfig CoopPipeline::ToFederation(
+    const CoopPipelineConfig& config) {
+  federation::FederationPipelineConfig fed;
+  fed.venues = 2;
+  fed.mobiles_per_venue = 1;
+  fed.network = config.network;
+  fed.topology = federation::TopologyKind::kFullMesh;
+  fed.peer_link.bandwidth = config.peer_bandwidth;
+  fed.peer_link.propagation = config.peer_propagation;
+  fed.cooperative = config.cooperative;
+  // Broadcast to "all" peers — with one neighbor that is exactly the
+  // original single-probe protocol. No summaries are needed, so gossip
+  // is disabled and the wire traffic matches the pre-federation
+  // pipeline frame for frame.
+  fed.policy.kind = federation::PeerSelectKind::kBroadcastAll;
+  fed.probe_budget = 1;
+  fed.hop_limit = 1;
+  fed.gossip_period = Duration::Infinite();
+  fed.costs = config.costs;
+  fed.cache = config.cache;
+  fed.extractor = config.extractor;
+  fed.recognition_classes = config.recognition_classes;
+  fed.mobile_edge_propagation = config.mobile_edge_propagation;
+  fed.edge_cloud_propagation = config.edge_cloud_propagation;
+  return fed;
 }
-
-}  // namespace
 
 CoopPipeline::CoopPipeline(CoopPipelineConfig config)
-    : config_(config), net_(sched_) {
-  mobiles_[0] = net_.AddNode("mobileA");
-  mobiles_[1] = net_.AddNode("mobileB");
-  edge_nodes_[0] = net_.AddNode("edgeA");
-  edge_nodes_[1] = net_.AddNode("edgeB");
-  cloud_node_ = net_.AddNode("cloud");
-
-  netsim::LinkConfig wifi;
-  wifi.bandwidth = config.network.mobile_edge;
-  wifi.propagation = config.mobile_edge_propagation;
-  netsim::LinkConfig wan;
-  wan.bandwidth = config.network.edge_cloud;
-  wan.propagation = config.edge_cloud_propagation;
-  netsim::LinkConfig lan;
-  lan.bandwidth = config.peer_bandwidth;
-  lan.propagation = config.peer_propagation;
-
-  for (int venue = 0; venue < 2; ++venue) {
-    net_.Connect(mobiles_[venue], edge_nodes_[venue], wifi);
-    net_.Connect(edge_nodes_[venue], cloud_node_, wan);
-  }
-  net_.Connect(edge_nodes_[0], edge_nodes_[1], lan);
-
-  const DelayFn delay = [this](Duration d, std::function<void()> fn) {
-    sched_.ScheduleAfter(d, std::move(fn));
-  };
-  const NowFn now = [this] { return sched_.now(); };
-
-  // Cloud: one shared service; replies route to whichever edge forwarded
-  // the request (looked up by request id at send time).
-  CloudService::Config cloud_config;
-  cloud_config.costs = config.costs;
-  cloud_config.recognition_classes = config.recognition_classes;
-  cloud_config.extractor = config.extractor;
-  static_assert(sizeof(netsim::NodeId) <= sizeof(std::uint64_t));
-  auto cloud_routes =
-      std::make_shared<std::unordered_map<std::uint64_t, netsim::NodeId>>();
-  cloud_ = std::make_unique<CloudService>(
-      cloud_config,
-      [this, cloud_routes](Peer /*to*/, ByteVec frame) {
-        const std::uint64_t id = PeekRequestId(frame);
-        const auto it = cloud_routes->find(id);
-        COIC_CHECK_MSG(it != cloud_routes->end(), "cloud reply with no route");
-        const netsim::NodeId target = it->second;
-        cloud_routes->erase(it);
-        net_.Send(cloud_node_, target, std::move(frame));
-      },
-      delay);
-  net_.SetHandler(cloud_node_,
-                  [this, cloud_routes](netsim::NodeId from, ByteVec frame) {
-                    (*cloud_routes)[PeekRequestId(frame)] = from;
-                    cloud_->OnFrame(std::move(frame));
-                  });
-
-  // Edges: cooperative services wired to client, cloud and each other.
-  for (int venue = 0; venue < 2; ++venue) {
-    EdgeService::Config edge_config;
-    edge_config.costs = config.costs;
-    edge_config.cache = config.cache;
-    edge_config.cooperative = config.cooperative;
-    const netsim::NodeId self = edge_nodes_[venue];
-    const netsim::NodeId peer = edge_nodes_[1 - venue];
-    const netsim::NodeId client_node = mobiles_[venue];
-    edges_[venue] = std::make_unique<EdgeService>(
-        edge_config,
-        [this, self, peer, client_node](Peer to, ByteVec frame) {
-          netsim::NodeId target = client_node;
-          if (to == Peer::kCloud) target = cloud_node_;
-          if (to == Peer::kPeerEdge) target = peer;
-          net_.Send(self, target, std::move(frame));
-        },
-        delay, now);
-
-    net_.SetHandler(self, [this, venue, client_node,
-                           peer](netsim::NodeId from, ByteVec frame) {
-      if (from == client_node) {
-        edges_[venue]->OnClientFrame(std::move(frame));
-      } else if (from == peer) {
-        edges_[venue]->OnPeerFrame(std::move(frame));
-      } else {
-        edges_[venue]->OnCloudFrame(std::move(frame));
-      }
-    });
-
-    CoicClient::Config client_config;
-    client_config.costs = config.costs;
-    client_config.mode = proto::OffloadMode::kCoic;
-    client_config.extractor = config.extractor;
-    client_config.user_id = static_cast<std::uint32_t>(venue + 1);
-    // Disjoint id spaces so the two venues' requests never collide at
-    // the shared cloud.
-    client_config.first_request_id =
-        venue == 0 ? 1 : (std::uint64_t{1} << 40);
-    clients_[venue] = std::make_unique<CoicClient>(
-        client_config,
-        [this, client_node, self](ByteVec frame) {
-          net_.Send(client_node, self, std::move(frame));
-        },
-        delay, now);
-    net_.SetHandler(client_node, [this, venue](netsim::NodeId, ByteVec frame) {
-      clients_[venue]->OnEdgeFrame(std::move(frame));
-    });
-  }
-}
+    : fed_(ToFederation(config)) {}
 
 Digest128 CoopPipeline::RegisterModel(std::uint64_t model_id,
                                       Bytes serialized_size) {
-  cloud_->RegisterModel(model_id, serialized_size);
-  const auto digest = cloud_->model_registry().DigestFor(model_id);
-  COIC_CHECK(digest.ok());
-  model_digests_[model_id] = digest.value();
-  return digest.value();
+  return fed_.RegisterModel(model_id, serialized_size);
 }
 
 void CoopPipeline::EnqueueRecognitionAt(int venue,
                                         const vision::SceneParams& scene) {
   COIC_CHECK(venue == 0 || venue == 1);
-  ops_.push_back({venue, [this, venue, scene](CoicClient::CompletionFn done) {
-                    clients_[venue]->StartRecognition(
-                        scene, CloudService::LabelForScene(scene.scene_id),
-                        std::move(done));
-                  }});
+  fed_.EnqueueRecognitionAt(static_cast<std::uint32_t>(venue), scene);
 }
 
 void CoopPipeline::EnqueueRenderAt(int venue, std::uint64_t model_id) {
   COIC_CHECK(venue == 0 || venue == 1);
-  const auto it = model_digests_.find(model_id);
-  COIC_CHECK_MSG(it != model_digests_.end(),
-                 "EnqueueRenderAt before RegisterModel");
-  const Digest128 digest = it->second;
-  ops_.push_back(
-      {venue, [this, venue, model_id, digest](CoicClient::CompletionFn done) {
-         clients_[venue]->StartRender(model_id, digest, std::move(done));
-       }});
+  fed_.EnqueueRenderAt(static_cast<std::uint32_t>(venue), model_id);
 }
 
 void CoopPipeline::EnqueuePanoramaAt(int venue, std::uint64_t video_id,
                                      std::uint32_t frame_index) {
   COIC_CHECK(venue == 0 || venue == 1);
-  ops_.push_back(
-      {venue, [this, venue, video_id, frame_index](CoicClient::CompletionFn done) {
-         clients_[venue]->StartPanorama(video_id, frame_index, {},
-                                        std::move(done));
-       }});
-}
-
-void CoopPipeline::IssueNext() {
-  if (ops_.empty()) return;
-  Op op = std::move(ops_.front());
-  ops_.pop_front();
-  const int venue = op.venue;
-  op.start([this, venue](RequestOutcome outcome) {
-    outcomes_.push_back({venue, std::move(outcome)});
-    IssueNext();
-  });
+  fed_.EnqueuePanoramaAt(static_cast<std::uint32_t>(venue), video_id,
+                         frame_index);
 }
 
 std::vector<VenueOutcome> CoopPipeline::Run() {
-  outcomes_.clear();
-  IssueNext();
-  sched_.Run();
-  COIC_CHECK_MSG(ops_.empty(), "pipeline drained with operations unissued");
-  return std::move(outcomes_);
+  auto fed_outcomes = fed_.Run();
+  std::vector<VenueOutcome> outcomes;
+  outcomes.reserve(fed_outcomes.size());
+  for (auto& fo : fed_outcomes) {
+    outcomes.push_back(
+        {static_cast<int>(fo.venue), std::move(fo.outcome)});
+  }
+  return outcomes;
 }
 
 }  // namespace coic::core

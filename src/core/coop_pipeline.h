@@ -12,13 +12,18 @@
 //   mobileA —wifi— edgeA —peer LAN— edgeB —wifi— mobileB
 //                    \                /
 //                     \—— WAN ——— cloud ——— WAN ——/
+//
+// Since the edge-federation subsystem landed, this class is the N=2
+// special case of federation::FederationPipeline (full mesh of two
+// venues, broadcast-all selection — which for one peer is exactly the
+// original single-probe protocol, gossip disabled). The public API is
+// unchanged; only the engine underneath is shared with the N-edge
+// cluster.
 #pragma once
-
-#include <deque>
 
 #include "core/client.h"
 #include "core/services.h"
-#include "netsim/network.h"
+#include "federation/federation_pipeline.h"
 
 namespace coic::core {
 
@@ -62,31 +67,18 @@ class CoopPipeline {
 
   [[nodiscard]] EdgeService& edge(int venue) {
     COIC_CHECK(venue == 0 || venue == 1);
-    return *edges_[venue];
+    return fed_.edge(static_cast<std::uint32_t>(venue));
   }
-  [[nodiscard]] CloudService& cloud() noexcept { return *cloud_; }
-  [[nodiscard]] netsim::EventScheduler& scheduler() noexcept { return sched_; }
+  [[nodiscard]] CloudService& cloud() noexcept { return fed_.cloud(); }
+  [[nodiscard]] netsim::EventScheduler& scheduler() noexcept {
+    return fed_.scheduler();
+  }
 
  private:
-  struct Op {
-    int venue;
-    std::function<void(CoicClient::CompletionFn)> start;
-  };
+  static federation::FederationPipelineConfig ToFederation(
+      const CoopPipelineConfig& config);
 
-  void IssueNext();
-
-  CoopPipelineConfig config_;
-  netsim::EventScheduler sched_;
-  netsim::Network net_;
-  netsim::NodeId mobiles_[2]{};
-  netsim::NodeId edge_nodes_[2]{};
-  netsim::NodeId cloud_node_ = 0;
-  std::unique_ptr<CloudService> cloud_;
-  std::unique_ptr<EdgeService> edges_[2];
-  std::unique_ptr<CoicClient> clients_[2];
-  std::unordered_map<std::uint64_t, Digest128> model_digests_;
-  std::deque<Op> ops_;
-  std::vector<VenueOutcome> outcomes_;
+  federation::FederationPipeline fed_;
 };
 
 }  // namespace coic::core

@@ -205,10 +205,14 @@ EdgeService::EdgeService(Config config, SendFn send, DelayFn delay, NowFn now)
     : config_(config), send_(std::move(send)), delay_(std::move(delay)),
       now_(std::move(now)), cache_(config.cache) {}
 
-void EdgeService::ForwardToCloud(const Envelope& env, PendingForward pending) {
-  COIC_CHECK_MSG(pending_.count(env.request_id) == 0,
+void EdgeService::Park(std::uint64_t request_id, PendingForward pending) {
+  COIC_CHECK_MSG(pending_.count(request_id) == 0,
                  "duplicate in-flight request id at edge");
-  pending_.emplace(env.request_id, std::move(pending));
+  pending_.emplace(request_id, std::move(pending));
+}
+
+void EdgeService::ForwardToCloud(const Envelope& env, PendingForward pending) {
+  Park(env.request_id, std::move(pending));
   ++forwards_;
   send_(Peer::kCloud,
         proto::EncodeEnvelope(env.type, env.request_id, env.payload));
@@ -268,26 +272,55 @@ bool EdgeService::TryServeFromCache(const proto::FeatureDescriptor& key,
 void EdgeService::OnLocalMiss(proto::Envelope env,
                               proto::FeatureDescriptor descriptor,
                               proto::MessageType reply_type) {
-  if (!config_.cooperative) {
-    ForwardToCloud(env, {env.type, OffloadMode::kCoic, std::move(descriptor),
-                         {}, /*at_peer=*/false});
-    return;
+  if (config_.cooperative) {
+    // Federation mode asks the policy for candidates (best first) and
+    // caps them by the probe budget; pairwise mode probes the single
+    // anonymous neighbor, exactly the original protocol.
+    std::vector<std::uint32_t> candidates;
+    if (config_.peer_select) {
+      candidates = config_.peer_select(descriptor);
+      if (candidates.size() > config_.probe_budget) {
+        candidates.resize(config_.probe_budget);
+      }
+    } else {
+      candidates = {0};
+    }
+    if (!candidates.empty()) {
+      proto::PeerLookupRequest query;
+      query.descriptor = descriptor;
+      query.reply_type = reply_type;
+      const ByteVec frame = proto::EncodeMessage(
+          MessageType::kPeerLookupRequest, env.request_id, query);
+      PendingForward pending;
+      pending.request_type = env.type;
+      pending.insert_key = std::move(descriptor);
+      pending.original = std::move(env);
+      pending.at_peer = true;
+      pending.probes_outstanding =
+          static_cast<std::uint32_t>(candidates.size());
+      const std::uint64_t request_id = pending.original.request_id;
+      Park(request_id, std::move(pending));
+      for (const std::uint32_t peer : candidates) {
+        ++peer_probes_sent_;
+        if (config_.peer_send) {
+          config_.peer_send(peer, frame);
+        } else {
+          send_(Peer::kPeerEdge, frame);
+        }
+      }
+      return;
+    }
+    // No candidate worth probing (e.g. every peer summary says "not
+    // here"): skip the probe round trip entirely.
   }
-  // Cooperative path: park the request and probe the peer edge first.
-  proto::PeerLookupRequest query;
-  query.descriptor = descriptor;
-  query.reply_type = reply_type;
-  PendingForward pending{env.type, OffloadMode::kCoic, std::move(descriptor),
-                         env, /*at_peer=*/true};
-  COIC_CHECK_MSG(pending_.count(env.request_id) == 0,
-                 "duplicate in-flight request id at edge");
-  pending_.emplace(env.request_id, std::move(pending));
-  send_(Peer::kPeerEdge,
-        proto::EncodeMessage(MessageType::kPeerLookupRequest, env.request_id,
-                             query));
+  PendingForward pending;
+  pending.request_type = env.type;
+  pending.insert_key = std::move(descriptor);
+  ForwardToCloud(env, std::move(pending));
 }
 
-void EdgeService::HandlePeerLookupRequest(const proto::Envelope& env) {
+void EdgeService::HandlePeerLookupRequest(
+    const proto::Envelope& env, std::optional<std::uint32_t> from_peer) {
   auto req = proto::DecodePayloadAs<proto::PeerLookupRequest>(
       env, MessageType::kPeerLookupRequest);
   if (!req.ok()) {
@@ -299,7 +332,7 @@ void EdgeService::HandlePeerLookupRequest(const proto::Envelope& env) {
   auto reply_type = req.value().reply_type;
   delay_(config_.costs.edge.cache_lookup,
          [this, request_id = env.request_id, descriptor = std::move(descriptor),
-          reply_type] {
+          reply_type, from_peer] {
            proto::PeerLookupReply reply;
            reply.reply_type = reply_type;
            const auto outcome = cache_.Lookup(descriptor, now_());
@@ -307,9 +340,13 @@ void EdgeService::HandlePeerLookupRequest(const proto::Envelope& env) {
              reply.found = true;
              reply.payload = *outcome.payload;
            }
-           send_(Peer::kPeerEdge,
-                 proto::EncodeMessage(MessageType::kPeerLookupReply,
-                                      request_id, reply));
+           ByteVec frame = proto::EncodeMessage(MessageType::kPeerLookupReply,
+                                                request_id, reply);
+           if (from_peer && config_.peer_send) {
+             config_.peer_send(*from_peer, std::move(frame));
+           } else {
+             send_(Peer::kPeerEdge, std::move(frame));
+           }
          });
 }
 
@@ -321,42 +358,64 @@ void EdgeService::HandlePeerLookupReply(const proto::Envelope& env) {
     return;
   }
   const auto it = pending_.find(env.request_id);
-  if (it == pending_.end() || !it->second.at_peer) {
+  if (it == pending_.end() || !it->second.at_peer ||
+      it->second.probes_outstanding == 0) {
     COIC_LOG(kWarn) << "edge: unexpected peer reply " << env.request_id;
     return;
   }
-  PendingForward pending = std::move(it->second);
-  pending_.erase(it);
+  PendingForward& pending = it->second;
+  --pending.probes_outstanding;
 
-  if (!reply.value().found) {
-    // Peer miss: fall through to the cloud with the original request.
-    // (The envelope is pulled out first: passing `pending.original` and
-    // `std::move(pending)` in one call would read a moved-from field
-    // under GCC's right-to-left argument evaluation.)
-    const Envelope original = std::move(pending.original);
-    pending.at_peer = false;
-    ForwardToCloud(original, std::move(pending));
+  if (reply.value().found && !pending.served) {
+    // First peer hit: adopt the result into the local cache, then serve
+    // the client marked as a peer-edge result. The entry lingers (served
+    // = true) until every fanned-out probe has answered.
+    pending.served = true;
+    ++peer_hits_;
+    auto result = std::move(reply).value();
+    delay_(config_.costs.edge.cache_insert,
+           [this, request_id = env.request_id,
+            key = std::move(*pending.insert_key),
+            result = std::move(result)] {
+             cache_.Insert(key, result.payload, now_());
+             send_(Peer::kClient,
+                   proto::EncodeEnvelope(
+                       result.reply_type, request_id,
+                       PatchResultSource(result.reply_type, result.payload,
+                                         ResultSource::kPeerEdge)));
+           });
+    pending.insert_key.reset();
+    if (pending.probes_outstanding == 0) pending_.erase(it);
     return;
   }
 
-  // Peer hit: adopt the result into the local cache, then serve the
-  // client marked as a peer-edge result.
-  ++peer_hits_;
-  auto result = std::move(reply).value();
-  delay_(config_.costs.edge.cache_insert,
-         [this, request_id = env.request_id,
-          key = std::move(*pending.insert_key),
-          result = std::move(result)] {
-           cache_.Insert(key, result.payload, now_());
-           send_(Peer::kClient,
-                 proto::EncodeEnvelope(
-                     result.reply_type, request_id,
-                     PatchResultSource(result.reply_type, result.payload,
-                                       ResultSource::kPeerEdge)));
-         });
+  if (pending.probes_outstanding > 0) return;  // more probes in flight
+  if (pending.served) {  // late misses (or duplicate hits) after a hit
+    pending_.erase(it);
+    return;
+  }
+
+  // Every probe missed: fall through to the cloud with the original
+  // request. (The envelope is pulled out first: passing `moved.original`
+  // and `std::move(moved)` in one call would read a moved-from field
+  // under GCC's right-to-left argument evaluation.)
+  PendingForward moved = std::move(it->second);
+  pending_.erase(it);
+  const Envelope original = std::move(moved.original);
+  moved.at_peer = false;
+  ForwardToCloud(original, std::move(moved));
 }
 
 void EdgeService::OnPeerFrame(ByteVec frame) {
+  DispatchPeerFrame(std::nullopt, std::move(frame));
+}
+
+void EdgeService::OnPeerFrame(std::uint32_t from_peer, ByteVec frame) {
+  DispatchPeerFrame(from_peer, std::move(frame));
+}
+
+void EdgeService::DispatchPeerFrame(std::optional<std::uint32_t> from_peer,
+                                    ByteVec frame) {
   auto env_or = proto::DecodeEnvelope(frame);
   if (!env_or.ok()) {
     COIC_LOG(kWarn) << "edge: dropping undecodable peer frame";
@@ -365,7 +424,7 @@ void EdgeService::OnPeerFrame(ByteVec frame) {
   const Envelope env = std::move(env_or).value();
   switch (env.type) {
     case MessageType::kPeerLookupRequest:
-      HandlePeerLookupRequest(env);
+      HandlePeerLookupRequest(env, from_peer);
       return;
     case MessageType::kPeerLookupReply:
       HandlePeerLookupReply(env);
@@ -410,8 +469,10 @@ void EdgeService::OnClientFrame(ByteVec frame) {
       if (!req.ok()) return;
       if (req.value().mode == OffloadMode::kOrigin) {
         // Baseline: pure relay, no cache involvement.
-        ForwardToCloud(env, {env.type, OffloadMode::kOrigin, std::nullopt,
-                             /*original=*/{}, /*at_peer=*/false});
+        PendingForward pending;
+        pending.request_type = env.type;
+        pending.mode = OffloadMode::kOrigin;
+        ForwardToCloud(env, std::move(pending));
         return;
       }
       auto descriptor = req.value().descriptor;
@@ -432,8 +493,10 @@ void EdgeService::OnClientFrame(ByteVec frame) {
           env, MessageType::kRenderRequest);
       if (!req.ok()) return;
       if (req.value().mode == OffloadMode::kOrigin) {
-        ForwardToCloud(env, {env.type, OffloadMode::kOrigin, std::nullopt,
-                             /*original=*/{}, /*at_peer=*/false});
+        PendingForward pending;
+        pending.request_type = env.type;
+        pending.mode = OffloadMode::kOrigin;
+        ForwardToCloud(env, std::move(pending));
         return;
       }
       auto descriptor = req.value().descriptor;
@@ -453,8 +516,10 @@ void EdgeService::OnClientFrame(ByteVec frame) {
           env, MessageType::kPanoramaRequest);
       if (!req.ok()) return;
       if (req.value().mode == OffloadMode::kOrigin) {
-        ForwardToCloud(env, {env.type, OffloadMode::kOrigin, std::nullopt,
-                             /*original=*/{}, /*at_peer=*/false});
+        PendingForward pending;
+        pending.request_type = env.type;
+        pending.mode = OffloadMode::kOrigin;
+        ForwardToCloud(env, std::move(pending));
         return;
       }
       auto descriptor = req.value().descriptor;

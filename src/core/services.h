@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "cache/ic_cache.h"
 #include "common/time.h"
@@ -104,13 +105,28 @@ class CloudService {
 /// baseline shares the topology but never consults the cache.
 class EdgeService {
  public:
+  /// Federation hooks. `PeerSendFn` delivers an encoded frame to the
+  /// peer edge with the given cluster index; `PeerSelectFn` returns the
+  /// ordered probe candidates for a descriptor (best first). When both
+  /// are installed the edge runs in N-edge federation mode; otherwise a
+  /// single anonymous peer is assumed (the original pairwise protocol).
+  using PeerSendFn = std::function<void(std::uint32_t peer, ByteVec frame)>;
+  using PeerSelectFn =
+      std::function<std::vector<std::uint32_t>(const proto::FeatureDescriptor&)>;
+
   struct Config {
     CostModel costs;
     cache::IcCacheConfig cache;
-    /// When true, a local miss probes the peer edge's cache (one LAN
-    /// round trip) before paying the cloud WAN round trip. The SendFn
-    /// must route Peer::kPeerEdge somewhere for this to function.
+    /// When true, a local miss probes peer edge caches before paying the
+    /// cloud WAN round trip. Pairwise mode routes the single probe via
+    /// SendFn(Peer::kPeerEdge); federation mode (peer_send + peer_select
+    /// set) fans out to the selected candidates instead.
     bool cooperative = false;
+    PeerSendFn peer_send;      ///< Null => pairwise mode.
+    PeerSelectFn peer_select;  ///< Null => pairwise mode.
+    /// Per-request cap on peer probes in federation mode; candidates
+    /// beyond the budget are dropped (policy order is preserved).
+    std::uint32_t probe_budget = 1;
   };
 
   EdgeService(Config config, SendFn send, DelayFn delay, NowFn now);
@@ -122,43 +138,61 @@ class EdgeService {
   void OnCloudFrame(ByteVec frame);
 
   /// Frames arriving from the cooperating peer edge (lookup requests we
-  /// answer, and replies to lookups we issued).
+  /// answer, and replies to lookups we issued). The anonymous overload
+  /// serves pairwise mode; federation substrates pass the sender's
+  /// cluster index so replies can be routed back.
   void OnPeerFrame(ByteVec frame);
+  void OnPeerFrame(std::uint32_t from_peer, ByteVec frame);
 
   [[nodiscard]] const cache::IcCache& cache() const noexcept { return cache_; }
   [[nodiscard]] cache::IcCache& mutable_cache() noexcept { return cache_; }
 
   /// Number of requests forwarded to the cloud.
   [[nodiscard]] std::uint64_t forwards() const noexcept { return forwards_; }
-  /// Number of misses answered by the peer edge.
+  /// Number of misses answered by a peer edge.
   [[nodiscard]] std::uint64_t peer_hits() const noexcept { return peer_hits_; }
-  /// Peer lookup queries answered for the neighbor.
+  /// Peer lookup queries answered for neighbors.
   [[nodiscard]] std::uint64_t peer_queries_served() const noexcept {
     return peer_queries_served_;
+  }
+  /// PeerLookupRequests this edge issued (the probe-traffic metric the
+  /// federation policies trade against hit rate).
+  [[nodiscard]] std::uint64_t peer_probes_sent() const noexcept {
+    return peer_probes_sent_;
   }
 
  private:
   struct PendingForward {
-    proto::MessageType request_type;
-    proto::OffloadMode mode;
+    proto::MessageType request_type = proto::MessageType::kPing;
+    proto::OffloadMode mode = proto::OffloadMode::kCoic;
     /// Cache key to insert the result under (CoIC mode only).
     std::optional<proto::FeatureDescriptor> insert_key;
     /// Original client envelope, kept while the request is parked at the
     /// peer so a peer miss can still fall through to the cloud.
     proto::Envelope original;
     bool at_peer = false;
+    /// Probes still in flight (federation mode fans out to several).
+    std::uint32_t probes_outstanding = 0;
+    /// A probe already hit; late replies are drained without effect.
+    bool served = false;
   };
+
+  /// Registers an in-flight request; CHECK-fails on a duplicate id. The
+  /// single parking point for both the cloud-forward and peer-probe paths.
+  void Park(std::uint64_t request_id, PendingForward pending);
 
   /// Runs the Figure 1 lookup for a CoIC request; returns true and sends
   /// the reply if it hit.
   bool TryServeFromCache(const proto::FeatureDescriptor& key,
                          proto::MessageType reply_type,
                          std::uint64_t request_id);
-  /// Handles the local-miss path: peer probe if cooperative, else cloud.
+  /// Handles the local-miss path: peer probe(s) if cooperative, else cloud.
   void OnLocalMiss(proto::Envelope env, proto::FeatureDescriptor descriptor,
                    proto::MessageType reply_type);
   void ForwardToCloud(const proto::Envelope& env, PendingForward pending);
-  void HandlePeerLookupRequest(const proto::Envelope& env);
+  void DispatchPeerFrame(std::optional<std::uint32_t> from_peer, ByteVec frame);
+  void HandlePeerLookupRequest(const proto::Envelope& env,
+                               std::optional<std::uint32_t> from_peer);
   void HandlePeerLookupReply(const proto::Envelope& env);
 
   /// Decodes a cached result payload of `type`, stamps `source`, and
@@ -176,6 +210,7 @@ class EdgeService {
   std::uint64_t forwards_ = 0;
   std::uint64_t peer_hits_ = 0;
   std::uint64_t peer_queries_served_ = 0;
+  std::uint64_t peer_probes_sent_ = 0;
 };
 
 }  // namespace coic::core

@@ -1,0 +1,455 @@
+#include "federation/federation_pipeline.h"
+
+#include <cstring>
+#include <string>
+
+#include "common/log.h"
+
+namespace coic::federation {
+namespace {
+
+using core::CloudService;
+using core::CoicClient;
+using core::EdgeService;
+using proto::MessageType;
+
+/// Request id from an encoded envelope (bytes 8..16 LE); used to route
+/// replies back to the node that issued the request.
+std::uint64_t PeekRequestId(std::span<const std::uint8_t> frame) {
+  COIC_CHECK(frame.size() >= proto::kEnvelopeHeaderSize);
+  std::uint64_t id = 0;
+  std::memcpy(&id, frame.data() + 8, 8);
+  return id;
+}
+
+/// Message type from an encoded envelope (byte 6) — enough to dispatch
+/// federation control frames without a full decode.
+MessageType PeekMessageType(std::span<const std::uint8_t> frame) {
+  COIC_CHECK(frame.size() >= proto::kEnvelopeHeaderSize);
+  return static_cast<MessageType>(frame[6]);
+}
+
+}  // namespace
+
+Topology FederationPipeline::BuildTopology(
+    const FederationPipelineConfig& config) {
+  switch (config.topology) {
+    case TopologyKind::kStar:
+      return Topology::Star(config.venues, config.peer_link);
+    case TopologyKind::kRing:
+      return Topology::Ring(config.venues, config.peer_link);
+    case TopologyKind::kFullMesh:
+      return Topology::FullMesh(config.venues, config.peer_link);
+    case TopologyKind::kCustom:
+      return Topology::Custom(config.venues, config.custom_links);
+  }
+  COIC_CHECK_MSG(false, "unknown topology kind");
+  return Topology::FullMesh(config.venues, config.peer_link);
+}
+
+FederationPipeline::FederationPipeline(FederationPipelineConfig config)
+    : config_(std::move(config)), topology_(BuildTopology(config_)),
+      net_(sched_) {
+  COIC_CHECK(config_.venues >= 1);
+  COIC_CHECK(config_.mobiles_per_venue >= 1);
+  COIC_CHECK(config_.probe_budget >= 1);
+
+  cloud_node_ = net_.AddNode("cloud");
+  edge_nodes_.reserve(config_.venues);
+  for (std::uint32_t v = 0; v < config_.venues; ++v) {
+    edge_nodes_.push_back(net_.AddNode("edge" + std::to_string(v)));
+  }
+  mobile_nodes_.resize(
+      static_cast<std::size_t>(config_.venues) * config_.mobiles_per_venue);
+  for (std::uint32_t v = 0; v < config_.venues; ++v) {
+    for (std::uint32_t m = 0; m < config_.mobiles_per_venue; ++m) {
+      mobile_nodes_[ClientIndex(v, m)] = net_.AddNode(
+          "mobile" + std::to_string(v) + "_" + std::to_string(m));
+    }
+  }
+
+  netsim::LinkConfig wifi;
+  wifi.bandwidth = config_.network.mobile_edge;
+  wifi.propagation = config_.mobile_edge_propagation;
+  netsim::LinkConfig wan;
+  wan.bandwidth = config_.network.edge_cloud;
+  wan.propagation = config_.edge_cloud_propagation;
+  for (std::uint32_t v = 0; v < config_.venues; ++v) {
+    net_.Connect(edge_nodes_[v], cloud_node_, wan);
+    for (std::uint32_t m = 0; m < config_.mobiles_per_venue; ++m) {
+      net_.Connect(mobile_nodes_[ClientIndex(v, m)], edge_nodes_[v], wifi);
+    }
+  }
+  topology_.ApplyTo(net_, edge_nodes_);
+
+  reachable_.resize(config_.venues);
+  client_routes_.resize(config_.venues);
+  summary_versions_.assign(config_.venues, 0);
+  for (std::uint32_t v = 0; v < config_.venues; ++v) {
+    reachable_[v] = topology_.ReachableWithin(v, config_.hop_limit);
+    summary_tables_.emplace_back(config_.venues);
+    PeerSelectConfig policy = config_.policy;
+    policy.seed = config_.policy.seed ^ (0x9E37u + v);  // decorrelate edges
+    policies_.push_back(MakePeerSelectPolicy(policy));
+  }
+
+  WireCloud();
+  edges_.resize(config_.venues);
+  clients_.resize(mobile_nodes_.size());
+  for (std::uint32_t v = 0; v < config_.venues; ++v) {
+    WireVenue(v);
+    for (std::uint32_t m = 0; m < config_.mobiles_per_venue; ++m) {
+      WireClient(v, m);
+    }
+  }
+}
+
+void FederationPipeline::WireCloud() {
+  const core::DelayFn delay = [this](Duration d, std::function<void()> fn) {
+    sched_.ScheduleAfter(d, std::move(fn));
+  };
+
+  CloudService::Config cloud_config;
+  cloud_config.costs = config_.costs;
+  cloud_config.recognition_classes = config_.recognition_classes;
+  cloud_config.extractor = config_.extractor;
+  // One shared cloud; replies route to whichever edge forwarded the
+  // request (looked up by request id at send time).
+  auto routes =
+      std::make_shared<std::unordered_map<std::uint64_t, netsim::NodeId>>();
+  cloud_ = std::make_unique<CloudService>(
+      cloud_config,
+      [this, routes](core::Peer /*to*/, ByteVec frame) {
+        const std::uint64_t id = PeekRequestId(frame);
+        const auto it = routes->find(id);
+        COIC_CHECK_MSG(it != routes->end(), "cloud reply with no route");
+        const netsim::NodeId target = it->second;
+        routes->erase(it);
+        net_.Send(cloud_node_, target, std::move(frame));
+      },
+      delay);
+  net_.SetHandler(cloud_node_,
+                  [this, routes](netsim::NodeId from, ByteVec frame) {
+                    (*routes)[PeekRequestId(frame)] = from;
+                    cloud_->OnFrame(std::move(frame));
+                  });
+}
+
+void FederationPipeline::WireVenue(std::uint32_t venue) {
+  const core::DelayFn delay = [this](Duration d, std::function<void()> fn) {
+    sched_.ScheduleAfter(d, std::move(fn));
+  };
+  const core::NowFn now = [this] { return sched_.now(); };
+
+  EdgeService::Config edge_config;
+  edge_config.costs = config_.costs;
+  edge_config.cache = config_.cache;
+  edge_config.cooperative = config_.cooperative && config_.venues > 1;
+  edge_config.probe_budget = config_.probe_budget;
+  edge_config.peer_send = [this, venue](std::uint32_t peer, ByteVec frame) {
+    SendEdgeToEdge(venue, peer, std::move(frame));
+  };
+  edge_config.peer_select =
+      [this, venue](const proto::FeatureDescriptor& key) {
+        return policies_[venue]->Select(key, reachable_[venue],
+                                        summary_tables_[venue]);
+      };
+  const netsim::NodeId self = edge_nodes_[venue];
+  edges_[venue] = std::make_unique<EdgeService>(
+      edge_config,
+      [this, venue, self](core::Peer to, ByteVec frame) {
+        COIC_CHECK_MSG(to != core::Peer::kPeerEdge,
+                       "federation edges route peers via peer_send");
+        if (to == core::Peer::kCloud) {
+          net_.Send(self, cloud_node_, std::move(frame));
+          return;
+        }
+        // Client replies: several mobiles share this edge, so route by
+        // the request id recorded when the request came in.
+        auto& routes = client_routes_[venue];
+        const auto it = routes.find(PeekRequestId(frame));
+        COIC_CHECK_MSG(it != routes.end(), "edge reply with no client route");
+        const netsim::NodeId target = it->second;
+        routes.erase(it);
+        net_.Send(self, target, std::move(frame));
+      },
+      delay, now);
+
+  net_.SetHandler(self, [this, venue](netsim::NodeId from, ByteVec frame) {
+    if (from == cloud_node_) {
+      edges_[venue]->OnCloudFrame(std::move(frame));
+      return;
+    }
+    for (std::uint32_t m = 0; m < config_.mobiles_per_venue; ++m) {
+      if (mobile_nodes_[ClientIndex(venue, m)] == from) {
+        client_routes_[venue][PeekRequestId(frame)] = from;
+        edges_[venue]->OnClientFrame(std::move(frame));
+        return;
+      }
+    }
+    for (std::uint32_t peer = 0; peer < config_.venues; ++peer) {
+      if (edge_nodes_[peer] == from) {
+        OnPeerEdgeFrame(venue, peer, std::move(frame));
+        return;
+      }
+    }
+    COIC_CHECK_MSG(false, "edge frame from unknown node");
+  });
+}
+
+void FederationPipeline::WireClient(std::uint32_t venue, std::uint32_t mobile) {
+  const core::DelayFn delay = [this](Duration d, std::function<void()> fn) {
+    sched_.ScheduleAfter(d, std::move(fn));
+  };
+  const core::NowFn now = [this] { return sched_.now(); };
+  const std::uint32_t index = ClientIndex(venue, mobile);
+  const netsim::NodeId client_node = mobile_nodes_[index];
+  const netsim::NodeId edge_node = edge_nodes_[venue];
+
+  CoicClient::Config client_config;
+  client_config.costs = config_.costs;
+  client_config.mode = proto::OffloadMode::kCoic;
+  client_config.extractor = config_.extractor;
+  client_config.user_id = index + 1;
+  // Disjoint id spaces so concurrent clients' requests never collide at
+  // the shared cloud or in the per-venue client routes.
+  client_config.first_request_id = (std::uint64_t{index} << 40) | 1;
+  clients_[index] = std::make_unique<CoicClient>(
+      client_config,
+      [this, client_node, edge_node](ByteVec frame) {
+        net_.Send(client_node, edge_node, std::move(frame));
+      },
+      delay, now);
+  net_.SetHandler(client_node, [this, index](netsim::NodeId, ByteVec frame) {
+    clients_[index]->OnEdgeFrame(std::move(frame));
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Edge-to-edge routing and federation control frames
+// ---------------------------------------------------------------------------
+
+void FederationPipeline::SendEdgeToEdge(std::uint32_t from, std::uint32_t to,
+                                        ByteVec frame) {
+  COIC_CHECK(from != to && from < config_.venues && to < config_.venues);
+  if (topology_.Adjacent(from, to)) {
+    net_.Send(edge_nodes_[from], edge_nodes_[to], std::move(frame));
+    return;
+  }
+  const std::uint32_t dist = topology_.HopDistance(from, to);
+  if (dist == Topology::kUnreachable) {
+    COIC_LOG(kWarn) << "federation: dropping frame for unreachable venue "
+                    << to;
+    return;
+  }
+  proto::FederatedRelay relay;
+  relay.src_edge = from;
+  relay.dest_edge = to;
+  relay.ttl = static_cast<std::uint8_t>(dist - 1);  // forwards after hop 1
+  relay.inner = std::move(frame);
+  net_.Send(edge_nodes_[from], edge_nodes_[topology_.NextHop(from, to)],
+            proto::EncodeMessage(MessageType::kFederatedRelay,
+                                 PeekRequestId(relay.inner), relay));
+}
+
+void FederationPipeline::OnPeerEdgeFrame(std::uint32_t venue,
+                                         std::uint32_t src_index,
+                                         ByteVec frame) {
+  switch (PeekMessageType(frame)) {
+    case MessageType::kFederatedRelay:
+      HandleRelayFrame(venue, frame);
+      return;
+    case MessageType::kSummaryUpdate:
+      HandleSummaryFrame(venue, frame);
+      return;
+    default:
+      edges_[venue]->OnPeerFrame(src_index, std::move(frame));
+  }
+}
+
+void FederationPipeline::HandleRelayFrame(std::uint32_t venue,
+                                          const ByteVec& frame) {
+  auto env = proto::DecodeEnvelope(frame);
+  if (!env.ok()) {
+    COIC_LOG(kWarn) << "federation: undecodable relay frame";
+    return;
+  }
+  auto relay = proto::DecodePayloadAs<proto::FederatedRelay>(
+      env.value(), MessageType::kFederatedRelay);
+  if (!relay.ok() || relay.value().dest_edge >= config_.venues) {
+    COIC_LOG(kWarn) << "federation: bad relay frame";
+    return;
+  }
+  auto msg = std::move(relay).value();
+  if (msg.dest_edge == venue) {
+    // Terminal hop: unwrap and dispatch as if it arrived directly from
+    // the logical source.
+    if (PeekMessageType(msg.inner) == MessageType::kSummaryUpdate) {
+      HandleSummaryFrame(venue, msg.inner);
+    } else {
+      edges_[venue]->OnPeerFrame(msg.src_edge, std::move(msg.inner));
+    }
+    return;
+  }
+  if (msg.ttl == 0) {
+    COIC_LOG(kWarn) << "federation: relay TTL expired at venue " << venue;
+    return;
+  }
+  --msg.ttl;
+  ++relay_forwards_;
+  net_.Send(edge_nodes_[venue],
+            edge_nodes_[topology_.NextHop(venue, msg.dest_edge)],
+            proto::EncodeMessage(MessageType::kFederatedRelay,
+                                 env.value().request_id, msg));
+}
+
+void FederationPipeline::HandleSummaryFrame(std::uint32_t venue,
+                                            const ByteVec& frame) {
+  auto env = proto::DecodeEnvelope(frame);
+  if (!env.ok()) {
+    COIC_LOG(kWarn) << "federation: undecodable summary frame";
+    return;
+  }
+  auto wire = proto::DecodePayloadAs<proto::SummaryUpdate>(
+      env.value(), MessageType::kSummaryUpdate);
+  if (!wire.ok() || wire.value().edge_id >= config_.venues) {
+    COIC_LOG(kWarn) << "federation: bad summary frame";
+    return;
+  }
+  auto summary = CacheSummary::FromWire(wire.value());
+  if (!summary.ok()) {
+    COIC_LOG(kWarn) << "federation: unusable summary: "
+                    << summary.status().ToString();
+    return;
+  }
+  summary_tables_[venue].Update(std::move(summary).value());
+}
+
+void FederationPipeline::MaybeGossip() {
+  if (!config_.cooperative || config_.venues < 2) return;
+  if (config_.gossip_period == Duration::Infinite()) return;
+  if (sched_.now() < next_gossip_) return;
+  next_gossip_ = sched_.now() + config_.gossip_period;
+  for (std::uint32_t v = 0; v < config_.venues; ++v) {
+    const CacheSummary summary = CacheSummary::Build(
+        v, ++summary_versions_[v], edges_[v]->cache(), config_.bloom);
+    const proto::SummaryUpdate wire = summary.ToWire();
+    for (const std::uint32_t peer : reachable_[v]) {
+      ++summary_updates_sent_;
+      SendEdgeToEdge(v, peer,
+                     proto::EncodeMessage(MessageType::kSummaryUpdate,
+                                          summary.version(), wire));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Operations
+// ---------------------------------------------------------------------------
+
+core::EdgeService& FederationPipeline::edge(std::uint32_t venue) {
+  COIC_CHECK(venue < config_.venues);
+  return *edges_[venue];
+}
+
+std::uint64_t FederationPipeline::total_peer_probes() const {
+  std::uint64_t total = 0;
+  for (const auto& e : edges_) total += e->peer_probes_sent();
+  return total;
+}
+
+std::uint64_t FederationPipeline::total_peer_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& e : edges_) total += e->peer_hits();
+  return total;
+}
+
+Digest128 FederationPipeline::RegisterModel(std::uint64_t model_id,
+                                            Bytes serialized_size) {
+  cloud_->RegisterModel(model_id, serialized_size);
+  const auto digest = cloud_->model_registry().DigestFor(model_id);
+  COIC_CHECK(digest.ok());
+  model_digests_[model_id] = digest.value();
+  return digest.value();
+}
+
+void FederationPipeline::EnqueueRecognitionAt(std::uint32_t venue,
+                                              const vision::SceneParams& scene,
+                                              std::uint32_t mobile) {
+  const std::uint32_t index = ClientIndex(venue, mobile);
+  COIC_CHECK(venue < config_.venues && mobile < config_.mobiles_per_venue);
+  ops_.push_back(
+      {venue, [this, index, scene](CoicClient::CompletionFn done) {
+         clients_[index]->StartRecognition(
+             scene, CloudService::LabelForScene(scene.scene_id),
+             std::move(done));
+       }});
+}
+
+void FederationPipeline::EnqueueRenderAt(std::uint32_t venue,
+                                         std::uint64_t model_id,
+                                         std::uint32_t mobile) {
+  const std::uint32_t index = ClientIndex(venue, mobile);
+  COIC_CHECK(venue < config_.venues && mobile < config_.mobiles_per_venue);
+  const auto it = model_digests_.find(model_id);
+  COIC_CHECK_MSG(it != model_digests_.end(),
+                 "EnqueueRenderAt before RegisterModel");
+  const Digest128 digest = it->second;
+  ops_.push_back(
+      {venue, [this, index, model_id, digest](CoicClient::CompletionFn done) {
+         clients_[index]->StartRender(model_id, digest, std::move(done));
+       }});
+}
+
+void FederationPipeline::EnqueuePanoramaAt(std::uint32_t venue,
+                                           std::uint64_t video_id,
+                                           std::uint32_t frame_index,
+                                           std::uint32_t mobile) {
+  const std::uint32_t index = ClientIndex(venue, mobile);
+  COIC_CHECK(venue < config_.venues && mobile < config_.mobiles_per_venue);
+  ops_.push_back({venue, [this, index, video_id,
+                          frame_index](CoicClient::CompletionFn done) {
+                    clients_[index]->StartPanorama(video_id, frame_index, {},
+                                                   std::move(done));
+                  }});
+}
+
+void FederationPipeline::EnqueuePlaced(const trace::PlacedRecord& placed) {
+  const std::uint32_t mobile =
+      placed.record.user_id % config_.mobiles_per_venue;
+  switch (placed.record.type) {
+    case trace::IcTaskType::kRecognition:
+      EnqueueRecognitionAt(placed.venue, placed.record.scene, mobile);
+      return;
+    case trace::IcTaskType::kRender:
+      EnqueueRenderAt(placed.venue, placed.record.model_id, mobile);
+      return;
+    case trace::IcTaskType::kPanorama:
+      EnqueuePanoramaAt(placed.venue, placed.record.video_id,
+                        placed.record.frame_index, mobile);
+      return;
+  }
+  COIC_CHECK_MSG(false, "unknown trace record type");
+}
+
+void FederationPipeline::IssueNext() {
+  if (ops_.empty()) return;
+  MaybeGossip();
+  Op op = std::move(ops_.front());
+  ops_.pop_front();
+  const std::uint32_t venue = op.venue;
+  op.start([this, venue](core::RequestOutcome outcome) {
+    outcomes_.push_back({venue, std::move(outcome)});
+    IssueNext();
+  });
+}
+
+std::vector<FederationOutcome> FederationPipeline::Run() {
+  outcomes_.clear();
+  IssueNext();
+  sched_.Run();
+  COIC_CHECK_MSG(ops_.empty(), "pipeline drained with operations unissued");
+  return std::move(outcomes_);
+}
+
+}  // namespace coic::federation

@@ -1,0 +1,188 @@
+// FederationPipeline — an N-edge cooperative cluster on the netsim
+// substrate.
+//
+// Generalizes the pairwise CoopPipeline to K venues × M mobiles each,
+// sharing one cloud. Venues are joined by a Topology (star / ring /
+// full mesh / custom); each edge periodically gossips a CacheSummary of
+// its content, and on a local miss a PeerSelectPolicy picks which peers
+// to probe (broadcast-all, summary-directed, or random-k) within a
+// per-edge probe budget and hop limit. Frames between non-adjacent
+// venues ride FederatedRelay envelopes hop by hop along shortest paths.
+//
+//   mobile(v,m) —wifi— edge(v) —peer links per Topology— edge(u) ...
+//                        \________ WAN ________ cloud ______/
+//
+// EdgeService and CloudService are reused unchanged apart from the new
+// message kinds; the pipeline owns only topology, routing, gossip and
+// policy wiring.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/client.h"
+#include "core/services.h"
+#include "federation/peer_select.h"
+#include "federation/summary.h"
+#include "federation/topology.h"
+#include "netsim/network.h"
+#include "trace/workload.h"
+
+namespace coic::federation {
+
+enum class TopologyKind : std::uint8_t {
+  kStar = 0,
+  kRing = 1,
+  kFullMesh = 2,
+  kCustom = 3,
+};
+
+/// The metro-LAN link regular topologies use between venues.
+inline netsim::LinkConfig DefaultPeerLink() noexcept {
+  netsim::LinkConfig link;
+  link.bandwidth = Bandwidth::Gbps(1);
+  link.propagation = Duration::Millis(1);
+  return link;
+}
+
+struct FederationPipelineConfig {
+  /// Venues (edges) in the cluster.
+  std::uint32_t venues = 4;
+  /// Mobiles attached to each venue.
+  std::uint32_t mobiles_per_venue = 1;
+  /// Per-venue access + WAN bandwidths (venues symmetric).
+  core::NetworkCondition network{Bandwidth::Mbps(100), Bandwidth::Mbps(10)};
+  TopologyKind topology = TopologyKind::kFullMesh;
+  /// Edge-to-edge link used by the regular topologies.
+  netsim::LinkConfig peer_link = DefaultPeerLink();
+  /// kCustom adjacency (per-link bandwidth/propagation).
+  std::vector<TopologyLink> custom_links;
+  /// Disable to measure the non-cooperative baseline on an identical
+  /// topology (misses go straight to the cloud).
+  bool cooperative = true;
+  PeerSelectConfig policy;
+  /// Per-request cap on peer probes at each edge.
+  std::uint32_t probe_budget = 8;
+  /// Peers farther than this many topology hops are never probed or
+  /// gossiped to.
+  std::uint32_t hop_limit = 8;
+  /// Cache-summary gossip period; Infinite disables gossip entirely
+  /// (summary-directed selection then degenerates to cloud-only misses).
+  /// Gossip rounds are driven from the operation loop, so summaries are
+  /// refreshed at most once per period and never keep the scheduler
+  /// alive after the workload drains.
+  Duration gossip_period = Duration::Millis(250);
+  BloomFilterConfig bloom;
+  core::CostModel costs;
+  cache::IcCacheConfig cache;
+  vision::FeatureExtractorConfig extractor;
+  std::uint32_t recognition_classes = 20;
+  Duration mobile_edge_propagation = core::kMobileEdgePropagation;
+  Duration edge_cloud_propagation = core::kEdgeCloudPropagation;
+};
+
+/// A RequestOutcome tagged with the venue that issued it.
+struct FederationOutcome {
+  std::uint32_t venue = 0;
+  core::RequestOutcome outcome;
+};
+
+class FederationPipeline {
+ public:
+  explicit FederationPipeline(FederationPipelineConfig config);
+
+  /// Registers a model with the shared cloud store; returns its digest.
+  Digest128 RegisterModel(std::uint64_t model_id, Bytes serialized_size);
+
+  void EnqueueRecognitionAt(std::uint32_t venue,
+                            const vision::SceneParams& scene,
+                            std::uint32_t mobile = 0);
+  void EnqueueRenderAt(std::uint32_t venue, std::uint64_t model_id,
+                       std::uint32_t mobile = 0);
+  void EnqueuePanoramaAt(std::uint32_t venue, std::uint64_t video_id,
+                         std::uint32_t frame_index, std::uint32_t mobile = 0);
+
+  /// Queues a cluster-trace record at its placed venue; render records
+  /// must reference a registered model.
+  void EnqueuePlaced(const trace::PlacedRecord& placed);
+
+  /// Runs all queued operations sequentially; outcomes in issue order.
+  std::vector<FederationOutcome> Run();
+
+  [[nodiscard]] core::EdgeService& edge(std::uint32_t venue);
+  [[nodiscard]] core::CloudService& cloud() noexcept { return *cloud_; }
+  [[nodiscard]] netsim::EventScheduler& scheduler() noexcept { return sched_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const FederationPipelineConfig& config() const noexcept {
+    return config_;
+  }
+
+  /// Probe traffic across the whole cluster (sum of per-edge counters).
+  [[nodiscard]] std::uint64_t total_peer_probes() const;
+  [[nodiscard]] std::uint64_t total_peer_hits() const;
+  /// SummaryUpdate messages sent (gossip overhead).
+  [[nodiscard]] std::uint64_t summary_updates_sent() const noexcept {
+    return summary_updates_sent_;
+  }
+  /// Relay forwards performed by intermediate venues.
+  [[nodiscard]] std::uint64_t relay_forwards() const noexcept {
+    return relay_forwards_;
+  }
+
+ private:
+  struct Op {
+    std::uint32_t venue;
+    std::function<void(core::CoicClient::CompletionFn)> start;
+  };
+
+  static Topology BuildTopology(const FederationPipelineConfig& config);
+
+  void WireCloud();
+  void WireVenue(std::uint32_t venue);
+  void WireClient(std::uint32_t venue, std::uint32_t mobile);
+
+  /// Routes an edge-to-edge frame: direct when adjacent, otherwise
+  /// wrapped in a FederatedRelay along the shortest path.
+  void SendEdgeToEdge(std::uint32_t from, std::uint32_t to, ByteVec frame);
+  void OnPeerEdgeFrame(std::uint32_t venue, std::uint32_t src_index,
+                       ByteVec frame);
+  void HandleRelayFrame(std::uint32_t venue, const ByteVec& frame);
+  void HandleSummaryFrame(std::uint32_t venue, const ByteVec& frame);
+
+  /// Runs a gossip round if the period elapsed (called between ops).
+  void MaybeGossip();
+  void IssueNext();
+
+  [[nodiscard]] std::uint32_t ClientIndex(std::uint32_t venue,
+                                          std::uint32_t mobile) const {
+    return venue * config_.mobiles_per_venue + mobile;
+  }
+
+  FederationPipelineConfig config_;
+  Topology topology_;
+  netsim::EventScheduler sched_;
+  netsim::Network net_;
+  netsim::NodeId cloud_node_ = 0;
+  std::vector<netsim::NodeId> edge_nodes_;
+  std::vector<netsim::NodeId> mobile_nodes_;  ///< Indexed by ClientIndex.
+  std::unique_ptr<core::CloudService> cloud_;
+  std::vector<std::unique_ptr<core::EdgeService>> edges_;
+  std::vector<std::unique_ptr<core::CoicClient>> clients_;
+  /// Peers each venue may probe (within hop_limit), ascending.
+  std::vector<std::vector<std::uint32_t>> reachable_;
+  std::vector<SummaryTable> summary_tables_;
+  std::vector<std::unique_ptr<PeerSelectPolicy>> policies_;
+  /// request id -> issuing mobile node, per venue (several mobiles share
+  /// one edge, so client replies are routed like cloud replies are).
+  std::vector<std::unordered_map<std::uint64_t, netsim::NodeId>> client_routes_;
+  std::vector<std::uint64_t> summary_versions_;
+  std::unordered_map<std::uint64_t, Digest128> model_digests_;
+  SimTime next_gossip_ = SimTime::Epoch();
+  std::uint64_t summary_updates_sent_ = 0;
+  std::uint64_t relay_forwards_ = 0;
+  std::deque<Op> ops_;
+  std::vector<FederationOutcome> outcomes_;
+};
+
+}  // namespace coic::federation

@@ -18,6 +18,8 @@ bool ValidMessageType(std::uint8_t raw) noexcept {
     case MessageType::kCacheStatsReply:
     case MessageType::kPeerLookupRequest:
     case MessageType::kPeerLookupReply:
+    case MessageType::kSummaryUpdate:
+    case MessageType::kFederatedRelay:
       return true;
   }
   return false;

@@ -53,6 +53,8 @@ std::string_view MessageTypeName(MessageType t) noexcept {
     case MessageType::kCacheStatsReply: return "CacheStatsReply";
     case MessageType::kPeerLookupRequest: return "PeerLookupRequest";
     case MessageType::kPeerLookupReply: return "PeerLookupReply";
+    case MessageType::kSummaryUpdate: return "SummaryUpdate";
+    case MessageType::kFederatedRelay: return "FederatedRelay";
   }
   return "Unknown";
 }
@@ -268,6 +270,66 @@ Result<PeerLookupReply> PeerLookupReply::Decode(ByteReader& r) {
   COIC_RETURN_IF_ERROR(r.ReadBlob(m.payload));
   if (m.found == m.payload.empty()) {
     return Status(StatusCode::kDataLoss, "found flag disagrees with payload");
+  }
+  return m;
+}
+
+// ------------------------------ SummaryUpdate ------------------------------
+
+Bytes SummaryUpdate::WireSize() const noexcept {
+  Bytes size = 4 + 8 + 4 + 8 + 4 + bloom_bits.size();
+  for (const auto& c : centroids) {
+    size += 4 + 4 + c.centroid.size() * 4;
+  }
+  return size;
+}
+
+void SummaryUpdate::Encode(ByteWriter& w) const {
+  w.WriteU32(edge_id);
+  w.WriteU64(version);
+  w.WriteU32(bloom_hashes);
+  w.WriteU64(bloom_inserted);
+  w.WriteBlob(bloom_bits);
+  for (const auto& c : centroids) {
+    w.WriteU32(c.count);
+    w.WriteF32Vector(c.centroid);
+  }
+}
+
+Result<SummaryUpdate> SummaryUpdate::Decode(ByteReader& r) {
+  SummaryUpdate m;
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.edge_id));
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.version));
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.bloom_hashes));
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.bloom_inserted));
+  COIC_RETURN_IF_ERROR(r.ReadBlob(m.bloom_bits));
+  for (auto& c : m.centroids) {
+    COIC_RETURN_IF_ERROR(r.ReadU32(c.count));
+    COIC_RETURN_IF_ERROR(r.ReadF32Vector(c.centroid));
+    if (c.count == 0 && !c.centroid.empty()) {
+      return Status(StatusCode::kDataLoss, "centroid without entries");
+    }
+  }
+  return m;
+}
+
+// ------------------------------ FederatedRelay -----------------------------
+
+void FederatedRelay::Encode(ByteWriter& w) const {
+  w.WriteU32(src_edge);
+  w.WriteU32(dest_edge);
+  w.WriteU8(ttl);
+  w.WriteBlob(inner);
+}
+
+Result<FederatedRelay> FederatedRelay::Decode(ByteReader& r) {
+  FederatedRelay m;
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.src_edge));
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.dest_edge));
+  COIC_RETURN_IF_ERROR(r.ReadU8(m.ttl));
+  COIC_RETURN_IF_ERROR(r.ReadBlob(m.inner));
+  if (m.src_edge == m.dest_edge) {
+    return Status(StatusCode::kDataLoss, "relay to self");
   }
   return m;
 }

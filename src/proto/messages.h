@@ -7,6 +7,7 @@
 // edge<->cloud forwarding and cache-maintenance messages from Figure 1.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -36,6 +37,13 @@ enum class MessageType : std::uint8_t {
   /// cloud round trip.
   kPeerLookupRequest = 30,
   kPeerLookupReply = 31,
+  /// Edge federation: a compact digest of one edge's cache content,
+  /// gossiped periodically so peers can direct lookups instead of
+  /// broadcasting.
+  kSummaryUpdate = 32,
+  /// Edge federation: source-routed wrapper for edge-to-edge frames
+  /// between venues that are not directly linked in the topology.
+  kFederatedRelay = 33,
 };
 
 std::string_view MessageTypeName(MessageType t) noexcept;
@@ -204,6 +212,54 @@ struct PeerLookupReply {
   void Encode(ByteWriter& w) const;
   static Result<PeerLookupReply> Decode(ByteReader& r);
   friend bool operator==(const PeerLookupReply&, const PeerLookupReply&) = default;
+};
+
+/// Edge -> peer edges: a compact, periodically gossiped digest of one
+/// edge's cache content. Content-hash descriptors (render / panorama)
+/// are summarized by a Bloom filter over their index keys; feature-vector
+/// descriptors (recognition) by a per-task centroid sketch. Receivers use
+/// it to send *directed* PeerLookupRequests to the most likely holder
+/// instead of broadcasting to the whole cluster.
+struct SummaryUpdate {
+  std::uint32_t edge_id = 0;
+  /// Monotonic per-edge version; receivers drop stale updates.
+  std::uint64_t version = 0;
+  /// Bloom filter over FeatureDescriptor::IndexKey() of hash-keyed
+  /// entries: `bloom_hashes` probe positions per key into the
+  /// `bloom_bits` bit array (LSB-first within each byte).
+  std::uint32_t bloom_hashes = 0;
+  std::uint64_t bloom_inserted = 0;  ///< Keys inserted (FP-rate estimate).
+  ByteVec bloom_bits;
+  /// Coarse per-task sketch of vector-keyed entries: entry count and the
+  /// (unnormalized) mean descriptor vector. One slot per TaskKind, in
+  /// enum order; empty slots have count 0 and an empty centroid.
+  struct TaskCentroid {
+    std::uint32_t count = 0;
+    std::vector<float> centroid;
+    friend bool operator==(const TaskCentroid&, const TaskCentroid&) = default;
+  };
+  std::array<TaskCentroid, 3> centroids;
+
+  [[nodiscard]] Bytes WireSize() const noexcept;
+  void Encode(ByteWriter& w) const;
+  static Result<SummaryUpdate> Decode(ByteReader& r);
+  friend bool operator==(const SummaryUpdate&, const SummaryUpdate&) = default;
+};
+
+/// Source-routed edge-to-edge wrapper. Federation topologies need not be
+/// full meshes; a frame for a non-adjacent venue is wrapped in a relay
+/// and forwarded hop by hop along the precomputed shortest path. `ttl`
+/// is the number of *additional* forwards allowed after the first hop —
+/// an intermediate edge drops the frame when it reaches 0.
+struct FederatedRelay {
+  std::uint32_t src_edge = 0;
+  std::uint32_t dest_edge = 0;
+  std::uint8_t ttl = 0;
+  ByteVec inner;  ///< A complete encoded envelope for dest_edge.
+
+  void Encode(ByteWriter& w) const;
+  static Result<FederatedRelay> Decode(ByteReader& r);
+  friend bool operator==(const FederatedRelay&, const FederatedRelay&) = default;
 };
 
 struct CacheStatsReply {

@@ -140,6 +140,65 @@ std::vector<TraceRecord> WorkloadGenerator::GenerateMixed(
 }
 
 // ---------------------------------------------------------------------------
+// Cluster workloads
+// ---------------------------------------------------------------------------
+
+ClusterWorkloadGenerator::ClusterWorkloadGenerator(ClusterWorkloadConfig config)
+    : config_(config), gen_(config.base), rng_(config.placement_seed),
+      venue_of_user_(config.base.users) {
+  COIC_CHECK(config_.venues >= 1);
+  COIC_CHECK(config_.handoff_probability >= 0 &&
+             config_.handoff_probability <= 1);
+  for (std::uint32_t u = 0; u < config_.base.users; ++u) {
+    venue_of_user_[u] = u % config_.venues;
+  }
+}
+
+std::uint32_t ClusterWorkloadGenerator::VenueOf(std::uint32_t user) const {
+  COIC_CHECK(user < venue_of_user_.size());
+  return venue_of_user_[user];
+}
+
+std::vector<PlacedRecord> ClusterWorkloadGenerator::Place(
+    std::vector<TraceRecord> records) {
+  std::vector<PlacedRecord> out;
+  out.reserve(records.size());
+  for (TraceRecord& rec : records) {
+    auto& venue = venue_of_user_[rec.user_id];
+    if (config_.venues > 1 && rng_.NextBool(config_.handoff_probability)) {
+      // Move to a uniformly random *other* venue.
+      const auto shift =
+          1 + static_cast<std::uint32_t>(rng_.NextBelow(config_.venues - 1));
+      venue = (venue + shift) % config_.venues;
+      ++handoffs_;
+    }
+    out.push_back({venue, std::move(rec)});
+  }
+  return out;
+}
+
+std::vector<PlacedRecord> ClusterWorkloadGenerator::GenerateRecognition(
+    std::size_t n) {
+  return Place(gen_.GenerateRecognition(n));
+}
+
+std::vector<PlacedRecord> ClusterWorkloadGenerator::GenerateRender(
+    std::size_t n, std::span<const std::uint64_t> model_ids) {
+  return Place(gen_.GenerateRender(n, model_ids));
+}
+
+std::vector<PlacedRecord> ClusterWorkloadGenerator::GeneratePanorama(
+    std::size_t n, std::uint64_t video_id, std::uint32_t frames_in_video) {
+  return Place(gen_.GeneratePanorama(n, video_id, frames_in_video));
+}
+
+std::vector<PlacedRecord> ClusterWorkloadGenerator::GenerateMixed(
+    std::size_t n, std::span<const std::uint64_t> model_ids,
+    std::uint64_t video_id) {
+  return Place(gen_.GenerateMixed(n, model_ids, video_id));
+}
+
+// ---------------------------------------------------------------------------
 // Trace serialization
 // ---------------------------------------------------------------------------
 

@@ -118,4 +118,63 @@ ByteVec SerializeTrace(std::span<const TraceRecord> records);
 Result<std::vector<TraceRecord>> DeserializeTrace(
     std::span<const std::uint8_t> bytes);
 
+// ---------------------------------------------------------------------------
+// Cluster workloads (edge federation)
+// ---------------------------------------------------------------------------
+
+/// A trace record placed at the venue whose edge serves it.
+struct PlacedRecord {
+  std::uint32_t venue = 0;
+  TraceRecord record;
+};
+
+struct ClusterWorkloadConfig {
+  WorkloadConfig base;
+  /// Venues in the federation; users are spread across them round-robin
+  /// at start (user u begins at venue u mod venues).
+  std::uint32_t venues = 4;
+  /// Per-request probability that the issuing user has moved to another
+  /// (uniformly random) venue since their last request — the mid-trace
+  /// handoff that makes federated caching matter: the user's history
+  /// lives in the old venue's edge cache.
+  double handoff_probability = 0.0;
+  std::uint64_t placement_seed = 11;
+};
+
+/// Wraps WorkloadGenerator with user→venue placement and mobility. The
+/// underlying request structure (Zipf popularity, co-location, jitter)
+/// is untouched; only a venue tag and occasional handoffs are added.
+class ClusterWorkloadGenerator {
+ public:
+  explicit ClusterWorkloadGenerator(ClusterWorkloadConfig config);
+
+  std::vector<PlacedRecord> GenerateRecognition(std::size_t n);
+  std::vector<PlacedRecord> GenerateRender(
+      std::size_t n, std::span<const std::uint64_t> model_ids);
+  std::vector<PlacedRecord> GeneratePanorama(std::size_t n,
+                                             std::uint64_t video_id,
+                                             std::uint32_t frames_in_video);
+  std::vector<PlacedRecord> GenerateMixed(
+      std::size_t n, std::span<const std::uint64_t> model_ids,
+      std::uint64_t video_id);
+
+  /// Current venue of `user`.
+  [[nodiscard]] std::uint32_t VenueOf(std::uint32_t user) const;
+  /// Handoffs applied so far.
+  [[nodiscard]] std::uint64_t handoffs() const noexcept { return handoffs_; }
+  [[nodiscard]] const ClusterWorkloadConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] WorkloadGenerator& generator() noexcept { return gen_; }
+
+ private:
+  std::vector<PlacedRecord> Place(std::vector<TraceRecord> records);
+
+  ClusterWorkloadConfig config_;
+  WorkloadGenerator gen_;
+  Rng rng_;
+  std::vector<std::uint32_t> venue_of_user_;
+  std::uint64_t handoffs_ = 0;
+};
+
 }  // namespace coic::trace

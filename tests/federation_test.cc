@@ -1,0 +1,500 @@
+// Tests for the edge-federation subsystem: topology building and
+// routing, cache-content summaries (Bloom filter + centroid sketch),
+// peer-selection policies, and the N-edge FederationPipeline.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "core/metrics.h"
+#include "federation/federation_pipeline.h"
+#include "federation/peer_select.h"
+#include "federation/summary.h"
+#include "federation/topology.h"
+#include "trace/workload.h"
+
+namespace coic {
+namespace {
+
+using federation::BloomFilter;
+using federation::BloomFilterConfig;
+using federation::CacheSummary;
+using federation::FederationPipeline;
+using federation::FederationPipelineConfig;
+using federation::MakePeerSelectPolicy;
+using federation::PeerSelectConfig;
+using federation::PeerSelectKind;
+using federation::SummaryTable;
+using federation::Topology;
+using federation::TopologyKind;
+using proto::ResultSource;
+
+// ---------------------------------------------------------------------------
+// Topology
+// ---------------------------------------------------------------------------
+
+netsim::LinkConfig Lan() {
+  netsim::LinkConfig link;
+  link.bandwidth = Bandwidth::Gbps(1);
+  link.propagation = Duration::Millis(1);
+  return link;
+}
+
+TEST(TopologyTest, StarShape) {
+  const auto topo = Topology::Star(5, Lan());
+  EXPECT_EQ(topo.links().size(), 4u);
+  EXPECT_TRUE(topo.Adjacent(0, 3));
+  EXPECT_FALSE(topo.Adjacent(1, 2));
+  EXPECT_EQ(topo.HopDistance(1, 2), 2u);  // leaf -> hub -> leaf
+  EXPECT_EQ(topo.NextHop(1, 2), 0u);
+  EXPECT_EQ(topo.NextHop(1, 0), 0u);
+}
+
+TEST(TopologyTest, RingShape) {
+  const auto topo = Topology::Ring(6, Lan());
+  EXPECT_EQ(topo.links().size(), 6u);
+  EXPECT_TRUE(topo.Adjacent(0, 5));
+  EXPECT_EQ(topo.HopDistance(0, 3), 3u);  // antipode
+  EXPECT_EQ(topo.HopDistance(0, 4), 2u);  // shorter way round
+  EXPECT_EQ(topo.NextHop(0, 4), 5u);
+}
+
+TEST(TopologyTest, TwoVenueRingIsOneLink) {
+  const auto topo = Topology::Ring(2, Lan());
+  EXPECT_EQ(topo.links().size(), 1u);
+  EXPECT_TRUE(topo.Adjacent(0, 1));
+}
+
+TEST(TopologyTest, FullMeshAllPairsAdjacent) {
+  const auto topo = Topology::FullMesh(4, Lan());
+  EXPECT_EQ(topo.links().size(), 6u);
+  for (std::uint32_t a = 0; a < 4; ++a) {
+    for (std::uint32_t b = 0; b < 4; ++b) {
+      if (a != b) {
+        EXPECT_TRUE(topo.Adjacent(a, b));
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, CustomDisconnectedComponents) {
+  const auto topo = Topology::Custom(4, {{0, 1, Lan()}, {2, 3, Lan()}});
+  EXPECT_EQ(topo.HopDistance(0, 1), 1u);
+  EXPECT_EQ(topo.HopDistance(0, 2), Topology::kUnreachable);
+  const auto reachable = topo.ReachableWithin(0, 8);
+  EXPECT_EQ(reachable, std::vector<std::uint32_t>{1});
+}
+
+TEST(TopologyTest, ReachableWithinRespectsHopLimit) {
+  const auto topo = Topology::Star(5, Lan());
+  // From a leaf, one hop reaches only the hub.
+  EXPECT_EQ(topo.ReachableWithin(1, 1), std::vector<std::uint32_t>{0});
+  EXPECT_EQ(topo.ReachableWithin(1, 2).size(), 4u);
+}
+
+// ---------------------------------------------------------------------------
+// Bloom filter / CacheSummary
+// ---------------------------------------------------------------------------
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter bloom(BloomFilterConfig{.bits = 4096, .hashes = 4});
+  for (std::uint64_t key = 0; key < 300; ++key) bloom.Insert(key * 977 + 13);
+  for (std::uint64_t key = 0; key < 300; ++key) {
+    EXPECT_TRUE(bloom.MayContain(key * 977 + 13));
+  }
+}
+
+TEST(BloomFilterTest, FalsePositiveRateUnderBoundAtDesignLoad) {
+  // Design load: the default 8192-bit / 4-hash filter advertising 400
+  // cached descriptors. The analytic bound is ~2.4%; measure against
+  // 20k absent keys and allow 2x sampling slack.
+  BloomFilter bloom(BloomFilterConfig{});
+  for (std::uint64_t key = 0; key < 400; ++key) {
+    bloom.Insert(key * 0x9E3779B9ULL + 1);
+  }
+  const double bound = bloom.EstimatedFpRate();
+  EXPECT_GT(bound, 0.0);
+  EXPECT_LT(bound, 0.05);
+  std::uint64_t false_positives = 0;
+  constexpr std::uint64_t kProbes = 20'000;
+  for (std::uint64_t i = 0; i < kProbes; ++i) {
+    if (bloom.MayContain(0xABCDEF000000ULL + i)) ++false_positives;
+  }
+  const double measured =
+      static_cast<double>(false_positives) / static_cast<double>(kProbes);
+  EXPECT_LE(measured, 2.0 * bound)
+      << "measured FPR " << measured << " vs analytic bound " << bound;
+}
+
+TEST(BloomFilterTest, EmptyFilterMatchesNothing) {
+  BloomFilter bloom(BloomFilterConfig{});
+  std::uint64_t hits = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) hits += bloom.MayContain(i);
+  EXPECT_EQ(hits, 0u);
+}
+
+proto::FeatureDescriptor RenderKey(std::uint64_t lo) {
+  return proto::FeatureDescriptor::ForHash(proto::TaskKind::kRender,
+                                           Digest128{0xABC, lo});
+}
+
+TEST(CacheSummaryTest, BuildDigestsHashAndVectorKeys) {
+  cache::IcCache cache(cache::IcCacheConfig{});
+  cache.Insert(RenderKey(1), DeterministicBytes(100, 1), SimTime::Epoch());
+  cache.Insert(RenderKey(2), DeterministicBytes(100, 2), SimTime::Epoch());
+  cache.Insert(proto::FeatureDescriptor::ForVector(proto::TaskKind::kRecognition,
+                                                   {1.0f, 0.0f}),
+               DeterministicBytes(100, 3), SimTime::Epoch());
+  cache.Insert(proto::FeatureDescriptor::ForVector(proto::TaskKind::kRecognition,
+                                                   {0.0f, 1.0f}),
+               DeterministicBytes(100, 4), SimTime::Epoch());
+
+  const auto summary = CacheSummary::Build(3, 7, cache, BloomFilterConfig{});
+  EXPECT_EQ(summary.edge_id(), 3u);
+  EXPECT_EQ(summary.version(), 7u);
+  EXPECT_EQ(summary.bloom().inserted(), 2u);
+  EXPECT_DOUBLE_EQ(summary.MatchScore(RenderKey(1)), 1.0);
+  EXPECT_DOUBLE_EQ(summary.MatchScore(RenderKey(999)), 0.0);
+
+  const auto& sketch = summary.sketch(proto::TaskKind::kRecognition);
+  EXPECT_EQ(sketch.count, 2u);
+  ASSERT_EQ(sketch.centroid.size(), 2u);
+  EXPECT_FLOAT_EQ(sketch.centroid[0], 0.5f);
+  EXPECT_FLOAT_EQ(sketch.centroid[1], 0.5f);
+
+  // A query near the centroid scores higher than a distant one.
+  const auto near = proto::FeatureDescriptor::ForVector(
+      proto::TaskKind::kRecognition, {0.6f, 0.5f});
+  const auto far = proto::FeatureDescriptor::ForVector(
+      proto::TaskKind::kRecognition, {-1.0f, -1.0f});
+  EXPECT_GT(summary.MatchScore(near), summary.MatchScore(far));
+  EXPECT_GT(summary.MatchScore(far), 0.0);
+}
+
+TEST(CacheSummaryTest, WireRoundTripIsByteExact) {
+  cache::IcCache cache(cache::IcCacheConfig{});
+  for (std::uint64_t k = 1; k <= 20; ++k) {
+    cache.Insert(RenderKey(k), DeterministicBytes(64, k), SimTime::Epoch());
+  }
+  cache.Insert(proto::FeatureDescriptor::ForVector(proto::TaskKind::kRecognition,
+                                                   {0.25f, -0.5f, 0.75f}),
+               DeterministicBytes(64, 99), SimTime::Epoch());
+  const auto summary = CacheSummary::Build(2, 11, cache, BloomFilterConfig{});
+  const proto::SummaryUpdate wire = summary.ToWire();
+
+  // Encode -> decode -> re-encode must reproduce the bytes exactly.
+  const ByteVec frame =
+      proto::EncodeMessage(proto::MessageType::kSummaryUpdate, 11, wire);
+  auto env = proto::DecodeEnvelope(frame);
+  ASSERT_TRUE(env.ok());
+  auto decoded = proto::DecodePayloadAs<proto::SummaryUpdate>(
+      env.value(), proto::MessageType::kSummaryUpdate);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), wire);
+  const ByteVec reencoded = proto::EncodeMessage(
+      proto::MessageType::kSummaryUpdate, 11, decoded.value());
+  EXPECT_EQ(reencoded, frame);
+
+  // And the reconstructed summary answers queries identically.
+  auto rebuilt = CacheSummary::FromWire(decoded.value());
+  ASSERT_TRUE(rebuilt.ok());
+  for (std::uint64_t k = 1; k <= 20; ++k) {
+    EXPECT_EQ(rebuilt.value().MatchScore(RenderKey(k)),
+              summary.MatchScore(RenderKey(k)));
+  }
+}
+
+TEST(SummaryTableTest, KeepsFreshestVersion) {
+  cache::IcCache cache(cache::IcCacheConfig{});
+  cache.Insert(RenderKey(1), DeterministicBytes(10, 1), SimTime::Epoch());
+  SummaryTable table(4);
+  EXPECT_EQ(table.For(2), nullptr);
+  EXPECT_TRUE(table.Update(CacheSummary::Build(2, 5, cache, {})));
+  EXPECT_FALSE(table.Update(CacheSummary::Build(2, 4, cache, {})));  // stale
+  EXPECT_FALSE(table.Update(CacheSummary::Build(2, 5, cache, {})));  // same
+  EXPECT_TRUE(table.Update(CacheSummary::Build(2, 6, cache, {})));
+  ASSERT_NE(table.For(2), nullptr);
+  EXPECT_EQ(table.For(2)->version(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// Peer-select policies
+// ---------------------------------------------------------------------------
+
+SummaryTable TableWithKeyAt(std::uint32_t cluster, std::uint32_t holder,
+                            std::uint64_t key_lo) {
+  SummaryTable table(cluster);
+  for (std::uint32_t e = 0; e < cluster; ++e) {
+    cache::IcCache cache(cache::IcCacheConfig{});
+    if (e == holder) {
+      cache.Insert(RenderKey(key_lo), DeterministicBytes(10, 1),
+                   SimTime::Epoch());
+    }
+    table.Update(CacheSummary::Build(e, 1, cache, {}));
+  }
+  return table;
+}
+
+TEST(PeerSelectTest, BroadcastReturnsAllReachable) {
+  auto policy = MakePeerSelectPolicy({.kind = PeerSelectKind::kBroadcastAll});
+  const std::vector<std::uint32_t> reachable{1, 2, 5};
+  SummaryTable table(6);
+  EXPECT_EQ(policy->Select(RenderKey(1), reachable, table), reachable);
+}
+
+TEST(PeerSelectTest, SummaryDirectedPicksTheHolder) {
+  auto policy =
+      MakePeerSelectPolicy({.kind = PeerSelectKind::kSummaryDirected});
+  const std::vector<std::uint32_t> reachable{1, 2, 3};
+  const auto table = TableWithKeyAt(4, 2, 77);
+  const auto picked = policy->Select(RenderKey(77), reachable, table);
+  EXPECT_EQ(picked, std::vector<std::uint32_t>{2});
+  // A key nobody advertises selects nobody: the miss goes straight to
+  // the cloud with zero probe traffic.
+  EXPECT_TRUE(policy->Select(RenderKey(1234), reachable, table).empty());
+}
+
+TEST(PeerSelectTest, SummaryDirectedIgnoresPeersWithoutGossip) {
+  auto policy =
+      MakePeerSelectPolicy({.kind = PeerSelectKind::kSummaryDirected});
+  SummaryTable table(3);  // nothing received yet
+  const std::vector<std::uint32_t> reachable{1, 2};
+  EXPECT_TRUE(policy->Select(RenderKey(1), reachable, table).empty());
+}
+
+TEST(PeerSelectTest, RandomKSamplesWithoutReplacement) {
+  auto policy =
+      MakePeerSelectPolicy({.kind = PeerSelectKind::kRandomK, .random_k = 3});
+  const std::vector<std::uint32_t> reachable{1, 2, 3, 4, 5, 6, 7};
+  SummaryTable table(8);
+  for (int round = 0; round < 20; ++round) {
+    const auto picked = policy->Select(RenderKey(1), reachable, table);
+    EXPECT_EQ(picked.size(), 3u);
+    const std::set<std::uint32_t> unique(picked.begin(), picked.end());
+    EXPECT_EQ(unique.size(), 3u);
+    for (const auto p : picked) {
+      EXPECT_TRUE(std::find(reachable.begin(), reachable.end(), p) !=
+                  reachable.end());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FederationPipeline
+// ---------------------------------------------------------------------------
+
+FederationPipelineConfig ClusterConfig(std::uint32_t venues,
+                                       PeerSelectKind policy) {
+  FederationPipelineConfig config;
+  config.venues = venues;
+  config.policy.kind = policy;
+  config.gossip_period = Duration::Millis(50);
+  return config;
+}
+
+TEST(FederationPipelineTest, BroadcastServesPeerHitAcrossFourVenues) {
+  FederationPipeline pipeline(
+      ClusterConfig(4, PeerSelectKind::kBroadcastAll));
+  pipeline.RegisterModel(1, KB(512));
+  pipeline.EnqueueRenderAt(0, 1);
+  pipeline.EnqueueRenderAt(3, 1);
+  const auto outcomes = pipeline.Run();
+  ASSERT_EQ(outcomes.size(), 2u);
+  EXPECT_EQ(outcomes[0].venue, 0u);
+  EXPECT_EQ(outcomes[0].outcome.source, ResultSource::kCloud);
+  EXPECT_EQ(outcomes[1].venue, 3u);
+  EXPECT_EQ(outcomes[1].outcome.source, ResultSource::kPeerEdge);
+  EXPECT_EQ(pipeline.cloud().tasks_executed(), 1u);
+  // Broadcast probed all three peers.
+  EXPECT_EQ(pipeline.edge(3).peer_probes_sent(), 3u);
+}
+
+TEST(FederationPipelineTest, SummaryDirectedProbesOnlyTheHolder) {
+  FederationPipeline pipeline(
+      ClusterConfig(4, PeerSelectKind::kSummaryDirected));
+  pipeline.RegisterModel(1, KB(512));
+  pipeline.EnqueueRenderAt(0, 1);  // warms venue 0, gossip advertises it
+  pipeline.EnqueueRenderAt(3, 1);  // directed probe to venue 0 only
+  const auto outcomes = pipeline.Run();
+  EXPECT_EQ(outcomes[1].outcome.source, ResultSource::kPeerEdge);
+  EXPECT_EQ(pipeline.edge(3).peer_probes_sent(), 1u);
+  EXPECT_GT(pipeline.summary_updates_sent(), 0u);
+}
+
+TEST(FederationPipelineTest, SummaryDirectedSkipsProbesForUnknownContent) {
+  FederationPipeline pipeline(
+      ClusterConfig(4, PeerSelectKind::kSummaryDirected));
+  pipeline.RegisterModel(1, KB(512));
+  pipeline.RegisterModel(2, KB(512));
+  pipeline.EnqueueRenderAt(0, 1);
+  pipeline.EnqueueRenderAt(3, 2);  // nobody advertises model 2
+  const auto outcomes = pipeline.Run();
+  EXPECT_EQ(outcomes[1].outcome.source, ResultSource::kCloud);
+  EXPECT_EQ(pipeline.edge(3).peer_probes_sent(), 0u);
+  EXPECT_EQ(pipeline.cloud().tasks_executed(), 2u);
+}
+
+TEST(FederationPipelineTest, RingTopologyRelaysAcrossHops) {
+  // 4-venue ring: venue 0 and venue 2 are two hops apart; a broadcast
+  // probe from 2 must transit a relay to reach 0's cache.
+  FederationPipelineConfig config =
+      ClusterConfig(4, PeerSelectKind::kBroadcastAll);
+  config.topology = TopologyKind::kRing;
+  FederationPipeline pipeline(config);
+  pipeline.RegisterModel(1, KB(256));
+  pipeline.EnqueueRenderAt(0, 1);
+  pipeline.EnqueueRenderAt(2, 1);
+  const auto outcomes = pipeline.Run();
+  EXPECT_EQ(outcomes[1].outcome.source, ResultSource::kPeerEdge);
+  EXPECT_GT(pipeline.relay_forwards(), 0u);
+}
+
+TEST(FederationPipelineTest, HopLimitShrinksProbeScope) {
+  // Star of 5: venue 1's only 1-hop peer is the hub, so broadcast sends
+  // exactly one probe when hop_limit = 1.
+  FederationPipelineConfig config =
+      ClusterConfig(5, PeerSelectKind::kBroadcastAll);
+  config.topology = TopologyKind::kStar;
+  config.hop_limit = 1;
+  FederationPipeline pipeline(config);
+  pipeline.RegisterModel(1, KB(256));
+  pipeline.EnqueueRenderAt(2, 1);  // warms a sibling leaf (2 hops away)
+  pipeline.EnqueueRenderAt(1, 1);
+  const auto outcomes = pipeline.Run();
+  // The sibling leaf is out of scope: probe goes to the hub only, misses,
+  // and the request falls through to the cloud.
+  EXPECT_EQ(pipeline.edge(1).peer_probes_sent(), 1u);
+  EXPECT_EQ(outcomes[1].outcome.source, ResultSource::kCloud);
+}
+
+TEST(FederationPipelineTest, ProbeBudgetCapsFanout) {
+  FederationPipelineConfig config =
+      ClusterConfig(8, PeerSelectKind::kBroadcastAll);
+  config.probe_budget = 2;
+  FederationPipeline pipeline(config);
+  pipeline.RegisterModel(1, KB(256));
+  pipeline.EnqueueRenderAt(7, 1);  // cold miss: probes capped at 2
+  pipeline.Run();
+  EXPECT_EQ(pipeline.edge(7).peer_probes_sent(), 2u);
+}
+
+TEST(FederationPipelineTest, NonCooperativeClusterNeverProbes) {
+  FederationPipelineConfig config =
+      ClusterConfig(4, PeerSelectKind::kBroadcastAll);
+  config.cooperative = false;
+  FederationPipeline pipeline(config);
+  pipeline.RegisterModel(1, KB(256));
+  pipeline.EnqueueRenderAt(0, 1);
+  pipeline.EnqueueRenderAt(1, 1);
+  const auto outcomes = pipeline.Run();
+  EXPECT_EQ(outcomes[1].outcome.source, ResultSource::kCloud);
+  EXPECT_EQ(pipeline.total_peer_probes(), 0u);
+  EXPECT_EQ(pipeline.summary_updates_sent(), 0u);
+}
+
+TEST(FederationPipelineTest, SingleVenueDegeneratesToPlainEdge) {
+  FederationPipeline pipeline(
+      ClusterConfig(1, PeerSelectKind::kSummaryDirected));
+  pipeline.EnqueueRecognitionAt(0, {.scene_id = 3});
+  pipeline.EnqueueRecognitionAt(0, {.scene_id = 3, .view_angle_deg = 2});
+  const auto outcomes = pipeline.Run();
+  EXPECT_EQ(outcomes[0].outcome.source, ResultSource::kCloud);
+  EXPECT_EQ(outcomes[1].outcome.source, ResultSource::kEdgeCache);
+  EXPECT_EQ(pipeline.total_peer_probes(), 0u);
+}
+
+TEST(FederationPipelineTest, MultipleMobilesPerVenueShareTheEdgeCache) {
+  FederationPipelineConfig config =
+      ClusterConfig(2, PeerSelectKind::kBroadcastAll);
+  config.mobiles_per_venue = 3;
+  FederationPipeline pipeline(config);
+  pipeline.RegisterModel(1, KB(256));
+  pipeline.EnqueueRenderAt(0, 1, /*mobile=*/0);
+  pipeline.EnqueueRenderAt(0, 1, /*mobile=*/2);  // same venue, other mobile
+  const auto outcomes = pipeline.Run();
+  EXPECT_EQ(outcomes[0].outcome.source, ResultSource::kCloud);
+  EXPECT_EQ(outcomes[1].outcome.source, ResultSource::kEdgeCache);
+}
+
+TEST(FederationPipelineTest, RecognitionVectorsTravelViaCentroidSummaries) {
+  FederationPipeline pipeline(
+      ClusterConfig(3, PeerSelectKind::kSummaryDirected));
+  pipeline.EnqueueRecognitionAt(0, {.scene_id = 5});
+  pipeline.EnqueueRecognitionAt(2, {.scene_id = 5, .view_angle_deg = 2});
+  const auto outcomes = pipeline.Run();
+  EXPECT_EQ(outcomes[1].outcome.source, ResultSource::kPeerEdge);
+  EXPECT_TRUE(outcomes[1].outcome.correct);
+  // Directed by the centroid sketch: at most one probe for the hit.
+  EXPECT_EQ(pipeline.edge(2).peer_probes_sent(), 1u);
+}
+
+TEST(FederationPipelineTest, ReplaysClusterTraceWithHandoff) {
+  trace::ClusterWorkloadConfig workload;
+  workload.base.users = 6;
+  workload.base.objects = 10;
+  workload.venues = 3;
+  workload.handoff_probability = 0.2;
+  trace::ClusterWorkloadGenerator gen(workload);
+  const auto placed = gen.GenerateRecognition(30);
+
+  FederationPipeline pipeline(
+      ClusterConfig(3, PeerSelectKind::kBroadcastAll));
+  for (const auto& p : placed) pipeline.EnqueuePlaced(p);
+  const auto outcomes = pipeline.Run();
+  ASSERT_EQ(outcomes.size(), placed.size());
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    EXPECT_EQ(outcomes[i].venue, placed[i].venue);
+    EXPECT_FALSE(outcomes[i].outcome.error);
+  }
+  EXPECT_GT(gen.handoffs(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster workload generator
+// ---------------------------------------------------------------------------
+
+TEST(ClusterWorkloadTest, PlacementIsRoundRobinWithoutHandoff) {
+  trace::ClusterWorkloadConfig config;
+  config.base.users = 8;
+  config.venues = 4;
+  config.handoff_probability = 0.0;
+  trace::ClusterWorkloadGenerator gen(config);
+  const auto placed = gen.GenerateRecognition(50);
+  ASSERT_EQ(placed.size(), 50u);
+  for (const auto& p : placed) {
+    EXPECT_EQ(p.venue, p.record.user_id % 4);
+  }
+  EXPECT_EQ(gen.handoffs(), 0u);
+}
+
+TEST(ClusterWorkloadTest, HandoffMovesUsersBetweenVenues) {
+  trace::ClusterWorkloadConfig config;
+  config.base.users = 4;
+  config.venues = 4;
+  config.handoff_probability = 0.5;
+  trace::ClusterWorkloadGenerator gen(config);
+  const auto placed = gen.GenerateRecognition(100);
+  EXPECT_GT(gen.handoffs(), 10u);
+  for (const auto& p : placed) {
+    EXPECT_LT(p.venue, 4u);
+  }
+  // Venue tags follow the tracked placement at generation time.
+  for (std::uint32_t u = 0; u < 4; ++u) {
+    EXPECT_LT(gen.VenueOf(u), 4u);
+  }
+}
+
+TEST(ClusterWorkloadTest, SingleVenueNeverHandsOff) {
+  trace::ClusterWorkloadConfig config;
+  config.base.users = 4;
+  config.venues = 1;
+  config.handoff_probability = 1.0;
+  trace::ClusterWorkloadGenerator gen(config);
+  const auto placed = gen.GenerateRender(20, std::vector<std::uint64_t>{1, 2});
+  EXPECT_EQ(gen.handoffs(), 0u);
+  for (const auto& p : placed) EXPECT_EQ(p.venue, 0u);
+}
+
+}  // namespace
+}  // namespace coic

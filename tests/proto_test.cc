@@ -204,6 +204,54 @@ TEST(MessagesTest, CacheStatsReplyRoundTrip) {
   EXPECT_EQ(RoundTrip(m, MessageType::kCacheStatsReply), m);
 }
 
+TEST(MessagesTest, SummaryUpdateRoundTrip) {
+  SummaryUpdate m;
+  m.edge_id = 4;
+  m.version = 999;
+  m.bloom_hashes = 4;
+  m.bloom_inserted = 37;
+  m.bloom_bits = DeterministicBytes(1024, 5);
+  m.centroids[0].count = 12;
+  m.centroids[0].centroid = {0.5f, -0.25f, 1.0f};
+  EXPECT_EQ(RoundTrip(m, MessageType::kSummaryUpdate), m);
+}
+
+TEST(MessagesTest, SummaryUpdateRejectsCentroidWithoutEntries) {
+  SummaryUpdate m;
+  m.bloom_hashes = 4;
+  m.bloom_bits = DeterministicBytes(64, 5);
+  m.centroids[1].count = 0;
+  m.centroids[1].centroid = {1.0f};  // inconsistent: vector but no entries
+  const ByteVec frame = EncodeMessage(MessageType::kSummaryUpdate, 1, m);
+  auto env = DecodeEnvelope(frame);
+  ASSERT_TRUE(env.ok());
+  EXPECT_FALSE(
+      DecodePayloadAs<SummaryUpdate>(env.value(), MessageType::kSummaryUpdate)
+          .ok());
+}
+
+TEST(MessagesTest, FederatedRelayRoundTrip) {
+  FederatedRelay m;
+  m.src_edge = 2;
+  m.dest_edge = 6;
+  m.ttl = 3;
+  m.inner = EncodeEnvelope(MessageType::kPing, 42, {});
+  EXPECT_EQ(RoundTrip(m, MessageType::kFederatedRelay), m);
+}
+
+TEST(MessagesTest, FederatedRelayRejectsSelfDestination) {
+  FederatedRelay m;
+  m.src_edge = 2;
+  m.dest_edge = 2;
+  m.inner = DeterministicBytes(32, 1);
+  const ByteVec frame = EncodeMessage(MessageType::kFederatedRelay, 1, m);
+  auto env = DecodeEnvelope(frame);
+  ASSERT_TRUE(env.ok());
+  EXPECT_FALSE(DecodePayloadAs<FederatedRelay>(env.value(),
+                                               MessageType::kFederatedRelay)
+                   .ok());
+}
+
 TEST(MessagesTest, WireSizeMatchesEncodedSize) {
   RecognitionRequest rec;
   rec.descriptor = SampleVectorDescriptor();
@@ -211,6 +259,15 @@ TEST(MessagesTest, WireSizeMatchesEncodedSize) {
   ByteWriter w1;
   rec.Encode(w1);
   EXPECT_EQ(rec.WireSize(), w1.size());
+
+  SummaryUpdate su;
+  su.bloom_hashes = 4;
+  su.bloom_bits = DeterministicBytes(256, 4);
+  su.centroids[2].count = 2;
+  su.centroids[2].centroid = {0.1f, 0.2f};
+  ByteWriter w4;
+  su.Encode(w4);
+  EXPECT_EQ(su.WireSize(), w4.size());
 
   RenderResult rr;
   rr.model_bytes = DeterministicBytes(555, 2);
