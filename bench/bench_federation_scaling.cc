@@ -30,6 +30,7 @@ struct FederationResult {
   std::uint64_t peer_probes = 0;
   std::uint64_t summary_updates = 0;
   std::uint64_t cloud_tasks = 0;
+  std::uint64_t sim_events = 0;
 };
 
 FederationResult MeasureCluster(std::uint32_t venues, PeerSelectKind policy,
@@ -70,6 +71,7 @@ FederationResult MeasureCluster(std::uint32_t venues, PeerSelectKind policy,
   result.peer_probes = pipeline.total_peer_probes();
   result.summary_updates = pipeline.summary_updates_sent();
   result.cloud_tasks = pipeline.cloud().tasks_executed();
+  result.sim_events = pipeline.scheduler().total_fired();
   return result;
 }
 
@@ -109,7 +111,8 @@ void PrintFederationTable() {
           .Set("peer_hits", r.peer_hits)
           .Set("peer_probes", r.peer_probes)
           .Set("summary_updates", r.summary_updates)
-          .Set("cloud_tasks", r.cloud_tasks);
+          .Set("cloud_tasks", r.cloud_tasks)
+          .SetEvents(r.sim_events);
     }
   }
   std::printf(

@@ -184,6 +184,28 @@ void BM_SchedulerThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SchedulerThroughput);
 
+// Schedule + cancel + drain: the free-running gossip-timer pattern
+// (every re-armed timer is eventually cancelled at workload drain).
+// Exercises the lazy-deletion path — cancelled events ride the heap to
+// the top and are discarded there, with no per-event hash-set work.
+void BM_SchedulerScheduleCancel(benchmark::State& state) {
+  for (auto _ : state) {
+    netsim::EventScheduler sched;
+    std::vector<netsim::EventId> ids;
+    ids.reserve(10'000);
+    std::uint64_t fired = 0;
+    for (int i = 0; i < 10'000; ++i) {
+      ids.push_back(sched.ScheduleAt(SimTime::FromMicros(i * 7 % 5000),
+                                     [&fired] { ++fired; }));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) sched.Cancel(ids[i]);
+    sched.Run();
+    benchmark::DoNotOptimize(fired);
+  }
+  state.SetItemsProcessed(state.iterations() * 10'000);
+}
+BENCHMARK(BM_SchedulerScheduleCancel);
+
 void BM_LinkMessageThroughput(benchmark::State& state) {
   for (auto _ : state) {
     netsim::EventScheduler sched;
@@ -234,6 +256,27 @@ void EmitMicroJson() {
     json.AddRow()
         .Set("path", "scheduler_events")
         .Set("events_per_sec", fired / secs);
+  }
+  {
+    // Schedule/cancel/drain: tracks the lazy-deletion Cancel cost across
+    // PRs (the closed-loop seed paid two hash-set ops per event here).
+    netsim::EventScheduler sched;
+    std::uint64_t fired = 0;
+    constexpr int kEvents = 100'000;
+    std::vector<netsim::EventId> ids;
+    ids.reserve(kEvents);
+    const auto start = Clock::now();
+    for (int i = 0; i < kEvents; ++i) {
+      ids.push_back(
+          sched.ScheduleAt(SimTime::FromMicros(i * 7 % 5000), [&fired] { ++fired; }));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) sched.Cancel(ids[i]);
+    sched.Run();
+    const double secs = std::chrono::duration<double>(Clock::now() - start).count();
+    json.AddRow()
+        .Set("path", "scheduler_schedule_cancel")
+        .Set("events_per_sec", kEvents / secs)
+        .Set("fired", fired);
   }
 }
 

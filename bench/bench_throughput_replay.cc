@@ -1,0 +1,239 @@
+// Open-loop throughput replay — the venue-scale request-storm regime.
+//
+// The paper's figures are a latency study: one request in flight
+// cluster-wide (the closed loop). This bench drives the same 8-venue
+// federation with open-loop arrivals — every trace record issued at its
+// Poisson arrival time regardless of completions — and sweeps the
+// offered load. Per level it reports the simulated service quality
+// (p50/p99 latency, achieved throughput, hit rate, probe traffic,
+// observed concurrency) and the simulator's own wall-clock speed
+// (events/sec), which is what caps how large a cluster we can replay.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/log.h"
+#include "core/metrics.h"
+#include "federation/federation_pipeline.h"
+#include "trace/workload.h"
+
+namespace coic::bench {
+namespace {
+
+using federation::FederationPipeline;
+using federation::FederationPipelineConfig;
+
+constexpr std::uint32_t kVenues = 8;
+constexpr std::uint32_t kMobilesPerVenue = 4;
+constexpr std::uint64_t kVideoId = 7;
+constexpr std::uint32_t kObjects = 12;
+
+FederationPipelineConfig ReplayConfig() {
+  FederationPipelineConfig config;
+  config.venues = kVenues;
+  config.mobiles_per_venue = kMobilesPerVenue;
+  config.topology = federation::TopologyKind::kFullMesh;
+  config.policy.kind = federation::PeerSelectKind::kSummaryDirected;
+  config.gossip_period = Duration::Millis(100);
+  // Provisioned metro-edge links (vs the paper's throttled latency-study
+  // testbed): throughput mode is about queueing at the services and peer
+  // fabric, not about a 10 Mbps WAN saturating on the first storm.
+  config.network =
+      core::NetworkCondition{Bandwidth::Gbps(1), Bandwidth::Mbps(200)};
+  return config;
+}
+
+std::vector<trace::PlacedRecord> MakeTrace(std::size_t n) {
+  trace::ClusterWorkloadConfig wl;
+  wl.venues = kVenues;
+  wl.base.users = kVenues * kMobilesPerVenue;
+  wl.base.objects = kObjects;
+  // Throughput regime: a 32x32 extraction raster cuts ~9x the dominant
+  // per-request wall cost (scene rendering) while preserving descriptor
+  // locality; both regimes below share the trace, so rows stay comparable.
+  wl.base.scene_raster = 32;
+  trace::ClusterWorkloadGenerator gen(wl);
+  std::vector<std::uint64_t> model_ids;
+  for (std::uint64_t m = 1; m <= kObjects; ++m) model_ids.push_back(m);
+  return gen.GenerateMixed(n, model_ids, kVideoId);
+}
+
+void RegisterModels(FederationPipeline& pipeline) {
+  for (std::uint64_t m = 1; m <= kObjects; ++m) {
+    pipeline.RegisterModel(m, KB(256) + m * KB(8));
+  }
+}
+
+struct ReplayResult {
+  double offered_hz = 0;
+  double achieved_hz = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double hit_rate = 0;
+  std::uint64_t peer_probes = 0;
+  std::uint64_t gossip_rounds = 0;
+  std::uint32_t max_inflight = 0;
+  std::uint64_t events_fired = 0;
+  double wall_secs = 0;
+  std::uint64_t operations = 0;
+};
+
+ReplayResult MeasureOpenLoop(double offered_hz,
+                             const std::vector<trace::PlacedRecord>& base) {
+  FederationPipeline pipeline(ReplayConfig());
+  RegisterModels(pipeline);
+
+  std::vector<trace::PlacedRecord> placed = base;
+  trace::RetimeArrivals(std::span<trace::PlacedRecord>(placed), offered_hz);
+  for (const auto& p : placed) pipeline.EnqueuePlaced(p);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto outcomes = pipeline.RunOpenLoop();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  core::QoeAggregator agg;
+  for (const auto& o : outcomes) agg.Add(o.outcome);
+  const auto& stats = pipeline.open_loop_stats();
+
+  ReplayResult r;
+  r.offered_hz = offered_hz;
+  const double span =
+      (stats.last_completion - stats.first_arrival).seconds();
+  r.achieved_hz = span > 0 ? static_cast<double>(outcomes.size()) / span : 0;
+  r.p50_ms = agg.PercentileLatencyMs(50);
+  r.p99_ms = agg.PercentileLatencyMs(99);
+  r.hit_rate = agg.HitRate();
+  r.peer_probes = pipeline.total_peer_probes();
+  r.gossip_rounds = stats.gossip_rounds;
+  r.max_inflight = stats.max_inflight;
+  r.events_fired = stats.events_fired;
+  r.wall_secs = wall;
+  r.operations = outcomes.size();
+  return r;
+}
+
+/// Closed-loop reference on the identical trace: the N=1-in-flight
+/// special case the paper's figures use; its hit rate anchors the
+/// open-loop rows (same content, so comparable cache behavior).
+ReplayResult MeasureClosedLoop(const std::vector<trace::PlacedRecord>& base) {
+  FederationPipeline pipeline(ReplayConfig());
+  RegisterModels(pipeline);
+  for (const auto& p : base) pipeline.EnqueuePlaced(p);
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t fired_before = pipeline.scheduler().total_fired();
+  const auto outcomes = pipeline.Run();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  core::QoeAggregator agg;
+  for (const auto& o : outcomes) agg.Add(o.outcome);
+
+  ReplayResult r;
+  r.p50_ms = agg.PercentileLatencyMs(50);
+  r.p99_ms = agg.PercentileLatencyMs(99);
+  r.hit_rate = agg.HitRate();
+  r.peer_probes = pipeline.total_peer_probes();
+  r.max_inflight = 1;
+  r.events_fired = pipeline.scheduler().total_fired() - fired_before;
+  r.wall_secs = wall;
+  r.operations = outcomes.size();
+  return r;
+}
+
+void PrintRow(BenchJson& json, const char* regime, std::size_t ops,
+              const ReplayResult& r) {
+  std::printf(
+      "%-12s %8zu %9.0f %9.0f %8.1f %8.1f %7.1f%% %8llu %8u %10.0f\n", regime,
+      ops, r.offered_hz, r.achieved_hz, r.p50_ms, r.p99_ms, r.hit_rate * 100,
+      static_cast<unsigned long long>(r.peer_probes), r.max_inflight,
+      r.wall_secs > 0 ? static_cast<double>(r.events_fired) / r.wall_secs : 0);
+  json.AddRow()
+      .Set("regime", regime)
+      .Set("operations", static_cast<std::uint64_t>(ops))
+      .Set("offered_hz", r.offered_hz)
+      .Set("achieved_hz", r.achieved_hz)
+      .Set("p50_ms", r.p50_ms)
+      .Set("p99_ms", r.p99_ms)
+      .Set("hit_rate", r.hit_rate)
+      .Set("peer_probes", r.peer_probes)
+      .Set("gossip_rounds", r.gossip_rounds)
+      .Set("max_inflight", static_cast<std::uint64_t>(r.max_inflight))
+      .Set("sim_events", r.events_fired)
+      // Match the printed column: events over the tightly measured run
+      // wall time, not the row-to-row wall time (which includes trace
+      // generation and aggregation).
+      .Set("events_per_sec",
+           r.wall_secs > 0
+               ? static_cast<double>(r.events_fired) / r.wall_secs
+               : 0.0);
+}
+
+void PrintReplayTable(bool quick) {
+  PrintHeader(
+      "Open-loop throughput replay: 8-venue full mesh, mixed AR trace\n"
+      "arrivals at offered load (Poisson), summary gossip every 100 ms on\n"
+      "free-running per-edge timers; closed-loop row = same trace, 1 in "
+      "flight");
+  std::printf("%-12s %8s %9s %9s %8s %8s %8s %8s %8s %10s\n", "regime", "ops",
+              "offered", "achieved", "p50 ms", "p99 ms", "hit", "probes",
+              "inflight", "events/s");
+  BenchJson json("throughput_replay");
+
+  const std::size_t ops = quick ? 1500 : 20'000;
+  const auto base = MakeTrace(ops);
+  PrintRow(json, "closed-loop", ops, MeasureClosedLoop(base));
+  const std::vector<double> loads =
+      quick ? std::vector<double>{250, 1000}
+            : std::vector<double>{100, 500, 1000, 2000};
+  for (const double hz : loads) {
+    PrintRow(json, "open-loop", ops, MeasureOpenLoop(hz, base));
+  }
+  if (!quick) {
+    // The scaling claim: a 100k-operation storm replays in seconds.
+    const std::size_t big = 100'000;
+    const auto big_trace = MakeTrace(big);
+    PrintRow(json, "open-loop", big, MeasureOpenLoop(1000, big_trace));
+  }
+  std::printf(
+      "\nopen-loop hit rates should track the closed-loop row (same trace);\n"
+      "p99 inflates with offered load as probe/link queueing appears —\n"
+      "exactly the contention the sequential regime hides.\n");
+}
+
+void BM_OpenLoopReplay(benchmark::State& state) {
+  const auto base = MakeTrace(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto r = MeasureOpenLoop(1000, base);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_OpenLoopReplay)->Arg(1000);
+
+}  // namespace
+}  // namespace coic::bench
+
+int main(int argc, char** argv) {
+  coic::SetLogLevel(coic::LogLevel::kError);
+  const bool quick = coic::bench::QuickMode(argc, argv);
+  coic::bench::PrintReplayTable(quick);
+  if (quick) {
+    char name[] = "bench_throughput_replay";
+    char min_time[] = "--benchmark_min_time=0.001";
+    char* quick_argv[] = {name, min_time, nullptr};
+    int quick_argc = 2;
+    benchmark::Initialize(&quick_argc, quick_argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -5,6 +5,7 @@
 // of the same code paths (engine throughput).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -45,6 +46,12 @@ inline void PrintHeader(const std::string& title) {
 ///   json.AddRow().Set("condition", "90/9").Set("origin_ms", 2381.5);
 ///   ...
 ///   json.Write();  // also invoked by the destructor as a backstop
+///
+/// Every row automatically carries a `wall_ms` column — the wall-clock
+/// time elapsed since the previous AddRow (i.e. the cost of producing
+/// that row) — so the simulator's own speed is tracked across PRs for
+/// every bench, not just the throughput ones. Rows that ran a simulation
+/// can add `events_per_sec` via SetEvents(scheduler.total_fired() delta).
 class BenchJson {
  public:
   class Row {
@@ -69,6 +76,13 @@ class BenchJson {
     Row& Set(std::string_view key, const char* value) {
       return Set(key, std::string_view(value));
     }
+    /// Scheduler events fired while producing this row; emitted as
+    /// `events_per_sec` against the row's wall time.
+    Row& SetEvents(std::uint64_t fired) {
+      return Set("events_per_sec",
+                 elapsed_secs_ > 0 ? static_cast<double>(fired) / elapsed_secs_
+                                   : 0.0);
+    }
 
    private:
     friend class BenchJson;
@@ -90,16 +104,25 @@ class BenchJson {
       return out;
     }
     std::vector<std::pair<std::string, std::string>> fields_;
+    double elapsed_secs_ = 0;
   };
 
-  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  explicit BenchJson(std::string name)
+      : name_(std::move(name)), last_row_at_(std::chrono::steady_clock::now()) {}
   BenchJson(const BenchJson&) = delete;
   BenchJson& operator=(const BenchJson&) = delete;
   ~BenchJson() { Write(); }
 
   Row& AddRow() {
+    const auto now = std::chrono::steady_clock::now();
+    const double elapsed =
+        std::chrono::duration<double>(now - last_row_at_).count();
+    last_row_at_ = now;
     rows_.emplace_back();
-    return rows_.back();
+    Row& row = rows_.back();
+    row.elapsed_secs_ = elapsed;
+    row.Set("wall_ms", elapsed * 1e3);
+    return row;
   }
 
   /// Writes BENCH_<name>.json; idempotent (later calls rewrite the file
@@ -128,6 +151,7 @@ class BenchJson {
  private:
   std::string name_;
   std::vector<Row> rows_;
+  std::chrono::steady_clock::time_point last_row_at_;
 };
 
 /// Measures CoIC recognition at one network condition: returns

@@ -132,6 +132,7 @@ EntryId IcCache::Insert(const FeatureDescriptor& key, ByteVec payload,
   entries_.emplace(id, std::move(e));
   policy_->OnInsert(id);
   ++stats_.insertions;
+  ++mutation_count_;
 
   EvictUntilFits(id);
   return id;
@@ -141,6 +142,7 @@ void IcCache::RemoveEntry(EntryId id, bool count_as_eviction,
                           bool count_as_expiration) {
   const auto it = entries_.find(id);
   COIC_CHECK_MSG(it != entries_.end(), "removing unknown entry");
+  ++mutation_count_;
   const Entry& e = it->second;
   if (e.key.kind() == DescriptorKind::kContentHash) {
     exact_.erase(e.key.IndexKey());

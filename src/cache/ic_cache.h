@@ -108,6 +108,15 @@ class IcCache {
   [[nodiscard]] const IcCacheConfig& config() const noexcept { return config_; }
   [[nodiscard]] const IcCacheStats& stats() const noexcept { return stats_; }
 
+  /// Monotonic content-change counter: bumped on every insert and every
+  /// removal regardless of cause (eviction, expiration, Erase, Clear).
+  /// Change-detection consumers (e.g. federation's gossip memo, which
+  /// rebuilds a cache summary only when this moved) compare it instead
+  /// of inferring mutations from the stats counter subset.
+  [[nodiscard]] std::uint64_t mutation_count() const noexcept {
+    return mutation_count_;
+  }
+
   /// Fixed per-entry bookkeeping charge added to payload+descriptor size.
   static constexpr Bytes kEntryOverhead = 64;
 
@@ -144,6 +153,7 @@ class IcCache {
 
   IcCacheConfig config_;
   IcCacheStats stats_;
+  std::uint64_t mutation_count_ = 0;
   Bytes bytes_used_ = 0;
   std::unique_ptr<EvictionPolicy> policy_;
   std::unique_ptr<TinyLfuAdmission> admission_;

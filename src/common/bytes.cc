@@ -56,10 +56,15 @@ Status ByteReader::ReadF32Vector(std::vector<float>& out) {
     return Status(StatusCode::kDataLoss, "f32 vector exceeds buffer");
   }
   out.resize(count);
-  for (auto& f : out) {
-    // Cannot fail: size checked above.
-    (void)ReadF32(f);
+  // Packed little-endian f32s on a little-endian host: one memcpy
+  // replaces count bounds-checked element reads (identical bit
+  // patterns). Guarded: memcpy with a null destination (empty vector)
+  // is UB even at length 0.
+  if (count != 0) {
+    std::memcpy(out.data(), data_.data() + pos_,
+                static_cast<std::size_t>(count) * 4);
   }
+  pos_ += static_cast<std::size_t>(count) * 4;
   return Status::Ok();
 }
 

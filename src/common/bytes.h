@@ -66,6 +66,14 @@ class ByteWriter {
     for (const float f : v) WriteF32(f);
   }
 
+  /// Overwrites 4 already-written bytes at `offset` (little-endian).
+  /// Lets encoders emit a length placeholder and fix it up afterwards,
+  /// avoiding a separate payload buffer + copy on the envelope hot path.
+  void PatchU32(std::size_t offset, std::uint32_t v) {
+    COIC_CHECK(offset + 4 <= buf_.size());
+    std::memcpy(buf_.data() + offset, &v, 4);
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
   [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept { return buf_; }
 
@@ -126,6 +134,12 @@ class ByteReader {
 
   /// Reads a u32-count-prefixed packed f32 vector.
   Status ReadF32Vector(std::vector<float>& out);
+
+  /// Reads exactly `n` raw little-endian bytes into caller storage with
+  /// one bounds check — the bulk path for packed scalar arrays (mesh
+  /// vertices, descriptor vectors) that per-element Read* calls make the
+  /// decode hot spot.
+  Status ReadRaw(void* out, std::size_t n) noexcept { return ReadLE(out, n); }
 
   /// Skips n bytes.
   Status Skip(std::size_t n) noexcept;

@@ -1,5 +1,6 @@
 #include "core/client.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/log.h"
@@ -17,6 +18,12 @@ CoicClient::CoicClient(Config config, SendToEdgeFn send, DelayFn delay,
     : config_(config), send_(std::move(send)), delay_(std::move(delay)),
       now_(std::move(now)), extractor_(config.extractor),
       next_request_id_(config.first_request_id) {}
+
+void CoicClient::TrackPending(std::uint64_t request_id,
+                              PendingRequest pending) {
+  pending_.emplace(request_id, std::move(pending));
+  peak_inflight_ = std::max(peak_inflight_, pending_.size());
+}
 
 Digest128 CoicClient::PanoramaIdentityDigest(std::uint64_t video_id,
                                              std::uint32_t frame_index) {
@@ -53,7 +60,7 @@ void CoicClient::StartRecognition(const vision::SceneParams& scene,
     // content hash marks "no feature extraction happened".
     req.descriptor = proto::FeatureDescriptor::ForHash(TaskKind::kRecognition,
                                                        image.ContentHash());
-    pending_.emplace(request_id, std::move(pending));
+    TrackPending(request_id, std::move(pending));
     send_(proto::EncodeMessage(MessageType::kRecognitionRequest, request_id,
                                req));
     return;
@@ -62,7 +69,7 @@ void CoicClient::StartRecognition(const vision::SceneParams& scene,
   // CoIC: pay the on-device extraction, then ship only the descriptor.
   const Duration extraction = config_.costs.recognition.mobile_extraction;
   pending.client_compute += extraction;
-  pending_.emplace(request_id, std::move(pending));
+  TrackPending(request_id, std::move(pending));
   req.descriptor = proto::FeatureDescriptor::ForVector(
       TaskKind::kRecognition, extractor_.Extract(image));
   delay_(extraction, [this, request_id, req = std::move(req)] {
@@ -89,7 +96,7 @@ void CoicClient::StartRender(std::uint64_t model_id, const Digest128& digest,
 
   const Duration prep = config_.costs.render.client_request_prep;
   pending.client_compute += prep;
-  pending_.emplace(request_id, std::move(pending));
+  TrackPending(request_id, std::move(pending));
   delay_(prep, [this, request_id, req = std::move(req)] {
     send_(proto::EncodeMessage(MessageType::kRenderRequest, request_id, req));
   });
@@ -105,7 +112,7 @@ void CoicClient::StartPanorama(std::uint64_t video_id,
   pending.started_at = now_();
   pending.object_id = video_id;
   pending.done = std::move(done);
-  pending_.emplace(request_id, std::move(pending));
+  TrackPending(request_id, std::move(pending));
 
   proto::PanoramaRequest req;
   req.user_id = config_.user_id;
@@ -162,7 +169,7 @@ void CoicClient::OnEdgeFrame(ByteVec frame) {
       auto result = proto::DecodePayloadAs<proto::RecognitionResult>(
           env, MessageType::kRecognitionResult);
       if (!result.ok()) {
-        pending_.emplace(env.request_id, std::move(pending));
+        TrackPending(env.request_id, std::move(pending));
         FinishWithError(env.request_id);
         return;
       }
@@ -180,14 +187,22 @@ void CoicClient::OnEdgeFrame(ByteVec frame) {
       auto result = proto::DecodePayloadAs<proto::RenderResult>(
           env, MessageType::kRenderResult);
       if (!result.ok()) {
-        pending_.emplace(env.request_id, std::move(pending));
+        TrackPending(env.request_id, std::move(pending));
         FinishWithError(env.request_id);
         return;
       }
       const Bytes size = result.value().model_bytes.size();
-      // Ingest is real: parse + buffer build, with calibrated wall time.
-      auto loaded = render::LoadModel(result.value().model_bytes);
-      const bool parse_ok = loaded.ok();
+      // Ingest is real: parse + buffer build, with calibrated wall time —
+      // once per distinct asset; repeats hit the device's install memo.
+      const std::uint64_t model_id = result.value().model_id;
+      bool parse_ok;
+      const auto memo = ingest_memo_.find(model_id);
+      if (memo != ingest_memo_.end() && memo->second.first == size) {
+        parse_ok = memo->second.second;
+      } else {
+        parse_ok = render::LoadModel(result.value().model_bytes).ok();
+        ingest_memo_[model_id] = {size, parse_ok};
+      }
       const Duration install = config_.costs.ClientModelInstall(size);
       outcome.source = result.value().source;
       outcome.result_bytes = size;
@@ -206,7 +221,7 @@ void CoicClient::OnEdgeFrame(ByteVec frame) {
       auto result = proto::DecodePayloadAs<proto::PanoramaResult>(
           env, MessageType::kPanoramaResult);
       if (!result.ok()) {
-        pending_.emplace(env.request_id, std::move(pending));
+        TrackPending(env.request_id, std::move(pending));
         FinishWithError(env.request_id);
         return;
       }

@@ -86,6 +86,11 @@ class CoicClient {
                                           std::uint32_t frame_index);
 
   [[nodiscard]] std::size_t inflight() const noexcept { return pending_.size(); }
+  /// High-water mark of concurrently outstanding requests. The closed
+  /// loop issues one at a time (peak 1); open-loop replay drives many.
+  [[nodiscard]] std::size_t peak_inflight() const noexcept {
+    return peak_inflight_;
+  }
   [[nodiscard]] const vision::FeatureExtractor& extractor() const noexcept {
     return extractor_;
   }
@@ -101,6 +106,7 @@ class CoicClient {
   };
 
   std::uint64_t NextRequestId() noexcept { return next_request_id_++; }
+  void TrackPending(std::uint64_t request_id, PendingRequest pending);
   void FinishWithError(std::uint64_t request_id);
 
   Config config_;
@@ -110,6 +116,13 @@ class CoicClient {
   vision::FeatureExtractor extractor_;
   std::uint64_t next_request_id_;
   std::unordered_map<std::uint64_t, PendingRequest> pending_;
+  std::size_t peak_inflight_ = 0;
+  /// Models already parsed on this device, keyed by id -> (byte size,
+  /// parse ok). A real client keeps installed assets, so re-receiving
+  /// the same model skips the wall-clock re-parse; the modeled install
+  /// latency is still charged per request, so QoE outcomes are
+  /// unchanged.
+  std::unordered_map<std::uint64_t, std::pair<Bytes, bool>> ingest_memo_;
 };
 
 }  // namespace coic::core

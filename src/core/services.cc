@@ -1,5 +1,6 @@
 #include "core/services.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "common/log.h"
@@ -117,15 +118,24 @@ void CloudService::HandleRecognition(const Envelope& env) {
   result.label = recognized.label;
   result.confidence = recognized.confidence;
   result.source = ResultSource::kCloud;
-  result.annotation = vision::RecognitionModel::MakeAnnotation(
-      recognized.label, config_.costs.recognition.annotation_bytes);
+  result.annotation = AnnotationFor(recognized.label);
 
-  ByteWriter w;
+  ByteWriter w(result.WireSize());
   result.Encode(w);
   delay_(compute, [this, request_id = env.request_id,
                    payload = w.TakeBytes()] {
     Reply(MessageType::kRecognitionResult, request_id, payload);
   });
+}
+
+const ByteVec& CloudService::AnnotationFor(const std::string& label) {
+  BoundMemo(annotation_memo_, 256);
+  const auto it = annotation_memo_.find(label);
+  if (it != annotation_memo_.end()) return it->second;
+  return annotation_memo_
+      .emplace(label, vision::RecognitionModel::MakeAnnotation(
+                          label, config_.costs.recognition.annotation_bytes))
+      .first->second;
 }
 
 void CloudService::HandleRender(const Envelope& env) {
@@ -144,20 +154,31 @@ void CloudService::HandleRender(const Envelope& env) {
                "no model with requested digest");
     return;
   }
-  const auto bytes = models_.BytesFor(*model_id);
-  COIC_CHECK(bytes.ok());
 
-  proto::RenderResult result;
-  result.model_id = *model_id;
-  result.source = ResultSource::kCloud;
-  result.model_bytes.assign(bytes.value().begin(), bytes.value().end());
+  BoundMemo(render_payload_memo_, 256);
+  auto memo = render_payload_memo_.find(*model_id);
+  if (memo == render_payload_memo_.end()) {
+    const auto bytes = models_.BytesFor(*model_id);
+    COIC_CHECK(bytes.ok());
+    proto::RenderResult result;
+    result.model_id = *model_id;
+    result.source = ResultSource::kCloud;
+    result.model_bytes.assign(bytes.value().begin(), bytes.value().end());
+    ByteWriter w(result.WireSize());
+    result.Encode(w);
+    memo = render_payload_memo_
+               .emplace(*model_id,
+                        std::make_pair(result.model_bytes.size(),
+                                       std::make_shared<const ByteVec>(
+                                           w.TakeBytes())))
+               .first;
+  }
 
-  ByteWriter w;
-  result.Encode(w);
-  const Duration load = config_.costs.CloudModelLoad(result.model_bytes.size());
-  delay_(load, [this, request_id = env.request_id, payload = w.TakeBytes()] {
-    Reply(MessageType::kRenderResult, request_id, payload);
-  });
+  const Duration load = config_.costs.CloudModelLoad(memo->second.first);
+  delay_(load,
+         [this, request_id = env.request_id, payload = memo->second.second] {
+           Reply(MessageType::kRenderResult, request_id, *payload);
+         });
 }
 
 void CloudService::HandlePanorama(const Envelope& env) {
@@ -170,30 +191,39 @@ void CloudService::HandlePanorama(const Envelope& env) {
   const auto& request = req.value();
   ++tasks_executed_;
 
-  const render::Panorama pano =
-      render::Panorama::Generate(request.video_id, request.frame_index);
-  proto::PanoramaResult result;
-  result.video_id = request.video_id;
-  result.frame_index = request.frame_index;
-  result.source = ResultSource::kCloud;
-  result.width = pano.width();
-  result.height = pano.height();
-  result.frame = pano.Encode();
-  // Pad the encoded raster to the production 4K wire size so transfer
-  // costs match the paper's regime.
-  const Bytes target = config_.costs.panorama.frame_bytes;
-  if (result.frame.size() < target) {
-    const ByteVec pad = DeterministicBytes(
-        target - result.frame.size(),
-        request.video_id * 31 + request.frame_index);
-    result.frame.insert(result.frame.end(), pad.begin(), pad.end());
+  BoundMemo(panorama_payload_memo_, 32);
+  auto memo =
+      panorama_payload_memo_.find({request.video_id, request.frame_index});
+  if (memo == panorama_payload_memo_.end()) {
+    const render::Panorama pano =
+        render::Panorama::Generate(request.video_id, request.frame_index);
+    proto::PanoramaResult result;
+    result.video_id = request.video_id;
+    result.frame_index = request.frame_index;
+    result.source = ResultSource::kCloud;
+    result.width = pano.width();
+    result.height = pano.height();
+    result.frame = pano.Encode();
+    // Pad the encoded raster to the production 4K wire size so transfer
+    // costs match the paper's regime.
+    const Bytes target = config_.costs.panorama.frame_bytes;
+    if (result.frame.size() < target) {
+      const ByteVec pad = DeterministicBytes(
+          target - result.frame.size(),
+          request.video_id * 31 + request.frame_index);
+      result.frame.insert(result.frame.end(), pad.begin(), pad.end());
+    }
+    ByteWriter w(result.WireSize());
+    result.Encode(w);
+    memo = panorama_payload_memo_
+               .emplace(std::make_pair(request.video_id, request.frame_index),
+                        std::make_shared<const ByteVec>(w.TakeBytes()))
+               .first;
   }
 
-  ByteWriter w;
-  result.Encode(w);
   delay_(config_.costs.panorama.cloud_render,
-         [this, request_id = env.request_id, payload = w.TakeBytes()] {
-           Reply(MessageType::kPanoramaResult, request_id, payload);
+         [this, request_id = env.request_id, payload = memo->second] {
+           Reply(MessageType::kPanoramaResult, request_id, *payload);
          });
 }
 
@@ -209,6 +239,7 @@ void EdgeService::Park(std::uint64_t request_id, PendingForward pending) {
   COIC_CHECK_MSG(pending_.count(request_id) == 0,
                  "duplicate in-flight request id at edge");
   pending_.emplace(request_id, std::move(pending));
+  peak_pending_ = std::max(peak_pending_, pending_.size());
 }
 
 void EdgeService::ForwardToCloud(const Envelope& env, PendingForward pending) {
@@ -218,40 +249,20 @@ void EdgeService::ForwardToCloud(const Envelope& env, PendingForward pending) {
         proto::EncodeEnvelope(env.type, env.request_id, env.payload));
 }
 
-ByteVec EdgeService::PatchResultSource(proto::MessageType type,
-                                       std::span<const std::uint8_t> payload,
-                                       ResultSource source) {
-  ByteReader r(payload);
-  ByteWriter w;
-  switch (type) {
-    case MessageType::kRecognitionResult: {
-      auto cached = proto::RecognitionResult::Decode(r);
-      COIC_CHECK_MSG(cached.ok(), "corrupt cached recognition result");
-      auto result = std::move(cached).value();
-      result.source = source;
-      result.Encode(w);
-      break;
-    }
-    case MessageType::kRenderResult: {
-      auto cached = proto::RenderResult::Decode(r);
-      COIC_CHECK_MSG(cached.ok(), "corrupt cached render result");
-      auto result = std::move(cached).value();
-      result.source = source;
-      result.Encode(w);
-      break;
-    }
-    case MessageType::kPanoramaResult: {
-      auto cached = proto::PanoramaResult::Decode(r);
-      COIC_CHECK_MSG(cached.ok(), "corrupt cached panorama result");
-      auto result = std::move(cached).value();
-      result.source = source;
-      result.Encode(w);
-      break;
-    }
-    default:
-      COIC_CHECK_MSG(false, "unsupported cached reply type");
-  }
-  return w.TakeBytes();
+ByteVec EdgeService::EncodePatchedResult(proto::MessageType type,
+                                         std::uint64_t request_id,
+                                         std::span<const std::uint8_t> payload,
+                                         ResultSource source) {
+  // Single copy: the payload lands in the envelope buffer once and the
+  // source byte is patched there — no decode, no re-encode of the
+  // (possibly multi-MB) result body on the cache-hit fast path.
+  ByteVec frame = proto::EncodeEnvelope(type, request_id, payload);
+  const bool ok = proto::PatchResultSourceInPlace(
+      type,
+      std::span<std::uint8_t>(frame).subspan(proto::kEnvelopeHeaderSize),
+      source);
+  COIC_CHECK_MSG(ok, "corrupt cached result payload");
+  return frame;
 }
 
 bool EdgeService::TryServeFromCache(const proto::FeatureDescriptor& key,
@@ -262,10 +273,8 @@ bool EdgeService::TryServeFromCache(const proto::FeatureDescriptor& key,
   // Patch the cached result so the client sees the true source (edge,
   // not cloud).
   send_(Peer::kClient,
-        proto::EncodeEnvelope(
-            reply_type, request_id,
-            PatchResultSource(reply_type, *outcome.payload,
-                              ResultSource::kEdgeCache)));
+        EncodePatchedResult(reply_type, request_id, *outcome.payload,
+                            ResultSource::kEdgeCache));
   return true;
 }
 
@@ -379,10 +388,9 @@ void EdgeService::HandlePeerLookupReply(const proto::Envelope& env) {
             result = std::move(result)] {
              cache_.Insert(key, result.payload, now_());
              send_(Peer::kClient,
-                   proto::EncodeEnvelope(
-                       result.reply_type, request_id,
-                       PatchResultSource(result.reply_type, result.payload,
-                                         ResultSource::kPeerEdge)));
+                   EncodePatchedResult(result.reply_type, request_id,
+                                       result.payload,
+                                       ResultSource::kPeerEdge));
            });
     pending.insert_key.reset();
     if (pending.probes_outstanding == 0) pending_.erase(it);

@@ -10,9 +10,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cache/ic_cache.h"
@@ -86,6 +88,19 @@ class CloudService {
   void ReplyError(std::uint64_t request_id, StatusCode code,
                   const std::string& message);
 
+  /// Deterministic-output memos. Annotations, encoded render payloads
+  /// and encoded panorama payloads depend only on (label / model id /
+  /// video+frame), so regenerating the multi-hundred-KB body per task is
+  /// pure waste under open-loop request storms. Values are byte-identical
+  /// to a fresh generation; the caches only trade memory for wall time,
+  /// and are bounded by clearing when they outgrow `cap` (re-filled on
+  /// demand, still deterministic).
+  const ByteVec& AnnotationFor(const std::string& label);
+  template <typename Map>
+  static void BoundMemo(Map& memo, std::size_t cap) {
+    if (memo.size() > cap) memo.clear();
+  }
+
   Config config_;
   SendFn send_;
   DelayFn delay_;
@@ -93,6 +108,16 @@ class CloudService {
   std::unique_ptr<vision::RecognitionModel> recognition_;
   render::ModelRegistry models_;
   std::uint64_t tasks_executed_ = 0;
+  std::unordered_map<std::string, ByteVec> annotation_memo_;
+  /// model id -> (model byte size, encoded RenderResult payload). The
+  /// payloads are shared_ptr so each reply's delay_ lambda captures a
+  /// refcount bump, not a copy of the multi-hundred-KB body.
+  std::unordered_map<std::uint64_t,
+                     std::pair<Bytes, std::shared_ptr<const ByteVec>>>
+      render_payload_memo_;
+  std::map<std::pair<std::uint64_t, std::uint32_t>,
+           std::shared_ptr<const ByteVec>>
+      panorama_payload_memo_;
 };
 
 // ---------------------------------------------------------------------------
@@ -160,6 +185,15 @@ class EdgeService {
   [[nodiscard]] std::uint64_t peer_probes_sent() const noexcept {
     return peer_probes_sent_;
   }
+  /// Requests currently parked (awaiting a cloud reply or peer probes).
+  [[nodiscard]] std::size_t pending_inflight() const noexcept {
+    return pending_.size();
+  }
+  /// High-water mark of parked requests — the queueing depth open-loop
+  /// replay drives; stays at 1 in the closed-loop regime.
+  [[nodiscard]] std::size_t peak_pending() const noexcept {
+    return peak_pending_;
+  }
 
  private:
   struct PendingForward {
@@ -195,11 +229,12 @@ class EdgeService {
                                std::optional<std::uint32_t> from_peer);
   void HandlePeerLookupReply(const proto::Envelope& env);
 
-  /// Decodes a cached result payload of `type`, stamps `source`, and
-  /// re-encodes it.
-  static ByteVec PatchResultSource(proto::MessageType type,
-                                   std::span<const std::uint8_t> payload,
-                                   proto::ResultSource source);
+  /// Wraps a cached result payload in a reply envelope with `source`
+  /// stamped in place (one copy; the result body is never decoded).
+  static ByteVec EncodePatchedResult(proto::MessageType type,
+                                     std::uint64_t request_id,
+                                     std::span<const std::uint8_t> payload,
+                                     proto::ResultSource source);
 
   Config config_;
   SendFn send_;
@@ -211,6 +246,7 @@ class EdgeService {
   std::uint64_t peer_hits_ = 0;
   std::uint64_t peer_queries_served_ = 0;
   std::uint64_t peer_probes_sent_ = 0;
+  std::size_t peak_pending_ = 0;
 };
 
 }  // namespace coic::core

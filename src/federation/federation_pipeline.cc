@@ -1,5 +1,6 @@
 #include "federation/federation_pipeline.h"
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 
@@ -85,6 +86,8 @@ FederationPipeline::FederationPipeline(FederationPipelineConfig config)
   reachable_.resize(config_.venues);
   client_routes_.resize(config_.venues);
   summary_versions_.assign(config_.venues, 0);
+  summary_frames_.resize(config_.venues);
+  summary_mutations_.assign(config_.venues, 0);
   for (std::uint32_t v = 0; v < config_.venues; ++v) {
     reachable_[v] = topology_.ReachableWithin(v, config_.hop_limit);
     summary_tables_.emplace_back(config_.venues);
@@ -257,7 +260,7 @@ void FederationPipeline::OnPeerEdgeFrame(std::uint32_t venue,
                                          ByteVec frame) {
   switch (PeekMessageType(frame)) {
     case MessageType::kFederatedRelay:
-      HandleRelayFrame(venue, frame);
+      HandleRelayFrame(venue, std::move(frame));
       return;
     case MessageType::kSummaryUpdate:
       HandleSummaryFrame(venue, frame);
@@ -267,44 +270,56 @@ void FederationPipeline::OnPeerEdgeFrame(std::uint32_t venue,
   }
 }
 
-void FederationPipeline::HandleRelayFrame(std::uint32_t venue,
-                                          const ByteVec& frame) {
-  auto env = proto::DecodeEnvelope(frame);
-  if (!env.ok()) {
-    COIC_LOG(kWarn) << "federation: undecodable relay frame";
-    return;
-  }
-  auto relay = proto::DecodePayloadAs<proto::FederatedRelay>(
-      env.value(), MessageType::kFederatedRelay);
-  if (!relay.ok() || relay.value().dest_edge >= config_.venues) {
+void FederationPipeline::HandleRelayFrame(std::uint32_t venue, ByteVec frame) {
+  // Hot path: relay forwarding never decodes the (possibly large) inner
+  // envelope. Peek the routing fields in place; an intermediate hop
+  // patches the TTL byte and forwards the original buffer, the terminal
+  // hop strips the wrapper with one memmove. Byte-for-byte equivalent to
+  // the old decode → mutate → re-encode (covered by a proto test).
+  const auto view = proto::PeekRelayFrame(frame);
+  if (!view.ok() || view.value().dest_edge >= config_.venues ||
+      view.value().src_edge >= config_.venues ||
+      view.value().inner_size < proto::kEnvelopeHeaderSize) {
     COIC_LOG(kWarn) << "federation: bad relay frame";
     return;
   }
-  auto msg = std::move(relay).value();
-  if (msg.dest_edge == venue) {
+  const proto::RelayFrameView relay = view.value();
+  if (relay.dest_edge == venue) {
     // Terminal hop: unwrap and dispatch as if it arrived directly from
     // the logical source.
-    if (PeekMessageType(msg.inner) == MessageType::kSummaryUpdate) {
-      HandleSummaryFrame(venue, msg.inner);
+    proto::UnwrapRelayInPlace(frame, relay);
+    if (PeekMessageType(frame) == MessageType::kSummaryUpdate) {
+      HandleSummaryFrame(venue, frame);
     } else {
-      edges_[venue]->OnPeerFrame(msg.src_edge, std::move(msg.inner));
+      edges_[venue]->OnPeerFrame(relay.src_edge, std::move(frame));
     }
     return;
   }
-  if (msg.ttl == 0) {
+  if (relay.ttl == 0) {
     COIC_LOG(kWarn) << "federation: relay TTL expired at venue " << venue;
     return;
   }
-  --msg.ttl;
+  proto::DecrementRelayTtlInPlace(frame);
   ++relay_forwards_;
   net_.Send(edge_nodes_[venue],
-            edge_nodes_[topology_.NextHop(venue, msg.dest_edge)],
-            proto::EncodeMessage(MessageType::kFederatedRelay,
-                                 env.value().request_id, msg));
+            edge_nodes_[topology_.NextHop(venue, relay.dest_edge)],
+            std::move(frame));
 }
 
 void FederationPipeline::HandleSummaryFrame(std::uint32_t venue,
                                             const ByteVec& frame) {
+  // Stale-version fast drop: a duplicate or outdated update — the
+  // common case once summaries are only rebuilt on cache change — is
+  // discarded without decoding the bloom bits and centroid vectors.
+  // Mirrors SummaryTable::Update's `<=` staleness rule.
+  if (const auto header = proto::PeekSummaryFrame(frame);
+      header.ok() && header.value().edge_id < config_.venues) {
+    const CacheSummary* current =
+        summary_tables_[venue].For(header.value().edge_id);
+    if (current != nullptr && header.value().version <= current->version()) {
+      return;
+    }
+  }
   auto env = proto::DecodeEnvelope(frame);
   if (!env.ok()) {
     COIC_LOG(kWarn) << "federation: undecodable summary frame";
@@ -325,22 +340,81 @@ void FederationPipeline::HandleSummaryFrame(std::uint32_t venue,
   summary_tables_[venue].Update(std::move(summary).value());
 }
 
+bool FederationPipeline::GossipEnabled() const noexcept {
+  return config_.cooperative && config_.venues >= 2 &&
+         config_.gossip_period != Duration::Infinite();
+}
+
+void FederationPipeline::GossipEdge(std::uint32_t venue) {
+  // Rebuild + re-encode only when the cache content changed since the
+  // last round (IcCache's monotonic mutation counter as the signal);
+  // otherwise resend the memoized frame under the same version, which
+  // peers drop with the cheap staleness peek. Wire sizes are unchanged
+  // either way (version is fixed-width), so link timing — and with it
+  // every closed-loop latency — is identical to rebuilding each round.
+  const std::uint64_t mutations = edges_[venue]->cache().mutation_count();
+  ByteVec& frame = summary_frames_[venue];
+  if (frame.empty() || summary_mutations_[venue] != mutations) {
+    const CacheSummary summary =
+        CacheSummary::Build(venue, ++summary_versions_[venue],
+                            edges_[venue]->cache(), config_.bloom);
+    frame = proto::EncodeMessage(MessageType::kSummaryUpdate,
+                                 summary.version(), summary.ToWire());
+    summary_mutations_[venue] = mutations;
+  }
+  for (const std::uint32_t peer : reachable_[venue]) {
+    ++summary_updates_sent_;
+    SendEdgeToEdge(venue, peer, ByteVec(frame));
+  }
+}
+
 void FederationPipeline::MaybeGossip() {
-  if (!config_.cooperative || config_.venues < 2) return;
-  if (config_.gossip_period == Duration::Infinite()) return;
+  if (!GossipEnabled()) return;
   if (sched_.now() < next_gossip_) return;
   next_gossip_ = sched_.now() + config_.gossip_period;
-  for (std::uint32_t v = 0; v < config_.venues; ++v) {
-    const CacheSummary summary = CacheSummary::Build(
-        v, ++summary_versions_[v], edges_[v]->cache(), config_.bloom);
-    const proto::SummaryUpdate wire = summary.ToWire();
-    for (const std::uint32_t peer : reachable_[v]) {
-      ++summary_updates_sent_;
-      SendEdgeToEdge(v, peer,
-                     proto::EncodeMessage(MessageType::kSummaryUpdate,
-                                          summary.version(), wire));
-    }
+  for (std::uint32_t v = 0; v < config_.venues; ++v) GossipEdge(v);
+}
+
+void FederationPipeline::ArmGossipTimer(std::uint32_t venue) {
+  gossip_timers_[venue] =
+      sched_.ScheduleAfter(config_.gossip_period, [this, venue] {
+        // Stranded-workload guard: a dropped frame (lossy link,
+        // overflowing queue) parks its client forever, and without it
+        // the timers would re-arm and spin the scheduler for eternity.
+        // Two triggers, either sufficient: (a) precise — the only
+        // pending events are the other venues' timers, so nothing can
+        // complete; (b) backstop for configs where in-flight summary
+        // frames always overlap the next round (gossip_period below
+        // peer-link latency) — no completion across a deep stretch of
+        // rounds. Stopping lets RunOpenLoop drain and report the stall
+        // via its completion CHECK instead of hanging.
+        constexpr std::uint64_t kStallRoundsLimit = 100'000;
+        if (completed_ == stall_completed_mark_) {
+          ++stall_rounds_;
+        } else {
+          stall_completed_mark_ = completed_;
+          stall_rounds_ = 0;
+        }
+        if (completed_ < expected_ &&
+            (sched_.pending() == gossip_timers_.size() - 1 ||
+             stall_rounds_ >= kStallRoundsLimit)) {
+          COIC_LOG(kWarn) << "federation: open-loop workload stalled with "
+                          << (expected_ - completed_)
+                          << " operations incomplete; stopping gossip";
+          StopGossipTimers();
+          return;
+        }
+        ++open_loop_.gossip_rounds;
+        GossipEdge(venue);
+        ArmGossipTimer(venue);
+      });
+}
+
+void FederationPipeline::StopGossipTimers() {
+  for (const netsim::EventId id : gossip_timers_) {
+    if (id != 0) sched_.Cancel(id);
   }
+  gossip_timers_.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -375,11 +449,12 @@ Digest128 FederationPipeline::RegisterModel(std::uint64_t model_id,
 
 void FederationPipeline::EnqueueRecognitionAt(std::uint32_t venue,
                                               const vision::SceneParams& scene,
-                                              std::uint32_t mobile) {
+                                              std::uint32_t mobile,
+                                              SimTime at) {
   const std::uint32_t index = ClientIndex(venue, mobile);
   COIC_CHECK(venue < config_.venues && mobile < config_.mobiles_per_venue);
   ops_.push_back(
-      {venue, [this, index, scene](CoicClient::CompletionFn done) {
+      {venue, at, [this, index, scene](CoicClient::CompletionFn done) {
          clients_[index]->StartRecognition(
              scene, CloudService::LabelForScene(scene.scene_id),
              std::move(done));
@@ -388,7 +463,7 @@ void FederationPipeline::EnqueueRecognitionAt(std::uint32_t venue,
 
 void FederationPipeline::EnqueueRenderAt(std::uint32_t venue,
                                          std::uint64_t model_id,
-                                         std::uint32_t mobile) {
+                                         std::uint32_t mobile, SimTime at) {
   const std::uint32_t index = ClientIndex(venue, mobile);
   COIC_CHECK(venue < config_.venues && mobile < config_.mobiles_per_venue);
   const auto it = model_digests_.find(model_id);
@@ -396,7 +471,8 @@ void FederationPipeline::EnqueueRenderAt(std::uint32_t venue,
                  "EnqueueRenderAt before RegisterModel");
   const Digest128 digest = it->second;
   ops_.push_back(
-      {venue, [this, index, model_id, digest](CoicClient::CompletionFn done) {
+      {venue, at,
+       [this, index, model_id, digest](CoicClient::CompletionFn done) {
          clients_[index]->StartRender(model_id, digest, std::move(done));
        }});
 }
@@ -404,11 +480,12 @@ void FederationPipeline::EnqueueRenderAt(std::uint32_t venue,
 void FederationPipeline::EnqueuePanoramaAt(std::uint32_t venue,
                                            std::uint64_t video_id,
                                            std::uint32_t frame_index,
-                                           std::uint32_t mobile) {
+                                           std::uint32_t mobile, SimTime at) {
   const std::uint32_t index = ClientIndex(venue, mobile);
   COIC_CHECK(venue < config_.venues && mobile < config_.mobiles_per_venue);
-  ops_.push_back({venue, [this, index, video_id,
-                          frame_index](CoicClient::CompletionFn done) {
+  ops_.push_back({venue, at,
+                  [this, index, video_id,
+                   frame_index](CoicClient::CompletionFn done) {
                     clients_[index]->StartPanorama(video_id, frame_index, {},
                                                    std::move(done));
                   }});
@@ -419,14 +496,16 @@ void FederationPipeline::EnqueuePlaced(const trace::PlacedRecord& placed) {
       placed.record.user_id % config_.mobiles_per_venue;
   switch (placed.record.type) {
     case trace::IcTaskType::kRecognition:
-      EnqueueRecognitionAt(placed.venue, placed.record.scene, mobile);
+      EnqueueRecognitionAt(placed.venue, placed.record.scene, mobile,
+                           placed.record.at);
       return;
     case trace::IcTaskType::kRender:
-      EnqueueRenderAt(placed.venue, placed.record.model_id, mobile);
+      EnqueueRenderAt(placed.venue, placed.record.model_id, mobile,
+                      placed.record.at);
       return;
     case trace::IcTaskType::kPanorama:
       EnqueuePanoramaAt(placed.venue, placed.record.video_id,
-                        placed.record.frame_index, mobile);
+                        placed.record.frame_index, mobile, placed.record.at);
       return;
   }
   COIC_CHECK_MSG(false, "unknown trace record type");
@@ -449,6 +528,70 @@ std::vector<FederationOutcome> FederationPipeline::Run() {
   IssueNext();
   sched_.Run();
   COIC_CHECK_MSG(ops_.empty(), "pipeline drained with operations unissued");
+  return std::move(outcomes_);
+}
+
+std::vector<FederationOutcome> FederationPipeline::RunOpenLoop() {
+  outcomes_.clear();
+  open_loop_ = OpenLoopStats{};
+  open_loop_.operations = ops_.size();
+  open_loop_.first_arrival = sched_.now();
+  open_loop_.last_completion = sched_.now();
+  outcomes_.reserve(ops_.size());
+  expected_ = ops_.size();
+  completed_ = 0;
+  inflight_ = 0;
+  stall_completed_mark_ = 0;
+  stall_rounds_ = 0;
+  const std::uint64_t fired_before = sched_.total_fired();
+
+  if (GossipEnabled() && expected_ > 0) {
+    // Round 0 at the start mirrors the closed loop's gossip-before-first-
+    // op; afterwards each edge refreshes on its own free-running timer,
+    // decoupled from operation progress.
+    for (std::uint32_t v = 0; v < config_.venues; ++v) {
+      ++open_loop_.gossip_rounds;
+      GossipEdge(v);
+    }
+    gossip_timers_.assign(config_.venues, 0);
+    for (std::uint32_t v = 0; v < config_.venues; ++v) ArmGossipTimer(v);
+  }
+
+  // Schedule every operation at its trace arrival time — the open-loop
+  // regime: arrivals do not wait for completions, so queueing and
+  // probe/link contention show up exactly as offered load dictates.
+  bool first_set = false;
+  while (!ops_.empty()) {
+    Op op = std::move(ops_.front());
+    ops_.pop_front();
+    const SimTime at = std::max(op.at, sched_.now());
+    if (!first_set || at < open_loop_.first_arrival) {
+      open_loop_.first_arrival = at;
+      first_set = true;
+    }
+    sched_.ScheduleAt(at, [this, op = std::move(op)]() mutable {
+      ++inflight_;
+      open_loop_.max_inflight = std::max(open_loop_.max_inflight, inflight_);
+      const std::uint32_t venue = op.venue;
+      op.start([this, venue](core::RequestOutcome outcome) {
+        outcomes_.push_back({venue, std::move(outcome)});
+        --inflight_;
+        ++completed_;
+        open_loop_.last_completion = sched_.now();
+        if (completed_ == expected_) {
+          // Drain condition: the workload is done, so the free-running
+          // timers stop re-arming and the scheduler empties.
+          StopGossipTimers();
+        }
+      });
+    });
+  }
+
+  sched_.Run();
+  StopGossipTimers();  // expected_ == 0: timers were never armed; no-op
+  COIC_CHECK_MSG(completed_ == expected_,
+                 "open-loop drained with operations incomplete");
+  open_loop_.events_fired = sched_.total_fired() - fired_before;
   return std::move(outcomes_);
 }
 

@@ -88,6 +88,24 @@ struct FederationOutcome {
   core::RequestOutcome outcome;
 };
 
+/// Counters from the most recent RunOpenLoop (the throughput regime).
+struct OpenLoopStats {
+  /// Operations replayed.
+  std::uint64_t operations = 0;
+  /// Cluster-wide high-water mark of concurrently in-flight operations —
+  /// the queueing depth the closed loop (always 1) never exercises.
+  std::uint32_t max_inflight = 0;
+  /// Per-edge gossip firings, including the round-0 warmup.
+  std::uint64_t gossip_rounds = 0;
+  /// First scheduled arrival and last operation completion, for
+  /// achieved-throughput computation.
+  SimTime first_arrival;
+  SimTime last_completion;
+  /// Scheduler actions executed during the run (simulator work, for
+  /// wall-clock events/sec reporting).
+  std::uint64_t events_fired = 0;
+};
+
 class FederationPipeline {
  public:
   explicit FederationPipeline(FederationPipelineConfig config);
@@ -95,20 +113,42 @@ class FederationPipeline {
   /// Registers a model with the shared cloud store; returns its digest.
   Digest128 RegisterModel(std::uint64_t model_id, Bytes serialized_size);
 
+  /// Enqueue operations. `at` is the trace arrival time: RunOpenLoop
+  /// issues the operation at that instant; the closed-loop Run ignores it
+  /// (operations go one at a time, back to back).
   void EnqueueRecognitionAt(std::uint32_t venue,
                             const vision::SceneParams& scene,
-                            std::uint32_t mobile = 0);
+                            std::uint32_t mobile = 0,
+                            SimTime at = SimTime::Epoch());
   void EnqueueRenderAt(std::uint32_t venue, std::uint64_t model_id,
-                       std::uint32_t mobile = 0);
+                       std::uint32_t mobile = 0,
+                       SimTime at = SimTime::Epoch());
   void EnqueuePanoramaAt(std::uint32_t venue, std::uint64_t video_id,
-                         std::uint32_t frame_index, std::uint32_t mobile = 0);
+                         std::uint32_t frame_index, std::uint32_t mobile = 0,
+                         SimTime at = SimTime::Epoch());
 
-  /// Queues a cluster-trace record at its placed venue; render records
-  /// must reference a registered model.
+  /// Queues a cluster-trace record at its placed venue (arrival time
+  /// preserved for open-loop replay); render records must reference a
+  /// registered model.
   void EnqueuePlaced(const trace::PlacedRecord& placed);
 
-  /// Runs all queued operations sequentially; outcomes in issue order.
+  /// Closed loop: runs all queued operations one at a time (the paper's
+  /// latency-study regime); outcomes in issue order. Gossip rounds are
+  /// driven from the operation loop.
   std::vector<FederationOutcome> Run();
+
+  /// Open loop: schedules every queued operation at its arrival time —
+  /// many requests in flight per venue and per mobile — with cache
+  /// summaries gossiped on free-running per-edge timers. Timers are
+  /// cancelled when the last operation completes, so the scheduler
+  /// drains fully (pending() == 0 afterwards). Outcomes are in
+  /// completion order; open_loop_stats() reports concurrency, gossip
+  /// rounds and events fired.
+  std::vector<FederationOutcome> RunOpenLoop();
+
+  [[nodiscard]] const OpenLoopStats& open_loop_stats() const noexcept {
+    return open_loop_;
+  }
 
   [[nodiscard]] core::EdgeService& edge(std::uint32_t venue);
   [[nodiscard]] core::CloudService& cloud() noexcept { return *cloud_; }
@@ -133,6 +173,7 @@ class FederationPipeline {
  private:
   struct Op {
     std::uint32_t venue;
+    SimTime at;  ///< Arrival time; only RunOpenLoop honors it.
     std::function<void(core::CoicClient::CompletionFn)> start;
   };
 
@@ -147,11 +188,20 @@ class FederationPipeline {
   void SendEdgeToEdge(std::uint32_t from, std::uint32_t to, ByteVec frame);
   void OnPeerEdgeFrame(std::uint32_t venue, std::uint32_t src_index,
                        ByteVec frame);
-  void HandleRelayFrame(std::uint32_t venue, const ByteVec& frame);
+  /// Forwards or terminates a relay frame. Intermediate hops patch the
+  /// TTL in place and forward the original buffer (no decode/re-encode).
+  void HandleRelayFrame(std::uint32_t venue, ByteVec frame);
   void HandleSummaryFrame(std::uint32_t venue, const ByteVec& frame);
 
+  /// Builds and gossips `venue`'s cache summary to its reachable peers.
+  void GossipEdge(std::uint32_t venue);
   /// Runs a gossip round if the period elapsed (called between ops).
   void MaybeGossip();
+  /// True when the config calls for summary gossip at all.
+  [[nodiscard]] bool GossipEnabled() const noexcept;
+  /// Free-running per-edge gossip timers (open-loop regime).
+  void ArmGossipTimer(std::uint32_t venue);
+  void StopGossipTimers();
   void IssueNext();
 
   [[nodiscard]] std::uint32_t ClientIndex(std::uint32_t venue,
@@ -177,12 +227,26 @@ class FederationPipeline {
   /// one edge, so client replies are routed like cloud replies are).
   std::vector<std::unordered_map<std::uint64_t, netsim::NodeId>> client_routes_;
   std::vector<std::uint64_t> summary_versions_;
+  /// Per-edge memo of the last encoded SummaryUpdate frame and the cache
+  /// insert+evict count it digested; rebuilt only when that count moves.
+  std::vector<ByteVec> summary_frames_;
+  std::vector<std::uint64_t> summary_mutations_;
   std::unordered_map<std::uint64_t, Digest128> model_digests_;
   SimTime next_gossip_ = SimTime::Epoch();
   std::uint64_t summary_updates_sent_ = 0;
   std::uint64_t relay_forwards_ = 0;
   std::deque<Op> ops_;
   std::vector<FederationOutcome> outcomes_;
+  /// Open-loop state: armed timer per venue (0 = none), live counters.
+  std::vector<netsim::EventId> gossip_timers_;
+  OpenLoopStats open_loop_;
+  std::uint32_t inflight_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t expected_ = 0;
+  /// Stranded-workload detection (see ArmGossipTimer): completion count
+  /// at the last timer firing, and consecutive firings without progress.
+  std::uint64_t stall_completed_mark_ = 0;
+  std::uint64_t stall_rounds_ = 0;
 };
 
 }  // namespace coic::federation

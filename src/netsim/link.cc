@@ -11,10 +11,20 @@ Link::Link(EventScheduler& sched, std::string name, LinkConfig config)
                  "loss rate must be in [0, 1)");
 }
 
+void Link::DrainSerialized() const noexcept {
+  const SimTime now = sched_.now();
+  while (!serializing_.empty() && serializing_.front().done_at <= now) {
+    COIC_CHECK(backlog_bytes_ >= serializing_.front().size);
+    backlog_bytes_ -= serializing_.front().size;
+    serializing_.pop_front();
+  }
+}
+
 void Link::Send(ByteVec payload, DeliverFn on_delivered, DropFn on_dropped) {
   COIC_CHECK(on_delivered != nullptr);
   const Bytes size = payload.size();
 
+  DrainSerialized();
   if (config_.queue_capacity != 0 &&
       backlog_bytes_ + size > config_.queue_capacity) {
     ++stats_.frames_dropped_queue;
@@ -39,13 +49,11 @@ void Link::Send(ByteVec payload, DeliverFn on_delivered, DropFn on_dropped) {
   const SimTime serialized_at = busy_until_;
   const SimTime deliver_at = serialized_at + extra;
 
-  // Event 1: serialization complete — frees queue space.
-  sched_.ScheduleAt(serialized_at, [this, size] {
-    COIC_CHECK(backlog_bytes_ >= size);
-    backlog_bytes_ -= size;
-  });
+  // Queue space frees at serialization completion; drained lazily at the
+  // next Send/backlog call instead of costing a scheduled event.
+  serializing_.push_back({serialized_at, size});
 
-  // Event 2: delivery (or loss) after propagation.
+  // Delivery (or loss) after propagation — the only scheduled event.
   auto deliver = [this, size, lost, payload = std::move(payload),
                   on_delivered = std::move(on_delivered),
                   on_dropped = std::move(on_dropped)]() mutable {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 
@@ -83,19 +84,35 @@ class Link {
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
   /// Bytes accepted but not yet fully serialized.
-  [[nodiscard]] Bytes backlog() const noexcept { return backlog_bytes_; }
+  [[nodiscard]] Bytes backlog() const noexcept {
+    DrainSerialized();
+    return backlog_bytes_;
+  }
 
   /// Link utilization over the sim so far: busy serialization time / now.
   [[nodiscard]] double Utilization() const noexcept;
 
  private:
+  /// Retires frames whose serialization completed by now(). Backlog is
+  /// maintained lazily (drained at Send and backlog() queries) instead of
+  /// via a scheduled event per frame — that event was half of all link
+  /// events and pure bookkeeping, which caps open-loop replay speed.
+  void DrainSerialized() const noexcept;
+
+  struct Serializing {
+    SimTime done_at;
+    Bytes size;
+  };
+
   EventScheduler& sched_;
   std::string name_;
   LinkConfig config_;
   LinkStats stats_;
   Rng rng_;
   SimTime busy_until_ = SimTime::Epoch();
-  Bytes backlog_bytes_ = 0;
+  /// In-serialization frames, FIFO by done_at (busy_until_ is monotone).
+  mutable std::deque<Serializing> serializing_;
+  mutable Bytes backlog_bytes_ = 0;
 };
 
 }  // namespace coic::netsim

@@ -7,39 +7,40 @@ EventId EventScheduler::ScheduleAt(SimTime when, Action action) {
   COIC_CHECK(action != nullptr);
   const EventId id = next_id_++;
   queue_.push(Event{when, id, std::move(action)});
-  live_.insert(id);
+  state_.push_back(kPending);
   return id;
 }
 
 bool EventScheduler::Cancel(EventId id) {
-  if (live_.count(id) == 0) return false;
-  if (cancelled_.insert(id).second) {
-    ++cancelled_count_;
-    return true;
-  }
-  return false;
+  if (id == 0 || id >= next_id_) return false;
+  std::uint8_t& state = state_[id - 1];
+  if (state != kPending) return false;  // fired or already cancelled
+  state = kCancelled;
+  ++cancelled_count_;
+  return true;
 }
 
-void EventScheduler::FireTop() {
+bool EventScheduler::FireTop() {
   // const_cast is safe: the element is removed before the action runs.
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
-  live_.erase(ev.id);
   now_ = ev.when;
-  if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
-    cancelled_.erase(it);
+  std::uint8_t& state = state_[ev.id - 1];
+  const bool was_cancelled = state == kCancelled;
+  state = kRetired;
+  if (was_cancelled) {
     --cancelled_count_;
-    return;  // cancelled: clock still advances, action does not run
+    return false;  // cancelled: clock still advances, action does not run
   }
+  ++total_fired_;
   ev.action();
+  return true;
 }
 
 bool EventScheduler::Step() {
   // Skip over cancelled events so Step() observably fires one action.
   while (!queue_.empty()) {
-    const bool was_cancelled = cancelled_.count(queue_.top().id) > 0;
-    FireTop();
-    if (!was_cancelled) return true;
+    if (FireTop()) return true;
   }
   return false;
 }
@@ -47,9 +48,7 @@ bool EventScheduler::Step() {
 std::uint64_t EventScheduler::Run() {
   std::uint64_t fired = 0;
   while (!queue_.empty()) {
-    const bool was_cancelled = cancelled_.count(queue_.top().id) > 0;
-    FireTop();
-    if (!was_cancelled) ++fired;
+    if (FireTop()) ++fired;
   }
   return fired;
 }
@@ -57,9 +56,7 @@ std::uint64_t EventScheduler::Run() {
 std::uint64_t EventScheduler::RunUntil(SimTime deadline) {
   std::uint64_t fired = 0;
   while (!queue_.empty() && queue_.top().when <= deadline) {
-    const bool was_cancelled = cancelled_.count(queue_.top().id) > 0;
-    FireTop();
-    if (!was_cancelled) ++fired;
+    if (FireTop()) ++fired;
   }
   if (now_ < deadline) now_ = deadline;
   return fired;

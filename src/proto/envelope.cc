@@ -27,16 +27,23 @@ bool ValidMessageType(std::uint8_t raw) noexcept {
 
 }  // namespace
 
-ByteVec EncodeEnvelope(MessageType type, std::uint64_t request_id,
-                       std::span<const std::uint8_t> payload) {
-  COIC_CHECK_MSG(payload.size() <= kMaxPayloadBytes, "payload too large");
-  ByteWriter w(kEnvelopeHeaderSize + payload.size());
+void AppendEnvelopeHeader(ByteWriter& w, MessageType type,
+                          std::uint64_t request_id,
+                          std::uint32_t payload_len) {
   w.WriteU32(kEnvelopeMagic);
   w.WriteU16(kProtocolVersion);
   w.WriteU8(static_cast<std::uint8_t>(type));
   w.WriteU8(0);  // flags
   w.WriteU64(request_id);
-  w.WriteU32(static_cast<std::uint32_t>(payload.size()));
+  w.WriteU32(payload_len);
+}
+
+ByteVec EncodeEnvelope(MessageType type, std::uint64_t request_id,
+                       std::span<const std::uint8_t> payload) {
+  COIC_CHECK_MSG(payload.size() <= kMaxPayloadBytes, "payload too large");
+  ByteWriter w(kEnvelopeHeaderSize + payload.size());
+  AppendEnvelopeHeader(w, type, request_id,
+                       static_cast<std::uint32_t>(payload.size()));
   w.WriteRaw(payload);
   return w.TakeBytes();
 }
@@ -79,6 +86,72 @@ Result<Envelope> DecodeEnvelope(std::span<const std::uint8_t> data) {
     return Status(StatusCode::kDataLoss, "trailing bytes after envelope");
   }
   return env;
+}
+
+Result<RelayFrameView> PeekRelayFrame(std::span<const std::uint8_t> frame) {
+  // Fixed relay payload overhead: src(4) + dest(4) + ttl(1) + inner len(4).
+  constexpr std::size_t kRelayOverhead = 13;
+  ByteReader r(frame);
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  std::uint8_t type_raw = 0;
+  std::uint8_t flags = 0;
+  COIC_RETURN_IF_ERROR(r.ReadU32(magic));
+  COIC_RETURN_IF_ERROR(r.ReadU16(version));
+  COIC_RETURN_IF_ERROR(r.ReadU8(type_raw));
+  COIC_RETURN_IF_ERROR(r.ReadU8(flags));
+  if (magic != kEnvelopeMagic || version != kProtocolVersion || flags != 0 ||
+      static_cast<MessageType>(type_raw) != MessageType::kFederatedRelay) {
+    return Status(StatusCode::kDataLoss, "not a relay envelope");
+  }
+  COIC_RETURN_IF_ERROR(r.Skip(8));  // request id
+  std::uint32_t payload_len = 0;
+  COIC_RETURN_IF_ERROR(r.ReadU32(payload_len));
+  if (payload_len > kMaxPayloadBytes ||
+      frame.size() != kEnvelopeHeaderSize + payload_len ||
+      payload_len < kRelayOverhead) {
+    return Status(StatusCode::kDataLoss, "bad relay payload length");
+  }
+  RelayFrameView view;
+  std::uint32_t inner_len = 0;
+  COIC_RETURN_IF_ERROR(r.ReadU32(view.src_edge));
+  COIC_RETURN_IF_ERROR(r.ReadU32(view.dest_edge));
+  COIC_RETURN_IF_ERROR(r.ReadU8(view.ttl));
+  COIC_RETURN_IF_ERROR(r.ReadU32(inner_len));
+  if (inner_len != payload_len - kRelayOverhead) {
+    return Status(StatusCode::kDataLoss, "bad relay inner length");
+  }
+  if (view.src_edge == view.dest_edge) {
+    return Status(StatusCode::kDataLoss, "relay to self");
+  }
+  view.inner_offset = r.position();
+  view.inner_size = inner_len;
+  return view;
+}
+
+void DecrementRelayTtlInPlace(ByteVec& frame) {
+  constexpr std::size_t kTtlOffset = kEnvelopeHeaderSize + 8;
+  COIC_CHECK(frame.size() > kTtlOffset && frame[kTtlOffset] > 0);
+  --frame[kTtlOffset];
+}
+
+void UnwrapRelayInPlace(ByteVec& frame, const RelayFrameView& view) {
+  COIC_CHECK(view.inner_offset + view.inner_size == frame.size());
+  frame.erase(frame.begin(),
+              frame.begin() + static_cast<std::ptrdiff_t>(view.inner_offset));
+}
+
+Result<SummaryFrameHeader> PeekSummaryFrame(
+    std::span<const std::uint8_t> frame) {
+  // SummaryUpdate::Encode leads with u32 edge_id, u64 version.
+  if (frame.size() < kEnvelopeHeaderSize + 12 ||
+      static_cast<MessageType>(frame[6]) != MessageType::kSummaryUpdate) {
+    return Status(StatusCode::kDataLoss, "not a summary envelope");
+  }
+  SummaryFrameHeader header;
+  std::memcpy(&header.edge_id, frame.data() + kEnvelopeHeaderSize, 4);
+  std::memcpy(&header.version, frame.data() + kEnvelopeHeaderSize + 4, 8);
+  return header;
 }
 
 Result<std::size_t> PeekFrameSize(std::span<const std::uint8_t> data) {

@@ -46,14 +46,31 @@ struct Envelope {
 ByteVec EncodeEnvelope(MessageType type, std::uint64_t request_id,
                        std::span<const std::uint8_t> payload);
 
+/// Appends the 20-byte envelope header to `w`. Callers that do not know
+/// the payload length yet write 0 and PatchU32 offset 16 afterwards.
+void AppendEnvelopeHeader(ByteWriter& w, MessageType type,
+                          std::uint64_t request_id, std::uint32_t payload_len);
+
 /// Convenience: encodes `msg` (any type with Encode(ByteWriter&)) and
-/// wraps it in an envelope.
+/// wraps it in an envelope. Header and payload are written into one
+/// buffer (no intermediate payload vector + copy), reserved up front
+/// when the message can report its WireSize().
 template <typename Message>
 ByteVec EncodeMessage(MessageType type, std::uint64_t request_id,
                       const Message& msg) {
-  ByteWriter w;
+  ByteWriter w = [&] {
+    if constexpr (requires { msg.WireSize(); }) {
+      return ByteWriter(kEnvelopeHeaderSize + msg.WireSize());
+    } else {
+      return ByteWriter();
+    }
+  }();
+  AppendEnvelopeHeader(w, type, request_id, 0);
   msg.Encode(w);
-  return EncodeEnvelope(type, request_id, w.bytes());
+  COIC_CHECK_MSG(w.size() - kEnvelopeHeaderSize <= kMaxPayloadBytes,
+                 "payload too large");
+  w.PatchU32(16, static_cast<std::uint32_t>(w.size() - kEnvelopeHeaderSize));
+  return w.TakeBytes();
 }
 
 /// Parses a full envelope from `data`. Fails with kDataLoss on bad magic,
@@ -65,6 +82,61 @@ Result<Envelope> DecodeEnvelope(std::span<const std::uint8_t> data);
 /// the header is complete, 0 if more header bytes are needed, or an error
 /// if the header is invalid.
 Result<std::size_t> PeekFrameSize(std::span<const std::uint8_t> data);
+
+// ---------------------------------------------------------------------------
+// FederatedRelay fast path
+// ---------------------------------------------------------------------------
+//
+// Relay forwarding is the federation hot path: an intermediate venue only
+// needs to read dest/ttl and decrement ttl, so a full decode→re-encode
+// (which copies the inner envelope twice) is pure waste. These helpers
+// operate on the encoded frame in place. The wire layout after the
+// 20-byte envelope header is fixed by FederatedRelay::Encode:
+//
+//   offset  size  field
+//   20      4     src_edge
+//   24      4     dest_edge
+//   28      1     ttl
+//   29      4     inner length N
+//   33      N     inner (a complete encoded envelope)
+
+/// Borrowed view of an encoded kFederatedRelay frame.
+struct RelayFrameView {
+  std::uint32_t src_edge = 0;
+  std::uint32_t dest_edge = 0;
+  std::uint8_t ttl = 0;
+  /// Offset of the inner envelope within the frame (= 33).
+  std::size_t inner_offset = 0;
+  std::size_t inner_size = 0;
+};
+
+/// Validates the envelope header and relay payload structure without
+/// copying; fails with kDataLoss exactly where DecodeEnvelope +
+/// FederatedRelay::Decode would.
+Result<RelayFrameView> PeekRelayFrame(std::span<const std::uint8_t> frame);
+
+/// Decrements the ttl byte of an encoded relay frame in place. The
+/// result is byte-identical to decode → --ttl → re-encode (covered by a
+/// proto test). Precondition: PeekRelayFrame(frame) succeeded, ttl > 0.
+void DecrementRelayTtlInPlace(ByteVec& frame);
+
+/// Strips the relay wrapper in place (one memmove, no allocation),
+/// leaving only the inner envelope in `frame`. Precondition: `view` was
+/// peeked from `frame`.
+void UnwrapRelayInPlace(ByteVec& frame, const RelayFrameView& view);
+
+/// Leading fields of an encoded kSummaryUpdate frame, read at their
+/// fixed offsets without decoding the bloom bits and centroids. Lets a
+/// receiver drop a stale or duplicate summary before paying the full
+/// decode. Fails with kDataLoss if the frame is not a summary envelope
+/// or is too short. (A layout test pins these offsets to
+/// SummaryUpdate::Encode.)
+struct SummaryFrameHeader {
+  std::uint32_t edge_id = 0;
+  std::uint64_t version = 0;
+};
+Result<SummaryFrameHeader> PeekSummaryFrame(
+    std::span<const std::uint8_t> frame);
 
 /// Decodes the payload of `env` as message type M, checking that the
 /// envelope type tag matches `expected`.

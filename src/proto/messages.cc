@@ -236,6 +236,10 @@ Result<ErrorReply> ErrorReply::Decode(ByteReader& r) {
 
 // ----------------------------- PeerLookupRequest ---------------------------
 
+Bytes PeerLookupRequest::WireSize() const noexcept {
+  return descriptor.WireSize() + 1;
+}
+
 void PeerLookupRequest::Encode(ByteWriter& w) const {
   descriptor.Encode(w);
   w.WriteU8(static_cast<std::uint8_t>(reply_type));
@@ -251,6 +255,10 @@ Result<PeerLookupRequest> PeerLookupRequest::Decode(ByteReader& r) {
 }
 
 // ------------------------------ PeerLookupReply ----------------------------
+
+Bytes PeerLookupReply::WireSize() const noexcept {
+  return 1 + 1 + 4 + payload.size();
+}
 
 void PeerLookupReply::Encode(ByteWriter& w) const {
   w.WriteU8(found ? 1 : 0);
@@ -315,6 +323,10 @@ Result<SummaryUpdate> SummaryUpdate::Decode(ByteReader& r) {
 
 // ------------------------------ FederatedRelay -----------------------------
 
+Bytes FederatedRelay::WireSize() const noexcept {
+  return 4 + 4 + 1 + 4 + inner.size();
+}
+
 void FederatedRelay::Encode(ByteWriter& w) const {
   w.WriteU32(src_edge);
   w.WriteU32(dest_edge);
@@ -332,6 +344,38 @@ Result<FederatedRelay> FederatedRelay::Decode(ByteReader& r) {
     return Status(StatusCode::kDataLoss, "relay to self");
   }
   return m;
+}
+
+// -------------------------- PatchResultSourceInPlace -----------------------
+
+bool PatchResultSourceInPlace(MessageType type,
+                              std::span<std::uint8_t> payload,
+                              ResultSource source) {
+  // Offsets follow the Encode() field order of each result type; the
+  // source byte always precedes the bulk blob, so the patch never walks
+  // the large tail.
+  std::size_t offset = 0;
+  switch (type) {
+    case MessageType::kRecognitionResult: {
+      // frame_id(8) + label(4 + len) + confidence(4), then source.
+      if (payload.size() < 12) return false;
+      std::uint32_t label_len = 0;
+      std::memcpy(&label_len, payload.data() + 8, 4);
+      offset = static_cast<std::size_t>(8) + 4 + label_len + 4;
+      break;
+    }
+    case MessageType::kRenderResult:
+      offset = 8;  // model_id(8), then source.
+      break;
+    case MessageType::kPanoramaResult:
+      offset = 12;  // video_id(8) + frame_index(4), then source.
+      break;
+    default:
+      return false;
+  }
+  if (offset >= payload.size()) return false;
+  payload[offset] = static_cast<std::uint8_t>(source);
+  return true;
 }
 
 // ----------------------------- CacheStatsReply -----------------------------

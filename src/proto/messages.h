@@ -195,6 +195,7 @@ struct PeerLookupRequest {
   /// kRenderResult or kPanoramaResult).
   MessageType reply_type = MessageType::kRecognitionResult;
 
+  [[nodiscard]] Bytes WireSize() const noexcept;
   void Encode(ByteWriter& w) const;
   static Result<PeerLookupRequest> Decode(ByteReader& r);
   friend bool operator==(const PeerLookupRequest&,
@@ -209,6 +210,7 @@ struct PeerLookupReply {
   MessageType reply_type = MessageType::kRecognitionResult;
   ByteVec payload;  ///< Result message body; empty when !found.
 
+  [[nodiscard]] Bytes WireSize() const noexcept;
   void Encode(ByteWriter& w) const;
   static Result<PeerLookupReply> Decode(ByteReader& r);
   friend bool operator==(const PeerLookupReply&, const PeerLookupReply&) = default;
@@ -257,10 +259,21 @@ struct FederatedRelay {
   std::uint8_t ttl = 0;
   ByteVec inner;  ///< A complete encoded envelope for dest_edge.
 
+  [[nodiscard]] Bytes WireSize() const noexcept;
   void Encode(ByteWriter& w) const;
   static Result<FederatedRelay> Decode(ByteReader& r);
   friend bool operator==(const FederatedRelay&, const FederatedRelay&) = default;
 };
+
+/// Overwrites the ResultSource byte of an encoded result payload
+/// (Recognition/Render/PanoramaResult) in place, without decoding or
+/// copying the (possibly multi-MB) annotation/model/frame blob. Returns
+/// false if `type` is not a result type or the payload is too short.
+/// For payloads produced by our own encoders this is byte-identical to
+/// decode → set source → re-encode (covered by a proto test).
+bool PatchResultSourceInPlace(MessageType type,
+                              std::span<std::uint8_t> payload,
+                              ResultSource source);
 
 struct CacheStatsReply {
   std::uint64_t hits = 0;

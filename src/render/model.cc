@@ -1,6 +1,7 @@
 #include "render/model.h"
 
 #include <cmath>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/rng.h"
@@ -101,19 +102,28 @@ Result<Model3D> DeserializeModel(std::span<const std::uint8_t> bytes) {
                            static_cast<std::size_t>(icount) * kIndexBytes + tlen) {
     return Status(StatusCode::kDataLoss, "model size mismatch");
   }
+  // Bulk reads: the wire layout is packed little-endian f32/u32 arrays
+  // and the total size was validated above, so each array lands in one
+  // bounds check + memcpy instead of per-element reads — this loop is
+  // the client-ingest hot spot under open-loop render storms.
   model.mesh.vertices.resize(vcount);
-  for (auto& v : model.mesh.vertices) {
-    (void)r.ReadF32(v.position.x);
-    (void)r.ReadF32(v.position.y);
-    (void)r.ReadF32(v.position.z);
-    (void)r.ReadF32(v.normal.x);
-    (void)r.ReadF32(v.normal.y);
-    (void)r.ReadF32(v.normal.z);
-    (void)r.ReadF32(v.u);
-    (void)r.ReadF32(v.v);
+  if (vcount != 0) {
+    std::vector<float> scratch(static_cast<std::size_t>(vcount) * 8);
+    (void)r.ReadRaw(scratch.data(), scratch.size() * 4);
+    const float* f = scratch.data();
+    for (auto& v : model.mesh.vertices) {
+      v.position = {f[0], f[1], f[2]};
+      v.normal = {f[3], f[4], f[5]};
+      v.u = f[6];
+      v.v = f[7];
+      f += 8;
+    }
   }
   model.mesh.indices.resize(icount);
-  for (auto& idx : model.mesh.indices) (void)r.ReadU32(idx);
+  if (icount != 0) {
+    (void)r.ReadRaw(model.mesh.indices.data(),
+                    static_cast<std::size_t>(icount) * 4);
+  }
   COIC_RETURN_IF_ERROR(r.ReadBytes(model.texture, tlen));
   COIC_RETURN_IF_ERROR(model.mesh.Validate());
   return model;

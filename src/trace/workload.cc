@@ -41,6 +41,8 @@ vision::SceneParams WorkloadGenerator::PerturbedScene(std::uint64_t scene_id) {
   scene.distance = 1.0 + (rng_.NextDouble() * 2 - 1) * config_.distance_jitter;
   scene.illumination =
       1.0 + (rng_.NextDouble() * 2 - 1) * config_.illumination_jitter;
+  scene.width = config_.scene_raster;
+  scene.height = config_.scene_raster;
   return scene;
 }
 
@@ -205,6 +207,36 @@ std::vector<PlacedRecord> ClusterWorkloadGenerator::GenerateMixed(
 namespace {
 constexpr std::uint32_t kTraceMagic = 0x43525443;  // "CTRC" LE
 }  // namespace
+
+namespace {
+
+/// Shared Poisson clock for both RetimeArrivals overloads; `record_of`
+/// maps an element to the TraceRecord whose arrival gets re-stamped.
+template <typename T, typename RecordOf>
+void RetimeImpl(std::span<T> items, double rate_hz, std::uint64_t seed,
+                RecordOf record_of) {
+  COIC_CHECK_MSG(rate_hz > 0, "arrival rate must be positive");
+  Rng rng(seed);
+  SimTime clock = SimTime::Epoch();
+  for (auto& item : items) {
+    clock = clock + Duration::Seconds(rng.NextExponential(rate_hz));
+    record_of(item).at = clock;
+  }
+}
+
+}  // namespace
+
+void RetimeArrivals(std::span<TraceRecord> records, double rate_hz,
+                    std::uint64_t seed) {
+  RetimeImpl(records, rate_hz, seed,
+             [](TraceRecord& r) -> TraceRecord& { return r; });
+}
+
+void RetimeArrivals(std::span<PlacedRecord> placed, double rate_hz,
+                    std::uint64_t seed) {
+  RetimeImpl(placed, rate_hz, seed,
+             [](PlacedRecord& p) -> TraceRecord& { return p.record; });
+}
 
 ByteVec SerializeTrace(std::span<const TraceRecord> records) {
   ByteWriter w;

@@ -61,6 +61,12 @@ struct WorkloadConfig {
   double illumination_jitter = 0.10;
   /// Poisson arrival rate across all users, requests/second.
   double arrival_rate_hz = 4.0;
+  /// Raster fed to the feature extractor (SceneParams width/height). The
+  /// figure reproductions keep the DNN-input default; throughput replays
+  /// may shrink it — descriptor geometry (same-scene views stay nearby)
+  /// is preserved at any raster, and per-request generation cost scales
+  /// with its square.
+  std::uint32_t scene_raster = 96;
   std::uint64_t seed = 7;
 };
 
@@ -113,6 +119,14 @@ class WorkloadGenerator {
   SimTime clock_ = SimTime::Epoch();
 };
 
+/// Re-spaces arrival times as one fresh Poisson stream at `rate_hz`
+/// (first arrival at epoch + one interarrival), preserving record order
+/// and content. This is the open-loop replay plan: the same trace — same
+/// objects, users, venue placement — swept across offered-load levels,
+/// so throughput curves differ only in arrival intensity.
+void RetimeArrivals(std::span<TraceRecord> records, double rate_hz,
+                    std::uint64_t seed = 17);
+
 /// Binary trace serialization (record/replay for benches and tests).
 ByteVec SerializeTrace(std::span<const TraceRecord> records);
 Result<std::vector<TraceRecord>> DeserializeTrace(
@@ -127,6 +141,10 @@ struct PlacedRecord {
   std::uint32_t venue = 0;
   TraceRecord record;
 };
+
+/// RetimeArrivals for a placed cluster trace (venue tags untouched).
+void RetimeArrivals(std::span<PlacedRecord> placed, double rate_hz,
+                    std::uint64_t seed = 17);
 
 struct ClusterWorkloadConfig {
   WorkloadConfig base;

@@ -526,5 +526,30 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, IcCachePropertyTest,
                          ::testing::Values(PolicyKind::kLru, PolicyKind::kFifo,
                                            PolicyKind::kLfu, PolicyKind::kSlru));
 
+TEST(IcCacheTest, MutationCountMovesOnEveryContentChange) {
+  // Change-detection consumers (gossip summary memo) rely on this
+  // counter moving for *every* insert/removal path, including Erase and
+  // Clear, which bump no stats counter.
+  IcCache cache(IcCacheConfig{});
+  EXPECT_EQ(cache.mutation_count(), 0u);
+  const auto key = [](std::uint64_t i) {
+    return FeatureDescriptor::ForHash(TaskKind::kRender, Digest128{1, i});
+  };
+  const EntryId a = cache.Insert(key(1), ByteVec(8), SimTime::Epoch());
+  const std::uint64_t after_insert = cache.mutation_count();
+  EXPECT_GT(after_insert, 0u);
+  EXPECT_TRUE(cache.Erase(a));
+  const std::uint64_t after_erase = cache.mutation_count();
+  EXPECT_GT(after_erase, after_insert);
+  cache.Insert(key(2), ByteVec(8), SimTime::Epoch());
+  cache.Insert(key(3), ByteVec(8), SimTime::Epoch());
+  cache.Clear();
+  EXPECT_GT(cache.mutation_count(), after_erase + 2);
+  // Lookups alone do not move it.
+  const std::uint64_t after_clear = cache.mutation_count();
+  (void)cache.Lookup(key(2), SimTime::Epoch());
+  EXPECT_EQ(cache.mutation_count(), after_clear);
+}
+
 }  // namespace
 }  // namespace coic::cache

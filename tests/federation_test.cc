@@ -496,5 +496,176 @@ TEST(ClusterWorkloadTest, SingleVenueNeverHandsOff) {
   for (const auto& p : placed) EXPECT_EQ(p.venue, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Open-loop throughput replay
+// ---------------------------------------------------------------------------
+
+FederationPipelineConfig OpenLoopClusterConfig(std::uint32_t venues) {
+  FederationPipelineConfig config;
+  config.venues = venues;
+  config.mobiles_per_venue = 2;
+  config.policy.kind = PeerSelectKind::kSummaryDirected;
+  config.gossip_period = Duration::Millis(50);
+  // Provisioned links so the offered storm is serviceable; the default
+  // 10 Mbps WAN is the paper's throttled latency-study condition.
+  config.network =
+      core::NetworkCondition{Bandwidth::Gbps(1), Bandwidth::Mbps(200)};
+  return config;
+}
+
+/// A render-only placed trace: `n` requests round-robin over venues and a
+/// small Zipf-free model set, re-timed as one Poisson stream at `rate_hz`.
+/// Render ops keep the suite fast (no per-request scene rendering).
+std::vector<trace::PlacedRecord> RenderStorm(std::uint32_t venues,
+                                             std::size_t n, double rate_hz,
+                                             std::uint32_t models = 6) {
+  std::vector<trace::PlacedRecord> placed(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    placed[i].venue = static_cast<std::uint32_t>(i % venues);
+    placed[i].record.type = trace::IcTaskType::kRender;
+    placed[i].record.user_id = static_cast<std::uint32_t>(i);
+    placed[i].record.model_id = (i * 7) % models + 1;
+  }
+  trace::RetimeArrivals(std::span<trace::PlacedRecord>(placed), rate_hz);
+  return placed;
+}
+
+void RegisterStormModels(FederationPipeline& pipeline,
+                         std::uint32_t models = 6) {
+  for (std::uint64_t m = 1; m <= models; ++m) {
+    pipeline.RegisterModel(m, KB(64) + m * KB(4));
+  }
+}
+
+TEST(OpenLoopReplayTest, ManyRequestsInFlightAt500PerSecond) {
+  // The acceptance scenario: an 8-venue full mesh absorbing an offered
+  // load of 500 req/s must actually overlap requests (the closed loop
+  // never exceeds 1 in flight).
+  FederationPipeline pipeline(OpenLoopClusterConfig(8));
+  RegisterStormModels(pipeline);
+  const auto placed = RenderStorm(8, 400, 500.0);
+  for (const auto& p : placed) pipeline.EnqueuePlaced(p);
+  const auto outcomes = pipeline.RunOpenLoop();
+  ASSERT_EQ(outcomes.size(), 400u);
+  for (const auto& o : outcomes) EXPECT_FALSE(o.outcome.error);
+  EXPECT_GT(pipeline.open_loop_stats().max_inflight, 1u);
+  EXPECT_EQ(pipeline.open_loop_stats().operations, 400u);
+  // Edges parked more than one request at a time under the storm.
+  std::size_t peak = 0;
+  for (std::uint32_t v = 0; v < 8; ++v) {
+    peak = std::max(peak, pipeline.edge(v).peak_pending());
+  }
+  EXPECT_GT(peak, 1u);
+}
+
+TEST(OpenLoopReplayTest, SchedulerFullyDrainsAndTimersStop) {
+  FederationPipeline pipeline(OpenLoopClusterConfig(4));
+  RegisterStormModels(pipeline);
+  const auto placed = RenderStorm(4, 100, 200.0);
+  for (const auto& p : placed) pipeline.EnqueuePlaced(p);
+  (void)pipeline.RunOpenLoop();
+  // The free-running gossip timers were cancelled at workload drain: no
+  // event remains pending, and RunOpenLoop returned at all.
+  EXPECT_EQ(pipeline.scheduler().pending(), 0u);
+  EXPECT_FALSE(pipeline.scheduler().Step());
+}
+
+TEST(OpenLoopReplayTest, GossipRefreshesWhileOperationsAreInFlight) {
+  // Phase 1: venue 0 warms all six models (arrivals spread over ~0.3 s,
+  // i.e. several 50 ms gossip periods). Phase 2: the other venues
+  // request the same models. Only a summary gossiped *during* the run —
+  // after venue 0's inserts, the open loop has no between-ops gossip —
+  // can direct phase-2 misses at venue 0, so peer hits prove the timers
+  // refreshed summaries while operations were in flight.
+  FederationPipeline pipeline(OpenLoopClusterConfig(4));
+  RegisterStormModels(pipeline);
+  std::vector<trace::PlacedRecord> placed(120);
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    auto& p = placed[i];
+    p.venue = i < 60 ? 0 : static_cast<std::uint32_t>(i % 3 + 1);
+    p.record.type = trace::IcTaskType::kRender;
+    p.record.user_id = static_cast<std::uint32_t>(i);
+    p.record.model_id = i % 6 + 1;
+  }
+  trace::RetimeArrivals(std::span<trace::PlacedRecord>(placed), 200.0);
+  for (const auto& p : placed) pipeline.EnqueuePlaced(p);
+  const auto outcomes = pipeline.RunOpenLoop();
+  const auto& stats = pipeline.open_loop_stats();
+  // Round 0 contributes exactly `venues` firings; anything beyond came
+  // from the free-running timers while operations were completing.
+  EXPECT_GT(stats.gossip_rounds, 4u * 3u);
+  EXPECT_GT(pipeline.summary_updates_sent(), 0u);
+  std::uint64_t peer_served = 0;
+  for (const auto& o : outcomes) {
+    peer_served += o.outcome.source == ResultSource::kPeerEdge ? 1 : 0;
+  }
+  EXPECT_GT(peer_served, 0u);
+}
+
+TEST(OpenLoopReplayTest, DeterministicForAFixedSeed) {
+  auto run_once = [] {
+    FederationPipeline pipeline(OpenLoopClusterConfig(4));
+    RegisterStormModels(pipeline);
+    const auto placed = RenderStorm(4, 150, 300.0);
+    for (const auto& p : placed) pipeline.EnqueuePlaced(p);
+    return pipeline.RunOpenLoop();
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].venue, second[i].venue);
+    EXPECT_EQ(first[i].outcome.source, second[i].outcome.source);
+    EXPECT_EQ(first[i].outcome.latency.micros(),
+              second[i].outcome.latency.micros());
+    EXPECT_EQ(first[i].outcome.object_id, second[i].outcome.object_id);
+  }
+}
+
+TEST(OpenLoopReplayTest, HitRateConsistentWithClosedLoop) {
+  const auto placed = RenderStorm(4, 200, 200.0);
+
+  FederationPipeline closed(OpenLoopClusterConfig(4));
+  RegisterStormModels(closed);
+  for (const auto& p : placed) closed.EnqueuePlaced(p);
+  core::QoeAggregator closed_agg;
+  for (const auto& o : closed.Run()) closed_agg.Add(o.outcome);
+
+  FederationPipeline open(OpenLoopClusterConfig(4));
+  RegisterStormModels(open);
+  for (const auto& p : placed) open.EnqueuePlaced(p);
+  core::QoeAggregator open_agg;
+  for (const auto& o : open.RunOpenLoop()) open_agg.Add(o.outcome);
+
+  // Same trace, same caches; the open loop may lose a few hits to
+  // concurrent same-key misses, not more.
+  EXPECT_GT(closed_agg.HitRate(), 0.5);
+  EXPECT_NEAR(open_agg.HitRate(), closed_agg.HitRate(), 0.15);
+}
+
+TEST(OpenLoopReplayTest, EmptyQueueIsANoOp) {
+  FederationPipeline pipeline(OpenLoopClusterConfig(2));
+  const auto outcomes = pipeline.RunOpenLoop();
+  EXPECT_TRUE(outcomes.empty());
+  EXPECT_EQ(pipeline.scheduler().pending(), 0u);
+  EXPECT_EQ(pipeline.open_loop_stats().gossip_rounds, 0u);
+}
+
+TEST(OpenLoopReplayTest, ArrivalTimesHonoredOnTheSimClock) {
+  FederationPipeline pipeline(OpenLoopClusterConfig(2));
+  RegisterStormModels(pipeline);
+  trace::PlacedRecord late;
+  late.venue = 1;
+  late.record.type = trace::IcTaskType::kRender;
+  late.record.model_id = 1;
+  late.record.at = SimTime::FromMicros(2'000'000);
+  pipeline.EnqueuePlaced(late);
+  (void)pipeline.RunOpenLoop();
+  // The single operation was issued at its arrival time, so the run ends
+  // at >= 2 s simulated regardless of service latency.
+  EXPECT_GE(pipeline.scheduler().now().micros(), 2'000'000);
+  EXPECT_GE(pipeline.open_loop_stats().first_arrival.micros(), 2'000'000);
+}
+
 }  // namespace
 }  // namespace coic

@@ -120,6 +120,58 @@ TEST(SchedulerTest, RunUntilAdvancesClockWhenIdle) {
   EXPECT_EQ(sched.now().micros(), 500);
 }
 
+TEST(SchedulerTest, TotalFiredExcludesCancelledEvents) {
+  EventScheduler sched;
+  const auto noop = [] {};
+  sched.ScheduleAt(SimTime::FromMicros(1), noop);
+  const EventId cancelled = sched.ScheduleAt(SimTime::FromMicros(2), noop);
+  sched.ScheduleAt(SimTime::FromMicros(3), noop);
+  sched.Cancel(cancelled);
+  EXPECT_EQ(sched.Run(), 2u);
+  EXPECT_EQ(sched.total_fired(), 2u);
+}
+
+TEST(SchedulerTest, CancellingARearmedTimerStopsTheChain) {
+  // The free-running gossip pattern: a periodic event re-arms itself
+  // each firing; cancelling the latest armed id must terminate the
+  // chain so Run() drains.
+  EventScheduler sched;
+  EventId armed = 0;
+  int rounds = 0;
+  std::function<void()> tick = [&] {
+    ++rounds;
+    if (rounds < 3) armed = sched.ScheduleAfter(Duration::Millis(1), tick);
+  };
+  armed = sched.ScheduleAfter(Duration::Millis(1), tick);
+  sched.ScheduleAt(SimTime::FromMicros(1500), [&] { sched.Cancel(armed); });
+  sched.Run();
+  // Fired at 1 ms, re-armed for 2 ms, cancelled at 1.5 ms.
+  EXPECT_EQ(rounds, 1);
+  EXPECT_EQ(sched.pending(), 0u);
+}
+
+TEST(SchedulerTest, CancelSemanticsSurviveManyLazyDeletions) {
+  // Stress the flat-state bookkeeping: interleave fires and cancels and
+  // confirm Cancel keeps distinguishing pending / fired / cancelled /
+  // never-issued ids.
+  EventScheduler sched;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(
+        sched.ScheduleAt(SimTime::FromMicros(i % 97), [&] { ++fired; }));
+  }
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    EXPECT_TRUE(sched.Cancel(ids[i]));
+    EXPECT_FALSE(sched.Cancel(ids[i]));  // double cancel
+  }
+  EXPECT_FALSE(sched.Cancel(999'999));  // never issued
+  sched.Run();
+  EXPECT_EQ(fired, 1000 - 334);
+  EXPECT_EQ(sched.total_fired(), static_cast<std::uint64_t>(fired));
+  for (const EventId id : ids) EXPECT_FALSE(sched.Cancel(id));  // all fired
+}
+
 TEST(SchedulerTest, TimeNeverGoesBackwards) {
   EventScheduler sched;
   std::vector<std::int64_t> times;

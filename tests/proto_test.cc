@@ -421,5 +421,154 @@ TEST(EnvelopeTest, HeaderBitFlipsRejected) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// In-place fast paths (relay forwarding, result-source patching)
+// ---------------------------------------------------------------------------
+
+FederatedRelay SampleRelay() {
+  FederatedRelay m;
+  m.src_edge = 2;
+  m.dest_edge = 5;
+  m.ttl = 3;
+  m.inner = EncodeEnvelope(MessageType::kPing, 42, {});
+  return m;
+}
+
+TEST(RelayFastPathTest, PeekMatchesDecodedFields) {
+  const FederatedRelay m = SampleRelay();
+  const ByteVec frame = EncodeMessage(MessageType::kFederatedRelay, 42, m);
+  const auto view = PeekRelayFrame(frame);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().src_edge, m.src_edge);
+  EXPECT_EQ(view.value().dest_edge, m.dest_edge);
+  EXPECT_EQ(view.value().ttl, m.ttl);
+  EXPECT_EQ(view.value().inner_size, m.inner.size());
+  EXPECT_EQ(ByteVec(frame.begin() + static_cast<std::ptrdiff_t>(
+                        view.value().inner_offset),
+                    frame.end()),
+            m.inner);
+}
+
+TEST(RelayFastPathTest, TtlPatchInPlaceIsByteIdenticalToReEncode) {
+  // The forwarding fast path must produce exactly the frame the old
+  // decode → --ttl → re-encode path produced.
+  const FederatedRelay m = SampleRelay();
+  ByteVec patched = EncodeMessage(MessageType::kFederatedRelay, 42, m);
+  DecrementRelayTtlInPlace(patched);
+
+  auto env = DecodeEnvelope(EncodeMessage(MessageType::kFederatedRelay, 42, m));
+  ASSERT_TRUE(env.ok());
+  auto decoded = DecodePayloadAs<FederatedRelay>(
+      env.value(), MessageType::kFederatedRelay);
+  ASSERT_TRUE(decoded.ok());
+  FederatedRelay slow = std::move(decoded).value();
+  --slow.ttl;
+  const ByteVec reencoded =
+      EncodeMessage(MessageType::kFederatedRelay, env.value().request_id, slow);
+
+  EXPECT_EQ(patched, reencoded);
+}
+
+TEST(RelayFastPathTest, UnwrapInPlaceYieldsTheInnerEnvelope) {
+  const FederatedRelay m = SampleRelay();
+  ByteVec frame = EncodeMessage(MessageType::kFederatedRelay, 42, m);
+  const auto view = PeekRelayFrame(frame);
+  ASSERT_TRUE(view.ok());
+  UnwrapRelayInPlace(frame, view.value());
+  EXPECT_EQ(frame, m.inner);
+}
+
+TEST(RelayFastPathTest, PeekRejectsMalformedFrames) {
+  const FederatedRelay m = SampleRelay();
+  const ByteVec good = EncodeMessage(MessageType::kFederatedRelay, 42, m);
+
+  // Not a relay envelope.
+  EXPECT_FALSE(PeekRelayFrame(EncodeEnvelope(MessageType::kPing, 1, {})).ok());
+  // Truncated at every prefix length.
+  for (std::size_t len = 0; len < good.size(); ++len) {
+    EXPECT_FALSE(
+        PeekRelayFrame(std::span<const std::uint8_t>(good.data(), len)).ok())
+        << "prefix " << len;
+  }
+  // Relay-to-self is rejected exactly like FederatedRelay::Decode.
+  FederatedRelay self = SampleRelay();
+  self.dest_edge = self.src_edge;
+  EXPECT_FALSE(
+      PeekRelayFrame(EncodeMessage(MessageType::kFederatedRelay, 1, self))
+          .ok());
+}
+
+TEST(ResultSourcePatchTest, InPlacePatchIsByteIdenticalToReEncode) {
+  // Recognition: source sits after a variable-length label.
+  RecognitionResult recognition;
+  recognition.frame_id = 9;
+  recognition.label = "object_7";
+  recognition.confidence = 0.75f;
+  recognition.source = ResultSource::kCloud;
+  recognition.annotation = DeterministicBytes(4096, 1);
+
+  RenderResult render;
+  render.model_id = 3;
+  render.source = ResultSource::kCloud;
+  render.model_bytes = DeterministicBytes(8192, 2);
+
+  PanoramaResult panorama;
+  panorama.video_id = 5;
+  panorama.frame_index = 11;
+  panorama.source = ResultSource::kCloud;
+  panorama.width = 64;
+  panorama.height = 32;
+  panorama.frame = DeterministicBytes(2048, 3);
+
+  const auto check = [](auto msg, MessageType type) {
+    ByteWriter w;
+    msg.Encode(w);
+    ByteVec patched(w.bytes().begin(), w.bytes().end());
+    ASSERT_TRUE(
+        PatchResultSourceInPlace(type, patched, ResultSource::kPeerEdge));
+
+    msg.source = ResultSource::kPeerEdge;
+    ByteWriter expected;
+    msg.Encode(expected);
+    EXPECT_EQ(patched, ByteVec(expected.bytes().begin(),
+                               expected.bytes().end()));
+  };
+  check(recognition, MessageType::kRecognitionResult);
+  check(render, MessageType::kRenderResult);
+  check(panorama, MessageType::kPanoramaResult);
+}
+
+TEST(SummaryPeekTest, HeaderMatchesEncodedLeadingFields) {
+  // Pins the fixed offsets PeekSummaryFrame reads to SummaryUpdate's
+  // Encode order (u32 edge_id, u64 version first).
+  SummaryUpdate m;
+  m.edge_id = 6;
+  m.version = 0x0102030405060708ULL;
+  m.bloom_hashes = 4;
+  m.bloom_inserted = 3;
+  m.bloom_bits = ByteVec(16, 0xAB);
+  const ByteVec frame = EncodeMessage(MessageType::kSummaryUpdate, 77, m);
+  const auto header = PeekSummaryFrame(frame);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header.value().edge_id, m.edge_id);
+  EXPECT_EQ(header.value().version, m.version);
+
+  EXPECT_FALSE(PeekSummaryFrame(EncodeEnvelope(MessageType::kPing, 1, {})).ok());
+  EXPECT_FALSE(
+      PeekSummaryFrame(std::span<const std::uint8_t>(frame.data(), 24)).ok());
+}
+
+TEST(ResultSourcePatchTest, RejectsNonResultTypesAndShortPayloads) {
+  ByteVec tiny(4, 0);
+  EXPECT_FALSE(PatchResultSourceInPlace(MessageType::kPing, tiny,
+                                        ResultSource::kEdgeCache));
+  EXPECT_FALSE(PatchResultSourceInPlace(MessageType::kRecognitionResult, tiny,
+                                        ResultSource::kEdgeCache));
+  ByteVec short_render(8, 0);  // model_id only, no source byte
+  EXPECT_FALSE(PatchResultSourceInPlace(MessageType::kRenderResult,
+                                        short_render,
+                                        ResultSource::kEdgeCache));
+}
+
 }  // namespace
 }  // namespace coic::proto

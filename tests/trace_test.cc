@@ -192,5 +192,55 @@ TEST_P(ColocationSweepTest, SharedRequestsGrowWithColocation) {
 INSTANTIATE_TEST_SUITE_P(Fractions, ColocationSweepTest,
                          ::testing::Values(0.25, 0.5, 0.75, 1.0));
 
+// ---------------------------------------------------------------------------
+// Arrival re-timing (open-loop replay plan)
+// ---------------------------------------------------------------------------
+
+TEST(RetimeArrivalsTest, PreservesContentAndOrderAtTheTargetRate) {
+  WorkloadGenerator gen(WorkloadConfig{});
+  auto records = gen.GenerateRecognition(2000);
+  const auto original = records;
+
+  RetimeArrivals(std::span<TraceRecord>(records), 100.0, 21);
+
+  SimTime prev = SimTime::Epoch();
+  double sum_gap_s = 0;
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    // Everything but the arrival instant is untouched.
+    EXPECT_EQ(records[i].user_id, original[i].user_id);
+    EXPECT_EQ(records[i].scene.scene_id, original[i].scene.scene_id);
+    EXPECT_GT(records[i].at, prev);  // strictly increasing Poisson clock
+    sum_gap_s += (records[i].at - prev).seconds();
+    prev = records[i].at;
+  }
+  // Mean interarrival ~= 1/rate (law of large numbers at n = 2000).
+  EXPECT_NEAR(sum_gap_s / static_cast<double>(records.size()), 1.0 / 100.0,
+              0.002);
+}
+
+TEST(RetimeArrivalsTest, PlacedOverloadKeepsVenueTags) {
+  ClusterWorkloadConfig config;
+  config.venues = 4;
+  ClusterWorkloadGenerator gen(config);
+  auto placed = gen.GenerateRender(200, std::vector<std::uint64_t>{1, 2, 3});
+  const auto original = placed;
+  RetimeArrivals(std::span<PlacedRecord>(placed), 500.0);
+  for (std::size_t i = 0; i < placed.size(); ++i) {
+    EXPECT_EQ(placed[i].venue, original[i].venue);
+    EXPECT_EQ(placed[i].record.model_id, original[i].record.model_id);
+  }
+}
+
+TEST(RetimeArrivalsTest, DeterministicForAFixedSeed) {
+  WorkloadGenerator gen(WorkloadConfig{});
+  auto a = gen.GenerateRecognition(100);
+  auto b = a;
+  RetimeArrivals(std::span<TraceRecord>(a), 250.0, 5);
+  RetimeArrivals(std::span<TraceRecord>(b), 250.0, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at.micros(), b[i].at.micros());
+  }
+}
+
 }  // namespace
 }  // namespace coic::trace
