@@ -126,6 +126,7 @@ EntryId IcCache::Insert(const FeatureDescriptor& key, ByteVec payload,
 
   if (key.kind() == DescriptorKind::kContentHash) {
     exact_[key.IndexKey()] = id;
+    Journal(key.IndexKey(), /*erased=*/false);
   } else {
     VectorIndexFor(key.task()).Insert(id, key.vector());
   }
@@ -146,6 +147,7 @@ void IcCache::RemoveEntry(EntryId id, bool count_as_eviction,
   const Entry& e = it->second;
   if (e.key.kind() == DescriptorKind::kContentHash) {
     exact_.erase(e.key.IndexKey());
+    Journal(e.key.IndexKey(), /*erased=*/true);
   } else {
     VectorIndexFor(e.key.task()).Remove(id);
   }
@@ -193,6 +195,29 @@ void IcCache::Clear() {
 void IcCache::ForEachKey(
     const std::function<void(const proto::FeatureDescriptor&)>& fn) const {
   for (const auto& [id, entry] : entries_) fn(entry.key);
+}
+
+void IcCache::Journal(std::uint64_t index_key, bool erased) {
+  if (config_.journal_capacity == 0) return;
+  if (journal_.size() == config_.journal_capacity) {
+    journal_.pop_front();
+    ++journal_head_;
+  }
+  journal_.push_back({index_key, erased});
+}
+
+bool IcCache::ForEachJournaled(
+    std::uint64_t from,
+    const std::function<void(const CacheJournalEntry&)>& fn) const {
+  // A disabled journal records nothing, so it can never attest that a
+  // reader saw every change — report it like an overflow rather than
+  // letting callers build (empty) deltas from silence.
+  if (config_.journal_capacity == 0) return false;
+  if (from < journal_head_) return false;  // overflowed past the reader
+  for (std::uint64_t seq = from; seq < journal_cursor(); ++seq) {
+    fn(journal_[seq - journal_head_]);
+  }
+  return true;
 }
 
 }  // namespace coic::cache

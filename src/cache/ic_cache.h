@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -48,6 +49,19 @@ struct IcCacheConfig {
   bool use_tinylfu = false;
   /// Sketch sizing hint ~ number of distinct hot keys.
   std::size_t tinylfu_capacity_hint = 1024;
+  /// Change-journal depth (content-hash key inserts/removals retained for
+  /// delta summaries). When a reader's cursor falls off the tail the
+  /// journal reports overflow and the reader must fall back to a full
+  /// resync. 0 (default) disables journaling — caches pay nothing for a
+  /// feature only delta-summary consumers use; FederationPipeline
+  /// auto-enables a 4096-entry journal when delta gossip is on.
+  std::size_t journal_capacity = 0;
+};
+
+/// One content-hash key change recorded by the IcCache journal.
+struct CacheJournalEntry {
+  std::uint64_t index_key = 0;  ///< FeatureDescriptor::IndexKey().
+  bool erased = false;          ///< false = inserted, true = removed.
 };
 
 struct IcCacheStats {
@@ -117,6 +131,31 @@ class IcCache {
     return mutation_count_;
   }
 
+  /// Change journal over content-hash keys, for delta cache summaries.
+  /// Changes are numbered by a monotonic cursor: `journal_cursor()` is
+  /// the sequence the *next* change will receive, `journal_head()` the
+  /// oldest sequence still retained. A consumer that remembers the cursor
+  /// at its last sync replays everything since via ForEachJournaled; when
+  /// its cursor predates journal_head() the bounded journal has
+  /// overflowed and the consumer must resync from the full content.
+  /// Only content-hash keys are journaled — vector-keyed entries are
+  /// digested into centroid sketches that delta consumers replace
+  /// wholesale. Re-inserting an existing exact key (the update path) does
+  /// not change the key set and is not journaled.
+  [[nodiscard]] std::uint64_t journal_cursor() const noexcept {
+    return journal_head_ + journal_.size();
+  }
+  [[nodiscard]] std::uint64_t journal_head() const noexcept {
+    return journal_head_;
+  }
+  /// Visits entries with sequence in [from, journal_cursor()), oldest
+  /// first. Returns false (visiting nothing) when `from` predates the
+  /// retained window — the overflow signal — or when journaling is
+  /// disabled (a journal that records nothing cannot attest coverage).
+  bool ForEachJournaled(
+      std::uint64_t from,
+      const std::function<void(const CacheJournalEntry&)>& fn) const;
+
   /// Fixed per-entry bookkeeping charge added to payload+descriptor size.
   static constexpr Bytes kEntryOverhead = 64;
 
@@ -145,6 +184,9 @@ class IcCache {
 
   void RemoveEntry(EntryId id, bool count_as_eviction, bool count_as_expiration);
 
+  /// Appends one change to the bounded journal (no-op when disabled).
+  void Journal(std::uint64_t index_key, bool erased);
+
   /// Evicts until the byte budget holds. `candidate` is the just-added
   /// entry; with TinyLFU enabled it is itself evicted (admission reject)
   /// the moment a victim with higher estimated frequency would otherwise
@@ -154,6 +196,10 @@ class IcCache {
   IcCacheConfig config_;
   IcCacheStats stats_;
   std::uint64_t mutation_count_ = 0;
+  /// Bounded hash-key change journal; journal_head_ is the sequence
+  /// number of journal_.front().
+  std::uint64_t journal_head_ = 0;
+  std::deque<CacheJournalEntry> journal_;
   Bytes bytes_used_ = 0;
   std::unique_ptr<EvictionPolicy> policy_;
   std::unique_ptr<TinyLfuAdmission> admission_;

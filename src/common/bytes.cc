@@ -68,6 +68,23 @@ Status ByteReader::ReadF32Vector(std::vector<float>& out) {
   return Status::Ok();
 }
 
+Status ByteReader::ReadU64Vector(std::vector<std::uint64_t>& out) {
+  std::uint32_t count;
+  const std::size_t start = pos_;
+  COIC_RETURN_IF_ERROR(ReadU32(count));
+  if (remaining() < static_cast<std::size_t>(count) * 8) {
+    pos_ = start;
+    return Status(StatusCode::kDataLoss, "u64 vector exceeds buffer");
+  }
+  out.resize(count);
+  if (count != 0) {
+    std::memcpy(out.data(), data_.data() + pos_,
+                static_cast<std::size_t>(count) * 8);
+  }
+  pos_ += static_cast<std::size_t>(count) * 8;
+  return Status::Ok();
+}
+
 Status ByteReader::Skip(std::size_t n) noexcept {
   if (remaining() < n) {
     return Status(StatusCode::kDataLoss, "skip past end of buffer");

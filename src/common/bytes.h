@@ -66,6 +66,12 @@ class ByteWriter {
     for (const float f : v) WriteF32(f);
   }
 
+  /// u32 count + tightly packed u64s (delta-summary key lists).
+  void WriteU64Vector(std::span<const std::uint64_t> v) {
+    WriteU32(static_cast<std::uint32_t>(v.size()));
+    for (const std::uint64_t x : v) WriteU64(x);
+  }
+
   /// Overwrites 4 already-written bytes at `offset` (little-endian).
   /// Lets encoders emit a length placeholder and fix it up afterwards,
   /// avoiding a separate payload buffer + copy on the envelope hot path.
@@ -134,6 +140,9 @@ class ByteReader {
 
   /// Reads a u32-count-prefixed packed f32 vector.
   Status ReadF32Vector(std::vector<float>& out);
+
+  /// Reads a u32-count-prefixed packed u64 vector.
+  Status ReadU64Vector(std::vector<std::uint64_t>& out);
 
   /// Reads exactly `n` raw little-endian bytes into caller storage with
   /// one bounds check — the bulk path for packed scalar arrays (mesh

@@ -25,6 +25,14 @@ void CoicClient::TrackPending(std::uint64_t request_id,
   peak_inflight_ = std::max(peak_inflight_, pending_.size());
 }
 
+std::vector<std::uint64_t> CoicClient::inflight_request_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [id, req] : pending_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 Digest128 CoicClient::PanoramaIdentityDigest(std::uint64_t video_id,
                                              std::uint32_t frame_index) {
   ByteWriter w;

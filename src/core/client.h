@@ -16,6 +16,7 @@
 #include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/hash.h"
 #include "core/cost_model.h"
@@ -86,6 +87,9 @@ class CoicClient {
                                           std::uint32_t frame_index);
 
   [[nodiscard]] std::size_t inflight() const noexcept { return pending_.size(); }
+  /// Ids of the requests still awaiting a reply, ascending — named by
+  /// the open-loop stranded-workload diagnostics.
+  [[nodiscard]] std::vector<std::uint64_t> inflight_request_ids() const;
   /// High-water mark of concurrently outstanding requests. The closed
   /// loop issues one at a time (peak 1); open-loop replay drives many.
   [[nodiscard]] std::size_t peak_inflight() const noexcept {

@@ -242,6 +242,14 @@ void EdgeService::Park(std::uint64_t request_id, PendingForward pending) {
   peak_pending_ = std::max(peak_pending_, pending_.size());
 }
 
+std::vector<std::uint64_t> EdgeService::pending_request_ids() const {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(pending_.size());
+  for (const auto& [id, fwd] : pending_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
 void EdgeService::ForwardToCloud(const Envelope& env, PendingForward pending) {
   Park(env.request_id, std::move(pending));
   ++forwards_;

@@ -194,6 +194,10 @@ class EdgeService {
   [[nodiscard]] std::size_t peak_pending() const noexcept {
     return peak_pending_;
   }
+  /// Ids of the requests currently parked, ascending — the stranded-
+  /// workload diagnostics name these when an open-loop run fails to
+  /// drain.
+  [[nodiscard]] std::vector<std::uint64_t> pending_request_ids() const;
 
  private:
   struct PendingForward {

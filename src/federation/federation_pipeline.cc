@@ -54,6 +54,13 @@ FederationPipeline::FederationPipeline(FederationPipelineConfig config)
   COIC_CHECK(config_.venues >= 1);
   COIC_CHECK(config_.mobiles_per_venue >= 1);
   COIC_CHECK(config_.probe_budget >= 1);
+  if (config_.delta_gossip && config_.cache.journal_capacity == 0) {
+    // Delta gossip needs the cache change journal; without one every
+    // send would fall back to a full summary. Journaling is off by
+    // default so non-delta caches pay nothing — enable a window deep
+    // enough to cover any realistic gossip period here.
+    config_.cache.journal_capacity = 4096;
+  }
 
   cloud_node_ = net_.AddNode("cloud");
   edge_nodes_.reserve(config_.venues);
@@ -88,6 +95,8 @@ FederationPipeline::FederationPipeline(FederationPipelineConfig config)
   summary_versions_.assign(config_.venues, 0);
   summary_frames_.resize(config_.venues);
   summary_mutations_.assign(config_.venues, 0);
+  summaries_.resize(config_.venues);
+  summary_cursors_.assign(config_.venues, 0);
   for (std::uint32_t v = 0; v < config_.venues; ++v) {
     reachable_[v] = topology_.ReachableWithin(v, config_.hop_limit);
     summary_tables_.emplace_back(config_.venues);
@@ -263,6 +272,7 @@ void FederationPipeline::OnPeerEdgeFrame(std::uint32_t venue,
       HandleRelayFrame(venue, std::move(frame));
       return;
     case MessageType::kSummaryUpdate:
+    case MessageType::kSummaryDeltaUpdate:
       HandleSummaryFrame(venue, frame);
       return;
     default:
@@ -288,7 +298,8 @@ void FederationPipeline::HandleRelayFrame(std::uint32_t venue, ByteVec frame) {
     // Terminal hop: unwrap and dispatch as if it arrived directly from
     // the logical source.
     proto::UnwrapRelayInPlace(frame, relay);
-    if (PeekMessageType(frame) == MessageType::kSummaryUpdate) {
+    if (PeekMessageType(frame) == MessageType::kSummaryUpdate ||
+        PeekMessageType(frame) == MessageType::kSummaryDeltaUpdate) {
       HandleSummaryFrame(venue, frame);
     } else {
       edges_[venue]->OnPeerFrame(relay.src_edge, std::move(frame));
@@ -310,8 +321,9 @@ void FederationPipeline::HandleSummaryFrame(std::uint32_t venue,
                                             const ByteVec& frame) {
   // Stale-version fast drop: a duplicate or outdated update — the
   // common case once summaries are only rebuilt on cache change — is
-  // discarded without decoding the bloom bits and centroid vectors.
-  // Mirrors SummaryTable::Update's `<=` staleness rule.
+  // discarded without decoding the bloom bits / key list and centroid
+  // vectors. Mirrors SummaryTable::Update's `<=` staleness rule; works
+  // for full and delta frames alike (shared leading layout).
   if (const auto header = proto::PeekSummaryFrame(frame);
       header.ok() && header.value().edge_id < config_.venues) {
     const CacheSummary* current =
@@ -319,6 +331,42 @@ void FederationPipeline::HandleSummaryFrame(std::uint32_t venue,
     if (current != nullptr && header.value().version <= current->version()) {
       return;
     }
+  }
+  if (PeekMessageType(frame) == MessageType::kSummaryDeltaUpdate) {
+    // Base-version fast drop: a delta only applies on top of exactly its
+    // base. A mismatch (missed frame on a lossy link) is not an error —
+    // the table keeps its current view, which is merely stale, until the
+    // sender's next full resend resynchronizes.
+    const auto header = proto::PeekSummaryDeltaFrame(frame);
+    if (!header.ok() || header.value().edge_id >= config_.venues) {
+      COIC_LOG(kWarn) << "federation: bad summary-delta frame";
+      return;
+    }
+    const CacheSummary* current =
+        summary_tables_[venue].For(header.value().edge_id);
+    if (current == nullptr ||
+        current->version() != header.value().base_version) {
+      COIC_LOG(kDebug) << "federation: delta base mismatch at venue " << venue
+                       << " for edge " << header.value().edge_id;
+      return;
+    }
+    auto env = proto::DecodeEnvelope(frame);
+    if (!env.ok()) {
+      COIC_LOG(kWarn) << "federation: undecodable summary-delta frame";
+      return;
+    }
+    auto wire = proto::DecodePayloadAs<proto::SummaryDeltaUpdate>(
+        env.value(), MessageType::kSummaryDeltaUpdate);
+    if (!wire.ok()) {
+      COIC_LOG(kWarn) << "federation: bad summary-delta payload";
+      return;
+    }
+    if (const Status applied = summary_tables_[venue].ApplyDelta(wire.value());
+        !applied.ok()) {
+      COIC_LOG(kWarn) << "federation: unusable summary delta: "
+                      << applied.ToString();
+    }
+    return;
   }
   auto env = proto::DecodeEnvelope(frame);
   if (!env.ok()) {
@@ -345,26 +393,117 @@ bool FederationPipeline::GossipEnabled() const noexcept {
          config_.gossip_period != Duration::Infinite();
 }
 
-void FederationPipeline::GossipEdge(std::uint32_t venue) {
+void FederationPipeline::RefreshSummary(std::uint32_t venue) {
   // Rebuild + re-encode only when the cache content changed since the
   // last round (IcCache's monotonic mutation counter as the signal);
-  // otherwise resend the memoized frame under the same version, which
-  // peers drop with the cheap staleness peek. Wire sizes are unchanged
-  // either way (version is fixed-width), so link timing — and with it
-  // every closed-loop latency — is identical to rebuilding each round.
+  // otherwise the memoized frame under the same version stands. Wire
+  // sizes are unchanged either way (version is fixed-width), so link
+  // timing — and with it every closed-loop latency — is identical to
+  // rebuilding each round.
   const std::uint64_t mutations = edges_[venue]->cache().mutation_count();
-  ByteVec& frame = summary_frames_[venue];
-  if (frame.empty() || summary_mutations_[venue] != mutations) {
-    const CacheSummary summary =
-        CacheSummary::Build(venue, ++summary_versions_[venue],
-                            edges_[venue]->cache(), config_.bloom);
-    frame = proto::EncodeMessage(MessageType::kSummaryUpdate,
-                                 summary.version(), summary.ToWire());
-    summary_mutations_[venue] = mutations;
+  if (!summary_frames_[venue].empty() &&
+      summary_mutations_[venue] == mutations) {
+    return;
   }
+  CacheSummary summary = CacheSummary::Build(
+      venue, ++summary_versions_[venue], edges_[venue]->cache(),
+      config_.bloom);
+  summary_frames_[venue] = proto::EncodeMessage(
+      MessageType::kSummaryUpdate, summary.version(), summary.ToWire());
+  summary_mutations_[venue] = mutations;
+  // Where the next delta slice starts for a peer based on this version.
+  summary_cursors_[venue] = edges_[venue]->cache().journal_cursor();
+  // Only delta frames read the summary object back (centroids + absolute
+  // key count); full-gossip pipelines keep nothing beyond the frame.
+  if (config_.delta_gossip) summaries_[venue] = std::move(summary);
+}
+
+void FederationPipeline::GossipEdge(std::uint32_t venue) {
+  if (config_.delta_gossip) {
+    GossipEdgeDelta(venue);
+    return;
+  }
+  RefreshSummary(venue);
+  const ByteVec& frame = summary_frames_[venue];
   for (const std::uint32_t peer : reachable_[venue]) {
     ++summary_updates_sent_;
+    summary_bytes_full_ += frame.size();
     SendEdgeToEdge(venue, peer, ByteVec(frame));
+  }
+}
+
+void FederationPipeline::GossipEdgeDelta(std::uint32_t venue) {
+  RefreshSummary(venue);
+  const ByteVec& full_frame = summary_frames_[venue];
+  const std::uint64_t version = summary_versions_[venue];
+  const cache::IcCache& cache = edges_[venue]->cache();
+  // In steady state every peer shares the same base version (they all
+  // applied the previous send), so the delta frame is built once per
+  // distinct base and copied per peer — mirroring the memoized full
+  // frame. An empty memo slot records that no viable delta exists from
+  // that base (journal gap, erasure in the interval, or not smaller
+  // than the full frame). The memo is keyed by base version alone:
+  // sent.journal_cursor is snapshotted together with sent.version, so
+  // equal versions imply equal cursors.
+  std::unordered_map<std::uint64_t, ByteVec> delta_memo;
+  for (const std::uint32_t peer : reachable_[venue]) {
+    auto& sent = summary_tables_[venue].sent_to(peer);
+    const bool refresh_due =
+        config_.delta_full_refresh_rounds != 0 &&
+        sent.rounds_since_full + 1 >= config_.delta_full_refresh_rounds;
+    if (sent.version == version && !refresh_due) {
+      // Peer is (believed) current: say nothing — but keep counting
+      // rounds, so a due refresh still reaches a peer that a lost frame
+      // left stale while the cache quiesced.
+      ++sent.rounds_since_full;
+      continue;
+    }
+    // A delta applies only when the peer holds a known base, the journal
+    // still covers the interval, and nothing was erased in it (Bloom
+    // bits compose under insertion only); it is sent only when actually
+    // smaller than re-shipping the full bit array.
+    const ByteVec* delta_frame = nullptr;
+    if (sent.version != 0 && sent.version != version && !refresh_due &&
+        cache.config().journal_capacity != 0) {
+      const auto [memo, first_look] = delta_memo.try_emplace(sent.version);
+      if (first_look) {
+        std::vector<std::uint64_t> inserted;
+        bool erased = false;
+        const bool covered = cache.ForEachJournaled(
+            sent.journal_cursor, [&](const cache::CacheJournalEntry& entry) {
+              if (entry.erased) {
+                erased = true;
+              } else {
+                inserted.push_back(entry.index_key);
+              }
+            });
+        if (covered && !erased) {
+          const proto::SummaryDeltaUpdate delta =
+              summaries_[venue].ToWireDelta(sent.version, std::move(inserted));
+          if (proto::kEnvelopeHeaderSize + delta.WireSize() <
+              full_frame.size()) {
+            memo->second = proto::EncodeMessage(
+                MessageType::kSummaryDeltaUpdate, version, delta);
+          }
+        }
+      }
+      if (!memo->second.empty()) delta_frame = &memo->second;
+    }
+    if (delta_frame != nullptr) {
+      ++summary_deltas_sent_;
+      summary_bytes_delta_ += delta_frame->size();
+      sent.version = version;
+      sent.journal_cursor = summary_cursors_[venue];
+      ++sent.rounds_since_full;
+      SendEdgeToEdge(venue, peer, ByteVec(*delta_frame));
+    } else {
+      ++summary_updates_sent_;
+      summary_bytes_full_ += full_frame.size();
+      sent.version = version;
+      sent.journal_cursor = summary_cursors_[venue];
+      sent.rounds_since_full = 0;
+      SendEdgeToEdge(venue, peer, ByteVec(full_frame));
+    }
   }
 }
 
@@ -531,6 +670,42 @@ std::vector<FederationOutcome> FederationPipeline::Run() {
   return std::move(outcomes_);
 }
 
+std::string FederationPipeline::StrandedDiagnostic() const {
+  // A stranded open-loop run (dropped frame, lossy link) used to fail
+  // with a bare count; naming the stuck request ids and where they are
+  // parked turns the CHECK into a directly actionable report.
+  std::string msg = "open-loop drained with " +
+                    std::to_string(expected_ - completed_) + " of " +
+                    std::to_string(expected_) + " operations incomplete:";
+  constexpr std::size_t kMaxIdsNamed = 8;
+  const auto append_ids = [&msg](const std::vector<std::uint64_t>& ids) {
+    msg += " [ids";
+    for (std::size_t i = 0; i < ids.size() && i < kMaxIdsNamed; ++i) {
+      msg += ' ' + std::to_string(ids[i]);
+    }
+    if (ids.size() > kMaxIdsNamed) {
+      msg += " +" + std::to_string(ids.size() - kMaxIdsNamed) + " more";
+    }
+    msg += ']';
+  };
+  for (std::uint32_t v = 0; v < config_.venues; ++v) {
+    std::vector<std::uint64_t> client_ids;
+    for (std::uint32_t m = 0; m < config_.mobiles_per_venue; ++m) {
+      const auto ids = clients_[ClientIndex(v, m)]->inflight_request_ids();
+      client_ids.insert(client_ids.end(), ids.begin(), ids.end());
+    }
+    const auto edge_ids = edges_[v]->pending_request_ids();
+    if (client_ids.empty() && edge_ids.empty()) continue;
+    msg += " venue " + std::to_string(v) + ": " +
+           std::to_string(client_ids.size()) + " awaiting reply at clients";
+    append_ids(client_ids);
+    msg += ", " + std::to_string(edge_ids.size()) + " parked at edge";
+    append_ids(edge_ids);
+    msg += ';';
+  }
+  return msg;
+}
+
 std::vector<FederationOutcome> FederationPipeline::RunOpenLoop() {
   outcomes_.clear();
   open_loop_ = OpenLoopStats{};
@@ -589,8 +764,7 @@ std::vector<FederationOutcome> FederationPipeline::RunOpenLoop() {
 
   sched_.Run();
   StopGossipTimers();  // expected_ == 0: timers were never armed; no-op
-  COIC_CHECK_MSG(completed_ == expected_,
-                 "open-loop drained with operations incomplete");
+  COIC_CHECK_MSG(completed_ == expected_, StrandedDiagnostic());
   open_loop_.events_fired = sched_.total_fired() - fired_before;
   return std::move(outcomes_);
 }

@@ -19,6 +19,7 @@
 
 #include <deque>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/client.h"
@@ -74,6 +75,27 @@ struct FederationPipelineConfig {
   /// alive after the workload drains.
   Duration gossip_period = Duration::Millis(250);
   BloomFilterConfig bloom;
+  /// Delta gossip: when true, an edge whose peer already holds its
+  /// previous summary version sends a SummaryDeltaUpdate (just the
+  /// content-hash keys inserted since, plus replacement centroid
+  /// sketches) instead of re-shipping the whole Bloom bit array, and
+  /// skips the send entirely when the peer is already current. Falls
+  /// back to a full SummaryUpdate per peer when the base version is
+  /// unknown (first contact), the cache change journal overflowed or is
+  /// disabled, any key was erased since the base (Bloom bits only
+  /// compose under insertion), a periodic refresh is due, or the delta
+  /// would not be smaller than the full frame. Off by default — full
+  /// gossip is the PR 3 wire behavior, kept bit-identical.
+  bool delta_gossip = false;
+  /// With delta gossip on lossy links a dropped frame would strand a
+  /// peer on an old base forever: sent-state is sent-not-acked, so the
+  /// sender believes the peer is current, skips it every round, and —
+  /// once the cache quiesces — never sends again. Forcing a full
+  /// summary every Nth gossip *round* per peer (counting quiet rounds,
+  /// which is exactly when a stranded peer would otherwise be
+  /// unreachable) bounds that divergence; 0 (default) never forces —
+  /// the netsim peer links are reliable.
+  std::uint32_t delta_full_refresh_rounds = 0;
   core::CostModel costs;
   cache::IcCacheConfig cache;
   vision::FeatureExtractorConfig extractor;
@@ -161,9 +183,28 @@ class FederationPipeline {
   /// Probe traffic across the whole cluster (sum of per-edge counters).
   [[nodiscard]] std::uint64_t total_peer_probes() const;
   [[nodiscard]] std::uint64_t total_peer_hits() const;
-  /// SummaryUpdate messages sent (gossip overhead).
+  /// SummaryUpdate messages sent (gossip overhead). With delta gossip
+  /// this counts full summaries only; deltas are tallied separately.
   [[nodiscard]] std::uint64_t summary_updates_sent() const noexcept {
     return summary_updates_sent_;
+  }
+  /// SummaryDeltaUpdate messages sent (delta gossip only).
+  [[nodiscard]] std::uint64_t summary_deltas_sent() const noexcept {
+    return summary_deltas_sent_;
+  }
+  /// Encoded bytes of full-summary / delta-summary frames handed to the
+  /// peer links (relay wrappers excluded) — the wire cost the delta
+  /// ablation compares.
+  [[nodiscard]] std::uint64_t summary_bytes_full() const noexcept {
+    return summary_bytes_full_;
+  }
+  [[nodiscard]] std::uint64_t summary_bytes_delta() const noexcept {
+    return summary_bytes_delta_;
+  }
+  /// Venue `venue`'s view of its peers' summaries (tests compare delta-
+  /// built tables against full-gossip tables byte for byte).
+  [[nodiscard]] const SummaryTable& summary_table(std::uint32_t venue) const {
+    return summary_tables_.at(venue);
   }
   /// Relay forwards performed by intermediate venues.
   [[nodiscard]] std::uint64_t relay_forwards() const noexcept {
@@ -195,6 +236,16 @@ class FederationPipeline {
 
   /// Builds and gossips `venue`'s cache summary to its reachable peers.
   void GossipEdge(std::uint32_t venue);
+  /// Delta-gossip counterpart: rebuilds on change like GossipEdge, then
+  /// chooses delta vs. full per peer from the journal and each peer's
+  /// last-sent base version (skipping peers that are already current).
+  void GossipEdgeDelta(std::uint32_t venue);
+  /// Rebuilds venue's summary + memoized full frame if the cache changed
+  /// since the last build; shared by both gossip modes.
+  void RefreshSummary(std::uint32_t venue);
+  /// Diagnostic for a stranded open-loop workload: names the stuck
+  /// request ids and per-venue pending counts.
+  [[nodiscard]] std::string StrandedDiagnostic() const;
   /// Runs a gossip round if the period elapsed (called between ops).
   void MaybeGossip();
   /// True when the config calls for summary gossip at all.
@@ -231,9 +282,18 @@ class FederationPipeline {
   /// insert+evict count it digested; rebuilt only when that count moves.
   std::vector<ByteVec> summary_frames_;
   std::vector<std::uint64_t> summary_mutations_;
+  /// Delta-gossip state per edge: the last built summary (delta frames
+  /// draw centroids and the absolute key count from it) and the cache
+  /// journal cursor snapshotted at that build — where the next delta
+  /// slice starts for a peer based on this version.
+  std::vector<CacheSummary> summaries_;
+  std::vector<std::uint64_t> summary_cursors_;
   std::unordered_map<std::uint64_t, Digest128> model_digests_;
   SimTime next_gossip_ = SimTime::Epoch();
   std::uint64_t summary_updates_sent_ = 0;
+  std::uint64_t summary_deltas_sent_ = 0;
+  std::uint64_t summary_bytes_full_ = 0;
+  std::uint64_t summary_bytes_delta_ = 0;
   std::uint64_t relay_forwards_ = 0;
   std::deque<Op> ops_;
   std::vector<FederationOutcome> outcomes_;

@@ -134,6 +134,43 @@ proto::SummaryUpdate CacheSummary::ToWire() const {
   return wire;
 }
 
+proto::SummaryDeltaUpdate CacheSummary::ToWireDelta(
+    std::uint64_t base_version,
+    std::vector<std::uint64_t> keys_inserted) const {
+  proto::SummaryDeltaUpdate wire;
+  wire.edge_id = edge_id_;
+  wire.version = version_;
+  wire.base_version = base_version;
+  wire.bloom_inserted = bloom_.inserted();
+  wire.keys_inserted = std::move(keys_inserted);
+  for (std::size_t t = 0; t < 3; ++t) {
+    wire.centroids[t].count = sketches_[t].count;
+    wire.centroids[t].centroid = sketches_[t].centroid;
+  }
+  return wire;
+}
+
+Status CacheSummary::ApplyDelta(const proto::SummaryDeltaUpdate& wire) {
+  if (wire.edge_id != edge_id_) {
+    return Status(StatusCode::kInvalidArgument, "delta names another edge");
+  }
+  if (wire.base_version != version_) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "delta base does not match held version");
+  }
+  if (wire.bloom_inserted != bloom_.inserted() + wire.keys_inserted.size()) {
+    return Status(StatusCode::kDataLoss,
+                  "delta key count does not compose with held summary");
+  }
+  for (const std::uint64_t key : wire.keys_inserted) bloom_.Insert(key);
+  for (std::size_t t = 0; t < 3; ++t) {
+    sketches_[t].count = wire.centroids[t].count;
+    sketches_[t].centroid = wire.centroids[t].centroid;
+  }
+  version_ = wire.version;
+  return Status::Ok();
+}
+
 Result<CacheSummary> CacheSummary::FromWire(const proto::SummaryUpdate& wire) {
   if (wire.bloom_bits.empty()) {
     return Status(StatusCode::kDataLoss, "summary with empty bloom filter");
@@ -163,10 +200,27 @@ bool SummaryTable::Update(CacheSummary summary) {
   return true;
 }
 
+Status SummaryTable::ApplyDelta(const proto::SummaryDeltaUpdate& wire) {
+  if (wire.edge_id >= summaries_.size()) {
+    return Status(StatusCode::kInvalidArgument, "delta from unknown edge");
+  }
+  auto& slot = summaries_[wire.edge_id];
+  if (!slot.has_value()) {
+    return Status(StatusCode::kFailedPrecondition,
+                  "delta without a base summary");
+  }
+  return slot->ApplyDelta(wire);
+}
+
 const CacheSummary* SummaryTable::For(std::uint32_t edge) const {
   COIC_CHECK(edge < summaries_.size());
   const auto& slot = summaries_[edge];
   return slot.has_value() ? &*slot : nullptr;
+}
+
+SummaryTable::SentState& SummaryTable::sent_to(std::uint32_t peer) {
+  COIC_CHECK(peer < sent_.size());
+  return sent_[peer];
 }
 
 }  // namespace coic::federation

@@ -92,6 +92,23 @@ class CacheSummary {
   [[nodiscard]] proto::SummaryUpdate ToWire() const;
   static Result<CacheSummary> FromWire(const proto::SummaryUpdate& wire);
 
+  /// Incremental form: the delta that takes a receiver holding
+  /// `base_version` of this edge's summary to this summary's version.
+  /// `keys_inserted` is the journal slice of content-hash IndexKeys
+  /// inserted in between (caller guarantees no erasures in the interval —
+  /// Bloom bits only compose under insertion); centroid sketches ride
+  /// along whole.
+  [[nodiscard]] proto::SummaryDeltaUpdate ToWireDelta(
+      std::uint64_t base_version,
+      std::vector<std::uint64_t> keys_inserted) const;
+
+  /// Applies a delta in place. Validates before mutating: the delta must
+  /// name this edge, extend exactly this summary's version, and its
+  /// absolute key count must equal ours plus the inserted list — the
+  /// insert-only composition invariant that makes the result
+  /// byte-identical to the sender's freshly built summary.
+  Status ApplyDelta(const proto::SummaryDeltaUpdate& wire);
+
   [[nodiscard]] std::uint32_t edge_id() const noexcept { return edge_id_; }
   [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
   [[nodiscard]] const BloomFilter& bloom() const noexcept { return bloom_; }
@@ -106,15 +123,25 @@ class CacheSummary {
   std::array<CentroidSketch, 3> sketches_;
 };
 
-/// Freshest summary per peer edge, keyed by cluster index.
+/// Freshest summary per peer edge, keyed by cluster index. Also the home
+/// of the per-peer version bookkeeping delta gossip needs on both sides:
+/// received summaries carry their version (the base a delta must extend),
+/// and the owning edge records what it last *sent* each peer so it can
+/// choose delta vs. full per peer.
 class SummaryTable {
  public:
   explicit SummaryTable(std::uint32_t cluster_size)
-      : summaries_(cluster_size) {}
+      : summaries_(cluster_size), sent_(cluster_size) {}
 
   /// Installs `summary` unless a newer version is already present.
   /// Returns true if installed.
   bool Update(CacheSummary summary);
+
+  /// Applies an incremental update to the stored summary for its edge.
+  /// Fails (leaving the table untouched) when no summary is held for
+  /// that edge or the held version is not exactly the delta's base —
+  /// the caller drops the frame and waits for a full resend.
+  Status ApplyDelta(const proto::SummaryDeltaUpdate& wire);
 
   /// Latest summary for `edge`, or nullptr if none received yet.
   [[nodiscard]] const CacheSummary* For(std::uint32_t edge) const;
@@ -123,8 +150,26 @@ class SummaryTable {
     return static_cast<std::uint32_t>(summaries_.size());
   }
 
+  /// Sender-side tracking: what this edge last gossiped to `peer`.
+  /// `version` 0 means nothing sent yet (first contact is always a full
+  /// summary); `journal_cursor` is the owning cache's journal position
+  /// snapshotted when that version was built, i.e. where the next delta
+  /// slice starts; `rounds_since_full` drives the optional periodic
+  /// full refresh — it counts gossip *rounds* (including quiet ones
+  /// where the peer was already current and nothing was sent), because
+  /// sent-state is sent-not-acked: after a lost frame the peer needs a
+  /// resend precisely when the sender believes it is current and the
+  /// cache has quiesced, i.e. when no further send would ever happen.
+  struct SentState {
+    std::uint64_t version = 0;
+    std::uint64_t journal_cursor = 0;
+    std::uint32_t rounds_since_full = 0;
+  };
+  [[nodiscard]] SentState& sent_to(std::uint32_t peer);
+
  private:
   std::vector<std::optional<CacheSummary>> summaries_;
+  std::vector<SentState> sent_;
 };
 
 }  // namespace coic::federation

@@ -20,6 +20,7 @@ bool ValidMessageType(std::uint8_t raw) noexcept {
     case MessageType::kPeerLookupReply:
     case MessageType::kSummaryUpdate:
     case MessageType::kFederatedRelay:
+    case MessageType::kSummaryDeltaUpdate:
       return true;
   }
   return false;
@@ -143,14 +144,33 @@ void UnwrapRelayInPlace(ByteVec& frame, const RelayFrameView& view) {
 
 Result<SummaryFrameHeader> PeekSummaryFrame(
     std::span<const std::uint8_t> frame) {
-  // SummaryUpdate::Encode leads with u32 edge_id, u64 version.
+  // SummaryUpdate::Encode and SummaryDeltaUpdate::Encode both lead with
+  // u32 edge_id, u64 version.
+  const auto type = frame.size() > 6 ? static_cast<MessageType>(frame[6])
+                                     : MessageType::kPing;
   if (frame.size() < kEnvelopeHeaderSize + 12 ||
-      static_cast<MessageType>(frame[6]) != MessageType::kSummaryUpdate) {
+      (type != MessageType::kSummaryUpdate &&
+       type != MessageType::kSummaryDeltaUpdate)) {
     return Status(StatusCode::kDataLoss, "not a summary envelope");
   }
   SummaryFrameHeader header;
   std::memcpy(&header.edge_id, frame.data() + kEnvelopeHeaderSize, 4);
   std::memcpy(&header.version, frame.data() + kEnvelopeHeaderSize + 4, 8);
+  return header;
+}
+
+Result<SummaryDeltaFrameHeader> PeekSummaryDeltaFrame(
+    std::span<const std::uint8_t> frame) {
+  // SummaryDeltaUpdate::Encode leads with u32 edge_id, u64 version,
+  // u64 base_version.
+  if (frame.size() < kEnvelopeHeaderSize + 20 ||
+      static_cast<MessageType>(frame[6]) != MessageType::kSummaryDeltaUpdate) {
+    return Status(StatusCode::kDataLoss, "not a summary-delta envelope");
+  }
+  SummaryDeltaFrameHeader header;
+  std::memcpy(&header.edge_id, frame.data() + kEnvelopeHeaderSize, 4);
+  std::memcpy(&header.version, frame.data() + kEnvelopeHeaderSize + 4, 8);
+  std::memcpy(&header.base_version, frame.data() + kEnvelopeHeaderSize + 12, 8);
   return header;
 }
 

@@ -125,17 +125,28 @@ void DecrementRelayTtlInPlace(ByteVec& frame);
 /// peeked from `frame`.
 void UnwrapRelayInPlace(ByteVec& frame, const RelayFrameView& view);
 
-/// Leading fields of an encoded kSummaryUpdate frame, read at their
-/// fixed offsets without decoding the bloom bits and centroids. Lets a
-/// receiver drop a stale or duplicate summary before paying the full
-/// decode. Fails with kDataLoss if the frame is not a summary envelope
-/// or is too short. (A layout test pins these offsets to
-/// SummaryUpdate::Encode.)
+/// Leading fields of an encoded kSummaryUpdate or kSummaryDeltaUpdate
+/// frame, read at their fixed offsets without decoding the bloom bits /
+/// key list and centroids. Lets a receiver drop a stale or duplicate
+/// summary before paying the full decode. Fails with kDataLoss if the
+/// frame is not a summary(-delta) envelope or is too short. (A layout
+/// test pins these offsets to the Encode field order both types share.)
 struct SummaryFrameHeader {
   std::uint32_t edge_id = 0;
   std::uint64_t version = 0;
 };
 Result<SummaryFrameHeader> PeekSummaryFrame(
+    std::span<const std::uint8_t> frame);
+
+/// Delta-specific peek: additionally reads `base_version` so a receiver
+/// whose table is not at exactly that version can drop the frame before
+/// decoding the key list. kSummaryDeltaUpdate frames only.
+struct SummaryDeltaFrameHeader {
+  std::uint32_t edge_id = 0;
+  std::uint64_t version = 0;
+  std::uint64_t base_version = 0;
+};
+Result<SummaryDeltaFrameHeader> PeekSummaryDeltaFrame(
     std::span<const std::uint8_t> frame);
 
 /// Decodes the payload of `env` as message type M, checking that the

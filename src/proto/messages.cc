@@ -55,6 +55,7 @@ std::string_view MessageTypeName(MessageType t) noexcept {
     case MessageType::kPeerLookupReply: return "PeerLookupReply";
     case MessageType::kSummaryUpdate: return "SummaryUpdate";
     case MessageType::kFederatedRelay: return "FederatedRelay";
+    case MessageType::kSummaryDeltaUpdate: return "SummaryDeltaUpdate";
   }
   return "Unknown";
 }
@@ -311,6 +312,52 @@ Result<SummaryUpdate> SummaryUpdate::Decode(ByteReader& r) {
   COIC_RETURN_IF_ERROR(r.ReadU32(m.bloom_hashes));
   COIC_RETURN_IF_ERROR(r.ReadU64(m.bloom_inserted));
   COIC_RETURN_IF_ERROR(r.ReadBlob(m.bloom_bits));
+  for (auto& c : m.centroids) {
+    COIC_RETURN_IF_ERROR(r.ReadU32(c.count));
+    COIC_RETURN_IF_ERROR(r.ReadF32Vector(c.centroid));
+    if (c.count == 0 && !c.centroid.empty()) {
+      return Status(StatusCode::kDataLoss, "centroid without entries");
+    }
+  }
+  return m;
+}
+
+// ---------------------------- SummaryDeltaUpdate ---------------------------
+
+Bytes SummaryDeltaUpdate::WireSize() const noexcept {
+  Bytes size = 4 + 8 + 8 + 8 + 4 + keys_inserted.size() * 8;
+  for (const auto& c : centroids) {
+    size += 4 + 4 + c.centroid.size() * 4;
+  }
+  return size;
+}
+
+void SummaryDeltaUpdate::Encode(ByteWriter& w) const {
+  w.WriteU32(edge_id);
+  w.WriteU64(version);
+  w.WriteU64(base_version);
+  w.WriteU64(bloom_inserted);
+  w.WriteU64Vector(keys_inserted);
+  for (const auto& c : centroids) {
+    w.WriteU32(c.count);
+    w.WriteF32Vector(c.centroid);
+  }
+}
+
+Result<SummaryDeltaUpdate> SummaryDeltaUpdate::Decode(ByteReader& r) {
+  SummaryDeltaUpdate m;
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.edge_id));
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.version));
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.base_version));
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.bloom_inserted));
+  COIC_RETURN_IF_ERROR(r.ReadU64Vector(m.keys_inserted));
+  if (m.version <= m.base_version) {
+    return Status(StatusCode::kDataLoss, "delta version not after its base");
+  }
+  if (m.bloom_inserted < m.keys_inserted.size()) {
+    return Status(StatusCode::kDataLoss,
+                  "delta key count exceeds absolute bloom count");
+  }
   for (auto& c : m.centroids) {
     COIC_RETURN_IF_ERROR(r.ReadU32(c.count));
     COIC_RETURN_IF_ERROR(r.ReadF32Vector(c.centroid));

@@ -44,6 +44,13 @@ enum class MessageType : std::uint8_t {
   /// Edge federation: source-routed wrapper for edge-to-edge frames
   /// between venues that are not directly linked in the topology.
   kFederatedRelay = 33,
+  /// Edge federation: incremental cache-summary update — only the
+  /// content-hash keys inserted since a base version the receiver
+  /// already holds, plus replacement centroid sketches. Falls back to a
+  /// full kSummaryUpdate when the base is unknown, the sender's change
+  /// journal overflowed, or keys were erased (Bloom bits only compose
+  /// under insertion).
+  kSummaryDeltaUpdate = 34,
 };
 
 std::string_view MessageTypeName(MessageType t) noexcept;
@@ -246,6 +253,41 @@ struct SummaryUpdate {
   void Encode(ByteWriter& w) const;
   static Result<SummaryUpdate> Decode(ByteReader& r);
   friend bool operator==(const SummaryUpdate&, const SummaryUpdate&) = default;
+};
+
+/// Edge -> peer edges: the incremental form of SummaryUpdate. Where a
+/// full summary re-ships the whole Bloom bit array every time the cache
+/// mutated, a delta carries only the content-hash IndexKeys inserted
+/// since `base_version` (Bloom insertion is an order-independent OR, so
+/// a receiver holding exactly `base_version` reproduces the sender's
+/// fresh bit array byte-for-byte) plus the replacement per-task centroid
+/// sketches, which are small enough to always send whole. Deltas never
+/// encode erasures: removing a key cannot be expressed on shared Bloom
+/// bits, so any erase since the base forces the sender back to a full
+/// kSummaryUpdate. Leading fields share SummaryUpdate's fixed layout
+/// (u32 edge_id, u64 version) so the stale-drop peek works on both.
+struct SummaryDeltaUpdate {
+  std::uint32_t edge_id = 0;
+  /// Version after applying this delta (monotonic per edge).
+  std::uint64_t version = 0;
+  /// Version the receiver must currently hold for the delta to apply;
+  /// anything else is dropped (a later full resend resynchronizes).
+  std::uint64_t base_version = 0;
+  /// Absolute Bloom key count after apply — lets the receiver verify the
+  /// delta composes before mutating its copy.
+  std::uint64_t bloom_inserted = 0;
+  /// FeatureDescriptor::IndexKey() of content-hash entries inserted
+  /// since the base version.
+  std::vector<std::uint64_t> keys_inserted;
+  /// Replacement sketches (absolute, not incremental); layout matches
+  /// SummaryUpdate::centroids.
+  std::array<SummaryUpdate::TaskCentroid, 3> centroids;
+
+  [[nodiscard]] Bytes WireSize() const noexcept;
+  void Encode(ByteWriter& w) const;
+  static Result<SummaryDeltaUpdate> Decode(ByteReader& r);
+  friend bool operator==(const SummaryDeltaUpdate&,
+                         const SummaryDeltaUpdate&) = default;
 };
 
 /// Source-routed edge-to-edge wrapper. Federation topologies need not be

@@ -1,5 +1,7 @@
 #include "trace/workload.h"
 
+#include <algorithm>
+
 #include "common/status.h"
 
 namespace coic::trace {
@@ -236,6 +238,46 @@ void RetimeArrivals(std::span<PlacedRecord> placed, double rate_hz,
                     std::uint64_t seed) {
   RetimeImpl(placed, rate_hz, seed,
              [](PlacedRecord& p) -> TraceRecord& { return p.record; });
+}
+
+std::vector<PlacedRecord> MakeChurnWorkload(std::uint32_t venues,
+                                            std::size_t rounds,
+                                            std::uint32_t window,
+                                            std::uint32_t catalog,
+                                            std::uint32_t rotate_rounds,
+                                            std::uint64_t seed) {
+  COIC_CHECK(window <= catalog && rotate_rounds >= 1);
+  Rng rng(seed);
+  ZipfDistribution popularity(window, 0.9);
+  std::vector<PlacedRecord> placed;
+  placed.reserve(rounds * venues);
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const std::uint32_t window_base = std::min(
+        static_cast<std::uint32_t>(i) / rotate_rounds * 2, catalog - window);
+    for (std::uint32_t v = 0; v < venues; ++v) {
+      PlacedRecord p;
+      p.venue = v;
+      p.record.type = IcTaskType::kRender;
+      p.record.user_id = static_cast<std::uint32_t>(i * venues + v);
+      p.record.model_id = 1 + window_base + popularity.Sample(rng);
+      placed.push_back(p);
+    }
+  }
+  return placed;
+}
+
+std::vector<PlacedRecord> MakeRenderStorm(std::uint32_t venues,
+                                          std::size_t count, double rate_hz,
+                                          std::uint32_t models) {
+  std::vector<PlacedRecord> placed(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    placed[i].venue = static_cast<std::uint32_t>(i % venues);
+    placed[i].record.type = IcTaskType::kRender;
+    placed[i].record.user_id = static_cast<std::uint32_t>(i);
+    placed[i].record.model_id = (i * 7) % models + 1;
+  }
+  RetimeArrivals(std::span<PlacedRecord>(placed), rate_hz);
+  return placed;
 }
 
 ByteVec SerializeTrace(std::span<const TraceRecord> records) {

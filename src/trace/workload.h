@@ -146,6 +146,33 @@ struct PlacedRecord {
 void RetimeArrivals(std::span<PlacedRecord> placed, double rate_hz,
                     std::uint64_t seed = 17);
 
+/// The canonical render-only request storm: `count` requests placed
+/// round-robin over `venues`, model ids cycling `(i*7) % models + 1`
+/// over a small shared pool, re-timed as one Poisson stream at
+/// `rate_hz`. Shared by the relay-storm / open-loop benches and the
+/// tests that pin their claims, so the scenario cannot drift between
+/// the table and the assertion. Callers must register models 1..models.
+std::vector<PlacedRecord> MakeRenderStorm(std::uint32_t venues,
+                                          std::size_t count, double rate_hz,
+                                          std::uint32_t models = 6);
+
+/// The canonical churning render workload for the gossip-staleness
+/// ablation: each of `rounds` rounds enqueues one render per venue,
+/// drawn Zipf(0.9) from a window of `window` model ids that slides two
+/// ids forward every `rotate_rounds` rounds across a catalogue of
+/// 1..`catalog` — so fresh content keeps entering every cache and
+/// summary freshness governs peer-hit success. Smaller `rotate_rounds`
+/// = higher churn. Records carry no arrival times (closed-loop replay);
+/// callers must register models 1..catalog. Shared by
+/// bench_federation_scaling's staleness table and the regression tests
+/// that pin its claims, so the two cannot drift apart.
+std::vector<PlacedRecord> MakeChurnWorkload(std::uint32_t venues,
+                                            std::size_t rounds,
+                                            std::uint32_t window,
+                                            std::uint32_t catalog,
+                                            std::uint32_t rotate_rounds,
+                                            std::uint64_t seed = 0xC0DE);
+
 struct ClusterWorkloadConfig {
   WorkloadConfig base;
   /// Venues in the federation; users are spread across them round-robin

@@ -551,5 +551,76 @@ TEST(IcCacheTest, MutationCountMovesOnEveryContentChange) {
   EXPECT_EQ(cache.mutation_count(), after_clear);
 }
 
+TEST(IcCacheJournalTest, RecordsHashKeyInsertsAndRemovals) {
+  IcCacheConfig config;
+  config.journal_capacity = 64;
+  IcCache cache(config);
+  EXPECT_EQ(cache.journal_cursor(), 0u);
+  EXPECT_EQ(cache.journal_head(), 0u);
+
+  const EntryId a = cache.Insert(HashKey(1), ByteVec(8), SimTime::Epoch());
+  cache.Insert(HashKey(2), ByteVec(8), SimTime::Epoch());
+  // Vector keys are summarized by centroid sketches, not the Bloom
+  // filter, so they do not enter the journal.
+  cache.Insert(FeatureDescriptor::ForVector(TaskKind::kRecognition,
+                                            {1.0f, 0.0f}),
+               ByteVec(8), SimTime::Epoch());
+  // Re-inserting an existing exact key updates in place: the key set is
+  // unchanged, so nothing is journaled.
+  cache.Insert(HashKey(2), ByteVec(16), SimTime::Epoch());
+  EXPECT_TRUE(cache.Erase(a));
+  EXPECT_EQ(cache.journal_cursor(), 3u);
+
+  std::vector<std::pair<std::uint64_t, bool>> seen;
+  EXPECT_TRUE(cache.ForEachJournaled(0, [&](const CacheJournalEntry& e) {
+    seen.emplace_back(e.index_key, e.erased);
+  }));
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair{HashKey(1).IndexKey(), false}));
+  EXPECT_EQ(seen[1], (std::pair{HashKey(2).IndexKey(), false}));
+  EXPECT_EQ(seen[2], (std::pair{HashKey(1).IndexKey(), true}));
+
+  // A mid-stream cursor sees only the suffix.
+  seen.clear();
+  EXPECT_TRUE(cache.ForEachJournaled(2, [&](const CacheJournalEntry& e) {
+    seen.emplace_back(e.index_key, e.erased);
+  }));
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_TRUE(seen[0].second);
+}
+
+TEST(IcCacheJournalTest, OverflowEvictsOldestAndSignalsReaders) {
+  IcCacheConfig config;
+  config.journal_capacity = 4;
+  IcCache cache(config);
+  for (std::uint64_t k = 1; k <= 6; ++k) {
+    cache.Insert(HashKey(k), ByteVec(8), SimTime::Epoch());
+  }
+  EXPECT_EQ(cache.journal_cursor(), 6u);
+  EXPECT_EQ(cache.journal_head(), 2u);  // entries 0 and 1 fell off
+  // A reader whose cursor predates the window must be told to resync...
+  EXPECT_FALSE(cache.ForEachJournaled(1, [](const CacheJournalEntry&) {}));
+  // ...while one inside the window replays the retained suffix.
+  std::size_t visited = 0;
+  EXPECT_TRUE(cache.ForEachJournaled(3,
+                                     [&](const CacheJournalEntry&) { ++visited; }));
+  EXPECT_EQ(visited, 3u);
+}
+
+TEST(IcCacheJournalTest, JournalIsOffByDefault) {
+  // Non-delta-gossip caches must not pay for the journal; the default
+  // config keeps it disabled (FederationPipeline enables it when delta
+  // gossip is configured). A disabled journal records nothing, so it
+  // must answer readers like a permanently overflowed one — never
+  // attesting coverage it does not have.
+  IcCache cache(IcCacheConfig{});
+  cache.Insert(HashKey(1), ByteVec(8), SimTime::Epoch());
+  EXPECT_EQ(cache.journal_cursor(), 0u);
+  std::size_t visited = 0;
+  EXPECT_FALSE(cache.ForEachJournaled(
+      0, [&](const CacheJournalEntry&) { ++visited; }));
+  EXPECT_EQ(visited, 0u);
+}
+
 }  // namespace
 }  // namespace coic::cache

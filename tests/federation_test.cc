@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <set>
+#include <tuple>
 
 #include "common/rng.h"
 #include "core/metrics.h"
@@ -203,6 +204,99 @@ TEST(CacheSummaryTest, WireRoundTripIsByteExact) {
     EXPECT_EQ(rebuilt.value().MatchScore(RenderKey(k)),
               summary.MatchScore(RenderKey(k)));
   }
+}
+
+TEST(SummaryDeltaTest, ApplyMatchesFullRebuildByteForByte) {
+  // The delta contract: a receiver holding version B that applies the
+  // delta B -> V must end up byte-identical to the sender's freshly
+  // built version-V summary — Bloom insertion is an order-independent
+  // OR, and centroid sketches are replaced wholesale.
+  cache::IcCacheConfig cache_config;
+  cache_config.journal_capacity = 64;
+  cache::IcCache cache(cache_config);
+  cache.Insert(RenderKey(1), DeterministicBytes(32, 1), SimTime::Epoch());
+  cache.Insert(proto::FeatureDescriptor::ForVector(proto::TaskKind::kRecognition,
+                                                   {1.0f, 0.0f}),
+               DeterministicBytes(32, 2), SimTime::Epoch());
+  const auto base = CacheSummary::Build(2, 7, cache, {});
+  const std::uint64_t cursor = cache.journal_cursor();
+
+  cache.Insert(RenderKey(2), DeterministicBytes(32, 3), SimTime::Epoch());
+  cache.Insert(RenderKey(3), DeterministicBytes(32, 4), SimTime::Epoch());
+  cache.Insert(proto::FeatureDescriptor::ForVector(proto::TaskKind::kRecognition,
+                                                   {0.0f, 1.0f}),
+               DeterministicBytes(32, 5), SimTime::Epoch());
+  const auto fresh = CacheSummary::Build(2, 8, cache, {});
+
+  std::vector<std::uint64_t> inserted;
+  ASSERT_TRUE(cache.ForEachJournaled(
+      cursor, [&](const cache::CacheJournalEntry& e) {
+        ASSERT_FALSE(e.erased);
+        inserted.push_back(e.index_key);
+      }));
+  const proto::SummaryDeltaUpdate delta =
+      fresh.ToWireDelta(base.version(), std::move(inserted));
+
+  CacheSummary patched = base;
+  ASSERT_TRUE(patched.ApplyDelta(delta).ok());
+  EXPECT_EQ(patched.version(), 8u);
+  const ByteVec from_delta =
+      proto::EncodeMessage(proto::MessageType::kSummaryUpdate, 1,
+                           patched.ToWire());
+  const ByteVec from_full = proto::EncodeMessage(
+      proto::MessageType::kSummaryUpdate, 1, fresh.ToWire());
+  EXPECT_EQ(from_delta, from_full);
+
+  // And the delta frame is what the full frame is not: small.
+  EXPECT_LT(delta.WireSize(), fresh.ToWire().WireSize() / 4);
+}
+
+TEST(SummaryDeltaTest, ApplyRejectsMismatches) {
+  cache::IcCache cache(cache::IcCacheConfig{});
+  cache.Insert(RenderKey(1), DeterministicBytes(16, 1), SimTime::Epoch());
+  CacheSummary base = CacheSummary::Build(2, 7, cache, {});
+  cache.Insert(RenderKey(2), DeterministicBytes(16, 2), SimTime::Epoch());
+  const auto fresh = CacheSummary::Build(2, 8, cache, {});
+
+  // Wrong edge.
+  proto::SummaryDeltaUpdate delta =
+      fresh.ToWireDelta(7, {RenderKey(2).IndexKey()});
+  delta.edge_id = 3;
+  EXPECT_FALSE(base.ApplyDelta(delta).ok());
+  // Wrong base version.
+  delta = fresh.ToWireDelta(6, {RenderKey(2).IndexKey()});
+  EXPECT_FALSE(base.ApplyDelta(delta).ok());
+  // Key count that does not compose (claims 1 key but base already has 1
+  // and the delta adds 1 -> absolute must be 2).
+  delta = fresh.ToWireDelta(7, {RenderKey(2).IndexKey()});
+  delta.bloom_inserted = 1;
+  EXPECT_FALSE(base.ApplyDelta(delta).ok());
+  // All rejections left the base untouched.
+  EXPECT_EQ(base.version(), 7u);
+  EXPECT_EQ(base.bloom().inserted(), 1u);
+  // The well-formed delta still applies.
+  delta = fresh.ToWireDelta(7, {RenderKey(2).IndexKey()});
+  EXPECT_TRUE(base.ApplyDelta(delta).ok());
+  EXPECT_DOUBLE_EQ(base.MatchScore(RenderKey(2)), 1.0);
+}
+
+TEST(SummaryTableTest, ApplyDeltaRequiresBaseSummary) {
+  cache::IcCache cache(cache::IcCacheConfig{});
+  cache.Insert(RenderKey(1), DeterministicBytes(16, 1), SimTime::Epoch());
+  const auto v1 = CacheSummary::Build(2, 1, cache, {});
+  cache.Insert(RenderKey(2), DeterministicBytes(16, 2), SimTime::Epoch());
+  const auto v2 = CacheSummary::Build(2, 2, cache, {});
+  const auto delta = v2.ToWireDelta(1, {RenderKey(2).IndexKey()});
+
+  SummaryTable table(4);
+  // No base summary yet: the delta has nothing to extend.
+  EXPECT_FALSE(table.ApplyDelta(delta).ok());
+  table.Update(v1);
+  EXPECT_TRUE(table.ApplyDelta(delta).ok());
+  ASSERT_NE(table.For(2), nullptr);
+  EXPECT_EQ(table.For(2)->version(), 2u);
+  // Replay of the same delta: base no longer matches.
+  EXPECT_FALSE(table.ApplyDelta(delta).ok());
 }
 
 TEST(SummaryTableTest, KeepsFreshestVersion) {
@@ -451,6 +545,201 @@ TEST(FederationPipelineTest, ReplaysClusterTraceWithHandoff) {
 }
 
 // ---------------------------------------------------------------------------
+// Gossip staleness & delta gossip
+// ---------------------------------------------------------------------------
+
+/// The exact churning workload bench_federation_scaling's staleness
+/// ablation measures (trace::MakeChurnWorkload with the bench's high-
+/// churn parameters), so these regression tests guard the very scenario
+/// the BENCH table reports. Model byte sizes match the bench too.
+void EnqueueChurnWorkload(FederationPipeline& pipeline, std::uint32_t venues,
+                          std::size_t rounds = 40) {
+  constexpr std::uint32_t kWindow = 8;
+  constexpr std::uint32_t kCatalog = 40;
+  constexpr std::uint32_t kRotateRounds = 4;  // the bench's "high" churn
+  for (std::uint64_t m = 1; m <= kCatalog; ++m) {
+    pipeline.RegisterModel(m, KB(128) + m * KB(4));
+  }
+  for (const auto& p : trace::MakeChurnWorkload(venues, rounds, kWindow,
+                                                kCatalog, kRotateRounds)) {
+    pipeline.EnqueuePlaced(p);
+  }
+}
+
+FederationPipelineConfig ChurnConfig(Duration gossip_period,
+                                     bool delta_gossip) {
+  FederationPipelineConfig config;
+  config.venues = 4;
+  config.policy.kind = PeerSelectKind::kSummaryDirected;
+  config.gossip_period = gossip_period;
+  config.delta_gossip = delta_gossip;
+  return config;
+}
+
+double ChurnHitRate(Duration gossip_period) {
+  FederationPipeline pipeline(ChurnConfig(gossip_period, false));
+  EnqueueChurnWorkload(pipeline, 4);
+  core::QoeAggregator agg;
+  for (const auto& o : pipeline.Run()) agg.Add(o.outcome);
+  return agg.HitRate();
+}
+
+TEST(StalenessRegressionTest, HitRateNonIncreasingAsGossipPeriodGrows) {
+  // The staleness law the ROADMAP ablation quantifies: on a fixed seeded
+  // workload, every extra unit of summary staleness can only lose
+  // directed peer hits (content cached since the last round is not yet
+  // advertised), never gain them. Guard it as a regression test so a
+  // gossip change that silently inverts the trade is caught.
+  std::vector<double> hit_rates;
+  for (const auto period_ms : {1u, 20u, 100u, 500u, 2500u}) {
+    hit_rates.push_back(ChurnHitRate(Duration::Millis(period_ms)));
+  }
+  for (std::size_t i = 1; i < hit_rates.size(); ++i) {
+    EXPECT_LE(hit_rates[i], hit_rates[i - 1])
+        << "hit rate rose between period steps " << i - 1 << " and " << i;
+  }
+  // The sweep must actually span a staleness effect, or the monotone
+  // assertion above is vacuous.
+  EXPECT_GT(hit_rates.front(), hit_rates.back() + 0.02);
+}
+
+/// Encodes one summary for byte comparison.
+ByteVec SummaryBytes(const CacheSummary& summary) {
+  return proto::EncodeMessage(proto::MessageType::kSummaryUpdate, 0,
+                              summary.ToWire());
+}
+
+/// Runs the churn workload under full vs delta gossip on otherwise
+/// identical clusters and requires identical outcomes and byte-identical
+/// final summary tables. `cache_capacity` 0 = unbounded (insert-only
+/// deltas); a small capacity forces evictions, whose erasures make the
+/// sender fall back to full resends — which must converge all the same.
+void ExpectDeltaConvergesToFull(Bytes cache_capacity) {
+  FederationPipelineConfig config =
+      ChurnConfig(Duration::Millis(1), false);
+  config.cache.capacity_bytes = cache_capacity;
+  FederationPipeline full(config);
+  config.delta_gossip = true;
+  FederationPipeline delta(config);
+  EnqueueChurnWorkload(full, 4);
+  EnqueueChurnWorkload(delta, 4);
+  const auto full_outcomes = full.Run();
+  const auto delta_outcomes = delta.Run();
+
+  // Delta gossip is a wire-format optimization: request outcomes are
+  // unchanged.
+  ASSERT_EQ(full_outcomes.size(), delta_outcomes.size());
+  for (std::size_t i = 0; i < full_outcomes.size(); ++i) {
+    EXPECT_EQ(full_outcomes[i].venue, delta_outcomes[i].venue) << i;
+    EXPECT_EQ(full_outcomes[i].outcome.source, delta_outcomes[i].outcome.source)
+        << i;
+  }
+
+  // After drain, every venue's view of every peer is byte-identical.
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    for (std::uint32_t peer = 0; peer < 4; ++peer) {
+      if (peer == v) continue;
+      const CacheSummary* a = full.summary_table(v).For(peer);
+      const CacheSummary* b = delta.summary_table(v).For(peer);
+      ASSERT_EQ(a == nullptr, b == nullptr) << v << "<-" << peer;
+      if (a == nullptr) continue;
+      EXPECT_EQ(SummaryBytes(*a), SummaryBytes(*b)) << v << "<-" << peer;
+    }
+  }
+
+  // And the delta run paid fewer gossip bytes for it.
+  const std::uint64_t full_bytes =
+      full.summary_bytes_full() + full.summary_bytes_delta();
+  const std::uint64_t delta_bytes =
+      delta.summary_bytes_full() + delta.summary_bytes_delta();
+  EXPECT_LT(delta_bytes, full_bytes);
+}
+
+TEST(StalenessRegressionTest, DeltaGossipConvergesToFullGossipTables) {
+  ExpectDeltaConvergesToFull(/*cache_capacity=*/0);
+}
+
+TEST(StalenessRegressionTest, PeriodicFullRefreshCadence) {
+  // delta_full_refresh_rounds bounds the staleness a dropped frame can
+  // cause on a lossy link by forcing a full summary every Nth gossip
+  // round per peer. Pin the cadence arithmetic: N=1 forces full every
+  // round (no deltas at all), N=2 trades some deltas back for fulls,
+  // 0 never forces.
+  auto run = [](std::uint32_t refresh_rounds) {
+    FederationPipelineConfig config = ChurnConfig(Duration::Millis(1), true);
+    config.delta_full_refresh_rounds = refresh_rounds;
+    FederationPipeline pipeline(config);
+    EnqueueChurnWorkload(pipeline, 4);
+    (void)pipeline.Run();
+    return std::pair{pipeline.summary_updates_sent(),
+                     pipeline.summary_deltas_sent()};
+  };
+  const auto [fulls_never, deltas_never] = run(0);
+  EXPECT_GT(deltas_never, 0u);
+
+  const auto [fulls_always, deltas_always] = run(1);
+  EXPECT_EQ(deltas_always, 0u);
+  // Every round full to every peer — at least the sends the lazy run
+  // made, plus resends on rounds the lazy run skipped as "current".
+  EXPECT_GE(fulls_always, fulls_never + deltas_never);
+
+  const auto [fulls_alt, deltas_alt] = run(2);
+  EXPECT_GT(deltas_alt, 0u);
+  EXPECT_GT(fulls_alt, fulls_never);
+  EXPECT_LT(deltas_alt, deltas_never);
+}
+
+TEST(StalenessRegressionTest, PeriodicRefreshReachesQuiescentPeers) {
+  // Sent-state is sent-not-acked: after a lost frame the sender believes
+  // the peer is current and the skip path would never send again once
+  // the cache stops mutating. The refresh cadence must therefore count
+  // quiet rounds too — with it on, fulls keep flowing during a long
+  // quiescent phase; with it off, gossip goes silent.
+  auto run = [](std::uint32_t refresh_rounds) {
+    FederationPipelineConfig config = ChurnConfig(Duration::Millis(1), true);
+    config.delta_full_refresh_rounds = refresh_rounds;
+    FederationPipeline pipeline(config);
+    for (std::uint64_t m = 1; m <= 4; ++m) {
+      pipeline.RegisterModel(m, KB(64));
+    }
+    // Warm phase mutates every cache; quiet phase repeats warm content
+    // (pure hits, zero mutations) across many gossip rounds.
+    for (std::uint64_t m = 1; m <= 4; ++m) {
+      for (std::uint32_t v = 0; v < 4; ++v) pipeline.EnqueueRenderAt(v, m);
+    }
+    for (int i = 0; i < 24; ++i) {
+      for (std::uint32_t v = 0; v < 4; ++v) pipeline.EnqueueRenderAt(v, 1);
+    }
+    (void)pipeline.Run();
+    return pipeline.summary_updates_sent();
+  };
+  const std::uint64_t lazy_fulls = run(0);
+  const std::uint64_t refreshed_fulls = run(6);
+  // ~28 quiet rounds / 6 per peer pair adds well over a dozen resends.
+  EXPECT_GT(refreshed_fulls, lazy_fulls + 12);
+}
+
+TEST(StalenessRegressionTest, EvictionChurnFallsBackToFullAndStillConverges) {
+  // A byte-bounded cache evicts continuously under the sliding window;
+  // erased keys cannot be expressed as Bloom deltas, so the sender must
+  // detect them in the journal slice and resend full summaries — beyond
+  // the 12 first-contact fulls a 4-venue cluster always pays.
+  FederationPipelineConfig config = ChurnConfig(Duration::Millis(1), true);
+  config.cache.capacity_bytes = KB(700);
+  FederationPipeline pipeline(config);
+  EnqueueChurnWorkload(pipeline, 4);
+  (void)pipeline.Run();
+  std::uint64_t evictions = 0;
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    evictions += pipeline.edge(v).cache().stats().evictions;
+  }
+  ASSERT_GT(evictions, 0u) << "workload did not exercise eviction churn";
+  EXPECT_GT(pipeline.summary_updates_sent(), 12u);
+
+  ExpectDeltaConvergesToFull(/*cache_capacity=*/KB(700));
+}
+
+// ---------------------------------------------------------------------------
 // Cluster workload generator
 // ---------------------------------------------------------------------------
 
@@ -513,21 +802,14 @@ FederationPipelineConfig OpenLoopClusterConfig(std::uint32_t venues) {
   return config;
 }
 
-/// A render-only placed trace: `n` requests round-robin over venues and a
-/// small Zipf-free model set, re-timed as one Poisson stream at `rate_hz`.
-/// Render ops keep the suite fast (no per-request scene rendering).
+/// A render-only placed trace (trace::MakeRenderStorm): requests
+/// round-robin over venues and a small Zipf-free model set, re-timed as
+/// one Poisson stream. Render ops keep the suite fast (no per-request
+/// scene rendering).
 std::vector<trace::PlacedRecord> RenderStorm(std::uint32_t venues,
                                              std::size_t n, double rate_hz,
                                              std::uint32_t models = 6) {
-  std::vector<trace::PlacedRecord> placed(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    placed[i].venue = static_cast<std::uint32_t>(i % venues);
-    placed[i].record.type = trace::IcTaskType::kRender;
-    placed[i].record.user_id = static_cast<std::uint32_t>(i);
-    placed[i].record.model_id = (i * 7) % models + 1;
-  }
-  trace::RetimeArrivals(std::span<trace::PlacedRecord>(placed), rate_hz);
-  return placed;
+  return trace::MakeRenderStorm(venues, n, rate_hz, models);
 }
 
 void RegisterStormModels(FederationPipeline& pipeline,
@@ -649,6 +931,33 @@ TEST(OpenLoopReplayTest, EmptyQueueIsANoOp) {
   EXPECT_TRUE(outcomes.empty());
   EXPECT_EQ(pipeline.scheduler().pending(), 0u);
   EXPECT_EQ(pipeline.open_loop_stats().gossip_rounds, 0u);
+}
+
+TEST(OpenLoopReplayTest, DeltaGossipRunsOnFreeRunningTimers) {
+  // The open-loop regime chooses delta vs full per peer on its
+  // free-running timers exactly like closed-loop rounds do: the run
+  // drains, hit rate matches full gossip, and the gossip bytes drop.
+  const auto placed = RenderStorm(4, 200, 300.0);
+  auto run = [&placed](bool delta_gossip) {
+    FederationPipelineConfig config = OpenLoopClusterConfig(4);
+    config.delta_gossip = delta_gossip;
+    FederationPipeline pipeline(config);
+    RegisterStormModels(pipeline);
+    for (const auto& p : placed) pipeline.EnqueuePlaced(p);
+    core::QoeAggregator agg;
+    for (const auto& o : pipeline.RunOpenLoop()) agg.Add(o.outcome);
+    EXPECT_EQ(pipeline.scheduler().pending(), 0u);
+    return std::tuple{agg.HitRate(),
+                      pipeline.summary_bytes_full() +
+                          pipeline.summary_bytes_delta(),
+                      pipeline.summary_deltas_sent()};
+  };
+  const auto [full_hit, full_bytes, full_deltas] = run(false);
+  const auto [delta_hit, delta_bytes, delta_deltas] = run(true);
+  EXPECT_EQ(full_deltas, 0u);
+  EXPECT_GT(delta_deltas, 0u);
+  EXPECT_LT(delta_bytes, full_bytes);
+  EXPECT_NEAR(delta_hit, full_hit, 0.05);
 }
 
 TEST(OpenLoopReplayTest, ArrivalTimesHonoredOnTheSimClock) {

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Schema check for the BENCH_*.json files the bench binaries emit.
+
+Every bench writes a machine-readable companion to its printed table
+(bench/bench_util.h BenchJson); CI uploads them as the perf-trajectory
+artifact. A malformed file — missing rows, a row without its wall_ms
+stamp, NaN/Infinity smuggled through printf formatting — would silently
+poison that trajectory, so the bench-smoke job fails instead.
+
+Usage: check_bench_json.py BENCH_a.json [BENCH_b.json ...]
+
+Checks, per file:
+  * parses as strict JSON (NaN / Infinity literals are rejected);
+  * top level is an object with a non-empty "bench" string and a
+    non-empty "rows" array of objects;
+  * every row carries the required keys (wall_ms);
+  * every numeric value in every row is finite.
+"""
+
+import json
+import math
+import sys
+
+REQUIRED_ROW_KEYS = ("wall_ms",)
+
+
+def reject_constant(value):
+    raise ValueError(f"non-finite JSON constant {value!r}")
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f, parse_constant=reject_constant)
+    except (OSError, ValueError) as err:
+        return [f"unreadable or invalid JSON: {err}"]
+
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        errors.append('missing or empty "bench" name')
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        errors.append('"rows" is missing or empty')
+        return errors
+
+    for i, row in enumerate(rows):
+        if not isinstance(row, dict):
+            errors.append(f"row {i} is not an object")
+            continue
+        for key in REQUIRED_ROW_KEYS:
+            if key not in row:
+                errors.append(f'row {i} lacks required key "{key}"')
+        for key, value in row.items():
+            if isinstance(value, bool):
+                errors.append(f"row {i} key {key!r}: booleans not expected")
+            elif isinstance(value, (int, float)) and not math.isfinite(value):
+                errors.append(f"row {i} key {key!r}: non-finite value {value}")
+            elif value is None:
+                errors.append(f"row {i} key {key!r}: null value")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_bench_json.py BENCH_*.json", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
