@@ -4,8 +4,10 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <memory>
 
 #include "bench/bench_util.h"
+#include "common/frame.h"
 #include "cache/ic_cache.h"
 #include "cache/similarity_index.h"
 #include "common/log.h"
@@ -73,6 +75,69 @@ void BM_RecognitionRequestRoundTrip(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RecognitionRequestRoundTrip);
+
+// ------------------------------ frame fabric -------------------------------
+
+void BM_FrameShareVsCloneBytes(benchmark::State& state) {
+  const bool clone = state.range(1) != 0;
+  const Frame frame(DeterministicBytes(static_cast<std::size_t>(state.range(0)), 1));
+  for (auto _ : state) {
+    if (clone) {
+      benchmark::DoNotOptimize(frame.CloneBytes());
+    } else {
+      Frame shared = frame;  // refcount bump — the fan-out fast path
+      benchmark::DoNotOptimize(shared);
+    }
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FrameShareVsCloneBytes)
+    ->Args({256 * 1024, 0})
+    ->Args({256 * 1024, 1});
+
+void BM_EnvelopeDecodeView(benchmark::State& state) {
+  // Borrowed-view counterpart of BM_EnvelopeDecode: same validation, no
+  // payload copy.
+  const Frame frame(proto::EncodeEnvelope(
+      proto::MessageType::kPing, 1,
+      DeterministicBytes(static_cast<std::size_t>(state.range(0)), 1)));
+  for (auto _ : state) {
+    auto env = proto::DecodeEnvelopeView(frame.span());
+    benchmark::DoNotOptimize(env);
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EnvelopeDecodeView)->Arg(1024)->Arg(256 * 1024)->Arg(2 * 1024 * 1024);
+
+void BM_NetworkBroadcastFanout(benchmark::State& state) {
+  // One encoded frame fanned to 8 links — the gossip/relay broadcast
+  // shape. With refcounted frames the payload is never duplicated
+  // (asserted below via the global copy counter).
+  const std::int64_t fanout = 8;
+  const Frame frame(proto::EncodeEnvelope(proto::MessageType::kPing, 1,
+                                          DeterministicBytes(64 * 1024, 1)));
+  for (auto _ : state) {
+    netsim::EventScheduler sched;
+    netsim::LinkConfig config;
+    config.bandwidth = Bandwidth::Gbps(10);
+    std::vector<std::unique_ptr<netsim::Link>> links;
+    std::uint64_t delivered = 0;
+    for (std::int64_t i = 0; i < fanout; ++i) {
+      links.push_back(std::make_unique<netsim::Link>(
+          sched, "fan" + std::to_string(i), config));
+    }
+    const std::uint64_t copies_before = frame_stats().copies();
+    for (auto& link : links) {
+      link->Send(frame, [&delivered](Frame) { ++delivered; });
+    }
+    sched.Run();
+    COIC_CHECK_MSG(frame_stats().copies() == copies_before,
+                   "broadcast fan-out must not copy payload bytes");
+    benchmark::DoNotOptimize(delivered);
+  }
+  state.SetItemsProcessed(state.iterations() * fanout);
+}
+BENCHMARK(BM_NetworkBroadcastFanout);
 
 // --------------------------------- cache -----------------------------------
 
@@ -214,7 +279,7 @@ void BM_LinkMessageThroughput(benchmark::State& state) {
     netsim::Link link(sched, "bench", config);
     std::uint64_t delivered = 0;
     for (int i = 0; i < 1000; ++i) {
-      link.Send(ByteVec(64), [&delivered](ByteVec) { ++delivered; });
+      link.Send(ByteVec(64), [&delivered](Frame) { ++delivered; });
     }
     sched.Run();
     benchmark::DoNotOptimize(delivered);
@@ -277,6 +342,67 @@ void EmitMicroJson() {
         .Set("path", "scheduler_schedule_cancel")
         .Set("events_per_sec", kEvents / secs)
         .Set("fired", fired);
+  }
+  {
+    // Frame fabric: view decode of a 256 KiB envelope (no payload copy)
+    // vs the owning decode, plus the copy counters — the trajectory
+    // column for the zero-copy refactor.
+    const Frame frame(proto::EncodeEnvelope(proto::MessageType::kPing, 1,
+                                            DeterministicBytes(256 * 1024, 1)));
+    constexpr int kIters = 2000;
+    const std::uint64_t copies_before = frame_stats().copies();
+    const auto view_start = Clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(proto::DecodeEnvelopeView(frame.span()));
+    }
+    const double view_secs =
+        std::chrono::duration<double>(Clock::now() - view_start).count();
+    const auto own_start = Clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      benchmark::DoNotOptimize(proto::DecodeEnvelope(frame.span()));
+    }
+    const double own_secs =
+        std::chrono::duration<double>(Clock::now() - own_start).count();
+    json.AddRow()
+        .Set("path", "envelope_decode_view_vs_owning_256KiB")
+        .Set("view_mbytes_per_sec", 256.0 / 1024 * kIters / view_secs)
+        .Set("owning_mbytes_per_sec", 256.0 / 1024 * kIters / own_secs)
+        .Set("frame_copies_during_view_loop",
+             frame_stats().copies() - copies_before);
+  }
+  {
+    // 8-way broadcast fan-out of one 64 KiB frame through Links: the
+    // gossip shape. frame_copies must stay 0 — shared buffer, refcounts
+    // only.
+    netsim::EventScheduler sched;
+    netsim::LinkConfig config;
+    config.bandwidth = Bandwidth::Gbps(10);
+    std::vector<std::unique_ptr<netsim::Link>> links;
+    for (int i = 0; i < 8; ++i) {
+      links.push_back(std::make_unique<netsim::Link>(
+          sched, "fan" + std::to_string(i), config));
+    }
+    const Frame frame(proto::EncodeEnvelope(proto::MessageType::kPing, 1,
+                                            DeterministicBytes(64 * 1024, 1)));
+    constexpr int kRounds = 500;
+    std::uint64_t delivered = 0;
+    const std::uint64_t copies_before = frame_stats().copies();
+    const std::uint64_t copy_bytes_before = frame_stats().bytes_copied();
+    const auto start = Clock::now();
+    for (int round = 0; round < kRounds; ++round) {
+      for (auto& link : links) {
+        link->Send(frame, [&delivered](Frame) { ++delivered; });
+      }
+      sched.Run();
+    }
+    const double secs =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    json.AddRow()
+        .Set("path", "broadcast_fanout_8x64KiB")
+        .Set("frames_per_sec", delivered / secs)
+        .Set("frame_copies", frame_stats().copies() - copies_before)
+        .Set("frame_bytes_copied",
+             frame_stats().bytes_copied() - copy_bytes_before);
   }
 }
 

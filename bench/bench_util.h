@@ -37,6 +37,13 @@ inline void PrintHeader(const std::string& title) {
   std::printf("================================================================\n");
 }
 
+/// Version of the BENCH_*.json row schema. Bump when a breaking change
+/// is made to the automatic columns (wall_ms, events_per_sec,
+/// schema_version itself) or their semantics, so cross-PR trajectory
+/// tooling can key on it instead of sniffing columns. History:
+///   1 — wall_ms per row, optional events_per_sec, schema_version stamp.
+inline constexpr int kBenchJsonSchemaVersion = 1;
+
 /// Machine-readable companion to the printed tables: every bench emits a
 /// `BENCH_<name>.json` file in the working directory (the build dir when
 /// run under CTest) so the perf trajectory can be tracked across PRs and
@@ -49,9 +56,9 @@ inline void PrintHeader(const std::string& title) {
 ///
 /// Every row automatically carries a `wall_ms` column — the wall-clock
 /// time elapsed since the previous AddRow (i.e. the cost of producing
-/// that row) — so the simulator's own speed is tracked across PRs for
-/// every bench, not just the throughput ones. Rows that ran a simulation
-/// can add `events_per_sec` via SetEvents(scheduler.total_fired() delta).
+/// that row) — and a `schema_version` stamp (enforced by
+/// tools/check_bench_json.py). Rows that ran a simulation can add
+/// `events_per_sec` via SetEvents(scheduler.total_fired() delta).
 class BenchJson {
  public:
   class Row {
@@ -121,6 +128,7 @@ class BenchJson {
     rows_.emplace_back();
     Row& row = rows_.back();
     row.elapsed_secs_ = elapsed;
+    row.Set("schema_version", kBenchJsonSchemaVersion);
     row.Set("wall_ms", elapsed * 1e3);
     return row;
   }

@@ -62,7 +62,7 @@ LookupOutcome IcCache::Lookup(const FeatureDescriptor& key, SimTime now) {
           out.distance = 0;
           e.last_access = now;
           policy_->OnAccess(out.entry);
-          out.payload = &e.payload;
+          out.payload = e.payload;
         }
       }
     }
@@ -78,7 +78,7 @@ LookupOutcome IcCache::Lookup(const FeatureDescriptor& key, SimTime now) {
         out.distance = neighbor->distance;
         e.last_access = now;
         policy_->OnAccess(out.entry);
-        out.payload = &e.payload;
+        out.payload = e.payload;
       }
     }
   }
@@ -91,7 +91,7 @@ LookupOutcome IcCache::Lookup(const FeatureDescriptor& key, SimTime now) {
   return out;
 }
 
-EntryId IcCache::Insert(const FeatureDescriptor& key, ByteVec payload,
+EntryId IcCache::Insert(const FeatureDescriptor& key, Frame payload,
                         SimTime now) {
   // Exact keys replace any existing entry for the same content.
   if (key.kind() == DescriptorKind::kContentHash) {

@@ -23,6 +23,7 @@
 #include "cache/policy.h"
 #include "cache/similarity_index.h"
 #include "common/bytes.h"
+#include "common/frame.h"
 #include "common/time.h"
 #include "common/units.h"
 #include "proto/descriptor.h"
@@ -85,8 +86,10 @@ struct LookupOutcome {
   EntryId entry = 0;
   /// L2 distance of the matched neighbour (0 for exact-hash hits).
   double distance = 0;
-  /// Borrowed pointer into the cache, valid until the next mutating call.
-  const ByteVec* payload = nullptr;
+  /// The cached result, shared with the cache (a refcount, not a copy) —
+  /// valid even across later mutating calls, unlike the borrowed pointer
+  /// it replaced.
+  Frame payload;
 };
 
 class IcCache {
@@ -101,8 +104,10 @@ class IcCache {
 
   /// Inserts a result under `key`, evicting as needed to respect the byte
   /// budget. Exact-hash keys that already exist are updated in place.
-  /// Returns the entry id (stable until eviction).
-  EntryId Insert(const proto::FeatureDescriptor& key, ByteVec payload,
+  /// The payload frame is adopted by reference — inserting a slice of a
+  /// just-delivered network frame costs no copy. Returns the entry id
+  /// (stable until eviction).
+  EntryId Insert(const proto::FeatureDescriptor& key, Frame payload,
                  SimTime now);
 
   /// Erases one entry; returns false if absent.
@@ -162,7 +167,7 @@ class IcCache {
  private:
   struct Entry {
     proto::FeatureDescriptor key;
-    ByteVec payload;
+    Frame payload;
     Bytes charged_bytes = 0;
     SimTime inserted_at;
     SimTime last_access;

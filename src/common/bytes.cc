@@ -10,7 +10,9 @@ static_assert(std::endian::native == std::endian::little,
               "CoIC wire codec assumes a little-endian host; add byte "
               "swapping in ByteWriter/ByteReader before porting");
 
-Status ByteReader::ReadBlob(ByteVec& out) {
+Status ByteReader::ReadBlobView(std::span<const std::uint8_t>& out) noexcept {
+  // The one implementation of the length-prefix read; the owning and
+  // string forms delegate here so bounds/rewind behavior cannot diverge.
   std::uint32_t len = 0;
   const std::size_t start = pos_;
   COIC_RETURN_IF_ERROR(ReadU32(len));
@@ -18,9 +20,23 @@ Status ByteReader::ReadBlob(ByteVec& out) {
     pos_ = start;
     return Status(StatusCode::kDataLoss, "blob length exceeds buffer");
   }
-  out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
-             data_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  out = data_.subspan(pos_, len);
   pos_ += len;
+  return Status::Ok();
+}
+
+Status ByteReader::ReadBlob(ByteVec& out) {
+  std::span<const std::uint8_t> view;
+  COIC_RETURN_IF_ERROR(ReadBlobView(view));
+  out.assign(view.begin(), view.end());
+  return Status::Ok();
+}
+
+Status ByteReader::ReadStringView(std::string_view& out) noexcept {
+  std::span<const std::uint8_t> view;
+  COIC_RETURN_IF_ERROR(ReadBlobView(view));
+  out = std::string_view(reinterpret_cast<const char*>(view.data()),
+                         view.size());
   return Status::Ok();
 }
 
@@ -35,15 +51,9 @@ Status ByteReader::ReadBytes(ByteVec& out, std::size_t n) {
 }
 
 Status ByteReader::ReadString(std::string& out) {
-  std::uint32_t len = 0;
-  const std::size_t start = pos_;
-  COIC_RETURN_IF_ERROR(ReadU32(len));
-  if (remaining() < len) {
-    pos_ = start;
-    return Status(StatusCode::kDataLoss, "string length exceeds buffer");
-  }
-  out.assign(reinterpret_cast<const char*>(data_.data() + pos_), len);
-  pos_ += len;
+  std::string_view view;
+  COIC_RETURN_IF_ERROR(ReadStringView(view));
+  out.assign(view);
   return Status::Ok();
 }
 

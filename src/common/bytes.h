@@ -132,6 +132,16 @@ class ByteReader {
   /// Reads a u32-length-prefixed blob into an owned vector.
   Status ReadBlob(ByteVec& out);
 
+  /// Borrowed-view variant of ReadBlob: `out` points into the reader's
+  /// underlying buffer (valid only while that buffer lives). This is the
+  /// zero-copy path the view decoders use on the client receive side —
+  /// the multi-MB model/panorama blobs are never duplicated into an
+  /// owned vector.
+  Status ReadBlobView(std::span<const std::uint8_t>& out) noexcept;
+
+  /// Borrowed-view variant of ReadString (same lifetime caveat).
+  Status ReadStringView(std::string_view& out) noexcept;
+
   /// Reads exactly `n` raw bytes (no length prefix) into an owned vector.
   Status ReadBytes(ByteVec& out, std::size_t n);
 

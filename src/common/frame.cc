@@ -1,0 +1,37 @@
+#include "common/frame.h"
+
+namespace coic {
+
+FrameCopyStats& frame_stats() noexcept {
+  static FrameCopyStats stats;
+  return stats;
+}
+
+Frame Frame::Copy(std::span<const std::uint8_t> bytes) {
+  frame_stats().Record(bytes.size());
+  return Frame(ByteVec(bytes.begin(), bytes.end()));
+}
+
+ByteVec Frame::CloneBytes() const {
+  frame_stats().Record(size_);
+  const auto s = span();
+  return ByteVec(s.begin(), s.end());
+}
+
+std::span<std::uint8_t> Frame::MutableSpan() {
+  COIC_CHECK(buf_ != nullptr);
+  if (buf_.use_count() == 1) {
+    // Sole owner: every buffer is allocated as a non-const ByteVec (see
+    // the adopting constructor) with only the stored pointer
+    // const-qualified, so casting the const away is defined behavior —
+    // and nobody else can observe the patch.
+    auto* mutable_buf = const_cast<ByteVec*>(buf_.get());
+    return {mutable_buf->data() + offset_, size_};
+  }
+  // Shared: copy-on-write the viewed window (counted).
+  *this = Copy(span());
+  auto* mutable_buf = const_cast<ByteVec*>(buf_.get());
+  return {mutable_buf->data(), size_};
+}
+
+}  // namespace coic

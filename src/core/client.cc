@@ -146,13 +146,13 @@ void CoicClient::FinishWithError(std::uint64_t request_id) {
   pending.done(std::move(outcome));
 }
 
-void CoicClient::OnEdgeFrame(ByteVec frame) {
-  auto env_or = proto::DecodeEnvelope(frame);
+void CoicClient::OnEdgeFrame(Frame frame) {
+  auto env_or = proto::DecodeEnvelopeView(frame);
   if (!env_or.ok()) {
     COIC_LOG(kWarn) << "client: dropping undecodable frame";
     return;
   }
-  Envelope env = std::move(env_or).value();
+  const proto::EnvelopeView env = env_or.value();
   const auto it = pending_.find(env.request_id);
   if (it == pending_.end()) {
     COIC_LOG(kWarn) << "client: reply for unknown request " << env.request_id;
@@ -174,7 +174,7 @@ void CoicClient::OnEdgeFrame(ByteVec frame) {
 
   switch (pending.task) {
     case TaskKind::kRecognition: {
-      auto result = proto::DecodePayloadAs<proto::RecognitionResult>(
+      auto result = proto::DecodePayloadAs<proto::RecognitionResultView>(
           env, MessageType::kRecognitionResult);
       if (!result.ok()) {
         TrackPending(env.request_id, std::move(pending));
@@ -182,7 +182,7 @@ void CoicClient::OnEdgeFrame(ByteVec frame) {
         return;
       }
       outcome.source = result.value().source;
-      outcome.label = result.value().label;
+      outcome.label.assign(result.value().label);
       outcome.correct = outcome.label == pending.expected_label;
       outcome.result_bytes = result.value().annotation.size();
       // The annotation is display-ready; no post-receive compute.
@@ -192,7 +192,7 @@ void CoicClient::OnEdgeFrame(ByteVec frame) {
     }
 
     case TaskKind::kRender: {
-      auto result = proto::DecodePayloadAs<proto::RenderResult>(
+      auto result = proto::DecodePayloadAs<proto::RenderResultView>(
           env, MessageType::kRenderResult);
       if (!result.ok()) {
         TrackPending(env.request_id, std::move(pending));
@@ -202,6 +202,8 @@ void CoicClient::OnEdgeFrame(ByteVec frame) {
       const Bytes size = result.value().model_bytes.size();
       // Ingest is real: parse + buffer build, with calibrated wall time —
       // once per distinct asset; repeats hit the device's install memo.
+      // The parse reads the model bytes in place (borrowed view); the
+      // frame is alive for the whole call.
       const std::uint64_t model_id = result.value().model_id;
       bool parse_ok;
       const auto memo = ingest_memo_.find(model_id);
@@ -226,7 +228,7 @@ void CoicClient::OnEdgeFrame(ByteVec frame) {
     }
 
     case TaskKind::kPanorama: {
-      auto result = proto::DecodePayloadAs<proto::PanoramaResult>(
+      auto result = proto::DecodePayloadAs<proto::PanoramaResultView>(
           env, MessageType::kPanoramaResult);
       if (!result.ok()) {
         TrackPending(env.request_id, std::move(pending));

@@ -61,7 +61,7 @@ class CoicClient {
     std::uint64_t first_request_id = 1;
   };
 
-  using SendToEdgeFn = std::function<void(ByteVec frame)>;
+  using SendToEdgeFn = std::function<void(Frame frame)>;
   using CompletionFn = std::function<void(RequestOutcome)>;
 
   CoicClient(Config config, SendToEdgeFn send, DelayFn delay, NowFn now);
@@ -79,8 +79,10 @@ class CoicClient {
   void StartPanorama(std::uint64_t video_id, std::uint32_t frame_index,
                      const proto::Viewport& viewport, CompletionFn done);
 
-  /// Frames arriving from the edge.
-  void OnEdgeFrame(ByteVec frame);
+  /// Frames arriving from the edge. Results are parsed with the
+  /// borrowed-view decoders straight out of the frame — the multi-MB
+  /// model/panorama blobs are never copied on the receive path.
+  void OnEdgeFrame(Frame frame);
 
   /// Identity digest for a panoramic frame, shared by client and tests.
   static Digest128 PanoramaIdentityDigest(std::uint64_t video_id,

@@ -8,7 +8,7 @@
 
 namespace coic::core {
 
-using proto::Envelope;
+using proto::EnvelopeView;
 using proto::MessageType;
 using proto::OffloadMode;
 using proto::ResultSource;
@@ -40,7 +40,7 @@ void CloudService::RegisterModel(std::uint64_t model_id, Bytes serialized_size) 
 }
 
 void CloudService::Reply(MessageType type, std::uint64_t request_id,
-                         const ByteVec& payload) {
+                         std::span<const std::uint8_t> payload) {
   send_(Peer::kClient, proto::EncodeEnvelope(type, request_id, payload));
 }
 
@@ -53,8 +53,8 @@ void CloudService::ReplyError(std::uint64_t request_id, StatusCode code,
         proto::EncodeMessage(MessageType::kError, request_id, err));
 }
 
-void CloudService::OnFrame(ByteVec frame) {
-  auto env = proto::DecodeEnvelope(frame);
+void CloudService::OnFrame(Frame frame) {
+  auto env = proto::DecodeEnvelopeView(frame);
   if (!env.ok()) {
     COIC_LOG(kWarn) << "cloud: dropping undecodable frame: "
                     << env.status().ToString();
@@ -79,7 +79,7 @@ void CloudService::OnFrame(ByteVec frame) {
   }
 }
 
-void CloudService::HandleRecognition(const Envelope& env) {
+void CloudService::HandleRecognition(const EnvelopeView& env) {
   auto req = proto::DecodePayloadAs<proto::RecognitionRequest>(
       env, MessageType::kRecognitionRequest);
   if (!req.ok()) {
@@ -113,32 +113,43 @@ void CloudService::HandleRecognition(const Envelope& env) {
     compute = config_.costs.recognition.cloud_descriptor_inference;
   }
 
-  proto::RecognitionResult result;
-  result.frame_id = request.frame_id;
-  result.label = recognized.label;
-  result.confidence = recognized.confidence;
-  result.source = ResultSource::kCloud;
-  result.annotation = AnnotationFor(recognized.label);
-
-  ByteWriter w(result.WireSize());
-  result.Encode(w);
-  delay_(compute, [this, request_id = env.request_id,
-                   payload = w.TakeBytes()] {
-    Reply(MessageType::kRecognitionResult, request_id, payload);
+  // Single-buffer reply: header + RecognitionResult fields written once,
+  // with the memoized annotation frame blitted in directly — the old
+  // path copied the annotation into a result struct, the struct into a
+  // payload vector, and the payload into the envelope. Field order
+  // mirrors RecognitionResult::Encode (pinned by a services test).
+  const Frame annotation = AnnotationFor(recognized.label);
+  ByteWriter w(proto::kEnvelopeHeaderSize + 8 + 4 + recognized.label.size() +
+               4 + 1 + 4 + annotation.size());
+  proto::AppendEnvelopeHeader(w, MessageType::kRecognitionResult,
+                              env.request_id, 0);
+  w.WriteU64(request.frame_id);
+  w.WriteString(recognized.label);
+  w.WriteF32(recognized.confidence);
+  w.WriteU8(static_cast<std::uint8_t>(ResultSource::kCloud));
+  w.WriteBlob(annotation.span());
+  COIC_CHECK_MSG(w.size() - proto::kEnvelopeHeaderSize <=
+                     proto::kMaxPayloadBytes,
+                 "payload too large");
+  w.PatchU32(16, static_cast<std::uint32_t>(w.size() -
+                                            proto::kEnvelopeHeaderSize));
+  delay_(compute, [this, reply = Frame(w.TakeBytes())]() mutable {
+    send_(Peer::kClient, std::move(reply));
   });
 }
 
-const ByteVec& CloudService::AnnotationFor(const std::string& label) {
+Frame CloudService::AnnotationFor(const std::string& label) {
   BoundMemo(annotation_memo_, 256);
   const auto it = annotation_memo_.find(label);
   if (it != annotation_memo_.end()) return it->second;
   return annotation_memo_
-      .emplace(label, vision::RecognitionModel::MakeAnnotation(
-                          label, config_.costs.recognition.annotation_bytes))
+      .emplace(label,
+               Frame(vision::RecognitionModel::MakeAnnotation(
+                   label, config_.costs.recognition.annotation_bytes)))
       .first->second;
 }
 
-void CloudService::HandleRender(const Envelope& env) {
+void CloudService::HandleRender(const EnvelopeView& env) {
   auto req = proto::DecodePayloadAs<proto::RenderRequest>(
       env, MessageType::kRenderRequest);
   if (!req.ok()) {
@@ -167,21 +178,19 @@ void CloudService::HandleRender(const Envelope& env) {
     ByteWriter w(result.WireSize());
     result.Encode(w);
     memo = render_payload_memo_
-               .emplace(*model_id,
-                        std::make_pair(result.model_bytes.size(),
-                                       std::make_shared<const ByteVec>(
-                                           w.TakeBytes())))
+               .emplace(*model_id, std::make_pair(result.model_bytes.size(),
+                                                  Frame(w.TakeBytes())))
                .first;
   }
 
   const Duration load = config_.costs.CloudModelLoad(memo->second.first);
   delay_(load,
          [this, request_id = env.request_id, payload = memo->second.second] {
-           Reply(MessageType::kRenderResult, request_id, *payload);
+           Reply(MessageType::kRenderResult, request_id, payload.span());
          });
 }
 
-void CloudService::HandlePanorama(const Envelope& env) {
+void CloudService::HandlePanorama(const EnvelopeView& env) {
   auto req = proto::DecodePayloadAs<proto::PanoramaRequest>(
       env, MessageType::kPanoramaRequest);
   if (!req.ok()) {
@@ -217,13 +226,13 @@ void CloudService::HandlePanorama(const Envelope& env) {
     result.Encode(w);
     memo = panorama_payload_memo_
                .emplace(std::make_pair(request.video_id, request.frame_index),
-                        std::make_shared<const ByteVec>(w.TakeBytes()))
+                        Frame(w.TakeBytes()))
                .first;
   }
 
   delay_(config_.costs.panorama.cloud_render,
          [this, request_id = env.request_id, payload = memo->second] {
-           Reply(MessageType::kPanoramaResult, request_id, *payload);
+           Reply(MessageType::kPanoramaResult, request_id, payload.span());
          });
 }
 
@@ -250,17 +259,67 @@ std::vector<std::uint64_t> EdgeService::pending_request_ids() const {
   return ids;
 }
 
-void EdgeService::ForwardToCloud(const Envelope& env, PendingForward pending) {
-  Park(env.request_id, std::move(pending));
-  ++forwards_;
-  send_(Peer::kCloud,
-        proto::EncodeEnvelope(env.type, env.request_id, env.payload));
+std::uint64_t EdgeService::CoalesceKey(
+    const proto::FeatureDescriptor& key) noexcept {
+  if (key.kind() == proto::DescriptorKind::kContentHash) {
+    return key.IndexKey();
+  }
+  // Vector descriptors: FNV-1a over the raw float bits, with the task
+  // folded into the seed. Exact re-extractions of the same scene
+  // coalesce; merely similar vectors intentionally do not (approximate
+  // matching is the cache's job — the wait-list must never serve a
+  // near-miss).
+  const auto v = key.vector();
+  const std::uint64_t seed =
+      0xcbf29ce484222325ull ^
+      (0x9E3779B97F4A7C15ull + static_cast<std::uint64_t>(key.task()));
+  return Fnv1a64(std::span<const std::uint8_t>(
+                     reinterpret_cast<const std::uint8_t*>(v.data()),
+                     v.size() * sizeof(float)),
+                 seed);
 }
 
-ByteVec EdgeService::EncodePatchedResult(proto::MessageType type,
-                                         std::uint64_t request_id,
-                                         std::span<const std::uint8_t> payload,
-                                         ResultSource source) {
+void EdgeService::ReleaseCoalesceKey(const std::optional<std::uint64_t>& key) {
+  if (key) inflight_keys_.erase(*key);
+}
+
+void EdgeService::ServeWaiters(const std::vector<std::uint64_t>& waiters,
+                               std::span<const std::uint8_t> payload,
+                               ResultSource source) {
+  for (const std::uint64_t id : waiters) {
+    const auto it = pending_.find(id);
+    if (it == pending_.end() || !it->second.is_waiter) continue;
+    const MessageType reply_type = it->second.reply_type;
+    pending_.erase(it);
+    send_(Peer::kClient, EncodePatchedResult(reply_type, id, payload, source));
+  }
+}
+
+void EdgeService::FailWaiters(const std::vector<std::uint64_t>& waiters,
+                              std::span<const std::uint8_t> error_payload) {
+  for (const std::uint64_t id : waiters) {
+    const auto it = pending_.find(id);
+    if (it == pending_.end() || !it->second.is_waiter) continue;
+    pending_.erase(it);
+    send_(Peer::kClient,
+          proto::EncodeEnvelope(MessageType::kError, id, error_payload));
+  }
+}
+
+void EdgeService::ForwardToCloud(Frame request_frame, PendingForward pending) {
+  const std::uint64_t request_id = proto::PeekRequestId(request_frame.span());
+  Park(request_id, std::move(pending));
+  ++forwards_;
+  // The original client frame is forwarded as-is — type, request id and
+  // payload are exactly what a re-encode would produce, without copying
+  // the (possibly multi-hundred-KB Origin-mode) payload.
+  send_(Peer::kCloud, std::move(request_frame));
+}
+
+Frame EdgeService::EncodePatchedResult(proto::MessageType type,
+                                       std::uint64_t request_id,
+                                       std::span<const std::uint8_t> payload,
+                                       ResultSource source) {
   // Single copy: the payload lands in the envelope buffer once and the
   // source byte is patched there — no decode, no re-encode of the
   // (possibly multi-MB) result body on the cache-hit fast path.
@@ -270,7 +329,7 @@ ByteVec EdgeService::EncodePatchedResult(proto::MessageType type,
       std::span<std::uint8_t>(frame).subspan(proto::kEnvelopeHeaderSize),
       source);
   COIC_CHECK_MSG(ok, "corrupt cached result payload");
-  return frame;
+  return Frame(std::move(frame));
 }
 
 bool EdgeService::TryServeFromCache(const proto::FeatureDescriptor& key,
@@ -281,14 +340,38 @@ bool EdgeService::TryServeFromCache(const proto::FeatureDescriptor& key,
   // Patch the cached result so the client sees the true source (edge,
   // not cloud).
   send_(Peer::kClient,
-        EncodePatchedResult(reply_type, request_id, *outcome.payload,
+        EncodePatchedResult(reply_type, request_id, outcome.payload.span(),
                             ResultSource::kEdgeCache));
   return true;
 }
 
-void EdgeService::OnLocalMiss(proto::Envelope env,
+void EdgeService::OnLocalMiss(Frame frame,
                               proto::FeatureDescriptor descriptor,
                               proto::MessageType reply_type) {
+  const std::uint64_t request_id = proto::PeekRequestId(frame.span());
+  const MessageType request_type = proto::PeekMessageType(frame.span());
+
+  std::optional<std::uint64_t> coalesce_key;
+  if (config_.coalesce_requests) {
+    const std::uint64_t key = CoalesceKey(descriptor);
+    if (const auto leader = inflight_keys_.find(key);
+        leader != inflight_keys_.end()) {
+      // A fetch for this key is already in flight: park on its wait-list
+      // instead of paying another round of probes / a second cloud trip.
+      const std::uint64_t leader_id = leader->second;
+      PendingForward waiter;
+      waiter.request_type = request_type;
+      waiter.reply_type = reply_type;
+      waiter.is_waiter = true;
+      Park(request_id, std::move(waiter));
+      pending_.at(leader_id).waiters.push_back(request_id);
+      ++coalesced_requests_;
+      return;
+    }
+    inflight_keys_.emplace(key, request_id);
+    coalesce_key = key;
+  }
+
   if (config_.cooperative) {
     // Federation mode asks the policy for candidates (best first) and
     // caps them by the probe budget; pairwise mode probes the single
@@ -306,23 +389,25 @@ void EdgeService::OnLocalMiss(proto::Envelope env,
       proto::PeerLookupRequest query;
       query.descriptor = descriptor;
       query.reply_type = reply_type;
-      const ByteVec frame = proto::EncodeMessage(
-          MessageType::kPeerLookupRequest, env.request_id, query);
+      // Encoded once; every probe fans out the same refcounted buffer.
+      const Frame probe = proto::EncodeMessage(
+          MessageType::kPeerLookupRequest, request_id, query);
       PendingForward pending;
-      pending.request_type = env.type;
+      pending.request_type = request_type;
+      pending.reply_type = reply_type;
       pending.insert_key = std::move(descriptor);
-      pending.original = std::move(env);
+      pending.original = std::move(frame);
       pending.at_peer = true;
       pending.probes_outstanding =
           static_cast<std::uint32_t>(candidates.size());
-      const std::uint64_t request_id = pending.original.request_id;
+      pending.coalesce_key = coalesce_key;
       Park(request_id, std::move(pending));
       for (const std::uint32_t peer : candidates) {
         ++peer_probes_sent_;
         if (config_.peer_send) {
-          config_.peer_send(peer, frame);
+          config_.peer_send(peer, probe);
         } else {
-          send_(Peer::kPeerEdge, frame);
+          send_(Peer::kPeerEdge, probe);
         }
       }
       return;
@@ -331,13 +416,15 @@ void EdgeService::OnLocalMiss(proto::Envelope env,
     // here"): skip the probe round trip entirely.
   }
   PendingForward pending;
-  pending.request_type = env.type;
+  pending.request_type = request_type;
+  pending.reply_type = reply_type;
   pending.insert_key = std::move(descriptor);
-  ForwardToCloud(env, std::move(pending));
+  pending.coalesce_key = coalesce_key;
+  ForwardToCloud(std::move(frame), std::move(pending));
 }
 
 void EdgeService::HandlePeerLookupRequest(
-    const proto::Envelope& env, std::optional<std::uint32_t> from_peer) {
+    const EnvelopeView& env, std::optional<std::uint32_t> from_peer) {
   auto req = proto::DecodePayloadAs<proto::PeerLookupRequest>(
       env, MessageType::kPeerLookupRequest);
   if (!req.ok()) {
@@ -345,30 +432,41 @@ void EdgeService::HandlePeerLookupRequest(
     return;
   }
   ++peer_queries_served_;
-  auto descriptor = req.value().descriptor;
+  auto descriptor = std::move(req.value().descriptor);
   auto reply_type = req.value().reply_type;
   delay_(config_.costs.edge.cache_lookup,
          [this, request_id = env.request_id, descriptor = std::move(descriptor),
           reply_type, from_peer] {
-           proto::PeerLookupReply reply;
-           reply.reply_type = reply_type;
            const auto outcome = cache_.Lookup(descriptor, now_());
-           if (outcome.hit) {
-             reply.found = true;
-             reply.payload = *outcome.payload;
-           }
-           ByteVec frame = proto::EncodeMessage(MessageType::kPeerLookupReply,
-                                                request_id, reply);
+           const std::span<const std::uint8_t> payload =
+               outcome.hit ? outcome.payload.span()
+                           : std::span<const std::uint8_t>{};
+           // Single-buffer encode of the PeerLookupReply envelope (field
+           // order mirrors PeerLookupReply::Encode; pinned by a test) —
+           // the cached payload is copied exactly once, onto the wire.
+           COIC_CHECK_MSG(1 + 1 + 4 + payload.size() <=
+                              proto::kMaxPayloadBytes,
+                          "payload too large");
+           ByteWriter w(proto::kEnvelopeHeaderSize + 1 + 1 + 4 +
+                        payload.size());
+           proto::AppendEnvelopeHeader(
+               w, MessageType::kPeerLookupReply, request_id,
+               static_cast<std::uint32_t>(1 + 1 + 4 + payload.size()));
+           w.WriteU8(outcome.hit ? 1 : 0);
+           w.WriteU8(static_cast<std::uint8_t>(reply_type));
+           w.WriteBlob(payload);
+           Frame reply(w.TakeBytes());
            if (from_peer && config_.peer_send) {
-             config_.peer_send(*from_peer, std::move(frame));
+             config_.peer_send(*from_peer, std::move(reply));
            } else {
-             send_(Peer::kPeerEdge, std::move(frame));
+             send_(Peer::kPeerEdge, std::move(reply));
            }
          });
 }
 
-void EdgeService::HandlePeerLookupReply(const proto::Envelope& env) {
-  auto reply = proto::DecodePayloadAs<proto::PeerLookupReply>(
+void EdgeService::HandlePeerLookupReply(const Frame& frame,
+                                        const EnvelopeView& env) {
+  auto reply = proto::DecodePayloadAs<proto::PeerLookupReplyView>(
       env, MessageType::kPeerLookupReply);
   if (!reply.ok()) {
     COIC_LOG(kWarn) << "edge: bad peer lookup reply";
@@ -386,21 +484,30 @@ void EdgeService::HandlePeerLookupReply(const proto::Envelope& env) {
   if (reply.value().found && !pending.served) {
     // First peer hit: adopt the result into the local cache, then serve
     // the client marked as a peer-edge result. The entry lingers (served
-    // = true) until every fanned-out probe has answered.
+    // = true) until every fanned-out probe has answered. The payload is
+    // a slice of the reply frame — cache adoption shares the buffer the
+    // link just delivered, no copy.
     pending.served = true;
     ++peer_hits_;
-    auto result = std::move(reply).value();
+    const Frame payload = frame.SliceOf(reply.value().payload);
+    const MessageType reply_type = reply.value().reply_type;
+    // The outcome is known: waiters ride this result, and later misses
+    // must start a fresh fetch (the insert below completes after a
+    // cache_insert delay).
+    ReleaseCoalesceKey(pending.coalesce_key);
+    pending.coalesce_key.reset();
     delay_(config_.costs.edge.cache_insert,
            [this, request_id = env.request_id,
-            key = std::move(*pending.insert_key),
-            result = std::move(result)] {
-             cache_.Insert(key, result.payload, now_());
+            key = std::move(*pending.insert_key), payload, reply_type,
+            waiters = std::move(pending.waiters)] {
+             cache_.Insert(key, payload, now_());
              send_(Peer::kClient,
-                   EncodePatchedResult(result.reply_type, request_id,
-                                       result.payload,
+                   EncodePatchedResult(reply_type, request_id, payload.span(),
                                        ResultSource::kPeerEdge));
+             ServeWaiters(waiters, payload.span(), ResultSource::kPeerEdge);
            });
     pending.insert_key.reset();
+    pending.waiters.clear();
     if (pending.probes_outstanding == 0) pending_.erase(it);
     return;
   }
@@ -412,52 +519,52 @@ void EdgeService::HandlePeerLookupReply(const proto::Envelope& env) {
   }
 
   // Every probe missed: fall through to the cloud with the original
-  // request. (The envelope is pulled out first: passing `moved.original`
-  // and `std::move(moved)` in one call would read a moved-from field
-  // under GCC's right-to-left argument evaluation.)
+  // request frame. (Pulled out first: passing `moved.original` and
+  // `std::move(moved)` in one call would read a moved-from field under
+  // GCC's right-to-left argument evaluation.)
   PendingForward moved = std::move(it->second);
   pending_.erase(it);
-  const Envelope original = std::move(moved.original);
+  Frame original = std::move(moved.original);
   moved.at_peer = false;
-  ForwardToCloud(original, std::move(moved));
+  ForwardToCloud(std::move(original), std::move(moved));
 }
 
-void EdgeService::OnPeerFrame(ByteVec frame) {
+void EdgeService::OnPeerFrame(Frame frame) {
   DispatchPeerFrame(std::nullopt, std::move(frame));
 }
 
-void EdgeService::OnPeerFrame(std::uint32_t from_peer, ByteVec frame) {
+void EdgeService::OnPeerFrame(std::uint32_t from_peer, Frame frame) {
   DispatchPeerFrame(from_peer, std::move(frame));
 }
 
 void EdgeService::DispatchPeerFrame(std::optional<std::uint32_t> from_peer,
-                                    ByteVec frame) {
-  auto env_or = proto::DecodeEnvelope(frame);
+                                    Frame frame) {
+  auto env_or = proto::DecodeEnvelopeView(frame);
   if (!env_or.ok()) {
     COIC_LOG(kWarn) << "edge: dropping undecodable peer frame";
     return;
   }
-  const Envelope env = std::move(env_or).value();
+  const EnvelopeView env = env_or.value();
   switch (env.type) {
     case MessageType::kPeerLookupRequest:
       HandlePeerLookupRequest(env, from_peer);
       return;
     case MessageType::kPeerLookupReply:
-      HandlePeerLookupReply(env);
+      HandlePeerLookupReply(frame, env);
       return;
     default:
       COIC_LOG(kWarn) << "edge: unexpected peer message type";
   }
 }
 
-void EdgeService::OnClientFrame(ByteVec frame) {
-  auto env_or = proto::DecodeEnvelope(frame);
+void EdgeService::OnClientFrame(Frame frame) {
+  auto env_or = proto::DecodeEnvelopeView(frame);
   if (!env_or.ok()) {
     COIC_LOG(kWarn) << "edge: dropping undecodable client frame: "
                     << env_or.status().ToString();
     return;
   }
-  Envelope env = std::move(env_or).value();
+  const EnvelopeView env = env_or.value();
 
   switch (env.type) {
     case MessageType::kPing:
@@ -479,72 +586,59 @@ void EdgeService::OnClientFrame(ByteVec frame) {
       return;
     }
 
-    case MessageType::kRecognitionRequest: {
-      auto req = proto::DecodePayloadAs<proto::RecognitionRequest>(
-          env, MessageType::kRecognitionRequest);
-      if (!req.ok()) return;
-      if (req.value().mode == OffloadMode::kOrigin) {
-        // Baseline: pure relay, no cache involvement.
-        PendingForward pending;
-        pending.request_type = env.type;
-        pending.mode = OffloadMode::kOrigin;
-        ForwardToCloud(env, std::move(pending));
-        return;
-      }
-      auto descriptor = req.value().descriptor;
-      delay_(config_.costs.edge.cache_lookup,
-             [this, env = std::move(env), descriptor = std::move(descriptor)] {
-               if (!TryServeFromCache(descriptor,
-                                      MessageType::kRecognitionResult,
-                                      env.request_id)) {
-                 OnLocalMiss(std::move(env), std::move(descriptor),
-                             MessageType::kRecognitionResult);
-               }
-             });
-      return;
-    }
-
-    case MessageType::kRenderRequest: {
-      auto req = proto::DecodePayloadAs<proto::RenderRequest>(
-          env, MessageType::kRenderRequest);
-      if (!req.ok()) return;
-      if (req.value().mode == OffloadMode::kOrigin) {
-        PendingForward pending;
-        pending.request_type = env.type;
-        pending.mode = OffloadMode::kOrigin;
-        ForwardToCloud(env, std::move(pending));
-        return;
-      }
-      auto descriptor = req.value().descriptor;
-      delay_(config_.costs.edge.cache_lookup,
-             [this, env = std::move(env), descriptor = std::move(descriptor)] {
-               if (!TryServeFromCache(descriptor, MessageType::kRenderResult,
-                                      env.request_id)) {
-                 OnLocalMiss(std::move(env), std::move(descriptor),
-                             MessageType::kRenderResult);
-               }
-             });
-      return;
-    }
-
+    case MessageType::kRecognitionRequest:
+    case MessageType::kRenderRequest:
     case MessageType::kPanoramaRequest: {
-      auto req = proto::DecodePayloadAs<proto::PanoramaRequest>(
-          env, MessageType::kPanoramaRequest);
-      if (!req.ok()) return;
-      if (req.value().mode == OffloadMode::kOrigin) {
+      const auto mode = proto::PeekRequestOffloadMode(env.type, env.payload);
+      if (!mode.ok()) return;  // dropped, like any undecodable request
+      if (mode.value() == OffloadMode::kOrigin) {
+        // Baseline: pure relay, no cache involvement — the original
+        // frame (with its possibly multi-hundred-KB camera image) is
+        // forwarded untouched, never decoded at the edge; the cloud is
+        // the authoritative validator of the rest of the payload.
         PendingForward pending;
         pending.request_type = env.type;
         pending.mode = OffloadMode::kOrigin;
-        ForwardToCloud(env, std::move(pending));
+        ForwardToCloud(std::move(frame), std::move(pending));
         return;
       }
-      auto descriptor = req.value().descriptor;
+      // CoIC mode: the descriptor must outlive this frame delivery, so
+      // the request is fully (owning-)decoded.
+      proto::FeatureDescriptor descriptor;
+      MessageType reply_type;
+      switch (env.type) {
+        case MessageType::kRecognitionRequest: {
+          auto req = proto::DecodePayloadAs<proto::RecognitionRequest>(
+              env, MessageType::kRecognitionRequest);
+          if (!req.ok()) return;
+          descriptor = std::move(req.value().descriptor);
+          reply_type = MessageType::kRecognitionResult;
+          break;
+        }
+        case MessageType::kRenderRequest: {
+          auto req = proto::DecodePayloadAs<proto::RenderRequest>(
+              env, MessageType::kRenderRequest);
+          if (!req.ok()) return;
+          descriptor = std::move(req.value().descriptor);
+          reply_type = MessageType::kRenderResult;
+          break;
+        }
+        default: {
+          auto req = proto::DecodePayloadAs<proto::PanoramaRequest>(
+              env, MessageType::kPanoramaRequest);
+          if (!req.ok()) return;
+          descriptor = std::move(req.value().descriptor);
+          reply_type = MessageType::kPanoramaResult;
+          break;
+        }
+      }
       delay_(config_.costs.edge.cache_lookup,
-             [this, env = std::move(env), descriptor = std::move(descriptor)] {
-               if (!TryServeFromCache(descriptor, MessageType::kPanoramaResult,
-                                      env.request_id)) {
-                 OnLocalMiss(std::move(env), std::move(descriptor),
-                             MessageType::kPanoramaResult);
+             [this, frame = std::move(frame),
+              descriptor = std::move(descriptor), reply_type]() mutable {
+               if (!TryServeFromCache(descriptor, reply_type,
+                                      proto::PeekRequestId(frame.span()))) {
+                 OnLocalMiss(std::move(frame), std::move(descriptor),
+                             reply_type);
                }
              });
       return;
@@ -555,14 +649,14 @@ void EdgeService::OnClientFrame(ByteVec frame) {
   }
 }
 
-void EdgeService::OnCloudFrame(ByteVec frame) {
-  auto env_or = proto::DecodeEnvelope(frame);
+void EdgeService::OnCloudFrame(Frame frame) {
+  auto env_or = proto::DecodeEnvelopeView(frame);
   if (!env_or.ok()) {
     COIC_LOG(kWarn) << "edge: dropping undecodable cloud frame: "
                     << env_or.status().ToString();
     return;
   }
-  Envelope env = std::move(env_or).value();
+  const EnvelopeView env = env_or.value();
 
   const auto it = pending_.find(env.request_id);
   if (it == pending_.end()) {
@@ -572,23 +666,41 @@ void EdgeService::OnCloudFrame(ByteVec frame) {
   }
   PendingForward pending = std::move(it->second);
   pending_.erase(it);
+  // The leader's outcome is now known; same-key misses arriving from
+  // here on start their own fetch.
+  ReleaseCoalesceKey(pending.coalesce_key);
 
   const bool cacheable = pending.mode == OffloadMode::kCoic &&
                          pending.insert_key.has_value() &&
                          env.type != MessageType::kError;
   if (!cacheable) {
-    send_(Peer::kClient,
-          proto::EncodeEnvelope(env.type, env.request_id, env.payload));
+    // Error (or Origin-mode) reply: relay the original cloud frame and
+    // propagate the failure to any coalesced waiters — they can never be
+    // served now.
+    if (env.type == MessageType::kError) {
+      FailWaiters(pending.waiters, env.payload);
+    }
+    send_(Peer::kClient, std::move(frame));
     return;
   }
 
   // Figure 1: "the edge forwards the request to the cloud and inserts
   // the result to the edge cache" — insert, then relay to the client.
+  // The cache adopts a slice of the delivered frame (shared buffer) and
+  // the client gets the original frame itself: zero payload copies on
+  // the whole miss-return path.
+  const Frame payload =
+      frame.Slice(proto::kEnvelopeHeaderSize,
+                  frame.size() - proto::kEnvelopeHeaderSize);
   delay_(config_.costs.edge.cache_insert,
-         [this, env = std::move(env), key = std::move(*pending.insert_key)] {
-           cache_.Insert(key, env.payload, now_());
-           send_(Peer::kClient,
-                 proto::EncodeEnvelope(env.type, env.request_id, env.payload));
+         [this, frame = std::move(frame), payload,
+          key = std::move(*pending.insert_key),
+          waiters = std::move(pending.waiters)]() mutable {
+           cache_.Insert(key, payload, now_());
+           send_(Peer::kClient, std::move(frame));
+           // Waiters share the same upstream result; the cloud produced
+           // it once for all of them.
+           ServeWaiters(waiters, payload.span(), ResultSource::kCloud);
          });
 }
 

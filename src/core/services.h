@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cache/ic_cache.h"
+#include "common/frame.h"
 #include "common/time.h"
 #include "core/cost_model.h"
 #include "proto/envelope.h"
@@ -29,9 +30,11 @@ namespace coic::core {
 
 /// Emits an encoded envelope toward a peer. `Peer` distinguishes the
 /// directions an edge can talk (client side, cloud side, and — when
-/// cooperation is enabled — a neighboring edge).
+/// cooperation is enabled — a neighboring edge). Frames are refcounted
+/// (common/frame.h): passing one is a pointer bump, never a payload
+/// copy, so relays and fan-outs forward the original buffer.
 enum class Peer : std::uint8_t { kClient = 0, kCloud = 1, kPeerEdge = 2 };
-using SendFn = std::function<void(Peer to, ByteVec frame)>;
+using SendFn = std::function<void(Peer to, Frame frame)>;
 
 /// Runs `fn` after simulated `delay` (scheduler-bound in the simulator,
 /// immediate in the real transport).
@@ -60,7 +63,7 @@ class CloudService {
   void RegisterModel(std::uint64_t model_id, Bytes serialized_size);
 
   /// Entry point for frames arriving from the edge.
-  void OnFrame(ByteVec frame);
+  void OnFrame(Frame frame);
 
   [[nodiscard]] const vision::RecognitionModel& recognition_model() const {
     return *recognition_;
@@ -80,11 +83,11 @@ class CloudService {
   static std::string LabelForScene(std::uint64_t scene_id);
 
  private:
-  void HandleRecognition(const proto::Envelope& env);
-  void HandleRender(const proto::Envelope& env);
-  void HandlePanorama(const proto::Envelope& env);
+  void HandleRecognition(const proto::EnvelopeView& env);
+  void HandleRender(const proto::EnvelopeView& env);
+  void HandlePanorama(const proto::EnvelopeView& env);
   void Reply(proto::MessageType type, std::uint64_t request_id,
-             const ByteVec& payload);
+             std::span<const std::uint8_t> payload);
   void ReplyError(std::uint64_t request_id, StatusCode code,
                   const std::string& message);
 
@@ -94,8 +97,10 @@ class CloudService {
   /// pure waste under open-loop request storms. Values are byte-identical
   /// to a fresh generation; the caches only trade memory for wall time,
   /// and are bounded by clearing when they outgrow `cap` (re-filled on
-  /// demand, still deterministic).
-  const ByteVec& AnnotationFor(const std::string& label);
+  /// demand, still deterministic). Values are shared Frames: handing one
+  /// out is a refcount bump, and each reply's delay_ lambda captures the
+  /// frame, not a copy of the body.
+  Frame AnnotationFor(const std::string& label);
   template <typename Map>
   static void BoundMemo(Map& memo, std::size_t cap) {
     if (memo.size() > cap) memo.clear();
@@ -108,15 +113,11 @@ class CloudService {
   std::unique_ptr<vision::RecognitionModel> recognition_;
   render::ModelRegistry models_;
   std::uint64_t tasks_executed_ = 0;
-  std::unordered_map<std::string, ByteVec> annotation_memo_;
-  /// model id -> (model byte size, encoded RenderResult payload). The
-  /// payloads are shared_ptr so each reply's delay_ lambda captures a
-  /// refcount bump, not a copy of the multi-hundred-KB body.
-  std::unordered_map<std::uint64_t,
-                     std::pair<Bytes, std::shared_ptr<const ByteVec>>>
+  std::unordered_map<std::string, Frame> annotation_memo_;
+  /// model id -> (model byte size, encoded RenderResult payload).
+  std::unordered_map<std::uint64_t, std::pair<Bytes, Frame>>
       render_payload_memo_;
-  std::map<std::pair<std::uint64_t, std::uint32_t>,
-           std::shared_ptr<const ByteVec>>
+  std::map<std::pair<std::uint64_t, std::uint32_t>, Frame>
       panorama_payload_memo_;
 };
 
@@ -135,7 +136,7 @@ class EdgeService {
   /// ordered probe candidates for a descriptor (best first). When both
   /// are installed the edge runs in N-edge federation mode; otherwise a
   /// single anonymous peer is assumed (the original pairwise protocol).
-  using PeerSendFn = std::function<void(std::uint32_t peer, ByteVec frame)>;
+  using PeerSendFn = std::function<void(std::uint32_t peer, Frame frame)>;
   using PeerSelectFn =
       std::function<std::vector<std::uint32_t>(const proto::FeatureDescriptor&)>;
 
@@ -152,22 +153,30 @@ class EdgeService {
     /// Per-request cap on peer probes in federation mode; candidates
     /// beyond the budget are dropped (policy order is preserved).
     std::uint32_t probe_budget = 1;
+    /// Same-key request coalescing: while a CoIC miss for a descriptor
+    /// is in flight (peer probes or cloud forward), later misses on the
+    /// same key park on a wait-list and are served from the leader's
+    /// result instead of paying their own upstream fetch. Invisible in
+    /// the closed loop (never more than one request in flight); under an
+    /// open-loop storm it collapses N concurrent same-object misses into
+    /// one cloud fetch.
+    bool coalesce_requests = true;
   };
 
   EdgeService(Config config, SendFn send, DelayFn delay, NowFn now);
 
   /// Frames arriving from the mobile client.
-  void OnClientFrame(ByteVec frame);
+  void OnClientFrame(Frame frame);
 
   /// Frames arriving back from the cloud.
-  void OnCloudFrame(ByteVec frame);
+  void OnCloudFrame(Frame frame);
 
   /// Frames arriving from the cooperating peer edge (lookup requests we
   /// answer, and replies to lookups we issued). The anonymous overload
   /// serves pairwise mode; federation substrates pass the sender's
   /// cluster index so replies can be routed back.
-  void OnPeerFrame(ByteVec frame);
-  void OnPeerFrame(std::uint32_t from_peer, ByteVec frame);
+  void OnPeerFrame(Frame frame);
+  void OnPeerFrame(std::uint32_t from_peer, Frame frame);
 
   [[nodiscard]] const cache::IcCache& cache() const noexcept { return cache_; }
   [[nodiscard]] cache::IcCache& mutable_cache() noexcept { return cache_; }
@@ -184,6 +193,11 @@ class EdgeService {
   /// federation policies trade against hit rate).
   [[nodiscard]] std::uint64_t peer_probes_sent() const noexcept {
     return peer_probes_sent_;
+  }
+  /// Misses that coalesced onto an already-in-flight fetch for the same
+  /// key instead of paying their own peer probes / cloud round trip.
+  [[nodiscard]] std::uint64_t coalesced_requests() const noexcept {
+    return coalesced_requests_;
   }
   /// Requests currently parked (awaiting a cloud reply or peer probes).
   [[nodiscard]] std::size_t pending_inflight() const noexcept {
@@ -203,16 +217,28 @@ class EdgeService {
   struct PendingForward {
     proto::MessageType request_type = proto::MessageType::kPing;
     proto::OffloadMode mode = proto::OffloadMode::kCoic;
+    /// Result envelope type this request will be answered with (CoIC
+    /// mode; serves coalesced waiters without re-deriving it).
+    proto::MessageType reply_type = proto::MessageType::kRecognitionResult;
     /// Cache key to insert the result under (CoIC mode only).
     std::optional<proto::FeatureDescriptor> insert_key;
-    /// Original client envelope, kept while the request is parked at the
-    /// peer so a peer miss can still fall through to the cloud.
-    proto::Envelope original;
+    /// Original client request frame, kept while the request is parked
+    /// at the peer so a peer miss can still fall through to the cloud —
+    /// forwarded as-is, never re-encoded.
+    Frame original;
     bool at_peer = false;
     /// Probes still in flight (federation mode fans out to several).
     std::uint32_t probes_outstanding = 0;
     /// A probe already hit; late replies are drained without effect.
     bool served = false;
+    /// Leader bookkeeping for same-key coalescing: the key this request
+    /// holds in inflight_keys_ (released when its result arrives) and
+    /// the request ids waiting on that result.
+    std::optional<std::uint64_t> coalesce_key;
+    std::vector<std::uint64_t> waiters;
+    /// True for a parked waiter: no upstream fetch of its own; it is
+    /// served (or failed) when its leader completes.
+    bool is_waiter = false;
   };
 
   /// Registers an in-flight request; CHECK-fails on a duplicate id. The
@@ -224,21 +250,44 @@ class EdgeService {
   bool TryServeFromCache(const proto::FeatureDescriptor& key,
                          proto::MessageType reply_type,
                          std::uint64_t request_id);
-  /// Handles the local-miss path: peer probe(s) if cooperative, else cloud.
-  void OnLocalMiss(proto::Envelope env, proto::FeatureDescriptor descriptor,
+  /// Handles the local-miss path: coalesce onto an in-flight same-key
+  /// fetch when possible, else peer probe(s) if cooperative, else cloud.
+  void OnLocalMiss(Frame frame, proto::FeatureDescriptor descriptor,
                    proto::MessageType reply_type);
-  void ForwardToCloud(const proto::Envelope& env, PendingForward pending);
-  void DispatchPeerFrame(std::optional<std::uint32_t> from_peer, ByteVec frame);
-  void HandlePeerLookupRequest(const proto::Envelope& env,
+  void ForwardToCloud(Frame request_frame, PendingForward pending);
+  void DispatchPeerFrame(std::optional<std::uint32_t> from_peer, Frame frame);
+  void HandlePeerLookupRequest(const proto::EnvelopeView& env,
                                std::optional<std::uint32_t> from_peer);
-  void HandlePeerLookupReply(const proto::Envelope& env);
+  void HandlePeerLookupReply(const Frame& frame,
+                             const proto::EnvelopeView& env);
+
+  /// Same-key coalescing identity of a descriptor: content-hash keys use
+  /// their index key, vector keys a hash of the raw float bits (exact
+  /// re-extractions coalesce; merely similar vectors do not — those are
+  /// the cache's approximate-match job, not the wait-list's).
+  static std::uint64_t CoalesceKey(const proto::FeatureDescriptor& key) noexcept;
+
+  /// Serves waiter requests with the leader's result payload, each under
+  /// its own reply envelope type with `source` patched in (the result
+  /// was produced once upstream and fanned out at the edge). Waiters are
+  /// unparked as they are served.
+  void ServeWaiters(const std::vector<std::uint64_t>& waiters,
+                    std::span<const std::uint8_t> payload,
+                    proto::ResultSource source);
+  /// Fails waiter requests with the leader's error payload.
+  void FailWaiters(const std::vector<std::uint64_t>& waiters,
+                   std::span<const std::uint8_t> error_payload);
+  /// Drops the in-flight marker for `key` (no-op for nullopt). Done the
+  /// moment the leader's outcome is known: later same-key misses start a
+  /// fresh fetch instead of waiting on a resolved leader.
+  void ReleaseCoalesceKey(const std::optional<std::uint64_t>& key);
 
   /// Wraps a cached result payload in a reply envelope with `source`
   /// stamped in place (one copy; the result body is never decoded).
-  static ByteVec EncodePatchedResult(proto::MessageType type,
-                                     std::uint64_t request_id,
-                                     std::span<const std::uint8_t> payload,
-                                     proto::ResultSource source);
+  static Frame EncodePatchedResult(proto::MessageType type,
+                                   std::uint64_t request_id,
+                                   std::span<const std::uint8_t> payload,
+                                   proto::ResultSource source);
 
   Config config_;
   SendFn send_;
@@ -246,10 +295,13 @@ class EdgeService {
   NowFn now_;
   cache::IcCache cache_;
   std::unordered_map<std::uint64_t, PendingForward> pending_;
+  /// Coalesce key -> leader request id, for keys with a fetch in flight.
+  std::unordered_map<std::uint64_t, std::uint64_t> inflight_keys_;
   std::uint64_t forwards_ = 0;
   std::uint64_t peer_hits_ = 0;
   std::uint64_t peer_queries_served_ = 0;
   std::uint64_t peer_probes_sent_ = 0;
+  std::uint64_t coalesced_requests_ = 0;
   std::size_t peak_pending_ = 0;
 };
 

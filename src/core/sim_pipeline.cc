@@ -28,7 +28,7 @@ SimPipeline::SimPipeline(PipelineConfig config)
   cloud_config.extractor = config.extractor;
   cloud_ = std::make_unique<CloudService>(
       cloud_config,
-      [this](Peer /*to*/, ByteVec frame) {
+      [this](Peer /*to*/, Frame frame) {
         // The cloud only ever talks to the edge.
         net_.Send(cloud_node_, edge_node_, std::move(frame));
       },
@@ -39,7 +39,7 @@ SimPipeline::SimPipeline(PipelineConfig config)
   edge_config.cache = config.cache;
   edge_ = std::make_unique<EdgeService>(
       edge_config,
-      [this](Peer to, ByteVec frame) {
+      [this](Peer to, Frame frame) {
         net_.Send(edge_node_, to == Peer::kClient ? mobile_ : cloud_node_,
                   std::move(frame));
       },
@@ -51,22 +51,22 @@ SimPipeline::SimPipeline(PipelineConfig config)
   client_config.extractor = config.extractor;
   client_ = std::make_unique<CoicClient>(
       client_config,
-      [this](ByteVec frame) {
+      [this](Frame frame) {
         net_.Send(mobile_, edge_node_, std::move(frame));
       },
       delay, now);
 
-  net_.SetHandler(mobile_, [this](netsim::NodeId /*from*/, ByteVec frame) {
+  net_.SetHandler(mobile_, [this](netsim::NodeId /*from*/, Frame frame) {
     client_->OnEdgeFrame(std::move(frame));
   });
-  net_.SetHandler(edge_node_, [this](netsim::NodeId from, ByteVec frame) {
+  net_.SetHandler(edge_node_, [this](netsim::NodeId from, Frame frame) {
     if (from == mobile_) {
       edge_->OnClientFrame(std::move(frame));
     } else {
       edge_->OnCloudFrame(std::move(frame));
     }
   });
-  net_.SetHandler(cloud_node_, [this](netsim::NodeId /*from*/, ByteVec frame) {
+  net_.SetHandler(cloud_node_, [this](netsim::NodeId /*from*/, Frame frame) {
     cloud_->OnFrame(std::move(frame));
   });
 }

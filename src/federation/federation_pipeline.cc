@@ -13,22 +13,8 @@ using core::CloudService;
 using core::CoicClient;
 using core::EdgeService;
 using proto::MessageType;
-
-/// Request id from an encoded envelope (bytes 8..16 LE); used to route
-/// replies back to the node that issued the request.
-std::uint64_t PeekRequestId(std::span<const std::uint8_t> frame) {
-  COIC_CHECK(frame.size() >= proto::kEnvelopeHeaderSize);
-  std::uint64_t id = 0;
-  std::memcpy(&id, frame.data() + 8, 8);
-  return id;
-}
-
-/// Message type from an encoded envelope (byte 6) — enough to dispatch
-/// federation control frames without a full decode.
-MessageType PeekMessageType(std::span<const std::uint8_t> frame) {
-  COIC_CHECK(frame.size() >= proto::kEnvelopeHeaderSize);
-  return static_cast<MessageType>(frame[6]);
-}
+using proto::PeekMessageType;
+using proto::PeekRequestId;
 
 }  // namespace
 
@@ -131,8 +117,8 @@ void FederationPipeline::WireCloud() {
       std::make_shared<std::unordered_map<std::uint64_t, netsim::NodeId>>();
   cloud_ = std::make_unique<CloudService>(
       cloud_config,
-      [this, routes](core::Peer /*to*/, ByteVec frame) {
-        const std::uint64_t id = PeekRequestId(frame);
+      [this, routes](core::Peer /*to*/, Frame frame) {
+        const std::uint64_t id = PeekRequestId(frame.span());
         const auto it = routes->find(id);
         COIC_CHECK_MSG(it != routes->end(), "cloud reply with no route");
         const netsim::NodeId target = it->second;
@@ -141,8 +127,8 @@ void FederationPipeline::WireCloud() {
       },
       delay);
   net_.SetHandler(cloud_node_,
-                  [this, routes](netsim::NodeId from, ByteVec frame) {
-                    (*routes)[PeekRequestId(frame)] = from;
+                  [this, routes](netsim::NodeId from, Frame frame) {
+                    (*routes)[PeekRequestId(frame.span())] = from;
                     cloud_->OnFrame(std::move(frame));
                   });
 }
@@ -158,7 +144,8 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
   edge_config.cache = config_.cache;
   edge_config.cooperative = config_.cooperative && config_.venues > 1;
   edge_config.probe_budget = config_.probe_budget;
-  edge_config.peer_send = [this, venue](std::uint32_t peer, ByteVec frame) {
+  edge_config.coalesce_requests = config_.coalesce_requests;
+  edge_config.peer_send = [this, venue](std::uint32_t peer, Frame frame) {
     SendEdgeToEdge(venue, peer, std::move(frame));
   };
   edge_config.peer_select =
@@ -169,7 +156,7 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
   const netsim::NodeId self = edge_nodes_[venue];
   edges_[venue] = std::make_unique<EdgeService>(
       edge_config,
-      [this, venue, self](core::Peer to, ByteVec frame) {
+      [this, venue, self](core::Peer to, Frame frame) {
         COIC_CHECK_MSG(to != core::Peer::kPeerEdge,
                        "federation edges route peers via peer_send");
         if (to == core::Peer::kCloud) {
@@ -179,7 +166,7 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
         // Client replies: several mobiles share this edge, so route by
         // the request id recorded when the request came in.
         auto& routes = client_routes_[venue];
-        const auto it = routes.find(PeekRequestId(frame));
+        const auto it = routes.find(PeekRequestId(frame.span()));
         COIC_CHECK_MSG(it != routes.end(), "edge reply with no client route");
         const netsim::NodeId target = it->second;
         routes.erase(it);
@@ -187,14 +174,14 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
       },
       delay, now);
 
-  net_.SetHandler(self, [this, venue](netsim::NodeId from, ByteVec frame) {
+  net_.SetHandler(self, [this, venue](netsim::NodeId from, Frame frame) {
     if (from == cloud_node_) {
       edges_[venue]->OnCloudFrame(std::move(frame));
       return;
     }
     for (std::uint32_t m = 0; m < config_.mobiles_per_venue; ++m) {
       if (mobile_nodes_[ClientIndex(venue, m)] == from) {
-        client_routes_[venue][PeekRequestId(frame)] = from;
+        client_routes_[venue][PeekRequestId(frame.span())] = from;
         edges_[venue]->OnClientFrame(std::move(frame));
         return;
       }
@@ -228,11 +215,11 @@ void FederationPipeline::WireClient(std::uint32_t venue, std::uint32_t mobile) {
   client_config.first_request_id = (std::uint64_t{index} << 40) | 1;
   clients_[index] = std::make_unique<CoicClient>(
       client_config,
-      [this, client_node, edge_node](ByteVec frame) {
+      [this, client_node, edge_node](Frame frame) {
         net_.Send(client_node, edge_node, std::move(frame));
       },
       delay, now);
-  net_.SetHandler(client_node, [this, index](netsim::NodeId, ByteVec frame) {
+  net_.SetHandler(client_node, [this, index](netsim::NodeId, Frame frame) {
     clients_[index]->OnEdgeFrame(std::move(frame));
   });
 }
@@ -242,7 +229,7 @@ void FederationPipeline::WireClient(std::uint32_t venue, std::uint32_t mobile) {
 // ---------------------------------------------------------------------------
 
 void FederationPipeline::SendEdgeToEdge(std::uint32_t from, std::uint32_t to,
-                                        ByteVec frame) {
+                                        Frame frame) {
   COIC_CHECK(from != to && from < config_.venues && to < config_.venues);
   if (topology_.Adjacent(from, to)) {
     net_.Send(edge_nodes_[from], edge_nodes_[to], std::move(frame));
@@ -254,20 +241,16 @@ void FederationPipeline::SendEdgeToEdge(std::uint32_t from, std::uint32_t to,
                     << to;
     return;
   }
-  proto::FederatedRelay relay;
-  relay.src_edge = from;
-  relay.dest_edge = to;
-  relay.ttl = static_cast<std::uint8_t>(dist - 1);  // forwards after hop 1
-  relay.inner = std::move(frame);
   net_.Send(edge_nodes_[from], edge_nodes_[topology_.NextHop(from, to)],
-            proto::EncodeMessage(MessageType::kFederatedRelay,
-                                 PeekRequestId(relay.inner), relay));
+            proto::EncodeRelayFrame(
+                from, to, static_cast<std::uint8_t>(dist - 1),  // forwards
+                frame.span()));                                 // after hop 1
 }
 
 void FederationPipeline::OnPeerEdgeFrame(std::uint32_t venue,
                                          std::uint32_t src_index,
-                                         ByteVec frame) {
-  switch (PeekMessageType(frame)) {
+                                         Frame frame) {
+  switch (PeekMessageType(frame.span())) {
     case MessageType::kFederatedRelay:
       HandleRelayFrame(venue, std::move(frame));
       return;
@@ -280,13 +263,14 @@ void FederationPipeline::OnPeerEdgeFrame(std::uint32_t venue,
   }
 }
 
-void FederationPipeline::HandleRelayFrame(std::uint32_t venue, ByteVec frame) {
+void FederationPipeline::HandleRelayFrame(std::uint32_t venue, Frame frame) {
   // Hot path: relay forwarding never decodes the (possibly large) inner
   // envelope. Peek the routing fields in place; an intermediate hop
-  // patches the TTL byte and forwards the original buffer, the terminal
-  // hop strips the wrapper with one memmove. Byte-for-byte equivalent to
-  // the old decode → mutate → re-encode (covered by a proto test).
-  const auto view = proto::PeekRelayFrame(frame);
+  // patches the TTL byte of the uniquely-held buffer and forwards it,
+  // the terminal hop strips the wrapper by slicing (both zero-copy).
+  // Byte-for-byte equivalent to the old decode → mutate → re-encode
+  // (covered by a proto test).
+  const auto view = proto::PeekRelayFrame(frame.span());
   if (!view.ok() || view.value().dest_edge >= config_.venues ||
       view.value().src_edge >= config_.venues ||
       view.value().inner_size < proto::kEnvelopeHeaderSize) {
@@ -297,12 +281,12 @@ void FederationPipeline::HandleRelayFrame(std::uint32_t venue, ByteVec frame) {
   if (relay.dest_edge == venue) {
     // Terminal hop: unwrap and dispatch as if it arrived directly from
     // the logical source.
-    proto::UnwrapRelayInPlace(frame, relay);
-    if (PeekMessageType(frame) == MessageType::kSummaryUpdate ||
-        PeekMessageType(frame) == MessageType::kSummaryDeltaUpdate) {
-      HandleSummaryFrame(venue, frame);
+    Frame inner = proto::UnwrapRelay(frame, relay);
+    if (PeekMessageType(inner.span()) == MessageType::kSummaryUpdate ||
+        PeekMessageType(inner.span()) == MessageType::kSummaryDeltaUpdate) {
+      HandleSummaryFrame(venue, inner);
     } else {
-      edges_[venue]->OnPeerFrame(relay.src_edge, std::move(frame));
+      edges_[venue]->OnPeerFrame(relay.src_edge, std::move(inner));
     }
     return;
   }
@@ -310,7 +294,7 @@ void FederationPipeline::HandleRelayFrame(std::uint32_t venue, ByteVec frame) {
     COIC_LOG(kWarn) << "federation: relay TTL expired at venue " << venue;
     return;
   }
-  proto::DecrementRelayTtlInPlace(frame);
+  proto::DecrementRelayTtl(frame);
   ++relay_forwards_;
   net_.Send(edge_nodes_[venue],
             edge_nodes_[topology_.NextHop(venue, relay.dest_edge)],
@@ -318,13 +302,13 @@ void FederationPipeline::HandleRelayFrame(std::uint32_t venue, ByteVec frame) {
 }
 
 void FederationPipeline::HandleSummaryFrame(std::uint32_t venue,
-                                            const ByteVec& frame) {
+                                            const Frame& frame) {
   // Stale-version fast drop: a duplicate or outdated update — the
   // common case once summaries are only rebuilt on cache change — is
   // discarded without decoding the bloom bits / key list and centroid
   // vectors. Mirrors SummaryTable::Update's `<=` staleness rule; works
   // for full and delta frames alike (shared leading layout).
-  if (const auto header = proto::PeekSummaryFrame(frame);
+  if (const auto header = proto::PeekSummaryFrame(frame.span());
       header.ok() && header.value().edge_id < config_.venues) {
     const CacheSummary* current =
         summary_tables_[venue].For(header.value().edge_id);
@@ -332,12 +316,12 @@ void FederationPipeline::HandleSummaryFrame(std::uint32_t venue,
       return;
     }
   }
-  if (PeekMessageType(frame) == MessageType::kSummaryDeltaUpdate) {
+  if (PeekMessageType(frame.span()) == MessageType::kSummaryDeltaUpdate) {
     // Base-version fast drop: a delta only applies on top of exactly its
     // base. A mismatch (missed frame on a lossy link) is not an error —
     // the table keeps its current view, which is merely stale, until the
     // sender's next full resend resynchronizes.
-    const auto header = proto::PeekSummaryDeltaFrame(frame);
+    const auto header = proto::PeekSummaryDeltaFrame(frame.span());
     if (!header.ok() || header.value().edge_id >= config_.venues) {
       COIC_LOG(kWarn) << "federation: bad summary-delta frame";
       return;
@@ -350,7 +334,7 @@ void FederationPipeline::HandleSummaryFrame(std::uint32_t venue,
                        << " for edge " << header.value().edge_id;
       return;
     }
-    auto env = proto::DecodeEnvelope(frame);
+    auto env = proto::DecodeEnvelopeView(frame.span());
     if (!env.ok()) {
       COIC_LOG(kWarn) << "federation: undecodable summary-delta frame";
       return;
@@ -368,7 +352,7 @@ void FederationPipeline::HandleSummaryFrame(std::uint32_t venue,
     }
     return;
   }
-  auto env = proto::DecodeEnvelope(frame);
+  auto env = proto::DecodeEnvelopeView(frame.span());
   if (!env.ok()) {
     COIC_LOG(kWarn) << "federation: undecodable summary frame";
     return;
@@ -408,8 +392,8 @@ void FederationPipeline::RefreshSummary(std::uint32_t venue) {
   CacheSummary summary = CacheSummary::Build(
       venue, ++summary_versions_[venue], edges_[venue]->cache(),
       config_.bloom);
-  summary_frames_[venue] = proto::EncodeMessage(
-      MessageType::kSummaryUpdate, summary.version(), summary.ToWire());
+  summary_frames_[venue] = Frame(proto::EncodeMessage(
+      MessageType::kSummaryUpdate, summary.version(), summary.ToWire()));
   summary_mutations_[venue] = mutations;
   // Where the next delta slice starts for a peer based on this version.
   summary_cursors_[venue] = edges_[venue]->cache().journal_cursor();
@@ -424,17 +408,19 @@ void FederationPipeline::GossipEdge(std::uint32_t venue) {
     return;
   }
   RefreshSummary(venue);
-  const ByteVec& frame = summary_frames_[venue];
+  const Frame& frame = summary_frames_[venue];
   for (const std::uint32_t peer : reachable_[venue]) {
     ++summary_updates_sent_;
     summary_bytes_full_ += frame.size();
-    SendEdgeToEdge(venue, peer, ByteVec(frame));
+    // One buffer for the whole broadcast: each peer gets a refcount on
+    // the memoized frame, never a payload copy.
+    SendEdgeToEdge(venue, peer, frame);
   }
 }
 
 void FederationPipeline::GossipEdgeDelta(std::uint32_t venue) {
   RefreshSummary(venue);
-  const ByteVec& full_frame = summary_frames_[venue];
+  const Frame& full_frame = summary_frames_[venue];
   const std::uint64_t version = summary_versions_[venue];
   const cache::IcCache& cache = edges_[venue]->cache();
   // In steady state every peer shares the same base version (they all
@@ -445,7 +431,7 @@ void FederationPipeline::GossipEdgeDelta(std::uint32_t venue) {
   // than the full frame). The memo is keyed by base version alone:
   // sent.journal_cursor is snapshotted together with sent.version, so
   // equal versions imply equal cursors.
-  std::unordered_map<std::uint64_t, ByteVec> delta_memo;
+  std::unordered_map<std::uint64_t, Frame> delta_memo;
   for (const std::uint32_t peer : reachable_[venue]) {
     auto& sent = summary_tables_[venue].sent_to(peer);
     const bool refresh_due =
@@ -462,7 +448,7 @@ void FederationPipeline::GossipEdgeDelta(std::uint32_t venue) {
     // still covers the interval, and nothing was erased in it (Bloom
     // bits compose under insertion only); it is sent only when actually
     // smaller than re-shipping the full bit array.
-    const ByteVec* delta_frame = nullptr;
+    const Frame* delta_frame = nullptr;
     if (sent.version != 0 && sent.version != version && !refresh_due &&
         cache.config().journal_capacity != 0) {
       const auto [memo, first_look] = delta_memo.try_emplace(sent.version);
@@ -482,8 +468,8 @@ void FederationPipeline::GossipEdgeDelta(std::uint32_t venue) {
               summaries_[venue].ToWireDelta(sent.version, std::move(inserted));
           if (proto::kEnvelopeHeaderSize + delta.WireSize() <
               full_frame.size()) {
-            memo->second = proto::EncodeMessage(
-                MessageType::kSummaryDeltaUpdate, version, delta);
+            memo->second = Frame(proto::EncodeMessage(
+                MessageType::kSummaryDeltaUpdate, version, delta));
           }
         }
       }
@@ -495,14 +481,14 @@ void FederationPipeline::GossipEdgeDelta(std::uint32_t venue) {
       sent.version = version;
       sent.journal_cursor = summary_cursors_[venue];
       ++sent.rounds_since_full;
-      SendEdgeToEdge(venue, peer, ByteVec(*delta_frame));
+      SendEdgeToEdge(venue, peer, *delta_frame);
     } else {
       ++summary_updates_sent_;
       summary_bytes_full_ += full_frame.size();
       sent.version = version;
       sent.journal_cursor = summary_cursors_[venue];
       sent.rounds_since_full = 0;
-      SendEdgeToEdge(venue, peer, ByteVec(full_frame));
+      SendEdgeToEdge(venue, peer, full_frame);
     }
   }
 }
@@ -574,6 +560,18 @@ std::uint64_t FederationPipeline::total_peer_probes() const {
 std::uint64_t FederationPipeline::total_peer_hits() const {
   std::uint64_t total = 0;
   for (const auto& e : edges_) total += e->peer_hits();
+  return total;
+}
+
+std::uint64_t FederationPipeline::total_coalesced_requests() const {
+  std::uint64_t total = 0;
+  for (const auto& e : edges_) total += e->coalesced_requests();
+  return total;
+}
+
+std::uint64_t FederationPipeline::total_cloud_forwards() const {
+  std::uint64_t total = 0;
+  for (const auto& e : edges_) total += e->forwards();
   return total;
 }
 

@@ -65,6 +65,11 @@ struct FederationPipelineConfig {
   PeerSelectConfig policy;
   /// Per-request cap on peer probes at each edge.
   std::uint32_t probe_budget = 8;
+  /// Same-key request coalescing at every edge (see EdgeService::Config)
+  /// — N concurrent misses on one object share a single peer-probe round
+  /// / cloud fetch. Invisible in the closed loop; under open-loop storms
+  /// it cuts duplicate upstream traffic.
+  bool coalesce_requests = true;
   /// Peers farther than this many topology hops are never probed or
   /// gossiped to.
   std::uint32_t hop_limit = 8;
@@ -183,6 +188,11 @@ class FederationPipeline {
   /// Probe traffic across the whole cluster (sum of per-edge counters).
   [[nodiscard]] std::uint64_t total_peer_probes() const;
   [[nodiscard]] std::uint64_t total_peer_hits() const;
+  /// Misses that coalesced onto an in-flight same-key fetch, cluster-wide.
+  [[nodiscard]] std::uint64_t total_coalesced_requests() const;
+  /// Requests forwarded to the cloud, cluster-wide (the traffic request
+  /// coalescing exists to cut).
+  [[nodiscard]] std::uint64_t total_cloud_forwards() const;
   /// SummaryUpdate messages sent (gossip overhead). With delta gossip
   /// this counts full summaries only; deltas are tallied separately.
   [[nodiscard]] std::uint64_t summary_updates_sent() const noexcept {
@@ -225,14 +235,16 @@ class FederationPipeline {
   void WireClient(std::uint32_t venue, std::uint32_t mobile);
 
   /// Routes an edge-to-edge frame: direct when adjacent, otherwise
-  /// wrapped in a FederatedRelay along the shortest path.
-  void SendEdgeToEdge(std::uint32_t from, std::uint32_t to, ByteVec frame);
+  /// wrapped in a FederatedRelay along the shortest path. Broadcast
+  /// callers pass the same refcounted Frame for every destination.
+  void SendEdgeToEdge(std::uint32_t from, std::uint32_t to, Frame frame);
   void OnPeerEdgeFrame(std::uint32_t venue, std::uint32_t src_index,
-                       ByteVec frame);
+                       Frame frame);
   /// Forwards or terminates a relay frame. Intermediate hops patch the
-  /// TTL in place and forward the original buffer (no decode/re-encode).
-  void HandleRelayFrame(std::uint32_t venue, ByteVec frame);
-  void HandleSummaryFrame(std::uint32_t venue, const ByteVec& frame);
+  /// TTL in the uniquely-held buffer and forward it (no decode, no
+  /// re-encode, no copy); the terminal hop unwraps by slicing.
+  void HandleRelayFrame(std::uint32_t venue, Frame frame);
+  void HandleSummaryFrame(std::uint32_t venue, const Frame& frame);
 
   /// Builds and gossips `venue`'s cache summary to its reachable peers.
   void GossipEdge(std::uint32_t venue);
@@ -280,7 +292,8 @@ class FederationPipeline {
   std::vector<std::uint64_t> summary_versions_;
   /// Per-edge memo of the last encoded SummaryUpdate frame and the cache
   /// insert+evict count it digested; rebuilt only when that count moves.
-  std::vector<ByteVec> summary_frames_;
+  /// A gossip round fans the same refcounted buffer to every peer.
+  std::vector<Frame> summary_frames_;
   std::vector<std::uint64_t> summary_mutations_;
   /// Delta-gossip state per edge: the last built summary (delta frames
   /// draw centroids and the absolute key count from it) and the cache

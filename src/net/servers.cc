@@ -23,13 +23,7 @@ core::NowFn MakeNowFn() {
   return [] { return LiveClient::WallClock(); };
 }
 
-/// Request id from an encoded envelope header (bytes 8..16 LE).
-std::uint64_t PeekRequestId(std::span<const std::uint8_t> frame) {
-  COIC_CHECK(frame.size() >= proto::kEnvelopeHeaderSize);
-  std::uint64_t id = 0;
-  std::memcpy(&id, frame.data() + 8, 8);
-  return id;
-}
+using proto::PeekRequestId;
 
 }  // namespace
 
@@ -48,12 +42,12 @@ CloudServer::CloudServer(ServerOptions options,
     : options_(options) {
   service_ = std::make_unique<core::CloudService>(
       service_config,
-      [this](core::Peer /*to*/, ByteVec frame) {
+      [this](core::Peer /*to*/, Frame frame) {
         // Replies go to whichever connection is being served; the
         // service mutex is held for the whole request, so the target is
         // stable here.
         COIC_CHECK(current_reply_target_ != nullptr);
-        const Status status = WriteFrame(*current_reply_target_, frame);
+        const Status status = WriteFrame(*current_reply_target_, frame.span());
         if (!status.ok()) {
           COIC_LOG(kWarn) << "cloud: reply write failed: " << status.ToString();
         }
@@ -91,7 +85,7 @@ void CloudServer::ServeConnection(const std::shared_ptr<TcpStream>& stream) {
     if (!frame.ok()) return;  // peer closed or transport error
     std::lock_guard<std::mutex> lock(service_mutex_);
     current_reply_target_ = stream.get();
-    service_->OnFrame(std::move(frame).value());
+    service_->OnFrame(Frame::Own(std::move(frame).value()));
     current_reply_target_ = nullptr;
   }
 }
@@ -134,10 +128,10 @@ Status EdgeServer::Start() {
 
   service_ = std::make_unique<core::EdgeService>(
       service_config_,
-      [this](core::Peer to, ByteVec frame) {
+      [this](core::Peer to, Frame frame) {
         if (to == core::Peer::kCloud) {
           std::lock_guard<std::mutex> lock(upstream_write_mutex_);
-          const Status status = WriteFrame(upstream_, frame);
+          const Status status = WriteFrame(upstream_, frame.span());
           if (!status.ok()) {
             COIC_LOG(kWarn) << "edge: upstream write failed: "
                             << status.ToString();
@@ -181,12 +175,12 @@ void EdgeServer::ServeClient(std::shared_ptr<TcpStream> stream) {
       routes_[PeekRequestId(frame.value())] = stream;
     }
     std::lock_guard<std::mutex> lock(service_mutex_);
-    service_->OnClientFrame(std::move(frame).value());
+    service_->OnClientFrame(Frame::Own(std::move(frame).value()));
   }
 }
 
-void EdgeServer::RouteToClient(const ByteVec& frame) {
-  const std::uint64_t request_id = PeekRequestId(frame);
+void EdgeServer::RouteToClient(const Frame& frame) {
+  const std::uint64_t request_id = PeekRequestId(frame.span());
   std::shared_ptr<TcpStream> target;
   {
     std::lock_guard<std::mutex> lock(routes_mutex_);
@@ -200,7 +194,7 @@ void EdgeServer::RouteToClient(const ByteVec& frame) {
     COIC_LOG(kWarn) << "edge: no route for reply " << request_id;
     return;
   }
-  const Status status = WriteFrame(*target, frame);
+  const Status status = WriteFrame(*target, frame.span());
   if (!status.ok()) {
     COIC_LOG(kWarn) << "edge: client write failed: " << status.ToString();
   }
@@ -211,7 +205,7 @@ void EdgeServer::CloudReplyLoop() {
     auto frame = ReadFrame(upstream_);
     if (!frame.ok()) return;  // upstream closed
     std::lock_guard<std::mutex> lock(service_mutex_);
-    service_->OnCloudFrame(std::move(frame).value());
+    service_->OnCloudFrame(Frame::Own(std::move(frame).value()));
   }
 }
 
@@ -258,8 +252,8 @@ Result<std::unique_ptr<LiveClient>> LiveClient::Connect(Options options) {
   LiveClient* raw = live.get();
   live->client_ = std::make_unique<core::CoicClient>(
       options.client,
-      [raw](ByteVec frame) {
-        const Status status = WriteFrame(raw->stream_, frame);
+      [raw](Frame frame) {
+        const Status status = WriteFrame(raw->stream_, frame.span());
         if (!status.ok()) raw->transport_error_ = status;
       },
       MakeDelayFn(/*simulate=*/false), MakeNowFn());
@@ -271,7 +265,7 @@ Result<core::RequestOutcome> LiveClient::AwaitCompletion() {
     if (!transport_error_.ok()) return transport_error_;
     auto frame = ReadFrame(stream_);
     if (!frame.ok()) return frame.status();
-    client_->OnEdgeFrame(std::move(frame).value());
+    client_->OnEdgeFrame(Frame::Own(std::move(frame).value()));
   }
   done_ = false;
   return outcome_;

@@ -87,7 +87,7 @@ class EdgeServer {
   void AcceptLoop();
   void ServeClient(std::shared_ptr<TcpStream> stream);
   void CloudReplyLoop();
-  void RouteToClient(const ByteVec& frame);
+  void RouteToClient(const Frame& frame);
 
   ServerOptions options_;
   core::EdgeService::Config service_config_;

@@ -20,7 +20,7 @@ void Link::DrainSerialized() const noexcept {
   }
 }
 
-void Link::Send(ByteVec payload, DeliverFn on_delivered, DropFn on_dropped) {
+void Link::Send(Frame payload, DeliverFn on_delivered, DropFn on_dropped) {
   COIC_CHECK(on_delivered != nullptr);
   const Bytes size = payload.size();
 

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/bytes.h"
+#include "common/frame.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/units.h"
@@ -59,8 +60,11 @@ struct LinkStats {
 
 class Link {
  public:
-  using DeliverFn = std::function<void(ByteVec payload)>;
-  using DropFn = std::function<void(DropReason, ByteVec payload)>;
+  /// Payloads travel as refcounted Frames: a broadcast sender hands the
+  /// same buffer to every link, and delivery moves the reference to the
+  /// receiving handler without ever copying the bytes.
+  using DeliverFn = std::function<void(Frame payload)>;
+  using DropFn = std::function<void(DropReason, Frame payload)>;
 
   Link(EventScheduler& sched, std::string name, LinkConfig config);
 
@@ -70,7 +74,7 @@ class Link {
   /// Queues `payload` for transmission. `on_delivered` runs at delivery
   /// time with the payload moved in; `on_dropped` (optional) runs
   /// immediately on queue overflow or at would-be delivery time on loss.
-  void Send(ByteVec payload, DeliverFn on_delivered, DropFn on_dropped = nullptr);
+  void Send(Frame payload, DeliverFn on_delivered, DropFn on_dropped = nullptr);
 
   /// Reconfigures bandwidth/propagation on the fly (the `tc` analogue —
   /// the bench sweeps call this between conditions). In-flight frames

@@ -34,11 +34,11 @@ bool Network::Adjacent(NodeId from, NodeId to) const {
   return links_.count(EdgeKey(from, to)) > 0;
 }
 
-void Network::Send(NodeId from, NodeId to, ByteVec payload,
+void Network::Send(NodeId from, NodeId to, Frame payload,
                    Link::DropFn on_dropped) {
   Link& link = LinkBetween(from, to);
   link.Send(std::move(payload),
-            [this, from, to](ByteVec delivered) {
+            [this, from, to](Frame delivered) {
               COIC_CHECK(to < nodes_.size());
               auto& handler = nodes_[to].handler;
               COIC_CHECK_MSG(handler != nullptr,

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "common/frame.h"
 #include "netsim/link.h"
 #include "netsim/scheduler.h"
 
@@ -24,7 +25,7 @@ using NodeId = std::uint32_t;
 inline constexpr NodeId kInvalidNode = 0xFFFFFFFF;
 
 /// Receives frames addressed to a node. `from` is the sending node.
-using MessageHandler = std::function<void(NodeId from, ByteVec payload)>;
+using MessageHandler = std::function<void(NodeId from, Frame payload)>;
 
 class Network {
  public:
@@ -55,8 +56,10 @@ class Network {
 
   /// Sends `payload` from->to through the connecting link. Delivery
   /// invokes the destination handler at the simulated delivery time.
-  /// Drops (loss/overflow) invoke `on_dropped` if provided.
-  void Send(NodeId from, NodeId to, ByteVec payload,
+  /// Drops (loss/overflow) invoke `on_dropped` if provided. The frame is
+  /// shared, not copied: broadcast senders pass the same Frame to many
+  /// Send calls.
+  void Send(NodeId from, NodeId to, Frame payload,
             Link::DropFn on_dropped = nullptr);
 
   [[nodiscard]] const std::string& NodeName(NodeId id) const;

@@ -49,13 +49,13 @@ ByteVec EncodeEnvelope(MessageType type, std::uint64_t request_id,
   return w.TakeBytes();
 }
 
-Result<Envelope> DecodeEnvelope(std::span<const std::uint8_t> data) {
+Result<EnvelopeView> DecodeEnvelopeView(std::span<const std::uint8_t> data) {
   ByteReader r(data);
   std::uint32_t magic = 0;
   std::uint16_t version = 0;
   std::uint8_t type_raw = 0;
   std::uint8_t flags = 0;
-  Envelope env;
+  EnvelopeView env;
   COIC_RETURN_IF_ERROR(r.ReadU32(magic));
   if (magic != kEnvelopeMagic) {
     return Status(StatusCode::kDataLoss, "bad envelope magic");
@@ -82,10 +82,22 @@ Result<Envelope> DecodeEnvelope(std::span<const std::uint8_t> data) {
   if (r.remaining() < payload_len) {
     return Status(StatusCode::kDataLoss, "payload truncated");
   }
-  COIC_RETURN_IF_ERROR(r.ReadBytes(env.payload, payload_len));
-  if (!r.AtEnd()) {
+  if (r.remaining() != payload_len) {
     return Status(StatusCode::kDataLoss, "trailing bytes after envelope");
   }
+  env.payload = data.subspan(kEnvelopeHeaderSize, payload_len);
+  return env;
+}
+
+Result<Envelope> DecodeEnvelope(std::span<const std::uint8_t> data) {
+  // Thin owning wrapper: same validation, then the defensive payload
+  // copy the view form exists to avoid.
+  auto view = DecodeEnvelopeView(data);
+  if (!view.ok()) return view.status();
+  Envelope env;
+  env.type = view.value().type;
+  env.request_id = view.value().request_id;
+  env.payload.assign(view.value().payload.begin(), view.value().payload.end());
   return env;
 }
 
@@ -130,16 +142,35 @@ Result<RelayFrameView> PeekRelayFrame(std::span<const std::uint8_t> frame) {
   return view;
 }
 
-void DecrementRelayTtlInPlace(ByteVec& frame) {
+void DecrementRelayTtl(Frame& frame) {
   constexpr std::size_t kTtlOffset = kEnvelopeHeaderSize + 8;
-  COIC_CHECK(frame.size() > kTtlOffset && frame[kTtlOffset] > 0);
-  --frame[kTtlOffset];
+  COIC_CHECK(frame.size() > kTtlOffset && frame.span()[kTtlOffset] > 0);
+  --frame.MutableSpan()[kTtlOffset];
 }
 
-void UnwrapRelayInPlace(ByteVec& frame, const RelayFrameView& view) {
+Frame UnwrapRelay(const Frame& frame, const RelayFrameView& view) {
   COIC_CHECK(view.inner_offset + view.inner_size == frame.size());
-  frame.erase(frame.begin(),
-              frame.begin() + static_cast<std::ptrdiff_t>(view.inner_offset));
+  return frame.Slice(view.inner_offset, view.inner_size);
+}
+
+ByteVec EncodeRelayFrame(std::uint32_t src_edge, std::uint32_t dest_edge,
+                         std::uint8_t ttl,
+                         std::span<const std::uint8_t> inner) {
+  // Layout fixed by FederatedRelay::Encode: src(4) dest(4) ttl(1)
+  // inner-len(4) inner(N). The envelope request id mirrors the inner
+  // frame's so reply routing works on the wrapper alone.
+  constexpr std::size_t kRelayOverhead = 13;
+  COIC_CHECK(inner.size() >= kEnvelopeHeaderSize);
+  COIC_CHECK_MSG(kRelayOverhead + inner.size() <= kMaxPayloadBytes,
+                 "relay payload too large");
+  ByteWriter w(kEnvelopeHeaderSize + kRelayOverhead + inner.size());
+  AppendEnvelopeHeader(w, MessageType::kFederatedRelay, PeekRequestId(inner),
+                       static_cast<std::uint32_t>(kRelayOverhead + inner.size()));
+  w.WriteU32(src_edge);
+  w.WriteU32(dest_edge);
+  w.WriteU8(ttl);
+  w.WriteBlob(inner);
+  return w.TakeBytes();
 }
 
 Result<SummaryFrameHeader> PeekSummaryFrame(

@@ -20,6 +20,7 @@
 #include <span>
 
 #include "common/bytes.h"
+#include "common/frame.h"
 #include "proto/messages.h"
 
 namespace coic::proto {
@@ -40,6 +41,16 @@ struct Envelope {
   ByteVec payload;
 
   friend bool operator==(const Envelope&, const Envelope&) = default;
+};
+
+/// Borrowed-view envelope: `payload` points into the input buffer, so it
+/// is valid only while that buffer (typically a refcounted Frame) lives.
+/// This is the allocation-free decode the frame hot paths use; Envelope
+/// remains for callers that need the payload to outlive the frame.
+struct EnvelopeView {
+  MessageType type = MessageType::kPing;
+  std::uint64_t request_id = 0;
+  std::span<const std::uint8_t> payload;
 };
 
 /// Serializes header + payload into one buffer.
@@ -73,9 +84,34 @@ ByteVec EncodeMessage(MessageType type, std::uint64_t request_id,
   return w.TakeBytes();
 }
 
-/// Parses a full envelope from `data`. Fails with kDataLoss on bad magic,
-/// unsupported version, truncated header/payload or oversized length.
+/// Parses a full envelope from `data` without copying the payload (see
+/// EnvelopeView for the lifetime rule). Fails with kDataLoss on bad
+/// magic, unsupported version, truncated header/payload or oversized
+/// length — exactly where DecodeEnvelope does.
+Result<EnvelopeView> DecodeEnvelopeView(std::span<const std::uint8_t> data);
+
+/// Owning form of DecodeEnvelopeView: identical validation, then the
+/// payload is copied out so the caller may retire the input buffer.
 Result<Envelope> DecodeEnvelope(std::span<const std::uint8_t> data);
+
+/// Request id from an encoded envelope header (bytes 8..16 LE), without
+/// validating the rest. Precondition: frame holds at least a header.
+inline std::uint64_t PeekRequestId(
+    std::span<const std::uint8_t> frame) noexcept {
+  COIC_CHECK(frame.size() >= kEnvelopeHeaderSize);
+  std::uint64_t id = 0;
+  std::memcpy(&id, frame.data() + 8, 8);
+  return id;
+}
+
+/// Message type from an encoded envelope header (byte 6) — enough to
+/// dispatch control frames without a full decode. Precondition: frame
+/// holds at least a header.
+inline MessageType PeekMessageType(
+    std::span<const std::uint8_t> frame) noexcept {
+  COIC_CHECK(frame.size() >= kEnvelopeHeaderSize);
+  return static_cast<MessageType>(frame[6]);
+}
 
 /// Incremental framing helper for stream transports: given the bytes
 /// accumulated so far, returns the total frame size (header + payload) if
@@ -115,15 +151,30 @@ struct RelayFrameView {
 /// FederatedRelay::Decode would.
 Result<RelayFrameView> PeekRelayFrame(std::span<const std::uint8_t> frame);
 
-/// Decrements the ttl byte of an encoded relay frame in place. The
-/// result is byte-identical to decode → --ttl → re-encode (covered by a
-/// proto test). Precondition: PeekRelayFrame(frame) succeeded, ttl > 0.
-void DecrementRelayTtlInPlace(ByteVec& frame);
+/// Decrements the ttl byte of an encoded relay frame. While the frame's
+/// buffer is uniquely held — the normal case at an intermediate relay
+/// hop, where the link just delivered the only reference — the patch
+/// lands in place with zero copies; a shared buffer copies-on-write
+/// first (counted in frame_stats()), so other holders never observe the
+/// mutation. The result is byte-identical to decode → --ttl → re-encode
+/// (covered by a proto test). Precondition: PeekRelayFrame succeeded,
+/// ttl > 0.
+void DecrementRelayTtl(Frame& frame);
 
-/// Strips the relay wrapper in place (one memmove, no allocation),
-/// leaving only the inner envelope in `frame`. Precondition: `view` was
-/// peeked from `frame`.
-void UnwrapRelayInPlace(ByteVec& frame, const RelayFrameView& view);
+/// The inner envelope of a relay frame as a slice sharing the wrapper's
+/// buffer (zero copy, replaces the old memmove-based unwrap).
+/// Precondition: `view` was peeked from `frame`.
+[[nodiscard]] Frame UnwrapRelay(const Frame& frame, const RelayFrameView& view);
+
+/// Encodes a complete kFederatedRelay frame around an already-encoded
+/// inner envelope in one buffer (the envelope request id mirrors the
+/// inner frame's, as SendEdgeToEdge requires). One inherent copy of the
+/// inner bytes; byte-identical to EncodeMessage over a FederatedRelay
+/// struct without the struct detour.
+[[nodiscard]] ByteVec EncodeRelayFrame(std::uint32_t src_edge,
+                                       std::uint32_t dest_edge,
+                                       std::uint8_t ttl,
+                                       std::span<const std::uint8_t> inner);
 
 /// Leading fields of an encoded kSummaryUpdate or kSummaryDeltaUpdate
 /// frame, read at their fixed offsets without decoding the bloom bits /
@@ -150,9 +201,11 @@ Result<SummaryDeltaFrameHeader> PeekSummaryDeltaFrame(
     std::span<const std::uint8_t> frame);
 
 /// Decodes the payload of `env` as message type M, checking that the
-/// envelope type tag matches `expected`.
-template <typename M>
-Result<M> DecodePayloadAs(const Envelope& env, MessageType expected) {
+/// envelope type tag matches `expected`. Works for owning Envelope and
+/// borrowed EnvelopeView alike (M may itself be a *View type whose
+/// fields borrow from the underlying buffer).
+template <typename M, typename AnyEnvelope>
+Result<M> DecodePayloadAs(const AnyEnvelope& env, MessageType expected) {
   if (env.type != expected) {
     return Status(StatusCode::kDataLoss, "unexpected message type");
   }

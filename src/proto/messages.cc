@@ -38,6 +38,27 @@ Status DecodeResultMessageType(ByteReader& r, MessageType& out) {
 
 }  // namespace
 
+Result<OffloadMode> PeekRequestOffloadMode(
+    MessageType type, std::span<const std::uint8_t> payload) {
+  // RecognitionRequest: u32 user, u32 app, u64 frame_id, mode.
+  // RenderRequest:      u32 user, u32 app, u64 model_id, mode.
+  // PanoramaRequest:    u32 user, u64 video_id, u32 frame_index, mode.
+  constexpr std::size_t kModeOffset = 16;
+  if (type != MessageType::kRecognitionRequest &&
+      type != MessageType::kRenderRequest &&
+      type != MessageType::kPanoramaRequest) {
+    return Status(StatusCode::kDataLoss, "not a request payload");
+  }
+  if (payload.size() <= kModeOffset) {
+    return Status(StatusCode::kDataLoss, "request payload truncated");
+  }
+  const std::uint8_t raw = payload[kModeOffset];
+  if (raw > static_cast<std::uint8_t>(OffloadMode::kOrigin)) {
+    return Status(StatusCode::kDataLoss, "bad OffloadMode");
+  }
+  return static_cast<OffloadMode>(raw);
+}
+
 std::string_view MessageTypeName(MessageType t) noexcept {
   switch (t) {
     case MessageType::kPing: return "Ping";
@@ -105,13 +126,28 @@ void RecognitionResult::Encode(ByteWriter& w) const {
   w.WriteBlob(annotation);
 }
 
-Result<RecognitionResult> RecognitionResult::Decode(ByteReader& r) {
-  RecognitionResult m;
+Result<RecognitionResultView> RecognitionResultView::Decode(ByteReader& r) {
+  RecognitionResultView m;
   COIC_RETURN_IF_ERROR(r.ReadU64(m.frame_id));
-  COIC_RETURN_IF_ERROR(r.ReadString(m.label));
+  COIC_RETURN_IF_ERROR(r.ReadStringView(m.label));
   COIC_RETURN_IF_ERROR(r.ReadF32(m.confidence));
   COIC_RETURN_IF_ERROR(DecodeResultSource(r, m.source));
-  COIC_RETURN_IF_ERROR(r.ReadBlob(m.annotation));
+  COIC_RETURN_IF_ERROR(r.ReadBlobView(m.annotation));
+  return m;
+}
+
+Result<RecognitionResult> RecognitionResult::Decode(ByteReader& r) {
+  // Thin owning wrapper over the view decoder: identical validation,
+  // then the borrowed fields are copied out.
+  auto view = RecognitionResultView::Decode(r);
+  if (!view.ok()) return view.status();
+  RecognitionResult m;
+  m.frame_id = view.value().frame_id;
+  m.label.assign(view.value().label);
+  m.confidence = view.value().confidence;
+  m.source = view.value().source;
+  m.annotation.assign(view.value().annotation.begin(),
+                      view.value().annotation.end());
   return m;
 }
 
@@ -155,11 +191,22 @@ void RenderResult::Encode(ByteWriter& w) const {
   w.WriteBlob(model_bytes);
 }
 
-Result<RenderResult> RenderResult::Decode(ByteReader& r) {
-  RenderResult m;
+Result<RenderResultView> RenderResultView::Decode(ByteReader& r) {
+  RenderResultView m;
   COIC_RETURN_IF_ERROR(r.ReadU64(m.model_id));
   COIC_RETURN_IF_ERROR(DecodeResultSource(r, m.source));
-  COIC_RETURN_IF_ERROR(r.ReadBlob(m.model_bytes));
+  COIC_RETURN_IF_ERROR(r.ReadBlobView(m.model_bytes));
+  return m;
+}
+
+Result<RenderResult> RenderResult::Decode(ByteReader& r) {
+  auto view = RenderResultView::Decode(r);
+  if (!view.ok()) return view.status();
+  RenderResult m;
+  m.model_id = view.value().model_id;
+  m.source = view.value().source;
+  m.model_bytes.assign(view.value().model_bytes.begin(),
+                       view.value().model_bytes.end());
   return m;
 }
 
@@ -210,14 +257,27 @@ void PanoramaResult::Encode(ByteWriter& w) const {
   w.WriteBlob(frame);
 }
 
-Result<PanoramaResult> PanoramaResult::Decode(ByteReader& r) {
-  PanoramaResult m;
+Result<PanoramaResultView> PanoramaResultView::Decode(ByteReader& r) {
+  PanoramaResultView m;
   COIC_RETURN_IF_ERROR(r.ReadU64(m.video_id));
   COIC_RETURN_IF_ERROR(r.ReadU32(m.frame_index));
   COIC_RETURN_IF_ERROR(DecodeResultSource(r, m.source));
   COIC_RETURN_IF_ERROR(r.ReadU16(m.width));
   COIC_RETURN_IF_ERROR(r.ReadU16(m.height));
-  COIC_RETURN_IF_ERROR(r.ReadBlob(m.frame));
+  COIC_RETURN_IF_ERROR(r.ReadBlobView(m.frame));
+  return m;
+}
+
+Result<PanoramaResult> PanoramaResult::Decode(ByteReader& r) {
+  auto view = PanoramaResultView::Decode(r);
+  if (!view.ok()) return view.status();
+  PanoramaResult m;
+  m.video_id = view.value().video_id;
+  m.frame_index = view.value().frame_index;
+  m.source = view.value().source;
+  m.width = view.value().width;
+  m.height = view.value().height;
+  m.frame.assign(view.value().frame.begin(), view.value().frame.end());
   return m;
 }
 
@@ -267,8 +327,8 @@ void PeerLookupReply::Encode(ByteWriter& w) const {
   w.WriteBlob(payload);
 }
 
-Result<PeerLookupReply> PeerLookupReply::Decode(ByteReader& r) {
-  PeerLookupReply m;
+Result<PeerLookupReplyView> PeerLookupReplyView::Decode(ByteReader& r) {
+  PeerLookupReplyView m;
   std::uint8_t found_raw = 0;
   COIC_RETURN_IF_ERROR(r.ReadU8(found_raw));
   if (found_raw > 1) {
@@ -276,10 +336,20 @@ Result<PeerLookupReply> PeerLookupReply::Decode(ByteReader& r) {
   }
   m.found = found_raw == 1;
   COIC_RETURN_IF_ERROR(DecodeResultMessageType(r, m.reply_type));
-  COIC_RETURN_IF_ERROR(r.ReadBlob(m.payload));
+  COIC_RETURN_IF_ERROR(r.ReadBlobView(m.payload));
   if (m.found == m.payload.empty()) {
     return Status(StatusCode::kDataLoss, "found flag disagrees with payload");
   }
+  return m;
+}
+
+Result<PeerLookupReply> PeerLookupReply::Decode(ByteReader& r) {
+  auto view = PeerLookupReplyView::Decode(r);
+  if (!view.ok()) return view.status();
+  PeerLookupReply m;
+  m.found = view.value().found;
+  m.reply_type = view.value().reply_type;
+  m.payload.assign(view.value().payload.begin(), view.value().payload.end());
   return m;
 }
 

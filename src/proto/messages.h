@@ -10,7 +10,9 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bytes.h"
@@ -106,6 +108,20 @@ struct RecognitionResult {
                          const RecognitionResult&) = default;
 };
 
+/// Borrowed-view twin of RecognitionResult: `label` and `annotation`
+/// point into the decoded buffer (valid only while it lives — in
+/// practice while the receive-path Frame is held). Identical wire
+/// validation; the owning Decode is a thin wrapper over this one.
+struct RecognitionResultView {
+  std::uint64_t frame_id = 0;
+  std::string_view label;
+  float confidence = 0;
+  ResultSource source = ResultSource::kCloud;
+  std::span<const std::uint8_t> annotation;
+
+  static Result<RecognitionResultView> Decode(ByteReader& r);
+};
+
 // ---------------------------------------------------------------------------
 // 3D model rendering (Figure 2b workload)
 // ---------------------------------------------------------------------------
@@ -135,6 +151,17 @@ struct RenderResult {
   void Encode(ByteWriter& w) const;
   static Result<RenderResult> Decode(ByteReader& r);
   friend bool operator==(const RenderResult&, const RenderResult&) = default;
+};
+
+/// Borrowed-view twin of RenderResult: `model_bytes` points into the
+/// decoded buffer — the multi-hundred-KB model body is never duplicated
+/// on the client receive path.
+struct RenderResultView {
+  std::uint64_t model_id = 0;
+  ResultSource source = ResultSource::kCloud;
+  std::span<const std::uint8_t> model_bytes;
+
+  static Result<RenderResultView> Decode(ByteReader& r);
 };
 
 // ---------------------------------------------------------------------------
@@ -176,6 +203,19 @@ struct PanoramaResult {
   void Encode(ByteWriter& w) const;
   static Result<PanoramaResult> Decode(ByteReader& r);
   friend bool operator==(const PanoramaResult&, const PanoramaResult&) = default;
+};
+
+/// Borrowed-view twin of PanoramaResult: `frame` points into the decoded
+/// buffer (multi-MB panorama rasters stay un-copied on receive).
+struct PanoramaResultView {
+  std::uint64_t video_id = 0;
+  std::uint32_t frame_index = 0;
+  ResultSource source = ResultSource::kCloud;
+  std::uint16_t width = 0;
+  std::uint16_t height = 0;
+  std::span<const std::uint8_t> frame;
+
+  static Result<PanoramaResultView> Decode(ByteReader& r);
 };
 
 // ---------------------------------------------------------------------------
@@ -221,6 +261,17 @@ struct PeerLookupReply {
   void Encode(ByteWriter& w) const;
   static Result<PeerLookupReply> Decode(ByteReader& r);
   friend bool operator==(const PeerLookupReply&, const PeerLookupReply&) = default;
+};
+
+/// Borrowed-view twin of PeerLookupReply: `payload` points into the
+/// decoded buffer, so the probing edge can adopt a peer's cached result
+/// as a Frame slice instead of copying it twice (decode + insert).
+struct PeerLookupReplyView {
+  bool found = false;
+  MessageType reply_type = MessageType::kRecognitionResult;
+  std::span<const std::uint8_t> payload;
+
+  static Result<PeerLookupReplyView> Decode(ByteReader& r);
 };
 
 /// Edge -> peer edges: a compact, periodically gossiped digest of one
@@ -306,6 +357,17 @@ struct FederatedRelay {
   static Result<FederatedRelay> Decode(ByteReader& r);
   friend bool operator==(const FederatedRelay&, const FederatedRelay&) = default;
 };
+
+/// Reads the OffloadMode byte of an encoded request payload
+/// (Recognition/Render/PanoramaRequest) at its fixed offset without
+/// decoding the rest — the edge routes Origin-mode requests (which may
+/// carry a multi-hundred-KB camera image) to the cloud untouched, so a
+/// full owning decode just to read one byte is pure copy waste. All
+/// three request encoders lead with 16 bytes of fixed-width ids, then
+/// the mode byte (pinned by a proto test). Fails with kDataLoss on a
+/// wrong message type, short payload, or invalid mode byte.
+Result<OffloadMode> PeekRequestOffloadMode(
+    MessageType type, std::span<const std::uint8_t> payload);
 
 /// Overwrites the ResultSource byte of an encoded result payload
 /// (Recognition/Render/PanoramaResult) in place, without decoding or

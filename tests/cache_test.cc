@@ -308,10 +308,10 @@ FeatureDescriptor VectorKey(const std::vector<float>& v) {
 TEST(IcCacheTest, ExactHitAfterInsert) {
   IcCache cache(IcCacheConfig{});
   const auto key = HashKey(1);
-  cache.Insert(key, {1, 2, 3}, SimTime::Epoch());
+  cache.Insert(key, ByteVec{1, 2, 3}, SimTime::Epoch());
   const auto outcome = cache.Lookup(key, SimTime::Epoch());
   ASSERT_TRUE(outcome.hit);
-  EXPECT_EQ(*outcome.payload, (ByteVec{1, 2, 3}));
+  EXPECT_EQ(outcome.payload.CloneBytes(), (ByteVec{1, 2, 3}));
   EXPECT_EQ(outcome.distance, 0.0);
   EXPECT_EQ(cache.stats().hits, 1u);
 }
@@ -324,7 +324,7 @@ TEST(IcCacheTest, MissOnUnknownKey) {
 
 TEST(IcCacheTest, SameDigestDifferentTaskDoesNotHit) {
   IcCache cache(IcCacheConfig{});
-  cache.Insert(HashKey(5, TaskKind::kRender), {1}, SimTime::Epoch());
+  cache.Insert(HashKey(5, TaskKind::kRender), ByteVec{1}, SimTime::Epoch());
   EXPECT_FALSE(cache.Lookup(HashKey(5, TaskKind::kPanorama), SimTime::Epoch()).hit);
 }
 
@@ -332,7 +332,7 @@ TEST(IcCacheTest, VectorHitWithinThreshold) {
   IcCacheConfig config;
   config.similarity_threshold = 0.3;
   IcCache cache(config);
-  cache.Insert(VectorKey({1.0f, 0.0f}), {42}, SimTime::Epoch());
+  cache.Insert(VectorKey({1.0f, 0.0f}), ByteVec{42}, SimTime::Epoch());
   // Distance 0.2 < 0.3: hit.
   const auto near = cache.Lookup(VectorKey({1.0f, 0.2f}), SimTime::Epoch());
   EXPECT_TRUE(near.hit);
@@ -345,7 +345,7 @@ TEST(IcCacheTest, ThresholdBoundaryInclusive) {
   IcCacheConfig config;
   config.similarity_threshold = 0.5;
   IcCache cache(config);
-  cache.Insert(VectorKey({0.0f, 0.0f}), {1}, SimTime::Epoch());
+  cache.Insert(VectorKey({0.0f, 0.0f}), ByteVec{1}, SimTime::Epoch());
   EXPECT_TRUE(cache.Lookup(VectorKey({0.5f, 0.0f}), SimTime::Epoch()).hit);
   EXPECT_FALSE(cache.Lookup(VectorKey({0.500001f, 0.0f}), SimTime::Epoch()).hit);
 }
@@ -377,7 +377,7 @@ TEST(IcCacheTest, ExactKeyReinsertUpdatesInPlace) {
   EXPECT_EQ(cache.stats().updates, 1u);
   const auto outcome = cache.Lookup(key, SimTime::Epoch());
   ASSERT_TRUE(outcome.hit);
-  EXPECT_EQ(outcome.payload->size(), 300u);
+  EXPECT_EQ(outcome.payload.size(), 300u);
 }
 
 TEST(IcCacheTest, CapacityEvictsLru) {
@@ -427,7 +427,7 @@ TEST(IcCacheTest, TtlExpiresEntries) {
   config.ttl = Duration::Seconds(10);
   IcCache cache(config);
   const auto key = HashKey(1);
-  cache.Insert(key, {1}, SimTime::Epoch());
+  cache.Insert(key, ByteVec{1}, SimTime::Epoch());
   EXPECT_TRUE(cache.Lookup(key, SimTime::Epoch() + Duration::Seconds(9)).hit);
   EXPECT_FALSE(cache.Lookup(key, SimTime::Epoch() + Duration::Seconds(11)).hit);
   EXPECT_EQ(cache.stats().expirations, 1u);
@@ -439,7 +439,7 @@ TEST(IcCacheTest, VectorEntriesEvictAndUnindex) {
   config.similarity_threshold = 0.1;
   IcCache cache(config);
   const auto key = VectorKey({1.0f, 0.0f, 0.0f});
-  const auto id = cache.Insert(key, {7}, SimTime::Epoch());
+  const auto id = cache.Insert(key, ByteVec{7}, SimTime::Epoch());
   EXPECT_TRUE(cache.Lookup(key, SimTime::Epoch()).hit);
   EXPECT_TRUE(cache.Erase(id));
   EXPECT_FALSE(cache.Lookup(key, SimTime::Epoch()).hit);
@@ -453,7 +453,7 @@ TEST(IcCacheTest, LshModeHitsOnClusteredDescriptors) {
   IcCache cache(config);
   Rng rng(9);
   const auto base = RandomUnitVector(rng, 32);
-  cache.Insert(VectorKey(base), {1}, SimTime::Epoch());
+  cache.Insert(VectorKey(base), ByteVec{1}, SimTime::Epoch());
   auto query = base;
   query[0] += 0.01f;
   EXPECT_TRUE(cache.Lookup(VectorKey(query), SimTime::Epoch()).hit);
@@ -473,7 +473,7 @@ TEST(IcCacheTest, HitRefreshesRecency) {
 
 TEST(IcCacheTest, StatsHitRate) {
   IcCache cache(IcCacheConfig{});
-  cache.Insert(HashKey(1), {1}, SimTime::Epoch());
+  cache.Insert(HashKey(1), ByteVec{1}, SimTime::Epoch());
   (void)cache.Lookup(HashKey(1), SimTime::Epoch());
   (void)cache.Lookup(HashKey(2), SimTime::Epoch());
   (void)cache.Lookup(HashKey(1), SimTime::Epoch());
@@ -499,10 +499,10 @@ TEST_P(IcCachePropertyTest, AccountingInvariants) {
       const auto payload = DeterministicBytes(rng.NextBelow(2000), step);
       EntryId id;
       if (vector_kind) {
-        id = cache.Insert(VectorKey(RandomUnitVector(rng, 16)), payload,
+        id = cache.Insert(VectorKey(RandomUnitVector(rng, 16)), ByteVec(payload),
                           SimTime::FromMicros(step));
       } else {
-        id = cache.Insert(HashKey(rng.NextBelow(300)), payload,
+        id = cache.Insert(HashKey(rng.NextBelow(300)), ByteVec(payload),
                           SimTime::FromMicros(step));
       }
       ids.push_back(id);

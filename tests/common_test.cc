@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/bytes.h"
+#include "common/frame.h"
 #include "common/hash.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -494,6 +495,101 @@ TEST(LatencyHistogramTest, ToStringListsNonEmptyBuckets) {
   const std::string s = h.ToString();
   EXPECT_NE(s.find("1"), std::string::npos);
   EXPECT_FALSE(s.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Frame — the refcounted zero-copy buffer every layer ships.
+// ---------------------------------------------------------------------------
+
+TEST(FrameTest, OwnAdoptsWithoutCopying) {
+  const std::uint64_t copies_before = frame_stats().copies();
+  ByteVec bytes = DeterministicBytes(1024, 1);
+  const ByteVec expected = bytes;
+  const Frame frame = Frame::Own(std::move(bytes));
+  EXPECT_EQ(frame.size(), 1024u);
+  EXPECT_EQ(frame.CloneBytes(), expected);
+  // Own() is free; only the explicit CloneBytes above counted.
+  EXPECT_EQ(frame_stats().copies(), copies_before + 1);
+}
+
+TEST(FrameTest, CopyingAFrameSharesTheBuffer) {
+  const Frame a(DeterministicBytes(256, 2));
+  EXPECT_EQ(a.use_count(), 1);
+  const Frame b = a;
+  const Frame c = b;
+  EXPECT_EQ(a.use_count(), 3);
+  EXPECT_TRUE(b.SharesBufferWith(a));
+  EXPECT_TRUE(c.SharesBufferWith(a));
+  EXPECT_EQ(b.data(), a.data());
+}
+
+TEST(FrameTest, SliceSharesAndViewsTheWindow) {
+  const ByteVec bytes = DeterministicBytes(100, 3);
+  const Frame frame = Frame::Own(ByteVec(bytes));
+  const Frame slice = frame.Slice(20, 30);
+  EXPECT_TRUE(slice.SharesBufferWith(frame));
+  EXPECT_EQ(slice.size(), 30u);
+  EXPECT_EQ(slice.CloneBytes(),
+            ByteVec(bytes.begin() + 20, bytes.begin() + 50));
+  // Slices of slices compose.
+  const Frame inner = slice.Slice(5, 10);
+  EXPECT_EQ(inner.CloneBytes(),
+            ByteVec(bytes.begin() + 25, bytes.begin() + 35));
+}
+
+TEST(FrameTest, SliceOfRecoversASubSpanAsASharedFrame) {
+  const Frame frame(DeterministicBytes(64, 4));
+  const auto sub = frame.span().subspan(8, 16);
+  const Frame sliced = frame.SliceOf(sub);
+  EXPECT_TRUE(sliced.SharesBufferWith(frame));
+  EXPECT_EQ(sliced.data(), sub.data());
+  EXPECT_EQ(sliced.size(), sub.size());
+}
+
+TEST(FrameTest, ExplicitCopiesAreCounted) {
+  const std::uint64_t copies_before = frame_stats().copies();
+  const std::uint64_t bytes_before = frame_stats().bytes_copied();
+  const ByteVec bytes = DeterministicBytes(500, 5);
+  const Frame copied = Frame::Copy(bytes);
+  EXPECT_FALSE(copied.SharesBufferWith(Frame()));
+  EXPECT_EQ(frame_stats().copies(), copies_before + 1);
+  EXPECT_EQ(frame_stats().bytes_copied(), bytes_before + 500);
+  (void)copied.CloneBytes();
+  EXPECT_EQ(frame_stats().copies(), copies_before + 2);
+  EXPECT_EQ(frame_stats().bytes_copied(), bytes_before + 1000);
+}
+
+TEST(FrameTest, MutableSpanPatchesInPlaceWhenUniquelyHeld) {
+  const std::uint64_t copies_before = frame_stats().copies();
+  Frame frame(ByteVec{1, 2, 3, 4});
+  const auto* data_before = frame.data();
+  frame.MutableSpan()[2] = 99;
+  EXPECT_EQ(frame.data(), data_before);  // no reallocation
+  EXPECT_EQ(frame.CloneBytes(), (ByteVec{1, 2, 99, 4}));
+  // The in-place patch cost zero counted copies (CloneBytes above is 1).
+  EXPECT_EQ(frame_stats().copies(), copies_before + 1);
+}
+
+TEST(FrameTest, MutableSpanCopiesOnWriteWhenShared) {
+  Frame original(ByteVec{1, 2, 3, 4});
+  Frame shared = original;
+  const std::uint64_t copies_before = frame_stats().copies();
+  shared.MutableSpan()[0] = 77;
+  // The mutation forced a counted copy, and the other holder never sees
+  // it.
+  EXPECT_EQ(frame_stats().copies(), copies_before + 1);
+  EXPECT_FALSE(shared.SharesBufferWith(original));
+  EXPECT_EQ(original.span()[0], 1);
+  EXPECT_EQ(shared.span()[0], 77);
+  EXPECT_EQ(original.use_count(), 1);
+}
+
+TEST(FrameTest, EmptyFrameBehaves) {
+  const Frame empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.size(), 0u);
+  EXPECT_EQ(empty.use_count(), 0);
+  EXPECT_TRUE(empty.span().empty());
 }
 
 }  // namespace

@@ -976,5 +976,97 @@ TEST(OpenLoopReplayTest, ArrivalTimesHonoredOnTheSimClock) {
   EXPECT_GE(pipeline.open_loop_stats().first_arrival.micros(), 2'000'000);
 }
 
+// ---------------------------------------------------------------------------
+// Zero-copy frame fabric at cluster scale
+// ---------------------------------------------------------------------------
+
+TEST(FrameFabricTest, FullMeshStormMakesZeroCountedPayloadCopies) {
+  // The acceptance claim: gossip broadcast, peer-probe fan-out, relay
+  // forwarding, cache adoption and client replies all ride shared
+  // buffers — an entire open-loop storm increments the global frame-copy
+  // counter by exactly zero.
+  FederationPipeline pipeline(OpenLoopClusterConfig(8));
+  RegisterStormModels(pipeline);
+  for (const auto& p : RenderStorm(8, 300, 400.0)) pipeline.EnqueuePlaced(p);
+  const std::uint64_t copies_before = frame_stats().copies();
+  const auto outcomes = pipeline.RunOpenLoop();
+  EXPECT_EQ(outcomes.size(), 300u);
+  EXPECT_GT(pipeline.summary_updates_sent(), 0u);  // gossip really fanned out
+  EXPECT_EQ(frame_stats().copies(), copies_before);
+}
+
+TEST(FrameFabricTest, RingStormWithRelaysMakesZeroCountedPayloadCopies) {
+  // Ring topology forces FederatedRelay wrappers and intermediate-hop
+  // TTL patches; the patch must land in the uniquely-held buffer, never
+  // copy-on-write.
+  FederationPipelineConfig config = OpenLoopClusterConfig(6);
+  config.topology = TopologyKind::kRing;
+  FederationPipeline pipeline(config);
+  RegisterStormModels(pipeline);
+  for (const auto& p : RenderStorm(6, 200, 300.0)) pipeline.EnqueuePlaced(p);
+  const std::uint64_t copies_before = frame_stats().copies();
+  const auto outcomes = pipeline.RunOpenLoop();
+  EXPECT_EQ(outcomes.size(), 200u);
+  EXPECT_GT(pipeline.relay_forwards(), 0u);  // relays really happened
+  EXPECT_EQ(frame_stats().copies(), copies_before);
+}
+
+TEST(FrameFabricTest, ClosedLoopOutcomesUnchangedByDisablingCoalescing) {
+  // Coalescing can only trigger with >1 request in flight; the closed
+  // loop must be bit-identical with it on or off (the PR 4 behavior).
+  const auto placed = RenderStorm(4, 120, 200.0);
+  const auto run = [&placed](bool coalesce) {
+    FederationPipelineConfig config = OpenLoopClusterConfig(4);
+    config.coalesce_requests = coalesce;
+    FederationPipeline pipeline(config);
+    RegisterStormModels(pipeline);
+    for (const auto& p : placed) pipeline.EnqueuePlaced(p);
+    return pipeline.Run();
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  ASSERT_EQ(with.size(), without.size());
+  for (std::size_t i = 0; i < with.size(); ++i) {
+    EXPECT_EQ(with[i].venue, without[i].venue);
+    EXPECT_EQ(with[i].outcome.source, without[i].outcome.source);
+    EXPECT_EQ(with[i].outcome.latency.micros(),
+              without[i].outcome.latency.micros());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Same-key request coalescing under open-loop storms
+// ---------------------------------------------------------------------------
+
+TEST(CoalescingStormTest, CloudFetchesDropWhenConcurrentMissesCoalesce) {
+  // A hot-object storm: many concurrent requests for a tiny model set.
+  // With coalescing every burst of same-key misses pays one cloud fetch;
+  // without it each one pays its own.
+  const auto placed = RenderStorm(/*venues=*/2, /*n=*/300, /*rate_hz=*/3000.0,
+                                  /*models=*/3);
+  const auto run = [&placed](bool coalesce) {
+    FederationPipelineConfig config = OpenLoopClusterConfig(2);
+    config.coalesce_requests = coalesce;
+    FederationPipeline pipeline(config);
+    RegisterStormModels(pipeline, 3);
+    for (const auto& p : placed) pipeline.EnqueuePlaced(p);
+    const auto outcomes = pipeline.RunOpenLoop();
+    for (const auto& o : outcomes) EXPECT_FALSE(o.outcome.error);
+    return std::make_tuple(outcomes.size(), pipeline.total_cloud_forwards(),
+                           pipeline.total_coalesced_requests());
+  };
+  const auto [ops_on, forwards_on, coalesced_on] = run(true);
+  const auto [ops_off, forwards_off, coalesced_off] = run(false);
+  EXPECT_EQ(ops_on, 300u);
+  EXPECT_EQ(ops_off, 300u);
+  EXPECT_EQ(coalesced_off, 0u);
+  EXPECT_GT(coalesced_on, 0u);
+  // The wait-list absorbed duplicate fetches: strictly fewer cloud
+  // round trips, by exactly the number of coalesced requests... minus
+  // any that would have been served by a peer instead — so assert the
+  // direction and a real margin, not the exact arithmetic.
+  EXPECT_LT(forwards_on, forwards_off);
+}
+
 }  // namespace
 }  // namespace coic

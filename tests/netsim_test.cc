@@ -201,7 +201,7 @@ TEST_F(LinkFixture, DeliveryTimeIsSerializationPlusPropagation) {
   Link link(sched, "test", cfg);
   SimTime delivered_at;
   link.Send(DeterministicBytes(1000, 1),
-            [&](ByteVec) { delivered_at = sched.now(); });
+            [&](Frame) { delivered_at = sched.now(); });
   sched.Run();
   // 1000 bytes at 8 Mbps = 1 ms serialization + 10 ms propagation.
   EXPECT_EQ(delivered_at.micros(), 11'000);
@@ -215,7 +215,7 @@ TEST_F(LinkFixture, BackToBackFramesQueueBehindEachOther) {
   std::vector<std::int64_t> deliveries;
   for (int i = 0; i < 3; ++i) {
     link.Send(DeterministicBytes(1000, i),
-              [&](ByteVec) { deliveries.push_back(sched.now().micros()); });
+              [&](Frame) { deliveries.push_back(sched.now().micros()); });
   }
   sched.Run();
   EXPECT_EQ(deliveries, (std::vector<std::int64_t>{1000, 2000, 3000}));
@@ -229,7 +229,7 @@ TEST_F(LinkFixture, FifoOrderPreserved) {
   for (int i = 0; i < 10; ++i) {
     ByteVec payload = {static_cast<std::uint8_t>(i)};
     link.Send(std::move(payload),
-              [&order](ByteVec p) { order.push_back(p[0]); });
+              [&order](Frame p) { order.push_back(p.span()[0]); });
   }
   sched.Run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
@@ -239,7 +239,7 @@ TEST_F(LinkFixture, PayloadDeliveredIntact) {
   Link link(sched, "test", LinkConfig{});
   const ByteVec payload = DeterministicBytes(4096, 7);
   ByteVec received;
-  link.Send(payload, [&](ByteVec p) { received = std::move(p); });
+  link.Send(ByteVec(payload), [&](Frame p) { received = p.CloneBytes(); });
   sched.Run();
   EXPECT_EQ(received, payload);
 }
@@ -252,8 +252,8 @@ TEST_F(LinkFixture, QueueOverflowDropsTail) {
   int delivered = 0, dropped = 0;
   DropReason reason{};
   for (int i = 0; i < 4; ++i) {
-    link.Send(DeterministicBytes(1000, i), [&](ByteVec) { ++delivered; },
-              [&](DropReason r, ByteVec) {
+    link.Send(DeterministicBytes(1000, i), [&](Frame) { ++delivered; },
+              [&](DropReason r, Frame) {
                 ++dropped;
                 reason = r;
               });
@@ -273,8 +273,8 @@ TEST_F(LinkFixture, RandomLossDropsApproximatelyAtRate) {
   Link link(sched, "lossy", cfg);
   int delivered = 0, dropped = 0;
   for (int i = 0; i < 2000; ++i) {
-    link.Send({1}, [&](ByteVec) { ++delivered; },
-              [&](DropReason, ByteVec) { ++dropped; });
+    link.Send(ByteVec{1}, [&](Frame) { ++delivered; },
+              [&](DropReason, Frame) { ++dropped; });
   }
   sched.Run();
   EXPECT_EQ(delivered + dropped, 2000);
@@ -284,8 +284,8 @@ TEST_F(LinkFixture, RandomLossDropsApproximatelyAtRate) {
 
 TEST_F(LinkFixture, StatsCountBytesAndFrames) {
   Link link(sched, "test", LinkConfig{});
-  link.Send(DeterministicBytes(100, 1), [](ByteVec) {});
-  link.Send(DeterministicBytes(200, 2), [](ByteVec) {});
+  link.Send(DeterministicBytes(100, 1), [](Frame) {});
+  link.Send(DeterministicBytes(200, 2), [](Frame) {});
   sched.Run();
   EXPECT_EQ(link.stats().frames_sent, 2u);
   EXPECT_EQ(link.stats().frames_delivered, 2u);
@@ -296,7 +296,7 @@ TEST_F(LinkFixture, BacklogDrainsAfterSerialization) {
   LinkConfig cfg;
   cfg.bandwidth = Bandwidth::Mbps(8);
   Link link(sched, "test", cfg);
-  link.Send(DeterministicBytes(1000, 1), [](ByteVec) {});
+  link.Send(DeterministicBytes(1000, 1), [](Frame) {});
   EXPECT_EQ(link.backlog(), 1000u);
   sched.Run();
   EXPECT_EQ(link.backlog(), 0u);
@@ -309,11 +309,11 @@ TEST_F(LinkFixture, BandwidthReconfigurationAffectsNewFrames) {
   Link link(sched, "tc", cfg);
   std::vector<std::int64_t> at;
   link.Send(DeterministicBytes(1000, 1),
-            [&](ByteVec) { at.push_back(sched.now().micros()); });
+            [&](Frame) { at.push_back(sched.now().micros()); });
   sched.Run();
   link.SetBandwidth(Bandwidth::Mbps(80));  // the tc analogue
   link.Send(DeterministicBytes(1000, 2),
-            [&](ByteVec) { at.push_back(sched.now().micros()); });
+            [&](Frame) { at.push_back(sched.now().micros()); });
   sched.Run();
   EXPECT_EQ(at[0], 1000);          // 1 ms at 8 Mbps
   EXPECT_EQ(at[1] - at[0], 100);   // 0.1 ms at 80 Mbps
@@ -327,7 +327,7 @@ TEST_F(LinkFixture, JitterBoundedByConfig) {
   Link link(sched, "jittery", cfg);
   for (int i = 0; i < 200; ++i) {
     const SimTime sent = sched.now();
-    link.Send({1}, [&, sent](ByteVec) {
+    link.Send(ByteVec{1}, [&, sent](Frame) {
       const Duration flight = sched.now() - sent;
       EXPECT_GE(flight, Duration::Millis(1));
       EXPECT_LE(flight, Duration::Millis(3) + Duration::Micros(10));
@@ -341,7 +341,7 @@ TEST_F(LinkFixture, UtilizationReflectsBusyFraction) {
   cfg.bandwidth = Bandwidth::Mbps(8);
   cfg.propagation = Duration::Zero();
   Link link(sched, "util", cfg);
-  link.Send(DeterministicBytes(1000, 1), [](ByteVec) {});  // busy 1 ms
+  link.Send(DeterministicBytes(1000, 1), [](Frame) {});  // busy 1 ms
   sched.Run();
   sched.RunUntil(SimTime::FromMicros(2000));  // idle another 1 ms
   EXPECT_NEAR(link.Utilization(), 0.5, 0.01);
@@ -366,7 +366,7 @@ TEST_P(LinkTransferPropertyTest, MatchesClosedForm) {
   Link link(sched, "p", cfg);
   SimTime delivered_at;
   link.Send(DeterministicBytes(param.bytes, 1),
-            [&](ByteVec) { delivered_at = sched.now(); });
+            [&](Frame) { delivered_at = sched.now(); });
   sched.Run();
   const double expected_us =
       static_cast<double>(param.bytes) * 8.0 / param.mbps + param.prop_us;
@@ -473,7 +473,7 @@ TEST(ShaperTest, AgreesWithLinkModelAtSteadyState) {
   Link link(sched, "pipe", cfg);
   SimTime link_done;
   for (int i = 0; i < kFrames; ++i) {
-    link.Send(ByteVec(kFrameBytes), [&](ByteVec) { link_done = sched.now(); });
+    link.Send(ByteVec(kFrameBytes), [&](Frame) { link_done = sched.now(); });
   }
   sched.Run();
 
@@ -501,14 +501,44 @@ TEST(NetworkTest, DeliversToHandlerWithSender) {
   net.Connect(a, b, LinkConfig{});
   NodeId from = kInvalidNode;
   ByteVec got;
-  net.SetHandler(b, [&](NodeId f, ByteVec p) {
+  net.SetHandler(b, [&](NodeId f, Frame p) {
     from = f;
-    got = std::move(p);
+    got = p.CloneBytes();
   });
-  net.Send(a, b, {9, 8, 7});
+  net.Send(a, b, ByteVec{9, 8, 7});
   sched.Run();
   EXPECT_EQ(from, a);
   EXPECT_EQ(got, (ByteVec{9, 8, 7}));
+}
+
+TEST(NetworkTest, BroadcastFanOutSharesOneBufferAcrossEightPeers) {
+  // The zero-copy fabric's core claim at the substrate level: fanning a
+  // frame to 8 peers bumps one refcount per link and never duplicates
+  // the payload. Every delivered frame aliases the sender's buffer.
+  EventScheduler sched;
+  Network net(sched);
+  const NodeId hub = net.AddNode("hub");
+  std::vector<NodeId> peers;
+  for (int i = 0; i < 8; ++i) {
+    peers.push_back(net.AddNode("peer" + std::to_string(i)));
+    net.Connect(hub, peers.back(), LinkConfig{});
+  }
+  const Frame frame(DeterministicBytes(4096, 42));
+  int delivered = 0;
+  for (const NodeId p : peers) {
+    net.SetHandler(p, [&](NodeId, Frame received) {
+      EXPECT_TRUE(received.SharesBufferWith(frame));
+      ++delivered;
+    });
+  }
+  const std::uint64_t copies_before = frame_stats().copies();
+  for (const NodeId p : peers) net.Send(hub, p, frame);
+  // All 8 in-flight sends plus our handle reference the same buffer.
+  EXPECT_EQ(frame.use_count(), 9);
+  sched.Run();
+  EXPECT_EQ(delivered, 8);
+  EXPECT_EQ(frame_stats().copies(), copies_before);  // zero payload copies
+  EXPECT_EQ(frame.use_count(), 1);  // deliveries released their refs
 }
 
 TEST(NetworkTest, DuplexLinksAreIndependent) {
@@ -554,8 +584,8 @@ TEST(NetworkTest, ThreeTierRelayTiming) {
   net.Connect(e, c, wan);
 
   SimTime arrival;
-  net.SetHandler(e, [&](NodeId, ByteVec p) { net.Send(e, c, std::move(p)); });
-  net.SetHandler(c, [&](NodeId, ByteVec) { arrival = sched.now(); });
+  net.SetHandler(e, [&](NodeId, Frame p) { net.Send(e, c, std::move(p)); });
+  net.SetHandler(c, [&](NodeId, Frame) { arrival = sched.now(); });
   net.Send(m, e, DeterministicBytes(10'000, 1));
   sched.Run();
   // 10k bytes: 1 ms on wifi + 2 ms prop + 10 ms on wan + 20 ms prop.

@@ -489,8 +489,9 @@ TEST(RelayFastPathTest, TtlPatchInPlaceIsByteIdenticalToReEncode) {
   // The forwarding fast path must produce exactly the frame the old
   // decode → --ttl → re-encode path produced.
   const FederatedRelay m = SampleRelay();
-  ByteVec patched = EncodeMessage(MessageType::kFederatedRelay, 42, m);
-  DecrementRelayTtlInPlace(patched);
+  Frame patched_frame(EncodeMessage(MessageType::kFederatedRelay, 42, m));
+  DecrementRelayTtl(patched_frame);
+  const ByteVec patched = patched_frame.CloneBytes();
 
   auto env = DecodeEnvelope(EncodeMessage(MessageType::kFederatedRelay, 42, m));
   ASSERT_TRUE(env.ok());
@@ -505,13 +506,15 @@ TEST(RelayFastPathTest, TtlPatchInPlaceIsByteIdenticalToReEncode) {
   EXPECT_EQ(patched, reencoded);
 }
 
-TEST(RelayFastPathTest, UnwrapInPlaceYieldsTheInnerEnvelope) {
+TEST(RelayFastPathTest, UnwrapYieldsTheInnerEnvelopeSharingTheBuffer) {
   const FederatedRelay m = SampleRelay();
-  ByteVec frame = EncodeMessage(MessageType::kFederatedRelay, 42, m);
-  const auto view = PeekRelayFrame(frame);
+  const Frame frame(EncodeMessage(MessageType::kFederatedRelay, 42, m));
+  const auto view = PeekRelayFrame(frame.span());
   ASSERT_TRUE(view.ok());
-  UnwrapRelayInPlace(frame, view.value());
-  EXPECT_EQ(frame, m.inner);
+  const Frame inner = UnwrapRelay(frame, view.value());
+  EXPECT_EQ(inner.CloneBytes(), m.inner);
+  // Zero-copy: the inner envelope is a slice of the wrapper's buffer.
+  EXPECT_TRUE(inner.SharesBufferWith(frame));
 }
 
 TEST(RelayFastPathTest, PeekRejectsMalformedFrames) {
@@ -840,6 +843,199 @@ TEST(FuzzDecodeTest, RandomPayloadsUnderValidHeadersNeverCrash) {
   // Nothing to assert beyond "we got here": the loop ran 600 random
   // payloads through all 16 decoders under the sanitizers.
   EXPECT_GE(decoded_ok, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Borrowed-view decode layer (the zero-copy client receive path). The
+// view decoders must accept exactly what the owning decoders accept and
+// expose byte-identical fields — the owning forms are thin wrappers, and
+// these tests keep the pair pinned together.
+// ---------------------------------------------------------------------------
+
+TEST(ViewDecodeTest, EnvelopeViewMatchesOwningEnvelope) {
+  for (const auto& [type, frame] : SampleFramesOfEveryType()) {
+    const auto owning = DecodeEnvelope(frame);
+    const auto view = DecodeEnvelopeView(frame);
+    ASSERT_TRUE(owning.ok()) << MessageTypeName(type);
+    ASSERT_TRUE(view.ok()) << MessageTypeName(type);
+    EXPECT_EQ(view.value().type, owning.value().type);
+    EXPECT_EQ(view.value().request_id, owning.value().request_id);
+    EXPECT_EQ(ByteVec(view.value().payload.begin(), view.value().payload.end()),
+              owning.value().payload);
+    // Zero-copy: the view payload aliases the input frame.
+    EXPECT_EQ(view.value().payload.data(),
+              frame.data() + kEnvelopeHeaderSize);
+  }
+}
+
+TEST(ViewDecodeTest, EnvelopeViewRejectsExactlyWhereOwningDoes) {
+  for (const auto& [type, frame] : SampleFramesOfEveryType()) {
+    for (std::size_t n = 0; n <= frame.size(); ++n) {
+      const std::span<const std::uint8_t> prefix(frame.data(), n);
+      EXPECT_EQ(DecodeEnvelopeView(prefix).ok(), DecodeEnvelope(prefix).ok())
+          << MessageTypeName(type) << " prefix " << n;
+    }
+  }
+}
+
+TEST(ViewDecodeTest, ResultViewsMatchOwningResultsFieldForField) {
+  const auto frames = SampleFramesOfEveryType();
+  for (const auto& [type, frame] : frames) {
+    const auto env = DecodeEnvelopeView(frame);
+    ASSERT_TRUE(env.ok());
+    switch (type) {
+      case MessageType::kRecognitionResult: {
+        auto owning = DecodePayloadAs<RecognitionResult>(env.value(), type);
+        auto view = DecodePayloadAs<RecognitionResultView>(env.value(), type);
+        ASSERT_TRUE(owning.ok() && view.ok());
+        EXPECT_EQ(view.value().frame_id, owning.value().frame_id);
+        EXPECT_EQ(view.value().label, owning.value().label);
+        EXPECT_EQ(view.value().confidence, owning.value().confidence);
+        EXPECT_EQ(view.value().source, owning.value().source);
+        EXPECT_EQ(ByteVec(view.value().annotation.begin(),
+                          view.value().annotation.end()),
+                  owning.value().annotation);
+        break;
+      }
+      case MessageType::kRenderResult: {
+        auto owning = DecodePayloadAs<RenderResult>(env.value(), type);
+        auto view = DecodePayloadAs<RenderResultView>(env.value(), type);
+        ASSERT_TRUE(owning.ok() && view.ok());
+        EXPECT_EQ(view.value().model_id, owning.value().model_id);
+        EXPECT_EQ(view.value().source, owning.value().source);
+        EXPECT_EQ(ByteVec(view.value().model_bytes.begin(),
+                          view.value().model_bytes.end()),
+                  owning.value().model_bytes);
+        break;
+      }
+      case MessageType::kPanoramaResult: {
+        auto owning = DecodePayloadAs<PanoramaResult>(env.value(), type);
+        auto view = DecodePayloadAs<PanoramaResultView>(env.value(), type);
+        ASSERT_TRUE(owning.ok() && view.ok());
+        EXPECT_EQ(view.value().video_id, owning.value().video_id);
+        EXPECT_EQ(view.value().frame_index, owning.value().frame_index);
+        EXPECT_EQ(view.value().width, owning.value().width);
+        EXPECT_EQ(view.value().height, owning.value().height);
+        EXPECT_EQ(ByteVec(view.value().frame.begin(), view.value().frame.end()),
+                  owning.value().frame);
+        break;
+      }
+      case MessageType::kPeerLookupReply: {
+        auto owning = DecodePayloadAs<PeerLookupReply>(env.value(), type);
+        auto view = DecodePayloadAs<PeerLookupReplyView>(env.value(), type);
+        ASSERT_TRUE(owning.ok() && view.ok());
+        EXPECT_EQ(view.value().found, owning.value().found);
+        EXPECT_EQ(view.value().reply_type, owning.value().reply_type);
+        EXPECT_EQ(ByteVec(view.value().payload.begin(),
+                          view.value().payload.end()),
+                  owning.value().payload);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+}
+
+TEST(ViewDecodeTest, ViewDecodersRejectEveryTruncatedPayloadPrefix) {
+  // The PR 4 truncation sweep, re-run against the borrowed-view
+  // decoders: every proper payload prefix must under-run a field read
+  // and fail, with ASan/UBSan (CI) proving no byte beyond the prefix is
+  // touched.
+  const auto sweep = [](MessageType type,
+                        std::span<const std::uint8_t> payload, auto tag) {
+    using M = decltype(tag);
+    for (std::size_t n = 0; n < payload.size(); ++n) {
+      ByteReader r(payload.subspan(0, n));
+      auto decoded = M::Decode(r);
+      EXPECT_FALSE(decoded.ok() && r.AtEnd())
+          << MessageTypeName(type) << " view prefix " << n << " decoded";
+    }
+  };
+  for (const auto& [type, frame] : SampleFramesOfEveryType()) {
+    const auto env = DecodeEnvelopeView(frame);
+    ASSERT_TRUE(env.ok());
+    const auto payload = env.value().payload;
+    switch (type) {
+      case MessageType::kRecognitionResult:
+        sweep(type, payload, RecognitionResultView{});
+        break;
+      case MessageType::kRenderResult:
+        sweep(type, payload, RenderResultView{});
+        break;
+      case MessageType::kPanoramaResult:
+        sweep(type, payload, PanoramaResultView{});
+        break;
+      case MessageType::kPeerLookupReply:
+        sweep(type, payload, PeerLookupReplyView{});
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+TEST(ViewDecodeTest, RequestModePeekMatchesFullDecodeAtItsFixedOffset) {
+  // PeekRequestOffloadMode reads payload byte 16; pin that offset to the
+  // three request encoders for both modes.
+  for (const OffloadMode mode : {OffloadMode::kCoic, OffloadMode::kOrigin}) {
+    RecognitionRequest recognition;
+    recognition.mode = mode;
+    recognition.descriptor = SampleVectorDescriptor(1);
+    if (mode == OffloadMode::kOrigin) {
+      recognition.image = DeterministicBytes(64, 1);
+    }
+    RenderRequest render;
+    render.mode = mode;
+    render.descriptor = SampleHashDescriptor();
+    PanoramaRequest panorama;
+    panorama.mode = mode;
+    panorama.descriptor = SampleHashDescriptor(TaskKind::kPanorama);
+
+    const auto check = [mode](MessageType type, const auto& msg) {
+      const ByteVec frame = EncodeMessage(type, 1, msg);
+      const auto env = DecodeEnvelopeView(frame);
+      ASSERT_TRUE(env.ok());
+      const auto peeked = PeekRequestOffloadMode(type, env.value().payload);
+      ASSERT_TRUE(peeked.ok()) << MessageTypeName(type);
+      EXPECT_EQ(peeked.value(), mode) << MessageTypeName(type);
+      // Too-short payloads and non-request types are rejected.
+      EXPECT_FALSE(
+          PeekRequestOffloadMode(type, env.value().payload.subspan(0, 16))
+              .ok());
+      EXPECT_FALSE(
+          PeekRequestOffloadMode(MessageType::kPong, env.value().payload)
+              .ok());
+    };
+    check(MessageType::kRecognitionRequest, recognition);
+    check(MessageType::kRenderRequest, render);
+    check(MessageType::kPanoramaRequest, panorama);
+  }
+}
+
+TEST(ViewDecodeTest, ViewDecodersSurviveRandomPayloads) {
+  // 10k seeded-random payloads through every view decoder: reject or
+  // accept, never crash or over-read (sanitizer-enforced in CI).
+  Rng rng(0xF0223);
+  for (int i = 0; i < 10'000; ++i) {
+    const ByteVec payload = DeterministicBytes(rng.NextBelow(160), rng.NextU64());
+    {
+      ByteReader r(payload);
+      (void)RecognitionResultView::Decode(r);
+    }
+    {
+      ByteReader r(payload);
+      (void)RenderResultView::Decode(r);
+    }
+    {
+      ByteReader r(payload);
+      (void)PanoramaResultView::Decode(r);
+    }
+    {
+      ByteReader r(payload);
+      (void)PeerLookupReplyView::Decode(r);
+    }
+  }
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <deque>
+#include <set>
 
 #include "core/services.h"
 #include "vision/image.h"
@@ -18,12 +19,12 @@ using proto::OffloadMode;
 
 /// Captures frames per destination and hands them out FIFO.
 struct FakeWire {
-  std::deque<ByteVec> to_client;
-  std::deque<ByteVec> to_cloud;
-  std::deque<ByteVec> to_peer;
+  std::deque<Frame> to_client;
+  std::deque<Frame> to_cloud;
+  std::deque<Frame> to_peer;
 
   SendFn MakeSendFn() {
-    return [this](Peer to, ByteVec frame) {
+    return [this](Peer to, Frame frame) {
       switch (to) {
         case Peer::kClient: to_client.push_back(std::move(frame)); break;
         case Peer::kCloud: to_cloud.push_back(std::move(frame)); break;
@@ -32,9 +33,9 @@ struct FakeWire {
     };
   }
 
-  static Envelope Decode(std::deque<ByteVec>& queue) {
+  static Envelope Decode(std::deque<Frame>& queue) {
     EXPECT_FALSE(queue.empty());
-    auto env = proto::DecodeEnvelope(queue.front());
+    auto env = proto::DecodeEnvelope(queue.front().span());
     EXPECT_TRUE(env.ok()) << env.status().ToString();
     queue.pop_front();
     return std::move(env).value();
@@ -306,6 +307,253 @@ TEST(CloudServiceTest, PanoramaResultPaddedAndDecodable) {
   const CostModel costs;
   EXPECT_EQ(result.value().frame.size(), costs.panorama.frame_bytes);
   EXPECT_EQ(result.value().video_id, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy frame fabric: the shared-buffer paths must be byte-identical
+// to the copy paths they replaced, and must actually share buffers.
+// ---------------------------------------------------------------------------
+
+TEST(FrameFabricTest, CloudRelayForwardsTheOriginalFrameBytes) {
+  // Old path: decode cloud reply → re-encode envelope for the client.
+  // New path: relay the delivered frame itself. Must be byte-identical,
+  // and the client's frame must share the cloud frame's buffer.
+  FakeWire wire;
+  auto edge = MakeEdge(wire);
+  edge.OnClientFrame(proto::EncodeMessage(MessageType::kRecognitionRequest, 7,
+                                          CoicRecognitionRequest(3)));
+  wire.to_cloud.clear();
+
+  proto::RecognitionResult result;
+  result.frame_id = 7;
+  result.label = "object_3";
+  result.source = proto::ResultSource::kCloud;
+  result.annotation = DeterministicBytes(256, 1);
+  const Frame cloud_frame(
+      proto::EncodeMessage(MessageType::kRecognitionResult, 7, result));
+  edge.OnCloudFrame(cloud_frame);
+
+  ASSERT_EQ(wire.to_client.size(), 1u);
+  const Frame& relayed = wire.to_client.front();
+  EXPECT_TRUE(relayed.SharesBufferWith(cloud_frame));
+  EXPECT_EQ(relayed.CloneBytes(), cloud_frame.CloneBytes());
+  // What the old path would have produced, byte for byte.
+  const auto env = proto::DecodeEnvelope(cloud_frame.span());
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(relayed.CloneBytes(),
+            proto::EncodeEnvelope(env.value().type, env.value().request_id,
+                                  env.value().payload));
+}
+
+TEST(FrameFabricTest, CacheAdoptsASliceOfTheDeliveredCloudFrame) {
+  FakeWire wire;
+  auto edge = MakeEdge(wire);
+  const auto req = CoicRecognitionRequest(3);
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+
+  proto::RecognitionResult result;
+  result.frame_id = 7;
+  result.label = "object_3";
+  result.source = proto::ResultSource::kCloud;
+  result.annotation = DeterministicBytes(128, 2);
+  const Frame cloud_frame(
+      proto::EncodeMessage(MessageType::kRecognitionResult, 7, result));
+  const std::uint64_t copies_before = frame_stats().copies();
+  edge.OnCloudFrame(cloud_frame);
+
+  const auto outcome =
+      edge.mutable_cache().Lookup(req.descriptor, SimTime::Epoch());
+  ASSERT_TRUE(outcome.hit);
+  // Zero-copy adoption: the cached payload is a slice of the delivered
+  // frame, not a duplicate, and the whole insert+relay path made no
+  // counted payload copies.
+  EXPECT_TRUE(outcome.payload.SharesBufferWith(cloud_frame));
+  EXPECT_EQ(frame_stats().copies(), copies_before);
+  EXPECT_EQ(outcome.payload.CloneBytes(),
+            ByteVec(cloud_frame.span().begin() + proto::kEnvelopeHeaderSize,
+                    cloud_frame.span().end()));
+}
+
+TEST(FrameFabricTest, OriginForwardSharesTheClientFrame) {
+  FakeWire wire;
+  auto edge = MakeEdge(wire);
+  proto::RecognitionRequest req;
+  req.frame_id = 1;
+  req.mode = OffloadMode::kOrigin;
+  req.image = DeterministicBytes(4096, 9);
+  req.descriptor = proto::FeatureDescriptor::ForHash(
+      proto::TaskKind::kRecognition, Digest128{1, 2});
+  const Frame client_frame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 5, req));
+  edge.OnClientFrame(client_frame);
+  ASSERT_EQ(wire.to_cloud.size(), 1u);
+  // The multi-KB Origin image rides the original buffer to the cloud.
+  EXPECT_TRUE(wire.to_cloud.front().SharesBufferWith(client_frame));
+  EXPECT_EQ(wire.to_cloud.front().CloneBytes(), client_frame.CloneBytes());
+}
+
+TEST(FrameFabricTest, PeerLookupReplyByteIdenticalToStructEncode) {
+  // HandlePeerLookupRequest writes the reply envelope in one buffer;
+  // pin its layout to PeerLookupReply::Encode.
+  FakeWire wire;
+  auto edge = MakeEdge(wire, /*cooperative=*/true);
+  const auto key = proto::FeatureDescriptor::ForHash(proto::TaskKind::kRender,
+                                                     Digest128{3, 4});
+  proto::RenderResult cached;
+  cached.model_id = 1;
+  cached.model_bytes = DeterministicBytes(64, 2);
+  ByteWriter w;
+  cached.Encode(w);
+  const ByteVec cached_payload = w.TakeBytes();
+  edge.mutable_cache().Insert(key, ByteVec(cached_payload), SimTime::Epoch());
+
+  proto::PeerLookupRequest query;
+  query.descriptor = key;
+  query.reply_type = MessageType::kRenderResult;
+  edge.OnPeerFrame(
+      proto::EncodeMessage(MessageType::kPeerLookupRequest, 11, query));
+
+  proto::PeerLookupReply expected;
+  expected.found = true;
+  expected.reply_type = MessageType::kRenderResult;
+  expected.payload = cached_payload;
+  ASSERT_EQ(wire.to_peer.size(), 1u);
+  EXPECT_EQ(wire.to_peer.front().CloneBytes(),
+            proto::EncodeMessage(MessageType::kPeerLookupReply, 11, expected));
+}
+
+TEST(FrameFabricTest, CloudRecognitionReplyByteIdenticalToStructEncode) {
+  // HandleRecognition writes header + result fields + shared annotation
+  // into one buffer; pin that layout to RecognitionResult::Encode.
+  FakeWire wire;
+  auto cloud = MakeCloud(wire);
+  const auto req = CoicRecognitionRequest(2);
+  cloud.OnFrame(proto::EncodeMessage(MessageType::kRecognitionRequest, 21, req));
+  ASSERT_EQ(wire.to_client.size(), 1u);
+  const ByteVec raw = wire.to_client.front().CloneBytes();
+
+  auto env = proto::DecodeEnvelope(raw);
+  ASSERT_TRUE(env.ok());
+  auto decoded = proto::DecodePayloadAs<proto::RecognitionResult>(
+      env.value(), MessageType::kRecognitionResult);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(raw, proto::EncodeMessage(MessageType::kRecognitionResult, 21,
+                                      decoded.value()));
+}
+
+// ---------------------------------------------------------------------------
+// Same-key request coalescing
+// ---------------------------------------------------------------------------
+
+TEST(CoalescingTest, ConcurrentSameKeyMissesShareOneCloudFetch) {
+  FakeWire wire;
+  auto edge = MakeEdge(wire);
+  const auto req = CoicRecognitionRequest(3);
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 8, req));
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 9, req));
+
+  // One upstream fetch; the two later misses parked on the wait-list.
+  EXPECT_EQ(edge.forwards(), 1u);
+  EXPECT_EQ(wire.to_cloud.size(), 1u);
+  EXPECT_EQ(edge.coalesced_requests(), 2u);
+  EXPECT_EQ(edge.pending_inflight(), 3u);
+
+  proto::RecognitionResult result;
+  result.frame_id = 7;
+  result.label = "object_3";
+  result.source = proto::ResultSource::kCloud;
+  result.annotation = DeterministicBytes(64, 3);
+  edge.OnCloudFrame(
+      proto::EncodeMessage(MessageType::kRecognitionResult, 7, result));
+
+  // Leader + both waiters answered; one insert; nothing left parked.
+  ASSERT_EQ(wire.to_client.size(), 3u);
+  EXPECT_EQ(edge.cache().stats().insertions, 1u);
+  EXPECT_EQ(edge.pending_inflight(), 0u);
+  std::set<std::uint64_t> ids;
+  while (!wire.to_client.empty()) {
+    const auto env = FakeWire::Decode(wire.to_client);
+    EXPECT_EQ(env.type, MessageType::kRecognitionResult);
+    auto reply = proto::DecodePayloadAs<proto::RecognitionResult>(
+        env, MessageType::kRecognitionResult);
+    ASSERT_TRUE(reply.ok());
+    // Waiters share the leader's upstream result and source.
+    EXPECT_EQ(reply.value().source, proto::ResultSource::kCloud);
+    EXPECT_EQ(reply.value().label, "object_3");
+    ids.insert(env.request_id);
+  }
+  EXPECT_EQ(ids, (std::set<std::uint64_t>{7, 8, 9}));
+}
+
+TEST(CoalescingTest, WaitersFailWhenTheLeaderGetsAnError) {
+  FakeWire wire;
+  auto edge = MakeEdge(wire);
+  const auto req = CoicRecognitionRequest(4);
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 8, req));
+  EXPECT_EQ(edge.coalesced_requests(), 1u);
+
+  proto::ErrorReply err;
+  err.message = "boom";
+  edge.OnCloudFrame(proto::EncodeMessage(MessageType::kError, 7, err));
+
+  ASSERT_EQ(wire.to_client.size(), 2u);
+  std::set<std::uint64_t> ids;
+  while (!wire.to_client.empty()) {
+    const auto env = FakeWire::Decode(wire.to_client);
+    EXPECT_EQ(env.type, MessageType::kError);
+    ids.insert(env.request_id);
+  }
+  EXPECT_EQ(ids, (std::set<std::uint64_t>{7, 8}));
+  EXPECT_EQ(edge.pending_inflight(), 0u);
+  EXPECT_EQ(edge.cache().stats().insertions, 0u);
+}
+
+TEST(CoalescingTest, NextMissAfterResolutionStartsAFreshFetch) {
+  FakeWire wire;
+  EdgeService::Config config;
+  // A 1-byte budget evicts every insert on the spot, so the re-request
+  // below misses again instead of hitting the adopted result.
+  config.cache.capacity_bytes = 1;
+  auto edge = EdgeService(config, wire.MakeSendFn(), ImmediateDelay(),
+                          FixedNow());
+  const auto req = CoicRecognitionRequest(5);
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+  proto::RecognitionResult result;
+  result.frame_id = 7;
+  result.label = "object_5";
+  result.annotation = DeterministicBytes(16, 4);
+  edge.OnCloudFrame(
+      proto::EncodeMessage(MessageType::kRecognitionResult, 7, result));
+  // The key was released on resolution: an (expired-cache) re-miss pays
+  // its own fetch instead of waiting on the resolved leader.
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 8, req));
+  EXPECT_EQ(edge.forwards(), 2u);
+  EXPECT_EQ(edge.coalesced_requests(), 0u);
+}
+
+TEST(CoalescingTest, DisabledConfigPaysDuplicateFetches) {
+  FakeWire wire;
+  EdgeService::Config config;
+  config.coalesce_requests = false;
+  auto edge = EdgeService(config, wire.MakeSendFn(), ImmediateDelay(),
+                          FixedNow());
+  const auto req = CoicRecognitionRequest(6);
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 8, req));
+  EXPECT_EQ(edge.forwards(), 2u);
+  EXPECT_EQ(edge.coalesced_requests(), 0u);
 }
 
 }  // namespace

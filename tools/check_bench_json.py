@@ -13,7 +13,10 @@ Checks, per file:
   * parses as strict JSON (NaN / Infinity literals are rejected);
   * top level is an object with a non-empty "bench" string and a
     non-empty "rows" array of objects;
-  * every row carries the required keys (wall_ms);
+  * every row carries the required keys (schema_version, wall_ms);
+  * every row's schema_version is the integer this checker understands
+    (bench/bench_util.h kBenchJsonSchemaVersion) — cross-PR trajectory
+    tooling keys on it, so an unstamped or mismatched row fails CI;
   * every numeric value in every row is finite.
 """
 
@@ -21,7 +24,9 @@ import json
 import math
 import sys
 
-REQUIRED_ROW_KEYS = ("wall_ms",)
+REQUIRED_ROW_KEYS = ("schema_version", "wall_ms")
+# Must match bench/bench_util.h kBenchJsonSchemaVersion.
+EXPECTED_SCHEMA_VERSION = 1
 
 
 def reject_constant(value):
@@ -52,6 +57,11 @@ def check_file(path):
         for key in REQUIRED_ROW_KEYS:
             if key not in row:
                 errors.append(f'row {i} lacks required key "{key}"')
+        if "schema_version" in row and row["schema_version"] != EXPECTED_SCHEMA_VERSION:
+            errors.append(
+                f"row {i} schema_version {row['schema_version']!r} != "
+                f"expected {EXPECTED_SCHEMA_VERSION}"
+            )
         for key, value in row.items():
             if isinstance(value, bool):
                 errors.append(f"row {i} key {key!r}: booleans not expected")
