@@ -150,6 +150,20 @@ int main(int argc, char** argv) {
   ok &= WriteFile(dir, "summary_delta_update",
                   EncodeMessage(MessageType::kSummaryDeltaUpdate, 15, delta));
 
+  SummaryAck ack;
+  ack.acker_edge = 2;
+  ack.subject_edge = 1;
+  ack.version = 3;
+  ok &= WriteFile(dir, "summary_ack",
+                  EncodeMessage(MessageType::kSummaryAck, 18, ack));
+
+  DatagramChunk chunk;
+  chunk.chunk_index = 1;
+  chunk.chunk_count = 3;
+  chunk.data = DeterministicBytes(64, 18);
+  ok &= WriteFile(dir, "datagram_chunk",
+                  EncodeMessage(MessageType::kDatagramChunk, 19, chunk));
+
   FederatedRelay relay;
   relay.src_edge = 0;
   relay.dest_edge = 2;

@@ -93,6 +93,14 @@ LookupOutcome IcCache::Lookup(const FeatureDescriptor& key, SimTime now) {
 
 EntryId IcCache::Insert(const FeatureDescriptor& key, Frame payload,
                         SimTime now) {
+  // Compacting re-own: the cache holds payloads for far longer than any
+  // transport hop, so a small slice of a large delivery buffer is
+  // re-owned into a right-sized allocation rather than pinning the
+  // whole backing buffer until eviction (see kCompactSlackBytes).
+  if (payload.backing_size() > payload.size() + kCompactSlackBytes &&
+      payload.size() * 2 < payload.backing_size()) {
+    payload = Frame::Copy(payload.span());
+  }
   // Exact keys replace any existing entry for the same content.
   if (key.kind() == DescriptorKind::kContentHash) {
     const auto it = exact_.find(key.IndexKey());

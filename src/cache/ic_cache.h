@@ -164,6 +164,14 @@ class IcCache {
   /// Fixed per-entry bookkeeping charge added to payload+descriptor size.
   static constexpr Bytes kEntryOverhead = 64;
 
+  /// Compacting re-own threshold: an inserted slice that views less than
+  /// half of a backing buffer at least this much larger than itself is
+  /// copied into a right-sized buffer instead of pinning the whole
+  /// delivery allocation for the life of the cache entry (a 200-byte
+  /// annotation slice must not retain a multi-MB reassembly buffer).
+  /// The copy is deliberate and counted in frame_stats().
+  static constexpr Bytes kCompactSlackBytes = 4096;
+
  private:
   struct Entry {
     proto::FeatureDescriptor key;

@@ -117,6 +117,13 @@ class Frame {
   /// buffer-sharing assertions in tests key on this.
   [[nodiscard]] long use_count() const noexcept { return buf_.use_count(); }
 
+  /// Size of the whole underlying buffer, regardless of this frame's
+  /// window. A long-lived holder (e.g. a cache) compares this against
+  /// size() to detect a small slice pinning a large delivery buffer.
+  [[nodiscard]] std::size_t backing_size() const noexcept {
+    return buf_ ? buf_->size() : 0;
+  }
+
   /// True when both frames view the same underlying buffer (regardless
   /// of window).
   [[nodiscard]] bool SharesBufferWith(const Frame& other) const noexcept {

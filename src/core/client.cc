@@ -25,6 +25,41 @@ void CoicClient::TrackPending(std::uint64_t request_id,
   peak_inflight_ = std::max(peak_inflight_, pending_.size());
 }
 
+void CoicClient::SendTracked(std::uint64_t request_id, Frame frame) {
+  if (config_.retry.enabled()) {
+    const auto it = pending_.find(request_id);
+    if (it != pending_.end()) {
+      // The timeout clock starts at the actual send (after any modeled
+      // extraction/prep delay), matching what a real socket would see.
+      it->second.request = frame;
+      ArmRetryTimer(request_id, it->second.attempt);
+    }
+  }
+  send_(std::move(frame));
+}
+
+void CoicClient::ArmRetryTimer(std::uint64_t request_id,
+                               std::uint32_t attempt) {
+  delay_(config_.retry.TimeoutForAttempt(attempt),
+         [this, request_id, attempt] { OnRetryTimer(request_id, attempt); });
+}
+
+void CoicClient::OnRetryTimer(std::uint64_t request_id,
+                              std::uint32_t attempt) {
+  const auto it = pending_.find(request_id);
+  // Lazy disarm: resolved, or a newer attempt superseded this timer.
+  if (it == pending_.end() || it->second.attempt != attempt) return;
+  if (attempt >= config_.retry.max_retries) {
+    ++timeouts_;
+    FinishWithError(request_id);
+    return;
+  }
+  ++it->second.attempt;
+  ++retransmissions_;
+  send_(it->second.request);
+  ArmRetryTimer(request_id, it->second.attempt);
+}
+
 std::vector<std::uint64_t> CoicClient::inflight_request_ids() const {
   std::vector<std::uint64_t> ids;
   ids.reserve(pending_.size());
@@ -69,8 +104,9 @@ void CoicClient::StartRecognition(const vision::SceneParams& scene,
     req.descriptor = proto::FeatureDescriptor::ForHash(TaskKind::kRecognition,
                                                        image.ContentHash());
     TrackPending(request_id, std::move(pending));
-    send_(proto::EncodeMessage(MessageType::kRecognitionRequest, request_id,
-                               req));
+    SendTracked(request_id, Frame(proto::EncodeMessage(
+                                MessageType::kRecognitionRequest, request_id,
+                                req)));
     return;
   }
 
@@ -81,8 +117,9 @@ void CoicClient::StartRecognition(const vision::SceneParams& scene,
   req.descriptor = proto::FeatureDescriptor::ForVector(
       TaskKind::kRecognition, extractor_.Extract(image));
   delay_(extraction, [this, request_id, req = std::move(req)] {
-    send_(proto::EncodeMessage(MessageType::kRecognitionRequest, request_id,
-                               req));
+    SendTracked(request_id, Frame(proto::EncodeMessage(
+                                MessageType::kRecognitionRequest, request_id,
+                                req)));
   });
 }
 
@@ -106,7 +143,8 @@ void CoicClient::StartRender(std::uint64_t model_id, const Digest128& digest,
   pending.client_compute += prep;
   TrackPending(request_id, std::move(pending));
   delay_(prep, [this, request_id, req = std::move(req)] {
-    send_(proto::EncodeMessage(MessageType::kRenderRequest, request_id, req));
+    SendTracked(request_id, Frame(proto::EncodeMessage(
+                                MessageType::kRenderRequest, request_id, req)));
   });
 }
 
@@ -130,7 +168,8 @@ void CoicClient::StartPanorama(std::uint64_t video_id,
   req.viewport = viewport;
   req.descriptor = proto::FeatureDescriptor::ForHash(
       TaskKind::kPanorama, PanoramaIdentityDigest(video_id, frame_index));
-  send_(proto::EncodeMessage(MessageType::kPanoramaRequest, request_id, req));
+  SendTracked(request_id, Frame(proto::EncodeMessage(
+                              MessageType::kPanoramaRequest, request_id, req)));
 }
 
 void CoicClient::FinishWithError(std::uint64_t request_id) {
@@ -155,7 +194,10 @@ void CoicClient::OnEdgeFrame(Frame frame) {
   const proto::EnvelopeView env = env_or.value();
   const auto it = pending_.find(env.request_id);
   if (it == pending_.end()) {
-    COIC_LOG(kWarn) << "client: reply for unknown request " << env.request_id;
+    // Normal under lossy transport: retransmits can draw duplicate
+    // replies, and a reply can land after the local retry budget died.
+    COIC_LOG(kDebug) << "client: reply for unknown request "
+                     << env.request_id;
     return;
   }
 

@@ -59,6 +59,12 @@ class CoicClient {
     /// concurrent clients at one edge never collide; the simulator keeps
     /// the default for reproducible ids.
     std::uint64_t first_request_id = 1;
+    /// Client->edge timeout/retry policy for the unreliable-transport
+    /// mode. Disabled by default; when enabled, a request whose reply
+    /// misses the deadline is retransmitted (same id — the edge
+    /// deduplicates) until the budget is spent, then completed with an
+    /// error outcome so every run drains.
+    RetryConfig retry;
   };
 
   using SendToEdgeFn = std::function<void(Frame frame)>;
@@ -100,6 +106,12 @@ class CoicClient {
   [[nodiscard]] const vision::FeatureExtractor& extractor() const noexcept {
     return extractor_;
   }
+  /// Requests retransmitted after a timeout (0 with retries disabled).
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept {
+    return retransmissions_;
+  }
+  /// Requests abandoned (error outcome) after the retry budget.
+  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
 
  private:
   struct PendingRequest {
@@ -109,11 +121,21 @@ class CoicClient {
     std::string expected_label;
     std::uint64_t object_id = 0;
     CompletionFn done;
+    /// The encoded request, retained (a refcount) for retransmission
+    /// when the retry policy is enabled.
+    Frame request;
+    /// Send attempt number; stale retry timers compare and disarm.
+    std::uint32_t attempt = 0;
   };
 
   std::uint64_t NextRequestId() noexcept { return next_request_id_++; }
   void TrackPending(std::uint64_t request_id, PendingRequest pending);
   void FinishWithError(std::uint64_t request_id);
+  /// Sends the encoded request and, when retries are enabled, stores it
+  /// on the pending entry and arms the attempt-0 timeout.
+  void SendTracked(std::uint64_t request_id, Frame frame);
+  void ArmRetryTimer(std::uint64_t request_id, std::uint32_t attempt);
+  void OnRetryTimer(std::uint64_t request_id, std::uint32_t attempt);
 
   Config config_;
   SendToEdgeFn send_;
@@ -123,6 +145,8 @@ class CoicClient {
   std::uint64_t next_request_id_;
   std::unordered_map<std::uint64_t, PendingRequest> pending_;
   std::size_t peak_inflight_ = 0;
+  std::uint64_t retransmissions_ = 0;
+  std::uint64_t timeouts_ = 0;
   /// Models already parsed on this device, keyed by id -> (byte size,
   /// parse ok). A real client keeps installed assets, so re-receiving
   /// the same model skips the wall-clock re-parse; the modeled install

@@ -1,0 +1,46 @@
+// Request-level retry policy for the unreliable-transport mode.
+//
+// The datagram path (netsim::DatagramConfig) loses frames; nothing below
+// the request layer retransmits. Each hop that originates a request —
+// client->edge and edge->cloud — owns a timeout with bounded exponential
+// backoff and a retry budget. Defaults keep retries disabled (timeout =
+// Infinite), which is the reliable-transport behavior every pre-loss
+// bench row was measured under.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace coic::core {
+
+struct RetryConfig {
+  /// Time to wait for a reply before the first retransmission; Infinite
+  /// (the default) disables timeouts and retries entirely.
+  Duration timeout = Duration::Infinite();
+  /// Retransmissions allowed after the initial send. When the budget is
+  /// spent the request fails (client: error outcome; edge: leader-loss
+  /// promotion + error to the leader's client) — a run always drains.
+  std::uint32_t max_retries = 3;
+  /// Timeout multiplier per attempt (attempt n waits timeout*backoff^n).
+  double backoff = 2.0;
+  /// Upper bound on any single attempt's timeout.
+  Duration max_timeout = Duration::Millis(8000);
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return timeout != Duration::Infinite();
+  }
+
+  /// Timeout for the given 0-based attempt: timeout * backoff^attempt,
+  /// capped at max_timeout.
+  [[nodiscard]] Duration TimeoutForAttempt(std::uint32_t attempt) const {
+    double micros = static_cast<double>(timeout.micros()) *
+                    std::pow(backoff, static_cast<double>(attempt));
+    const double cap = static_cast<double>(max_timeout.micros());
+    if (max_timeout != Duration::Infinite() && micros > cap) micros = cap;
+    return Duration::Micros(static_cast<std::int64_t>(micros));
+  }
+};
+
+}  // namespace coic::core

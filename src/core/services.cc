@@ -284,14 +284,13 @@ void EdgeService::ReleaseCoalesceKey(const std::optional<std::uint64_t>& key) {
 }
 
 void EdgeService::ServeWaiters(const std::vector<std::uint64_t>& waiters,
-                               std::span<const std::uint8_t> payload,
-                               ResultSource source) {
+                               const Frame& payload, ResultSource source) {
   for (const std::uint64_t id : waiters) {
     const auto it = pending_.find(id);
     if (it == pending_.end() || !it->second.is_waiter) continue;
     const MessageType reply_type = it->second.reply_type;
     pending_.erase(it);
-    send_(Peer::kClient, EncodePatchedResult(reply_type, id, payload, source));
+    ResolveToClient(id, reply_type, payload, source);
   }
 }
 
@@ -301,19 +300,152 @@ void EdgeService::FailWaiters(const std::vector<std::uint64_t>& waiters,
     const auto it = pending_.find(id);
     if (it == pending_.end() || !it->second.is_waiter) continue;
     pending_.erase(it);
-    send_(Peer::kClient,
-          proto::EncodeEnvelope(MessageType::kError, id, error_payload));
+    Frame reply(proto::EncodeEnvelope(MessageType::kError, id, error_payload));
+    MemoizeResolved(id, {.reply = reply, .payload = {}});
+    send_(Peer::kClient, std::move(reply));
   }
+}
+
+void EdgeService::MemoizeResolved(std::uint64_t request_id,
+                                  ResolvedMemo memo) {
+  if (config_.resolved_memo_capacity == 0) return;
+  const auto [it, inserted] =
+      resolved_memo_.insert_or_assign(request_id, std::move(memo));
+  if (inserted) resolved_memo_fifo_.push_back(request_id);
+  while (resolved_memo_fifo_.size() > config_.resolved_memo_capacity) {
+    resolved_memo_.erase(resolved_memo_fifo_.front());
+    resolved_memo_fifo_.pop_front();
+  }
+}
+
+bool EdgeService::TryReplayFromMemo(std::uint64_t request_id) {
+  const auto it = resolved_memo_.find(request_id);
+  if (it == resolved_memo_.end()) return false;
+  ++replayed_from_memo_;
+  const ResolvedMemo& memo = it->second;
+  if (!memo.reply.empty()) {
+    send_(Peer::kClient, memo.reply);
+  } else {
+    SendResultToClient(memo.reply_type, request_id, memo.payload, memo.source);
+  }
+  return true;
 }
 
 void EdgeService::ForwardToCloud(Frame request_frame, PendingForward pending) {
   const std::uint64_t request_id = proto::PeekRequestId(request_frame.span());
+  const std::uint32_t attempt = pending.attempt;
+  const bool retryable = config_.cloud_retry.enabled();
+  if (retryable) {
+    // Retain the request (a refcount bump) for retransmission.
+    pending.original = request_frame;
+  }
   Park(request_id, std::move(pending));
   ++forwards_;
   // The original client frame is forwarded as-is — type, request id and
   // payload are exactly what a re-encode would produce, without copying
   // the (possibly multi-hundred-KB Origin-mode) payload.
   send_(Peer::kCloud, std::move(request_frame));
+  if (retryable) ArmCloudRetryTimer(request_id, attempt);
+}
+
+void EdgeService::ArmCloudRetryTimer(std::uint64_t request_id,
+                                     std::uint32_t attempt) {
+  delay_(config_.cloud_retry.TimeoutForAttempt(attempt),
+         [this, request_id, attempt] { OnCloudRetryTimer(request_id, attempt); });
+}
+
+void EdgeService::OnCloudRetryTimer(std::uint64_t request_id,
+                                    std::uint32_t attempt) {
+  const auto it = pending_.find(request_id);
+  // Lazy disarm: the request resolved, became a waiter, moved back to
+  // the probe phase, or a newer attempt superseded this timer.
+  if (it == pending_.end() || it->second.is_waiter || it->second.at_peer ||
+      it->second.attempt != attempt) {
+    return;
+  }
+  if (attempt >= config_.cloud_retry.max_retries) {
+    HandleCloudFetchFailure(request_id);
+    return;
+  }
+  ++it->second.attempt;
+  ++cloud_retransmissions_;
+  send_(Peer::kCloud, it->second.original);
+  ArmCloudRetryTimer(request_id, it->second.attempt);
+}
+
+void EdgeService::HandleCloudFetchFailure(std::uint64_t request_id) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  PendingForward dead = std::move(it->second);
+  pending_.erase(it);
+  ++cloud_timeouts_;
+
+  proto::ErrorReply err;
+  err.code = static_cast<std::uint16_t>(StatusCode::kTimeout);
+  err.message = "cloud fetch timed out";
+  ByteWriter pw;
+  err.Encode(pw);
+  const ByteVec err_payload = pw.TakeBytes();
+
+  // The dead leader's own client gets an error — its retry budget is
+  // spent, and a drained run beats an eternally parked one.
+  Frame reply(
+      proto::EncodeEnvelope(MessageType::kError, request_id, err_payload));
+  MemoizeResolved(request_id, {.reply = reply, .payload = {}});
+  send_(Peer::kClient, std::move(reply));
+
+  // Leader-loss recovery: promote the oldest parked waiter to run its
+  // own cloud fetch with a fresh retry budget. Without this, every
+  // follower coalesced behind a dead leader was stranded forever.
+  std::size_t pos = 0;
+  std::uint64_t new_leader = 0;
+  bool found = false;
+  for (; pos < dead.waiters.size(); ++pos) {
+    const auto w = pending_.find(dead.waiters[pos]);
+    if (w != pending_.end() && w->second.is_waiter &&
+        !w->second.original.empty()) {
+      found = true;
+      new_leader = dead.waiters[pos];
+      break;
+    }
+  }
+  if (!found) {
+    ReleaseCoalesceKey(dead.coalesce_key);
+    FailWaiters(dead.waiters, err_payload);
+    return;
+  }
+  ++leader_promotions_;
+  PendingForward promoted = std::move(pending_.at(new_leader));
+  pending_.erase(new_leader);
+  promoted.is_waiter = false;
+  promoted.at_peer = false;
+  promoted.attempt = 0;
+  promoted.probes_outstanding = 0;
+  promoted.coalesce_key = dead.coalesce_key;
+  promoted.waiters.assign(dead.waiters.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
+                          dead.waiters.end());
+  if (dead.coalesce_key) inflight_keys_[*dead.coalesce_key] = new_leader;
+  Frame original = std::move(promoted.original);
+  ForwardToCloud(std::move(original), std::move(promoted));
+}
+
+void EdgeService::OnProbeTimeout(std::uint64_t request_id) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end() || !it->second.at_peer) return;
+  if (it->second.served) {
+    // The client was already served by a peer hit; the entry only
+    // lingered for probe replies that are now presumed lost.
+    pending_.erase(it);
+    return;
+  }
+  if (it->second.probes_outstanding == 0) return;
+  ++probe_timeouts_;
+  PendingForward moved = std::move(it->second);
+  pending_.erase(it);
+  Frame original = std::move(moved.original);
+  moved.at_peer = false;
+  moved.probes_outstanding = 0;
+  ForwardToCloud(std::move(original), std::move(moved));
 }
 
 Frame EdgeService::EncodePatchedResult(proto::MessageType type,
@@ -332,16 +464,57 @@ Frame EdgeService::EncodePatchedResult(proto::MessageType type,
   return Frame(std::move(frame));
 }
 
+void EdgeService::SendResultToClient(proto::MessageType reply_type,
+                                     std::uint64_t request_id,
+                                     const Frame& payload,
+                                     ResultSource source) {
+  if (config_.gather_send) {
+    // Copy-free reply: rewrite only the bytes up to and including the
+    // source field into a small head, and share the (possibly multi-MB)
+    // rest of the cached payload by reference. The transport fuses the
+    // two at delivery; wire bytes match the fused encode exactly.
+    const auto offset = proto::ResultSourceOffset(reply_type, payload.span());
+    COIC_CHECK_MSG(offset.ok(), "corrupt cached result payload");
+    COIC_CHECK_MSG(payload.size() <= proto::kMaxPayloadBytes,
+                   "payload too large");
+    const std::size_t pos = offset.value();
+    ByteWriter w(proto::kEnvelopeHeaderSize + pos + 1);
+    proto::AppendEnvelopeHeader(w, reply_type, request_id,
+                                static_cast<std::uint32_t>(payload.size()));
+    w.WriteRaw(payload.span().first(pos));
+    w.WriteU8(static_cast<std::uint8_t>(source));
+    Frame head(w.TakeBytes());
+    if (pos + 1 < payload.size()) {
+      config_.gather_send(Peer::kClient, std::move(head),
+                          payload.Slice(pos + 1, payload.size() - pos - 1));
+    } else {
+      send_(Peer::kClient, std::move(head));
+    }
+    return;
+  }
+  send_(Peer::kClient,
+        EncodePatchedResult(reply_type, request_id, payload.span(), source));
+}
+
+void EdgeService::ResolveToClient(std::uint64_t request_id,
+                                  proto::MessageType reply_type,
+                                  const Frame& payload, ResultSource source) {
+  MemoizeResolved(request_id, {.reply = {},
+                               .payload = payload,
+                               .reply_type = reply_type,
+                               .source = source});
+  SendResultToClient(reply_type, request_id, payload, source);
+}
+
 bool EdgeService::TryServeFromCache(const proto::FeatureDescriptor& key,
                                     proto::MessageType reply_type,
                                     std::uint64_t request_id) {
   const auto outcome = cache_.Lookup(key, now_());
   if (!outcome.hit) return false;
   // Patch the cached result so the client sees the true source (edge,
-  // not cloud).
-  send_(Peer::kClient,
-        EncodePatchedResult(reply_type, request_id, outcome.payload.span(),
-                            ResultSource::kEdgeCache));
+  // not cloud). No memo: the cache itself re-serves a retransmit.
+  SendResultToClient(reply_type, request_id, outcome.payload,
+                     ResultSource::kEdgeCache);
   return true;
 }
 
@@ -358,15 +531,31 @@ void EdgeService::OnLocalMiss(Frame frame,
         leader != inflight_keys_.end()) {
       // A fetch for this key is already in flight: park on its wait-list
       // instead of paying another round of probes / a second cloud trip.
+      // The waiter keeps its own request frame and insert key so it can
+      // take over the fetch if the leader's retry budget dies.
       const std::uint64_t leader_id = leader->second;
       PendingForward waiter;
       waiter.request_type = request_type;
       waiter.reply_type = reply_type;
+      waiter.insert_key = std::move(descriptor);
+      waiter.original = std::move(frame);
       waiter.is_waiter = true;
       Park(request_id, std::move(waiter));
       pending_.at(leader_id).waiters.push_back(request_id);
       ++coalesced_requests_;
       return;
+    }
+    if (config_.resolved_grace) {
+      // Recently-resolved grace window: the leader for this key already
+      // resolved but its delayed cache insert has not landed yet, so the
+      // cache lookup above missed. Serve from the parked result instead
+      // of starting a duplicate upstream fetch.
+      if (const auto g = grace_.find(key); g != grace_.end()) {
+        ++grace_hits_;
+        ResolveToClient(request_id, reply_type, g->second.payload,
+                        ResultSource::kEdgeCache);
+        return;
+      }
     }
     inflight_keys_.emplace(key, request_id);
     coalesce_key = key;
@@ -410,6 +599,13 @@ void EdgeService::OnLocalMiss(Frame frame,
           send_(Peer::kPeerEdge, probe);
         }
       }
+      if (config_.peer_probe_timeout != Duration::Infinite()) {
+        // Lost probes (or lost replies) must not strand the request:
+        // when the round is still unresolved at the deadline, give up on
+        // the peers and pay the cloud round trip.
+        delay_(config_.peer_probe_timeout,
+               [this, request_id] { OnProbeTimeout(request_id); });
+      }
       return;
     }
     // No candidate worth probing (e.g. every peer summary says "not
@@ -441,12 +637,28 @@ void EdgeService::HandlePeerLookupRequest(
            const std::span<const std::uint8_t> payload =
                outcome.hit ? outcome.payload.span()
                            : std::span<const std::uint8_t>{};
-           // Single-buffer encode of the PeerLookupReply envelope (field
-           // order mirrors PeerLookupReply::Encode; pinned by a test) —
-           // the cached payload is copied exactly once, onto the wire.
            COIC_CHECK_MSG(1 + 1 + 4 + payload.size() <=
                               proto::kMaxPayloadBytes,
                           "payload too large");
+           if (outcome.hit && config_.gather_send &&
+               !(from_peer && config_.peer_send)) {
+             // Copy-free hit reply (pairwise transport): the fixed
+             // fields go into a small head, the cached payload rides as
+             // a shared tail. Field order mirrors the fused encode.
+             ByteWriter w(proto::kEnvelopeHeaderSize + 1 + 1 + 4);
+             proto::AppendEnvelopeHeader(
+                 w, MessageType::kPeerLookupReply, request_id,
+                 static_cast<std::uint32_t>(1 + 1 + 4 + payload.size()));
+             w.WriteU8(1);
+             w.WriteU8(static_cast<std::uint8_t>(reply_type));
+             w.WriteU32(static_cast<std::uint32_t>(payload.size()));
+             config_.gather_send(Peer::kPeerEdge, Frame(w.TakeBytes()),
+                                 outcome.payload);
+             return;
+           }
+           // Single-buffer encode of the PeerLookupReply envelope (field
+           // order mirrors PeerLookupReply::Encode; pinned by a test) —
+           // the cached payload is copied exactly once, onto the wire.
            ByteWriter w(proto::kEnvelopeHeaderSize + 1 + 1 + 4 +
                         payload.size());
            proto::AppendEnvelopeHeader(
@@ -475,7 +687,9 @@ void EdgeService::HandlePeerLookupReply(const Frame& frame,
   const auto it = pending_.find(env.request_id);
   if (it == pending_.end() || !it->second.at_peer ||
       it->second.probes_outstanding == 0) {
-    COIC_LOG(kWarn) << "edge: unexpected peer reply " << env.request_id;
+    // Normal under lossy transport: the probe round timed out (or was
+    // otherwise resolved) before this straggler landed.
+    COIC_LOG(kDebug) << "edge: late peer reply " << env.request_id;
     return;
   }
   PendingForward& pending = it->second;
@@ -495,16 +709,33 @@ void EdgeService::HandlePeerLookupReply(const Frame& frame,
     // must start a fresh fetch (the insert below completes after a
     // cache_insert delay).
     ReleaseCoalesceKey(pending.coalesce_key);
+    std::uint64_t grace_key = 0;
+    std::uint64_t grace_gen = 0;
+    bool grace_armed = false;
+    if (config_.resolved_grace && pending.coalesce_key) {
+      // Park the result under its coalesce key until the delayed insert
+      // lands — same-key misses in that window ride this entry.
+      grace_key = *pending.coalesce_key;
+      grace_gen = ++grace_gen_;
+      grace_[grace_key] = {payload, grace_gen};
+      grace_armed = true;
+    }
     pending.coalesce_key.reset();
     delay_(config_.costs.edge.cache_insert,
            [this, request_id = env.request_id,
             key = std::move(*pending.insert_key), payload, reply_type,
-            waiters = std::move(pending.waiters)] {
+            waiters = std::move(pending.waiters), grace_armed, grace_key,
+            grace_gen] {
              cache_.Insert(key, payload, now_());
-             send_(Peer::kClient,
-                   EncodePatchedResult(reply_type, request_id, payload.span(),
-                                       ResultSource::kPeerEdge));
-             ServeWaiters(waiters, payload.span(), ResultSource::kPeerEdge);
+             if (grace_armed) {
+               const auto g = grace_.find(grace_key);
+               if (g != grace_.end() && g->second.gen == grace_gen) {
+                 grace_.erase(g);
+               }
+             }
+             ResolveToClient(request_id, reply_type, payload,
+                             ResultSource::kPeerEdge);
+             ServeWaiters(waiters, payload, ResultSource::kPeerEdge);
            });
     pending.insert_key.reset();
     pending.waiters.clear();
@@ -589,6 +820,15 @@ void EdgeService::OnClientFrame(Frame frame) {
     case MessageType::kRecognitionRequest:
     case MessageType::kRenderRequest:
     case MessageType::kPanoramaRequest: {
+      // Idempotent duplicate handling (client retransmits under lossy
+      // transport): an id still in flight is dropped — the in-flight
+      // resolution will answer it — and an id resolved recently is
+      // replayed from the memo instead of being fetched twice.
+      if (pending_.count(env.request_id) > 0) {
+        ++duplicates_dropped_;
+        return;
+      }
+      if (TryReplayFromMemo(env.request_id)) return;
       const auto mode = proto::PeekRequestOffloadMode(env.type, env.payload);
       if (!mode.ok()) return;  // dropped, like any undecodable request
       if (mode.value() == OffloadMode::kOrigin) {
@@ -660,8 +900,11 @@ void EdgeService::OnCloudFrame(Frame frame) {
 
   const auto it = pending_.find(env.request_id);
   if (it == pending_.end()) {
-    COIC_LOG(kWarn) << "edge: cloud reply for unknown request "
-                    << env.request_id;
+    // Normal under lossy transport: a retransmitted forward makes the
+    // cloud answer twice, and a reply that raced a timeout lands after
+    // its request was already resolved or promoted.
+    COIC_LOG(kDebug) << "edge: cloud reply for unknown request "
+                     << env.request_id;
     return;
   }
   PendingForward pending = std::move(it->second);
@@ -680,6 +923,7 @@ void EdgeService::OnCloudFrame(Frame frame) {
     if (env.type == MessageType::kError) {
       FailWaiters(pending.waiters, env.payload);
     }
+    MemoizeResolved(env.request_id, {.reply = frame, .payload = {}});
     send_(Peer::kClient, std::move(frame));
     return;
   }
@@ -692,15 +936,39 @@ void EdgeService::OnCloudFrame(Frame frame) {
   const Frame payload =
       frame.Slice(proto::kEnvelopeHeaderSize,
                   frame.size() - proto::kEnvelopeHeaderSize);
+  MemoizeResolved(env.request_id, {.reply = {},
+                                   .payload = payload,
+                                   .reply_type = env.type,
+                                   .source = ResultSource::kCloud});
+  std::uint64_t grace_key = 0;
+  std::uint64_t grace_gen = 0;
+  bool grace_armed = false;
+  if (config_.resolved_grace && config_.coalesce_requests &&
+      pending.insert_key) {
+    // Park the result under its coalesce key until the delayed insert
+    // lands — same-key misses in that window ride this entry instead of
+    // starting a duplicate cloud fetch (the key was just released).
+    grace_key = CoalesceKey(*pending.insert_key);
+    grace_gen = ++grace_gen_;
+    grace_[grace_key] = {payload, grace_gen};
+    grace_armed = true;
+  }
   delay_(config_.costs.edge.cache_insert,
          [this, frame = std::move(frame), payload,
           key = std::move(*pending.insert_key),
-          waiters = std::move(pending.waiters)]() mutable {
+          waiters = std::move(pending.waiters), grace_armed, grace_key,
+          grace_gen]() mutable {
            cache_.Insert(key, payload, now_());
+           if (grace_armed) {
+             const auto g = grace_.find(grace_key);
+             if (g != grace_.end() && g->second.gen == grace_gen) {
+               grace_.erase(g);
+             }
+           }
            send_(Peer::kClient, std::move(frame));
            // Waiters share the same upstream result; the cloud produced
            // it once for all of them.
-           ServeWaiters(waiters, payload.span(), ResultSource::kCloud);
+           ServeWaiters(waiters, payload, ResultSource::kCloud);
          });
 }
 

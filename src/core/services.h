@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -21,6 +22,7 @@
 #include "common/frame.h"
 #include "common/time.h"
 #include "core/cost_model.h"
+#include "core/retry.h"
 #include "proto/envelope.h"
 #include "render/panorama.h"
 #include "render/registry.h"
@@ -35,6 +37,12 @@ namespace coic::core {
 /// copy, so relays and fan-outs forward the original buffer.
 enum class Peer : std::uint8_t { kClient = 0, kCloud = 1, kPeerEdge = 2 };
 using SendFn = std::function<void(Peer to, Frame frame)>;
+
+/// Optional scatter-gather emitter: `head` (a small rewritten envelope
+/// prefix) and `tail` (a shared slice of a cached payload) travel as one
+/// frame without the sender ever fusing them — the cache-hit reply path
+/// uses this to stay copy-free. Null => the fused single-buffer encode.
+using GatherSendFn = std::function<void(Peer to, Frame head, Frame tail)>;
 
 /// Runs `fn` after simulated `delay` (scheduler-bound in the simulator,
 /// immediate in the real transport).
@@ -161,6 +169,29 @@ class EdgeService {
     /// open-loop storm it collapses N concurrent same-object misses into
     /// one cloud fetch.
     bool coalesce_requests = true;
+    /// Edge->cloud timeout/retry policy for the unreliable-transport
+    /// mode. Disabled by default (reliable transport never loses the
+    /// forward or the reply).
+    RetryConfig cloud_retry;
+    /// How long to wait for peer-probe replies before giving up on the
+    /// probe round and falling through to the cloud. Infinite (default)
+    /// waits forever — correct only on a lossless transport.
+    Duration peer_probe_timeout = Duration::Infinite();
+    /// Recently-resolved grace entries: after a coalescing leader
+    /// resolves, its result is kept keyed by coalesce key until the
+    /// delayed cache insert lands, so a same-key miss arriving in that
+    /// window is served from the grace entry instead of starting a
+    /// duplicate upstream fetch. On by default — the window is a bug,
+    /// not a feature.
+    bool resolved_grace = true;
+    /// Idempotent-replay memo: the last N resolved request ids keep
+    /// their reply so a retransmitted request whose reply was lost is
+    /// answered from the memo, never re-fetched. 0 (default) disables;
+    /// enable alongside client retries.
+    std::size_t resolved_memo_capacity = 0;
+    /// Optional scatter-gather sender for result replies (see
+    /// GatherSendFn). Wire bytes are identical to the fused path.
+    GatherSendFn gather_send;
   };
 
   EdgeService(Config config, SendFn send, DelayFn delay, NowFn now);
@@ -213,6 +244,39 @@ class EdgeService {
   /// drain.
   [[nodiscard]] std::vector<std::uint64_t> pending_request_ids() const;
 
+  // Unreliable-transport counters (all zero when retries are disabled).
+  /// Cloud forwards retransmitted after a timeout.
+  [[nodiscard]] std::uint64_t cloud_retransmissions() const noexcept {
+    return cloud_retransmissions_;
+  }
+  /// Cloud fetches abandoned after the retry budget was spent.
+  [[nodiscard]] std::uint64_t cloud_timeouts() const noexcept {
+    return cloud_timeouts_;
+  }
+  /// Peer-probe rounds abandoned on timeout (fell through to the cloud).
+  [[nodiscard]] std::uint64_t probe_timeouts() const noexcept {
+    return probe_timeouts_;
+  }
+  /// Coalescing waiters promoted to leader after their leader's fetch
+  /// died (the leader-loss recovery path).
+  [[nodiscard]] std::uint64_t leader_promotions() const noexcept {
+    return leader_promotions_;
+  }
+  /// Retransmitted requests dropped because the original is still in
+  /// flight (without this, a duplicate id would double-park).
+  [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept {
+    return duplicates_dropped_;
+  }
+  /// Retransmitted requests answered from the resolved-reply memo.
+  [[nodiscard]] std::uint64_t replayed_from_memo() const noexcept {
+    return replayed_from_memo_;
+  }
+  /// Misses served from a recently-resolved grace entry (the cache-
+  /// insert-delay window that previously caused duplicate fetches).
+  [[nodiscard]] std::uint64_t grace_hits() const noexcept {
+    return grace_hits_;
+  }
+
  private:
   struct PendingForward {
     proto::MessageType request_type = proto::MessageType::kPing;
@@ -223,10 +287,15 @@ class EdgeService {
     /// Cache key to insert the result under (CoIC mode only).
     std::optional<proto::FeatureDescriptor> insert_key;
     /// Original client request frame, kept while the request is parked
-    /// at the peer so a peer miss can still fall through to the cloud —
-    /// forwarded as-is, never re-encoded.
+    /// at the peer (a peer miss falls through to the cloud), while a
+    /// cloud retry policy is armed (retransmissions resend it), and for
+    /// waiters (leader promotion re-forwards it) — as-is, never
+    /// re-encoded.
     Frame original;
     bool at_peer = false;
+    /// Cloud-forward attempt number (0 = initial send); stale retry
+    /// timers compare against it and disarm.
+    std::uint32_t attempt = 0;
     /// Probes still in flight (federation mode fans out to several).
     std::uint32_t probes_outstanding = 0;
     /// A probe already hit; late replies are drained without effect.
@@ -272,8 +341,7 @@ class EdgeService {
   /// was produced once upstream and fanned out at the edge). Waiters are
   /// unparked as they are served.
   void ServeWaiters(const std::vector<std::uint64_t>& waiters,
-                    std::span<const std::uint8_t> payload,
-                    proto::ResultSource source);
+                    const Frame& payload, proto::ResultSource source);
   /// Fails waiter requests with the leader's error payload.
   void FailWaiters(const std::vector<std::uint64_t>& waiters,
                    std::span<const std::uint8_t> error_payload);
@@ -289,6 +357,42 @@ class EdgeService {
                                    std::span<const std::uint8_t> payload,
                                    proto::ResultSource source);
 
+  /// Sends a result payload to the client under `reply_type` with
+  /// `source` stamped in. With gather_send configured the payload tail
+  /// is shared by reference (copy-free hit replies); otherwise it falls
+  /// back to the fused one-copy EncodePatchedResult. Wire bytes are
+  /// identical either way.
+  void SendResultToClient(proto::MessageType reply_type,
+                          std::uint64_t request_id, const Frame& payload,
+                          proto::ResultSource source);
+  /// SendResultToClient plus resolved-memo bookkeeping — the terminal
+  /// resolution of a fetched (leader/waiter/grace) request.
+  void ResolveToClient(std::uint64_t request_id,
+                       proto::MessageType reply_type, const Frame& payload,
+                       proto::ResultSource source);
+
+  /// Replay memo for resolved requests (idempotent duplicate handling).
+  /// Either a complete pre-encoded reply frame, or a payload re-wrapped
+  /// per replay.
+  struct ResolvedMemo {
+    Frame reply;
+    Frame payload;
+    proto::MessageType reply_type = proto::MessageType::kRecognitionResult;
+    proto::ResultSource source = proto::ResultSource::kEdgeCache;
+  };
+  void MemoizeResolved(std::uint64_t request_id, ResolvedMemo memo);
+  /// Serves a retransmitted request from the memo; false if unknown.
+  bool TryReplayFromMemo(std::uint64_t request_id);
+
+  // Cloud-forward retry machinery (no-ops unless cloud_retry.enabled()).
+  void ArmCloudRetryTimer(std::uint64_t request_id, std::uint32_t attempt);
+  void OnCloudRetryTimer(std::uint64_t request_id, std::uint32_t attempt);
+  /// Retry budget spent: error the leader's client and promote the
+  /// oldest parked waiter to run its own fetch (leader-loss recovery).
+  void HandleCloudFetchFailure(std::uint64_t request_id);
+  /// Peer-probe round abandoned: fall through to the cloud.
+  void OnProbeTimeout(std::uint64_t request_id);
+
   Config config_;
   SendFn send_;
   DelayFn delay_;
@@ -297,11 +401,30 @@ class EdgeService {
   std::unordered_map<std::uint64_t, PendingForward> pending_;
   /// Coalesce key -> leader request id, for keys with a fetch in flight.
   std::unordered_map<std::uint64_t, std::uint64_t> inflight_keys_;
+  /// Recently-resolved results awaiting their delayed cache insert,
+  /// keyed by coalesce key. `gen` disambiguates re-resolutions of the
+  /// same key so a stale erase cannot drop a newer entry.
+  struct GraceEntry {
+    Frame payload;
+    std::uint64_t gen = 0;
+  };
+  std::unordered_map<std::uint64_t, GraceEntry> grace_;
+  std::uint64_t grace_gen_ = 0;
+  /// Bounded FIFO of resolved replies for duplicate replay.
+  std::unordered_map<std::uint64_t, ResolvedMemo> resolved_memo_;
+  std::deque<std::uint64_t> resolved_memo_fifo_;
   std::uint64_t forwards_ = 0;
   std::uint64_t peer_hits_ = 0;
   std::uint64_t peer_queries_served_ = 0;
   std::uint64_t peer_probes_sent_ = 0;
   std::uint64_t coalesced_requests_ = 0;
+  std::uint64_t cloud_retransmissions_ = 0;
+  std::uint64_t cloud_timeouts_ = 0;
+  std::uint64_t probe_timeouts_ = 0;
+  std::uint64_t leader_promotions_ = 0;
+  std::uint64_t duplicates_dropped_ = 0;
+  std::uint64_t replayed_from_memo_ = 0;
+  std::uint64_t grace_hits_ = 0;
   std::size_t peak_pending_ = 0;
 };
 

@@ -18,6 +18,38 @@ using proto::PeekRequestId;
 
 }  // namespace
 
+FederationTransportConfig FederationTransportConfig::Lossy(double loss_rate) {
+  FederationTransportConfig t;
+  t.datagram = true;
+  t.loss_rate = loss_rate;
+  // Timeouts sit well above the lossless worst-case response time (a
+  // multi-MB model over a 10 Mbps WAN takes seconds), so a slow reply is
+  // never mistaken for a lost one — spurious retransmits would inflate
+  // load and distort the sweep. Lost frames pay the timeout; that is the
+  // p99 story the loss bench tells.
+  t.client_retry.timeout = Duration::Millis(10'000);
+  t.client_retry.max_retries = 4;
+  t.client_retry.max_timeout = Duration::Millis(40'000);
+  t.cloud_retry.timeout = Duration::Millis(4'000);
+  t.cloud_retry.max_retries = 3;
+  t.cloud_retry.max_timeout = Duration::Millis(16'000);
+  t.peer_probe_timeout = Duration::Millis(500);
+  t.summary_ack = true;
+  return t;
+}
+
+FederationPipelineConfig FederationPipeline::ApplyTransport(
+    FederationPipelineConfig config) {
+  // Peer-link loss has to be stamped before BuildTopology snapshots the
+  // link configs into the Topology (the constructor's init order).
+  const double loss = config.transport.loss_rate;
+  if (loss > 0) {
+    config.peer_link.loss_rate = loss;
+    for (TopologyLink& l : config.custom_links) l.link.loss_rate = loss;
+  }
+  return config;
+}
+
 Topology FederationPipeline::BuildTopology(
     const FederationPipelineConfig& config) {
   switch (config.topology) {
@@ -35,8 +67,8 @@ Topology FederationPipeline::BuildTopology(
 }
 
 FederationPipeline::FederationPipeline(FederationPipelineConfig config)
-    : config_(std::move(config)), topology_(BuildTopology(config_)),
-      net_(sched_) {
+    : config_(ApplyTransport(std::move(config))),
+      topology_(BuildTopology(config_)), net_(sched_) {
   COIC_CHECK(config_.venues >= 1);
   COIC_CHECK(config_.mobiles_per_venue >= 1);
   COIC_CHECK(config_.probe_budget >= 1);
@@ -68,6 +100,11 @@ FederationPipeline::FederationPipeline(FederationPipelineConfig config)
   netsim::LinkConfig wan;
   wan.bandwidth = config_.network.edge_cloud;
   wan.propagation = config_.edge_cloud_propagation;
+  if (config_.transport.loss_rate > 0) {
+    // Per-link rng decorrelation happens inside Network::Connect.
+    wifi.loss_rate = config_.transport.loss_rate;
+    wan.loss_rate = config_.transport.loss_rate;
+  }
   for (std::uint32_t v = 0; v < config_.venues; ++v) {
     net_.Connect(edge_nodes_[v], cloud_node_, wan);
     for (std::uint32_t m = 0; m < config_.mobiles_per_venue; ++m) {
@@ -75,6 +112,9 @@ FederationPipeline::FederationPipeline(FederationPipelineConfig config)
     }
   }
   topology_.ApplyTo(net_, edge_nodes_);
+  if (config_.transport.datagram) {
+    net_.EnableDatagram(config_.transport.datagram_mtu);
+  }
 
   reachable_.resize(config_.venues);
   client_routes_.resize(config_.venues);
@@ -83,6 +123,16 @@ FederationPipeline::FederationPipeline(FederationPipelineConfig config)
   summary_mutations_.assign(config_.venues, 0);
   summaries_.resize(config_.venues);
   summary_cursors_.assign(config_.venues, 0);
+  // UINT64_MAX = "never acked": the very first piggybacked ack always
+  // goes out, even when the held version is 0 — that zero-ack is how a
+  // peer learns its first gossip frame was lost.
+  ack_sent_version_.assign(
+      config_.venues,
+      std::vector<std::uint64_t>(config_.venues, UINT64_MAX));
+  summary_received_at_.assign(
+      config_.venues, std::vector<SimTime>(config_.venues, SimTime::Epoch()));
+  next_ack_resend_at_.assign(
+      config_.venues, std::vector<SimTime>(config_.venues, SimTime::Epoch()));
   for (std::uint32_t v = 0; v < config_.venues; ++v) {
     reachable_[v] = topology_.ReachableWithin(v, config_.hop_limit);
     summary_tables_.emplace_back(config_.venues);
@@ -115,12 +165,22 @@ void FederationPipeline::WireCloud() {
   // request (looked up by request id at send time).
   auto routes =
       std::make_shared<std::unordered_map<std::uint64_t, netsim::NodeId>>();
+  // Under retries the cloud can process one request id twice (the edge
+  // retransmitted; both copies arrived) and produce two replies for one
+  // recorded route — the second is dropped here, and the edge's own
+  // duplicate handling absorbs whichever one lands. With the reliable
+  // transport a missing route still means a wiring bug, so keep the
+  // CHECK there.
+  const bool lossy = LossyTransport();
   cloud_ = std::make_unique<CloudService>(
       cloud_config,
-      [this, routes](core::Peer /*to*/, Frame frame) {
+      [this, routes, lossy](core::Peer /*to*/, Frame frame) {
         const std::uint64_t id = PeekRequestId(frame.span());
         const auto it = routes->find(id);
-        COIC_CHECK_MSG(it != routes->end(), "cloud reply with no route");
+        if (it == routes->end()) {
+          COIC_CHECK_MSG(lossy, "cloud reply with no route");
+          return;
+        }
         const netsim::NodeId target = it->second;
         routes->erase(it);
         net_.Send(cloud_node_, target, std::move(frame));
@@ -145,7 +205,18 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
   edge_config.cooperative = config_.cooperative && config_.venues > 1;
   edge_config.probe_budget = config_.probe_budget;
   edge_config.coalesce_requests = config_.coalesce_requests;
+  edge_config.cloud_retry = config_.transport.cloud_retry;
+  edge_config.peer_probe_timeout = config_.transport.peer_probe_timeout;
+  if (config_.transport.client_retry.enabled()) {
+    // Client retransmits only help if the edge can replay a reply whose
+    // first copy was lost instead of re-fetching.
+    edge_config.resolved_memo_capacity = 256;
+  }
   edge_config.peer_send = [this, venue](std::uint32_t peer, Frame frame) {
+    // Gossip ack/nack rides on lookup traffic: before any peer-bound
+    // probe or reply, tell that peer which version of its summary we
+    // hold (deduplicated, so steady state adds no frames).
+    MaybeSendSummaryAck(venue, peer, /*force=*/false);
     SendEdgeToEdge(venue, peer, std::move(frame));
   };
   edge_config.peer_select =
@@ -154,9 +225,28 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
                                         summary_tables_[venue]);
       };
   const netsim::NodeId self = edge_nodes_[venue];
+  const bool lossy = LossyTransport();
+  // Scatter-gather client replies: the per-request envelope head and the
+  // shared cached payload travel as one wire frame without the edge ever
+  // fusing them (wire bytes identical to the fused path).
+  edge_config.gather_send = [this, venue, self, lossy](core::Peer to,
+                                                       Frame head,
+                                                       Frame tail) {
+    COIC_CHECK_MSG(to == core::Peer::kClient,
+                   "federation gather replies serve clients only");
+    auto& routes = client_routes_[venue];
+    const auto it = routes.find(PeekRequestId(head.span()));
+    if (it == routes.end()) {
+      COIC_CHECK_MSG(lossy, "edge reply with no client route");
+      return;
+    }
+    const netsim::NodeId target = it->second;
+    routes.erase(it);
+    net_.SendGather(self, target, std::move(head), std::move(tail));
+  };
   edges_[venue] = std::make_unique<EdgeService>(
       edge_config,
-      [this, venue, self](core::Peer to, Frame frame) {
+      [this, venue, self, lossy](core::Peer to, Frame frame) {
         COIC_CHECK_MSG(to != core::Peer::kPeerEdge,
                        "federation edges route peers via peer_send");
         if (to == core::Peer::kCloud) {
@@ -164,10 +254,15 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
           return;
         }
         // Client replies: several mobiles share this edge, so route by
-        // the request id recorded when the request came in.
+        // the request id recorded when the request came in. A missing
+        // route under retries means a duplicate reply raced a lost
+        // request — drop it; the client's own retry recovers.
         auto& routes = client_routes_[venue];
         const auto it = routes.find(PeekRequestId(frame.span()));
-        COIC_CHECK_MSG(it != routes.end(), "edge reply with no client route");
+        if (it == routes.end()) {
+          COIC_CHECK_MSG(lossy, "edge reply with no client route");
+          return;
+        }
         const netsim::NodeId target = it->second;
         routes.erase(it);
         net_.Send(self, target, std::move(frame));
@@ -213,6 +308,7 @@ void FederationPipeline::WireClient(std::uint32_t venue, std::uint32_t mobile) {
   // Disjoint id spaces so concurrent clients' requests never collide at
   // the shared cloud or in the per-venue client routes.
   client_config.first_request_id = (std::uint64_t{index} << 40) | 1;
+  client_config.retry = config_.transport.client_retry;
   clients_[index] = std::make_unique<CoicClient>(
       client_config,
       [this, client_node, edge_node](Frame frame) {
@@ -258,6 +354,9 @@ void FederationPipeline::OnPeerEdgeFrame(std::uint32_t venue,
     case MessageType::kSummaryDeltaUpdate:
       HandleSummaryFrame(venue, frame);
       return;
+    case MessageType::kSummaryAck:
+      HandleSummaryAck(venue, frame);
+      return;
     default:
       edges_[venue]->OnPeerFrame(src_index, std::move(frame));
   }
@@ -282,9 +381,12 @@ void FederationPipeline::HandleRelayFrame(std::uint32_t venue, Frame frame) {
     // Terminal hop: unwrap and dispatch as if it arrived directly from
     // the logical source.
     Frame inner = proto::UnwrapRelay(frame, relay);
-    if (PeekMessageType(inner.span()) == MessageType::kSummaryUpdate ||
-        PeekMessageType(inner.span()) == MessageType::kSummaryDeltaUpdate) {
+    const MessageType inner_type = PeekMessageType(inner.span());
+    if (inner_type == MessageType::kSummaryUpdate ||
+        inner_type == MessageType::kSummaryDeltaUpdate) {
       HandleSummaryFrame(venue, inner);
+    } else if (inner_type == MessageType::kSummaryAck) {
+      HandleSummaryAck(venue, inner);
     } else {
       edges_[venue]->OnPeerFrame(relay.src_edge, std::move(inner));
     }
@@ -310,6 +412,9 @@ void FederationPipeline::HandleSummaryFrame(std::uint32_t venue,
   // for full and delta frames alike (shared leading layout).
   if (const auto header = proto::PeekSummaryFrame(frame.span());
       header.ok() && header.value().edge_id < config_.venues) {
+    // Any summary frame — fresh, stale or unusable — proves the sender
+    // is alive; the age-out sweep keys off this stamp.
+    summary_received_at_[venue][header.value().edge_id] = sched_.now();
     const CacheSummary* current =
         summary_tables_[venue].For(header.value().edge_id);
     if (current != nullptr && header.value().version <= current->version()) {
@@ -332,6 +437,13 @@ void FederationPipeline::HandleSummaryFrame(std::uint32_t venue,
         current->version() != header.value().base_version) {
       COIC_LOG(kDebug) << "federation: delta base mismatch at venue " << venue
                        << " for edge " << header.value().edge_id;
+      // Nack: tell the sender which version we actually hold (0 when
+      // none) so it resends the full summary instead of stranding us on
+      // a base we lost. Forced past the dedup — the sender believes we
+      // are current, so only an explicit ack corrects it.
+      if (header.value().edge_id != venue) {
+        MaybeSendSummaryAck(venue, header.value().edge_id, /*force=*/true);
+      }
       return;
     }
     auto env = proto::DecodeEnvelopeView(frame.span());
@@ -372,6 +484,85 @@ void FederationPipeline::HandleSummaryFrame(std::uint32_t venue,
   summary_tables_[venue].Update(std::move(summary).value());
 }
 
+void FederationPipeline::MaybeSendSummaryAck(std::uint32_t venue,
+                                             std::uint32_t peer, bool force) {
+  if (!config_.transport.summary_ack || peer == venue ||
+      peer >= config_.venues) {
+    return;
+  }
+  const CacheSummary* held = summary_tables_[venue].For(peer);
+  const std::uint64_t version = held != nullptr ? held->version() : 0;
+  if (!force && ack_sent_version_[venue][peer] == version) return;
+  ack_sent_version_[venue][peer] = version;
+  ++summary_acks_sent_;
+  proto::SummaryAck ack;
+  ack.acker_edge = venue;
+  ack.subject_edge = peer;
+  ack.version = version;
+  SendEdgeToEdge(venue, peer,
+                 Frame(proto::EncodeMessage(MessageType::kSummaryAck, version,
+                                            ack)));
+}
+
+void FederationPipeline::HandleSummaryAck(std::uint32_t venue,
+                                          const Frame& frame) {
+  auto env = proto::DecodeEnvelopeView(frame.span());
+  if (!env.ok()) {
+    COIC_LOG(kWarn) << "federation: undecodable summary ack";
+    return;
+  }
+  auto ack = proto::DecodePayloadAs<proto::SummaryAck>(
+      env.value(), MessageType::kSummaryAck);
+  if (!ack.ok() || ack.value().subject_edge != venue ||
+      ack.value().acker_edge >= config_.venues) {
+    COIC_LOG(kWarn) << "federation: bad summary ack at venue " << venue;
+    return;
+  }
+  const std::uint32_t acker = ack.value().acker_edge;
+  auto& sent = summary_tables_[venue].sent_to(acker);
+  if (sent.version == 0 || ack.value().version >= sent.version) {
+    // Nothing ever sent, or the acker is current (>= covers acks that
+    // raced a newer send) — no repair needed.
+    return;
+  }
+  // The acker holds an older version than what we already sent: a gossip
+  // frame was lost (or the peer aged our summary out). Resend the full
+  // summary, at most once per gossip period per peer so an ack burst
+  // cannot amplify into a resend storm.
+  if (sched_.now() < next_ack_resend_at_[venue][acker]) return;
+  next_ack_resend_at_[venue][acker] =
+      sched_.now() + (GossipEnabled() ? config_.gossip_period
+                                      : Duration::Millis(250));
+  RefreshSummary(venue);
+  const Frame& full = summary_frames_[venue];
+  ++summary_updates_sent_;
+  ++summary_ack_resends_;
+  summary_bytes_full_ += full.size();
+  sent.version = summary_versions_[venue];
+  sent.journal_cursor = summary_cursors_[venue];
+  sent.rounds_since_full = 0;
+  SendEdgeToEdge(venue, acker, full);
+}
+
+void FederationPipeline::AgeOutSummaries(std::uint32_t venue) {
+  if (config_.transport.summary_max_age == Duration::Infinite()) return;
+  const SimTime now = sched_.now();
+  for (const std::uint32_t peer : reachable_[venue]) {
+    if (summary_tables_[venue].For(peer) == nullptr) continue;
+    if (now - summary_received_at_[venue][peer] >
+        config_.transport.summary_max_age) {
+      // The peer has gone silent (crashed or partitioned): stop steering
+      // probes at it. If it is merely slow, its next frame after our
+      // erase is a full-version install or a delta whose base we no
+      // longer hold — the nack/full-resend path rebuilds the view.
+      summary_tables_[venue].Erase(peer);
+      // Force the next piggybacked ack to announce "holding nothing".
+      ack_sent_version_[venue][peer] = UINT64_MAX;
+      ++summaries_aged_out_;
+    }
+  }
+}
+
 bool FederationPipeline::GossipEnabled() const noexcept {
   return config_.cooperative && config_.venues >= 2 &&
          config_.gossip_period != Duration::Infinite();
@@ -403,6 +594,7 @@ void FederationPipeline::RefreshSummary(std::uint32_t venue) {
 }
 
 void FederationPipeline::GossipEdge(std::uint32_t venue) {
+  AgeOutSummaries(venue);
   if (config_.delta_gossip) {
     GossipEdgeDelta(venue);
     return;
@@ -572,6 +764,42 @@ std::uint64_t FederationPipeline::total_coalesced_requests() const {
 std::uint64_t FederationPipeline::total_cloud_forwards() const {
   std::uint64_t total = 0;
   for (const auto& e : edges_) total += e->forwards();
+  return total;
+}
+
+std::uint64_t FederationPipeline::total_client_retransmissions() const {
+  std::uint64_t total = 0;
+  for (const auto& c : clients_) total += c->retransmissions();
+  return total;
+}
+
+std::uint64_t FederationPipeline::total_client_timeouts() const {
+  std::uint64_t total = 0;
+  for (const auto& c : clients_) total += c->timeouts();
+  return total;
+}
+
+std::uint64_t FederationPipeline::total_cloud_retransmissions() const {
+  std::uint64_t total = 0;
+  for (const auto& e : edges_) total += e->cloud_retransmissions();
+  return total;
+}
+
+std::uint64_t FederationPipeline::total_cloud_timeouts() const {
+  std::uint64_t total = 0;
+  for (const auto& e : edges_) total += e->cloud_timeouts();
+  return total;
+}
+
+std::uint64_t FederationPipeline::total_leader_promotions() const {
+  std::uint64_t total = 0;
+  for (const auto& e : edges_) total += e->leader_promotions();
+  return total;
+}
+
+std::uint64_t FederationPipeline::total_grace_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& e : edges_) total += e->grace_hits();
   return total;
 }
 

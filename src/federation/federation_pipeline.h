@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/client.h"
+#include "core/retry.h"
 #include "core/services.h"
 #include "federation/peer_select.h"
 #include "federation/summary.h"
@@ -46,6 +47,50 @@ inline netsim::LinkConfig DefaultPeerLink() noexcept {
   link.propagation = Duration::Millis(1);
   return link;
 }
+
+/// Unreliable-transport knobs for the cluster. Everything defaults to
+/// the reliable PR 5 wire behavior (no loss, no datagrams, no retries,
+/// no acks) so existing configs stay bit-identical; `Lossy()` flips the
+/// whole recovery stack on at a given loss rate.
+struct FederationTransportConfig {
+  /// Route frames larger than `datagram_mtu` as sequenced DatagramChunk
+  /// trains with FIFO in-order reassembly (netsim::DatagramConfig) — any
+  /// lost chunk loses the whole message, the realistic failure unit.
+  bool datagram = false;
+  Bytes datagram_mtu = 16 * 1024;
+  /// Bernoulli per-frame loss applied to every link in the cluster
+  /// (wifi, WAN and peer links alike — the paper's `tc netem` analogue).
+  double loss_rate = 0;
+  /// Client->edge timeout/retry (CoicClient::Config::retry). Disabled
+  /// retries with loss_rate > 0 means lost requests never complete —
+  /// only do that in tests that drive recovery by hand.
+  core::RetryConfig client_retry;
+  /// Edge->cloud timeout/retry (EdgeService::Config::cloud_retry). On
+  /// budget exhaustion the edge promotes the oldest parked follower of
+  /// the coalesced group to leader and retries its fetch.
+  core::RetryConfig cloud_retry;
+  /// Edge peer-probe timeout (EdgeService::Config::peer_probe_timeout):
+  /// a miss whose probes all vanish falls back to the cloud instead of
+  /// hanging. Infinite keeps the reply/decline accounting authoritative.
+  Duration peer_probe_timeout = Duration::Infinite();
+  /// Gossip ack/nack: edges piggyback SummaryAck frames (the version of
+  /// the peer's summary they hold) on PeerLookup traffic; a sender that
+  /// learns a peer is behind resends the full summary, rate-limited to
+  /// one resend per gossip period per peer. A delta arriving over an
+  /// unknown/mismatched base nacks immediately (version-0 ack).
+  bool summary_ack = false;
+  /// Age out a peer's summary when nothing has been received from it for
+  /// this long (checked each gossip round) — the crashed-edge seam:
+  /// probes stop chasing a dead venue, and its rejoin starts from a
+  /// full-summary first contact. Infinite never ages.
+  Duration summary_max_age = Duration::Infinite();
+
+  /// Everything enabled, tuned for the loss sweep: datagram mode,
+  /// conservative client/cloud retries (timeouts sized to sit above the
+  /// lossless worst-case response so a slow reply is never mistaken for
+  /// a lost one), probe timeout, and summary acks.
+  static FederationTransportConfig Lossy(double loss_rate);
+};
 
 struct FederationPipelineConfig {
   /// Venues (edges) in the cluster.
@@ -101,6 +146,9 @@ struct FederationPipelineConfig {
   /// unreachable) bounds that divergence; 0 (default) never forces —
   /// the netsim peer links are reliable.
   std::uint32_t delta_full_refresh_rounds = 0;
+  /// Loss / datagram / retry / ack behavior; defaults are the reliable
+  /// PR 5 transport, bit-identical outcomes included.
+  FederationTransportConfig transport;
   core::CostModel costs;
   cache::IcCacheConfig cache;
   vision::FeatureExtractorConfig extractor;
@@ -221,6 +269,41 @@ class FederationPipeline {
     return relay_forwards_;
   }
 
+  /// SummaryAck frames piggybacked on peer traffic (transport.summary_ack).
+  [[nodiscard]] std::uint64_t summary_acks_sent() const noexcept {
+    return summary_acks_sent_;
+  }
+  /// Targeted full-summary resends triggered by a behind/zero ack.
+  [[nodiscard]] std::uint64_t summary_ack_resends() const noexcept {
+    return summary_ack_resends_;
+  }
+  /// Peer summaries dropped by the max-age sweep.
+  [[nodiscard]] std::uint64_t summaries_aged_out() const noexcept {
+    return summaries_aged_out_;
+  }
+
+  /// Cluster-wide transport counters (sums over clients / edges).
+  [[nodiscard]] std::uint64_t total_client_retransmissions() const;
+  [[nodiscard]] std::uint64_t total_client_timeouts() const;
+  [[nodiscard]] std::uint64_t total_cloud_retransmissions() const;
+  [[nodiscard]] std::uint64_t total_cloud_timeouts() const;
+  [[nodiscard]] std::uint64_t total_leader_promotions() const;
+  [[nodiscard]] std::uint64_t total_grace_hits() const;
+
+  /// Simulator access for fault-injection tests (ForceDropNext / SetDown
+  /// on specific links) and the loss-sweep bench.
+  [[nodiscard]] netsim::Network& network() noexcept { return net_; }
+  [[nodiscard]] netsim::NodeId cloud_node() const noexcept {
+    return cloud_node_;
+  }
+  [[nodiscard]] netsim::NodeId edge_node(std::uint32_t venue) const {
+    return edge_nodes_.at(venue);
+  }
+  [[nodiscard]] core::CoicClient& client(std::uint32_t venue,
+                                         std::uint32_t mobile) {
+    return *clients_.at(ClientIndex(venue, mobile));
+  }
+
  private:
   struct Op {
     std::uint32_t venue;
@@ -243,8 +326,26 @@ class FederationPipeline {
   /// Forwards or terminates a relay frame. Intermediate hops patch the
   /// TTL in the uniquely-held buffer and forward it (no decode, no
   /// re-encode, no copy); the terminal hop unwraps by slicing.
+  /// Stamps the transport config onto the link configs (peer links must
+  /// carry the loss rate before BuildTopology snapshots them).
+  static FederationPipelineConfig ApplyTransport(
+      FederationPipelineConfig config);
+
   void HandleRelayFrame(std::uint32_t venue, Frame frame);
   void HandleSummaryFrame(std::uint32_t venue, const Frame& frame);
+  /// Gossip ack/nack (transport.summary_ack): `venue` tells `peer` which
+  /// version of peer's summary it holds (0 = none — a nack). Piggybacked
+  /// on every peer-bound lookup frame, deduplicated by last version
+  /// acked; `force` bypasses the dedup (delta-over-bad-base nacks).
+  void MaybeSendSummaryAck(std::uint32_t venue, std::uint32_t peer,
+                           bool force);
+  /// Handles a SummaryAck about `venue`'s own summary: when the acker
+  /// holds an older version than what was already sent, the gossip frame
+  /// was lost — resend the full summary, rate-limited per peer.
+  void HandleSummaryAck(std::uint32_t venue, const Frame& frame);
+  /// Drops peer summaries older than transport.summary_max_age (the
+  /// crashed-edge aging sweep); runs at each gossip round.
+  void AgeOutSummaries(std::uint32_t venue);
 
   /// Builds and gossips `venue`'s cache summary to its reachable peers.
   void GossipEdge(std::uint32_t venue);
@@ -262,6 +363,13 @@ class FederationPipeline {
   void MaybeGossip();
   /// True when the config calls for summary gossip at all.
   [[nodiscard]] bool GossipEnabled() const noexcept;
+  /// True when the transport can lose or duplicate frames — reply-route
+  /// misses are then expected races, not wiring bugs.
+  [[nodiscard]] bool LossyTransport() const noexcept {
+    return config_.transport.loss_rate > 0 ||
+           config_.transport.client_retry.enabled() ||
+           config_.transport.cloud_retry.enabled();
+  }
   /// Free-running per-edge gossip timers (open-loop regime).
   void ArmGossipTimer(std::uint32_t venue);
   void StopGossipTimers();
@@ -308,6 +416,16 @@ class FederationPipeline {
   std::uint64_t summary_bytes_full_ = 0;
   std::uint64_t summary_bytes_delta_ = 0;
   std::uint64_t relay_forwards_ = 0;
+  /// Ack/nack + aging state, venues x venues row-major ([venue][peer]):
+  /// last version of peer's summary that venue acked (dedup; UINT64_MAX
+  /// = "must ack next chance"), when venue last received a summary frame
+  /// from peer, and the earliest time venue may ack-resend to peer.
+  std::vector<std::vector<std::uint64_t>> ack_sent_version_;
+  std::vector<std::vector<SimTime>> summary_received_at_;
+  std::vector<std::vector<SimTime>> next_ack_resend_at_;
+  std::uint64_t summary_acks_sent_ = 0;
+  std::uint64_t summary_ack_resends_ = 0;
+  std::uint64_t summaries_aged_out_ = 0;
   std::deque<Op> ops_;
   std::vector<FederationOutcome> outcomes_;
   /// Open-loop state: armed timer per venue (0 = none), live counters.

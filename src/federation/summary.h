@@ -146,6 +146,15 @@ class SummaryTable {
   /// Latest summary for `edge`, or nullptr if none received yet.
   [[nodiscard]] const CacheSummary* For(std::uint32_t edge) const;
 
+  /// Forgets the held summary for `edge` (no-op if none). Used to age
+  /// out summaries from peers that have gone silent — a crashed edge's
+  /// stale advertisement would otherwise direct probes at a dead venue
+  /// forever. The next frame from that edge must be a full summary
+  /// (deltas have no base to extend).
+  void Erase(std::uint32_t edge) {
+    if (edge < summaries_.size()) summaries_[edge].reset();
+  }
+
   [[nodiscard]] std::uint32_t cluster_size() const noexcept {
     return static_cast<std::uint32_t>(summaries_.size());
   }

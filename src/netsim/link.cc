@@ -21,14 +21,49 @@ void Link::DrainSerialized() const noexcept {
 }
 
 void Link::Send(Frame payload, DeliverFn on_delivered, DropFn on_dropped) {
+  SendImpl(std::move(payload), Frame(), std::move(on_delivered),
+           std::move(on_dropped));
+}
+
+void Link::SendGather(Frame head, Frame tail, DeliverFn on_delivered,
+                      DropFn on_dropped) {
+  COIC_CHECK_MSG(!tail.empty(), "gather send without a tail segment");
+  SendImpl(std::move(head), std::move(tail), std::move(on_delivered),
+           std::move(on_dropped));
+}
+
+namespace {
+
+/// Joins a gather pair into the single contiguous frame the receiver
+/// sees. Models the receiver's socket read materializing the writev'd
+/// bytes, so it is deliberately not counted in frame_stats() (the same
+/// convention as ByteWriter encode copies).
+/// `head` is taken by value: the delivery path moves it in, so a plain
+/// (tail-less) send hands the receiver the sender's reference itself —
+/// the handler may then mutate a uniquely-held buffer in place (relay
+/// TTL patching) without tripping copy-on-write.
+Frame FlattenGather(Frame head, const Frame& tail) {
+  if (tail.empty()) return head;
+  ByteWriter w(head.size() + tail.size());
+  w.WriteRaw(head.span());
+  w.WriteRaw(tail.span());
+  return Frame(w.TakeBytes());
+}
+
+}  // namespace
+
+void Link::SendImpl(Frame head, Frame tail, DeliverFn on_delivered,
+                    DropFn on_dropped) {
   COIC_CHECK(on_delivered != nullptr);
-  const Bytes size = payload.size();
+  const Bytes size = head.size() + tail.size();
 
   DrainSerialized();
   if (config_.queue_capacity != 0 &&
       backlog_bytes_ + size > config_.queue_capacity) {
     ++stats_.frames_dropped_queue;
-    if (on_dropped) on_dropped(DropReason::kQueueOverflow, std::move(payload));
+    if (on_dropped) {
+      on_dropped(DropReason::kQueueOverflow, FlattenGather(head, tail));
+    }
     return;
   }
 
@@ -40,7 +75,21 @@ void Link::Send(Frame payload, DeliverFn on_delivered, DropFn on_dropped) {
   ++stats_.frames_sent;
   stats_.busy_time += tx;
 
-  const bool lost = config_.loss_rate > 0 && rng_.NextBool(config_.loss_rate);
+  // Forced drops (test seam / link down) take precedence but still
+  // consume the frame's ordinary loss draw, so injecting one never
+  // shifts which of the surrounding frames the Bernoulli process kills.
+  bool forced = down_;
+  if (!forced && force_drop_next_ > 0) {
+    if (force_drop_skip_ > 0) {
+      --force_drop_skip_;
+    } else {
+      --force_drop_next_;
+      forced = true;
+    }
+  }
+  const bool random_loss =
+      config_.loss_rate > 0 && rng_.NextBool(config_.loss_rate);
+  const bool lost = forced || random_loss;
   Duration extra = config_.propagation;
   if (config_.jitter > Duration::Zero()) {
     extra += Duration::Micros(static_cast<std::int64_t>(
@@ -54,17 +103,21 @@ void Link::Send(Frame payload, DeliverFn on_delivered, DropFn on_dropped) {
   serializing_.push_back({serialized_at, size});
 
   // Delivery (or loss) after propagation — the only scheduled event.
-  auto deliver = [this, size, lost, payload = std::move(payload),
+  auto deliver = [this, size, lost, forced, head = std::move(head),
+                  tail = std::move(tail),
                   on_delivered = std::move(on_delivered),
                   on_dropped = std::move(on_dropped)]() mutable {
     if (lost) {
       ++stats_.frames_dropped_loss;
-      if (on_dropped) on_dropped(DropReason::kRandomLoss, std::move(payload));
+      if (on_dropped) {
+        on_dropped(forced ? DropReason::kForced : DropReason::kRandomLoss,
+                   FlattenGather(head, tail));
+      }
       return;
     }
     ++stats_.frames_delivered;
     stats_.bytes_delivered += size;
-    on_delivered(std::move(payload));
+    on_delivered(FlattenGather(std::move(head), tail));
   };
   sched_.ScheduleAt(deliver_at, std::move(deliver));
 }

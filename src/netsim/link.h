@@ -29,6 +29,7 @@ namespace coic::netsim {
 enum class DropReason : std::uint8_t {
   kQueueOverflow = 0,  ///< Drop-tail: queue byte capacity exceeded.
   kRandomLoss = 1,     ///< Bernoulli wire loss.
+  kForced = 2,         ///< ForceDropNext test seam or link taken down.
 };
 
 struct LinkConfig {
@@ -76,12 +77,43 @@ class Link {
   /// immediately on queue overflow or at would-be delivery time on loss.
   void Send(Frame payload, DeliverFn on_delivered, DropFn on_dropped = nullptr);
 
+  /// Scatter-gather form of Send: transmits `head` and `tail` as one
+  /// frame of head.size() + tail.size() bytes (one serialization slot,
+  /// one loss draw, one delivery), flattening them into a single buffer
+  /// only at delivery time — the simulator analogue of writev(2) into
+  /// the receiver's socket read buffer. Lets a sender fuse a tiny
+  /// per-request header with a large shared payload without copying the
+  /// payload on its own hot path; the delivery-side flatten is receive
+  /// materialization, not a sender copy, so it is not counted in
+  /// frame_stats() (the same convention as ByteWriter encodes).
+  void SendGather(Frame head, Frame tail, DeliverFn on_delivered,
+                  DropFn on_dropped = nullptr);
+
   /// Reconfigures bandwidth/propagation on the fly (the `tc` analogue —
   /// the bench sweeps call this between conditions). In-flight frames
   /// keep the schedule they were assigned at send time.
   void SetBandwidth(Bandwidth bw) noexcept { config_.bandwidth = bw; }
   void SetPropagation(Duration d) noexcept { config_.propagation = d; }
   void SetLossRate(double p) noexcept { config_.loss_rate = p; }
+
+  /// Deterministic loss seam for tests: the next `n` frames accepted for
+  /// transmission are dropped (DropReason::kForced) at their would-be
+  /// delivery time, independent of loss_rate.
+  void ForceDropNext(std::uint64_t n = 1) noexcept { force_drop_next_ += n; }
+
+  /// Like ForceDropNext, but lets `skip` frames through first — targets
+  /// a specific frame of an already-queued burst (e.g. the middle chunk
+  /// of a datagram train, which a prefix counter cannot reach).
+  void ForceDropAfter(std::uint64_t skip, std::uint64_t n = 1) noexcept {
+    force_drop_skip_ += skip;
+    force_drop_next_ += n;
+  }
+
+  /// Takes the link down (every frame sent while down is dropped with
+  /// DropReason::kForced) or back up — the crash/partition seam for the
+  /// edge-failure scenarios. Frames already in flight still deliver.
+  void SetDown(bool down) noexcept { down_ = down; }
+  [[nodiscard]] bool down() const noexcept { return down_; }
 
   [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
@@ -108,11 +140,18 @@ class Link {
     Bytes size;
   };
 
+  /// Shared body of Send/SendGather; `tail` is empty for plain sends.
+  void SendImpl(Frame head, Frame tail, DeliverFn on_delivered,
+                DropFn on_dropped);
+
   EventScheduler& sched_;
   std::string name_;
   LinkConfig config_;
   LinkStats stats_;
   Rng rng_;
+  std::uint64_t force_drop_next_ = 0;
+  std::uint64_t force_drop_skip_ = 0;
+  bool down_ = false;
   SimTime busy_until_ = SimTime::Epoch();
   /// In-serialization frames, FIFO by done_at (busy_until_ is monotone).
   mutable std::deque<Serializing> serializing_;

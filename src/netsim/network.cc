@@ -1,5 +1,10 @@
 #include "netsim/network.h"
 
+#include <algorithm>
+#include <memory>
+
+#include "proto/envelope.h"
+
 namespace coic::netsim {
 
 NodeId Network::AddNode(std::string name) {
@@ -18,10 +23,20 @@ void Network::Connect(NodeId a, NodeId b, const LinkConfig& a_to_b,
   COIC_CHECK(a < nodes_.size() && b < nodes_.size());
   COIC_CHECK_MSG(a != b, "self-links are not supported");
   COIC_CHECK_MSG(links_.count(EdgeKey(a, b)) == 0, "nodes already connected");
+  // Decorrelate the loss/jitter rng per directed link: many links are
+  // stamped from one shared LinkConfig (every wifi link, every peer link
+  // of a regular topology), and with a shared seed they would drop
+  // exactly the same frame indices — every probe of a broadcast round
+  // lost together, which no real network exhibits. Links that never draw
+  // (loss 0, jitter 0) are unaffected.
+  LinkConfig forward = a_to_b;
+  LinkConfig reverse = b_to_a;
+  forward.seed ^= 0x9E3779B97F4A7C15ULL * (EdgeKey(a, b) + 1);
+  reverse.seed ^= 0x9E3779B97F4A7C15ULL * (EdgeKey(b, a) + 1);
   links_[EdgeKey(a, b)] = std::make_unique<Link>(
-      sched_, nodes_[a].name + "->" + nodes_[b].name, a_to_b);
+      sched_, nodes_[a].name + "->" + nodes_[b].name, forward);
   links_[EdgeKey(b, a)] = std::make_unique<Link>(
-      sched_, nodes_[b].name + "->" + nodes_[a].name, b_to_a);
+      sched_, nodes_[b].name + "->" + nodes_[a].name, reverse);
 }
 
 Link& Network::LinkBetween(NodeId from, NodeId to) {
@@ -34,18 +49,148 @@ bool Network::Adjacent(NodeId from, NodeId to) const {
   return links_.count(EdgeKey(from, to)) > 0;
 }
 
+void Network::EnableDatagram(Bytes mtu) {
+  COIC_CHECK_MSG(mtu > 0, "datagram mtu must be positive");
+  datagram_.enabled = true;
+  datagram_.mtu = mtu;
+}
+
+void Network::Dispatch(NodeId from, NodeId to, Frame payload) {
+  COIC_CHECK(to < nodes_.size());
+  auto& handler = nodes_[to].handler;
+  COIC_CHECK_MSG(handler != nullptr,
+                 "frame delivered to node without a handler");
+  handler(from, std::move(payload));
+}
+
 void Network::Send(NodeId from, NodeId to, Frame payload,
                    Link::DropFn on_dropped) {
+  if (datagram_.enabled && payload.size() > datagram_.mtu) {
+    SendChunked(from, to, std::move(payload), std::move(on_dropped));
+    return;
+  }
   Link& link = LinkBetween(from, to);
   link.Send(std::move(payload),
             [this, from, to](Frame delivered) {
-              COIC_CHECK(to < nodes_.size());
-              auto& handler = nodes_[to].handler;
-              COIC_CHECK_MSG(handler != nullptr,
-                             "frame delivered to node without a handler");
-              handler(from, std::move(delivered));
+              Dispatch(from, to, std::move(delivered));
             },
             std::move(on_dropped));
+}
+
+void Network::SendGather(NodeId from, NodeId to, Frame head, Frame tail,
+                         Link::DropFn on_dropped) {
+  if (datagram_.enabled && head.size() + tail.size() > datagram_.mtu) {
+    // Over-MTU gather falls back to flatten + fragment (receive-side
+    // materialization would have fused the segments anyway).
+    ByteWriter w(head.size() + tail.size());
+    w.WriteRaw(head.span());
+    w.WriteRaw(tail.span());
+    SendChunked(from, to, Frame(w.TakeBytes()), std::move(on_dropped));
+    return;
+  }
+  Link& link = LinkBetween(from, to);
+  link.SendGather(std::move(head), std::move(tail),
+                  [this, from, to](Frame delivered) {
+                    Dispatch(from, to, std::move(delivered));
+                  },
+                  std::move(on_dropped));
+}
+
+void Network::SendChunked(NodeId from, NodeId to, Frame payload,
+                          Link::DropFn on_dropped) {
+  Link& link = LinkBetween(from, to);
+  const std::uint64_t seq = ++next_seq_[EdgeKey(from, to)];
+  const std::size_t total = payload.size();
+  const std::size_t mtu = datagram_.mtu;
+  const std::size_t count = (total + mtu - 1) / mtu;
+  COIC_CHECK_MSG(count <= 0xFFFF, "payload needs more than 65535 chunks");
+
+  ++datagram_stats_.messages_fragmented;
+
+  // The caller's drop handler fires at most once, with the original
+  // (unfragmented) payload — losing any chunk loses the whole message.
+  std::shared_ptr<bool> reported;
+  Link::DropFn chunk_drop;
+  if (on_dropped) {
+    reported = std::make_shared<bool>(false);
+    chunk_drop = [reported, payload, on_dropped = std::move(on_dropped)](
+                     DropReason reason, Frame /*chunk*/) {
+      if (*reported) return;
+      *reported = true;
+      on_dropped(reason, payload);
+    };
+  }
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t off = i * mtu;
+    const std::size_t len = std::min(mtu, total - off);
+    // Hand-rolled chunk encode: envelope header + index/count + blob,
+    // written straight from the payload slice (no DatagramChunk struct
+    // detour, no intermediate ByteVec).
+    ByteWriter w(proto::kEnvelopeHeaderSize + 2 + 2 + 4 + len);
+    proto::AppendEnvelopeHeader(w, proto::MessageType::kDatagramChunk, seq, 0);
+    w.WriteU16(static_cast<std::uint16_t>(i));
+    w.WriteU16(static_cast<std::uint16_t>(count));
+    w.WriteBlob(payload.span().subspan(off, len));
+    w.PatchU32(16, static_cast<std::uint32_t>(w.size() -
+                                              proto::kEnvelopeHeaderSize));
+    ++datagram_stats_.chunks_sent;
+    link.Send(Frame(w.TakeBytes()),
+              [this, from, to](Frame delivered) {
+                OnChunkDelivered(from, to, delivered);
+              },
+              chunk_drop);
+  }
+}
+
+void Network::OnChunkDelivered(NodeId from, NodeId to,
+                               const Frame& chunk_frame) {
+  const auto env = proto::DecodeEnvelopeView(chunk_frame.span());
+  COIC_CHECK_MSG(env.ok(), "malformed datagram chunk envelope");
+  const auto chunk = proto::DecodePayloadAs<proto::DatagramChunkView>(
+      env.value(), proto::MessageType::kDatagramChunk);
+  COIC_CHECK_MSG(chunk.ok(), "malformed datagram chunk payload");
+  const std::uint64_t seq = env.value().request_id;
+  const proto::DatagramChunkView& v = chunk.value();
+
+  const std::uint64_t key = EdgeKey(from, to);
+  auto it = partials_.find(key);
+
+  if (v.chunk_index == 0) {
+    // First chunk of a message. An active partial here means its tail
+    // was lost (links are FIFO) — abandon it.
+    if (it != partials_.end()) {
+      ++datagram_stats_.partials_discarded;
+      partials_.erase(it);
+    }
+    Partial p;
+    p.seq = seq;
+    p.next_index = 0;
+    p.count = v.chunk_count;
+    p.assembled = ByteWriter(static_cast<std::size_t>(v.chunk_count) *
+                             v.data.size());
+    it = partials_.emplace(key, std::move(p)).first;
+  } else if (it == partials_.end() || it->second.seq != seq ||
+             it->second.next_index != v.chunk_index ||
+             it->second.count != v.chunk_count) {
+    // Orphan or out-of-run chunk: some earlier chunk was lost. Drop it,
+    // and any partial it no longer continues.
+    if (it != partials_.end()) {
+      ++datagram_stats_.partials_discarded;
+      partials_.erase(it);
+    }
+    return;
+  }
+
+  Partial& p = it->second;
+  p.assembled.WriteRaw(v.data);
+  ++p.next_index;
+  if (p.next_index == p.count) {
+    Frame message(p.assembled.TakeBytes());
+    partials_.erase(it);
+    ++datagram_stats_.messages_reassembled;
+    Dispatch(from, to, std::move(message));
+  }
 }
 
 const std::string& Network::NodeName(NodeId id) const {

@@ -27,6 +27,31 @@ inline constexpr NodeId kInvalidNode = 0xFFFFFFFF;
 /// Receives frames addressed to a node. `from` is the sending node.
 using MessageHandler = std::function<void(NodeId from, Frame payload)>;
 
+/// Datagram (unreliable, MTU-bounded) transport mode. Off by default:
+/// the reliable mode delivers any frame size in one piece, which is the
+/// stream-transport model every pre-loss bench row was measured under.
+/// When enabled, frames larger than `mtu` are fragmented into
+/// kDatagramChunk envelopes that share a per-directed-pair sequence
+/// number; links are FIFO so the receiver reassembles in order, and a
+/// lost chunk silently discards the whole message — exactly the UDP
+/// failure mode the request-level retry layer above is built to absorb.
+struct DatagramConfig {
+  bool enabled = false;
+  /// Maximum chunk *data* bytes. A frame whose total size is <= mtu
+  /// rides unfragmented (no chunk header overhead on small frames).
+  Bytes mtu = 16 * 1024;
+};
+
+/// Aggregate datagram-mode counters.
+struct DatagramStats {
+  std::uint64_t messages_fragmented = 0;
+  std::uint64_t chunks_sent = 0;
+  std::uint64_t messages_reassembled = 0;
+  /// Partials abandoned because a chunk went missing (detected when the
+  /// next message's first chunk arrives or a gap breaks the sequence).
+  std::uint64_t partials_discarded = 0;
+};
+
 class Network {
  public:
   explicit Network(EventScheduler& sched) : sched_(sched) {}
@@ -62,6 +87,28 @@ class Network {
   void Send(NodeId from, NodeId to, Frame payload,
             Link::DropFn on_dropped = nullptr);
 
+  /// Scatter-gather Send: `head` and `tail` travel as one frame without
+  /// the sender ever fusing them (see Link::SendGather). Under datagram
+  /// mode a combined size above the MTU falls back to flatten+fragment.
+  void SendGather(NodeId from, NodeId to, Frame head, Frame tail,
+                  Link::DropFn on_dropped = nullptr);
+
+  /// Switches every node pair to datagram transport (see DatagramConfig).
+  /// Call during setup, before traffic flows.
+  void EnableDatagram(Bytes mtu);
+  [[nodiscard]] const DatagramConfig& datagram_config() const noexcept {
+    return datagram_;
+  }
+  [[nodiscard]] const DatagramStats& datagram_stats() const noexcept {
+    return datagram_stats_;
+  }
+
+  /// Visits every directed link once (stats aggregation in benches and
+  /// diagnostics; iteration order is unspecified).
+  void ForEachLink(const std::function<void(const Link&)>& fn) const {
+    for (const auto& [key, link] : links_) fn(*link);
+  }
+
   [[nodiscard]] const std::string& NodeName(NodeId id) const;
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
   [[nodiscard]] EventScheduler& scheduler() noexcept { return sched_; }
@@ -72,13 +119,41 @@ class Network {
     MessageHandler handler;
   };
 
+  /// In-progress reassembly for one directed pair. Links are FIFO, so at
+  /// most one message is ever mid-reassembly per pair; anything that
+  /// breaks the in-order chunk run means loss, and the partial is
+  /// discarded.
+  struct Partial {
+    std::uint64_t seq = 0;
+    std::uint16_t next_index = 0;
+    std::uint16_t count = 0;
+    ByteWriter assembled;
+  };
+
   static std::uint64_t EdgeKey(NodeId from, NodeId to) noexcept {
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
 
+  /// Delivers a frame to `to`'s handler (terminal step of every Send).
+  void Dispatch(NodeId from, NodeId to, Frame payload);
+
+  /// Fragments `payload` into kDatagramChunk frames on the from->to link.
+  void SendChunked(NodeId from, NodeId to, Frame payload,
+                   Link::DropFn on_dropped);
+
+  /// Feeds a delivered kDatagramChunk into the pair's reassembly state;
+  /// dispatches the original message when the last chunk lands.
+  void OnChunkDelivered(NodeId from, NodeId to, const Frame& chunk_frame);
+
   EventScheduler& sched_;
   std::vector<NodeState> nodes_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Link>> links_;
+  DatagramConfig datagram_;
+  DatagramStats datagram_stats_;
+  /// Per directed pair: next fragmentation sequence number (sender side)
+  /// and the current partial (receiver side).
+  std::unordered_map<std::uint64_t, std::uint64_t> next_seq_;
+  std::unordered_map<std::uint64_t, Partial> partials_;
 };
 
 }  // namespace coic::netsim

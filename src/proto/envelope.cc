@@ -21,6 +21,8 @@ bool ValidMessageType(std::uint8_t raw) noexcept {
     case MessageType::kSummaryUpdate:
     case MessageType::kFederatedRelay:
     case MessageType::kSummaryDeltaUpdate:
+    case MessageType::kSummaryAck:
+    case MessageType::kDatagramChunk:
       return true;
   }
   return false;

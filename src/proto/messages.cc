@@ -77,6 +77,8 @@ std::string_view MessageTypeName(MessageType t) noexcept {
     case MessageType::kSummaryUpdate: return "SummaryUpdate";
     case MessageType::kFederatedRelay: return "FederatedRelay";
     case MessageType::kSummaryDeltaUpdate: return "SummaryDeltaUpdate";
+    case MessageType::kSummaryAck: return "SummaryAck";
+    case MessageType::kDatagramChunk: return "DatagramChunk";
   }
   return "Unknown";
 }
@@ -463,19 +465,80 @@ Result<FederatedRelay> FederatedRelay::Decode(ByteReader& r) {
   return m;
 }
 
+// -------------------------------- SummaryAck -------------------------------
+
+Bytes SummaryAck::WireSize() const noexcept { return 4 + 4 + 8; }
+
+void SummaryAck::Encode(ByteWriter& w) const {
+  w.WriteU32(acker_edge);
+  w.WriteU32(subject_edge);
+  w.WriteU64(version);
+}
+
+Result<SummaryAck> SummaryAck::Decode(ByteReader& r) {
+  SummaryAck m;
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.acker_edge));
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.subject_edge));
+  COIC_RETURN_IF_ERROR(r.ReadU64(m.version));
+  if (m.acker_edge == m.subject_edge) {
+    return Status(StatusCode::kDataLoss, "ack of own summary");
+  }
+  return m;
+}
+
+// ------------------------------ DatagramChunk ------------------------------
+
+Bytes DatagramChunk::WireSize() const noexcept {
+  return 2 + 2 + 4 + data.size();
+}
+
+void DatagramChunk::Encode(ByteWriter& w) const {
+  w.WriteU16(chunk_index);
+  w.WriteU16(chunk_count);
+  w.WriteBlob(data);
+}
+
+Result<DatagramChunkView> DatagramChunkView::Decode(ByteReader& r) {
+  DatagramChunkView m;
+  COIC_RETURN_IF_ERROR(r.ReadU16(m.chunk_index));
+  COIC_RETURN_IF_ERROR(r.ReadU16(m.chunk_count));
+  COIC_RETURN_IF_ERROR(r.ReadBlobView(m.data));
+  if (m.chunk_count == 0) {
+    return Status(StatusCode::kDataLoss, "chunk count must be >= 1");
+  }
+  if (m.chunk_index >= m.chunk_count) {
+    return Status(StatusCode::kDataLoss, "chunk index out of range");
+  }
+  if (m.data.empty()) {
+    return Status(StatusCode::kDataLoss, "empty chunk");
+  }
+  return m;
+}
+
+Result<DatagramChunk> DatagramChunk::Decode(ByteReader& r) {
+  auto view = DatagramChunkView::Decode(r);
+  if (!view.ok()) return view.status();
+  DatagramChunk m;
+  m.chunk_index = view.value().chunk_index;
+  m.chunk_count = view.value().chunk_count;
+  m.data.assign(view.value().data.begin(), view.value().data.end());
+  return m;
+}
+
 // -------------------------- PatchResultSourceInPlace -----------------------
 
-bool PatchResultSourceInPlace(MessageType type,
-                              std::span<std::uint8_t> payload,
-                              ResultSource source) {
+Result<std::size_t> ResultSourceOffset(MessageType type,
+                                       std::span<const std::uint8_t> payload) {
   // Offsets follow the Encode() field order of each result type; the
-  // source byte always precedes the bulk blob, so the patch never walks
-  // the large tail.
+  // source byte always precedes the bulk blob, so computing the offset
+  // never walks the large tail.
   std::size_t offset = 0;
   switch (type) {
     case MessageType::kRecognitionResult: {
       // frame_id(8) + label(4 + len) + confidence(4), then source.
-      if (payload.size() < 12) return false;
+      if (payload.size() < 12) {
+        return Status(StatusCode::kDataLoss, "result payload too short");
+      }
       std::uint32_t label_len = 0;
       std::memcpy(&label_len, payload.data() + 8, 4);
       offset = static_cast<std::size_t>(8) + 4 + label_len + 4;
@@ -488,10 +551,20 @@ bool PatchResultSourceInPlace(MessageType type,
       offset = 12;  // video_id(8) + frame_index(4), then source.
       break;
     default:
-      return false;
+      return Status(StatusCode::kDataLoss, "not a result message type");
   }
-  if (offset >= payload.size()) return false;
-  payload[offset] = static_cast<std::uint8_t>(source);
+  if (offset >= payload.size()) {
+    return Status(StatusCode::kDataLoss, "result payload too short");
+  }
+  return offset;
+}
+
+bool PatchResultSourceInPlace(MessageType type,
+                              std::span<std::uint8_t> payload,
+                              ResultSource source) {
+  const auto offset = ResultSourceOffset(type, payload);
+  if (!offset.ok()) return false;
+  payload[offset.value()] = static_cast<std::uint8_t>(source);
   return true;
 }
 

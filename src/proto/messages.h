@@ -53,6 +53,16 @@ enum class MessageType : std::uint8_t {
   /// journal overflowed, or keys were erased (Bloom bits only compose
   /// under insertion).
   kSummaryDeltaUpdate = 34,
+  /// Edge federation: cumulative acknowledgement of a peer's summary
+  /// stream, piggybacked on PeerLookup traffic. A sender that sees an
+  /// ack older than what it last shipped knows a summary frame was lost
+  /// and resends a full summary immediately instead of waiting for the
+  /// periodic refresh.
+  kSummaryAck = 35,
+  /// Unreliable transport: one MTU-sized chunk of a larger message. The
+  /// envelope request id carries the per-directed-pair reassembly
+  /// sequence number; the payload carries chunk index/count and bytes.
+  kDatagramChunk = 36,
 };
 
 std::string_view MessageTypeName(MessageType t) noexcept;
@@ -358,6 +368,51 @@ struct FederatedRelay {
   friend bool operator==(const FederatedRelay&, const FederatedRelay&) = default;
 };
 
+/// Edge -> peer edge: cumulative summary acknowledgement. "I (acker)
+/// currently hold subject_edge's summary at `version`." Piggybacked on
+/// PeerLookup traffic when the transport is lossy; versions only ever
+/// increase, so the message is idempotent and safe to duplicate or
+/// reorder. version 0 means "no summary held" (a nack for everything),
+/// which is what a rebooted edge reports until the first full summary
+/// lands.
+struct SummaryAck {
+  std::uint32_t acker_edge = 0;    ///< Edge sending the ack.
+  std::uint32_t subject_edge = 0;  ///< Edge whose summary is acknowledged.
+  std::uint64_t version = 0;       ///< Highest applied summary version.
+
+  [[nodiscard]] Bytes WireSize() const noexcept;
+  void Encode(ByteWriter& w) const;
+  static Result<SummaryAck> Decode(ByteReader& r);
+  friend bool operator==(const SummaryAck&, const SummaryAck&) = default;
+};
+
+/// One fragment of a message that exceeded the datagram MTU. The
+/// envelope request id field carries the sender's per-directed-pair
+/// sequence number (all chunks of one message share it); links are FIFO,
+/// so the receiver reassembles in order and drops the partial message on
+/// any gap — a lost chunk loses the whole message, and the request-level
+/// retry above re-sends it under a fresh sequence number.
+struct DatagramChunk {
+  std::uint16_t chunk_index = 0;  ///< 0-based position in the message.
+  std::uint16_t chunk_count = 0;  ///< Total chunks (>= 1).
+  ByteVec data;                   ///< This fragment's bytes.
+
+  [[nodiscard]] Bytes WireSize() const noexcept;
+  void Encode(ByteWriter& w) const;
+  static Result<DatagramChunk> Decode(ByteReader& r);
+  friend bool operator==(const DatagramChunk&, const DatagramChunk&) = default;
+};
+
+/// Borrowed-view twin of DatagramChunk: `data` points into the decoded
+/// buffer so reassembly appends straight from the delivered frame.
+struct DatagramChunkView {
+  std::uint16_t chunk_index = 0;
+  std::uint16_t chunk_count = 0;
+  std::span<const std::uint8_t> data;
+
+  static Result<DatagramChunkView> Decode(ByteReader& r);
+};
+
 /// Reads the OffloadMode byte of an encoded request payload
 /// (Recognition/Render/PanoramaRequest) at its fixed offset without
 /// decoding the rest — the edge routes Origin-mode requests (which may
@@ -378,6 +433,15 @@ Result<OffloadMode> PeekRequestOffloadMode(
 bool PatchResultSourceInPlace(MessageType type,
                               std::span<std::uint8_t> payload,
                               ResultSource source);
+
+/// Byte offset of the ResultSource field inside an encoded result
+/// payload (the field PatchResultSourceInPlace overwrites). Scatter-
+/// gather senders split a cached payload at this offset: everything
+/// before it plus the patched source byte goes into a small rewritten
+/// head, the (possibly multi-MB) tail after it is shared by reference.
+/// Fails with kDataLoss for non-result types or short payloads.
+Result<std::size_t> ResultSourceOffset(MessageType type,
+                                       std::span<const std::uint8_t> payload);
 
 struct CacheStatsReply {
   std::uint64_t hits = 0;

@@ -607,6 +607,42 @@ TEST(IcCacheJournalTest, OverflowEvictsOldestAndSignalsReaders) {
   EXPECT_EQ(visited, 3u);
 }
 
+TEST(IcCacheTest, InsertCompactsSmallSlicesOfLargeDeliveryBuffers) {
+  // Regression: adopting a slice by reference retained the entire
+  // delivery buffer — a 1 KiB cached entry pinned its multi-MB network
+  // frame until eviction.
+  IcCache cache(IcCacheConfig{});
+  const auto key = FeatureDescriptor::ForHash(TaskKind::kRender,
+                                              Digest128{1, 2});
+  const Frame delivery(DeterministicBytes(1 << 20, 1));
+  const std::uint64_t copies_before = frame_stats().copies();
+  cache.Insert(key, delivery.Slice(100, 1024), SimTime::Epoch());
+  // One deliberate, counted re-own copy of the 1 KiB slice...
+  EXPECT_EQ(frame_stats().copies(), copies_before + 1);
+  const auto out = cache.Lookup(key, SimTime::Epoch());
+  ASSERT_TRUE(out.hit);
+  // ...leaving the cached payload right-sized and the delivery buffer
+  // free to die with the transport.
+  EXPECT_EQ(out.payload.size(), 1024u);
+  EXPECT_EQ(out.payload.backing_size(), out.payload.size());
+  EXPECT_FALSE(out.payload.SharesBufferWith(delivery));
+}
+
+TEST(IcCacheTest, InsertKeepsSharingWhenTheSliceIsMostOfTheBuffer) {
+  // A slice covering most of its backing buffer stays zero-copy: the
+  // compaction would save almost nothing and cost a real memcpy.
+  IcCache cache(IcCacheConfig{});
+  const auto key = FeatureDescriptor::ForHash(TaskKind::kRender,
+                                              Digest128{3, 4});
+  const Frame delivery(DeterministicBytes(3000, 2));
+  const std::uint64_t copies_before = frame_stats().copies();
+  cache.Insert(key, delivery.Slice(20, 2800), SimTime::Epoch());
+  EXPECT_EQ(frame_stats().copies(), copies_before);
+  const auto out = cache.Lookup(key, SimTime::Epoch());
+  ASSERT_TRUE(out.hit);
+  EXPECT_TRUE(out.payload.SharesBufferWith(delivery));
+}
+
 TEST(IcCacheJournalTest, JournalIsOffByDefault) {
   // Non-delta-gossip caches must not pay for the journal; the default
   // config keeps it disabled (FederationPipeline enables it when delta

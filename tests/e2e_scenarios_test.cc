@@ -654,5 +654,90 @@ TEST(E2eRelayStorm, ShapedRingBoundsRelayPathInflation) {
   EXPECT_LT(shaped.p99_ms, 3.0 * fast.p99_ms);
 }
 
+// ---------------------------------------------------------------------------
+// Scenario: an edge crashes and later rejoins. While it is dark its
+// peers must first survive probing it (probe timeout -> cloud fallback),
+// then stop probing it at all (summary max-age sweep), and once it is
+// back the periodic gossip must rebuild every peer's view so
+// cooperation resumes — no request ever errors or hangs across the
+// whole fault cycle.
+// ---------------------------------------------------------------------------
+
+trace::PlacedRecord PlacedRenderAt(std::uint32_t venue, std::uint64_t model,
+                                   std::int64_t at_us) {
+  trace::PlacedRecord p;
+  p.venue = venue;
+  p.record.type = trace::IcTaskType::kRender;
+  p.record.model_id = model;
+  p.record.at = SimTime::FromMicros(at_us);
+  return p;
+}
+
+TEST(E2eCrashRejoin, PeersAgeOutADeadEdgeThenRebuildItsViewOnRejoin) {
+  federation::FederationPipelineConfig config;
+  config.venues = 3;
+  config.policy.kind = federation::PeerSelectKind::kSummaryDirected;
+  config.gossip_period = Duration::Millis(50);
+  config.network =
+      NetworkCondition{Bandwidth::Gbps(1), Bandwidth::Mbps(200)};
+  config.transport.peer_probe_timeout = Duration::Millis(10);
+  config.transport.summary_max_age = Duration::Millis(120);
+  federation::FederationPipeline pipeline(config);
+  for (std::uint64_t m = 1; m <= 3; ++m) pipeline.RegisterModel(m, KB(64));
+
+  // Venue 1 warms all three models, then crashes holding the only
+  // cached copies.
+  pipeline.EnqueuePlaced(PlacedRenderAt(1, 1, 5'000));
+  pipeline.EnqueuePlaced(PlacedRenderAt(1, 2, 10'000));
+  pipeline.EnqueuePlaced(PlacedRenderAt(1, 3, 15'000));
+  // Healthy cooperative phase: venue 0's miss is served by venue 1.
+  pipeline.EnqueuePlaced(PlacedRenderAt(0, 1, 100'000));
+  // Venue 1 dies at 150 ms. This request still steers at its (not yet
+  // aged) summary, eats one probe timeout, and falls back to the cloud.
+  pipeline.EnqueuePlaced(PlacedRenderAt(0, 2, 200'000));
+  // After the max-age sweep the dead edge's summary is gone: this one
+  // goes straight to the cloud without probing at all.
+  pipeline.EnqueuePlaced(PlacedRenderAt(2, 3, 320'000));
+  // After the 400 ms rejoin, gossip has reinstalled summaries and the
+  // cluster cooperates again.
+  pipeline.EnqueuePlaced(PlacedRenderAt(2, 2, 550'000));
+
+  auto& net = pipeline.network();
+  const netsim::NodeId e0 = pipeline.edge_node(0);
+  const netsim::NodeId e1 = pipeline.edge_node(1);
+  const netsim::NodeId e2 = pipeline.edge_node(2);
+  const auto set_peer_links_down = [&](bool down) {
+    net.LinkBetween(e1, e0).SetDown(down);
+    net.LinkBetween(e0, e1).SetDown(down);
+    net.LinkBetween(e1, e2).SetDown(down);
+    net.LinkBetween(e2, e1).SetDown(down);
+  };
+  pipeline.scheduler().ScheduleAt(SimTime::FromMicros(150'000),
+                                  [&] { set_peer_links_down(true); });
+  // Just before the rejoin, both survivors must have swept the dead
+  // edge's summary out of their tables.
+  pipeline.scheduler().ScheduleAt(SimTime::FromMicros(390'000), [&] {
+    EXPECT_EQ(pipeline.summary_table(0).For(1), nullptr);
+    EXPECT_EQ(pipeline.summary_table(2).For(1), nullptr);
+  });
+  pipeline.scheduler().ScheduleAt(SimTime::FromMicros(400'000),
+                                  [&] { set_peer_links_down(false); });
+
+  const auto outcomes = pipeline.RunOpenLoop();
+  ASSERT_EQ(outcomes.size(), 7u);
+  for (const auto& o : outcomes) EXPECT_FALSE(o.outcome.error);
+  // Exactly one request probed the dead edge (the 200 ms one); the
+  // post-sweep request at 320 ms did not probe, so no second timeout.
+  EXPECT_EQ(pipeline.edge(0).probe_timeouts(), 1u);
+  EXPECT_EQ(pipeline.edge(2).probe_timeouts(), 0u);
+  // Both survivors aged venue 1 out (the isolated venue 1 symmetrically
+  // ages out its own stale peer views, hence >=).
+  EXPECT_GE(pipeline.summaries_aged_out(), 2u);
+  // Cooperation worked before the crash and again after the rejoin.
+  EXPECT_GE(pipeline.total_peer_hits(), 2u);
+  EXPECT_NE(pipeline.summary_table(0).For(1), nullptr);
+  EXPECT_NE(pipeline.summary_table(2).For(1), nullptr);
+}
+
 }  // namespace
 }  // namespace coic

@@ -1068,5 +1068,148 @@ TEST(CoalescingStormTest, CloudFetchesDropWhenConcurrentMissesCoalesce) {
   EXPECT_LT(forwards_on, forwards_off);
 }
 
+// ---------------------------------------------------------------------------
+// Loss-tolerant transport
+// ---------------------------------------------------------------------------
+
+using federation::FederationTransportConfig;
+
+trace::PlacedRecord RenderAt(std::uint32_t venue, std::uint64_t model,
+                             std::int64_t at_us, std::uint32_t user = 0) {
+  trace::PlacedRecord p;
+  p.venue = venue;
+  p.record.type = trace::IcTaskType::kRender;
+  p.record.model_id = model;
+  p.record.at = SimTime::FromMicros(at_us);
+  p.record.user_id = user;
+  return p;
+}
+
+TEST(LossToleranceTest, LeaderLossPromotesTheOldestParkedFollower) {
+  // Regression (leader-loss recovery): two mobiles miss on the same key;
+  // the leader's cloud fetch dies on the wire, and before the fix every
+  // follower coalesced behind it was stranded forever — the run hung.
+  FederationPipelineConfig config = OpenLoopClusterConfig(1);
+  config.transport.cloud_retry.timeout = Duration::Millis(50);
+  config.transport.cloud_retry.max_retries = 1;
+  FederationPipeline pipeline(config);
+  pipeline.RegisterModel(1, KB(64));
+  pipeline.EnqueuePlaced(RenderAt(0, 1, 1'000, /*user=*/0));
+  pipeline.EnqueuePlaced(RenderAt(0, 1, 2'000, /*user=*/1));
+  // Kill the leader's forward AND its one retransmission mid-flight;
+  // the promoted follower's fetch (third WAN frame) goes through.
+  pipeline.network()
+      .LinkBetween(pipeline.edge_node(0), pipeline.cloud_node())
+      .ForceDropNext(2);
+
+  const auto outcomes = pipeline.RunOpenLoop();
+  ASSERT_EQ(outcomes.size(), 2u);  // nobody stranded, the run drained
+  EXPECT_EQ(pipeline.scheduler().pending(), 0u);
+  EXPECT_EQ(pipeline.edge(0).cloud_retransmissions(), 1u);
+  EXPECT_EQ(pipeline.edge(0).cloud_timeouts(), 1u);
+  EXPECT_EQ(pipeline.total_leader_promotions(), 1u);
+  // The dead leader's client got an error; the promoted follower got
+  // the real result.
+  int errors = 0, served = 0;
+  for (const auto& o : outcomes) {
+    if (o.outcome.error) {
+      ++errors;
+    } else {
+      ++served;
+      EXPECT_EQ(o.outcome.source, ResultSource::kCloud);
+    }
+  }
+  EXPECT_EQ(errors, 1);
+  EXPECT_EQ(served, 1);
+}
+
+TEST(LossToleranceTest, LossySweepStormDrainsEveryRequestCopyFree) {
+  // The headline acceptance property: under real loss + datagram
+  // fragmentation + retries + ack'd gossip, no run ever hangs — every
+  // operation resolves, the scheduler drains, and the recovery machinery
+  // (retransmits, chunking) stays inside the zero-copy accounting.
+  FederationPipelineConfig config = OpenLoopClusterConfig(4);
+  config.delta_gossip = true;
+  config.transport = FederationTransportConfig::Lossy(0.03);
+  FederationPipeline pipeline(config);
+  RegisterStormModels(pipeline);
+  for (const auto& p : RenderStorm(4, 200, 300.0)) pipeline.EnqueuePlaced(p);
+
+  const std::uint64_t copies_before = frame_stats().copies();
+  const auto outcomes = pipeline.RunOpenLoop();
+  EXPECT_EQ(outcomes.size(), 200u);
+  EXPECT_EQ(pipeline.scheduler().pending(), 0u);
+  // Loss really bit and recovery really ran.
+  EXPECT_GT(pipeline.total_client_retransmissions() +
+                pipeline.total_cloud_retransmissions(),
+            0u);
+  EXPECT_GT(pipeline.network().datagram_stats().messages_fragmented, 0u);
+  EXPECT_EQ(frame_stats().copies(), copies_before);
+}
+
+TEST(LossToleranceTest, LostDeltaTriggersOneTargetedFullResend) {
+  // Gossip ack/nack: venue 1 misses one delta, detects the base
+  // mismatch when the next delta arrives, nacks with the version it
+  // actually holds, and venue 0 re-ships the full summary — once, to
+  // that peer only, without waiting for a periodic refresh.
+  const auto run = [](bool drop_one_delta) {
+    FederationPipelineConfig config = OpenLoopClusterConfig(2);
+    config.delta_gossip = true;
+    config.transport.summary_ack = true;
+    auto pipeline = std::make_unique<FederationPipeline>(config);
+    for (std::uint64_t m = 1; m <= 3; ++m) pipeline->RegisterModel(m, KB(64));
+    // One insertion per 50 ms gossip period at venue 0: three versions.
+    pipeline->EnqueuePlaced(RenderAt(0, 1, 10'000));
+    pipeline->EnqueuePlaced(RenderAt(0, 2, 60'000));
+    pipeline->EnqueuePlaced(RenderAt(0, 3, 110'000));
+    // Keep the run alive past the recovery exchange (a cache hit: no
+    // new summary version).
+    pipeline->EnqueuePlaced(RenderAt(0, 1, 400'000));
+    if (drop_one_delta) {
+      // Drop exactly the second summary frame on the 0->1 link (the
+      // first delta); the initial full frame and later deltas go
+      // through.
+      pipeline->network()
+          .LinkBetween(pipeline->edge_node(0), pipeline->edge_node(1))
+          .ForceDropAfter(/*skip=*/1, /*n=*/1);
+    }
+    EXPECT_EQ(pipeline->RunOpenLoop().size(), 4u);
+    return pipeline;
+  };
+  const auto lossless = run(false);
+  const auto lossy = run(true);
+  EXPECT_EQ(lossless->summary_ack_resends(), 0u);
+  EXPECT_GE(lossy->summary_acks_sent(), 1u);  // the nack went out
+  EXPECT_EQ(lossy->summary_ack_resends(), 1u);
+  // Despite the loss, venue 1 converged to the same view of venue 0 the
+  // lossless run reached.
+  const CacheSummary* want = lossless->summary_table(1).For(0);
+  const CacheSummary* held = lossy->summary_table(1).For(0);
+  ASSERT_NE(want, nullptr);
+  ASSERT_NE(held, nullptr);
+  EXPECT_EQ(held->version(), want->version());
+  EXPECT_EQ(SummaryBytes(*held), SummaryBytes(*want));
+}
+
+TEST(FrameFabricTest, HitHeavyStormStaysCopyFreeWithGatherReplies) {
+  // Satellite of the zero-copy claim: cache-hit replies now ride the
+  // scatter-gather path (tiny rewritten head + shared cached tail), so
+  // a hit-dominated storm must stay at zero counted copies too.
+  FederationPipeline pipeline(OpenLoopClusterConfig(4));
+  RegisterStormModels(pipeline, 3);
+  for (const auto& p : RenderStorm(4, 300, 500.0, /*models=*/3)) {
+    pipeline.EnqueuePlaced(p);
+  }
+  const std::uint64_t copies_before = frame_stats().copies();
+  const auto outcomes = pipeline.RunOpenLoop();
+  EXPECT_EQ(outcomes.size(), 300u);
+  std::uint64_t hits = 0;
+  for (std::uint32_t v = 0; v < 4; ++v) {
+    hits += pipeline.edge(v).cache().stats().hits;
+  }
+  EXPECT_GT(hits, 50u);  // the storm really was hit-heavy
+  EXPECT_EQ(frame_stats().copies(), copies_before);
+}
+
 }  // namespace
 }  // namespace coic

@@ -600,5 +600,249 @@ TEST(NetworkTest, NodeNamesRetained) {
   EXPECT_EQ(net.node_count(), 1u);
 }
 
+// ---------------------------------------------------------------------------
+// Loss seams: forced drops, link down, scatter-gather sends
+// ---------------------------------------------------------------------------
+
+TEST_F(LinkFixture, ForceDropNextKillsExactlyNFramesAtDeliveryTime) {
+  Link link(sched, "seam", LinkConfig{});
+  link.ForceDropNext(2);
+  int delivered = 0, dropped = 0;
+  DropReason reason = DropReason::kQueueOverflow;
+  for (int i = 0; i < 4; ++i) {
+    link.Send(DeterministicBytes(64, i), [&](Frame) { ++delivered; },
+              [&](DropReason r, Frame) {
+                ++dropped;
+                reason = r;
+              });
+  }
+  sched.Run();
+  EXPECT_EQ(dropped, 2);
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(reason, DropReason::kForced);
+  // Forced drops still consumed serialization slots (the wire carried
+  // the bytes; the receiver lost them).
+  EXPECT_EQ(link.stats().frames_sent, 4u);
+}
+
+TEST_F(LinkFixture, ForceDropDoesNotPerturbTheLossRngSequence) {
+  // The seam's contract: injecting a forced drop never shifts which of
+  // the surrounding frames the Bernoulli process kills, so a test can
+  // target frame k without re-deriving the whole loss pattern.
+  LinkConfig cfg;
+  cfg.loss_rate = 0.3;
+  cfg.seed = 99;
+  const auto run = [&](bool inject) {
+    Link link(sched, "seq", cfg);
+    std::vector<bool> outcome;
+    std::vector<bool> forced;
+    for (int i = 0; i < 40; ++i) {
+      if (inject && i == 7) link.ForceDropNext();
+      const std::size_t slot = outcome.size();
+      outcome.push_back(false);
+      forced.push_back(false);
+      link.Send(DeterministicBytes(16, i),
+                [&outcome, slot](Frame) { outcome[slot] = true; },
+                [&forced, slot](DropReason r, Frame) {
+                  forced[slot] = r == DropReason::kForced;
+                });
+    }
+    sched.Run();
+    return std::pair{outcome, forced};
+  };
+  const auto [base, base_forced] = run(false);
+  const auto [injected, injected_forced] = run(true);
+  EXPECT_TRUE(injected_forced[7]);
+  for (int i = 0; i < 40; ++i) {
+    if (i == 7) continue;
+    EXPECT_EQ(base[i], injected[i]) << "frame " << i;
+  }
+}
+
+TEST_F(LinkFixture, SetDownDropsEverythingUntilBroughtBackUp) {
+  Link link(sched, "crash", LinkConfig{});
+  int delivered = 0, dropped = 0;
+  const auto send = [&] {
+    link.Send(DeterministicBytes(32, 1), [&](Frame) { ++delivered; },
+              [&](DropReason r, Frame) {
+                EXPECT_EQ(r, DropReason::kForced);
+                ++dropped;
+              });
+  };
+  link.SetDown(true);
+  EXPECT_TRUE(link.down());
+  send();
+  send();
+  sched.Run();
+  EXPECT_EQ(dropped, 2);
+  link.SetDown(false);
+  send();
+  sched.Run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST_F(LinkFixture, GatherSendDeliversTheFusedBytesWithOneLossDraw) {
+  // Head + tail travel as one frame: one serialization slot, one loss
+  // draw, and the receiver sees exactly concat(head, tail).
+  Link link(sched, "gather", LinkConfig{});
+  const Frame head(DeterministicBytes(24, 1));
+  const Frame tail(DeterministicBytes(4096, 2));
+  ByteVec got;
+  link.SendGather(head, tail, [&](Frame f) { got = f.CloneBytes(); });
+  sched.Run();
+  ByteVec expect = head.CloneBytes();
+  const ByteVec tail_bytes = tail.CloneBytes();
+  expect.insert(expect.end(), tail_bytes.begin(), tail_bytes.end());
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(link.stats().frames_sent, 1u);
+  EXPECT_EQ(link.stats().bytes_delivered, head.size() + tail.size());
+}
+
+TEST_F(LinkFixture, GatherSendFlattenIsNotACountedCopy) {
+  // Receive-side materialization mirrors a socket read: deliberately
+  // outside the frame-copy accounting, same as ByteWriter encodes.
+  Link link(sched, "gather", LinkConfig{});
+  const std::uint64_t copies_before = frame_stats().copies();
+  link.SendGather(Frame(DeterministicBytes(16, 1)),
+                  Frame(DeterministicBytes(1024, 2)), [](Frame) {});
+  sched.Run();
+  EXPECT_EQ(frame_stats().copies(), copies_before);
+}
+
+// ---------------------------------------------------------------------------
+// Datagram mode: fragmentation, reassembly, loss semantics
+// ---------------------------------------------------------------------------
+
+struct DatagramFixture : ::testing::Test {
+  EventScheduler sched;
+  Network net{sched};
+  NodeId a = net.AddNode("a");
+  NodeId b = net.AddNode("b");
+
+  void SetUp() override {
+    net.Connect(a, b, LinkConfig{});
+    net.EnableDatagram(1024);
+  }
+};
+
+TEST_F(DatagramFixture, LargeFramesFragmentAndReassembleByteIdentical) {
+  const ByteVec payload = DeterministicBytes(5000, 7);
+  ByteVec got;
+  int deliveries = 0;
+  net.SetHandler(b, [&](NodeId, Frame f) {
+    got = f.CloneBytes();
+    ++deliveries;
+  });
+  net.Send(a, b, ByteVec(payload));
+  sched.Run();
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(net.datagram_stats().messages_fragmented, 1u);
+  EXPECT_EQ(net.datagram_stats().chunks_sent, 5u);  // ceil(5000 / 1024)
+  EXPECT_EQ(net.datagram_stats().messages_reassembled, 1u);
+}
+
+TEST_F(DatagramFixture, SmallFramesRideUnfragmented) {
+  const ByteVec payload = DeterministicBytes(512, 3);
+  ByteVec got;
+  net.SetHandler(b, [&](NodeId, Frame f) { got = f.CloneBytes(); });
+  net.Send(a, b, ByteVec(payload));
+  sched.Run();
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(net.datagram_stats().messages_fragmented, 0u);
+  EXPECT_EQ(net.datagram_stats().chunks_sent, 0u);
+}
+
+TEST_F(DatagramFixture, LostChunkDiscardsTheWholeMessageAndReportsOnce) {
+  int deliveries = 0;
+  net.SetHandler(b, [&](NodeId, Frame) { ++deliveries; });
+  int drops = 0;
+  std::size_t dropped_size = 0;
+  const ByteVec payload = DeterministicBytes(3000, 9);
+  net.Send(a, b, ByteVec(payload), [&](DropReason, Frame original) {
+    ++drops;
+    dropped_size = original.size();
+  });
+  sched.Run();
+  EXPECT_EQ(deliveries, 1);  // undamaged message delivered
+  EXPECT_EQ(drops, 0);
+
+  // Lose the middle chunk of the 3-chunk train: the opened partial is
+  // abandoned when the gap is detected, nothing is delivered, and the
+  // caller's drop handler fires exactly once with the original
+  // unfragmented payload (not a chunk).
+  net.LinkBetween(a, b).ForceDropAfter(/*skip=*/1, /*n=*/1);
+  net.Send(a, b, ByteVec(payload), [&](DropReason, Frame original) {
+    ++drops;
+    dropped_size = original.size();
+  });
+  sched.Run();
+  EXPECT_EQ(deliveries, 1);  // nothing new delivered
+  EXPECT_EQ(drops, 1);
+  EXPECT_EQ(dropped_size, payload.size());
+  EXPECT_EQ(net.datagram_stats().partials_discarded, 1u);
+
+  // Losing the FIRST chunk leaves later chunks orphaned; they are
+  // discarded silently and the pair recovers on the next message.
+  net.LinkBetween(a, b).ForceDropNext(1);
+  net.Send(a, b, ByteVec(payload), [&](DropReason, Frame original) {
+    ++drops;
+    dropped_size = original.size();
+  });
+  sched.Run();
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_EQ(drops, 2);
+
+  // The damaged pair state never wedges the stream: a clean message
+  // reassembles end to end.
+  net.Send(a, b, ByteVec(payload));
+  sched.Run();
+  EXPECT_EQ(deliveries, 2);
+}
+
+TEST_F(DatagramFixture, GatherAboveMtuFallsBackToFlattenAndFragment) {
+  const Frame head(DeterministicBytes(40, 1));
+  const Frame tail(DeterministicBytes(2000, 2));
+  ByteVec got;
+  net.SetHandler(b, [&](NodeId, Frame f) { got = f.CloneBytes(); });
+  net.SendGather(a, b, head, tail);
+  sched.Run();
+  ByteVec expect = head.CloneBytes();
+  const ByteVec tail_bytes = tail.CloneBytes();
+  expect.insert(expect.end(), tail_bytes.begin(), tail_bytes.end());
+  EXPECT_EQ(got, expect);
+  EXPECT_EQ(net.datagram_stats().messages_fragmented, 1u);
+}
+
+TEST(NetworkSeedTest, SharedLinkConfigLossDrawsAreDecorrelatedPerLink) {
+  // Eight spokes stamped from one lossy LinkConfig must not drop the
+  // same frame indices in lockstep — a broadcast round would otherwise
+  // lose all or none of its probes together.
+  EventScheduler sched;
+  Network net(sched);
+  const NodeId hub = net.AddNode("hub");
+  LinkConfig lossy;
+  lossy.loss_rate = 0.3;
+  std::vector<NodeId> peers;
+  for (int i = 0; i < 8; ++i) {
+    peers.push_back(net.AddNode("p" + std::to_string(i)));
+    net.Connect(hub, peers.back(), lossy);
+    net.SetHandler(peers.back(), [](NodeId, Frame) {});
+  }
+  std::vector<std::vector<bool>> dropped(8, std::vector<bool>(64, false));
+  for (int round = 0; round < 64; ++round) {
+    for (int i = 0; i < 8; ++i) {
+      net.Send(hub, peers[i], DeterministicBytes(16, round),
+               [&dropped, i, round](DropReason, Frame) {
+                 dropped[i][round] = true;
+               });
+    }
+  }
+  sched.Run();
+  bool all_identical = true;
+  for (int i = 1; i < 8; ++i) all_identical &= dropped[i] == dropped[0];
+  EXPECT_FALSE(all_identical) << "links share one loss sequence";
+}
+
 }  // namespace
 }  // namespace coic::netsim

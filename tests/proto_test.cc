@@ -266,6 +266,141 @@ TEST(MessagesTest, SummaryDeltaUpdateRejectsInconsistentVersionsAndCounts) {
   EXPECT_FALSE(decode_fails(m));
 }
 
+TEST(MessagesTest, SummaryAckRoundTrip) {
+  SummaryAck m;
+  m.acker_edge = 3;
+  m.subject_edge = 7;
+  m.version = 42;
+  EXPECT_EQ(RoundTrip(m, MessageType::kSummaryAck), m);
+  // Version 0 is meaningful on the wire: "I hold nothing of yours" — the
+  // nack that triggers a full resend.
+  m.version = 0;
+  EXPECT_EQ(RoundTrip(m, MessageType::kSummaryAck), m);
+}
+
+TEST(MessagesTest, SummaryAckRejectsSelfAck) {
+  SummaryAck m;
+  m.acker_edge = 4;
+  m.subject_edge = 4;  // an edge never acks its own summary
+  const ByteVec frame = EncodeMessage(MessageType::kSummaryAck, 1, m);
+  auto env = DecodeEnvelope(frame);
+  ASSERT_TRUE(env.ok());
+  EXPECT_FALSE(
+      DecodePayloadAs<SummaryAck>(env.value(), MessageType::kSummaryAck).ok());
+}
+
+TEST(MessagesTest, DatagramChunkRoundTrip) {
+  DatagramChunk m;
+  m.chunk_index = 2;
+  m.chunk_count = 5;
+  m.data = DeterministicBytes(1500, 21);
+  EXPECT_EQ(RoundTrip(m, MessageType::kDatagramChunk), m);
+}
+
+TEST(MessagesTest, DatagramChunkRejectsInconsistentIndexCountAndEmptyData) {
+  const auto decode_fails = [](const DatagramChunk& msg) {
+    const ByteVec frame = EncodeMessage(MessageType::kDatagramChunk, 1, msg);
+    auto env = DecodeEnvelope(frame);
+    EXPECT_TRUE(env.ok());
+    return !DecodePayloadAs<DatagramChunk>(env.value(),
+                                           MessageType::kDatagramChunk)
+                .ok();
+  };
+  DatagramChunk m;
+  m.chunk_index = 0;
+  m.chunk_count = 0;  // zero chunks can never carry a message
+  m.data = DeterministicBytes(8, 1);
+  EXPECT_TRUE(decode_fails(m));
+  m.chunk_count = 2;
+  m.chunk_index = 2;  // index must be < count
+  EXPECT_TRUE(decode_fails(m));
+  m.chunk_index = 1;
+  m.data.clear();  // every fragment carries at least one byte
+  EXPECT_TRUE(decode_fails(m));
+  m.data = DeterministicBytes(8, 2);
+  EXPECT_FALSE(decode_fails(m));
+}
+
+TEST(MessagesTest, DatagramChunkViewBorrowsTheDeliveredBuffer) {
+  DatagramChunk m;
+  m.chunk_index = 0;
+  m.chunk_count = 1;
+  m.data = DeterministicBytes(256, 22);
+  const ByteVec frame = EncodeMessage(MessageType::kDatagramChunk, 9, m);
+  auto env = DecodeEnvelopeView(frame);
+  ASSERT_TRUE(env.ok());
+  auto view = DecodePayloadAs<DatagramChunkView>(env.value(),
+                                                 MessageType::kDatagramChunk);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view.value().chunk_count, 1u);
+  EXPECT_TRUE(std::equal(view.value().data.begin(), view.value().data.end(),
+                         m.data.begin(), m.data.end()));
+  // Borrowed, not copied: the view's data points into the frame buffer.
+  EXPECT_GE(view.value().data.data(), frame.data());
+  EXPECT_LE(view.value().data.data() + view.value().data.size(),
+            frame.data() + frame.size());
+}
+
+TEST(MessagesTest, ResultSourceOffsetMatchesThePatchedByte) {
+  // The offset must name exactly the byte PatchResultSourceInPlace
+  // rewrites — the scatter-gather reply path splits the payload there.
+  RecognitionResult recognition;
+  recognition.frame_id = 11;
+  recognition.label = "object_2";
+  recognition.source = ResultSource::kCloud;
+  recognition.annotation = DeterministicBytes(48, 3);
+  RenderResult render;
+  render.model_id = 4;
+  render.source = ResultSource::kCloud;
+  render.model_bytes = DeterministicBytes(96, 4);
+  PanoramaResult panorama;
+  panorama.video_id = 5;
+  panorama.source = ResultSource::kCloud;
+  panorama.frame = DeterministicBytes(64, 5);
+
+  const auto payload_of = [](const auto& msg) {
+    ByteWriter w;
+    msg.Encode(w);
+    return w.TakeBytes();
+  };
+  const auto check = [](MessageType type, ByteVec payload) {
+    const auto offset = ResultSourceOffset(type, payload);
+    ASSERT_TRUE(offset.ok()) << offset.status().ToString();
+    ASSERT_LT(offset.value(), payload.size());
+    ByteVec patched = payload;
+    ASSERT_TRUE(
+        PatchResultSourceInPlace(type, patched, ResultSource::kPeerEdge));
+    // The two payloads differ in exactly the named byte.
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      if (i == offset.value()) {
+        EXPECT_EQ(patched[i],
+                  static_cast<std::uint8_t>(ResultSource::kPeerEdge));
+      } else {
+        EXPECT_EQ(patched[i], payload[i]) << "byte " << i;
+      }
+    }
+  };
+  check(MessageType::kRecognitionResult, payload_of(recognition));
+  check(MessageType::kRenderResult, payload_of(render));
+  check(MessageType::kPanoramaResult, payload_of(panorama));
+}
+
+TEST(MessagesTest, ResultSourceOffsetRejectsNonResultsAndShortPayloads) {
+  EXPECT_FALSE(ResultSourceOffset(MessageType::kPing, ByteVec(64, 0)).ok());
+  EXPECT_FALSE(
+      ResultSourceOffset(MessageType::kRenderRequest, ByteVec(64, 0)).ok());
+  // Render: needs model_id (8) + source byte.
+  EXPECT_FALSE(
+      ResultSourceOffset(MessageType::kRenderResult, ByteVec(8, 0)).ok());
+  // Recognition: label length prefix must fit and be covered.
+  EXPECT_FALSE(
+      ResultSourceOffset(MessageType::kRecognitionResult, ByteVec(10, 0))
+          .ok());
+  // Panorama: video_id (8) + frame_index (4) + source byte.
+  EXPECT_FALSE(
+      ResultSourceOffset(MessageType::kPanoramaResult, ByteVec(11, 0)).ok());
+}
+
 TEST(MessagesTest, FederatedRelayRoundTrip) {
   FederatedRelay m;
   m.src_edge = 2;
@@ -729,6 +864,18 @@ std::vector<std::pair<MessageType, ByteVec>> SampleFramesOfEveryType() {
   delta.centroids[1].centroid = {1.0f};
   add(MessageType::kSummaryDeltaUpdate,
       EncodeMessage(MessageType::kSummaryDeltaUpdate, 16, delta));
+  SummaryAck ack;
+  ack.acker_edge = 1;
+  ack.subject_edge = 2;
+  ack.version = 17;
+  add(MessageType::kSummaryAck,
+      EncodeMessage(MessageType::kSummaryAck, 17, ack));
+  DatagramChunk chunk;
+  chunk.chunk_index = 1;
+  chunk.chunk_count = 3;
+  chunk.data = DeterministicBytes(48, 18);
+  add(MessageType::kDatagramChunk,
+      EncodeMessage(MessageType::kDatagramChunk, 18, chunk));
   return frames;
 }
 
@@ -767,6 +914,10 @@ bool PayloadDecodes(const Envelope& env) {
       return DecodePayloadAs<FederatedRelay>(env, env.type).ok();
     case MessageType::kSummaryDeltaUpdate:
       return DecodePayloadAs<SummaryDeltaUpdate>(env, env.type).ok();
+    case MessageType::kSummaryAck:
+      return DecodePayloadAs<SummaryAck>(env, env.type).ok();
+    case MessageType::kDatagramChunk:
+      return DecodePayloadAs<DatagramChunk>(env, env.type).ok();
   }
   return false;
 }

@@ -556,5 +556,198 @@ TEST(CoalescingTest, DisabledConfigPaysDuplicateFetches) {
   EXPECT_EQ(edge.coalesced_requests(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Loss tolerance: duplicate drop, memo replay, grace window, gather hits
+// ---------------------------------------------------------------------------
+
+TEST(LossToleranceTest, InFlightDuplicatesDropAndResolvedOnesReplayFromMemo) {
+  FakeWire wire;
+  EdgeService::Config config;
+  config.resolved_memo_capacity = 4;
+  auto edge =
+      EdgeService(config, wire.MakeSendFn(), ImmediateDelay(), FixedNow());
+  const ByteVec frame = proto::EncodeMessage(MessageType::kRecognitionRequest,
+                                             7, CoicRecognitionRequest(3));
+  edge.OnClientFrame(ByteVec(frame));
+  // A retransmit while the fetch is in flight must not double-park or
+  // double-forward; the in-flight resolution answers the client.
+  edge.OnClientFrame(ByteVec(frame));
+  EXPECT_EQ(edge.duplicates_dropped(), 1u);
+  EXPECT_EQ(edge.forwards(), 1u);
+  EXPECT_EQ(wire.to_cloud.size(), 1u);
+
+  proto::RecognitionResult result;
+  result.frame_id = 7;
+  result.label = "object_3";
+  result.source = proto::ResultSource::kCloud;
+  result.annotation = DeterministicBytes(64, 3);
+  edge.OnCloudFrame(
+      proto::EncodeMessage(MessageType::kRecognitionResult, 7, result));
+  ASSERT_EQ(wire.to_client.size(), 1u);
+  const ByteVec first_reply = wire.to_client.front().CloneBytes();
+  wire.to_client.pop_front();
+
+  // A retransmit arriving after resolution (the reply was lost on the
+  // way down) is answered from the memo: byte-identical reply, and the
+  // result is not fetched or inserted a second time.
+  edge.OnClientFrame(ByteVec(frame));
+  EXPECT_EQ(edge.replayed_from_memo(), 1u);
+  EXPECT_EQ(edge.forwards(), 1u);
+  EXPECT_EQ(edge.cache().stats().insertions, 1u);
+  ASSERT_EQ(wire.to_client.size(), 1u);
+  EXPECT_EQ(wire.to_client.front().CloneBytes(), first_reply);
+}
+
+/// DelayFn that runs zero-cost work inline but parks positive-delay work
+/// (the deferred cache insert) until the test releases it — the window
+/// the grace entry exists to cover.
+struct StepDelay {
+  std::deque<std::function<void()>> parked;
+
+  DelayFn MakeDelayFn() {
+    return [this](Duration d, std::function<void()> fn) {
+      if (d <= Duration::Zero()) {
+        fn();
+      } else {
+        parked.push_back(std::move(fn));
+      }
+    };
+  }
+
+  void RunAll() {
+    while (!parked.empty()) {
+      auto fn = std::move(parked.front());
+      parked.pop_front();
+      fn();
+    }
+  }
+};
+
+TEST(LossToleranceTest, GraceEntryCoversTheCacheInsertDelayWindow) {
+  FakeWire wire;
+  StepDelay delay;
+  EdgeService::Config config;
+  config.costs.edge.cache_lookup = Duration::Zero();
+  config.costs.edge.cache_insert = Duration::Millis(1);
+  auto edge =
+      EdgeService(config, wire.MakeSendFn(), delay.MakeDelayFn(), FixedNow());
+  const auto req = CoicRecognitionRequest(3);
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+  EXPECT_EQ(edge.forwards(), 1u);
+
+  proto::RecognitionResult result;
+  result.frame_id = 7;
+  result.label = "object_3";
+  result.source = proto::ResultSource::kCloud;
+  result.annotation = DeterministicBytes(64, 3);
+  edge.OnCloudFrame(
+      proto::EncodeMessage(MessageType::kRecognitionResult, 7, result));
+  // The insert (and the leader's reply) are parked behind the insert
+  // delay; the cache itself still misses this key.
+  EXPECT_TRUE(wire.to_client.empty());
+  EXPECT_EQ(edge.cache().stats().insertions, 0u);
+
+  // A same-key request in that window rides the grace entry instead of
+  // paying a duplicate cloud fetch (the pre-fix behavior).
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 8, req));
+  EXPECT_EQ(edge.grace_hits(), 1u);
+  EXPECT_EQ(edge.forwards(), 1u);
+  ASSERT_EQ(wire.to_client.size(), 1u);
+  const auto win = FakeWire::Decode(wire.to_client);
+  EXPECT_EQ(win.request_id, 8u);
+  EXPECT_EQ(win.type, MessageType::kRecognitionResult);
+
+  // Once the insert lands the grace entry retires and later requests
+  // are ordinary cache hits.
+  delay.RunAll();
+  EXPECT_EQ(edge.cache().stats().insertions, 1u);
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 9, req));
+  EXPECT_EQ(edge.grace_hits(), 1u);
+  EXPECT_EQ(edge.forwards(), 1u);
+  EXPECT_EQ(edge.cache().stats().hits, 1u);
+}
+
+TEST(LossToleranceTest, DisablingTheGraceWindowPaysTheDuplicateFetch) {
+  FakeWire wire;
+  StepDelay delay;
+  EdgeService::Config config;
+  config.costs.edge.cache_lookup = Duration::Zero();
+  config.costs.edge.cache_insert = Duration::Millis(1);
+  config.resolved_grace = false;
+  auto edge =
+      EdgeService(config, wire.MakeSendFn(), delay.MakeDelayFn(), FixedNow());
+  const auto req = CoicRecognitionRequest(3);
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+  proto::RecognitionResult result;
+  result.frame_id = 7;
+  result.annotation = DeterministicBytes(64, 3);
+  edge.OnCloudFrame(
+      proto::EncodeMessage(MessageType::kRecognitionResult, 7, result));
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 8, req));
+  EXPECT_EQ(edge.grace_hits(), 0u);
+  EXPECT_EQ(edge.forwards(), 2u);  // the duplicate-fetch window, unpatched
+  delay.RunAll();
+}
+
+TEST(FrameFabricTest, GatherHitRepliesMatchTheFusedBytesAndShareTheCache) {
+  // Baseline edge: fused single-buffer replies.
+  FakeWire plain_wire;
+  auto plain = MakeEdge(plain_wire);
+  // Gather edge: head/tail pairs captured before fusing.
+  FakeWire wire;
+  std::vector<std::pair<Frame, Frame>> gathers;
+  EdgeService::Config config;
+  config.gather_send = [&gathers](Peer to, Frame head, Frame tail) {
+    EXPECT_EQ(to, Peer::kClient);
+    gathers.emplace_back(std::move(head), std::move(tail));
+  };
+  auto edge =
+      EdgeService(config, wire.MakeSendFn(), ImmediateDelay(), FixedNow());
+
+  const auto req = CoicRecognitionRequest(3);
+  proto::RecognitionResult result;
+  result.frame_id = 7;
+  result.label = "object_3";
+  result.source = proto::ResultSource::kCloud;
+  result.annotation = DeterministicBytes(4096, 3);
+  for (EdgeService* e : {&plain, &edge}) {
+    e->OnClientFrame(
+        proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+    e->OnCloudFrame(
+        proto::EncodeMessage(MessageType::kRecognitionResult, 7, result));
+  }
+  plain_wire.to_client.clear();
+  wire.to_client.clear();
+
+  // Cache hits: the plain edge re-encodes the multi-KB payload; the
+  // gather edge writes only the head and shares the cached tail.
+  const std::uint64_t copies_before = frame_stats().copies();
+  plain.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 8, req));
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 8, req));
+  EXPECT_EQ(frame_stats().copies(), copies_before);
+
+  ASSERT_EQ(plain_wire.to_client.size(), 1u);
+  ASSERT_EQ(gathers.size(), 1u);
+  EXPECT_TRUE(wire.to_client.empty());
+  ByteVec fused_from_gather = gathers[0].first.CloneBytes();
+  const ByteVec tail_bytes = gathers[0].second.CloneBytes();
+  fused_from_gather.insert(fused_from_gather.end(), tail_bytes.begin(),
+                           tail_bytes.end());
+  EXPECT_EQ(fused_from_gather, plain_wire.to_client.front().CloneBytes());
+
+  // The tail is the cached payload itself (a refcount, not a copy).
+  const auto cached = edge.mutable_cache().Lookup(req.descriptor,
+                                                  SimTime::Epoch());
+  ASSERT_TRUE(cached.hit);
+  EXPECT_TRUE(gathers[0].second.SharesBufferWith(cached.payload));
+}
+
 }  // namespace
 }  // namespace coic::core

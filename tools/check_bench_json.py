@@ -29,6 +29,34 @@ REQUIRED_ROW_KEYS = ("schema_version", "wall_ms")
 EXPECTED_SCHEMA_VERSION = 1
 
 
+def check_loss_sweep_row(i, row, errors):
+    """Bench-specific schema for BENCH_loss_sweep.json rows.
+
+    The loss sweep's contract is stronger than well-formedness: every
+    row names its loss point, reports a finite tail latency (a hung
+    request would surface as a missing/NaN p99), and fully drained —
+    drained == operations is the "no run ever hangs" invariant, checked
+    here so a silently stuck sweep fails CI rather than shipping a
+    truncated trajectory.
+    """
+    for key in ("loss_rate", "p99_ms", "operations", "drained"):
+        if key not in row:
+            errors.append(f'row {i} lacks loss-sweep key "{key}"')
+    loss = row.get("loss_rate")
+    if isinstance(loss, (int, float)) and not 0 <= loss < 1:
+        errors.append(f"row {i} loss_rate {loss} outside [0, 1)")
+    p99 = row.get("p99_ms")
+    if not isinstance(p99, (int, float)) or not math.isfinite(p99):
+        errors.append(f"row {i} p99_ms is not a finite number: {p99!r}")
+    ops, drained = row.get("operations"), row.get("drained")
+    if isinstance(ops, int) and isinstance(drained, int) and drained != ops:
+        errors.append(f"row {i} did not drain: {drained} of {ops} operations")
+
+
+# Per-bench row checks, keyed on the top-level "bench" name.
+BENCH_ROW_CHECKS = {"loss_sweep": check_loss_sweep_row}
+
+
 def reject_constant(value):
     raise ValueError(f"non-finite JSON constant {value!r}")
 
@@ -50,10 +78,13 @@ def check_file(path):
         errors.append('"rows" is missing or empty')
         return errors
 
+    row_check = BENCH_ROW_CHECKS.get(doc.get("bench"))
     for i, row in enumerate(rows):
         if not isinstance(row, dict):
             errors.append(f"row {i} is not an object")
             continue
+        if row_check is not None:
+            row_check(i, row, errors)
         for key in REQUIRED_ROW_KEYS:
             if key not in row:
                 errors.append(f'row {i} lacks required key "{key}"')
