@@ -24,6 +24,7 @@
 #include "common/log.h"
 #include "core/metrics.h"
 #include "federation/federation_pipeline.h"
+#include "obs/trace.h"
 #include "trace/workload.h"
 
 namespace coic::bench {
@@ -90,8 +91,11 @@ struct SweepResult {
 };
 
 SweepResult MeasureLossLevel(double loss_rate, bool open_loop,
-                             const std::vector<trace::PlacedRecord>& base) {
-  FederationPipeline pipeline(SweepConfig(loss_rate));
+                             const std::vector<trace::PlacedRecord>& base,
+                             BenchJson* phase_json = nullptr) {
+  FederationPipelineConfig config = SweepConfig(loss_rate);
+  config.trace.enabled = phase_json != nullptr;
+  FederationPipeline pipeline(config);
   for (std::uint64_t m = 1; m <= kObjects; ++m) {
     pipeline.RegisterModel(m, KB(256) + m * KB(8));
   }
@@ -101,21 +105,21 @@ SweepResult MeasureLossLevel(double loss_rate, bool open_loop,
   }
   for (const auto& p : placed) pipeline.EnqueuePlaced(p);
 
-  const std::uint64_t copies_before = frame_stats().copies();
+  // One diffable snapshot instead of per-counter record/subtract pairs:
+  // frame copies, datagram and link-loss tallies all ride the registry's
+  // samplers.
+  const obs::MetricsSnapshot before = pipeline.metrics().Snapshot();
   const auto start = std::chrono::steady_clock::now();
   const std::uint64_t fired_before = pipeline.scheduler().total_fired();
   const auto outcomes = open_loop ? pipeline.RunOpenLoop() : pipeline.Run();
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  const obs::MetricsSnapshot delta =
+      pipeline.metrics().Snapshot().DiffSince(before);
 
   core::QoeAggregator agg;
   for (const auto& o : outcomes) agg.Add(o.outcome);
-
-  std::uint64_t lost = 0;
-  pipeline.network().ForEachLink([&lost](const netsim::Link& link) {
-    lost += link.stats().frames_dropped_loss;
-  });
 
   SweepResult r;
   r.loss_rate = loss_rate;
@@ -129,12 +133,32 @@ SweepResult MeasureLossLevel(double loss_rate, bool open_loop,
   r.cloud_rtx = pipeline.total_cloud_retransmissions();
   r.timeouts =
       pipeline.total_client_timeouts() + pipeline.total_cloud_timeouts();
-  r.frames_lost = lost;
-  r.chunks_sent = pipeline.network().datagram_stats().chunks_sent;
-  r.partials_discarded = pipeline.network().datagram_stats().partials_discarded;
-  r.frame_copies = frame_stats().copies() - copies_before;
+  r.frames_lost = delta.value("net.links.frames_lost");
+  r.chunks_sent = delta.value("net.datagram.chunks_sent");
+  r.partials_discarded = delta.value("net.datagram.partials_discarded");
+  r.frame_copies = delta.value("frame.copies");
   r.events_fired = pipeline.scheduler().total_fired() - fired_before;
   r.wall_secs = wall;
+
+  if (phase_json != nullptr) {
+    // Where does the loss-recovery latency actually go? Reduce the traced
+    // run to per-phase rows: retry waits surface as a fat cloud_fetch /
+    // uplink tail, not as a uniform inflation.
+    const obs::RequestTracer& tracer = *pipeline.tracer();
+    for (int p = 0; p < obs::kPhaseCount; ++p) {
+      const auto phase = static_cast<obs::Phase>(p);
+      const LatencyHistogram& hist = tracer.phase_histogram(phase);
+      if (hist.count() == 0) continue;
+      phase_json->AddRow()
+          .Set("section", "phase_breakdown")
+          .Set("phase", obs::PhaseName(phase))
+          .Set("loss_rate", loss_rate)
+          .Set("spans", hist.count())
+          .Set("mean_us", hist.MeanMicros())
+          .Set("p50_us", hist.QuantileMicros(0.5))
+          .Set("p99_us", hist.QuantileMicros(0.99));
+    }
+  }
   return r;
 }
 
@@ -196,6 +220,10 @@ void PrintSweepTable(bool quick) {
     PrintRow(json, "open-loop", MeasureLossLevel(loss, /*open_loop=*/true,
                                                  base));
   }
+  // One traced re-run at a representative loss point feeds the per-phase
+  // breakdown rows (headline rows above stay tracing-off).
+  PrintRow(json, "open-loop-traced",
+           MeasureLossLevel(0.01, /*open_loop=*/true, base, &json));
   std::printf(
       "\nevery row must fully drain (drained == ops, no hung requests);\n"
       "hit rate degrades gracefully while p99 absorbs the retry timeouts;\n"

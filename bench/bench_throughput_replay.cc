@@ -12,6 +12,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -19,6 +21,7 @@
 #include "common/log.h"
 #include "core/metrics.h"
 #include "federation/federation_pipeline.h"
+#include "obs/trace.h"
 #include "trace/workload.h"
 
 namespace coic::bench {
@@ -89,21 +92,24 @@ struct ReplayResult {
 };
 
 ReplayResult MeasureOpenLoop(double offered_hz,
-                             const std::vector<trace::PlacedRecord>& base) {
-  FederationPipeline pipeline(ReplayConfig());
+                             const std::vector<trace::PlacedRecord>& base,
+                             FederationPipeline& pipeline) {
   RegisterModels(pipeline);
 
   std::vector<trace::PlacedRecord> placed = base;
   trace::RetimeArrivals(std::span<trace::PlacedRecord>(placed), offered_hz);
   for (const auto& p : placed) pipeline.EnqueuePlaced(p);
 
-  const std::uint64_t copies_before = frame_stats().copies();
-  const std::uint64_t copy_bytes_before = frame_stats().bytes_copied();
+  // One snapshot covers frame copies, datagram stats and every
+  // edge/client counter — no more per-counter record/subtract pairs.
+  const obs::MetricsSnapshot before = pipeline.metrics().Snapshot();
   const auto start = std::chrono::steady_clock::now();
   const auto outcomes = pipeline.RunOpenLoop();
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  const obs::MetricsSnapshot delta =
+      pipeline.metrics().Snapshot().DiffSince(before);
 
   core::QoeAggregator agg;
   for (const auto& o : outcomes) agg.Add(o.outcome);
@@ -123,11 +129,17 @@ ReplayResult MeasureOpenLoop(double offered_hz,
   r.events_fired = stats.events_fired;
   r.wall_secs = wall;
   r.operations = outcomes.size();
-  r.frame_copies = frame_stats().copies() - copies_before;
-  r.frame_bytes_copied = frame_stats().bytes_copied() - copy_bytes_before;
+  r.frame_copies = delta.value("frame.copies");
+  r.frame_bytes_copied = delta.value("frame.bytes_copied");
   r.coalesced = pipeline.total_coalesced_requests();
   r.cloud_forwards = pipeline.total_cloud_forwards();
   return r;
+}
+
+ReplayResult MeasureOpenLoop(double offered_hz,
+                             const std::vector<trace::PlacedRecord>& base) {
+  FederationPipeline pipeline(ReplayConfig());
+  return MeasureOpenLoop(offered_hz, base, pipeline);
 }
 
 /// Closed-loop reference on the identical trace: the N=1-in-flight
@@ -138,14 +150,15 @@ ReplayResult MeasureClosedLoop(const std::vector<trace::PlacedRecord>& base) {
   RegisterModels(pipeline);
   for (const auto& p : base) pipeline.EnqueuePlaced(p);
 
-  const std::uint64_t copies_before = frame_stats().copies();
-  const std::uint64_t copy_bytes_before = frame_stats().bytes_copied();
+  const obs::MetricsSnapshot before = pipeline.metrics().Snapshot();
   const auto start = std::chrono::steady_clock::now();
   const std::uint64_t fired_before = pipeline.scheduler().total_fired();
   const auto outcomes = pipeline.Run();
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  const obs::MetricsSnapshot delta =
+      pipeline.metrics().Snapshot().DiffSince(before);
 
   core::QoeAggregator agg;
   for (const auto& o : outcomes) agg.Add(o.outcome);
@@ -159,11 +172,70 @@ ReplayResult MeasureClosedLoop(const std::vector<trace::PlacedRecord>& base) {
   r.events_fired = pipeline.scheduler().total_fired() - fired_before;
   r.wall_secs = wall;
   r.operations = outcomes.size();
-  r.frame_copies = frame_stats().copies() - copies_before;
-  r.frame_bytes_copied = frame_stats().bytes_copied() - copy_bytes_before;
+  r.frame_copies = delta.value("frame.copies");
+  r.frame_bytes_copied = delta.value("frame.bytes_copied");
   r.coalesced = pipeline.total_coalesced_requests();
   r.cloud_forwards = pipeline.total_cloud_forwards();
   return r;
+}
+
+/// One storm with the tracer enabled: emits per-phase latency rows
+/// (section "phase_breakdown") reduced from the tracer's histograms, and
+/// optionally writes the full Chrome trace to `trace_out`. Runs after
+/// the untraced rows so every headline number stays tracing-off.
+void MeasureTracedReplay(BenchJson& json, double offered_hz,
+                         const std::vector<trace::PlacedRecord>& base,
+                         const std::string& trace_out) {
+  FederationPipelineConfig config = ReplayConfig();
+  config.trace.enabled = true;
+  // Size the ring so the Chrome export keeps every span of the storm
+  // (the per-phase histograms never evict regardless).
+  config.trace.span_capacity = base.size() * 12;
+  FederationPipeline pipeline(config);
+  const ReplayResult r = MeasureOpenLoop(offered_hz, base, pipeline);
+  json.AddRow()
+      .Set("regime", "open-loop-traced")
+      .Set("operations", r.operations)
+      .Set("offered_hz", r.offered_hz)
+      .Set("run_wall_ms", r.wall_secs * 1e3)
+      .Set("frame_copies", r.frame_copies)
+      .Set("spans_recorded", pipeline.tracer()->spans_recorded());
+
+  std::printf("\nper-phase latency breakdown (traced %llu-op storm at %.0f "
+              "Hz):\n",
+              static_cast<unsigned long long>(r.operations), offered_hz);
+  std::printf("%-16s %10s %10s %10s %10s\n", "phase", "spans", "mean us",
+              "p50 us", "p99 us");
+  const obs::RequestTracer& tracer = *pipeline.tracer();
+  for (int p = 0; p < obs::kPhaseCount; ++p) {
+    const auto phase = static_cast<obs::Phase>(p);
+    const LatencyHistogram& hist = tracer.phase_histogram(phase);
+    if (hist.count() == 0) continue;
+    std::printf("%-16s %10llu %10.0f %10.0f %10.0f\n", obs::PhaseName(phase),
+                static_cast<unsigned long long>(hist.count()),
+                hist.MeanMicros(), hist.QuantileMicros(0.5),
+                hist.QuantileMicros(0.99));
+    json.AddRow()
+        .Set("section", "phase_breakdown")
+        .Set("phase", obs::PhaseName(phase))
+        .Set("offered_hz", offered_hz)
+        .Set("spans", hist.count())
+        .Set("mean_us", hist.MeanMicros())
+        .Set("p50_us", hist.QuantileMicros(0.5))
+        .Set("p99_us", hist.QuantileMicros(0.99));
+  }
+  if (!trace_out.empty()) {
+    const Status status = pipeline.tracer()->WriteChromeTrace(trace_out);
+    if (status.ok()) {
+      std::printf("chrome trace (%llu spans) -> %s\n",
+                  static_cast<unsigned long long>(
+                      pipeline.tracer()->spans_recorded()),
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "bench: trace export failed: %s\n",
+                   status.message().c_str());
+    }
+  }
 }
 
 void PrintRow(BenchJson& json, const char* regime, std::size_t ops,
@@ -201,7 +273,7 @@ void PrintRow(BenchJson& json, const char* regime, std::size_t ops,
       .Set("cloud_forwards", r.cloud_forwards);
 }
 
-void PrintReplayTable(bool quick) {
+void PrintReplayTable(bool quick, const std::string& trace_out) {
   PrintHeader(
       "Open-loop throughput replay: 8-venue full mesh, mixed AR trace\n"
       "arrivals at offered load (Poisson), summary gossip every 100 ms on\n"
@@ -249,6 +321,11 @@ void PrintReplayTable(bool quick) {
     const std::size_t big = 100'000;
     const auto big_trace = MakeTrace(big);
     PrintRow(json, "open-loop", big, MeasureOpenLoop(1000, big_trace));
+    // Traced re-run of the same 100k-op storm for the phase breakdown
+    // and the Chrome export.
+    MeasureTracedReplay(json, 1000, big_trace, trace_out);
+  } else {
+    MeasureTracedReplay(json, 1000, base, trace_out);
   }
   std::printf(
       "\nopen-loop hit rates should track the closed-loop row (same trace);\n"
@@ -272,7 +349,20 @@ BENCHMARK(BM_OpenLoopReplay)->Arg(1000);
 int main(int argc, char** argv) {
   coic::SetLogLevel(coic::LogLevel::kError);
   const bool quick = coic::bench::QuickMode(argc, argv);
-  coic::bench::PrintReplayTable(quick);
+  // --trace-out=PATH writes the traced storm's Chrome trace there; quick
+  // mode defaults to storm.trace.json (the build dir under CTest) so CI
+  // always has an artifact to validate.
+  std::string trace_out = quick ? "storm.trace.json" : "";
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      trace_out = argv[i] + 12;
+    } else {
+      argv[kept++] = argv[i];  // strip our flag before benchmark::Initialize
+    }
+  }
+  argc = kept;
+  coic::bench::PrintReplayTable(quick, trace_out);
   if (quick) {
     char name[] = "bench_throughput_replay";
     char min_time[] = "--benchmark_min_time=0.001";

@@ -59,6 +59,7 @@ double LatencyHistogram::BucketLowerBound(int b) noexcept {
 void LatencyHistogram::AddMicros(std::int64_t us) noexcept {
   ++buckets_[BucketFor(us)];
   ++total_;
+  sum_us_ += us;
 }
 
 double LatencyHistogram::QuantileMicros(double q) const noexcept {

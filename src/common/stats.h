@@ -80,6 +80,15 @@ class LatencyHistogram {
 
   [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
 
+  /// Exact sum of added values (the buckets are approximate; the mean
+  /// is not).
+  [[nodiscard]] std::int64_t sum_micros() const noexcept { return sum_us_; }
+  [[nodiscard]] double MeanMicros() const noexcept {
+    return total_ == 0 ? 0
+                       : static_cast<double>(sum_us_) /
+                             static_cast<double>(total_);
+  }
+
   /// Approximate quantile from bucket boundaries; q in [0,1].
   [[nodiscard]] double QuantileMicros(double q) const noexcept;
 
@@ -93,6 +102,7 @@ class LatencyHistogram {
 
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t total_ = 0;
+  std::int64_t sum_us_ = 0;
 };
 
 }  // namespace coic

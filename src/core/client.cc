@@ -15,9 +15,14 @@ using proto::TaskKind;
 
 CoicClient::CoicClient(Config config, SendToEdgeFn send, DelayFn delay,
                        NowFn now)
-    : config_(config), send_(std::move(send)), delay_(std::move(delay)),
-      now_(std::move(now)), extractor_(config.extractor),
-      next_request_id_(config.first_request_id) {}
+    : config_(std::move(config)), send_(std::move(send)),
+      delay_(std::move(delay)), now_(std::move(now)),
+      extractor_(config_.extractor),
+      next_request_id_(config_.first_request_id),
+      own_metrics_(config_.metrics ? nullptr : new obs::MetricsRegistry()),
+      tracer_(config_.tracer), trace_track_(config_.trace_track),
+      retransmissions_(Metric("retransmissions")),
+      timeouts_(Metric("timeouts")) {}
 
 void CoicClient::TrackPending(std::uint64_t request_id,
                               PendingRequest pending) {
@@ -26,6 +31,7 @@ void CoicClient::TrackPending(std::uint64_t request_id,
 }
 
 void CoicClient::SendTracked(std::uint64_t request_id, Frame frame) {
+  if (tracer_) tracer_->Transition(request_id, obs::Phase::kUplink, now_());
   if (config_.retry.enabled()) {
     const auto it = pending_.find(request_id);
     if (it != pending_.end()) {
@@ -51,11 +57,13 @@ void CoicClient::OnRetryTimer(std::uint64_t request_id,
   if (it == pending_.end() || it->second.attempt != attempt) return;
   if (attempt >= config_.retry.max_retries) {
     ++timeouts_;
+    if (tracer_) tracer_->Annotate(request_id, "client-timeout", now_());
     FinishWithError(request_id);
     return;
   }
   ++it->second.attempt;
   ++retransmissions_;
+  if (tracer_) tracer_->Annotate(request_id, "client-retransmit", now_());
   send_(it->second.request);
   ArmRetryTimer(request_id, it->second.attempt);
 }
@@ -86,6 +94,10 @@ void CoicClient::StartRecognition(const vision::SceneParams& scene,
   pending.expected_label = std::move(expected_label);
   pending.object_id = scene.scene_id;
   pending.done = std::move(done);
+  if (tracer_) {
+    tracer_->Begin(request_id, trace_track_, obs::Phase::kClientCompute,
+                   pending.started_at);
+  }
 
   proto::RecognitionRequest req;
   req.user_id = config_.user_id;
@@ -131,6 +143,10 @@ void CoicClient::StartRender(std::uint64_t model_id, const Digest128& digest,
   pending.started_at = now_();
   pending.object_id = model_id;
   pending.done = std::move(done);
+  if (tracer_) {
+    tracer_->Begin(request_id, trace_track_, obs::Phase::kClientCompute,
+                   pending.started_at);
+  }
 
   proto::RenderRequest req;
   req.user_id = config_.user_id;
@@ -158,6 +174,10 @@ void CoicClient::StartPanorama(std::uint64_t video_id,
   pending.started_at = now_();
   pending.object_id = video_id;
   pending.done = std::move(done);
+  if (tracer_) {
+    tracer_->Begin(request_id, trace_track_, obs::Phase::kClientCompute,
+                   pending.started_at);
+  }
   TrackPending(request_id, std::move(pending));
 
   proto::PanoramaRequest req;
@@ -177,6 +197,7 @@ void CoicClient::FinishWithError(std::uint64_t request_id) {
   if (it == pending_.end()) return;
   PendingRequest pending = std::move(it->second);
   pending_.erase(it);
+  if (tracer_) tracer_->End(request_id, now_());
   RequestOutcome outcome;
   outcome.task = pending.task;
   outcome.error = true;
@@ -229,6 +250,7 @@ void CoicClient::OnEdgeFrame(Frame frame) {
       outcome.result_bytes = result.value().annotation.size();
       // The annotation is display-ready; no post-receive compute.
       outcome.latency = now_() - pending.started_at;
+      if (tracer_) tracer_->End(env.request_id, now_());
       pending.done(std::move(outcome));
       return;
     }
@@ -260,10 +282,15 @@ void CoicClient::OnEdgeFrame(Frame frame) {
       outcome.result_bytes = size;
       outcome.client_compute = pending.client_compute + install;
       outcome.error = !parse_ok;
+      if (tracer_) {
+        tracer_->Transition(env.request_id, obs::Phase::kClientFinish, now_());
+      }
       delay_(install, [this, outcome = std::move(outcome),
+                       request_id = env.request_id,
                        started_at = pending.started_at,
                        done = std::move(pending.done)]() mutable {
         outcome.latency = now_() - started_at;
+        if (tracer_) tracer_->End(request_id, now_());
         done(std::move(outcome));
       });
       return;
@@ -281,10 +308,15 @@ void CoicClient::OnEdgeFrame(Frame frame) {
       outcome.source = result.value().source;
       outcome.result_bytes = result.value().frame.size();
       outcome.client_compute = pending.client_compute + crop;
+      if (tracer_) {
+        tracer_->Transition(env.request_id, obs::Phase::kClientFinish, now_());
+      }
       delay_(crop, [this, outcome = std::move(outcome),
+                    request_id = env.request_id,
                     started_at = pending.started_at,
                     done = std::move(pending.done)]() mutable {
         outcome.latency = now_() - started_at;
+        if (tracer_) tracer_->End(request_id, now_());
         done(std::move(outcome));
       });
       return;

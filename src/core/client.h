@@ -14,6 +14,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -65,6 +66,17 @@ class CoicClient {
     /// deduplicates) until the budget is spent, then completed with an
     /// error outcome so every run drains.
     RetryConfig retry;
+    /// Observability: when set, this client's counters live in the
+    /// shared registry under `metrics_prefix` (e.g. "client.0.3.");
+    /// when null the client owns a private registry. The accessors below
+    /// keep working either way.
+    obs::MetricsRegistry* metrics = nullptr;
+    std::string metrics_prefix = "client.";
+    /// Request-lifecycle tracer; null => tracing disabled. `trace_track`
+    /// is the Chrome-trace pid this client's requests render under (the
+    /// venue index in federation runs).
+    obs::RequestTracer* tracer = nullptr;
+    std::uint32_t trace_track = 0;
   };
 
   using SendToEdgeFn = std::function<void(Frame frame)>;
@@ -108,10 +120,12 @@ class CoicClient {
   }
   /// Requests retransmitted after a timeout (0 with retries disabled).
   [[nodiscard]] std::uint64_t retransmissions() const noexcept {
-    return retransmissions_;
+    return retransmissions_.value();
   }
   /// Requests abandoned (error outcome) after the retry budget.
-  [[nodiscard]] std::uint64_t timeouts() const noexcept { return timeouts_; }
+  [[nodiscard]] std::uint64_t timeouts() const noexcept {
+    return timeouts_.value();
+  }
 
  private:
   struct PendingRequest {
@@ -129,6 +143,11 @@ class CoicClient {
   };
 
   std::uint64_t NextRequestId() noexcept { return next_request_id_++; }
+  /// The registry cell backing counter `name`. Constructor-only.
+  [[nodiscard]] obs::Counter& Metric(const char* name) {
+    return (config_.metrics ? *config_.metrics : *own_metrics_)
+        .GetCounter(config_.metrics_prefix + name);
+  }
   void TrackPending(std::uint64_t request_id, PendingRequest pending);
   void FinishWithError(std::uint64_t request_id);
   /// Sends the encoded request and, when retries are enabled, stores it
@@ -145,8 +164,13 @@ class CoicClient {
   std::uint64_t next_request_id_;
   std::unordered_map<std::uint64_t, PendingRequest> pending_;
   std::size_t peak_inflight_ = 0;
-  std::uint64_t retransmissions_ = 0;
-  std::uint64_t timeouts_ = 0;
+  /// Private registry backing the counters when no shared one is
+  /// configured; declared before the Counter& members that bind to it.
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  obs::RequestTracer* tracer_ = nullptr;
+  std::uint32_t trace_track_ = 0;
+  obs::Counter& retransmissions_;
+  obs::Counter& timeouts_;
   /// Models already parsed on this device, keyed by id -> (byte size,
   /// parse ok). A real client keeps installed assets, so re-receiving
   /// the same model skips the wall-clock re-parse; the modeled install

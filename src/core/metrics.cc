@@ -9,6 +9,7 @@ void QoeAggregator::Add(const RequestOutcome& outcome) {
     return;
   }
   latency_ms_.Add(outcome.latency.millis());
+  latency_by_source_[SourceIndex(outcome.source)].Add(outcome.latency.millis());
   switch (outcome.source) {
     case proto::ResultSource::kEdgeCache:
       ++edge_hits_;
@@ -50,6 +51,58 @@ double QoeAggregator::ReductionPercentVs(const QoeAggregator& baseline) const {
   const double base = baseline.MeanLatencyMs();
   if (base <= 0) return 0;
   return (1.0 - MeanLatencyMs() / base) * 100.0;
+}
+
+namespace {
+
+void AppendSampleJson(std::string& out, const Sample& sample) {
+  out += "{\"count\": " + std::to_string(sample.count());
+  out += ", \"mean_ms\": " + std::to_string(sample.mean());
+  if (!sample.empty()) {
+    out += ", \"p50_ms\": " + std::to_string(sample.Percentile(50));
+    out += ", \"p95_ms\": " + std::to_string(sample.Percentile(95));
+    out += ", \"p99_ms\": " + std::to_string(sample.Percentile(99));
+  }
+  out += '}';
+}
+
+const char* SourceName(proto::ResultSource source) noexcept {
+  switch (source) {
+    case proto::ResultSource::kEdgeCache:
+      return "edge_cache";
+    case proto::ResultSource::kCloud:
+      return "cloud";
+    case proto::ResultSource::kLocal:
+      return "local";
+    case proto::ResultSource::kPeerEdge:
+      return "peer_edge";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::string QoeAggregator::DumpJson() const {
+  std::string out = "{\"count\": " + std::to_string(count_);
+  out += ", \"errors\": " + std::to_string(errors_);
+  out += ", \"hit_rate\": " + std::to_string(HitRate());
+  out += ", \"accuracy\": " + std::to_string(Accuracy());
+  out += ", \"latency_ms\": ";
+  AppendSampleJson(out, latency_ms_);
+  out += ", \"by_source\": {";
+  bool first = true;
+  for (const auto source :
+       {proto::ResultSource::kEdgeCache, proto::ResultSource::kCloud,
+        proto::ResultSource::kLocal, proto::ResultSource::kPeerEdge}) {
+    const Sample& sample = latency_by_source_[SourceIndex(source)];
+    if (sample.empty()) continue;
+    if (!first) out += ", ";
+    first = false;
+    out += std::string("\"") + SourceName(source) + "\": ";
+    AppendSampleJson(out, sample);
+  }
+  out += "}}";
+  return out;
 }
 
 }  // namespace coic::core

@@ -34,12 +34,32 @@ class QoeAggregator {
   }
   [[nodiscard]] const Sample& latencies_ms() const noexcept { return latency_ms_; }
 
+  /// Latency distribution of the outcomes served by one source — the
+  /// where-did-the-time-go split of the overall curve: an edge hit is
+  /// two LAN hops, a peer hit adds the probe round, a cloud trip the
+  /// WAN. Empty Sample when no outcome had that source.
+  [[nodiscard]] const Sample& latencies_ms_for(
+      proto::ResultSource source) const {
+    return latency_by_source_[SourceIndex(source)];
+  }
+
   /// Latency reduction of `this` relative to `baseline` mean latency,
   /// in percent (the paper's "reduce up to 52.28%" metric).
   [[nodiscard]] double ReductionPercentVs(const QoeAggregator& baseline) const;
 
+  /// {"count": N, "errors": N, "hit_rate": f, "accuracy": f, "latency_ms":
+  /// {...}, "by_source": {"edge_cache": {...}, ...}} — sources with no
+  /// outcomes are omitted; each {...} carries count/mean/p50/p95/p99.
+  [[nodiscard]] std::string DumpJson() const;
+
  private:
+  static constexpr int kSourceCount = 4;
+  static int SourceIndex(proto::ResultSource source) noexcept {
+    return static_cast<int>(source) & 3;
+  }
+
   Sample latency_ms_;
+  Sample latency_by_source_[kSourceCount];
   std::uint64_t count_ = 0;
   std::uint64_t errors_ = 0;
   std::uint64_t edge_hits_ = 0;

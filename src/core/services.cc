@@ -241,8 +241,22 @@ void CloudService::HandlePanorama(const EnvelopeView& env) {
 // ---------------------------------------------------------------------------
 
 EdgeService::EdgeService(Config config, SendFn send, DelayFn delay, NowFn now)
-    : config_(config), send_(std::move(send)), delay_(std::move(delay)),
-      now_(std::move(now)), cache_(config.cache) {}
+    : config_(std::move(config)), send_(std::move(send)),
+      delay_(std::move(delay)), now_(std::move(now)), cache_(config_.cache),
+      own_metrics_(config_.metrics ? nullptr : new obs::MetricsRegistry()),
+      tracer_(config_.tracer),
+      forwards_(Metric("forwards")),
+      peer_hits_(Metric("peer_hits")),
+      peer_queries_served_(Metric("peer_queries_served")),
+      peer_probes_sent_(Metric("peer_probes_sent")),
+      coalesced_requests_(Metric("coalesced_requests")),
+      cloud_retransmissions_(Metric("cloud_retransmissions")),
+      cloud_timeouts_(Metric("cloud_timeouts")),
+      probe_timeouts_(Metric("probe_timeouts")),
+      leader_promotions_(Metric("leader_promotions")),
+      duplicates_dropped_(Metric("duplicates_dropped")),
+      replayed_from_memo_(Metric("replayed_from_memo")),
+      grace_hits_(Metric("grace_hits")) {}
 
 void EdgeService::Park(std::uint64_t request_id, PendingForward pending) {
   COIC_CHECK_MSG(pending_.count(request_id) == 0,
@@ -302,6 +316,7 @@ void EdgeService::FailWaiters(const std::vector<std::uint64_t>& waiters,
     pending_.erase(it);
     Frame reply(proto::EncodeEnvelope(MessageType::kError, id, error_payload));
     MemoizeResolved(id, {.reply = reply, .payload = {}});
+    if (tracer_) tracer_->Transition(id, obs::Phase::kDownlink, now_());
     send_(Peer::kClient, std::move(reply));
   }
 }
@@ -341,6 +356,9 @@ void EdgeService::ForwardToCloud(Frame request_frame, PendingForward pending) {
   }
   Park(request_id, std::move(pending));
   ++forwards_;
+  // Single cloud hook: direct forwards, probe-miss fallthrough, probe
+  // timeouts and promoted waiters all funnel through here.
+  if (tracer_) tracer_->Transition(request_id, obs::Phase::kCloudFetch, now_());
   // The original client frame is forwarded as-is — type, request id and
   // payload are exactly what a re-encode would produce, without copying
   // the (possibly multi-hundred-KB Origin-mode) payload.
@@ -369,6 +387,7 @@ void EdgeService::OnCloudRetryTimer(std::uint64_t request_id,
   }
   ++it->second.attempt;
   ++cloud_retransmissions_;
+  if (tracer_) tracer_->Annotate(request_id, "cloud-retransmit", now_());
   send_(Peer::kCloud, it->second.original);
   ArmCloudRetryTimer(request_id, it->second.attempt);
 }
@@ -392,6 +411,10 @@ void EdgeService::HandleCloudFetchFailure(std::uint64_t request_id) {
   Frame reply(
       proto::EncodeEnvelope(MessageType::kError, request_id, err_payload));
   MemoizeResolved(request_id, {.reply = reply, .payload = {}});
+  if (tracer_) {
+    tracer_->Annotate(request_id, "cloud-timeout", now_());
+    tracer_->Transition(request_id, obs::Phase::kDownlink, now_());
+  }
   send_(Peer::kClient, std::move(reply));
 
   // Leader-loss recovery: promote the oldest parked waiter to run its
@@ -415,6 +438,7 @@ void EdgeService::HandleCloudFetchFailure(std::uint64_t request_id) {
     return;
   }
   ++leader_promotions_;
+  if (tracer_) tracer_->Annotate(new_leader, "leader-promotion", now_());
   PendingForward promoted = std::move(pending_.at(new_leader));
   pending_.erase(new_leader);
   promoted.is_waiter = false;
@@ -440,6 +464,7 @@ void EdgeService::OnProbeTimeout(std::uint64_t request_id) {
   }
   if (it->second.probes_outstanding == 0) return;
   ++probe_timeouts_;
+  if (tracer_) tracer_->Annotate(request_id, "probe-timeout", now_());
   PendingForward moved = std::move(it->second);
   pending_.erase(it);
   Frame original = std::move(moved.original);
@@ -468,6 +493,9 @@ void EdgeService::SendResultToClient(proto::MessageType reply_type,
                                      std::uint64_t request_id,
                                      const Frame& payload,
                                      ResultSource source) {
+  // Single downlink hook for every reply shape (cache hit, grace hit,
+  // waiter fan-out, peer-hit leader, cloud relay via memo replay).
+  if (tracer_) tracer_->Transition(request_id, obs::Phase::kDownlink, now_());
   if (config_.gather_send) {
     // Copy-free reply: rewrite only the bytes up to and including the
     // source field into a small head, and share the (possibly multi-MB)
@@ -543,6 +571,10 @@ void EdgeService::OnLocalMiss(Frame frame,
       Park(request_id, std::move(waiter));
       pending_.at(leader_id).waiters.push_back(request_id);
       ++coalesced_requests_;
+      if (tracer_) {
+        tracer_->Transition(request_id, obs::Phase::kCoalescePark, now_());
+        tracer_->Annotate(request_id, "coalesced", now_());
+      }
       return;
     }
     if (config_.resolved_grace) {
@@ -552,6 +584,7 @@ void EdgeService::OnLocalMiss(Frame frame,
       // of starting a duplicate upstream fetch.
       if (const auto g = grace_.find(key); g != grace_.end()) {
         ++grace_hits_;
+        if (tracer_) tracer_->Annotate(request_id, "grace-hit", now_());
         ResolveToClient(request_id, reply_type, g->second.payload,
                         ResultSource::kEdgeCache);
         return;
@@ -591,6 +624,9 @@ void EdgeService::OnLocalMiss(Frame frame,
           static_cast<std::uint32_t>(candidates.size());
       pending.coalesce_key = coalesce_key;
       Park(request_id, std::move(pending));
+      if (tracer_) {
+        tracer_->Transition(request_id, obs::Phase::kPeerProbe, now_());
+      }
       for (const std::uint32_t peer : candidates) {
         ++peer_probes_sent_;
         if (config_.peer_send) {
@@ -703,6 +739,9 @@ void EdgeService::HandlePeerLookupReply(const Frame& frame,
     // link just delivered, no copy.
     pending.served = true;
     ++peer_hits_;
+    if (tracer_) {
+      tracer_->Transition(env.request_id, obs::Phase::kCacheInsert, now_());
+    }
     const Frame payload = frame.SliceOf(reply.value().payload);
     const MessageType reply_type = reply.value().reply_type;
     // The outcome is known: waiters ride this result, and later misses
@@ -826,6 +865,9 @@ void EdgeService::OnClientFrame(Frame frame) {
       // replayed from the memo instead of being fetched twice.
       if (pending_.count(env.request_id) > 0) {
         ++duplicates_dropped_;
+        if (tracer_) {
+          tracer_->Annotate(env.request_id, "duplicate-dropped", now_());
+        }
         return;
       }
       if (TryReplayFromMemo(env.request_id)) return;
@@ -871,6 +913,9 @@ void EdgeService::OnClientFrame(Frame frame) {
           reply_type = MessageType::kPanoramaResult;
           break;
         }
+      }
+      if (tracer_) {
+        tracer_->Transition(env.request_id, obs::Phase::kEdgeLookup, now_());
       }
       delay_(config_.costs.edge.cache_lookup,
              [this, frame = std::move(frame),
@@ -924,6 +969,9 @@ void EdgeService::OnCloudFrame(Frame frame) {
       FailWaiters(pending.waiters, env.payload);
     }
     MemoizeResolved(env.request_id, {.reply = frame, .payload = {}});
+    if (tracer_) {
+      tracer_->Transition(env.request_id, obs::Phase::kDownlink, now_());
+    }
     send_(Peer::kClient, std::move(frame));
     return;
   }
@@ -953,8 +1001,12 @@ void EdgeService::OnCloudFrame(Frame frame) {
     grace_[grace_key] = {payload, grace_gen};
     grace_armed = true;
   }
+  if (tracer_) {
+    tracer_->Transition(env.request_id, obs::Phase::kCacheInsert, now_());
+  }
   delay_(config_.costs.edge.cache_insert,
          [this, frame = std::move(frame), payload,
+          request_id = env.request_id,
           key = std::move(*pending.insert_key),
           waiters = std::move(pending.waiters), grace_armed, grace_key,
           grace_gen]() mutable {
@@ -964,6 +1016,9 @@ void EdgeService::OnCloudFrame(Frame frame) {
              if (g != grace_.end() && g->second.gen == grace_gen) {
                grace_.erase(g);
              }
+           }
+           if (tracer_) {
+             tracer_->Transition(request_id, obs::Phase::kDownlink, now_());
            }
            send_(Peer::kClient, std::move(frame));
            // Waiters share the same upstream result; the cloud produced

@@ -23,6 +23,8 @@
 #include "common/time.h"
 #include "core/cost_model.h"
 #include "core/retry.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "proto/envelope.h"
 #include "render/panorama.h"
 #include "render/registry.h"
@@ -192,6 +194,15 @@ class EdgeService {
     /// Optional scatter-gather sender for result replies (see
     /// GatherSendFn). Wire bytes are identical to the fused path.
     GatherSendFn gather_send;
+    /// Observability: when set, this edge's counters live in the shared
+    /// registry under `metrics_prefix` (e.g. "edge.0."); when null the
+    /// edge owns a private registry. Either way the counter accessors
+    /// below keep working unchanged.
+    obs::MetricsRegistry* metrics = nullptr;
+    std::string metrics_prefix = "edge.";
+    /// Request-lifecycle tracer; null => tracing disabled, and every
+    /// instrumentation site reduces to one pointer test.
+    obs::RequestTracer* tracer = nullptr;
   };
 
   EdgeService(Config config, SendFn send, DelayFn delay, NowFn now);
@@ -213,22 +224,22 @@ class EdgeService {
   [[nodiscard]] cache::IcCache& mutable_cache() noexcept { return cache_; }
 
   /// Number of requests forwarded to the cloud.
-  [[nodiscard]] std::uint64_t forwards() const noexcept { return forwards_; }
+  [[nodiscard]] std::uint64_t forwards() const noexcept { return forwards_.value(); }
   /// Number of misses answered by a peer edge.
-  [[nodiscard]] std::uint64_t peer_hits() const noexcept { return peer_hits_; }
+  [[nodiscard]] std::uint64_t peer_hits() const noexcept { return peer_hits_.value(); }
   /// Peer lookup queries answered for neighbors.
   [[nodiscard]] std::uint64_t peer_queries_served() const noexcept {
-    return peer_queries_served_;
+    return peer_queries_served_.value();
   }
   /// PeerLookupRequests this edge issued (the probe-traffic metric the
   /// federation policies trade against hit rate).
   [[nodiscard]] std::uint64_t peer_probes_sent() const noexcept {
-    return peer_probes_sent_;
+    return peer_probes_sent_.value();
   }
   /// Misses that coalesced onto an already-in-flight fetch for the same
   /// key instead of paying their own peer probes / cloud round trip.
   [[nodiscard]] std::uint64_t coalesced_requests() const noexcept {
-    return coalesced_requests_;
+    return coalesced_requests_.value();
   }
   /// Requests currently parked (awaiting a cloud reply or peer probes).
   [[nodiscard]] std::size_t pending_inflight() const noexcept {
@@ -247,34 +258,34 @@ class EdgeService {
   // Unreliable-transport counters (all zero when retries are disabled).
   /// Cloud forwards retransmitted after a timeout.
   [[nodiscard]] std::uint64_t cloud_retransmissions() const noexcept {
-    return cloud_retransmissions_;
+    return cloud_retransmissions_.value();
   }
   /// Cloud fetches abandoned after the retry budget was spent.
   [[nodiscard]] std::uint64_t cloud_timeouts() const noexcept {
-    return cloud_timeouts_;
+    return cloud_timeouts_.value();
   }
   /// Peer-probe rounds abandoned on timeout (fell through to the cloud).
   [[nodiscard]] std::uint64_t probe_timeouts() const noexcept {
-    return probe_timeouts_;
+    return probe_timeouts_.value();
   }
   /// Coalescing waiters promoted to leader after their leader's fetch
   /// died (the leader-loss recovery path).
   [[nodiscard]] std::uint64_t leader_promotions() const noexcept {
-    return leader_promotions_;
+    return leader_promotions_.value();
   }
   /// Retransmitted requests dropped because the original is still in
   /// flight (without this, a duplicate id would double-park).
   [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept {
-    return duplicates_dropped_;
+    return duplicates_dropped_.value();
   }
   /// Retransmitted requests answered from the resolved-reply memo.
   [[nodiscard]] std::uint64_t replayed_from_memo() const noexcept {
-    return replayed_from_memo_;
+    return replayed_from_memo_.value();
   }
   /// Misses served from a recently-resolved grace entry (the cache-
   /// insert-delay window that previously caused duplicate fetches).
   [[nodiscard]] std::uint64_t grace_hits() const noexcept {
-    return grace_hits_;
+    return grace_hits_.value();
   }
 
  private:
@@ -371,6 +382,13 @@ class EdgeService {
                        proto::MessageType reply_type, const Frame& payload,
                        proto::ResultSource source);
 
+  /// The registry cell backing counter `name` (shared registry under the
+  /// configured prefix, or the private fallback). Constructor-only.
+  [[nodiscard]] obs::Counter& Metric(const char* name) {
+    return (config_.metrics ? *config_.metrics : *own_metrics_)
+        .GetCounter(config_.metrics_prefix + name);
+  }
+
   /// Replay memo for resolved requests (idempotent duplicate handling).
   /// Either a complete pre-encoded reply frame, or a payload re-wrapped
   /// per replay.
@@ -413,18 +431,23 @@ class EdgeService {
   /// Bounded FIFO of resolved replies for duplicate replay.
   std::unordered_map<std::uint64_t, ResolvedMemo> resolved_memo_;
   std::deque<std::uint64_t> resolved_memo_fifo_;
-  std::uint64_t forwards_ = 0;
-  std::uint64_t peer_hits_ = 0;
-  std::uint64_t peer_queries_served_ = 0;
-  std::uint64_t peer_probes_sent_ = 0;
-  std::uint64_t coalesced_requests_ = 0;
-  std::uint64_t cloud_retransmissions_ = 0;
-  std::uint64_t cloud_timeouts_ = 0;
-  std::uint64_t probe_timeouts_ = 0;
-  std::uint64_t leader_promotions_ = 0;
-  std::uint64_t duplicates_dropped_ = 0;
-  std::uint64_t replayed_from_memo_ = 0;
-  std::uint64_t grace_hits_ = 0;
+  /// Private registry backing the counters when no shared one is
+  /// configured. Declared before the Counter& members: they bind to it
+  /// in the constructor initializer list.
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  obs::RequestTracer* tracer_ = nullptr;
+  obs::Counter& forwards_;
+  obs::Counter& peer_hits_;
+  obs::Counter& peer_queries_served_;
+  obs::Counter& peer_probes_sent_;
+  obs::Counter& coalesced_requests_;
+  obs::Counter& cloud_retransmissions_;
+  obs::Counter& cloud_timeouts_;
+  obs::Counter& probe_timeouts_;
+  obs::Counter& leader_promotions_;
+  obs::Counter& duplicates_dropped_;
+  obs::Counter& replayed_from_memo_;
+  obs::Counter& grace_hits_;
   std::size_t peak_pending_ = 0;
 };
 

@@ -72,6 +72,9 @@ FederationPipeline::FederationPipeline(FederationPipelineConfig config)
   COIC_CHECK(config_.venues >= 1);
   COIC_CHECK(config_.mobiles_per_venue >= 1);
   COIC_CHECK(config_.probe_budget >= 1);
+  if (config_.trace.enabled) {
+    tracer_ = std::make_unique<obs::RequestTracer>(config_.trace);
+  }
   if (config_.delta_gossip && config_.cache.journal_capacity == 0) {
     // Delta gossip needs the cache change journal; without one every
     // send would fall back to a full summary. Journaling is off by
@@ -150,6 +153,33 @@ FederationPipeline::FederationPipeline(FederationPipelineConfig config)
       WireClient(v, m);
     }
   }
+
+  // Samplers over counters whose storage already lives elsewhere: read at
+  // Snapshot() time, zero cost on the hot paths that maintain them.
+  metrics_.RegisterSampler("frame.copies",
+                           [] { return frame_stats().copies(); });
+  metrics_.RegisterSampler("frame.bytes_copied",
+                           [] { return frame_stats().bytes_copied(); });
+  metrics_.RegisterSampler("net.datagram.messages_fragmented", [this] {
+    return net_.datagram_stats().messages_fragmented;
+  });
+  metrics_.RegisterSampler("net.datagram.chunks_sent", [this] {
+    return net_.datagram_stats().chunks_sent;
+  });
+  metrics_.RegisterSampler("net.datagram.messages_reassembled", [this] {
+    return net_.datagram_stats().messages_reassembled;
+  });
+  metrics_.RegisterSampler("net.datagram.partials_discarded", [this] {
+    return net_.datagram_stats().partials_discarded;
+  });
+  metrics_.RegisterSampler("net.links.frames_lost", [this] {
+    std::uint64_t lost = 0;
+    net_.ForEachLink(
+        [&lost](const netsim::Link& l) { lost += l.stats().frames_dropped_loss; });
+    return lost;
+  });
+  metrics_.RegisterSampler("cloud.tasks_executed",
+                           [this] { return cloud_->tasks_executed(); });
 }
 
 void FederationPipeline::WireCloud() {
@@ -202,6 +232,9 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
   EdgeService::Config edge_config;
   edge_config.costs = config_.costs;
   edge_config.cache = config_.cache;
+  edge_config.metrics = &metrics_;
+  edge_config.metrics_prefix = "edge." + std::to_string(venue) + ".";
+  edge_config.tracer = tracer_.get();
   edge_config.cooperative = config_.cooperative && config_.venues > 1;
   edge_config.probe_budget = config_.probe_budget;
   edge_config.coalesce_requests = config_.coalesce_requests;
@@ -269,6 +302,13 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
       },
       delay, now);
 
+  metrics_.RegisterSampler(
+      "edge." + std::to_string(venue) + ".pending_inflight",
+      [this, venue] { return edges_[venue]->pending_inflight(); });
+  metrics_.RegisterSampler(
+      "edge." + std::to_string(venue) + ".peak_pending",
+      [this, venue] { return edges_[venue]->peak_pending(); });
+
   net_.SetHandler(self, [this, venue](netsim::NodeId from, Frame frame) {
     if (from == cloud_node_) {
       edges_[venue]->OnCloudFrame(std::move(frame));
@@ -309,6 +349,11 @@ void FederationPipeline::WireClient(std::uint32_t venue, std::uint32_t mobile) {
   // the shared cloud or in the per-venue client routes.
   client_config.first_request_id = (std::uint64_t{index} << 40) | 1;
   client_config.retry = config_.transport.client_retry;
+  client_config.metrics = &metrics_;
+  client_config.metrics_prefix = "client." + std::to_string(venue) + "." +
+                                 std::to_string(mobile) + ".";
+  client_config.tracer = tracer_.get();
+  client_config.trace_track = venue;
   clients_[index] = std::make_unique<CoicClient>(
       client_config,
       [this, client_node, edge_node](Frame frame) {
@@ -382,6 +427,13 @@ void FederationPipeline::HandleRelayFrame(std::uint32_t venue, Frame frame) {
     // the logical source.
     Frame inner = proto::UnwrapRelay(frame, relay);
     const MessageType inner_type = PeekMessageType(inner.span());
+    if (tracer_ && (inner_type == MessageType::kPeerLookupRequest ||
+                    inner_type == MessageType::kPeerLookupReply)) {
+      // Request-scoped only: summary/ack relays reuse the id field for
+      // versions, which would collide with live request timelines.
+      tracer_->Annotate(PeekRequestId(inner.span()), "relay-delivered",
+                        sched_.now());
+    }
     if (inner_type == MessageType::kSummaryUpdate ||
         inner_type == MessageType::kSummaryDeltaUpdate) {
       HandleSummaryFrame(venue, inner);
@@ -395,6 +447,17 @@ void FederationPipeline::HandleRelayFrame(std::uint32_t venue, Frame frame) {
   if (relay.ttl == 0) {
     COIC_LOG(kWarn) << "federation: relay TTL expired at venue " << venue;
     return;
+  }
+  if (tracer_) {
+    // Peek the inner envelope through a temporary slice, released before
+    // DecrementRelayTtl needs the buffer uniquely held.
+    const Frame inner = proto::UnwrapRelay(frame, relay);
+    const MessageType inner_type = PeekMessageType(inner.span());
+    if (inner_type == MessageType::kPeerLookupRequest ||
+        inner_type == MessageType::kPeerLookupReply) {
+      tracer_->Annotate(PeekRequestId(inner.span()), "relay-hop",
+                        sched_.now());
+    }
   }
   proto::DecrementRelayTtl(frame);
   ++relay_forwards_;
@@ -928,6 +991,18 @@ std::string FederationPipeline::StrandedDiagnostic() const {
     msg += ", " + std::to_string(edge_ids.size()) + " parked at edge";
     append_ids(edge_ids);
     msg += ';';
+    if (tracer_) {
+      // With tracing on, say exactly which phase each stuck request is
+      // parked in and for how long — "phase=cloud_fetch since=+8123ms"
+      // beats grepping the scheduler for where a request went quiet.
+      for (std::size_t i = 0; i < client_ids.size() && i < kMaxIdsNamed;
+           ++i) {
+        const std::string live = tracer_->DescribeLive(client_ids[i]);
+        if (!live.empty()) {
+          msg += " id " + std::to_string(client_ids[i]) + " " + live + ';';
+        }
+      }
+    }
   }
   return msg;
 }

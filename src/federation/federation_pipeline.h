@@ -25,6 +25,8 @@
 #include "core/client.h"
 #include "core/retry.h"
 #include "core/services.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "federation/peer_select.h"
 #include "federation/summary.h"
 #include "federation/topology.h"
@@ -149,6 +151,10 @@ struct FederationPipelineConfig {
   /// Loss / datagram / retry / ack behavior; defaults are the reliable
   /// PR 5 transport, bit-identical outcomes included.
   FederationTransportConfig transport;
+  /// Request-lifecycle tracing (obs::RequestTracer). Disabled by default:
+  /// no tracer is constructed at all and every instrumentation site in
+  /// the client/edge hot paths pays a single null-pointer test.
+  obs::TraceConfig trace;
   core::CostModel costs;
   cache::IcCacheConfig cache;
   vision::FeatureExtractorConfig extractor;
@@ -244,20 +250,20 @@ class FederationPipeline {
   /// SummaryUpdate messages sent (gossip overhead). With delta gossip
   /// this counts full summaries only; deltas are tallied separately.
   [[nodiscard]] std::uint64_t summary_updates_sent() const noexcept {
-    return summary_updates_sent_;
+    return summary_updates_sent_.value();
   }
   /// SummaryDeltaUpdate messages sent (delta gossip only).
   [[nodiscard]] std::uint64_t summary_deltas_sent() const noexcept {
-    return summary_deltas_sent_;
+    return summary_deltas_sent_.value();
   }
   /// Encoded bytes of full-summary / delta-summary frames handed to the
   /// peer links (relay wrappers excluded) — the wire cost the delta
   /// ablation compares.
   [[nodiscard]] std::uint64_t summary_bytes_full() const noexcept {
-    return summary_bytes_full_;
+    return summary_bytes_full_.value();
   }
   [[nodiscard]] std::uint64_t summary_bytes_delta() const noexcept {
-    return summary_bytes_delta_;
+    return summary_bytes_delta_.value();
   }
   /// Venue `venue`'s view of its peers' summaries (tests compare delta-
   /// built tables against full-gossip tables byte for byte).
@@ -266,21 +272,34 @@ class FederationPipeline {
   }
   /// Relay forwards performed by intermediate venues.
   [[nodiscard]] std::uint64_t relay_forwards() const noexcept {
-    return relay_forwards_;
+    return relay_forwards_.value();
   }
 
   /// SummaryAck frames piggybacked on peer traffic (transport.summary_ack).
   [[nodiscard]] std::uint64_t summary_acks_sent() const noexcept {
-    return summary_acks_sent_;
+    return summary_acks_sent_.value();
   }
   /// Targeted full-summary resends triggered by a behind/zero ack.
   [[nodiscard]] std::uint64_t summary_ack_resends() const noexcept {
-    return summary_ack_resends_;
+    return summary_ack_resends_.value();
   }
   /// Peer summaries dropped by the max-age sweep.
   [[nodiscard]] std::uint64_t summaries_aged_out() const noexcept {
-    return summaries_aged_out_;
+    return summaries_aged_out_.value();
   }
+
+  /// The cluster-wide metrics registry: every edge/client/gossip counter
+  /// under a dotted path ("edge.2.forwards", "client.0.3.timeouts",
+  /// "gossip.relay_forwards"), plus samplers over storage that lives
+  /// elsewhere ("net.datagram.*", "net.links.frames_lost", "frame.*",
+  /// "cloud.tasks_executed"). Snapshot()/DiffSince replace the manual
+  /// record-before/subtract-after dance in benches.
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  /// The request tracer, or nullptr when config.trace.enabled is false.
+  [[nodiscard]] obs::RequestTracer* tracer() noexcept { return tracer_.get(); }
 
   /// Cluster-wide transport counters (sums over clients / edges).
   [[nodiscard]] std::uint64_t total_client_retransmissions() const;
@@ -298,6 +317,10 @@ class FederationPipeline {
   }
   [[nodiscard]] netsim::NodeId edge_node(std::uint32_t venue) const {
     return edge_nodes_.at(venue);
+  }
+  [[nodiscard]] netsim::NodeId mobile_node(std::uint32_t venue,
+                                           std::uint32_t mobile) const {
+    return mobile_nodes_.at(ClientIndex(venue, mobile));
   }
   [[nodiscard]] core::CoicClient& client(std::uint32_t venue,
                                          std::uint32_t mobile) {
@@ -385,6 +408,11 @@ class FederationPipeline {
   netsim::EventScheduler sched_;
   netsim::Network net_;
   netsim::NodeId cloud_node_ = 0;
+  /// Cluster metrics registry and tracer. Declared before the actors:
+  /// edges and clients bind Counter& cells (and hold the tracer pointer)
+  /// for their whole lifetime, so both must outlive them.
+  obs::MetricsRegistry metrics_;
+  std::unique_ptr<obs::RequestTracer> tracer_;  ///< Null unless enabled.
   std::vector<netsim::NodeId> edge_nodes_;
   std::vector<netsim::NodeId> mobile_nodes_;  ///< Indexed by ClientIndex.
   std::unique_ptr<core::CloudService> cloud_;
@@ -411,11 +439,15 @@ class FederationPipeline {
   std::vector<std::uint64_t> summary_cursors_;
   std::unordered_map<std::uint64_t, Digest128> model_digests_;
   SimTime next_gossip_ = SimTime::Epoch();
-  std::uint64_t summary_updates_sent_ = 0;
-  std::uint64_t summary_deltas_sent_ = 0;
-  std::uint64_t summary_bytes_full_ = 0;
-  std::uint64_t summary_bytes_delta_ = 0;
-  std::uint64_t relay_forwards_ = 0;
+  obs::Counter& summary_updates_sent_ =
+      metrics_.GetCounter("gossip.summary_updates_sent");
+  obs::Counter& summary_deltas_sent_ =
+      metrics_.GetCounter("gossip.summary_deltas_sent");
+  obs::Counter& summary_bytes_full_ =
+      metrics_.GetCounter("gossip.summary_bytes_full");
+  obs::Counter& summary_bytes_delta_ =
+      metrics_.GetCounter("gossip.summary_bytes_delta");
+  obs::Counter& relay_forwards_ = metrics_.GetCounter("gossip.relay_forwards");
   /// Ack/nack + aging state, venues x venues row-major ([venue][peer]):
   /// last version of peer's summary that venue acked (dedup; UINT64_MAX
   /// = "must ack next chance"), when venue last received a summary frame
@@ -423,9 +455,12 @@ class FederationPipeline {
   std::vector<std::vector<std::uint64_t>> ack_sent_version_;
   std::vector<std::vector<SimTime>> summary_received_at_;
   std::vector<std::vector<SimTime>> next_ack_resend_at_;
-  std::uint64_t summary_acks_sent_ = 0;
-  std::uint64_t summary_ack_resends_ = 0;
-  std::uint64_t summaries_aged_out_ = 0;
+  obs::Counter& summary_acks_sent_ =
+      metrics_.GetCounter("gossip.summary_acks_sent");
+  obs::Counter& summary_ack_resends_ =
+      metrics_.GetCounter("gossip.summary_ack_resends");
+  obs::Counter& summaries_aged_out_ =
+      metrics_.GetCounter("gossip.summaries_aged_out");
   std::deque<Op> ops_;
   std::vector<FederationOutcome> outcomes_;
   /// Open-loop state: armed timer per venue (0 = none), live counters.

@@ -1,0 +1,124 @@
+#include "obs/metrics.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace coic::obs {
+namespace {
+
+void AppendJsonKey(std::string& out, const std::string& key) {
+  // Metric paths are code-chosen dotted identifiers; nothing to escape.
+  out += '"';
+  out += key;
+  out += "\": ";
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::value(const std::string& path) const {
+  const auto it = values.find(path);
+  return it == values.end() ? 0 : it->second;
+}
+
+MetricsSnapshot MetricsSnapshot::DiffSince(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot diff;
+  for (const auto& [path, after] : values) {
+    const std::uint64_t before = earlier.value(path);
+    diff.values.emplace(path, after >= before ? after - before : 0);
+  }
+  // Paths the earlier snapshot had but this one lost (a registry can
+  // only grow, so this means different registries were mixed — still,
+  // diff them as "now zero" rather than dropping them silently).
+  for (const auto& [path, before] : earlier.values) {
+    (void)before;
+    diff.values.try_emplace(path, 0);
+  }
+  return diff;
+}
+
+std::string MetricsSnapshot::DumpJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [path, v] : values) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonKey(out, path);
+    out += std::to_string(v);
+  }
+  out += '}';
+  return out;
+}
+
+bool MetricsRegistry::PathTaken(const std::string& path) const {
+  return counters_.count(path) > 0 || samplers_.count(path) > 0 ||
+         histograms_.count(path) > 0;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& path) {
+  const auto it = counters_.find(path);
+  if (it != counters_.end()) return *it->second;
+  COIC_CHECK_MSG(!PathTaken(path),
+                 "metrics path already registered under another kind");
+  return *counters_.emplace(path, std::unique_ptr<Counter>(new Counter()))
+              .first->second;
+}
+
+void MetricsRegistry::RegisterSampler(const std::string& path,
+                                      Sampler sampler) {
+  COIC_CHECK_MSG(!PathTaken(path), "duplicate metrics sampler path");
+  COIC_CHECK(sampler != nullptr);
+  samplers_.emplace(path, std::move(sampler));
+}
+
+LatencyHistogram& MetricsRegistry::GetHistogram(const std::string& path) {
+  const auto it = histograms_.find(path);
+  if (it != histograms_.end()) return *it->second;
+  COIC_CHECK_MSG(!PathTaken(path),
+                 "metrics path already registered under another kind");
+  return *histograms_.emplace(path, std::make_unique<LatencyHistogram>())
+              .first->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [path, counter] : counters_) {
+    snap.values.emplace(path, counter->value());
+  }
+  for (const auto& [path, sampler] : samplers_) {
+    snap.values.emplace(path, sampler());
+  }
+  for (const auto& [path, hist] : histograms_) {
+    snap.values.emplace(path + ".count", hist->count());
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::DumpJson() const {
+  std::string out = "{\"counters\": ";
+  MetricsSnapshot counters;
+  for (const auto& [path, counter] : counters_) {
+    counters.values.emplace(path, counter->value());
+  }
+  for (const auto& [path, sampler] : samplers_) {
+    counters.values.emplace(path, sampler());
+  }
+  out += counters.DumpJson();
+  out += ", \"histograms\": {";
+  bool first = true;
+  for (const auto& [path, hist] : histograms_) {
+    if (!first) out += ", ";
+    first = false;
+    AppendJsonKey(out, path);
+    out += "{\"count\": " + std::to_string(hist->count());
+    out += ", \"mean_us\": " + std::to_string(hist->MeanMicros());
+    out += ", \"p50_us\": " + std::to_string(hist->QuantileMicros(0.5));
+    out += ", \"p99_us\": " + std::to_string(hist->QuantileMicros(0.99));
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace coic::obs

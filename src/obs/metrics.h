@@ -1,0 +1,116 @@
+// MetricsRegistry — the unified counter/gauge/histogram namespace.
+//
+// Before this existed, counters were scattered: frame copies in a
+// process global (common/frame.h), datagram stats inside
+// netsim::Network, a dozen ad-hoc uint64 members each in EdgeService /
+// CoicClient / FederationPipeline — and every bench that wanted a delta
+// hand-rolled the "record before, subtract after" dance. The registry
+// gives every counter a dotted string path (`edge.0.coalesced_requests`,
+// `net.datagram.partials_discarded`, `frame.copies`), one Snapshot()
+// covering all of them, an explicit snapshot Diff, and a DumpJson()
+// benches and tests can assert on.
+//
+// Two registration styles, both addressable by path:
+//   * Counter cells the registry owns (`GetCounter`): a component binds
+//     a `Counter&` at construction and increments it on the hot path —
+//     a plain uint64 add, same cost as the member it replaced.
+//   * Samplers (`RegisterSampler`): a callback read at Snapshot time,
+//     for counters whose storage already lives elsewhere (the
+//     frame-copy atomics, netsim's DatagramStats, link loss tallies).
+//     Zero hot-path cost; the owner keeps its accessors unchanged.
+//
+// Single-threaded by design, like the simulator it instruments: the
+// multi-core direction (ROADMAP) will shard registries per worker and
+// merge snapshots, not lock this one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/stats.h"
+
+namespace coic::obs {
+
+/// A registered counter cell. Owned by the registry (stable address for
+/// the lifetime of the registry); components hold a reference and
+/// increment it exactly as they would a uint64 member.
+class Counter {
+ public:
+  Counter& operator++() noexcept {
+    ++value_;
+    return *this;
+  }
+  Counter& operator+=(std::uint64_t n) noexcept {
+    value_ += n;
+    return *this;
+  }
+  void Add(std::uint64_t n) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time values of every counter, gauge sampler and histogram
+/// count in a registry, keyed by path. Diffable: benches snapshot before
+/// and after a run and read exact deltas instead of juggling
+/// record-before/subtract-after pairs per counter.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> values;
+
+  /// Value at `path`; 0 when absent (an absent path diffs as zero).
+  [[nodiscard]] std::uint64_t value(const std::string& path) const;
+
+  /// Per-path `this - earlier`. Paths only present on one side diff
+  /// against zero; a counter that went backwards (e.g. an explicit
+  /// Reset between snapshots) saturates at 0 rather than wrapping.
+  [[nodiscard]] MetricsSnapshot DiffSince(const MetricsSnapshot& earlier) const;
+
+  /// `{"path": value, ...}` with paths in sorted order — stable output
+  /// for tests that assert on it.
+  [[nodiscard]] std::string DumpJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  using Sampler = std::function<std::uint64_t()>;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The owned counter at `path`, created on first use. CHECK-fails if
+  /// the path is already registered as a sampler or histogram — one
+  /// path, one metric, forever.
+  [[nodiscard]] Counter& GetCounter(const std::string& path);
+
+  /// Registers a read-at-snapshot callback at `path` (storage stays with
+  /// the owner). CHECK-fails on any duplicate registration.
+  void RegisterSampler(const std::string& path, Sampler sampler);
+
+  /// The owned latency histogram at `path`, created on first use.
+  /// Snapshots expose its count under "<path>.count"; DumpJson adds
+  /// quantiles.
+  [[nodiscard]] LatencyHistogram& GetHistogram(const std::string& path);
+
+  [[nodiscard]] MetricsSnapshot Snapshot() const;
+
+  /// Full JSON dump: {"counters": {...}, "histograms": {path: {count,
+  /// mean_us, p50_us, p99_us}, ...}} — the single artifact a bench or
+  /// test asserts against.
+  [[nodiscard]] std::string DumpJson() const;
+
+ private:
+  [[nodiscard]] bool PathTaken(const std::string& path) const;
+
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, Sampler> samplers_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace coic::obs

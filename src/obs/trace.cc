@@ -1,0 +1,227 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/log.h"
+
+namespace coic::obs {
+
+const char* PhaseName(Phase phase) noexcept {
+  switch (phase) {
+    case Phase::kClientCompute:
+      return "client_compute";
+    case Phase::kUplink:
+      return "uplink";
+    case Phase::kEdgeLookup:
+      return "edge_lookup";
+    case Phase::kCoalescePark:
+      return "coalesce_park";
+    case Phase::kPeerProbe:
+      return "peer_probe";
+    case Phase::kCloudFetch:
+      return "cloud_fetch";
+    case Phase::kCacheInsert:
+      return "cache_insert";
+    case Phase::kDownlink:
+      return "downlink";
+    case Phase::kClientFinish:
+      return "client_finish";
+  }
+  return "unknown";
+}
+
+RequestTracer::RequestTracer(TraceConfig config) : config_(config) {
+  COIC_CHECK(config_.span_capacity >= 1 && config_.instant_capacity >= 1);
+  spans_.reserve(std::min<std::size_t>(config_.span_capacity, 4096));
+  instants_.reserve(std::min<std::size_t>(config_.instant_capacity, 1024));
+}
+
+void RequestTracer::CloseSpan(std::uint64_t id, const OpenSpan& open,
+                              SimTime now) {
+  phase_hist_[static_cast<int>(open.phase)].AddMicros(
+      (now - open.since).micros());
+  ++spans_recorded_;
+  SpanEvent ev{id, open.track, open.phase, open.since, now};
+  if (spans_.size() < config_.span_capacity) {
+    spans_.push_back(ev);
+    return;
+  }
+  spans_[next_span_] = ev;
+  next_span_ = (next_span_ + 1) % config_.span_capacity;
+}
+
+void RequestTracer::Begin(std::uint64_t id, std::uint32_t track, Phase phase,
+                          SimTime now) {
+  open_[id] = OpenSpan{track, phase, now};
+}
+
+void RequestTracer::Transition(std::uint64_t id, Phase phase, SimTime now) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;
+  CloseSpan(id, it->second, now);
+  it->second.phase = phase;
+  it->second.since = now;
+}
+
+void RequestTracer::End(std::uint64_t id, SimTime now) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;
+  CloseSpan(id, it->second, now);
+  open_.erase(it);
+}
+
+void RequestTracer::Annotate(std::uint64_t id, const char* name, SimTime now) {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return;
+  InstantEvent ev{id, it->second.track, name, now};
+  if (instants_.size() < config_.instant_capacity) {
+    instants_.push_back(ev);
+    return;
+  }
+  instants_[next_instant_] = ev;
+  next_instant_ = (next_instant_ + 1) % config_.instant_capacity;
+}
+
+std::vector<LiveSpan> RequestTracer::LiveSpans() const {
+  std::vector<LiveSpan> live;
+  live.reserve(open_.size());
+  for (const auto& [id, open] : open_) {
+    live.push_back({id, open.track, open.phase, open.since});
+  }
+  std::sort(live.begin(), live.end(),
+            [](const LiveSpan& a, const LiveSpan& b) {
+              return a.request_id < b.request_id;
+            });
+  return live;
+}
+
+std::vector<SpanEvent> RequestTracer::CompletedSpans() const {
+  std::vector<SpanEvent> out;
+  out.reserve(spans_.size());
+  if (spans_.size() < config_.span_capacity) {
+    out = spans_;
+    return out;
+  }
+  // Full ring: oldest entry sits at next_span_.
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    out.push_back(spans_[(next_span_ + i) % spans_.size()]);
+  }
+  return out;
+}
+
+std::vector<SpanEvent> RequestTracer::SpansFor(std::uint64_t id) const {
+  std::vector<SpanEvent> out;
+  for (const SpanEvent& ev : CompletedSpans()) {
+    if (ev.request_id == id) out.push_back(ev);
+  }
+  return out;
+}
+
+std::vector<Phase> RequestTracer::PhaseSequenceFor(std::uint64_t id) const {
+  std::vector<Phase> out;
+  for (const SpanEvent& ev : SpansFor(id)) out.push_back(ev.phase);
+  return out;
+}
+
+std::vector<std::string> RequestTracer::AnnotationsFor(
+    std::uint64_t id) const {
+  std::vector<std::string> out;
+  const bool wrapped = instants_.size() >= config_.instant_capacity;
+  const std::size_t n = instants_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const InstantEvent& ev =
+        instants_[wrapped ? (next_instant_ + i) % n : i];
+    if (ev.request_id == id) out.emplace_back(ev.name);
+  }
+  return out;
+}
+
+const LatencyHistogram& RequestTracer::phase_histogram(Phase phase) const {
+  return phase_hist_[static_cast<int>(phase)];
+}
+
+std::uint64_t RequestTracer::spans_evicted() const noexcept {
+  return spans_recorded_ - spans_.size();
+}
+
+std::string RequestTracer::DescribeLive(std::uint64_t id) const {
+  const auto it = open_.find(id);
+  if (it == open_.end()) return {};
+  return std::string("phase=") + PhaseName(it->second.phase) +
+         " since=+" + std::to_string(it->second.since.micros() / 1000) + "ms";
+}
+
+std::string RequestTracer::DumpChromeTrace() const {
+  // Chrome trace-event JSON array format: complete "X" events (ts + dur
+  // in microseconds — exactly SimTime's unit) for spans, "i" instants
+  // for annotations. pid = track (venue), tid = request id. Globally
+  // sorted by ts so per-track timestamps are monotonic for the checker.
+  struct Line {
+    std::int64_t ts;
+    int order;  // spans before instants at equal ts
+    std::string json;
+  };
+  std::vector<Line> lines;
+  lines.reserve(spans_.size() + instants_.size() + open_.size());
+  const auto common = [](std::uint64_t id, std::uint32_t track) {
+    return ",\"pid\":" + std::to_string(track) +
+           ",\"tid\":" + std::to_string(id) + "}";
+  };
+  for (const SpanEvent& ev : CompletedSpans()) {
+    lines.push_back(
+        {ev.begin.micros(), 0,
+         std::string("{\"name\":\"") + PhaseName(ev.phase) +
+             "\",\"cat\":\"request\",\"ph\":\"X\",\"ts\":" +
+             std::to_string(ev.begin.micros()) +
+             ",\"dur\":" + std::to_string((ev.end - ev.begin).micros()) +
+             common(ev.request_id, ev.track)});
+  }
+  // Still-open spans export as zero-duration marks at their start so a
+  // stranded run's trace shows where each stuck request parked.
+  for (const LiveSpan& live : LiveSpans()) {
+    lines.push_back(
+        {live.since.micros(), 0,
+         std::string("{\"name\":\"") + PhaseName(live.phase) +
+             "\",\"cat\":\"live\",\"ph\":\"X\",\"ts\":" +
+             std::to_string(live.since.micros()) + ",\"dur\":0" +
+             common(live.request_id, live.track)});
+  }
+  const bool wrapped = instants_.size() >= config_.instant_capacity;
+  for (std::size_t i = 0; i < instants_.size(); ++i) {
+    const InstantEvent& ev =
+        instants_[wrapped ? (next_instant_ + i) % instants_.size() : i];
+    lines.push_back({ev.at.micros(), 1,
+                     std::string("{\"name\":\"") + ev.name +
+                         "\",\"cat\":\"annotation\",\"ph\":\"i\",\"s\":\"t\""
+                         ",\"ts\":" +
+                         std::to_string(ev.at.micros()) +
+                         common(ev.request_id, ev.track)});
+  }
+  std::stable_sort(lines.begin(), lines.end(),
+                   [](const Line& a, const Line& b) {
+                     return a.ts != b.ts ? a.ts < b.ts : a.order < b.order;
+                   });
+  std::string out = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (i > 0) out += ',';
+    out += '\n';
+    out += lines[i].json;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+Status RequestTracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return Status(StatusCode::kUnavailable, "cannot open " + path);
+  }
+  const std::string json = DumpChromeTrace();
+  file.write(json.data(), static_cast<std::streamsize>(json.size()));
+  file.flush();
+  if (!file) return Status(StatusCode::kUnavailable, "write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace coic::obs

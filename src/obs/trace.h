@@ -1,0 +1,179 @@
+// RequestTracer — per-request lifecycle spans with sim-clock stamps.
+//
+// A request's life is a sequence of phases: on-device compute, the
+// uplink, the edge cache lookup, then one of several middles (coalesce
+// park, peer-probe round, cloud fetch with retries), the cache insert,
+// the downlink, and any post-receive device compute. The tracer records
+// that sequence per request id as contiguous spans: Begin() opens the
+// first phase, each Transition() closes the open span at `now` and
+// opens the next at the same instant, End() closes the last. Because
+// the stamps are sim-clock, span durations are exact simulated time —
+// phase durations sum to the request's outcome latency by construction.
+// Annotate() adds instant markers (retransmits, relay hops, promotions)
+// onto the open request's timeline.
+//
+// Cost model: OFF by default. Components hold a `RequestTracer*` that is
+// null when tracing is disabled, so every instrumentation site is one
+// pointer test (pinned by a bench_micro row). Enabled, each event is a
+// hash-map touch plus a ring-buffer write — completed spans land in a
+// bounded ring (oldest overwritten), while per-phase LatencyHistograms
+// accumulate every span regardless of ring wraps.
+//
+// Export: DumpChromeTrace() emits Chrome trace-event JSON ("X" complete
+// events + "i" instants; pid = track/venue, tid = request id) loadable
+// in chrome://tracing or Perfetto; tools/check_trace_json.py validates
+// the format in CI.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace coic::obs {
+
+/// Request-lifecycle phases, in canonical order of a full cloud miss.
+/// Not every request visits every phase: a cache hit goes straight from
+/// kEdgeLookup to kDownlink, a coalesced follower parks instead of
+/// fetching, recognition has no kClientFinish.
+enum class Phase : std::uint8_t {
+  kClientCompute = 0,  ///< on-device extraction / request prep
+  kUplink,             ///< request on the wire, client -> edge
+  kEdgeLookup,         ///< edge cache lookup (queue wait + compute)
+  kCoalescePark,       ///< parked on a same-key leader's wait list
+  kPeerProbe,          ///< peer-probe round in flight
+  kCloudFetch,         ///< forwarded to the cloud (includes retry waits)
+  kCacheInsert,        ///< result landed; delayed insert before reply
+  kDownlink,           ///< reply on the wire, edge -> client
+  kClientFinish,       ///< post-receive device compute (install / crop)
+};
+inline constexpr int kPhaseCount = 9;
+
+/// Stable snake_case name ("edge_lookup"); doubles as the Chrome event
+/// name.
+[[nodiscard]] const char* PhaseName(Phase phase) noexcept;
+
+struct TraceConfig {
+  /// Off => the owner constructs no tracer at all and every site pays
+  /// one null-pointer test.
+  bool enabled = false;
+  /// Completed-span ring bound (oldest overwritten beyond it).
+  std::size_t span_capacity = 1 << 16;
+  /// Annotation ring bound.
+  std::size_t instant_capacity = 1 << 14;
+};
+
+/// A closed phase span on one request's timeline.
+struct SpanEvent {
+  std::uint64_t request_id = 0;
+  std::uint32_t track = 0;  ///< Chrome pid; the venue in federation runs.
+  Phase phase = Phase::kClientCompute;
+  SimTime begin;
+  SimTime end;
+};
+
+/// An instant annotation ("client-retransmit", "relay-hop", ...). Names
+/// are static string literals — recording one never allocates.
+struct InstantEvent {
+  std::uint64_t request_id = 0;
+  std::uint32_t track = 0;
+  const char* name = "";
+  SimTime at;
+};
+
+/// The currently-open span of an in-flight request — the "where is it
+/// parked" answer for stranded-workload diagnostics.
+struct LiveSpan {
+  std::uint64_t request_id = 0;
+  std::uint32_t track = 0;
+  Phase phase = Phase::kClientCompute;
+  SimTime since;
+};
+
+class RequestTracer {
+ public:
+  explicit RequestTracer(TraceConfig config);
+  RequestTracer(const RequestTracer&) = delete;
+  RequestTracer& operator=(const RequestTracer&) = delete;
+
+  /// Opens `id`'s timeline in `phase` at `now`. A second Begin for a
+  /// live id restarts its timeline (ids are unique per run by
+  /// construction; a collision would otherwise corrupt both).
+  void Begin(std::uint64_t id, std::uint32_t track, Phase phase, SimTime now);
+
+  /// Closes the open span at `now` and opens `phase` at the same
+  /// instant. No-op for unknown ids: late frames (memo replays,
+  /// straggler probe replies) touch requests that already Ended, and
+  /// those must not resurrect a timeline.
+  void Transition(std::uint64_t id, Phase phase, SimTime now);
+
+  /// Closes the open span and retires the timeline. No-op when unknown.
+  void End(std::uint64_t id, SimTime now);
+
+  /// Stamps an instant marker on a live request; no-op when unknown.
+  /// `name` must be a string literal (stored by pointer).
+  void Annotate(std::uint64_t id, const char* name, SimTime now);
+
+  // -- Inspection ----------------------------------------------------------
+
+  [[nodiscard]] std::size_t live_count() const noexcept {
+    return open_.size();
+  }
+  /// Open spans, ascending by request id.
+  [[nodiscard]] std::vector<LiveSpan> LiveSpans() const;
+  /// Completed spans still in the ring, oldest first.
+  [[nodiscard]] std::vector<SpanEvent> CompletedSpans() const;
+  /// Completed spans of one request, in phase order (subject to ring
+  /// eviction; sized for tests and diagnostics, not the hot path).
+  [[nodiscard]] std::vector<SpanEvent> SpansFor(std::uint64_t id) const;
+  [[nodiscard]] std::vector<Phase> PhaseSequenceFor(std::uint64_t id) const;
+  /// Annotation names stamped on one request, in time order.
+  [[nodiscard]] std::vector<std::string> AnnotationsFor(
+      std::uint64_t id) const;
+
+  /// Every span ever closed feeds these, ring wraps notwithstanding —
+  /// the per-phase latency breakdown the BENCH json reports.
+  [[nodiscard]] const LatencyHistogram& phase_histogram(Phase phase) const;
+
+  [[nodiscard]] std::uint64_t spans_recorded() const noexcept {
+    return spans_recorded_;
+  }
+  /// Spans overwritten in the ring (recorded minus retained).
+  [[nodiscard]] std::uint64_t spans_evicted() const noexcept;
+
+  /// One-line live status for a stuck request: "phase=cloud_fetch
+  /// since=+8123ms" (empty when the id has no open span).
+  [[nodiscard]] std::string DescribeLive(std::uint64_t id) const;
+
+  /// Chrome trace-event JSON: {"traceEvents": [...]} with complete "X"
+  /// events per span and "i" instants per annotation, globally sorted by
+  /// timestamp. Loadable in chrome://tracing / Perfetto.
+  [[nodiscard]] std::string DumpChromeTrace() const;
+  /// DumpChromeTrace to a file.
+  [[nodiscard]] Status WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct OpenSpan {
+    std::uint32_t track = 0;
+    Phase phase = Phase::kClientCompute;
+    SimTime since;
+  };
+
+  void CloseSpan(std::uint64_t id, const OpenSpan& open, SimTime now);
+
+  TraceConfig config_;
+  std::unordered_map<std::uint64_t, OpenSpan> open_;
+  /// Bounded rings: fill to capacity, then overwrite oldest at next_*.
+  std::vector<SpanEvent> spans_;
+  std::size_t next_span_ = 0;
+  std::vector<InstantEvent> instants_;
+  std::size_t next_instant_ = 0;
+  std::uint64_t spans_recorded_ = 0;
+  LatencyHistogram phase_hist_[kPhaseCount];
+};
+
+}  // namespace coic::obs

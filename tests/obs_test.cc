@@ -1,0 +1,553 @@
+// Tests for the observability layer: MetricsRegistry / MetricsSnapshot,
+// RequestTracer span mechanics and Chrome-trace export, and end-to-end
+// span-lifecycle assertions through the federation pipeline's gnarliest
+// request paths (coalesced followers, leader-loss promotion, client
+// retry exhaustion, relay-forwarded probes).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "federation/federation_pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "trace/workload.h"
+
+namespace coic {
+namespace {
+
+using federation::FederationPipeline;
+using federation::FederationPipelineConfig;
+using federation::PeerSelectKind;
+using federation::TopologyKind;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+using obs::Phase;
+using obs::RequestTracer;
+using obs::TraceConfig;
+using proto::ResultSource;
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterCreatedOnFirstUseAndShared) {
+  MetricsRegistry registry;
+  obs::Counter& a = registry.GetCounter("edge.0.forwards");
+  ++a;
+  a += 4;
+  a.Add(5);
+  EXPECT_EQ(a.value(), 10u);
+  // Same path -> same cell.
+  obs::Counter& again = registry.GetCounter("edge.0.forwards");
+  ++again;
+  EXPECT_EQ(a.value(), 11u);
+  EXPECT_EQ(&a, &again);
+}
+
+TEST(MetricsRegistryTest, SamplerReadsOwnerStorageAtSnapshotTime) {
+  MetricsRegistry registry;
+  std::uint64_t external = 7;
+  registry.RegisterSampler("net.links.frames_lost",
+                           [&external] { return external; });
+  EXPECT_EQ(registry.Snapshot().value("net.links.frames_lost"), 7u);
+  external = 42;  // No re-registration needed: read again at snapshot.
+  EXPECT_EQ(registry.Snapshot().value("net.links.frames_lost"), 42u);
+}
+
+TEST(MetricsRegistryTest, HistogramCountAppearsInSnapshot) {
+  MetricsRegistry registry;
+  LatencyHistogram& hist = registry.GetHistogram("edge.lookup_us");
+  hist.AddMicros(100);
+  hist.AddMicros(300);
+  const MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.value("edge.lookup_us.count"), 2u);
+}
+
+TEST(MetricsSnapshotTest, DiffSinceSubtractsPerPathAndSaturates) {
+  MetricsRegistry registry;
+  obs::Counter& hits = registry.GetCounter("hits");
+  obs::Counter& misses = registry.GetCounter("misses");
+  hits += 10;
+  misses += 3;
+  const MetricsSnapshot before = registry.Snapshot();
+  hits += 5;
+  obs::Counter& fresh = registry.GetCounter("fresh");  // born after `before`
+  ++fresh;
+  const MetricsSnapshot diff = registry.Snapshot().DiffSince(before);
+  EXPECT_EQ(diff.value("hits"), 5u);
+  EXPECT_EQ(diff.value("misses"), 0u);
+  EXPECT_EQ(diff.value("fresh"), 1u);  // absent side diffs against zero
+  EXPECT_EQ(diff.value("no.such.path"), 0u);
+  // Backwards counters saturate at 0 instead of wrapping.
+  MetricsSnapshot high, low;
+  high.values["x"] = 10;
+  low.values["x"] = 4;
+  EXPECT_EQ(low.DiffSince(high).value("x"), 0u);
+}
+
+TEST(MetricsSnapshotTest, DumpJsonIsSortedAndParseableShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.two") += 2;
+  registry.GetCounter("a.one") += 1;
+  const std::string json = registry.Snapshot().DumpJson();
+  const auto a_pos = json.find("\"a.one\": 1");
+  const auto b_pos = json.find("\"b.two\": 2");
+  ASSERT_NE(a_pos, std::string::npos) << json;
+  ASSERT_NE(b_pos, std::string::npos) << json;
+  EXPECT_LT(a_pos, b_pos);  // sorted paths -> stable output
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsRegistryTest, DumpJsonCarriesCountersAndHistograms) {
+  MetricsRegistry registry;
+  registry.GetCounter("c") += 3;
+  registry.GetHistogram("lat").AddMicros(1000);
+  const std::string json = registry.DumpJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"c\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"lat\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// RequestTracer mechanics
+// ---------------------------------------------------------------------------
+
+TraceConfig SmallTrace(std::size_t spans = 1 << 16,
+                       std::size_t instants = 1 << 14) {
+  TraceConfig config;
+  config.enabled = true;
+  config.span_capacity = spans;
+  config.instant_capacity = instants;
+  return config;
+}
+
+SimTime At(std::int64_t us) { return SimTime::FromMicros(us); }
+
+TEST(RequestTracerTest, SpansAreContiguousAndSumToLifetime) {
+  RequestTracer tracer(SmallTrace());
+  tracer.Begin(1, /*track=*/0, Phase::kClientCompute, At(100));
+  tracer.Transition(1, Phase::kUplink, At(250));
+  tracer.Transition(1, Phase::kEdgeLookup, At(900));
+  tracer.End(1, At(1000));
+  const auto spans = tracer.SpansFor(1);
+  ASSERT_EQ(spans.size(), 3u);
+  std::int64_t sum = 0;
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    if (i > 0) {
+      EXPECT_EQ(spans[i].begin, spans[i - 1].end);  // contiguous
+    }
+    sum += (spans[i].end - spans[i].begin).micros();
+  }
+  EXPECT_EQ(sum, 900);  // == End - Begin by construction
+  const auto phases = tracer.PhaseSequenceFor(1);
+  const std::vector<Phase> want = {Phase::kClientCompute, Phase::kUplink,
+                                   Phase::kEdgeLookup};
+  EXPECT_EQ(phases, want);
+  EXPECT_EQ(tracer.live_count(), 0u);
+}
+
+TEST(RequestTracerTest, UnknownIdsAreNoOps) {
+  RequestTracer tracer(SmallTrace());
+  // A late frame must not resurrect an ended (or never-begun) timeline.
+  tracer.Transition(99, Phase::kDownlink, At(10));
+  tracer.End(99, At(20));
+  tracer.Annotate(99, "ghost", At(30));
+  EXPECT_EQ(tracer.spans_recorded(), 0u);
+  EXPECT_EQ(tracer.live_count(), 0u);
+  EXPECT_TRUE(tracer.AnnotationsFor(99).empty());
+  tracer.Begin(7, 0, Phase::kClientCompute, At(0));
+  tracer.End(7, At(50));
+  tracer.Transition(7, Phase::kUplink, At(60));  // already ended
+  EXPECT_EQ(tracer.SpansFor(7).size(), 1u);
+}
+
+TEST(RequestTracerTest, RingEvictsOldestButHistogramsKeepEverything) {
+  RequestTracer tracer(SmallTrace(/*spans=*/4));
+  for (std::uint64_t id = 1; id <= 10; ++id) {
+    tracer.Begin(id, 0, Phase::kUplink, At(static_cast<std::int64_t>(id)));
+    tracer.End(id, At(static_cast<std::int64_t>(id) + 1));
+  }
+  EXPECT_EQ(tracer.spans_recorded(), 10u);
+  EXPECT_EQ(tracer.spans_evicted(), 6u);
+  const auto retained = tracer.CompletedSpans();
+  ASSERT_EQ(retained.size(), 4u);
+  EXPECT_EQ(retained.front().request_id, 7u);  // oldest first
+  EXPECT_EQ(retained.back().request_id, 10u);
+  // Evicted spans still counted in the per-phase breakdown.
+  EXPECT_EQ(tracer.phase_histogram(Phase::kUplink).count(), 10u);
+}
+
+TEST(RequestTracerTest, AnnotationsAttachToLiveRequestsInTimeOrder) {
+  RequestTracer tracer(SmallTrace());
+  tracer.Begin(5, 2, Phase::kUplink, At(0));
+  tracer.Annotate(5, "client-retransmit", At(10));
+  tracer.Annotate(5, "client-retransmit", At(20));
+  tracer.Annotate(5, "client-timeout", At(30));
+  tracer.End(5, At(40));
+  const auto notes = tracer.AnnotationsFor(5);
+  const std::vector<std::string> want = {"client-retransmit",
+                                         "client-retransmit", "client-timeout"};
+  EXPECT_EQ(notes, want);
+}
+
+TEST(RequestTracerTest, DescribeLiveNamesPhaseAndAge) {
+  RequestTracer tracer(SmallTrace());
+  tracer.Begin(3, 1, Phase::kCloudFetch, At(1'000));
+  const std::string live = tracer.DescribeLive(3);
+  EXPECT_NE(live.find("cloud_fetch"), std::string::npos) << live;
+  EXPECT_TRUE(tracer.DescribeLive(999).empty());
+  const auto lives = tracer.LiveSpans();
+  ASSERT_EQ(lives.size(), 1u);
+  EXPECT_EQ(lives[0].request_id, 3u);
+  EXPECT_EQ(lives[0].phase, Phase::kCloudFetch);
+}
+
+TEST(RequestTracerTest, ChromeTraceHasSortedCompleteAndInstantEvents) {
+  RequestTracer tracer(SmallTrace());
+  tracer.Begin(1, 0, Phase::kUplink, At(100));
+  tracer.Annotate(1, "relay-hop", At(150));
+  tracer.Transition(1, Phase::kDownlink, At(200));
+  tracer.End(1, At(300));
+  tracer.Begin(2, 1, Phase::kUplink, At(50));  // left open -> "live" event
+  const std::string json = tracer.DumpChromeTrace();
+  EXPECT_EQ(json.find("{\"traceEvents\":"), 0u) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\":"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"uplink\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"relay-hop\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"live\""), std::string::npos);
+  // Globally sorted by ts: the open request began first.
+  EXPECT_LT(json.find("\"ts\":50"), json.find("\"ts\":100"));
+}
+
+TEST(RequestTracerTest, WriteChromeTraceRoundTripsToDisk) {
+  RequestTracer tracer(SmallTrace());
+  tracer.Begin(1, 0, Phase::kUplink, At(0));
+  tracer.End(1, At(10));
+  const std::string path = ::testing::TempDir() + "/obs_trace_test.json";
+  ASSERT_TRUE(tracer.WriteChromeTrace(path).ok());
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), tracer.DumpChromeTrace());
+  std::remove(path.c_str());
+  EXPECT_FALSE(tracer.WriteChromeTrace("/no/such/dir/trace.json").ok());
+}
+
+// ---------------------------------------------------------------------------
+// QoeAggregator per-source breakdown
+// ---------------------------------------------------------------------------
+
+core::RequestOutcome Served(ResultSource source, double latency_ms) {
+  core::RequestOutcome outcome;
+  outcome.task = proto::TaskKind::kRender;
+  outcome.source = source;
+  outcome.latency =
+      Duration::Micros(static_cast<std::int64_t>(latency_ms * 1e3));
+  return outcome;
+}
+
+TEST(QoeAggregatorTest, PerSourceLatencySplitsTheOverallCurve) {
+  core::QoeAggregator qoe;
+  qoe.Add(Served(ResultSource::kEdgeCache, 5));
+  qoe.Add(Served(ResultSource::kEdgeCache, 7));
+  qoe.Add(Served(ResultSource::kPeerEdge, 20));
+  qoe.Add(Served(ResultSource::kCloud, 100));
+  EXPECT_EQ(qoe.latencies_ms_for(ResultSource::kEdgeCache).count(), 2u);
+  EXPECT_EQ(qoe.latencies_ms_for(ResultSource::kPeerEdge).count(), 1u);
+  EXPECT_EQ(qoe.latencies_ms_for(ResultSource::kCloud).count(), 1u);
+  EXPECT_TRUE(qoe.latencies_ms_for(ResultSource::kLocal).empty());
+  EXPECT_DOUBLE_EQ(qoe.latencies_ms_for(ResultSource::kEdgeCache).mean(), 6.0);
+  // The split partitions the overall sample.
+  EXPECT_EQ(qoe.latencies_ms().count(), 4u);
+  const std::string json = qoe.DumpJson();
+  EXPECT_NE(json.find("\"by_source\""), std::string::npos);
+  EXPECT_NE(json.find("\"edge_cache\""), std::string::npos);
+  EXPECT_NE(json.find("\"peer_edge\""), std::string::npos);
+  EXPECT_EQ(json.find("\"local\""), std::string::npos);  // empty -> omitted
+}
+
+// ---------------------------------------------------------------------------
+// Span lifecycle through the federation pipeline
+// ---------------------------------------------------------------------------
+
+FederationPipelineConfig TracedClusterConfig(std::uint32_t venues) {
+  FederationPipelineConfig config;
+  config.venues = venues;
+  config.mobiles_per_venue = 2;
+  config.policy.kind = PeerSelectKind::kSummaryDirected;
+  config.gossip_period = Duration::Millis(50);
+  config.network =
+      core::NetworkCondition{Bandwidth::Gbps(1), Bandwidth::Mbps(200)};
+  config.trace.enabled = true;
+  return config;
+}
+
+trace::PlacedRecord RenderAt(std::uint32_t venue, std::uint64_t model,
+                             std::int64_t at_us, std::uint32_t user = 0) {
+  trace::PlacedRecord p;
+  p.venue = venue;
+  p.record.type = trace::IcTaskType::kRender;
+  p.record.model_id = model;
+  p.record.at = SimTime::FromMicros(at_us);
+  p.record.user_id = user;
+  return p;
+}
+
+std::uint64_t RequestIdOf(std::uint32_t client_index) {
+  // Mirror of the pipeline's disjoint id spaces: first request of client
+  // `index` is (index << 40) | 1.
+  return (std::uint64_t{client_index} << 40) | 1;
+}
+
+std::int64_t PhaseSumMicros(const RequestTracer& tracer, std::uint64_t id) {
+  std::int64_t sum = 0;
+  for (const auto& span : tracer.SpansFor(id)) {
+    sum += (span.end - span.begin).micros();
+  }
+  return sum;
+}
+
+TEST(SpanLifecycleTest, CoalescedFollowerParksThenRidesTheLeaderResult) {
+  // Two mobiles at one venue miss on the same model back to back: the
+  // first becomes the fetch leader, the second parks on the wait list
+  // and is served from the leader's result without its own cloud trip.
+  FederationPipelineConfig config = TracedClusterConfig(1);
+  FederationPipeline pipeline(config);
+  pipeline.RegisterModel(1, KB(64));
+  pipeline.EnqueuePlaced(RenderAt(0, 1, 1'000, /*user=*/0));
+  pipeline.EnqueuePlaced(RenderAt(0, 1, 2'000, /*user=*/1));
+  const auto outcomes = pipeline.RunOpenLoop();
+  ASSERT_EQ(outcomes.size(), 2u);
+  for (const auto& o : outcomes) ASSERT_FALSE(o.outcome.error);
+  ASSERT_EQ(pipeline.total_coalesced_requests(), 1u);
+
+  RequestTracer& tracer = *pipeline.tracer();
+  const std::uint64_t leader = RequestIdOf(0);
+  const std::uint64_t follower = RequestIdOf(1);
+
+  // Leader: full cloud-miss path (single venue -> no peer probe).
+  const std::vector<Phase> leader_want = {
+      Phase::kClientCompute, Phase::kUplink,      Phase::kEdgeLookup,
+      Phase::kCloudFetch,    Phase::kCacheInsert, Phase::kDownlink,
+      Phase::kClientFinish};
+  EXPECT_EQ(tracer.PhaseSequenceFor(leader), leader_want);
+
+  // Follower: parks instead of fetching, then rides the fan-out.
+  const std::vector<Phase> follower_want = {
+      Phase::kClientCompute, Phase::kUplink,   Phase::kEdgeLookup,
+      Phase::kCoalescePark,  Phase::kDownlink, Phase::kClientFinish};
+  EXPECT_EQ(tracer.PhaseSequenceFor(follower), follower_want);
+  const auto notes = tracer.AnnotationsFor(follower);
+  EXPECT_NE(std::find(notes.begin(), notes.end(), "coalesced"), notes.end());
+
+  // Sim-clock spans are exact: per-request phase durations sum to the
+  // request's outcome latency, for both shapes.
+  EXPECT_EQ(PhaseSumMicros(tracer, leader) + PhaseSumMicros(tracer, follower),
+            outcomes[0].outcome.latency.micros() +
+                outcomes[1].outcome.latency.micros());
+  EXPECT_EQ(tracer.live_count(), 0u);  // everything ended
+}
+
+TEST(SpanLifecycleTest, LeaderLossPromotionAnnotatesThePromotedFollower) {
+  // The leader's cloud fetch (and its one retransmission) die on the
+  // WAN; the oldest parked follower is promoted and completes. The
+  // timelines must show the hand-off: the dead leader ends in an error
+  // downlink, the promoted follower gains a cloud_fetch phase after its
+  // coalesce park.
+  FederationPipelineConfig config = TracedClusterConfig(1);
+  config.transport.cloud_retry.timeout = Duration::Millis(50);
+  config.transport.cloud_retry.max_retries = 1;
+  FederationPipeline pipeline(config);
+  pipeline.RegisterModel(1, KB(64));
+  pipeline.EnqueuePlaced(RenderAt(0, 1, 1'000, /*user=*/0));
+  pipeline.EnqueuePlaced(RenderAt(0, 1, 2'000, /*user=*/1));
+  pipeline.network()
+      .LinkBetween(pipeline.edge_node(0), pipeline.cloud_node())
+      .ForceDropNext(2);
+  const auto outcomes = pipeline.RunOpenLoop();
+  ASSERT_EQ(outcomes.size(), 2u);
+  ASSERT_EQ(pipeline.total_leader_promotions(), 1u);
+
+  RequestTracer& tracer = *pipeline.tracer();
+  const std::uint64_t leader = RequestIdOf(0);
+  const std::uint64_t follower = RequestIdOf(1);
+
+  // Dead leader: cloud fetch never lands; budget exhaustion sends an
+  // error straight down.
+  const std::vector<Phase> leader_want = {
+      Phase::kClientCompute, Phase::kUplink, Phase::kEdgeLookup,
+      Phase::kCloudFetch, Phase::kDownlink};
+  EXPECT_EQ(tracer.PhaseSequenceFor(leader), leader_want);
+  const auto leader_notes = tracer.AnnotationsFor(leader);
+  EXPECT_NE(std::find(leader_notes.begin(), leader_notes.end(),
+                      "cloud-retransmit"),
+            leader_notes.end());
+  EXPECT_NE(
+      std::find(leader_notes.begin(), leader_notes.end(), "cloud-timeout"),
+      leader_notes.end());
+
+  // Promoted follower: parked, then took over the fetch.
+  const std::vector<Phase> follower_want = {
+      Phase::kClientCompute, Phase::kUplink,     Phase::kEdgeLookup,
+      Phase::kCoalescePark,  Phase::kCloudFetch, Phase::kCacheInsert,
+      Phase::kDownlink,      Phase::kClientFinish};
+  EXPECT_EQ(tracer.PhaseSequenceFor(follower), follower_want);
+  const auto notes = tracer.AnnotationsFor(follower);
+  EXPECT_NE(std::find(notes.begin(), notes.end(), "leader-promotion"),
+            notes.end());
+
+  // Both timelines ended, and each one's spans sum to its latency.
+  EXPECT_EQ(tracer.live_count(), 0u);
+  for (const auto& o : outcomes) {
+    const std::uint64_t id = o.outcome.error ? leader : follower;
+    EXPECT_EQ(PhaseSumMicros(tracer, id), o.outcome.latency.micros());
+  }
+}
+
+TEST(SpanLifecycleTest, RetryExhaustionEndsTheTimelineAtTheErrorOutcome) {
+  // Every uplink attempt is force-dropped on the wifi link: the client
+  // retransmits through its budget, annotates the timeout, and the span
+  // timeline ends exactly when the error outcome is delivered.
+  FederationPipelineConfig config = TracedClusterConfig(1);
+  config.transport.client_retry.timeout = Duration::Millis(40);
+  config.transport.client_retry.max_retries = 2;
+  FederationPipeline pipeline(config);
+  pipeline.RegisterModel(1, KB(64));
+  pipeline.EnqueuePlaced(RenderAt(0, 1, 1'000, /*user=*/0));
+  // Initial send + 2 retransmissions, all eaten by the wire.
+  pipeline.network()
+      .LinkBetween(pipeline.mobile_node(0, 0), pipeline.edge_node(0))
+      .ForceDropNext(3);
+  const auto outcomes = pipeline.RunOpenLoop();
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].outcome.error);
+  EXPECT_EQ(pipeline.total_client_retransmissions(), 2u);
+  EXPECT_EQ(pipeline.total_client_timeouts(), 1u);
+
+  RequestTracer& tracer = *pipeline.tracer();
+  const std::uint64_t id = RequestIdOf(0);
+  // The request never got past the uplink.
+  const std::vector<Phase> want = {Phase::kClientCompute, Phase::kUplink};
+  EXPECT_EQ(tracer.PhaseSequenceFor(id), want);
+  const std::vector<std::string> notes_want = {
+      "client-retransmit", "client-retransmit", "client-timeout"};
+  EXPECT_EQ(tracer.AnnotationsFor(id), notes_want);
+  EXPECT_EQ(PhaseSumMicros(tracer, id), outcomes[0].outcome.latency.micros());
+  EXPECT_EQ(tracer.live_count(), 0u);
+}
+
+TEST(SpanLifecycleTest, RelayForwardedProbeAnnotatesEveryHop) {
+  // Ring of 4: venue 2 caches the model first, then venue 0 misses and
+  // broadcast-probes. The probe to the antipodal venue 2 (and its hit
+  // reply) each ride a relay through an intermediate venue — the
+  // timeline must show the hop and delivery markers, and the request
+  // must gain a peer_probe phase and finish from the peer's result.
+  FederationPipelineConfig config = TracedClusterConfig(4);
+  config.topology = TopologyKind::kRing;
+  config.policy.kind = PeerSelectKind::kBroadcastAll;
+  FederationPipeline pipeline(config);
+  pipeline.RegisterModel(1, KB(64));
+  // Closed loop: strictly one at a time, so venue 2's insert completes
+  // before venue 0 asks.
+  pipeline.EnqueuePlaced(RenderAt(2, 1, 0, /*user=*/0));
+  pipeline.EnqueuePlaced(RenderAt(0, 1, 0, /*user=*/0));
+  const auto outcomes = pipeline.Run();
+  ASSERT_EQ(outcomes.size(), 2u);
+  ASSERT_FALSE(outcomes[1].outcome.error);
+  EXPECT_EQ(outcomes[1].outcome.source, ResultSource::kPeerEdge);
+  EXPECT_GE(pipeline.relay_forwards(), 2u);  // probe out + reply back
+
+  RequestTracer& tracer = *pipeline.tracer();
+  // Venue 0, mobile 0 -> client index 0 (2 mobiles per venue shifts
+  // venue 2's first mobile to index 4).
+  const std::uint64_t id = RequestIdOf(0);
+  const std::vector<Phase> want = {
+      Phase::kClientCompute, Phase::kUplink,      Phase::kEdgeLookup,
+      Phase::kPeerProbe,     Phase::kCacheInsert, Phase::kDownlink,
+      Phase::kClientFinish};
+  EXPECT_EQ(tracer.PhaseSequenceFor(id), want);
+  const auto notes = tracer.AnnotationsFor(id);
+  const auto count_of = [&notes](const std::string& name) {
+    return std::count(notes.begin(), notes.end(), name);
+  };
+  EXPECT_GE(count_of("relay-hop"), 2) << "probe out and reply back each hop";
+  EXPECT_GE(count_of("relay-delivered"), 2);
+  EXPECT_EQ(PhaseSumMicros(tracer, id), outcomes[1].outcome.latency.micros());
+}
+
+TEST(SpanLifecycleTest, StormPhaseDurationsSumToOutcomeLatencies) {
+  // The aggregate form of the contiguity invariant: across a traced
+  // open-loop storm, summing every request's phase spans reproduces the
+  // total outcome latency exactly (sim clocks don't drift), and the
+  // per-phase histograms account for every recorded span.
+  FederationPipelineConfig config = TracedClusterConfig(2);
+  FederationPipeline pipeline(config);
+  for (std::uint64_t m = 1; m <= 3; ++m) pipeline.RegisterModel(m, KB(64));
+  for (const auto& p : trace::MakeRenderStorm(2, 60, 400.0, 3)) {
+    pipeline.EnqueuePlaced(p);
+  }
+  const auto outcomes = pipeline.RunOpenLoop();
+  ASSERT_EQ(outcomes.size(), 60u);
+  RequestTracer& tracer = *pipeline.tracer();
+  EXPECT_EQ(tracer.live_count(), 0u);
+
+  std::int64_t span_sum = 0;
+  for (const auto& span : tracer.CompletedSpans()) {
+    span_sum += (span.end - span.begin).micros();
+  }
+  std::int64_t latency_sum = 0;
+  for (const auto& o : outcomes) latency_sum += o.outcome.latency.micros();
+  EXPECT_EQ(span_sum, latency_sum);
+
+  std::uint64_t hist_count = 0;
+  for (int p = 0; p < obs::kPhaseCount; ++p) {
+    hist_count += tracer.phase_histogram(static_cast<Phase>(p)).count();
+  }
+  EXPECT_EQ(hist_count, tracer.spans_recorded());
+  EXPECT_EQ(hist_count, tracer.CompletedSpans().size());  // no eviction here
+}
+
+TEST(SpanLifecycleTest, MetricsSnapshotDiffMatchesLegacyAccessors) {
+  // The registry is the same storage the legacy accessors read: a diff
+  // across a run must agree with the accessor deltas, and the samplers
+  // must surface the frame/datagram globals under their dotted paths.
+  FederationPipelineConfig config = TracedClusterConfig(2);
+  FederationPipeline pipeline(config);
+  for (std::uint64_t m = 1; m <= 3; ++m) pipeline.RegisterModel(m, KB(64));
+  for (const auto& p : trace::MakeRenderStorm(2, 40, 400.0, 3)) {
+    pipeline.EnqueuePlaced(p);
+  }
+  const MetricsSnapshot before = pipeline.metrics().Snapshot();
+  const auto outcomes = pipeline.RunOpenLoop();
+  ASSERT_EQ(outcomes.size(), 40u);
+  const MetricsSnapshot diff = pipeline.metrics().Snapshot().DiffSince(before);
+
+  std::uint64_t forwards = 0, coalesced = 0;
+  for (std::uint32_t v = 0; v < 2; ++v) {
+    const std::string prefix = "edge." + std::to_string(v) + ".";
+    forwards += diff.value(prefix + "forwards");
+    coalesced += diff.value(prefix + "coalesced_requests");
+  }
+  EXPECT_EQ(forwards, pipeline.total_cloud_forwards());
+  EXPECT_EQ(coalesced, pipeline.total_coalesced_requests());
+  EXPECT_EQ(diff.value("gossip.summary_updates_sent"),
+            pipeline.summary_updates_sent());
+  // Frame-stat samplers ride the same snapshot; the zero-copy invariant
+  // reads as a zero diff.
+  EXPECT_EQ(diff.value("frame.copies"), 0u);
+  EXPECT_EQ(diff.value("cloud.tasks_executed"), forwards);
+}
+
+}  // namespace
+}  // namespace coic

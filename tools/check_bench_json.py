@@ -17,7 +17,10 @@ Checks, per file:
   * every row's schema_version is the integer this checker understands
     (bench/bench_util.h kBenchJsonSchemaVersion) — cross-PR trajectory
     tooling keys on it, so an unstamped or mismatched row fails CI;
-  * every numeric value in every row is finite.
+  * every numeric value in every row is finite;
+  * bench-specific schemas: the loss sweep's drain invariant, and —
+    for benches that run a traced pass — the per-phase breakdown rows
+    (section == "phase_breakdown") exist and are coherent.
 """
 
 import json
@@ -27,6 +30,37 @@ import sys
 REQUIRED_ROW_KEYS = ("schema_version", "wall_ms")
 # Must match bench/bench_util.h kBenchJsonSchemaVersion.
 EXPECTED_SCHEMA_VERSION = 1
+
+
+def check_phase_breakdown_row(i, row, errors):
+    """Schema for the per-phase latency rows traced bench runs emit.
+
+    Rows tagged section == "phase_breakdown" reduce one traced run to
+    per-phase histograms (src/obs/trace.h); trajectory tooling plots
+    them across PRs, so each must name its phase and carry a coherent
+    span count and latency triple.
+    """
+    for key in ("phase", "spans", "mean_us", "p50_us", "p99_us"):
+        if key not in row:
+            errors.append(f'row {i} lacks phase-breakdown key "{key}"')
+    if not isinstance(row.get("phase"), str) or not row.get("phase"):
+        errors.append(f"row {i} phase is not a non-empty string")
+    spans = row.get("spans")
+    if isinstance(spans, int) and spans <= 0:
+        errors.append(f"row {i} phase-breakdown has no spans")
+    p50, p99 = row.get("p50_us"), row.get("p99_us")
+    if (
+        isinstance(p50, (int, float))
+        and isinstance(p99, (int, float))
+        and p50 > p99
+    ):
+        errors.append(f"row {i} p50_us {p50} exceeds p99_us {p99}")
+
+
+def check_throughput_replay_row(i, row, errors):
+    """Bench-specific schema for BENCH_throughput_replay.json rows."""
+    if row.get("section") == "phase_breakdown":
+        check_phase_breakdown_row(i, row, errors)
 
 
 def check_loss_sweep_row(i, row, errors):
@@ -39,6 +73,11 @@ def check_loss_sweep_row(i, row, errors):
     here so a silently stuck sweep fails CI rather than shipping a
     truncated trajectory.
     """
+    if row.get("section") == "phase_breakdown":
+        check_phase_breakdown_row(i, row, errors)
+        if "loss_rate" not in row:
+            errors.append(f"row {i} phase-breakdown lacks its loss_rate tag")
+        return
     for key in ("loss_rate", "p99_ms", "operations", "drained"):
         if key not in row:
             errors.append(f'row {i} lacks loss-sweep key "{key}"')
@@ -54,7 +93,14 @@ def check_loss_sweep_row(i, row, errors):
 
 
 # Per-bench row checks, keyed on the top-level "bench" name.
-BENCH_ROW_CHECKS = {"loss_sweep": check_loss_sweep_row}
+BENCH_ROW_CHECKS = {
+    "loss_sweep": check_loss_sweep_row,
+    "throughput_replay": check_throughput_replay_row,
+}
+
+# Benches whose traced run must have produced per-phase rows: a missing
+# breakdown means tracing silently stopped feeding the trajectory.
+PHASE_BREAKDOWN_REQUIRED = ("loss_sweep", "throughput_replay")
 
 
 def reject_constant(value):
@@ -100,6 +146,11 @@ def check_file(path):
                 errors.append(f"row {i} key {key!r}: non-finite value {value}")
             elif value is None:
                 errors.append(f"row {i} key {key!r}: null value")
+    if doc.get("bench") in PHASE_BREAKDOWN_REQUIRED and not any(
+        isinstance(row, dict) and row.get("section") == "phase_breakdown"
+        for row in rows
+    ):
+        errors.append("no phase_breakdown rows — traced bench run missing")
     return errors
 
 

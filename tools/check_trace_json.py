@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Validity check for Chrome trace-event JSON exported by RequestTracer.
+
+The --quick throughput replay runs one traced storm and writes
+storm.trace.json (src/obs/trace.h WriteChromeTrace); CI loads it here so
+a malformed export fails the build instead of failing silently months
+later when someone drags it into chrome://tracing / Perfetto and gets a
+blank timeline.
+
+Usage: check_trace_json.py storm.trace.json [more.trace.json ...]
+
+Checks, per file:
+  * parses as strict JSON (NaN / Infinity literals are rejected);
+  * top level is an object with a non-empty "traceEvents" array;
+  * every event is an object carrying name/ph/ts/pid/tid with the right
+    types, and ph is one the exporter emits ("X" complete span, "i"
+    instant annotation) or the generic B/E/M kinds;
+  * "X" events carry a finite dur >= 0; "i" events carry a scope "s";
+  * B/E begin/end events balance per (pid, tid) track — never unmatched;
+  * ts is non-decreasing per (pid, tid) track: the exporter sorts the
+    whole stream by timestamp, so an out-of-order event means the sort
+    (or a resumed span's bookkeeping) regressed.
+"""
+
+import json
+import math
+import sys
+
+EMITTED_PHASES = {"X", "i", "B", "E", "M"}
+
+
+def reject_constant(value):
+    raise ValueError(f"non-finite JSON constant {value!r}")
+
+
+def check_event(i, event, errors):
+    """Shape-check one trace event; returns its (pid, tid) track or None."""
+    if not isinstance(event, dict):
+        errors.append(f"event {i} is not an object")
+        return None
+    for key, kind in (("name", str), ("ph", str)):
+        if not isinstance(event.get(key), kind):
+            errors.append(f'event {i} lacks string "{key}"')
+    for key in ("ts", "pid", "tid"):
+        value = event.get(key)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or not math.isfinite(value):
+            errors.append(f'event {i} "{key}" is not a finite number')
+            return None
+    ph = event.get("ph")
+    if ph not in EMITTED_PHASES:
+        errors.append(f"event {i} has unknown phase {ph!r}")
+    if ph == "X":
+        dur = event.get("dur")
+        if not isinstance(dur, (int, float)) or isinstance(dur, bool) \
+                or not math.isfinite(dur) or dur < 0:
+            errors.append(f'event {i} ("X") dur is not a number >= 0: {dur!r}')
+    if ph == "i" and not isinstance(event.get("s"), str):
+        errors.append(f'event {i} ("i") lacks scope string "s"')
+    return (event["pid"], event["tid"])
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f, parse_constant=reject_constant)
+    except (OSError, ValueError) as err:
+        return [f"unreadable or invalid JSON: {err}"]
+
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return ['"traceEvents" is missing or empty']
+
+    last_ts = {}     # (pid, tid) -> last ts seen on that track
+    open_spans = {}  # (pid, tid) -> B-minus-E depth on that track
+    for i, event in enumerate(events):
+        track = check_event(i, event, errors)
+        if track is None:
+            continue
+        ts = event["ts"]
+        if track in last_ts and ts < last_ts[track]:
+            errors.append(
+                f"event {i} ts {ts} moves backwards on track "
+                f"pid={track[0]} tid={track[1]} (prev {last_ts[track]})"
+            )
+        last_ts[track] = ts
+        ph = event.get("ph")
+        if ph == "B":
+            open_spans[track] = open_spans.get(track, 0) + 1
+        elif ph == "E":
+            depth = open_spans.get(track, 0) - 1
+            if depth < 0:
+                errors.append(
+                    f'event {i} "E" with no matching "B" on track '
+                    f"pid={track[0]} tid={track[1]}"
+                )
+            open_spans[track] = max(depth, 0)
+    for track, depth in sorted(open_spans.items()):
+        if depth > 0:
+            errors.append(
+                f'{depth} unmatched "B" event(s) on track '
+                f"pid={track[0]} tid={track[1]}"
+            )
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_trace_json.py TRACE.json ...", file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+        else:
+            print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
