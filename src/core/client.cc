@@ -22,7 +22,16 @@ CoicClient::CoicClient(Config config, SendToEdgeFn send, DelayFn delay,
       own_metrics_(config_.metrics ? nullptr : new obs::MetricsRegistry()),
       tracer_(config_.tracer), trace_track_(config_.trace_track),
       retransmissions_(Metric("retransmissions")),
-      timeouts_(Metric("timeouts")) {}
+      timeouts_(Metric("timeouts")),
+      overload_rejects_(Metric("overload_rejects")) {}
+
+std::uint32_t CoicClient::RemainingDeadlineMs(
+    Duration spent_before_send) const noexcept {
+  if (config_.deadline <= Duration::Zero()) return 0;
+  const Duration remaining = config_.deadline - spent_before_send;
+  if (remaining <= Duration::Zero()) return 1;
+  return static_cast<std::uint32_t>(remaining.millis());
+}
 
 void CoicClient::TrackPending(std::uint64_t request_id,
                               PendingRequest pending) {
@@ -109,6 +118,7 @@ void CoicClient::StartRecognition(const vision::SceneParams& scene,
 
   if (config_.mode == OffloadMode::kOrigin) {
     // Baseline: ship the whole frame; no on-device DNN work.
+    req.deadline_ms = RemainingDeadlineMs(Duration::Zero());
     req.image =
         image.SerializeForWire(config_.costs.recognition.frame_bytes);
     // Origin still needs a syntactically valid descriptor field; a
@@ -124,6 +134,7 @@ void CoicClient::StartRecognition(const vision::SceneParams& scene,
 
   // CoIC: pay the on-device extraction, then ship only the descriptor.
   const Duration extraction = config_.costs.recognition.mobile_extraction;
+  req.deadline_ms = RemainingDeadlineMs(extraction);
   pending.client_compute += extraction;
   TrackPending(request_id, std::move(pending));
   req.descriptor = proto::FeatureDescriptor::ForVector(
@@ -156,6 +167,7 @@ void CoicClient::StartRender(std::uint64_t model_id, const Digest128& digest,
   req.descriptor = proto::FeatureDescriptor::ForHash(TaskKind::kRender, digest);
 
   const Duration prep = config_.costs.render.client_request_prep;
+  req.deadline_ms = RemainingDeadlineMs(prep);
   pending.client_compute += prep;
   TrackPending(request_id, std::move(pending));
   delay_(prep, [this, request_id, req = std::move(req)] {
@@ -188,6 +200,7 @@ void CoicClient::StartPanorama(std::uint64_t video_id,
   req.viewport = viewport;
   req.descriptor = proto::FeatureDescriptor::ForHash(
       TaskKind::kPanorama, PanoramaIdentityDigest(video_id, frame_index));
+  req.deadline_ms = RemainingDeadlineMs(Duration::Zero());
   SendTracked(request_id, Frame(proto::EncodeMessage(
                               MessageType::kPanoramaRequest, request_id, req)));
 }
@@ -204,6 +217,47 @@ void CoicClient::FinishWithError(std::uint64_t request_id) {
   outcome.latency = now_() - pending.started_at;
   outcome.object_id = pending.object_id;
   pending.done(std::move(outcome));
+}
+
+void CoicClient::FinishWithLocalFallback(std::uint64_t request_id) {
+  const auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  PendingRequest pending = std::move(it->second);
+  pending_.erase(it);
+
+  Duration local = Duration::Zero();
+  RequestOutcome outcome;
+  outcome.task = pending.task;
+  outcome.source = proto::ResultSource::kLocal;
+  outcome.object_id = pending.object_id;
+  switch (pending.task) {
+    case TaskKind::kRecognition:
+      // Run the full DNN on-device — the Local baseline's path, so the
+      // label is as correct as the offloaded one, just much later.
+      local = config_.costs.recognition.local_full_inference;
+      outcome.label = pending.expected_label;
+      outcome.correct = true;
+      break;
+    case TaskKind::kRender:
+      // Low-LOD placeholder assembled from assets already on device.
+      local = config_.costs.render.local_fallback_render;
+      break;
+    case TaskKind::kPanorama:
+      // Reproject the previous panoramic frame into the new viewport.
+      local = config_.costs.panorama.local_reproject;
+      break;
+  }
+  outcome.client_compute = pending.client_compute + local;
+  if (tracer_) {
+    tracer_->Transition(request_id, obs::Phase::kClientFinish, now_());
+  }
+  delay_(local, [this, outcome = std::move(outcome), request_id,
+                 started_at = pending.started_at,
+                 done = std::move(pending.done)]() mutable {
+    outcome.latency = now_() - started_at;
+    if (tracer_) tracer_->End(request_id, now_());
+    done(std::move(outcome));
+  });
 }
 
 void CoicClient::OnEdgeFrame(Frame frame) {
@@ -223,6 +277,28 @@ void CoicClient::OnEdgeFrame(Frame frame) {
   }
 
   if (env.type == MessageType::kError) {
+    // Overload control speaks through error replies: kResourceExhausted
+    // (admission / deadline shed) and kUnavailable (open breaker) are
+    // policy verdicts, not failures, and the client may degrade to
+    // on-device compute instead of reporting an error.
+    auto err = proto::DecodePayloadAs<proto::ErrorReply>(
+        env, MessageType::kError);
+    const bool shed =
+        err.ok() &&
+        (err.value().code ==
+             static_cast<std::uint16_t>(StatusCode::kResourceExhausted) ||
+         err.value().code ==
+             static_cast<std::uint16_t>(StatusCode::kUnavailable));
+    if (shed) {
+      ++overload_rejects_;
+      if (tracer_) {
+        tracer_->Annotate(env.request_id, "overload-reject", now_());
+      }
+      if (config_.local_fallback) {
+        FinishWithLocalFallback(env.request_id);
+        return;
+      }
+    }
     FinishWithError(env.request_id);
     return;
   }

@@ -77,6 +77,19 @@ class CoicClient {
     /// venue index in federation runs).
     obs::RequestTracer* tracer = nullptr;
     std::uint32_t trace_track = 0;
+    /// End-to-end latency budget granted to each request; Zero = no
+    /// deadline. The remaining budget (after the pre-send on-device
+    /// compute) is stamped on the wire, so the edge can shed work whose
+    /// result could no longer be displayed in time. A blown budget is
+    /// stamped as 1 ms — the edge sheds it on arrival instead of the
+    /// client silently dropping the request.
+    Duration deadline = Duration::Zero();
+    /// When true, an edge overload / circuit-open shed completes the
+    /// task with a degraded on-device result (ResultSource::kLocal)
+    /// instead of an error outcome: full local inference for
+    /// recognition, a low-LOD placeholder for render, a reprojected
+    /// previous frame for panorama. Graceful degradation, not failure.
+    bool local_fallback = false;
   };
 
   using SendToEdgeFn = std::function<void(Frame frame)>;
@@ -126,6 +139,12 @@ class CoicClient {
   [[nodiscard]] std::uint64_t timeouts() const noexcept {
     return timeouts_.value();
   }
+  /// Requests the edge refused under overload control (admission shed,
+  /// deadline shed, or open circuit breaker) — distinct from timeouts:
+  /// the edge answered, with a policy verdict rather than a result.
+  [[nodiscard]] std::uint64_t overload_rejects() const noexcept {
+    return overload_rejects_.value();
+  }
 
  private:
   struct PendingRequest {
@@ -150,6 +169,14 @@ class CoicClient {
   }
   void TrackPending(std::uint64_t request_id, PendingRequest pending);
   void FinishWithError(std::uint64_t request_id);
+  /// Completes an overload-rejected request with an on-device stand-in
+  /// (ResultSource::kLocal) after the task's modeled local compute.
+  void FinishWithLocalFallback(std::uint64_t request_id);
+  /// Wire value for the deadline field: the budget left after
+  /// `spent_before_send` of on-device compute, floored at 1 ms so a
+  /// blown budget still reaches the edge's shed path. 0 = no deadline.
+  [[nodiscard]] std::uint32_t RemainingDeadlineMs(
+      Duration spent_before_send) const noexcept;
   /// Sends the encoded request and, when retries are enabled, stores it
   /// on the pending entry and arms the attempt-0 timeout.
   void SendTracked(std::uint64_t request_id, Frame frame);
@@ -171,6 +198,7 @@ class CoicClient {
   std::uint32_t trace_track_ = 0;
   obs::Counter& retransmissions_;
   obs::Counter& timeouts_;
+  obs::Counter& overload_rejects_;
   /// Models already parsed on this device, keyed by id -> (byte size,
   /// parse ok). A real client keeps installed assets, so re-receiving
   /// the same model skips the wall-clock re-parse; the modeled install

@@ -56,6 +56,9 @@ struct RenderCosts {
   /// Draw call budget after load (not part of load latency, used by the
   /// renderer example).
   Duration draw_time = Duration::Millis(11);
+  /// Degraded on-device stand-in when the edge sheds the request: a
+  /// low-LOD placeholder assembled from assets already installed.
+  Duration local_fallback_render = Duration::Millis(90);
 };
 
 /// Panoramic VR streaming constants (§1.2 third insight).
@@ -64,6 +67,10 @@ struct PanoramaCosts {
   Duration cloud_render = Duration::Millis(70);
   /// Client-side viewport crop of a received panorama.
   Duration client_crop = Duration::Millis(8);
+  /// Degraded on-device stand-in when the edge sheds the request:
+  /// reproject the previously received panoramic frame into the new
+  /// viewport instead of fetching a fresh one.
+  Duration local_reproject = Duration::Millis(25);
   /// Panoramic frame wire size (4K-class).
   Bytes frame_bytes = 2'400'000;
 };

@@ -256,7 +256,11 @@ EdgeService::EdgeService(Config config, SendFn send, DelayFn delay, NowFn now)
       leader_promotions_(Metric("leader_promotions")),
       duplicates_dropped_(Metric("duplicates_dropped")),
       replayed_from_memo_(Metric("replayed_from_memo")),
-      grace_hits_(Metric("grace_hits")) {}
+      grace_hits_(Metric("grace_hits")),
+      overload_sheds_(Metric("overload_sheds")),
+      deadline_sheds_(Metric("deadline_sheds")),
+      breaker_opens_(Metric("breaker_opens")),
+      breaker_sheds_(Metric("breaker_sheds")) {}
 
 void EdgeService::Park(std::uint64_t request_id, PendingForward pending) {
   COIC_CHECK_MSG(pending_.count(request_id) == 0,
@@ -346,8 +350,100 @@ bool EdgeService::TryReplayFromMemo(std::uint64_t request_id) {
   return true;
 }
 
+void EdgeService::ShedToClient(std::uint64_t request_id, StatusCode code,
+                               const char* message, const char* annotation) {
+  proto::ErrorReply err;
+  err.code = static_cast<std::uint16_t>(code);
+  err.message = message;
+  Frame reply(proto::EncodeMessage(MessageType::kError, request_id, err));
+  MemoizeResolved(request_id, {.reply = reply, .payload = {}});
+  if (tracer_) {
+    tracer_->Annotate(request_id, annotation, now_());
+    tracer_->Transition(request_id, obs::Phase::kDownlink, now_());
+  }
+  send_(Peer::kClient, std::move(reply));
+}
+
+void EdgeService::ShedPending(std::uint64_t request_id, PendingForward pending,
+                              StatusCode code, const char* message,
+                              const char* annotation) {
+  ReleaseCoalesceKey(pending.coalesce_key);
+  ShedToClient(request_id, code, message, annotation);
+  if (pending.waiters.empty()) return;
+  // Waiters inherit the shed verdict: their clients degrade locally the
+  // same way the leader's does.
+  proto::ErrorReply err;
+  err.code = static_cast<std::uint16_t>(code);
+  err.message = message;
+  ByteWriter pw;
+  err.Encode(pw);
+  FailWaiters(pending.waiters, pw.bytes());
+}
+
+bool EdgeService::BreakerRefusesForward(std::uint64_t request_id) {
+  if (config_.breaker_failure_threshold == 0 ||
+      breaker_state_ == BreakerState::kClosed) {
+    return false;
+  }
+  if (breaker_state_ == BreakerState::kOpen) {
+    if (now_() < breaker_reopen_at_) return true;
+    breaker_state_ = BreakerState::kHalfOpen;
+    breaker_probe_inflight_ = false;
+  }
+  // Half-open: exactly one probe flies; everything else keeps shedding
+  // until the probe's fate is known.
+  if (breaker_probe_inflight_) return true;
+  breaker_probe_inflight_ = true;
+  if (tracer_) tracer_->Annotate(request_id, "breaker-probe", now_());
+  return false;
+}
+
+void EdgeService::OnBreakerFailure(std::uint64_t request_id) {
+  if (config_.breaker_failure_threshold == 0) return;
+  if (breaker_state_ == BreakerState::kHalfOpen) {
+    // The probe died: back to open for another cooldown.
+    breaker_state_ = BreakerState::kOpen;
+    breaker_reopen_at_ = now_() + config_.breaker_open_duration;
+    breaker_probe_inflight_ = false;
+    ++breaker_opens_;
+    if (tracer_) tracer_->Annotate(request_id, "breaker-reopen", now_());
+    return;
+  }
+  if (breaker_state_ == BreakerState::kClosed &&
+      ++consecutive_cloud_failures_ >= config_.breaker_failure_threshold) {
+    breaker_state_ = BreakerState::kOpen;
+    breaker_reopen_at_ = now_() + config_.breaker_open_duration;
+    ++breaker_opens_;
+    if (tracer_) tracer_->Annotate(request_id, "breaker-open", now_());
+  }
+}
+
+void EdgeService::OnBreakerSuccess() {
+  consecutive_cloud_failures_ = 0;
+  if (breaker_state_ == BreakerState::kClosed) return;
+  breaker_state_ = BreakerState::kClosed;
+  breaker_probe_inflight_ = false;
+}
+
 void EdgeService::ForwardToCloud(Frame request_frame, PendingForward pending) {
   const std::uint64_t request_id = proto::PeekRequestId(request_frame.span());
+  // Shed-before-spend: a request whose wire deadline already expired
+  // while it queued / probed / parked can no longer use the result — an
+  // immediate overload reply beats a wasted cloud round trip.
+  if (pending.deadline_at && now_() > *pending.deadline_at) {
+    ++deadline_sheds_;
+    ShedPending(request_id, std::move(pending), StatusCode::kResourceExhausted,
+                "deadline expired before cloud fetch", "deadline-shed");
+    return;
+  }
+  // Open breaker: the cloud is presumed dead; fail fast instead of
+  // arming another retry ladder and trapping coalesced waiters.
+  if (BreakerRefusesForward(request_id)) {
+    ++breaker_sheds_;
+    ShedPending(request_id, std::move(pending), StatusCode::kUnavailable,
+                "cloud circuit open", "breaker-shed");
+    return;
+  }
   const std::uint32_t attempt = pending.attempt;
   const bool retryable = config_.cloud_retry.enabled();
   if (retryable) {
@@ -398,6 +494,7 @@ void EdgeService::HandleCloudFetchFailure(std::uint64_t request_id) {
   PendingForward dead = std::move(it->second);
   pending_.erase(it);
   ++cloud_timeouts_;
+  OnBreakerFailure(request_id);
 
   proto::ErrorReply err;
   err.code = static_cast<std::uint16_t>(StatusCode::kTimeout);
@@ -548,9 +645,21 @@ bool EdgeService::TryServeFromCache(const proto::FeatureDescriptor& key,
 
 void EdgeService::OnLocalMiss(Frame frame,
                               proto::FeatureDescriptor descriptor,
-                              proto::MessageType reply_type) {
+                              proto::MessageType reply_type,
+                              std::optional<SimTime> deadline_at) {
   const std::uint64_t request_id = proto::PeekRequestId(frame.span());
   const MessageType request_type = proto::PeekMessageType(frame.span());
+
+  // Admission control: a full pending queue sheds new misses up front —
+  // an O(1) overload reply instead of another entry in a queue the edge
+  // is already failing to drain. Cache hits never reach here, so an
+  // overloaded edge keeps serving what it already has.
+  if (config_.max_pending > 0 && pending_.size() >= config_.max_pending) {
+    ++overload_sheds_;
+    ShedToClient(request_id, StatusCode::kResourceExhausted,
+                 "edge pending queue full", "overload-shed");
+    return;
+  }
 
   std::optional<std::uint64_t> coalesce_key;
   if (config_.coalesce_requests) {
@@ -568,6 +677,7 @@ void EdgeService::OnLocalMiss(Frame frame,
       waiter.insert_key = std::move(descriptor);
       waiter.original = std::move(frame);
       waiter.is_waiter = true;
+      waiter.deadline_at = deadline_at;
       Park(request_id, std::move(waiter));
       pending_.at(leader_id).waiters.push_back(request_id);
       ++coalesced_requests_;
@@ -623,6 +733,7 @@ void EdgeService::OnLocalMiss(Frame frame,
       pending.probes_outstanding =
           static_cast<std::uint32_t>(candidates.size());
       pending.coalesce_key = coalesce_key;
+      pending.deadline_at = deadline_at;
       Park(request_id, std::move(pending));
       if (tracer_) {
         tracer_->Transition(request_id, obs::Phase::kPeerProbe, now_());
@@ -652,6 +763,7 @@ void EdgeService::OnLocalMiss(Frame frame,
   pending.reply_type = reply_type;
   pending.insert_key = std::move(descriptor);
   pending.coalesce_key = coalesce_key;
+  pending.deadline_at = deadline_at;
   ForwardToCloud(std::move(frame), std::move(pending));
 }
 
@@ -888,12 +1000,14 @@ void EdgeService::OnClientFrame(Frame frame) {
       // the request is fully (owning-)decoded.
       proto::FeatureDescriptor descriptor;
       MessageType reply_type;
+      std::uint32_t deadline_ms = 0;
       switch (env.type) {
         case MessageType::kRecognitionRequest: {
           auto req = proto::DecodePayloadAs<proto::RecognitionRequest>(
               env, MessageType::kRecognitionRequest);
           if (!req.ok()) return;
           descriptor = std::move(req.value().descriptor);
+          deadline_ms = req.value().deadline_ms;
           reply_type = MessageType::kRecognitionResult;
           break;
         }
@@ -902,6 +1016,7 @@ void EdgeService::OnClientFrame(Frame frame) {
               env, MessageType::kRenderRequest);
           if (!req.ok()) return;
           descriptor = std::move(req.value().descriptor);
+          deadline_ms = req.value().deadline_ms;
           reply_type = MessageType::kRenderResult;
           break;
         }
@@ -910,20 +1025,28 @@ void EdgeService::OnClientFrame(Frame frame) {
               env, MessageType::kPanoramaRequest);
           if (!req.ok()) return;
           descriptor = std::move(req.value().descriptor);
+          deadline_ms = req.value().deadline_ms;
           reply_type = MessageType::kPanoramaResult;
           break;
         }
+      }
+      // The wire deadline becomes an absolute expiry at edge arrival;
+      // it rides the pending entry into every later shed decision.
+      std::optional<SimTime> deadline_at;
+      if (deadline_ms > 0) {
+        deadline_at = now_() + Duration::Millis(deadline_ms);
       }
       if (tracer_) {
         tracer_->Transition(env.request_id, obs::Phase::kEdgeLookup, now_());
       }
       delay_(config_.costs.edge.cache_lookup,
              [this, frame = std::move(frame),
-              descriptor = std::move(descriptor), reply_type]() mutable {
+              descriptor = std::move(descriptor), reply_type,
+              deadline_at]() mutable {
                if (!TryServeFromCache(descriptor, reply_type,
                                       proto::PeekRequestId(frame.span()))) {
                  OnLocalMiss(std::move(frame), std::move(descriptor),
-                             reply_type);
+                             reply_type, deadline_at);
                }
              });
       return;
@@ -957,6 +1080,8 @@ void EdgeService::OnCloudFrame(Frame frame) {
   // The leader's outcome is now known; same-key misses arriving from
   // here on start their own fetch.
   ReleaseCoalesceKey(pending.coalesce_key);
+  // Any cloud reply — even an error — proves the path is alive.
+  OnBreakerSuccess();
 
   const bool cacheable = pending.mode == OffloadMode::kCoic &&
                          pending.insert_key.has_value() &&

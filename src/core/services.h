@@ -191,6 +191,23 @@ class EdgeService {
     /// answered from the memo, never re-fetched. 0 (default) disables;
     /// enable alongside client retries.
     std::size_t resolved_memo_capacity = 0;
+    /// Admission control: when set (> 0), a CoIC miss arriving while
+    /// `max_pending` requests are already parked is shed immediately
+    /// with a kError reply carrying StatusCode::kResourceExhausted
+    /// instead of joining the queue — the overloaded edge answers in
+    /// O(1) and the client degrades to its local-compute fallback
+    /// rather than burning its retry budget against a drowning edge.
+    /// 0 (default) disables: the edge accepts everything, as before.
+    std::size_t max_pending = 0;
+    /// Circuit breaker on the edge->cloud path: after this many
+    /// consecutive cloud-fetch failures (retry budgets spent without a
+    /// reply) the breaker opens and cloud forwards fail fast with
+    /// StatusCode::kUnavailable — a dead cloud stops consuming retry
+    /// budgets and coalescing leaders. After `breaker_open_duration`
+    /// the next forward runs as a half-open probe: success closes the
+    /// breaker, failure re-opens it. 0 (default) disables.
+    std::uint32_t breaker_failure_threshold = 0;
+    Duration breaker_open_duration = Duration::Millis(2000);
     /// Optional scatter-gather sender for result replies (see
     /// GatherSendFn). Wire bytes are identical to the fused path.
     GatherSendFn gather_send;
@@ -288,6 +305,32 @@ class EdgeService {
     return grace_hits_.value();
   }
 
+  // Overload-control counters (all zero with the controls disabled).
+  /// Misses shed at admission because the pending queue was full.
+  [[nodiscard]] std::uint64_t overload_sheds() const noexcept {
+    return overload_sheds_.value();
+  }
+  /// Requests shed before a cloud fetch because their wire deadline had
+  /// already expired while they queued / probed / parked.
+  [[nodiscard]] std::uint64_t deadline_sheds() const noexcept {
+    return deadline_sheds_.value();
+  }
+  /// Times the cloud circuit breaker opened (including re-opens after a
+  /// failed half-open probe).
+  [[nodiscard]] std::uint64_t breaker_opens() const noexcept {
+    return breaker_opens_.value();
+  }
+  /// Cloud forwards failed fast because the breaker was open.
+  [[nodiscard]] std::uint64_t breaker_sheds() const noexcept {
+    return breaker_sheds_.value();
+  }
+
+  /// Cloud-path circuit-breaker state (exposed for tests/diagnostics).
+  enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
+  [[nodiscard]] BreakerState breaker_state() const noexcept {
+    return breaker_state_;
+  }
+
  private:
   struct PendingForward {
     proto::MessageType request_type = proto::MessageType::kPing;
@@ -319,6 +362,11 @@ class EdgeService {
     /// True for a parked waiter: no upstream fetch of its own; it is
     /// served (or failed) when its leader completes.
     bool is_waiter = false;
+    /// Absolute expiry of the wire deadline the request carried
+    /// (deadline_ms, stamped by the client at send); nullopt = none.
+    /// Checked at ForwardToCloud: already-expired work is shed instead
+    /// of paying a cloud round trip it can no longer use.
+    std::optional<SimTime> deadline_at;
   };
 
   /// Registers an in-flight request; CHECK-fails on a duplicate id. The
@@ -333,7 +381,8 @@ class EdgeService {
   /// Handles the local-miss path: coalesce onto an in-flight same-key
   /// fetch when possible, else peer probe(s) if cooperative, else cloud.
   void OnLocalMiss(Frame frame, proto::FeatureDescriptor descriptor,
-                   proto::MessageType reply_type);
+                   proto::MessageType reply_type,
+                   std::optional<SimTime> deadline_at);
   void ForwardToCloud(Frame request_frame, PendingForward pending);
   void DispatchPeerFrame(std::optional<std::uint32_t> from_peer, Frame frame);
   void HandlePeerLookupRequest(const proto::EnvelopeView& env,
@@ -411,6 +460,22 @@ class EdgeService {
   /// Peer-probe round abandoned: fall through to the cloud.
   void OnProbeTimeout(std::uint64_t request_id);
 
+  /// Sends an immediate kError reply with `code` (the shed contract the
+  /// client's degradation path keys on), memoized for duplicate replay.
+  void ShedToClient(std::uint64_t request_id, StatusCode code,
+                    const char* message, const char* annotation);
+  /// Sheds a not-yet-parked request plus its coalesced waiters; the
+  /// single exit for the breaker / deadline fail-fast paths.
+  void ShedPending(std::uint64_t request_id, PendingForward pending,
+                   StatusCode code, const char* message,
+                   const char* annotation);
+  /// True when the breaker currently refuses this forward (also runs
+  /// the open -> half-open transition and claims the probe slot).
+  [[nodiscard]] bool BreakerRefusesForward(std::uint64_t request_id);
+  /// Breaker bookkeeping for a cloud-fetch failure / success.
+  void OnBreakerFailure(std::uint64_t request_id);
+  void OnBreakerSuccess();
+
   Config config_;
   SendFn send_;
   DelayFn delay_;
@@ -448,7 +513,18 @@ class EdgeService {
   obs::Counter& duplicates_dropped_;
   obs::Counter& replayed_from_memo_;
   obs::Counter& grace_hits_;
+  obs::Counter& overload_sheds_;
+  obs::Counter& deadline_sheds_;
+  obs::Counter& breaker_opens_;
+  obs::Counter& breaker_sheds_;
   std::size_t peak_pending_ = 0;
+  // Cloud-path circuit breaker (inert unless breaker_failure_threshold
+  // is set). Consecutive counts only full fetch failures — retry
+  // budgets spent without any cloud reply.
+  BreakerState breaker_state_ = BreakerState::kClosed;
+  std::uint32_t consecutive_cloud_failures_ = 0;
+  SimTime breaker_reopen_at_ = SimTime::Epoch();
+  bool breaker_probe_inflight_ = false;
 };
 
 }  // namespace coic::core

@@ -178,8 +178,73 @@ FederationPipeline::FederationPipeline(FederationPipelineConfig config)
         [&lost](const netsim::Link& l) { lost += l.stats().frames_dropped_loss; });
     return lost;
   });
+  metrics_.RegisterSampler("net.links.down_drops", [this] {
+    std::uint64_t down = 0;
+    net_.ForEachLink([&down](const netsim::Link& l) {
+      down += l.stats().frames_dropped_down;
+    });
+    return down;
+  });
   metrics_.RegisterSampler("cloud.tasks_executed",
                            [this] { return cloud_->tasks_executed(); });
+
+  if (!config_.chaos.empty()) {
+    // netsim knows links, not venues: the binding resolves venue-scoped
+    // fault groups to directed Links and owns the cache-wipe side effect.
+    netsim::ChaosBinding binding;
+    const auto both_ways = [this](netsim::NodeId a, netsim::NodeId b,
+                                  const netsim::ChaosBinding::LinkVisitor& fn) {
+      fn(net_.LinkBetween(a, b));
+      fn(net_.LinkBetween(b, a));
+    };
+    binding.venue_links =
+        [this, both_ways](std::uint32_t venue,
+                          const netsim::ChaosBinding::LinkVisitor& fn) {
+          COIC_CHECK(venue < config_.venues);
+          const netsim::NodeId self = edge_nodes_[venue];
+          for (std::uint32_t m = 0; m < config_.mobiles_per_venue; ++m) {
+            both_ways(mobile_nodes_[ClientIndex(venue, m)], self, fn);
+          }
+          both_ways(self, cloud_node_, fn);
+          for (std::uint32_t peer = 0; peer < config_.venues; ++peer) {
+            if (peer != venue && topology_.Adjacent(venue, peer)) {
+              both_ways(self, edge_nodes_[peer], fn);
+            }
+          }
+        };
+    binding.cut_links =
+        [this, both_ways](const std::vector<std::uint32_t>& island,
+                          const netsim::ChaosBinding::LinkVisitor& fn) {
+          std::vector<bool> inside(config_.venues, false);
+          for (const std::uint32_t v : island) {
+            COIC_CHECK(v < config_.venues);
+            inside[v] = true;
+          }
+          for (std::uint32_t a = 0; a < config_.venues; ++a) {
+            if (!inside[a]) continue;
+            for (std::uint32_t b = 0; b < config_.venues; ++b) {
+              if (inside[b] || !topology_.Adjacent(a, b)) continue;
+              both_ways(edge_nodes_[a], edge_nodes_[b], fn);
+            }
+          }
+        };
+    binding.wan_links =
+        [this, both_ways](std::uint32_t venue,
+                          const netsim::ChaosBinding::LinkVisitor& fn) {
+          COIC_CHECK(venue < config_.venues);
+          both_ways(edge_nodes_[venue], cloud_node_, fn);
+        };
+    binding.all_links = [this](const netsim::ChaosBinding::LinkVisitor& fn) {
+      net_.ForEachMutableLink(fn);
+    };
+    binding.wipe_cache = [this](std::uint32_t venue) {
+      COIC_CHECK(venue < config_.venues);
+      edges_[venue]->mutable_cache().Clear();
+    };
+    chaos_ = std::make_unique<netsim::ChaosEngine>(
+        sched_, std::move(binding), &metrics_, tracer_.get());
+    chaos_->Apply(config_.chaos);
+  }
 }
 
 void FederationPipeline::WireCloud() {
@@ -240,6 +305,10 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
   edge_config.coalesce_requests = config_.coalesce_requests;
   edge_config.cloud_retry = config_.transport.cloud_retry;
   edge_config.peer_probe_timeout = config_.transport.peer_probe_timeout;
+  edge_config.max_pending = config_.transport.edge_max_pending;
+  edge_config.breaker_failure_threshold =
+      config_.transport.breaker_failure_threshold;
+  edge_config.breaker_open_duration = config_.transport.breaker_open_duration;
   if (config_.transport.client_retry.enabled()) {
     // Client retransmits only help if the edge can replay a reply whose
     // first copy was lost instead of re-fetching.
@@ -354,6 +423,8 @@ void FederationPipeline::WireClient(std::uint32_t venue, std::uint32_t mobile) {
                                  std::to_string(mobile) + ".";
   client_config.tracer = tracer_.get();
   client_config.trace_track = venue;
+  client_config.deadline = config_.transport.client_deadline;
+  client_config.local_fallback = config_.transport.client_local_fallback;
   clients_[index] = std::make_unique<CoicClient>(
       client_config,
       [this, client_node, edge_node](Frame frame) {
@@ -860,6 +931,20 @@ std::uint64_t FederationPipeline::total_leader_promotions() const {
   return total;
 }
 
+std::uint64_t FederationPipeline::total_overload_sheds() const {
+  std::uint64_t total = 0;
+  for (const auto& e : edges_) {
+    total += e->overload_sheds() + e->deadline_sheds() + e->breaker_sheds();
+  }
+  return total;
+}
+
+std::uint64_t FederationPipeline::total_overload_rejects() const {
+  std::uint64_t total = 0;
+  for (const auto& c : clients_) total += c->overload_rejects();
+  return total;
+}
+
 std::uint64_t FederationPipeline::total_grace_hits() const {
   std::uint64_t total = 0;
   for (const auto& e : edges_) total += e->grace_hits();
@@ -946,7 +1031,7 @@ void FederationPipeline::IssueNext() {
   ops_.pop_front();
   const std::uint32_t venue = op.venue;
   op.start([this, venue](core::RequestOutcome outcome) {
-    outcomes_.push_back({venue, std::move(outcome)});
+    outcomes_.push_back({venue, std::move(outcome), sched_.now()});
     IssueNext();
   });
 }
@@ -1050,7 +1135,7 @@ std::vector<FederationOutcome> FederationPipeline::RunOpenLoop() {
       open_loop_.max_inflight = std::max(open_loop_.max_inflight, inflight_);
       const std::uint32_t venue = op.venue;
       op.start([this, venue](core::RequestOutcome outcome) {
-        outcomes_.push_back({venue, std::move(outcome)});
+        outcomes_.push_back({venue, std::move(outcome), sched_.now()});
         --inflight_;
         ++completed_;
         open_loop_.last_completion = sched_.now();

@@ -30,6 +30,7 @@
 #include "federation/peer_select.h"
 #include "federation/summary.h"
 #include "federation/topology.h"
+#include "netsim/chaos.h"
 #include "netsim/network.h"
 #include "trace/workload.h"
 
@@ -81,6 +82,23 @@ struct FederationTransportConfig {
   /// one resend per gossip period per peer. A delta arriving over an
   /// unknown/mismatched base nacks immediately (version-0 ack).
   bool summary_ack = false;
+  /// Edge admission bound (EdgeService::Config::max_pending): misses
+  /// beyond this many in-flight forwards are shed with an early
+  /// kResourceExhausted reply instead of queued. 0 = unbounded.
+  std::size_t edge_max_pending = 0;
+  /// Edge->cloud circuit breaker (EdgeService::Config): this many
+  /// consecutive cloud-fetch failures open the circuit for
+  /// `breaker_open_duration`, then a single half-open probe decides
+  /// between closing and re-opening. 0 = breaker off.
+  std::uint32_t breaker_failure_threshold = 0;
+  Duration breaker_open_duration = Duration::Millis(2000);
+  /// Per-request latency budget stamped on the wire by every client
+  /// (CoicClient::Config::deadline); the edge sheds expired work before
+  /// spending a cloud fetch on it. Zero = no deadlines.
+  Duration client_deadline = Duration::Zero();
+  /// Clients degrade overload/breaker rejects into on-device results
+  /// (ResultSource::kLocal) instead of error outcomes.
+  bool client_local_fallback = false;
   /// Age out a peer's summary when nothing has been received from it for
   /// this long (checked each gossip round) — the crashed-edge seam:
   /// probes stop chasing a dead venue, and its rejoin starts from a
@@ -155,6 +173,9 @@ struct FederationPipelineConfig {
   /// no tracer is constructed at all and every instrumentation site in
   /// the client/edge hot paths pays a single null-pointer test.
   obs::TraceConfig trace;
+  /// Scripted fault injection (crashes, partitions, brownouts, loss
+  /// bursts), armed on the scheduler at construction. Empty = no chaos.
+  netsim::FaultSchedule chaos;
   core::CostModel costs;
   cache::IcCacheConfig cache;
   vision::FeatureExtractorConfig extractor;
@@ -167,6 +188,9 @@ struct FederationPipelineConfig {
 struct FederationOutcome {
   std::uint32_t venue = 0;
   core::RequestOutcome outcome;
+  /// Sim time the outcome was delivered — the chaos soak derives
+  /// post-heal recovery curves from the completion stream.
+  SimTime completed_at;
 };
 
 /// Counters from the most recent RunOpenLoop (the throughput regime).
@@ -309,6 +333,14 @@ class FederationPipeline {
   [[nodiscard]] std::uint64_t total_leader_promotions() const;
   [[nodiscard]] std::uint64_t total_grace_hits() const;
 
+  /// Cluster-wide overload-control counters: edge-side sheds (admission
+  /// + deadline + breaker) and client-side overload rejects received.
+  [[nodiscard]] std::uint64_t total_overload_sheds() const;
+  [[nodiscard]] std::uint64_t total_overload_rejects() const;
+
+  /// The chaos engine, or nullptr when config.chaos is empty.
+  [[nodiscard]] netsim::ChaosEngine* chaos() noexcept { return chaos_.get(); }
+
   /// Simulator access for fault-injection tests (ForceDropNext / SetDown
   /// on specific links) and the loss-sweep bench.
   [[nodiscard]] netsim::Network& network() noexcept { return net_; }
@@ -416,6 +448,7 @@ class FederationPipeline {
   std::vector<netsim::NodeId> edge_nodes_;
   std::vector<netsim::NodeId> mobile_nodes_;  ///< Indexed by ClientIndex.
   std::unique_ptr<core::CloudService> cloud_;
+  std::unique_ptr<netsim::ChaosEngine> chaos_;  ///< Null without a schedule.
   std::vector<std::unique_ptr<core::EdgeService>> edges_;
   std::vector<std::unique_ptr<core::CoicClient>> clients_;
   /// Peers each venue may probe (within hop_limit), ascending.

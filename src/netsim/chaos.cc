@@ -1,0 +1,106 @@
+#include "netsim/chaos.h"
+
+#include <string>
+#include <utility>
+
+#include "common/log.h"
+
+namespace coic::netsim {
+
+ChaosEngine::ChaosEngine(EventScheduler& sched, ChaosBinding binding,
+                         obs::MetricsRegistry* metrics,
+                         obs::RequestTracer* tracer)
+    : sched_(sched),
+      binding_(std::move(binding)),
+      metrics_(metrics),
+      tracer_(tracer) {}
+
+void ChaosEngine::Record(const char* counter, const char* mark,
+                         std::uint32_t track) {
+  ++events_fired_;
+  if (metrics_ != nullptr) {
+    ++metrics_->GetCounter(std::string("fault.") + counter);
+  }
+  if (tracer_ != nullptr) tracer_->Mark(track, mark, sched_.now());
+}
+
+void ChaosEngine::Apply(FaultSchedule schedule) {
+  const SimTime now = sched_.now();
+
+  for (const FaultSchedule::Crash& crash : schedule.crashes) {
+    COIC_CHECK_MSG(binding_.venue_links != nullptr,
+                   "crash schedule needs a venue_links binding");
+    COIC_CHECK_MSG(crash.down_at >= now, "crash lies in the simulated past");
+    COIC_CHECK_MSG(!crash.restart || crash.up_at > crash.down_at,
+                   "crash restart must come after the crash");
+    COIC_CHECK_MSG(!crash.wipe_cache || binding_.wipe_cache != nullptr,
+                   "cache wipe needs a wipe_cache binding");
+    sched_.ScheduleAt(crash.down_at, [this, crash] {
+      binding_.venue_links(crash.venue,
+                           [](Link& link) { link.SetDown(true); });
+      Record("crashes", "fault-crash", crash.venue);
+    });
+    if (!crash.restart) continue;
+    sched_.ScheduleAt(crash.up_at, [this, crash] {
+      if (crash.wipe_cache) {
+        binding_.wipe_cache(crash.venue);
+        Record("cache_wipes", "fault-cache-wipe", crash.venue);
+      }
+      binding_.venue_links(crash.venue,
+                           [](Link& link) { link.SetDown(false); });
+      Record("restarts", "fault-restart", crash.venue);
+    });
+  }
+
+  for (const FaultSchedule::Partition& part : schedule.partitions) {
+    COIC_CHECK_MSG(binding_.cut_links != nullptr,
+                   "partition schedule needs a cut_links binding");
+    COIC_CHECK_MSG(!part.island.empty(), "partition island must be nonempty");
+    COIC_CHECK_MSG(part.at >= now, "partition lies in the simulated past");
+    COIC_CHECK_MSG(part.heal_at > part.at,
+                   "partition heal must come after the cut");
+    sched_.ScheduleAt(part.at, [this, island = part.island] {
+      binding_.cut_links(island, [](Link& link) { link.SetDown(true); });
+      Record("partitions", "fault-partition", 0);
+    });
+    sched_.ScheduleAt(part.heal_at, [this, island = part.island] {
+      binding_.cut_links(island, [](Link& link) { link.SetDown(false); });
+      Record("heals", "fault-heal", 0);
+    });
+  }
+
+  for (FaultSchedule::Brownout& brownout : schedule.brownouts) {
+    COIC_CHECK_MSG(binding_.wan_links != nullptr,
+                   "brownout schedule needs a wan_links binding");
+    COIC_CHECK_MSG(!brownout.steps.empty(), "brownout without steps");
+    // The steps themselves ride LinkConditionScheduler (which validates
+    // ordering); the engine adds one fault event at activation.
+    sched_.ScheduleAt(brownout.steps.front().at, [this, venue = brownout.venue] {
+      Record("brownouts", "fault-brownout", venue);
+    });
+    binding_.wan_links(brownout.venue, [this, &brownout](Link& link) {
+      LinkConditionScheduler::Apply(sched_, link, brownout.steps);
+    });
+  }
+
+  for (const FaultSchedule::LossBurst& burst : schedule.loss_bursts) {
+    COIC_CHECK_MSG(binding_.all_links != nullptr,
+                   "loss-burst schedule needs an all_links binding");
+    COIC_CHECK_MSG(burst.at >= now, "loss burst lies in the simulated past");
+    COIC_CHECK_MSG(burst.end_at > burst.at,
+                   "loss burst must end after it starts");
+    GilbertElliottConfig model = burst.model;
+    model.enabled = true;
+    sched_.ScheduleAt(burst.at, [this, model] {
+      binding_.all_links([&model](Link& link) { link.SetBurstLoss(model); });
+      Record("loss_bursts", "fault-loss-burst", 0);
+    });
+    sched_.ScheduleAt(burst.end_at, [this] {
+      binding_.all_links(
+          [](Link& link) { link.SetBurstLoss(GilbertElliottConfig{}); });
+      Record("loss_burst_ends", "fault-loss-burst-end", 0);
+    });
+  }
+}
+
+}  // namespace coic::netsim

@@ -1,0 +1,136 @@
+// Chaos schedule engine — declarative, deterministic fault injection.
+//
+// The paper's testbed reshapes links with `tc` between runs; a
+// production edge must survive faults *mid-run*. A FaultSchedule scripts
+// compound fault scenarios — edge crash/restart, topology partitions,
+// WAN brownouts, bursty-loss windows — and ChaosEngine arms every event
+// through the EventScheduler, so identical seeds + schedules replay
+// bit-identically (fault events interleave with traffic at exact,
+// reproducible instants).
+//
+// Layering: netsim knows links, not venues. The substrate owner
+// (FederationPipeline) hands the engine a ChaosBinding that resolves
+// venue-scoped groups ("all of venue 2's links", "links crossing the
+// partition") to directed Links and owns side effects like cache wipes.
+// Every fault event bumps a `fault.*` counter in the shared
+// MetricsRegistry and stamps a global instant mark on the RequestTracer
+// timeline, so storms and traces show exactly when the world broke.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/time.h"
+#include "netsim/link.h"
+#include "netsim/schedule.h"
+#include "netsim/scheduler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace coic::netsim {
+
+/// A declarative compound-fault script. Times are absolute sim times and
+/// must not lie in the simulated past at Apply.
+struct FaultSchedule {
+  /// Edge crash: every directed link touching the venue's edge goes down
+  /// at `down_at`; at `up_at` the links come back (optionally after the
+  /// edge's cache is wiped — a cold restart instead of a warm rejoin).
+  struct Crash {
+    std::uint32_t venue = 0;
+    SimTime down_at;
+    SimTime up_at;            ///< Ignored when restart is false.
+    bool restart = true;      ///< false = the edge stays dark forever.
+    bool wipe_cache = false;  ///< Cold restart: cache cleared on rejoin.
+  };
+
+  /// Topology partition: the peer links crossing island <-> complement
+  /// go down at `at` and heal at `heal_at`. Client wifi and WAN links
+  /// are untouched — each side keeps serving, they just cannot gossip
+  /// or probe across the cut.
+  struct Partition {
+    std::vector<std::uint32_t> island;  ///< Venues cut off from the rest.
+    SimTime at;
+    SimTime heal_at;
+  };
+
+  /// WAN brownout: a LinkConditionScheduler step sequence applied to
+  /// both directions of the venue's edge<->cloud links (bandwidth dips,
+  /// loss spikes, scripted down/up windows — whatever the steps say).
+  struct Brownout {
+    std::uint32_t venue = 0;
+    std::vector<LinkConditionStep> steps;
+  };
+
+  /// Cluster-wide bursty loss: every link switches to the given
+  /// Gilbert–Elliott model at `at` and back to pure Bernoulli at
+  /// `end_at`.
+  struct LossBurst {
+    SimTime at;
+    SimTime end_at;
+    GilbertElliottConfig model;  ///< `enabled` is forced true at `at`.
+  };
+
+  std::vector<Crash> crashes;
+  std::vector<Partition> partitions;
+  std::vector<Brownout> brownouts;
+  std::vector<LossBurst> loss_bursts;
+
+  [[nodiscard]] bool empty() const noexcept {
+    return crashes.empty() && partitions.empty() && brownouts.empty() &&
+           loss_bursts.empty();
+  }
+};
+
+/// How the engine reaches the substrate it faults. Only the resolvers a
+/// schedule actually needs must be set (Apply CHECKs).
+struct ChaosBinding {
+  using LinkVisitor = std::function<void(Link&)>;
+
+  /// Visits every directed link touching `venue`'s edge node (wifi both
+  /// directions per mobile, WAN both directions, peer links both
+  /// directions).
+  std::function<void(std::uint32_t venue, const LinkVisitor&)> venue_links;
+  /// Visits the directed peer links crossing island <-> complement.
+  std::function<void(const std::vector<std::uint32_t>& island,
+                     const LinkVisitor&)>
+      cut_links;
+  /// Visits the venue's edge<->cloud links (both directions).
+  std::function<void(std::uint32_t venue, const LinkVisitor&)> wan_links;
+  /// Visits every directed link in the cluster.
+  std::function<void(const LinkVisitor&)> all_links;
+  /// Clears the venue's edge cache (crash-with-cold-restart semantics).
+  std::function<void(std::uint32_t venue)> wipe_cache;
+};
+
+class ChaosEngine {
+ public:
+  /// `metrics` and `tracer` may be null (no counters / no marks).
+  ChaosEngine(EventScheduler& sched, ChaosBinding binding,
+              obs::MetricsRegistry* metrics, obs::RequestTracer* tracer);
+
+  ChaosEngine(const ChaosEngine&) = delete;
+  ChaosEngine& operator=(const ChaosEngine&) = delete;
+
+  /// Validates `schedule` and arms every fault event on the scheduler.
+  /// The engine must outlive the run (events call back into it).
+  void Apply(FaultSchedule schedule);
+
+  /// Fault events fired so far (crashes + restarts + partitions + heals
+  /// + brownouts + bursts + wipes) — a cheap liveness probe for tests.
+  [[nodiscard]] std::uint64_t events_fired() const noexcept {
+    return events_fired_;
+  }
+
+ private:
+  /// Bumps `fault.<name>` and stamps a "fault-…" instant mark.
+  void Record(const char* counter, const char* mark, std::uint32_t track);
+
+  EventScheduler& sched_;
+  ChaosBinding binding_;
+  obs::MetricsRegistry* metrics_;
+  obs::RequestTracer* tracer_;
+  std::uint64_t events_fired_ = 0;
+};
+
+}  // namespace coic::netsim

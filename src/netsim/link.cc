@@ -76,9 +76,10 @@ void Link::SendImpl(Frame head, Frame tail, DeliverFn on_delivered,
   stats_.busy_time += tx;
 
   // Forced drops (test seam / link down) take precedence but still
-  // consume the frame's ordinary loss draw, so injecting one never
-  // shifts which of the surrounding frames the Bernoulli process kills.
-  bool forced = down_;
+  // consume the frame's ordinary loss draws, so injecting one never
+  // shifts which of the surrounding frames the loss processes kill.
+  const bool down = down_;
+  bool forced = down;
   if (!forced && force_drop_next_ > 0) {
     if (force_drop_skip_ > 0) {
       --force_drop_skip_;
@@ -87,8 +88,17 @@ void Link::SendImpl(Frame head, Frame tail, DeliverFn on_delivered,
       forced = true;
     }
   }
-  const bool random_loss =
-      config_.loss_rate > 0 && rng_.NextBool(config_.loss_rate);
+  bool random_loss = config_.loss_rate > 0 && rng_.NextBool(config_.loss_rate);
+  if (config_.burst_loss.enabled) {
+    // Gilbert–Elliott chain: one transition draw, then the per-state
+    // loss draw, both per accepted frame.
+    const double flip = burst_bad_ ? config_.burst_loss.bad_to_good
+                                   : config_.burst_loss.good_to_bad;
+    if (flip > 0 && rng_.NextBool(flip)) burst_bad_ = !burst_bad_;
+    const double p = burst_bad_ ? config_.burst_loss.bad_loss_rate
+                                : config_.burst_loss.good_loss_rate;
+    if (p > 0 && rng_.NextBool(p)) random_loss = true;
+  }
   const bool lost = forced || random_loss;
   Duration extra = config_.propagation;
   if (config_.jitter > Duration::Zero()) {
@@ -103,15 +113,18 @@ void Link::SendImpl(Frame head, Frame tail, DeliverFn on_delivered,
   serializing_.push_back({serialized_at, size});
 
   // Delivery (or loss) after propagation — the only scheduled event.
-  auto deliver = [this, size, lost, forced, head = std::move(head),
+  auto deliver = [this, size, lost, forced, down, head = std::move(head),
                   tail = std::move(tail),
                   on_delivered = std::move(on_delivered),
                   on_dropped = std::move(on_dropped)]() mutable {
     if (lost) {
       ++stats_.frames_dropped_loss;
+      if (down) ++stats_.frames_dropped_down;
       if (on_dropped) {
-        on_dropped(forced ? DropReason::kForced : DropReason::kRandomLoss,
-                   FlattenGather(head, tail));
+        const DropReason reason = down      ? DropReason::kLinkDown
+                                  : forced ? DropReason::kForced
+                                           : DropReason::kRandomLoss;
+        on_dropped(reason, FlattenGather(head, tail));
       }
       return;
     }

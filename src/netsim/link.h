@@ -28,8 +28,23 @@ namespace coic::netsim {
 /// Why a frame failed to deliver.
 enum class DropReason : std::uint8_t {
   kQueueOverflow = 0,  ///< Drop-tail: queue byte capacity exceeded.
-  kRandomLoss = 1,     ///< Bernoulli wire loss.
-  kForced = 2,         ///< ForceDropNext test seam or link taken down.
+  kRandomLoss = 1,     ///< Bernoulli or burst (Gilbert–Elliott) wire loss.
+  kForced = 2,         ///< ForceDropNext test seam.
+  kLinkDown = 3,       ///< Link was down (crash/partition outage).
+};
+
+/// Two-state Gilbert–Elliott bursty-loss model. The chain steps once per
+/// frame accepted for transmission: first the state-transition draw,
+/// then a per-state Bernoulli loss draw. Complements (does not replace)
+/// LinkConfig::loss_rate — both processes can be active; a frame is lost
+/// if either kills it. All draws come from the link's seeded Rng, so a
+/// given seed + send sequence replays bit-identically.
+struct GilbertElliottConfig {
+  bool enabled = false;
+  double good_to_bad = 0.0;     ///< P(good -> bad) per frame.
+  double bad_to_good = 0.0;     ///< P(bad -> good) per frame.
+  double good_loss_rate = 0.0;  ///< Loss probability while in good state.
+  double bad_loss_rate = 0.0;   ///< Loss probability while in bad state.
 };
 
 struct LinkConfig {
@@ -47,6 +62,8 @@ struct LinkConfig {
   /// Seed for loss/jitter draws (loss and jitter are deterministic given
   /// the seed and send sequence).
   std::uint64_t seed = 0x51CA9E;
+  /// Optional bursty-loss overlay on top of the Bernoulli draw.
+  GilbertElliottConfig burst_loss;
 };
 
 /// Aggregate link counters (exact, not sampled).
@@ -55,6 +72,9 @@ struct LinkStats {
   std::uint64_t frames_delivered = 0;
   std::uint64_t frames_dropped_queue = 0;
   std::uint64_t frames_dropped_loss = 0;
+  /// Subset of frames_dropped_loss killed because the link was down —
+  /// outage loss stays attributable next to wire loss in snapshots.
+  std::uint64_t frames_dropped_down = 0;
   Bytes bytes_delivered = 0;
   Duration busy_time = Duration::Zero();  ///< Total serialization time.
 };
@@ -96,6 +116,15 @@ class Link {
   void SetPropagation(Duration d) noexcept { config_.propagation = d; }
   void SetLossRate(double p) noexcept { config_.loss_rate = p; }
 
+  /// Switches the Gilbert–Elliott bursty-loss overlay on/off mid-run
+  /// (the chaos engine's loss-burst lever). The chain state resets to
+  /// good on every reconfiguration so a burst window always starts from
+  /// the same state regardless of earlier bursts.
+  void SetBurstLoss(const GilbertElliottConfig& ge) noexcept {
+    config_.burst_loss = ge;
+    burst_bad_ = false;
+  }
+
   /// Deterministic loss seam for tests: the next `n` frames accepted for
   /// transmission are dropped (DropReason::kForced) at their would-be
   /// delivery time, independent of loss_rate.
@@ -110,8 +139,8 @@ class Link {
   }
 
   /// Takes the link down (every frame sent while down is dropped with
-  /// DropReason::kForced) or back up — the crash/partition seam for the
-  /// edge-failure scenarios. Frames already in flight still deliver.
+  /// DropReason::kLinkDown) or back up — the crash/partition seam for
+  /// the edge-failure scenarios. Frames already in flight still deliver.
   void SetDown(bool down) noexcept { down_ = down; }
   [[nodiscard]] bool down() const noexcept { return down_; }
 
@@ -152,6 +181,7 @@ class Link {
   std::uint64_t force_drop_next_ = 0;
   std::uint64_t force_drop_skip_ = 0;
   bool down_ = false;
+  bool burst_bad_ = false;  ///< Gilbert–Elliott chain state (bad = bursty).
   SimTime busy_until_ = SimTime::Epoch();
   /// In-serialization frames, FIFO by done_at (busy_until_ is monotone).
   mutable std::deque<Serializing> serializing_;

@@ -109,6 +109,13 @@ class Network {
     for (const auto& [key, link] : links_) fn(*link);
   }
 
+  /// Mutable visit — the chaos engine's lever for cluster-wide condition
+  /// changes (burst-loss windows touch every link at once). Distinct
+  /// name: an overload would make const-visitor lambdas ambiguous.
+  void ForEachMutableLink(const std::function<void(Link&)>& fn) {
+    for (auto& [key, link] : links_) fn(*link);
+  }
+
   [[nodiscard]] const std::string& NodeName(NodeId id) const;
   [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
   [[nodiscard]] EventScheduler& scheduler() noexcept { return sched_; }

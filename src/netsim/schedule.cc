@@ -7,11 +7,15 @@ void LinkConditionScheduler::Apply(EventScheduler& sched, Link& link,
   SimTime previous = sched.now();
   for (const LinkConditionStep& step : steps) {
     COIC_CHECK_MSG(step.at >= previous, "schedule steps must be sorted");
-    COIC_CHECK_MSG(step.bandwidth.bps() > 0, "bandwidth must be positive");
+    COIC_CHECK_MSG(step.bandwidth.bps() >= 0, "bandwidth must be nonnegative");
+    COIC_CHECK_MSG(
+        step.bandwidth.bps() > 0 || step.loss_rate >= 0 || step.down >= 0,
+        "a schedule step must change bandwidth, loss or down state");
     previous = step.at;
     sched.ScheduleAt(step.at, [&link, step] {
-      link.SetBandwidth(step.bandwidth);
+      if (step.bandwidth.bps() > 0) link.SetBandwidth(step.bandwidth);
       if (step.loss_rate >= 0) link.SetLossRate(step.loss_rate);
+      if (step.down >= 0) link.SetDown(step.down != 0);
     });
   }
 }

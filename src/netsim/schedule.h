@@ -2,10 +2,10 @@
 //
 // The paper's testbed re-runs `tc` to change link bandwidth between (and
 // during) experiments. LinkConditionScheduler applies a piecewise
-// schedule of (time, bandwidth[, loss]) steps to a Link through the
-// event scheduler, so a single simulation can traverse a whole bandwidth
-// trace (e.g. a user walking away from the AP) instead of one fixed
-// condition per run.
+// schedule of (time, bandwidth[, loss][, down]) steps to a Link through
+// the event scheduler, so a single simulation can traverse a whole
+// bandwidth trace (e.g. a user walking away from the AP) — or script an
+// outage window — instead of one fixed condition per run.
 #pragma once
 
 #include <vector>
@@ -15,12 +15,21 @@
 
 namespace coic::netsim {
 
-/// One step of a link-condition schedule.
+/// One step of a link-condition schedule. A step may reshape bandwidth,
+/// retune loss, toggle the link down/up, or any combination; fields left
+/// at their "unchanged" sentinel are not touched. A step must change at
+/// least one thing (zero bandwidth + negative loss + down == -1 is a
+/// programming error and CHECK-fails at Apply).
 struct LinkConditionStep {
   SimTime at;
+  /// Zero bps = leave the bandwidth unchanged (down-only steps).
   Bandwidth bandwidth;
   /// Negative = leave the loss rate unchanged.
   double loss_rate = -1.0;
+  /// -1 = leave the up/down state unchanged; 0 = bring the link up;
+  /// 1 = take it down (every frame sent while down is dropped with
+  /// DropReason::kLinkDown).
+  int down = -1;
 };
 
 class LinkConditionScheduler {

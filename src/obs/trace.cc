@@ -74,7 +74,14 @@ void RequestTracer::End(std::uint64_t id, SimTime now) {
 void RequestTracer::Annotate(std::uint64_t id, const char* name, SimTime now) {
   const auto it = open_.find(id);
   if (it == open_.end()) return;
-  InstantEvent ev{id, it->second.track, name, now};
+  PushInstant(InstantEvent{id, it->second.track, name, now});
+}
+
+void RequestTracer::Mark(std::uint32_t track, const char* name, SimTime now) {
+  PushInstant(InstantEvent{0, track, name, now});
+}
+
+void RequestTracer::PushInstant(const InstantEvent& ev) {
   if (instants_.size() < config_.instant_capacity) {
     instants_.push_back(ev);
     return;

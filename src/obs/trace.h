@@ -118,6 +118,11 @@ class RequestTracer {
   /// `name` must be a string literal (stored by pointer).
   void Annotate(std::uint64_t id, const char* name, SimTime now);
 
+  /// Stamps a global instant marker that belongs to no request — fault
+  /// injections, config flips — on `track`'s timeline (request id 0 is
+  /// never a real request). Readable back via AnnotationsFor(0).
+  void Mark(std::uint32_t track, const char* name, SimTime now);
+
   // -- Inspection ----------------------------------------------------------
 
   [[nodiscard]] std::size_t live_count() const noexcept {
@@ -164,6 +169,7 @@ class RequestTracer {
   };
 
   void CloseSpan(std::uint64_t id, const OpenSpan& open, SimTime now);
+  void PushInstant(const InstantEvent& ev);
 
   TraceConfig config_;
   std::unordered_map<std::uint64_t, OpenSpan> open_;

@@ -86,7 +86,7 @@ std::string_view MessageTypeName(MessageType t) noexcept {
 // --------------------------- RecognitionRequest ----------------------------
 
 Bytes RecognitionRequest::WireSize() const noexcept {
-  return 4 + 4 + 8 + 1 + descriptor.WireSize() + 4 + image.size();
+  return 4 + 4 + 8 + 1 + descriptor.WireSize() + 4 + image.size() + 4;
 }
 
 void RecognitionRequest::Encode(ByteWriter& w) const {
@@ -96,6 +96,7 @@ void RecognitionRequest::Encode(ByteWriter& w) const {
   w.WriteU8(static_cast<std::uint8_t>(mode));
   descriptor.Encode(w);
   w.WriteBlob(image);
+  w.WriteU32(deadline_ms);
 }
 
 Result<RecognitionRequest> RecognitionRequest::Decode(ByteReader& r) {
@@ -108,6 +109,7 @@ Result<RecognitionRequest> RecognitionRequest::Decode(ByteReader& r) {
   if (!desc.ok()) return desc.status();
   m.descriptor = std::move(desc).value();
   COIC_RETURN_IF_ERROR(r.ReadBlob(m.image));
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.deadline_ms));
   if (m.mode == OffloadMode::kOrigin && m.image.empty()) {
     return Status(StatusCode::kDataLoss, "Origin recognition without image");
   }
@@ -156,7 +158,7 @@ Result<RecognitionResult> RecognitionResult::Decode(ByteReader& r) {
 // ------------------------------ RenderRequest ------------------------------
 
 Bytes RenderRequest::WireSize() const noexcept {
-  return 4 + 4 + 8 + 1 + descriptor.WireSize() + 1;
+  return 4 + 4 + 8 + 1 + descriptor.WireSize() + 1 + 4;
 }
 
 void RenderRequest::Encode(ByteWriter& w) const {
@@ -166,6 +168,7 @@ void RenderRequest::Encode(ByteWriter& w) const {
   w.WriteU8(static_cast<std::uint8_t>(mode));
   descriptor.Encode(w);
   w.WriteU8(level_of_detail);
+  w.WriteU32(deadline_ms);
 }
 
 Result<RenderRequest> RenderRequest::Decode(ByteReader& r) {
@@ -178,6 +181,7 @@ Result<RenderRequest> RenderRequest::Decode(ByteReader& r) {
   if (!desc.ok()) return desc.status();
   m.descriptor = std::move(desc).value();
   COIC_RETURN_IF_ERROR(r.ReadU8(m.level_of_detail));
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.deadline_ms));
   return m;
 }
 
@@ -215,7 +219,7 @@ Result<RenderResult> RenderResult::Decode(ByteReader& r) {
 // ----------------------------- PanoramaRequest -----------------------------
 
 Bytes PanoramaRequest::WireSize() const noexcept {
-  return 4 + 8 + 4 + 1 + descriptor.WireSize() + 12;
+  return 4 + 8 + 4 + 1 + descriptor.WireSize() + 12 + 4;
 }
 
 void PanoramaRequest::Encode(ByteWriter& w) const {
@@ -227,6 +231,7 @@ void PanoramaRequest::Encode(ByteWriter& w) const {
   w.WriteF32(viewport.yaw_deg);
   w.WriteF32(viewport.pitch_deg);
   w.WriteF32(viewport.fov_deg);
+  w.WriteU32(deadline_ms);
 }
 
 Result<PanoramaRequest> PanoramaRequest::Decode(ByteReader& r) {
@@ -241,6 +246,7 @@ Result<PanoramaRequest> PanoramaRequest::Decode(ByteReader& r) {
   COIC_RETURN_IF_ERROR(r.ReadF32(m.viewport.yaw_deg));
   COIC_RETURN_IF_ERROR(r.ReadF32(m.viewport.pitch_deg));
   COIC_RETURN_IF_ERROR(r.ReadF32(m.viewport.fov_deg));
+  COIC_RETURN_IF_ERROR(r.ReadU32(m.deadline_ms));
   return m;
 }
 

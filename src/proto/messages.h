@@ -94,6 +94,10 @@ struct RecognitionRequest {
   OffloadMode mode = OffloadMode::kCoic;
   FeatureDescriptor descriptor;  ///< Valid in kCoic mode.
   ByteVec image;                 ///< Full frame; non-empty in kOrigin mode.
+  /// Remaining latency budget the client grants this request, stamped at
+  /// send time. 0 = no deadline. The edge sheds already-expired work
+  /// before spending a cloud fetch on it.
+  std::uint32_t deadline_ms = 0;
 
   [[nodiscard]] Bytes WireSize() const noexcept;
   void Encode(ByteWriter& w) const;
@@ -144,6 +148,7 @@ struct RenderRequest {
   OffloadMode mode = OffloadMode::kCoic;
   FeatureDescriptor descriptor;  ///< kContentHash of the model bytes.
   std::uint8_t level_of_detail = 0;
+  std::uint32_t deadline_ms = 0;  ///< Latency budget; 0 = no deadline.
 
   [[nodiscard]] Bytes WireSize() const noexcept;
   void Encode(ByteWriter& w) const;
@@ -194,6 +199,7 @@ struct PanoramaRequest {
   OffloadMode mode = OffloadMode::kCoic;
   FeatureDescriptor descriptor;  ///< kContentHash of the panorama identity.
   Viewport viewport;
+  std::uint32_t deadline_ms = 0;  ///< Latency budget; 0 = no deadline.
 
   [[nodiscard]] Bytes WireSize() const noexcept;
   void Encode(ByteWriter& w) const;

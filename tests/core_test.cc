@@ -2,6 +2,7 @@
 // Figure 1 state machine), QoE metrics, and the layered-cache extension.
 #include <gtest/gtest.h>
 
+#include "core/client.h"
 #include "core/cost_model.h"
 #include "core/layered.h"
 #include "core/metrics.h"
@@ -484,6 +485,127 @@ TEST(LayeredTest, DifferentObjectsDoNotFullHit) {
   const auto outcome =
       cache.Process(vision::SyntheticImage::Generate({.scene_id = 200}));
   EXPECT_FALSE(outcome.full_hit(cache.config().layers));
+}
+
+// ---------------------------------------------------------------------------
+// Client-side overload handling: deadline stamping, local fallback
+// ---------------------------------------------------------------------------
+
+/// Self-clocking client harness: the delay fn advances the clock by the
+/// requested duration and runs the work inline, so modeled compute shows
+/// up in outcome latencies without a simulator.
+struct ClientHarness {
+  SimTime now = SimTime::Epoch();
+  std::vector<Frame> sent;
+  CoicClient client;
+
+  explicit ClientHarness(CoicClient::Config config)
+      : client(std::move(config),
+               [this](Frame f) { sent.push_back(std::move(f)); },
+               [this](Duration d, std::function<void()> fn) {
+                 now = now + d;
+                 fn();
+               },
+               [this] { return now; }) {}
+
+  proto::Envelope LastSent() {
+    EXPECT_FALSE(sent.empty());
+    auto env = proto::DecodeEnvelope(sent.back().span());
+    EXPECT_TRUE(env.ok());
+    return std::move(env).value();
+  }
+
+  void ReplyShed(std::uint64_t request_id, StatusCode code) {
+    proto::ErrorReply err;
+    err.code = static_cast<std::uint16_t>(code);
+    err.message = "shed";
+    client.OnEdgeFrame(
+        proto::EncodeMessage(proto::MessageType::kError, request_id, err));
+  }
+};
+
+TEST(ClientOverloadTest, DeadlineStampedNetOfPreSendCompute) {
+  CoicClient::Config config;
+  config.deadline = Duration::Millis(2500);
+  ClientHarness h(config);
+  h.client.StartRender(5, Digest128{1, 2}, [](RequestOutcome) {});
+  const auto env = h.LastSent();
+  auto req = proto::DecodePayloadAs<proto::RenderRequest>(
+      env, proto::MessageType::kRenderRequest);
+  ASSERT_TRUE(req.ok());
+  // 2500 ms budget minus the 25 ms request prep spent before the send.
+  EXPECT_EQ(req.value().deadline_ms, 2475u);
+}
+
+TEST(ClientOverloadTest, NoDeadlineMeansAZeroWireStamp) {
+  ClientHarness h(CoicClient::Config{});
+  h.client.StartRender(5, Digest128{1, 2}, [](RequestOutcome) {});
+  auto req = proto::DecodePayloadAs<proto::RenderRequest>(
+      h.LastSent(), proto::MessageType::kRenderRequest);
+  ASSERT_TRUE(req.ok());
+  EXPECT_EQ(req.value().deadline_ms, 0u);
+}
+
+TEST(ClientOverloadTest, ShedReplyDegradesToLocalFallback) {
+  CoicClient::Config config;
+  config.local_fallback = true;
+  ClientHarness h(config);
+  std::vector<RequestOutcome> outcomes;
+  h.client.StartRender(5, Digest128{1, 2},
+                       [&](RequestOutcome o) { outcomes.push_back(o); });
+  h.ReplyShed(h.LastSent().request_id, StatusCode::kResourceExhausted);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].error);
+  EXPECT_EQ(outcomes[0].source, ResultSource::kLocal);
+  // 25 ms prep + 90 ms low-LOD placeholder: degraded but fast.
+  EXPECT_EQ(outcomes[0].latency, Duration::Millis(115));
+  EXPECT_EQ(h.client.overload_rejects(), 1u);
+  EXPECT_EQ(h.client.timeouts(), 0u);  // rejects are not timeouts
+  EXPECT_EQ(h.client.inflight(), 0u);
+}
+
+TEST(ClientOverloadTest, RecognitionFallbackKeepsTheCorrectLabel) {
+  CoicClient::Config config;
+  config.local_fallback = true;
+  ClientHarness h(config);
+  std::vector<RequestOutcome> outcomes;
+  h.client.StartRecognition({.scene_id = 3}, "object_3",
+                            [&](RequestOutcome o) { outcomes.push_back(o); });
+  h.ReplyShed(h.LastSent().request_id, StatusCode::kUnavailable);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_FALSE(outcomes[0].error);
+  EXPECT_EQ(outcomes[0].source, ResultSource::kLocal);
+  // The on-device DNN is the Local baseline: right answer, paid in full
+  // (1100 ms extraction + 2800 ms full inference).
+  EXPECT_TRUE(outcomes[0].correct);
+  EXPECT_EQ(outcomes[0].label, "object_3");
+  EXPECT_EQ(outcomes[0].latency, Duration::Millis(3900));
+}
+
+TEST(ClientOverloadTest, ShedWithoutFallbackIsACountedErrorOutcome) {
+  ClientHarness h(CoicClient::Config{});  // local_fallback off
+  std::vector<RequestOutcome> outcomes;
+  h.client.StartRender(5, Digest128{1, 2},
+                       [&](RequestOutcome o) { outcomes.push_back(o); });
+  h.ReplyShed(h.LastSent().request_id, StatusCode::kResourceExhausted);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].error);
+  EXPECT_EQ(h.client.overload_rejects(), 1u);
+  EXPECT_EQ(h.client.timeouts(), 0u);
+}
+
+TEST(ClientOverloadTest, NonShedErrorsDoNotCountAsOverloadRejects) {
+  CoicClient::Config config;
+  config.local_fallback = true;
+  ClientHarness h(config);
+  std::vector<RequestOutcome> outcomes;
+  h.client.StartRender(5, Digest128{1, 2},
+                       [&](RequestOutcome o) { outcomes.push_back(o); });
+  // kNotFound is a real failure, not an overload verdict: no fallback.
+  h.ReplyShed(h.LastSent().request_id, StatusCode::kNotFound);
+  ASSERT_EQ(outcomes.size(), 1u);
+  EXPECT_TRUE(outcomes[0].error);
+  EXPECT_EQ(h.client.overload_rejects(), 0u);
 }
 
 }  // namespace

@@ -18,13 +18,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <tuple>
 #include <vector>
 
+#include "common/bytes.h"
 #include "core/coop_pipeline.h"
 #include "core/cost_model.h"
 #include "core/metrics.h"
 #include "core/sim_pipeline.h"
 #include "federation/federation_pipeline.h"
+#include "federation/summary.h"
+#include "netsim/chaos.h"
 #include "netsim/link.h"
 #include "netsim/network.h"
 #include "netsim/scheduler.h"
@@ -737,6 +741,145 @@ TEST(E2eCrashRejoin, PeersAgeOutADeadEdgeThenRebuildItsViewOnRejoin) {
   EXPECT_GE(pipeline.total_peer_hits(), 2u);
   EXPECT_NE(pipeline.summary_table(0).For(1), nullptr);
   EXPECT_NE(pipeline.summary_table(2).For(1), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: a scripted partition splits the cluster in two; both sides
+// keep serving and warm divergent cache state. After the heal, gossip
+// must reconverge every survivor to the same view — byte-identical
+// summary encodings on both sides of the former cut — and cooperation
+// across the cut must work again.
+// ---------------------------------------------------------------------------
+
+ByteVec EncodeSummaryView(const federation::CacheSummary& summary) {
+  ByteWriter w;
+  summary.ToWire().Encode(w);
+  return w.TakeBytes();
+}
+
+TEST(E2eChaos, PartitionHealReconvergesByteIdenticalSummaryViews) {
+  federation::FederationPipelineConfig config;
+  config.venues = 4;
+  config.policy.kind = federation::PeerSelectKind::kSummaryDirected;
+  config.gossip_period = Duration::Millis(50);
+  config.network =
+      NetworkCondition{Bandwidth::Gbps(1), Bandwidth::Mbps(200)};
+  // The cut and heal come from the declarative chaos schedule, not from
+  // hand-scheduled SetDown events.
+  netsim::FaultSchedule::Partition part;
+  part.island = {2, 3};
+  part.at = SimTime::FromMicros(100'000);
+  part.heal_at = SimTime::FromMicros(400'000);
+  config.chaos.partitions.push_back(part);
+  federation::FederationPipeline pipeline(config);
+  for (std::uint64_t m = 1; m <= 4; ++m) pipeline.RegisterModel(m, KB(64));
+
+  // Pre-partition warm-up on the main side.
+  pipeline.EnqueuePlaced(PlacedRenderAt(0, 1, 50'000));
+  // Mid-partition: each side warms a model the other cannot see yet —
+  // their summary views of each other go stale across the cut.
+  pipeline.EnqueuePlaced(PlacedRenderAt(1, 2, 200'000));
+  pipeline.EnqueuePlaced(PlacedRenderAt(2, 3, 200'000));
+  // Post-heal: keep gossip alive long enough to reconverge, then prove
+  // cooperation across the former cut works again — venue 3 pulls the
+  // model only venue 1 (other side of the cut) holds.
+  pipeline.EnqueuePlaced(PlacedRenderAt(0, 1, 700'000));
+  pipeline.EnqueuePlaced(PlacedRenderAt(0, 1, 1'000'000));
+  pipeline.EnqueuePlaced(PlacedRenderAt(3, 2, 1'300'000));
+
+  const auto outcomes = pipeline.RunOpenLoop();
+  ASSERT_EQ(outcomes.size(), 6u);
+  for (const auto& o : outcomes) EXPECT_FALSE(o.outcome.error);
+  ASSERT_NE(pipeline.chaos(), nullptr);
+  EXPECT_EQ(pipeline.chaos()->events_fired(), 2u);  // partition + heal
+  EXPECT_EQ(pipeline.metrics().GetCounter("fault.partitions").value(), 1u);
+  EXPECT_EQ(pipeline.metrics().GetCounter("fault.heals").value(), 1u);
+  // The former cut is crossable again: venue 3's miss was served by
+  // venue 1's cache, not the cloud.
+  EXPECT_EQ(outcomes.back().outcome.source, ResultSource::kPeerEdge);
+
+  // Reconvergence: for every subject venue, every other venue holds the
+  // same version of its summary — byte-identical on the wire, on both
+  // sides of the former cut.
+  for (std::uint32_t subject = 0; subject < 4; ++subject) {
+    std::vector<ByteVec> views;
+    for (std::uint32_t observer = 0; observer < 4; ++observer) {
+      if (observer == subject) continue;
+      const federation::CacheSummary* view =
+          pipeline.summary_table(observer).For(subject);
+      ASSERT_NE(view, nullptr)
+          << "venue " << observer << " lost venue " << subject;
+      views.push_back(EncodeSummaryView(*view));
+    }
+    for (std::size_t i = 1; i < views.size(); ++i) {
+      EXPECT_EQ(views[i], views[0])
+          << "divergent views of venue " << subject << " after heal";
+    }
+  }
+}
+
+TEST(E2eChaos, IdenticalSeedAndScheduleReplayIdentically) {
+  // The chaos engine rides the event scheduler and every loss draw comes
+  // from seeded rngs: the same config + schedule + trace must produce
+  // the same outcome stream, fault timing included, run after run.
+  const auto run = [] {
+    federation::FederationPipelineConfig config;
+    config.venues = 3;
+    config.mobiles_per_venue = 2;
+    config.policy.kind = federation::PeerSelectKind::kSummaryDirected;
+    config.gossip_period = Duration::Millis(50);
+    config.network =
+        NetworkCondition{Bandwidth::Gbps(1), Bandwidth::Mbps(200)};
+    config.transport = federation::FederationTransportConfig::Lossy(0.01);
+    config.transport.edge_max_pending = 32;
+    config.transport.breaker_failure_threshold = 4;
+    config.transport.client_deadline = Duration::Millis(2500);
+    config.transport.client_local_fallback = true;
+
+    netsim::FaultSchedule::Crash crash;
+    crash.venue = 1;
+    crash.down_at = SimTime::FromMicros(300'000);
+    crash.up_at = SimTime::FromMicros(700'000);
+    crash.wipe_cache = true;
+    config.chaos.crashes.push_back(crash);
+    netsim::FaultSchedule::LossBurst burst;
+    burst.at = SimTime::FromMicros(900'000);
+    burst.end_at = SimTime::FromMicros(1'300'000);
+    burst.model.good_to_bad = 0.1;
+    burst.model.bad_to_good = 0.3;
+    burst.model.bad_loss_rate = 0.4;
+    config.chaos.loss_bursts.push_back(burst);
+
+    federation::FederationPipeline pipeline(config);
+    for (std::uint64_t m = 1; m <= 6; ++m) pipeline.RegisterModel(m, KB(64));
+    trace::ClusterWorkloadConfig wl;
+    wl.venues = 3;
+    trace::ClusterWorkloadGenerator gen(wl);
+    const std::vector<std::uint64_t> models = {1, 2, 3, 4, 5, 6};
+    auto placed = gen.GenerateMixed(150, models, 7);
+    trace::RetimeArrivals(std::span<trace::PlacedRecord>(placed), 100.0);
+    for (const auto& p : placed) pipeline.EnqueuePlaced(p);
+
+    using Row = std::tuple<std::uint32_t, proto::TaskKind, ResultSource, bool,
+                           std::int64_t, std::int64_t>;
+    std::vector<Row> rows;
+    for (const auto& o : pipeline.RunOpenLoop()) {
+      rows.emplace_back(o.venue, o.outcome.task, o.outcome.source,
+                        o.outcome.error, o.outcome.latency.micros(),
+                        (o.completed_at - SimTime::Epoch()).micros());
+    }
+    const std::uint64_t faults = pipeline.chaos()->events_fired();
+    return std::pair{std::move(rows), faults};
+  };
+
+  const auto [first, faults_a] = run();
+  const auto [second, faults_b] = run();
+  EXPECT_EQ(faults_a, 5u);  // crash + wipe + restart + burst + burst-end
+  EXPECT_EQ(faults_b, faults_a);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "outcome " << i << " diverged";
+  }
 }
 
 }  // namespace

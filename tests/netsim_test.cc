@@ -2,7 +2,10 @@
 // conformance, network dispatch.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/bytes.h"
+#include "netsim/chaos.h"
 #include "netsim/link.h"
 #include "netsim/network.h"
 #include "netsim/scheduler.h"
@@ -665,7 +668,7 @@ TEST_F(LinkFixture, SetDownDropsEverythingUntilBroughtBackUp) {
   const auto send = [&] {
     link.Send(DeterministicBytes(32, 1), [&](Frame) { ++delivered; },
               [&](DropReason r, Frame) {
-                EXPECT_EQ(r, DropReason::kForced);
+                EXPECT_EQ(r, DropReason::kLinkDown);
                 ++dropped;
               });
   };
@@ -679,6 +682,120 @@ TEST_F(LinkFixture, SetDownDropsEverythingUntilBroughtBackUp) {
   send();
   sched.Run();
   EXPECT_EQ(delivered, 1);
+  // Outage drops are attributed separately from wire loss: they land in
+  // frames_dropped_down (a subset of frames_dropped_loss), so snapshots
+  // can tell "the link was down" apart from "the wire ate it".
+  EXPECT_EQ(link.stats().frames_dropped_down, 2u);
+  EXPECT_EQ(link.stats().frames_dropped_loss, 2u);
+}
+
+TEST_F(LinkFixture, ForcedDropsAreNotCountedAsDownDrops) {
+  Link link(sched, "seam", LinkConfig{});
+  link.ForceDropNext(1);
+  int dropped = 0;
+  link.Send(DeterministicBytes(32, 1), [](Frame) {},
+            [&](DropReason r, Frame) {
+              EXPECT_EQ(r, DropReason::kForced);
+              ++dropped;
+            });
+  sched.Run();
+  EXPECT_EQ(dropped, 1);
+  EXPECT_EQ(link.stats().frames_dropped_down, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Gilbert–Elliott bursty loss
+// ---------------------------------------------------------------------------
+
+TEST_F(LinkFixture, BurstLossInBadStateKillsEveryFrame) {
+  // Degenerate chain: transition to bad on the first frame and stay
+  // there, losing everything — the deterministic corner that pins the
+  // state machine without statistics.
+  LinkConfig cfg;
+  GilbertElliottConfig ge;
+  ge.enabled = true;
+  ge.good_to_bad = 1.0;
+  ge.bad_to_good = 0.0;
+  ge.good_loss_rate = 0.0;
+  ge.bad_loss_rate = 1.0;
+  cfg.burst_loss = ge;
+  Link link(sched, "bursty", cfg);
+  int delivered = 0, dropped = 0;
+  for (int i = 0; i < 20; ++i) {
+    link.Send(DeterministicBytes(16, i), [&](Frame) { ++delivered; },
+              [&](DropReason r, Frame) {
+                EXPECT_EQ(r, DropReason::kRandomLoss);
+                ++dropped;
+              });
+  }
+  sched.Run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(dropped, 20);
+  EXPECT_EQ(link.stats().frames_dropped_loss, 20u);
+  EXPECT_EQ(link.stats().frames_dropped_down, 0u);  // loss, not outage
+}
+
+TEST_F(LinkFixture, SetBurstLossResetsTheChainToGood) {
+  // Drive the chain into the permanent bad state, then reconfigure: the
+  // chaos engine's end-of-burst SetBurstLoss must start the next window
+  // from good regardless of where the last one left the chain.
+  LinkConfig cfg;
+  GilbertElliottConfig sticky_bad;
+  sticky_bad.enabled = true;
+  sticky_bad.good_to_bad = 1.0;
+  sticky_bad.bad_loss_rate = 1.0;
+  cfg.burst_loss = sticky_bad;
+  Link link(sched, "bursty", cfg);
+  int delivered = 0;
+  link.Send(DeterministicBytes(16, 0), [&](Frame) { ++delivered; });
+  sched.Run();
+  EXPECT_EQ(delivered, 0);  // chain went bad, frame lost
+
+  // Same model but with no way to leave good: only the reset can save
+  // the next frames.
+  GilbertElliottConfig harmless = sticky_bad;
+  harmless.good_to_bad = 0.0;
+  link.SetBurstLoss(harmless);
+  for (int i = 0; i < 10; ++i) {
+    link.Send(DeterministicBytes(16, i), [&](Frame) { ++delivered; });
+  }
+  sched.Run();
+  EXPECT_EQ(delivered, 10);
+
+  // And SetBurstLoss({}) restores pure Bernoulli (here: lossless).
+  link.SetBurstLoss(GilbertElliottConfig{});
+  link.Send(DeterministicBytes(16, 0), [&](Frame) { ++delivered; });
+  sched.Run();
+  EXPECT_EQ(delivered, 11);
+}
+
+TEST_F(LinkFixture, BurstLossReplaysBitIdenticallyPerSeed) {
+  LinkConfig cfg;
+  cfg.seed = 424242;
+  GilbertElliottConfig ge;
+  ge.enabled = true;
+  ge.good_to_bad = 0.1;
+  ge.bad_to_good = 0.3;
+  ge.bad_loss_rate = 0.6;
+  cfg.burst_loss = ge;
+  const auto run = [&] {
+    Link link(sched, "bursty", cfg);
+    std::vector<bool> outcome;
+    for (int i = 0; i < 300; ++i) {
+      const std::size_t slot = outcome.size();
+      outcome.push_back(false);
+      link.Send(DeterministicBytes(16, i),
+                [&outcome, slot](Frame) { outcome[slot] = true; },
+                [](DropReason, Frame) {});
+    }
+    sched.Run();
+    return outcome;
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+  // And the model actually lost something at these rates.
+  EXPECT_NE(std::count(first.begin(), first.end(), false), 0);
 }
 
 TEST_F(LinkFixture, GatherSendDeliversTheFusedBytesWithOneLossDraw) {
@@ -842,6 +959,117 @@ TEST(NetworkSeedTest, SharedLinkConfigLossDrawsAreDecorrelatedPerLink) {
   bool all_identical = true;
   for (int i = 1; i < 8; ++i) all_identical &= dropped[i] == dropped[0];
   EXPECT_FALSE(all_identical) << "links share one loss sequence";
+}
+
+// ---------------------------------------------------------------------------
+// ChaosEngine — declarative fault schedules over a hand-rolled binding
+// ---------------------------------------------------------------------------
+
+TEST(ChaosEngineTest, CrashScheduleTogglesLinksWipesCacheAndRecords) {
+  EventScheduler sched;
+  Link wifi(sched, "wifi", LinkConfig{});
+  Link wan(sched, "wan", LinkConfig{});
+  obs::MetricsRegistry metrics;
+  obs::RequestTracer tracer(obs::TraceConfig{});
+  int wipes = 0;
+
+  ChaosBinding binding;
+  binding.venue_links = [&](std::uint32_t venue,
+                            const ChaosBinding::LinkVisitor& visit) {
+    EXPECT_EQ(venue, 2u);
+    visit(wifi);
+    visit(wan);
+  };
+  binding.wipe_cache = [&](std::uint32_t venue) {
+    EXPECT_EQ(venue, 2u);
+    ++wipes;
+  };
+
+  ChaosEngine chaos(sched, std::move(binding), &metrics, &tracer);
+  FaultSchedule schedule;
+  FaultSchedule::Crash crash;
+  crash.venue = 2;
+  crash.down_at = SimTime::FromMicros(1'000);
+  crash.up_at = SimTime::FromMicros(3'000);
+  crash.wipe_cache = true;
+  schedule.crashes.push_back(crash);
+  chaos.Apply(schedule);
+
+  sched.RunUntil(SimTime::FromMicros(2'000));
+  EXPECT_TRUE(wifi.down());
+  EXPECT_TRUE(wan.down());
+  EXPECT_EQ(wipes, 0);  // wipe happens at restart, not at crash
+
+  sched.RunUntil(SimTime::FromMicros(4'000));
+  EXPECT_FALSE(wifi.down());
+  EXPECT_FALSE(wan.down());
+  EXPECT_EQ(wipes, 1);
+
+  EXPECT_EQ(chaos.events_fired(), 3u);  // crash + wipe + restart
+  EXPECT_EQ(metrics.GetCounter("fault.crashes").value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("fault.cache_wipes").value(), 1u);
+  EXPECT_EQ(metrics.GetCounter("fault.restarts").value(), 1u);
+  // Marks land as global instants on the id-0 timeline.
+  const auto marks = tracer.AnnotationsFor(0);
+  ASSERT_EQ(marks.size(), 3u);
+  EXPECT_EQ(marks[0], "fault-crash");
+  EXPECT_EQ(marks[1], "fault-cache-wipe");
+  EXPECT_EQ(marks[2], "fault-restart");
+}
+
+TEST(ChaosEngineTest, LossBurstWindowSwapsTheModelInAndOut) {
+  EventScheduler sched;
+  Link link(sched, "wire", LinkConfig{});
+  ChaosBinding binding;
+  binding.all_links = [&](const ChaosBinding::LinkVisitor& visit) {
+    visit(link);
+  };
+  ChaosEngine chaos(sched, std::move(binding), nullptr, nullptr);
+
+  FaultSchedule schedule;
+  FaultSchedule::LossBurst burst;
+  burst.at = SimTime::FromMicros(1'000);
+  burst.end_at = SimTime::FromMicros(2'000);
+  burst.model.good_to_bad = 1.0;
+  burst.model.bad_loss_rate = 1.0;
+  schedule.loss_bursts.push_back(burst);
+  chaos.Apply(schedule);
+
+  EXPECT_FALSE(link.config().burst_loss.enabled);
+  sched.RunUntil(SimTime::FromMicros(1'500));
+  EXPECT_TRUE(link.config().burst_loss.enabled);
+  EXPECT_EQ(link.config().burst_loss.bad_loss_rate, 1.0);
+  sched.RunUntil(SimTime::FromMicros(2'500));
+  EXPECT_FALSE(link.config().burst_loss.enabled);
+  EXPECT_EQ(chaos.events_fired(), 2u);
+}
+
+TEST(ChaosEngineTest, PartitionCutsOnlyTheCrossingLinks) {
+  EventScheduler sched;
+  Link crossing(sched, "cross", LinkConfig{});
+  Link inside(sched, "inside", LinkConfig{});
+  ChaosBinding binding;
+  binding.cut_links = [&](const std::vector<std::uint32_t>& island,
+                          const ChaosBinding::LinkVisitor& visit) {
+    EXPECT_EQ(island, (std::vector<std::uint32_t>{2, 3}));
+    visit(crossing);  // deliberately never visits `inside`
+  };
+  ChaosEngine chaos(sched, std::move(binding), nullptr, nullptr);
+
+  FaultSchedule schedule;
+  FaultSchedule::Partition part;
+  part.island = {2, 3};
+  part.at = SimTime::FromMicros(1'000);
+  part.heal_at = SimTime::FromMicros(2'000);
+  schedule.partitions.push_back(part);
+  chaos.Apply(schedule);
+
+  sched.RunUntil(SimTime::FromMicros(1'500));
+  EXPECT_TRUE(crossing.down());
+  EXPECT_FALSE(inside.down());
+  sched.RunUntil(SimTime::FromMicros(2'500));
+  EXPECT_FALSE(crossing.down());
+  EXPECT_EQ(chaos.events_fired(), 2u);
 }
 
 }  // namespace

@@ -42,6 +42,27 @@ TEST(LinkScheduleTest, StepsApplyAtTheirTimes) {
   EXPECT_EQ(link.config().loss_rate, 0.1);
 }
 
+TEST(LinkScheduleTest, DownStepsScriptAnOutageWindow) {
+  // A step sequence can script a link outage without touching bandwidth
+  // or loss: down == 1 takes the link down, down == 0 brings it back.
+  netsim::EventScheduler sched;
+  netsim::Link link(sched, "wifi", netsim::LinkConfig{});
+  netsim::LinkConditionScheduler::Apply(
+      sched, link,
+      {{SimTime::FromMicros(1000), Bandwidth::BitsPerSecond(0), -1.0,
+        /*down=*/1},
+       {SimTime::FromMicros(2000), Bandwidth::BitsPerSecond(0), -1.0,
+        /*down=*/0}});
+  EXPECT_FALSE(link.down());
+  sched.RunUntil(SimTime::FromMicros(1500));
+  EXPECT_TRUE(link.down());
+  // The down-only step left the shaping knobs alone.
+  EXPECT_EQ(link.config().bandwidth, netsim::LinkConfig{}.bandwidth);
+  EXPECT_EQ(link.config().loss_rate, 0.0);
+  sched.RunUntil(SimTime::FromMicros(2500));
+  EXPECT_FALSE(link.down());
+}
+
 TEST(LinkScheduleTest, SawtoothTraceShape) {
   const auto steps = netsim::LinkConditionScheduler::SawtoothTrace(
       SimTime::Epoch(), Duration::Seconds(1), Bandwidth::Mbps(400),

@@ -749,5 +749,213 @@ TEST(FrameFabricTest, GatherHitRepliesMatchTheFusedBytesAndShareTheCache) {
   EXPECT_TRUE(gathers[0].second.SharesBufferWith(cached.payload));
 }
 
+// ---------------------------------------------------------------------------
+// Overload control: admission bound, deadline sheds, circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Decodes the head of `queue` and asserts it is an ErrorReply carrying
+/// `code`; returns the request id it answered.
+std::uint64_t ExpectShedReply(std::deque<Frame>& queue, StatusCode code) {
+  const auto env = FakeWire::Decode(queue);
+  EXPECT_EQ(env.type, MessageType::kError);
+  auto err = proto::DecodePayloadAs<proto::ErrorReply>(env, MessageType::kError);
+  EXPECT_TRUE(err.ok());
+  if (err.ok()) {
+    EXPECT_EQ(err.value().code, static_cast<std::uint16_t>(code));
+  }
+  return env.request_id;
+}
+
+TEST(OverloadControlTest, AdmissionBoundShedsBeyondMaxPending) {
+  FakeWire wire;
+  EdgeService::Config config;
+  config.max_pending = 1;
+  auto edge =
+      EdgeService(config, wire.MakeSendFn(), ImmediateDelay(), FixedNow());
+  edge.OnClientFrame(proto::EncodeMessage(MessageType::kRecognitionRequest, 7,
+                                          CoicRecognitionRequest(1)));
+  EXPECT_EQ(edge.forwards(), 1u);
+  EXPECT_TRUE(wire.to_client.empty());
+
+  // A different-key miss while the queue is full is answered immediately
+  // with kResourceExhausted — no forward, no parked state.
+  edge.OnClientFrame(proto::EncodeMessage(MessageType::kRecognitionRequest, 8,
+                                          CoicRecognitionRequest(2)));
+  EXPECT_EQ(edge.overload_sheds(), 1u);
+  EXPECT_EQ(edge.forwards(), 1u);
+  EXPECT_EQ(ExpectShedReply(wire.to_client, StatusCode::kResourceExhausted),
+            8u);
+
+  // Resolving the in-flight request frees the slot; the next miss is
+  // admitted again.
+  proto::RecognitionResult result;
+  result.frame_id = 7;
+  result.label = "object_1";
+  result.annotation = DeterministicBytes(64, 1);
+  edge.OnCloudFrame(
+      proto::EncodeMessage(MessageType::kRecognitionResult, 7, result));
+  wire.to_client.clear();
+  edge.OnClientFrame(proto::EncodeMessage(MessageType::kRecognitionRequest, 9,
+                                          CoicRecognitionRequest(3)));
+  EXPECT_EQ(edge.forwards(), 2u);
+  EXPECT_EQ(edge.overload_sheds(), 1u);
+}
+
+TEST(OverloadControlTest, ExpiredWireDeadlineShedsBeforeTheCloudFetch) {
+  FakeWire wire;
+  StepDelay delay;
+  SimTime now = SimTime::Epoch();
+  EdgeService::Config config;
+  config.costs.edge.cache_lookup = Duration::Millis(2);
+  auto edge = EdgeService(config, wire.MakeSendFn(), delay.MakeDelayFn(),
+                          [&now] { return now; });
+  auto req = CoicRecognitionRequest(1);
+  req.deadline_ms = 5;
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+  // The lookup delay is parked; the request's deadline expires while it
+  // waits. The would-be cloud fetch is shed instead of spent.
+  now = now + Duration::Millis(10);
+  delay.RunAll();
+  EXPECT_EQ(edge.deadline_sheds(), 1u);
+  EXPECT_EQ(edge.forwards(), 0u);
+  EXPECT_TRUE(wire.to_cloud.empty());
+  EXPECT_EQ(ExpectShedReply(wire.to_client, StatusCode::kResourceExhausted),
+            7u);
+
+  // A live deadline passes through untouched.
+  auto live = CoicRecognitionRequest(2);
+  live.deadline_ms = 50'000;
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 8, live));
+  delay.RunAll();
+  EXPECT_EQ(edge.forwards(), 1u);
+  EXPECT_EQ(edge.deadline_sheds(), 1u);
+}
+
+TEST(OverloadControlTest, BreakerOpensFailsFastProbesAndRecloses) {
+  FakeWire wire;
+  StepDelay delay;
+  SimTime now = SimTime::Epoch();
+  EdgeService::Config config;
+  config.costs.edge.cache_lookup = Duration::Zero();
+  config.costs.edge.cache_insert = Duration::Zero();
+  config.breaker_failure_threshold = 2;
+  config.breaker_open_duration = Duration::Millis(100);
+  config.cloud_retry.timeout = Duration::Millis(10);
+  config.cloud_retry.max_retries = 0;  // first timeout is the failure
+  auto edge = EdgeService(config, wire.MakeSendFn(), delay.MakeDelayFn(),
+                          [&now] { return now; });
+  std::uint64_t next_id = 1;
+  const auto miss = [&](std::uint64_t scene) {
+    edge.OnClientFrame(proto::EncodeMessage(MessageType::kRecognitionRequest,
+                                            next_id++,
+                                            CoicRecognitionRequest(scene)));
+  };
+
+  // Two consecutive cloud timeouts trip the breaker.
+  miss(1);
+  delay.RunAll();  // retry timer fires -> cloud timeout #1
+  EXPECT_EQ(edge.breaker_state(), EdgeService::BreakerState::kClosed);
+  miss(2);
+  delay.RunAll();
+  EXPECT_EQ(edge.cloud_timeouts(), 2u);
+  EXPECT_EQ(edge.breaker_state(), EdgeService::BreakerState::kOpen);
+  EXPECT_EQ(edge.breaker_opens(), 1u);
+  wire.to_client.clear();
+  wire.to_cloud.clear();
+
+  // While open, misses fail fast with kUnavailable and never reach the
+  // cloud.
+  miss(3);
+  EXPECT_EQ(edge.breaker_sheds(), 1u);
+  EXPECT_TRUE(wire.to_cloud.empty());
+  ExpectShedReply(wire.to_client, StatusCode::kUnavailable);
+
+  // After the cooldown the next miss is the half-open probe: it flies,
+  // and concurrent misses keep shedding behind it.
+  now = now + Duration::Millis(200);
+  miss(4);
+  EXPECT_EQ(edge.breaker_state(), EdgeService::BreakerState::kHalfOpen);
+  EXPECT_EQ(wire.to_cloud.size(), 1u);
+  miss(5);
+  EXPECT_EQ(edge.breaker_sheds(), 2u);
+  EXPECT_EQ(wire.to_cloud.size(), 1u);
+
+  // The probe succeeds -> breaker closes and traffic flows again.
+  proto::RecognitionResult result;
+  result.frame_id = 4;
+  result.label = "object_4";
+  result.annotation = DeterministicBytes(64, 4);
+  edge.OnCloudFrame(
+      proto::EncodeMessage(MessageType::kRecognitionResult, 4, result));
+  EXPECT_EQ(edge.breaker_state(), EdgeService::BreakerState::kClosed);
+  wire.to_cloud.clear();
+  miss(6);
+  EXPECT_EQ(wire.to_cloud.size(), 1u);
+}
+
+TEST(OverloadControlTest, FailedProbeReopensTheBreaker) {
+  FakeWire wire;
+  StepDelay delay;
+  SimTime now = SimTime::Epoch();
+  EdgeService::Config config;
+  config.costs.edge.cache_lookup = Duration::Zero();
+  config.breaker_failure_threshold = 1;
+  config.breaker_open_duration = Duration::Millis(100);
+  config.cloud_retry.timeout = Duration::Millis(10);
+  config.cloud_retry.max_retries = 0;
+  auto edge = EdgeService(config, wire.MakeSendFn(), delay.MakeDelayFn(),
+                          [&now] { return now; });
+  edge.OnClientFrame(proto::EncodeMessage(MessageType::kRecognitionRequest, 1,
+                                          CoicRecognitionRequest(1)));
+  delay.RunAll();
+  EXPECT_EQ(edge.breaker_state(), EdgeService::BreakerState::kOpen);
+
+  // Probe after cooldown; its timeout re-opens the breaker for another
+  // full cooldown instead of closing it.
+  now = now + Duration::Millis(200);
+  edge.OnClientFrame(proto::EncodeMessage(MessageType::kRecognitionRequest, 2,
+                                          CoicRecognitionRequest(2)));
+  EXPECT_EQ(edge.breaker_state(), EdgeService::BreakerState::kHalfOpen);
+  delay.RunAll();
+  EXPECT_EQ(edge.breaker_state(), EdgeService::BreakerState::kOpen);
+  EXPECT_EQ(edge.breaker_opens(), 2u);
+  // Still shedding: the reopen started a fresh cooldown from "now".
+  edge.OnClientFrame(proto::EncodeMessage(MessageType::kRecognitionRequest, 3,
+                                          CoicRecognitionRequest(3)));
+  EXPECT_EQ(edge.breaker_sheds(), 1u);
+}
+
+TEST(OverloadControlTest, NoRequestIsStrandedByADeadlineShed) {
+  // Two same-key requests whose shared deadline expires in the lookup
+  // window: the first shed releases the coalesce key, so the second
+  // runs (and sheds) as its own leader — both clients get a verdict,
+  // nobody is parked forever.
+  FakeWire wire;
+  StepDelay delay;
+  SimTime now = SimTime::Epoch();
+  EdgeService::Config config;
+  config.costs.edge.cache_lookup = Duration::Millis(2);
+  auto edge = EdgeService(config, wire.MakeSendFn(), delay.MakeDelayFn(),
+                          [&now] { return now; });
+  auto req = CoicRecognitionRequest(1);
+  req.deadline_ms = 5;
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 8, req));
+  now = now + Duration::Millis(10);
+  delay.RunAll();
+  EXPECT_EQ(edge.deadline_sheds(), 2u);
+  EXPECT_EQ(edge.forwards(), 0u);
+  std::set<std::uint64_t> answered;
+  answered.insert(
+      ExpectShedReply(wire.to_client, StatusCode::kResourceExhausted));
+  answered.insert(
+      ExpectShedReply(wire.to_client, StatusCode::kResourceExhausted));
+  EXPECT_EQ(answered, (std::set<std::uint64_t>{7, 8}));
+}
+
 }  // namespace
 }  // namespace coic::core

@@ -92,10 +92,78 @@ def check_loss_sweep_row(i, row, errors):
         errors.append(f"row {i} did not drain: {drained} of {ops} operations")
 
 
+def check_chaos_soak_row(i, row, errors):
+    """Bench-specific schema for BENCH_chaos_soak.json rows.
+
+    Three row shapes share the file: measurement rows (tagged with
+    "operations") must have fully drained and can never report more
+    goodput-within-deadline than non-error completions; per-heal rows
+    (tagged with "recovery_ms") must report a finite recovery time even
+    when the hit rate never re-converged (the bench falls back to the
+    last affected completion); the determinism row must report zero
+    mismatched outcomes across its two identically-seeded runs.
+    """
+    if "operations" in row:
+        ops, drained = row.get("operations"), row.get("drained")
+        if isinstance(ops, int) and isinstance(drained, int) and drained != ops:
+            errors.append(
+                f"row {i} did not drain: {drained} of {ops} operations"
+            )
+        good, achieved = row.get("goodput"), row.get("achieved")
+        if (
+            isinstance(good, int)
+            and isinstance(achieved, int)
+            and good > achieved
+        ):
+            errors.append(
+                f"row {i} goodput {good} exceeds achieved {achieved}"
+            )
+    if "recovery_ms" in row:
+        rec = row.get("recovery_ms")
+        if not isinstance(rec, (int, float)) or not math.isfinite(rec):
+            errors.append(f"row {i} recovery_ms is not finite: {rec!r}")
+    if row.get("row") == "determinism" and row.get("outcome_mismatch") != 0:
+        errors.append(
+            f"row {i} chaos replay diverged: outcome_mismatch "
+            f"{row.get('outcome_mismatch')!r}"
+        )
+
+
+def check_chaos_soak_file(rows, errors):
+    """Cross-row contract for the chaos soak: under the 4x flash storm,
+    overload control ON must beat OFF on both goodput-within-deadline
+    and tail latency — the graceful-degradation stack has to earn its
+    keep, not merely exist."""
+    by_name = {
+        row.get("row"): row for row in rows if isinstance(row, dict)
+    }
+    on, off = by_name.get("overload-4x-on"), by_name.get("overload-4x-off")
+    if on is None or off is None:
+        errors.append("missing overload-4x-on/off comparison rows")
+        return
+    if not on.get("goodput", 0) > off.get("goodput", 0):
+        errors.append(
+            f"overload control did not improve goodput: on "
+            f"{on.get('goodput')!r} vs off {off.get('goodput')!r}"
+        )
+    if not on.get("p99_ms", math.inf) < off.get("p99_ms", 0):
+        errors.append(
+            f"overload control did not improve p99: on "
+            f"{on.get('p99_ms')!r} vs off {off.get('p99_ms')!r}"
+        )
+
+
 # Per-bench row checks, keyed on the top-level "bench" name.
 BENCH_ROW_CHECKS = {
+    "chaos_soak": check_chaos_soak_row,
     "loss_sweep": check_loss_sweep_row,
     "throughput_replay": check_throughput_replay_row,
+}
+
+# Per-bench whole-file checks, run after the row loop with every row in
+# hand — for invariants that compare rows against each other.
+BENCH_FILE_CHECKS = {
+    "chaos_soak": check_chaos_soak_file,
 }
 
 # Benches whose traced run must have produced per-phase rows: a missing
@@ -146,6 +214,9 @@ def check_file(path):
                 errors.append(f"row {i} key {key!r}: non-finite value {value}")
             elif value is None:
                 errors.append(f"row {i} key {key!r}: null value")
+    file_check = BENCH_FILE_CHECKS.get(doc.get("bench"))
+    if file_check is not None:
+        file_check(rows, errors)
     if doc.get("bench") in PHASE_BREAKDOWN_REQUIRED and not any(
         isinstance(row, dict) and row.get("section") == "phase_breakdown"
         for row in rows
