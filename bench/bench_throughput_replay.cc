@@ -10,10 +10,12 @@
 // (events/sec), which is what caps how large a cluster we can replay.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -238,6 +240,126 @@ void MeasureTracedReplay(BenchJson& json, double offered_hz,
   }
 }
 
+/// One sharded open-loop storm: emits the aggregate "sharded_storm" row
+/// plus one "sharded_worker" row per worker thread (per-thread simulator
+/// events/sec — the multi-core scaling trajectory). Deterministic mode
+/// synchronizes every cross-shard-lookahead window and reproduces the
+/// single-thread outcome stream bit for bit; fast mode barriers every
+/// `fast_window` and pins only aggregate invariants.
+void MeasureShardedStorm(BenchJson& json, double offered_hz,
+                         const std::vector<trace::PlacedRecord>& base,
+                         std::uint32_t workers,
+                         federation::ExecutionConfig::Mode mode) {
+  FederationPipelineConfig config = ReplayConfig();
+  config.execution.workers = workers;
+  config.execution.mode = mode;
+  FederationPipeline pipeline(config);
+  RegisterModels(pipeline);
+
+  std::vector<trace::PlacedRecord> placed = base;
+  trace::RetimeArrivals(std::span<trace::PlacedRecord>(placed), offered_hz);
+  for (const auto& p : placed) pipeline.EnqueuePlaced(p);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto outcomes = pipeline.RunOpenLoop();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto& stats = pipeline.open_loop_stats();
+  const char* mode_name =
+      mode == federation::ExecutionConfig::Mode::kDeterministic
+          ? "deterministic"
+          : "fast";
+  std::printf("%-8zu %7u %-13s %12llu %12llu %10.0f %9.0f\n", base.size(),
+              workers, mode_name,
+              static_cast<unsigned long long>(stats.sync_windows),
+              static_cast<unsigned long long>(stats.cross_shard_messages),
+              wall > 0 ? static_cast<double>(stats.events_fired) / wall : 0,
+              wall * 1e3);
+  json.AddRow()
+      .Set("regime", "sharded_storm")
+      .Set("operations", static_cast<std::uint64_t>(base.size()))
+      .Set("drained", static_cast<std::uint64_t>(outcomes.size()))
+      .Set("offered_hz", offered_hz)
+      .Set("workers", static_cast<std::uint64_t>(workers))
+      .Set("mode", mode_name)
+      .Set("sync_windows", stats.sync_windows)
+      .Set("cross_shard_messages", stats.cross_shard_messages)
+      .Set("sim_events", stats.events_fired)
+      .Set("events_per_sec",
+           wall > 0 ? static_cast<double>(stats.events_fired) / wall : 0.0)
+      .Set("run_wall_ms", wall * 1e3);
+  for (std::size_t w = 0; w < stats.per_worker_events_fired.size(); ++w) {
+    const std::uint64_t fired = stats.per_worker_events_fired[w];
+    json.AddRow()
+        .Set("section", "sharded_worker")
+        .Set("workers", static_cast<std::uint64_t>(workers))
+        .Set("mode", mode_name)
+        .Set("worker", static_cast<std::uint64_t>(w))
+        .Set("events_fired", fired)
+        .Set("events_per_sec",
+             wall > 0 ? static_cast<double>(fired) / wall : 0.0);
+  }
+}
+
+/// Replays the same trace single-thread and sharded-deterministic and
+/// counts outcome divergences — the bench-level pin of the bit-identity
+/// contract (mirrors the chaos soak's determinism row; the schema check
+/// fails CI on any mismatch).
+void MeasureShardedDeterminism(BenchJson& json, double offered_hz,
+                               const std::vector<trace::PlacedRecord>& base,
+                               std::uint32_t workers) {
+  using Row = std::tuple<std::uint32_t, int, int, bool, std::int64_t,
+                         std::int64_t>;
+  const auto rows_for = [&](std::uint32_t w) {
+    FederationPipelineConfig config = ReplayConfig();
+    config.execution.workers = w;
+    FederationPipeline pipeline(config);
+    RegisterModels(pipeline);
+    std::vector<trace::PlacedRecord> placed = base;
+    trace::RetimeArrivals(std::span<trace::PlacedRecord>(placed), offered_hz);
+    for (const auto& p : placed) pipeline.EnqueuePlaced(p);
+    std::vector<Row> rows;
+    for (const auto& o : pipeline.RunOpenLoop()) {
+      rows.emplace_back(o.venue, static_cast<int>(o.outcome.task),
+                        static_cast<int>(o.outcome.source), o.outcome.error,
+                        o.outcome.latency.micros(),
+                        (o.completed_at - SimTime::Epoch()).micros());
+    }
+    // Canonical (completed_at, venue) order on both sides: the sharded
+    // engine already returns it; impose it on the single-thread stream.
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const Row& x, const Row& y) {
+                       if (std::get<5>(x) != std::get<5>(y))
+                         return std::get<5>(x) < std::get<5>(y);
+                       return std::get<0>(x) < std::get<0>(y);
+                     });
+    return rows;
+  };
+
+  const auto single = rows_for(1);
+  const auto sharded = rows_for(workers);
+  std::uint64_t mismatch = 0;
+  if (single.size() != sharded.size()) {
+    mismatch = single.size() > sharded.size() ? single.size() - sharded.size()
+                                              : sharded.size() - single.size();
+  }
+  for (std::size_t i = 0; i < std::min(single.size(), sharded.size()); ++i) {
+    if (single[i] != sharded[i]) ++mismatch;
+  }
+  std::printf("determinism: %zu ops, %u workers vs single thread -> %llu "
+              "mismatched outcomes\n",
+              base.size(), workers,
+              static_cast<unsigned long long>(mismatch));
+  json.AddRow()
+      .Set("row", "sharded-determinism")
+      .Set("operations", static_cast<std::uint64_t>(base.size()))
+      .Set("offered_hz", offered_hz)
+      .Set("workers", static_cast<std::uint64_t>(workers))
+      .Set("outcome_mismatch", mismatch);
+}
+
 void PrintRow(BenchJson& json, const char* regime, std::size_t ops,
               const ReplayResult& r) {
   std::printf(
@@ -327,6 +449,32 @@ void PrintReplayTable(bool quick, const std::string& trace_out) {
   } else {
     MeasureTracedReplay(json, 1000, base, trace_out);
   }
+  // Sharded engine rows: per-worker events/sec at each worker count in
+  // both execution modes, plus the bit-identity anchor. Wall-clock
+  // speedup depends on the host's core count, so the schema check pins
+  // conservation and determinism, never a speedup ratio.
+  std::printf("\nsharded open-loop storm (same trace, workers > 1):\n");
+  std::printf("%-8s %7s %-13s %12s %12s %10s %9s\n", "ops", "workers",
+              "mode", "windows", "xshard-msgs", "events/s", "wall ms");
+  const std::vector<std::uint32_t> worker_counts =
+      quick ? std::vector<std::uint32_t>{2, 4}
+            : std::vector<std::uint32_t>{2, 4, 8};
+  for (const std::uint32_t w : worker_counts) {
+    MeasureShardedStorm(json, 1000, base, w,
+                        federation::ExecutionConfig::Mode::kDeterministic);
+  }
+  for (const std::uint32_t w : worker_counts) {
+    MeasureShardedStorm(json, 1000, base, w,
+                        federation::ExecutionConfig::Mode::kFast);
+  }
+  if (!quick) {
+    // The scale target: a million-operation storm, fast mode, all
+    // eight venues sharded out.
+    const auto million = MakeTrace(1'000'000);
+    MeasureShardedStorm(json, 2000, million, 8,
+                        federation::ExecutionConfig::Mode::kFast);
+  }
+  MeasureShardedDeterminism(json, 1000, base, 4);
   std::printf(
       "\nopen-loop hit rates should track the closed-loop row (same trace);\n"
       "p99 inflates with offered load as probe/link queueing appears —\n"

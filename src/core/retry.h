@@ -39,6 +39,12 @@ struct RetryConfig {
                     std::pow(backoff, static_cast<double>(attempt));
     const double cap = static_cast<double>(max_timeout.micros());
     if (max_timeout != Duration::Infinite() && micros > cap) micros = cap;
+    // With max_timeout == Infinite the product is uncapped and a deep
+    // attempt count overflows int64 (the double->int cast would be UB);
+    // kInt64Safe is the largest double below 2^63. The !(<=) form also
+    // catches NaN/inf from an extreme backoff.
+    constexpr double kInt64Safe = 9'223'372'036'854'774'784.0;
+    if (!(micros <= kInt64Safe)) return Duration::Infinite();
     return Duration::Micros(static_cast<std::int64_t>(micros));
   }
 };

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <iterator>
 #include <string>
 
 #include "common/log.h"
@@ -68,13 +69,10 @@ Topology FederationPipeline::BuildTopology(
 
 FederationPipeline::FederationPipeline(FederationPipelineConfig config)
     : config_(ApplyTransport(std::move(config))),
-      topology_(BuildTopology(config_)), net_(sched_) {
+      topology_(BuildTopology(config_)) {
   COIC_CHECK(config_.venues >= 1);
   COIC_CHECK(config_.mobiles_per_venue >= 1);
   COIC_CHECK(config_.probe_budget >= 1);
-  if (config_.trace.enabled) {
-    tracer_ = std::make_unique<obs::RequestTracer>(config_.trace);
-  }
   if (config_.delta_gossip && config_.cache.journal_capacity == 0) {
     // Delta gossip needs the cache change journal; without one every
     // send would fall back to a full summary. Journaling is off by
@@ -83,17 +81,44 @@ FederationPipeline::FederationPipeline(FederationPipelineConfig config)
     config_.cache.journal_capacity = 4096;
   }
 
-  cloud_node_ = net_.AddNode("cloud");
+  // Execution plan: venue v (its edge, its mobiles, every link those
+  // nodes send on) lives on shard v % S; the cloud and its outbound
+  // links live on shard 0. One shard = the classic single-thread engine.
+  const std::uint32_t shard_count =
+      config_.execution.workers <= 1
+          ? 1u
+          : std::min(config_.execution.workers, config_.venues);
+  shards_.reserve(shard_count);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    shards_.push_back(std::make_unique<ShardState>(config_.trace));
+  }
+  for (std::uint32_t v = 0; v < config_.venues; ++v) {
+    ShardOf(v).venues.push_back(v);
+  }
+
+  // Every shard's Network replica adds ALL nodes in the same order, so a
+  // node id names the same endpoint on every shard (cross-shard messages
+  // carry ids verbatim); node_shard_ records the owner.
+  const auto add_node = [this](const std::string& name, std::uint32_t shard) {
+    netsim::NodeId id = 0;
+    for (auto& sh : shards_) id = sh->net.AddNode(name);
+    node_shard_.push_back(shard);
+    return id;
+  };
+
+  cloud_node_ = add_node("cloud", 0);
   edge_nodes_.reserve(config_.venues);
   for (std::uint32_t v = 0; v < config_.venues; ++v) {
-    edge_nodes_.push_back(net_.AddNode("edge" + std::to_string(v)));
+    edge_nodes_.push_back(
+        add_node("edge" + std::to_string(v), ShardIndexOf(v)));
   }
   mobile_nodes_.resize(
       static_cast<std::size_t>(config_.venues) * config_.mobiles_per_venue);
   for (std::uint32_t v = 0; v < config_.venues; ++v) {
     for (std::uint32_t m = 0; m < config_.mobiles_per_venue; ++m) {
-      mobile_nodes_[ClientIndex(v, m)] = net_.AddNode(
-          "mobile" + std::to_string(v) + "_" + std::to_string(m));
+      mobile_nodes_[ClientIndex(v, m)] =
+          add_node("mobile" + std::to_string(v) + "_" + std::to_string(m),
+                   ShardIndexOf(v));
     }
   }
 
@@ -104,19 +129,55 @@ FederationPipeline::FederationPipeline(FederationPipelineConfig config)
   wan.bandwidth = config_.network.edge_cloud;
   wan.propagation = config_.edge_cloud_propagation;
   if (config_.transport.loss_rate > 0) {
-    // Per-link rng decorrelation happens inside Network::Connect.
+    // Per-link rng decorrelation happens inside Network::ConnectOneWay.
     wifi.loss_rate = config_.transport.loss_rate;
     wan.loss_rate = config_.transport.loss_rate;
   }
+  // A directed link is created only on the shard that owns its *sender*:
+  // the sending side runs the link model (serialization, loss, delivery
+  // stamp); cross-shard frames are handed over already stamped. Link rng
+  // seeds mix only the directed node pair, so the per-shard split seeds
+  // identically to the single-network engine. Creation order matches the
+  // old single-network Connect expansion exactly (same links_ insertion
+  // order, hence identical ForEachLink iteration for chaos all_links).
+  const auto connect = [this](netsim::NodeId from, netsim::NodeId to,
+                              const netsim::LinkConfig& link) {
+    shards_[node_shard_[from]]->net.ConnectOneWay(from, to, link);
+  };
   for (std::uint32_t v = 0; v < config_.venues; ++v) {
-    net_.Connect(edge_nodes_[v], cloud_node_, wan);
+    connect(edge_nodes_[v], cloud_node_, wan);
+    connect(cloud_node_, edge_nodes_[v], wan);
     for (std::uint32_t m = 0; m < config_.mobiles_per_venue; ++m) {
-      net_.Connect(mobile_nodes_[ClientIndex(v, m)], edge_nodes_[v], wifi);
+      connect(mobile_nodes_[ClientIndex(v, m)], edge_nodes_[v], wifi);
+      connect(edge_nodes_[v], mobile_nodes_[ClientIndex(v, m)], wifi);
     }
   }
-  topology_.ApplyTo(net_, edge_nodes_);
+  for (const TopologyLink& l : topology_.links()) {
+    connect(edge_nodes_[l.a], edge_nodes_[l.b], l.link);
+    connect(edge_nodes_[l.b], edge_nodes_[l.a], l.link);
+  }
   if (config_.transport.datagram) {
-    net_.EnableDatagram(config_.transport.datagram_mtu);
+    for (auto& sh : shards_) {
+      sh->net.EnableDatagram(config_.transport.datagram_mtu);
+    }
+  }
+
+  if (shards_.size() > 1) {
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      ShardState& sh = *shards_[s];
+      for (std::uint32_t n = 0;
+           n < static_cast<std::uint32_t>(node_shard_.size()); ++n) {
+        if (node_shard_[n] != s) sh.net.MarkRemote(n);
+      }
+      sh.net.SetRemoteDispatch([this, s](netsim::NodeId from, netsim::NodeId to,
+                                         SimTime deliver_at, Frame payload) {
+        COIC_CHECK_MSG(runner_ != nullptr,
+                       "cross-shard traffic outside RunOpenLoop");
+        runner_->Send(s, node_shard_[to],
+                      netsim::ShardMessage{from, to, deliver_at,
+                                           std::move(payload)});
+      });
+    }
   }
 
   reachable_.resize(config_.venues);
@@ -155,48 +216,101 @@ FederationPipeline::FederationPipeline(FederationPipelineConfig config)
   }
 
   // Samplers over counters whose storage already lives elsewhere: read at
-  // Snapshot() time, zero cost on the hot paths that maintain them.
-  metrics_.RegisterSampler("frame.copies",
-                           [] { return frame_stats().copies(); });
-  metrics_.RegisterSampler("frame.bytes_copied",
-                           [] { return frame_stats().bytes_copied(); });
-  metrics_.RegisterSampler("net.datagram.messages_fragmented", [this] {
-    return net_.datagram_stats().messages_fragmented;
-  });
-  metrics_.RegisterSampler("net.datagram.chunks_sent", [this] {
-    return net_.datagram_stats().chunks_sent;
-  });
-  metrics_.RegisterSampler("net.datagram.messages_reassembled", [this] {
-    return net_.datagram_stats().messages_reassembled;
-  });
-  metrics_.RegisterSampler("net.datagram.partials_discarded", [this] {
-    return net_.datagram_stats().partials_discarded;
-  });
-  metrics_.RegisterSampler("net.links.frames_lost", [this] {
-    std::uint64_t lost = 0;
-    net_.ForEachLink(
-        [&lost](const netsim::Link& l) { lost += l.stats().frames_dropped_loss; });
-    return lost;
-  });
-  metrics_.RegisterSampler("net.links.down_drops", [this] {
-    std::uint64_t down = 0;
-    net_.ForEachLink([&down](const netsim::Link& l) {
-      down += l.stats().frames_dropped_down;
+  // Snapshot() time, zero cost on the hot paths that maintain them. The
+  // frame-stat and cloud samplers are cluster-global (atomic counters /
+  // shard-0 state), so they live on shard 0's registry only; per-network
+  // stats register on their own shard and sum in MergedMetricsSnapshot.
+  obs::MetricsRegistry& root = *shards_.front()->metrics;
+  root.RegisterSampler("frame.copies", [] { return frame_stats().copies(); });
+  root.RegisterSampler("frame.bytes_copied",
+                       [] { return frame_stats().bytes_copied(); });
+  root.RegisterSampler("cloud.tasks_executed",
+                       [this] { return cloud_->tasks_executed(); });
+  for (auto& sh : shards_) {
+    netsim::Network* const net = &sh->net;
+    obs::MetricsRegistry& m = *sh->metrics;
+    m.RegisterSampler("net.datagram.messages_fragmented", [net] {
+      return net->datagram_stats().messages_fragmented;
     });
-    return down;
-  });
-  metrics_.RegisterSampler("cloud.tasks_executed",
-                           [this] { return cloud_->tasks_executed(); });
+    m.RegisterSampler("net.datagram.chunks_sent", [net] {
+      return net->datagram_stats().chunks_sent;
+    });
+    m.RegisterSampler("net.datagram.messages_reassembled", [net] {
+      return net->datagram_stats().messages_reassembled;
+    });
+    m.RegisterSampler("net.datagram.partials_discarded", [net] {
+      return net->datagram_stats().partials_discarded;
+    });
+    m.RegisterSampler("net.links.frames_lost", [net] {
+      std::uint64_t lost = 0;
+      net->ForEachLink([&lost](const netsim::Link& l) {
+        lost += l.stats().frames_dropped_loss;
+      });
+      return lost;
+    });
+    m.RegisterSampler("net.links.down_drops", [net] {
+      std::uint64_t down = 0;
+      net->ForEachLink([&down](const netsim::Link& l) {
+        down += l.stats().frames_dropped_down;
+      });
+      return down;
+    });
+  }
 
-  if (!config_.chaos.empty()) {
-    // netsim knows links, not venues: the binding resolves venue-scoped
-    // fault groups to directed Links and owns the cache-wipe side effect.
-    netsim::ChaosBinding binding;
-    const auto both_ways = [this](netsim::NodeId a, netsim::NodeId b,
-                                  const netsim::ChaosBinding::LinkVisitor& fn) {
-      fn(net_.LinkBetween(a, b));
-      fn(net_.LinkBetween(b, a));
+  ArmChaos();
+}
+
+void FederationPipeline::ArmChaos() {
+  if (config_.chaos.empty()) return;
+  const auto shard_total = static_cast<std::uint32_t>(shards_.size());
+
+  // Split the schedule. Every fault is armed *counted* on its home shard
+  // — the one owning the faulted venue's state, which takes the metrics
+  // bumps, trace marks and (for crashes) the cache wipe — and *silent*
+  // on every other shard, so each replica of an affected link changes
+  // state at the same instant. Single-shard runs get one counted engine
+  // holding the whole schedule: exactly the old behavior.
+  std::vector<netsim::FaultSchedule> counted(shard_total);
+  std::vector<netsim::FaultSchedule> silent(shard_total);
+  const auto place = [&](std::uint32_t home, const auto& fault, auto member) {
+    for (std::uint32_t s = 0; s < shard_total; ++s) {
+      ((s == home ? counted[s] : silent[s]).*member).push_back(fault);
+    }
+  };
+  for (const auto& c : config_.chaos.crashes) {
+    place(ShardIndexOf(c.venue), c, &netsim::FaultSchedule::crashes);
+  }
+  for (const auto& p : config_.chaos.partitions) {
+    std::uint32_t home = 0;
+    if (!p.island.empty()) {
+      home = ShardIndexOf(*std::min_element(p.island.begin(), p.island.end()));
+    }
+    place(home, p, &netsim::FaultSchedule::partitions);
+  }
+  for (const auto& b : config_.chaos.brownouts) {
+    place(ShardIndexOf(b.venue), b, &netsim::FaultSchedule::brownouts);
+  }
+  for (const auto& l : config_.chaos.loss_bursts) {
+    place(0, l, &netsim::FaultSchedule::loss_bursts);
+  }
+  // A silent crash must not wipe the cache: the wipe happens exactly
+  // once, on the shard that owns the edge.
+  for (auto& sched : silent) {
+    for (auto& c : sched.crashes) c.wipe_cache = false;
+  }
+
+  // netsim knows links, not venues: the binding resolves venue-scoped
+  // fault groups to directed Links. Per-shard networks hold only the
+  // directions their own nodes send on, so the pair visitor takes
+  // whichever of the two exists locally.
+  const auto make_binding = [this](std::uint32_t s) {
+    netsim::Network* const net = &shards_[s]->net;
+    const auto both_ways = [net](netsim::NodeId a, netsim::NodeId b,
+                                 const netsim::ChaosBinding::LinkVisitor& fn) {
+      if (net->Adjacent(a, b)) fn(net->LinkBetween(a, b));
+      if (net->Adjacent(b, a)) fn(net->LinkBetween(b, a));
     };
+    netsim::ChaosBinding binding;
     binding.venue_links =
         [this, both_ways](std::uint32_t venue,
                           const netsim::ChaosBinding::LinkVisitor& fn) {
@@ -234,22 +348,38 @@ FederationPipeline::FederationPipeline(FederationPipelineConfig config)
           COIC_CHECK(venue < config_.venues);
           both_ways(edge_nodes_[venue], cloud_node_, fn);
         };
-    binding.all_links = [this](const netsim::ChaosBinding::LinkVisitor& fn) {
-      net_.ForEachMutableLink(fn);
+    binding.all_links = [net](const netsim::ChaosBinding::LinkVisitor& fn) {
+      net->ForEachMutableLink(fn);
     };
     binding.wipe_cache = [this](std::uint32_t venue) {
       COIC_CHECK(venue < config_.venues);
       edges_[venue]->mutable_cache().Clear();
     };
-    chaos_ = std::make_unique<netsim::ChaosEngine>(
-        sched_, std::move(binding), &metrics_, tracer_.get());
-    chaos_->Apply(config_.chaos);
+    return binding;
+  };
+
+  counted_chaos_.reserve(shard_total);
+  for (std::uint32_t s = 0; s < shard_total; ++s) {
+    ShardState& sh = *shards_[s];
+    // One counted engine per shard even when its slice is empty, so
+    // counted_chaos_[s] stays index-aligned with shards_.
+    auto engine = std::make_unique<netsim::ChaosEngine>(
+        sh.sched, make_binding(s), sh.metrics.get(), sh.tracer.get());
+    engine->Apply(std::move(counted[s]));
+    counted_chaos_.push_back(std::move(engine));
+    if (!silent[s].empty()) {
+      auto quiet = std::make_unique<netsim::ChaosEngine>(
+          sh.sched, make_binding(s), /*metrics=*/nullptr, /*tracer=*/nullptr);
+      quiet->Apply(std::move(silent[s]));
+      silent_chaos_.push_back(std::move(quiet));
+    }
   }
 }
 
 void FederationPipeline::WireCloud() {
+  // The cloud lives on shard 0, as do the links it sends on.
   const core::DelayFn delay = [this](Duration d, std::function<void()> fn) {
-    sched_.ScheduleAfter(d, std::move(fn));
+    shards_.front()->sched.ScheduleAfter(d, std::move(fn));
   };
 
   CloudService::Config cloud_config;
@@ -278,28 +408,33 @@ void FederationPipeline::WireCloud() {
         }
         const netsim::NodeId target = it->second;
         routes->erase(it);
-        net_.Send(cloud_node_, target, std::move(frame));
+        shards_.front()->net.Send(cloud_node_, target, std::move(frame));
       },
       delay);
-  net_.SetHandler(cloud_node_,
-                  [this, routes](netsim::NodeId from, Frame frame) {
-                    (*routes)[PeekRequestId(frame.span())] = from;
-                    cloud_->OnFrame(std::move(frame));
-                  });
+  shards_.front()->net.SetHandler(
+      cloud_node_, [this, routes](netsim::NodeId from, Frame frame) {
+        (*routes)[PeekRequestId(frame.span())] = from;
+        cloud_->OnFrame(std::move(frame));
+      });
 }
 
 void FederationPipeline::WireVenue(std::uint32_t venue) {
-  const core::DelayFn delay = [this](Duration d, std::function<void()> fn) {
-    sched_.ScheduleAfter(d, std::move(fn));
+  // Everything this venue touches — scheduler, network, metrics, tracer
+  // — belongs to its owning shard; the lambdas re-resolve through
+  // `this` so they stay valid for the pipeline's whole lifetime.
+  ShardState& shard = ShardOf(venue);
+  const core::DelayFn delay = [this, venue](Duration d,
+                                            std::function<void()> fn) {
+    SchedOf(venue).ScheduleAfter(d, std::move(fn));
   };
-  const core::NowFn now = [this] { return sched_.now(); };
+  const core::NowFn now = [this, venue] { return SchedOf(venue).now(); };
 
   EdgeService::Config edge_config;
   edge_config.costs = config_.costs;
   edge_config.cache = config_.cache;
-  edge_config.metrics = &metrics_;
+  edge_config.metrics = shard.metrics.get();
   edge_config.metrics_prefix = "edge." + std::to_string(venue) + ".";
-  edge_config.tracer = tracer_.get();
+  edge_config.tracer = shard.tracer.get();
   edge_config.cooperative = config_.cooperative && config_.venues > 1;
   edge_config.probe_budget = config_.probe_budget;
   edge_config.coalesce_requests = config_.coalesce_requests;
@@ -344,7 +479,7 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
     }
     const netsim::NodeId target = it->second;
     routes.erase(it);
-    net_.SendGather(self, target, std::move(head), std::move(tail));
+    NetOf(venue).SendGather(self, target, std::move(head), std::move(tail));
   };
   edges_[venue] = std::make_unique<EdgeService>(
       edge_config,
@@ -352,7 +487,7 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
         COIC_CHECK_MSG(to != core::Peer::kPeerEdge,
                        "federation edges route peers via peer_send");
         if (to == core::Peer::kCloud) {
-          net_.Send(self, cloud_node_, std::move(frame));
+          NetOf(venue).Send(self, cloud_node_, std::move(frame));
           return;
         }
         // Client replies: several mobiles share this edge, so route by
@@ -367,18 +502,18 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
         }
         const netsim::NodeId target = it->second;
         routes.erase(it);
-        net_.Send(self, target, std::move(frame));
+        NetOf(venue).Send(self, target, std::move(frame));
       },
       delay, now);
 
-  metrics_.RegisterSampler(
+  shard.metrics->RegisterSampler(
       "edge." + std::to_string(venue) + ".pending_inflight",
       [this, venue] { return edges_[venue]->pending_inflight(); });
-  metrics_.RegisterSampler(
+  shard.metrics->RegisterSampler(
       "edge." + std::to_string(venue) + ".peak_pending",
       [this, venue] { return edges_[venue]->peak_pending(); });
 
-  net_.SetHandler(self, [this, venue](netsim::NodeId from, Frame frame) {
+  shard.net.SetHandler(self, [this, venue](netsim::NodeId from, Frame frame) {
     if (from == cloud_node_) {
       edges_[venue]->OnCloudFrame(std::move(frame));
       return;
@@ -401,13 +536,15 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
 }
 
 void FederationPipeline::WireClient(std::uint32_t venue, std::uint32_t mobile) {
-  const core::DelayFn delay = [this](Duration d, std::function<void()> fn) {
-    sched_.ScheduleAfter(d, std::move(fn));
+  const core::DelayFn delay = [this, venue](Duration d,
+                                            std::function<void()> fn) {
+    SchedOf(venue).ScheduleAfter(d, std::move(fn));
   };
-  const core::NowFn now = [this] { return sched_.now(); };
+  const core::NowFn now = [this, venue] { return SchedOf(venue).now(); };
   const std::uint32_t index = ClientIndex(venue, mobile);
   const netsim::NodeId client_node = mobile_nodes_[index];
   const netsim::NodeId edge_node = edge_nodes_[venue];
+  ShardState& shard = ShardOf(venue);
 
   CoicClient::Config client_config;
   client_config.costs = config_.costs;
@@ -418,22 +555,23 @@ void FederationPipeline::WireClient(std::uint32_t venue, std::uint32_t mobile) {
   // the shared cloud or in the per-venue client routes.
   client_config.first_request_id = (std::uint64_t{index} << 40) | 1;
   client_config.retry = config_.transport.client_retry;
-  client_config.metrics = &metrics_;
+  client_config.metrics = shard.metrics.get();
   client_config.metrics_prefix = "client." + std::to_string(venue) + "." +
                                  std::to_string(mobile) + ".";
-  client_config.tracer = tracer_.get();
+  client_config.tracer = shard.tracer.get();
   client_config.trace_track = venue;
   client_config.deadline = config_.transport.client_deadline;
   client_config.local_fallback = config_.transport.client_local_fallback;
   clients_[index] = std::make_unique<CoicClient>(
       client_config,
-      [this, client_node, edge_node](Frame frame) {
-        net_.Send(client_node, edge_node, std::move(frame));
+      [this, venue, client_node, edge_node](Frame frame) {
+        NetOf(venue).Send(client_node, edge_node, std::move(frame));
       },
       delay, now);
-  net_.SetHandler(client_node, [this, index](netsim::NodeId, Frame frame) {
-    clients_[index]->OnEdgeFrame(std::move(frame));
-  });
+  shard.net.SetHandler(client_node,
+                       [this, index](netsim::NodeId, Frame frame) {
+                         clients_[index]->OnEdgeFrame(std::move(frame));
+                       });
 }
 
 // ---------------------------------------------------------------------------
@@ -444,7 +582,7 @@ void FederationPipeline::SendEdgeToEdge(std::uint32_t from, std::uint32_t to,
                                         Frame frame) {
   COIC_CHECK(from != to && from < config_.venues && to < config_.venues);
   if (topology_.Adjacent(from, to)) {
-    net_.Send(edge_nodes_[from], edge_nodes_[to], std::move(frame));
+    NetOf(from).Send(edge_nodes_[from], edge_nodes_[to], std::move(frame));
     return;
   }
   const std::uint32_t dist = topology_.HopDistance(from, to);
@@ -453,10 +591,11 @@ void FederationPipeline::SendEdgeToEdge(std::uint32_t from, std::uint32_t to,
                     << to;
     return;
   }
-  net_.Send(edge_nodes_[from], edge_nodes_[topology_.NextHop(from, to)],
-            proto::EncodeRelayFrame(
-                from, to, static_cast<std::uint8_t>(dist - 1),  // forwards
-                frame.span()));                                 // after hop 1
+  NetOf(from).Send(edge_nodes_[from],
+                   edge_nodes_[topology_.NextHop(from, to)],
+                   proto::EncodeRelayFrame(
+                       from, to, static_cast<std::uint8_t>(dist - 1),
+                       frame.span()));  // forwards after hop 1
 }
 
 void FederationPipeline::OnPeerEdgeFrame(std::uint32_t venue,
@@ -493,17 +632,18 @@ void FederationPipeline::HandleRelayFrame(std::uint32_t venue, Frame frame) {
     return;
   }
   const proto::RelayFrameView relay = view.value();
+  obs::RequestTracer* const tracer = TracerOf(venue);
   if (relay.dest_edge == venue) {
     // Terminal hop: unwrap and dispatch as if it arrived directly from
     // the logical source.
     Frame inner = proto::UnwrapRelay(frame, relay);
     const MessageType inner_type = PeekMessageType(inner.span());
-    if (tracer_ && (inner_type == MessageType::kPeerLookupRequest ||
-                    inner_type == MessageType::kPeerLookupReply)) {
+    if (tracer && (inner_type == MessageType::kPeerLookupRequest ||
+                   inner_type == MessageType::kPeerLookupReply)) {
       // Request-scoped only: summary/ack relays reuse the id field for
       // versions, which would collide with live request timelines.
-      tracer_->Annotate(PeekRequestId(inner.span()), "relay-delivered",
-                        sched_.now());
+      tracer->Annotate(PeekRequestId(inner.span()), "relay-delivered",
+                       SchedOf(venue).now());
     }
     if (inner_type == MessageType::kSummaryUpdate ||
         inner_type == MessageType::kSummaryDeltaUpdate) {
@@ -519,22 +659,22 @@ void FederationPipeline::HandleRelayFrame(std::uint32_t venue, Frame frame) {
     COIC_LOG(kWarn) << "federation: relay TTL expired at venue " << venue;
     return;
   }
-  if (tracer_) {
+  if (tracer) {
     // Peek the inner envelope through a temporary slice, released before
     // DecrementRelayTtl needs the buffer uniquely held.
     const Frame inner = proto::UnwrapRelay(frame, relay);
     const MessageType inner_type = PeekMessageType(inner.span());
     if (inner_type == MessageType::kPeerLookupRequest ||
         inner_type == MessageType::kPeerLookupReply) {
-      tracer_->Annotate(PeekRequestId(inner.span()), "relay-hop",
-                        sched_.now());
+      tracer->Annotate(PeekRequestId(inner.span()), "relay-hop",
+                       SchedOf(venue).now());
     }
   }
   proto::DecrementRelayTtl(frame);
-  ++relay_forwards_;
-  net_.Send(edge_nodes_[venue],
-            edge_nodes_[topology_.NextHop(venue, relay.dest_edge)],
-            std::move(frame));
+  ++Gc(venue).relay_forwards;
+  NetOf(venue).Send(edge_nodes_[venue],
+                    edge_nodes_[topology_.NextHop(venue, relay.dest_edge)],
+                    std::move(frame));
 }
 
 void FederationPipeline::HandleSummaryFrame(std::uint32_t venue,
@@ -548,7 +688,7 @@ void FederationPipeline::HandleSummaryFrame(std::uint32_t venue,
       header.ok() && header.value().edge_id < config_.venues) {
     // Any summary frame — fresh, stale or unusable — proves the sender
     // is alive; the age-out sweep keys off this stamp.
-    summary_received_at_[venue][header.value().edge_id] = sched_.now();
+    summary_received_at_[venue][header.value().edge_id] = SchedOf(venue).now();
     const CacheSummary* current =
         summary_tables_[venue].For(header.value().edge_id);
     if (current != nullptr && header.value().version <= current->version()) {
@@ -628,7 +768,7 @@ void FederationPipeline::MaybeSendSummaryAck(std::uint32_t venue,
   const std::uint64_t version = held != nullptr ? held->version() : 0;
   if (!force && ack_sent_version_[venue][peer] == version) return;
   ack_sent_version_[venue][peer] = version;
-  ++summary_acks_sent_;
+  ++Gc(venue).summary_acks_sent;
   proto::SummaryAck ack;
   ack.acker_edge = venue;
   ack.subject_edge = peer;
@@ -663,15 +803,16 @@ void FederationPipeline::HandleSummaryAck(std::uint32_t venue,
   // frame was lost (or the peer aged our summary out). Resend the full
   // summary, at most once per gossip period per peer so an ack burst
   // cannot amplify into a resend storm.
-  if (sched_.now() < next_ack_resend_at_[venue][acker]) return;
+  if (SchedOf(venue).now() < next_ack_resend_at_[venue][acker]) return;
   next_ack_resend_at_[venue][acker] =
-      sched_.now() + (GossipEnabled() ? config_.gossip_period
-                                      : Duration::Millis(250));
+      SchedOf(venue).now() + (GossipEnabled() ? config_.gossip_period
+                                              : Duration::Millis(250));
   RefreshSummary(venue);
   const Frame& full = summary_frames_[venue];
-  ++summary_updates_sent_;
-  ++summary_ack_resends_;
-  summary_bytes_full_ += full.size();
+  GossipCounters& gc = Gc(venue);
+  ++gc.summary_updates_sent;
+  ++gc.summary_ack_resends;
+  gc.summary_bytes_full += full.size();
   sent.version = summary_versions_[venue];
   sent.journal_cursor = summary_cursors_[venue];
   sent.rounds_since_full = 0;
@@ -680,7 +821,7 @@ void FederationPipeline::HandleSummaryAck(std::uint32_t venue,
 
 void FederationPipeline::AgeOutSummaries(std::uint32_t venue) {
   if (config_.transport.summary_max_age == Duration::Infinite()) return;
-  const SimTime now = sched_.now();
+  const SimTime now = SchedOf(venue).now();
   for (const std::uint32_t peer : reachable_[venue]) {
     if (summary_tables_[venue].For(peer) == nullptr) continue;
     if (now - summary_received_at_[venue][peer] >
@@ -692,7 +833,7 @@ void FederationPipeline::AgeOutSummaries(std::uint32_t venue) {
       summary_tables_[venue].Erase(peer);
       // Force the next piggybacked ack to announce "holding nothing".
       ack_sent_version_[venue][peer] = UINT64_MAX;
-      ++summaries_aged_out_;
+      ++Gc(venue).summaries_aged_out;
     }
   }
 }
@@ -735,9 +876,10 @@ void FederationPipeline::GossipEdge(std::uint32_t venue) {
   }
   RefreshSummary(venue);
   const Frame& frame = summary_frames_[venue];
+  GossipCounters& gc = Gc(venue);
   for (const std::uint32_t peer : reachable_[venue]) {
-    ++summary_updates_sent_;
-    summary_bytes_full_ += frame.size();
+    ++gc.summary_updates_sent;
+    gc.summary_bytes_full += frame.size();
     // One buffer for the whole broadcast: each peer gets a refcount on
     // the memoized frame, never a payload copy.
     SendEdgeToEdge(venue, peer, frame);
@@ -749,6 +891,7 @@ void FederationPipeline::GossipEdgeDelta(std::uint32_t venue) {
   const Frame& full_frame = summary_frames_[venue];
   const std::uint64_t version = summary_versions_[venue];
   const cache::IcCache& cache = edges_[venue]->cache();
+  GossipCounters& gc = Gc(venue);
   // In steady state every peer shares the same base version (they all
   // applied the previous send), so the delta frame is built once per
   // distinct base and copied per peer — mirroring the memoized full
@@ -802,15 +945,15 @@ void FederationPipeline::GossipEdgeDelta(std::uint32_t venue) {
       if (!memo->second.empty()) delta_frame = &memo->second;
     }
     if (delta_frame != nullptr) {
-      ++summary_deltas_sent_;
-      summary_bytes_delta_ += delta_frame->size();
+      ++gc.summary_deltas_sent;
+      gc.summary_bytes_delta += delta_frame->size();
       sent.version = version;
       sent.journal_cursor = summary_cursors_[venue];
       ++sent.rounds_since_full;
       SendEdgeToEdge(venue, peer, *delta_frame);
     } else {
-      ++summary_updates_sent_;
-      summary_bytes_full_ += full_frame.size();
+      ++gc.summary_updates_sent;
+      gc.summary_bytes_full += full_frame.size();
       sent.version = version;
       sent.journal_cursor = summary_cursors_[venue];
       sent.rounds_since_full = 0;
@@ -820,15 +963,18 @@ void FederationPipeline::GossipEdgeDelta(std::uint32_t venue) {
 }
 
 void FederationPipeline::MaybeGossip() {
+  // Closed-loop only (single shard): shard 0's clock is the clock.
   if (!GossipEnabled()) return;
-  if (sched_.now() < next_gossip_) return;
-  next_gossip_ = sched_.now() + config_.gossip_period;
+  if (shards_.front()->sched.now() < next_gossip_) return;
+  next_gossip_ = shards_.front()->sched.now() + config_.gossip_period;
   for (std::uint32_t v = 0; v < config_.venues; ++v) GossipEdge(v);
 }
 
 void FederationPipeline::ArmGossipTimer(std::uint32_t venue) {
+  ShardState& sh = *shards_.front();
   gossip_timers_[venue] =
-      sched_.ScheduleAfter(config_.gossip_period, [this, venue] {
+      sh.sched.ScheduleAfter(config_.gossip_period, [this, venue] {
+        ShardState& sh = *shards_.front();
         // Stranded-workload guard: a dropped frame (lossy link,
         // overflowing queue) parks its client forever, and without it
         // the timers would re-arm and spin the scheduler for eternity.
@@ -838,19 +984,20 @@ void FederationPipeline::ArmGossipTimer(std::uint32_t venue) {
         // frames always overlap the next round (gossip_period below
         // peer-link latency) — no completion across a deep stretch of
         // rounds. Stopping lets RunOpenLoop drain and report the stall
-        // via its completion CHECK instead of hanging.
+        // via its completion CHECK instead of hanging. (Sharded runs
+        // use ArmGossipTimerSharded; the runner detects stalls itself.)
         constexpr std::uint64_t kStallRoundsLimit = 100'000;
-        if (completed_ == stall_completed_mark_) {
+        if (sh.completed == stall_completed_mark_) {
           ++stall_rounds_;
         } else {
-          stall_completed_mark_ = completed_;
+          stall_completed_mark_ = sh.completed;
           stall_rounds_ = 0;
         }
-        if (completed_ < expected_ &&
-            (sched_.pending() == gossip_timers_.size() - 1 ||
+        if (sh.completed < expected_ &&
+            (sh.sched.pending() == gossip_timers_.size() - 1 ||
              stall_rounds_ >= kStallRoundsLimit)) {
           COIC_LOG(kWarn) << "federation: open-loop workload stalled with "
-                          << (expected_ - completed_)
+                          << (expected_ - sh.completed)
                           << " operations incomplete; stopping gossip";
           StopGossipTimers();
           return;
@@ -863,9 +1010,33 @@ void FederationPipeline::ArmGossipTimer(std::uint32_t venue) {
 
 void FederationPipeline::StopGossipTimers() {
   for (const netsim::EventId id : gossip_timers_) {
-    if (id != 0) sched_.Cancel(id);
+    if (id != 0) shards_.front()->sched.Cancel(id);
   }
   gossip_timers_.clear();
+}
+
+void FederationPipeline::ArmGossipTimerSharded(std::uint32_t venue) {
+  // Free-running per-edge timer on the venue's own shard clock. No
+  // stall bookkeeping here: the ShardRunner's decide barrier detects
+  // cluster-wide stalls (idle-floor match or no-progress backstop) and
+  // quiesces every shard through StopGossipTimersShard.
+  gossip_timers_[venue] =
+      SchedOf(venue).ScheduleAfter(config_.gossip_period, [this, venue] {
+        ++ShardOf(venue).gossip_rounds;
+        GossipEdge(venue);
+        ArmGossipTimerSharded(venue);
+      });
+}
+
+void FederationPipeline::StopGossipTimersShard(std::uint32_t shard) {
+  if (gossip_timers_.empty()) return;  // never armed (expected_ == 0)
+  ShardState& sh = *shards_[shard];
+  for (const std::uint32_t v : sh.venues) {
+    if (gossip_timers_[v] != 0) {
+      sh.sched.Cancel(gossip_timers_[v]);
+      gossip_timers_[v] = 0;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -951,6 +1122,115 @@ std::uint64_t FederationPipeline::total_grace_hits() const {
   return total;
 }
 
+// Gossip counters live in per-shard registry cells; the cluster-wide
+// view is their sum (one non-zero cell per venue's home shard).
+std::uint64_t FederationPipeline::summary_updates_sent() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    total += sh->gossip.summary_updates_sent.value();
+  }
+  return total;
+}
+
+std::uint64_t FederationPipeline::summary_deltas_sent() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    total += sh->gossip.summary_deltas_sent.value();
+  }
+  return total;
+}
+
+std::uint64_t FederationPipeline::summary_bytes_full() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->gossip.summary_bytes_full.value();
+  return total;
+}
+
+std::uint64_t FederationPipeline::summary_bytes_delta() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    total += sh->gossip.summary_bytes_delta.value();
+  }
+  return total;
+}
+
+std::uint64_t FederationPipeline::relay_forwards() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->gossip.relay_forwards.value();
+  return total;
+}
+
+std::uint64_t FederationPipeline::summary_acks_sent() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->gossip.summary_acks_sent.value();
+  return total;
+}
+
+std::uint64_t FederationPipeline::summary_ack_resends() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    total += sh->gossip.summary_ack_resends.value();
+  }
+  return total;
+}
+
+std::uint64_t FederationPipeline::summaries_aged_out() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    total += sh->gossip.summaries_aged_out.value();
+  }
+  return total;
+}
+
+std::uint64_t FederationPipeline::chaos_events_fired() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& e : counted_chaos_) total += e->events_fired();
+  return total;
+}
+
+std::uint64_t FederationPipeline::TotalCompleted() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->completed;
+  return total;
+}
+
+obs::MetricsSnapshot FederationPipeline::MergedMetricsSnapshot() const {
+  obs::MetricsSnapshot merged = shards_.front()->metrics->Snapshot();
+  for (std::size_t s = 1; s < shards_.size(); ++s) {
+    for (const auto& [path, value] : shards_[s]->metrics->Snapshot().values) {
+      merged.values[path] += value;
+    }
+  }
+  return merged;
+}
+
+std::string FederationPipeline::DumpChromeTrace() const {
+  if (shards_.front()->tracer == nullptr) return "{}";
+  if (shards_.size() == 1) return shards_.front()->tracer->DumpChromeTrace();
+  // Merge every shard's {"traceEvents": [...]} onto one timeline by
+  // splicing the array bodies: sim clocks share one virtual time, so
+  // the stamps compose without adjustment.
+  std::string merged = "{\"traceEvents\": [";
+  bool first = true;
+  for (const auto& sh : shards_) {
+    if (sh->tracer == nullptr) continue;
+    const std::string dump = sh->tracer->DumpChromeTrace();
+    const std::size_t open = dump.find('[');
+    const std::size_t close = dump.rfind(']');
+    if (open == std::string::npos || close == std::string::npos ||
+        close <= open + 1) {
+      continue;
+    }
+    const std::string body = dump.substr(open + 1, close - open - 1);
+    if (body.find_first_not_of(" \t\n") == std::string::npos) continue;
+    if (!first) merged += ", ";
+    merged += body;
+    first = false;
+  }
+  merged += "]}";
+  return merged;
+}
+
 Digest128 FederationPipeline::RegisterModel(std::uint64_t model_id,
                                             Bytes serialized_size) {
   cloud_->RegisterModel(model_id, serialized_size);
@@ -1031,17 +1311,22 @@ void FederationPipeline::IssueNext() {
   ops_.pop_front();
   const std::uint32_t venue = op.venue;
   op.start([this, venue](core::RequestOutcome outcome) {
-    outcomes_.push_back({venue, std::move(outcome), sched_.now()});
+    ShardState& sh = *shards_.front();
+    sh.outcomes.push_back({venue, std::move(outcome), sh.sched.now()});
     IssueNext();
   });
 }
 
 std::vector<FederationOutcome> FederationPipeline::Run() {
-  outcomes_.clear();
+  COIC_CHECK_MSG(shards_.size() == 1,
+                 "closed-loop Run is one-request-at-a-time by definition; "
+                 "sharded pipelines must use RunOpenLoop");
+  ShardState& sh = *shards_.front();
+  sh.outcomes.clear();
   IssueNext();
-  sched_.Run();
+  sh.sched.Run();
   COIC_CHECK_MSG(ops_.empty(), "pipeline drained with operations unissued");
-  return std::move(outcomes_);
+  return std::move(sh.outcomes);
 }
 
 std::string FederationPipeline::StrandedDiagnostic() const {
@@ -1049,7 +1334,7 @@ std::string FederationPipeline::StrandedDiagnostic() const {
   // with a bare count; naming the stuck request ids and where they are
   // parked turns the CHECK into a directly actionable report.
   std::string msg = "open-loop drained with " +
-                    std::to_string(expected_ - completed_) + " of " +
+                    std::to_string(expected_ - TotalCompleted()) + " of " +
                     std::to_string(expected_) + " operations incomplete:";
   constexpr std::size_t kMaxIdsNamed = 8;
   const auto append_ids = [&msg](const std::vector<std::uint64_t>& ids) {
@@ -1076,13 +1361,13 @@ std::string FederationPipeline::StrandedDiagnostic() const {
     msg += ", " + std::to_string(edge_ids.size()) + " parked at edge";
     append_ids(edge_ids);
     msg += ';';
-    if (tracer_) {
+    if (obs::RequestTracer* const tracer = ShardOf(v).tracer.get()) {
       // With tracing on, say exactly which phase each stuck request is
       // parked in and for how long — "phase=cloud_fetch since=+8123ms"
       // beats grepping the scheduler for where a request went quiet.
       for (std::size_t i = 0; i < client_ids.size() && i < kMaxIdsNamed;
            ++i) {
-        const std::string live = tracer_->DescribeLive(client_ids[i]);
+        const std::string live = tracer->DescribeLive(client_ids[i]);
         if (!live.empty()) {
           msg += " id " + std::to_string(client_ids[i]) + " " + live + ';';
         }
@@ -1093,18 +1378,21 @@ std::string FederationPipeline::StrandedDiagnostic() const {
 }
 
 std::vector<FederationOutcome> FederationPipeline::RunOpenLoop() {
-  outcomes_.clear();
+  if (shards_.size() > 1) return RunOpenLoopSharded();
+  ShardState& sh = *shards_.front();
+  sh.outcomes.clear();
   open_loop_ = OpenLoopStats{};
   open_loop_.operations = ops_.size();
-  open_loop_.first_arrival = sched_.now();
-  open_loop_.last_completion = sched_.now();
-  outcomes_.reserve(ops_.size());
+  open_loop_.first_arrival = sh.sched.now();
+  open_loop_.last_completion = sh.sched.now();
+  sh.outcomes.reserve(ops_.size());
   expected_ = ops_.size();
-  completed_ = 0;
-  inflight_ = 0;
+  sh.completed = 0;
+  sh.inflight = 0;
+  sh.max_inflight = 0;
   stall_completed_mark_ = 0;
   stall_rounds_ = 0;
-  const std::uint64_t fired_before = sched_.total_fired();
+  const std::uint64_t fired_before = sh.sched.total_fired();
 
   if (GossipEnabled() && expected_ > 0) {
     // Round 0 at the start mirrors the closed loop's gossip-before-first-
@@ -1125,21 +1413,22 @@ std::vector<FederationOutcome> FederationPipeline::RunOpenLoop() {
   while (!ops_.empty()) {
     Op op = std::move(ops_.front());
     ops_.pop_front();
-    const SimTime at = std::max(op.at, sched_.now());
+    const SimTime at = std::max(op.at, sh.sched.now());
     if (!first_set || at < open_loop_.first_arrival) {
       open_loop_.first_arrival = at;
       first_set = true;
     }
-    sched_.ScheduleAt(at, [this, op = std::move(op)]() mutable {
-      ++inflight_;
-      open_loop_.max_inflight = std::max(open_loop_.max_inflight, inflight_);
+    sh.sched.ScheduleAt(at, [this, &sh, op = std::move(op)]() mutable {
+      ++sh.inflight;
+      open_loop_.max_inflight =
+          std::max(open_loop_.max_inflight, sh.inflight);
       const std::uint32_t venue = op.venue;
-      op.start([this, venue](core::RequestOutcome outcome) {
-        outcomes_.push_back({venue, std::move(outcome), sched_.now()});
-        --inflight_;
-        ++completed_;
-        open_loop_.last_completion = sched_.now();
-        if (completed_ == expected_) {
+      op.start([this, &sh, venue](core::RequestOutcome outcome) {
+        sh.outcomes.push_back({venue, std::move(outcome), sh.sched.now()});
+        --sh.inflight;
+        ++sh.completed;
+        open_loop_.last_completion = sh.sched.now();
+        if (sh.completed == expected_) {
           // Drain condition: the workload is done, so the free-running
           // timers stop re-arming and the scheduler empties.
           StopGossipTimers();
@@ -1148,11 +1437,186 @@ std::vector<FederationOutcome> FederationPipeline::RunOpenLoop() {
     });
   }
 
-  sched_.Run();
+  sh.sched.Run();
   StopGossipTimers();  // expected_ == 0: timers were never armed; no-op
-  COIC_CHECK_MSG(completed_ == expected_, StrandedDiagnostic());
-  open_loop_.events_fired = sched_.total_fired() - fired_before;
-  return std::move(outcomes_);
+  COIC_CHECK_MSG(sh.completed == expected_, StrandedDiagnostic());
+  open_loop_.events_fired = sh.sched.total_fired() - fired_before;
+  open_loop_.per_worker_events_fired = {open_loop_.events_fired};
+  return std::move(sh.outcomes);
+}
+
+Duration FederationPipeline::CrossShardLookahead() const {
+  // The conservative window: the smallest propagation delay on any link
+  // whose endpoints are owned by different shards. Wifi links never
+  // cross (a venue's mobiles live with their edge); WAN links cross for
+  // every venue not homed on shard 0 (the cloud's shard); peer links
+  // cross per the venue->shard map. Brownout LinkConditionSteps cannot
+  // shrink propagation (no such field), so the minimum holds mid-chaos.
+  std::int64_t lookahead = INT64_MAX;
+  for (std::uint32_t v = 0; v < config_.venues; ++v) {
+    if (ShardIndexOf(v) != 0) {
+      lookahead =
+          std::min(lookahead, config_.edge_cloud_propagation.micros());
+    }
+  }
+  for (const TopologyLink& l : topology_.links()) {
+    if (ShardIndexOf(l.a) != ShardIndexOf(l.b)) {
+      lookahead = std::min(lookahead, l.link.propagation.micros());
+    }
+  }
+  COIC_CHECK_MSG(lookahead != INT64_MAX,
+                 "sharded run with no cross-shard links");
+  COIC_CHECK_MSG(lookahead > 0,
+                 "deterministic sharding needs nonzero cross-shard "
+                 "propagation for a conservative window");
+  return Duration::Micros(lookahead);
+}
+
+std::vector<FederationOutcome> FederationPipeline::RunOpenLoopSharded() {
+  const std::size_t shard_total = shards_.size();
+  open_loop_ = OpenLoopStats{};
+  open_loop_.operations = ops_.size();
+  expected_ = ops_.size();
+  stall_completed_mark_ = 0;
+  stall_rounds_ = 0;
+  std::vector<std::uint64_t> fired_before(shard_total);
+  for (std::size_t s = 0; s < shard_total; ++s) {
+    ShardState& sh = *shards_[s];
+    sh.outcomes.clear();
+    sh.inflight = 0;
+    sh.max_inflight = 0;
+    sh.completed = 0;
+    sh.gossip_rounds = 0;
+    sh.last_completion = sh.sched.now();
+    fired_before[s] = sh.sched.total_fired();
+  }
+  open_loop_.first_arrival = shards_.front()->sched.now();
+  open_loop_.last_completion = open_loop_.first_arrival;
+
+  if (GossipEnabled() && expected_ > 0) {
+    // Round 0 runs as the first event on each venue's own shard (the
+    // single-thread engine runs it inline before the first op — same
+    // relative order, since op events scheduled later at the same
+    // instant fire after it).
+    gossip_timers_.assign(config_.venues, 0);
+    for (std::uint32_t v = 0; v < config_.venues; ++v) {
+      SchedOf(v).ScheduleAt(SimTime::Epoch(), [this, v] {
+        ++ShardOf(v).gossip_rounds;
+        GossipEdge(v);
+        ArmGossipTimerSharded(v);
+      });
+    }
+  }
+
+  bool first_set = false;
+  while (!ops_.empty()) {
+    Op op = std::move(ops_.front());
+    ops_.pop_front();
+    ShardState& sh = ShardOf(op.venue);
+    const SimTime at = std::max(op.at, sh.sched.now());
+    if (!first_set || at < open_loop_.first_arrival) {
+      open_loop_.first_arrival = at;
+      first_set = true;
+    }
+    sh.sched.ScheduleAt(at, [this, &sh, op = std::move(op)]() mutable {
+      ++sh.inflight;
+      sh.max_inflight = std::max(sh.max_inflight, sh.inflight);
+      const std::uint32_t venue = op.venue;
+      op.start([&sh, venue](core::RequestOutcome outcome) {
+        sh.outcomes.push_back({venue, std::move(outcome), sh.sched.now()});
+        --sh.inflight;
+        ++sh.completed;
+        sh.last_completion = sh.sched.now();
+      });
+    });
+  }
+
+  const bool deterministic =
+      config_.execution.mode == ExecutionConfig::Mode::kDeterministic;
+  std::vector<netsim::ShardHooks> hooks(shard_total);
+  for (std::size_t s = 0; s < shard_total; ++s) {
+    ShardState& sh = *shards_[s];
+    hooks[s].sched = &sh.sched;
+    hooks[s].deliver = [&sh, deterministic](netsim::ShardMessage msg) {
+      SimTime at = msg.deliver_at;
+      if (deterministic) {
+        // The sender stamped this inside window k; with window <=
+        // lookahead it cannot land before the receiver's clock (which
+        // sits at the window edge during the drain phase).
+        COIC_CHECK_MSG(at.micros() >= sh.sched.now().micros(),
+                       "cross-shard delivery in the receiver's past "
+                       "(window wider than the lookahead?)");
+      } else if (at.micros() < sh.sched.now().micros()) {
+        // Fast mode: clamp to now. Latency shifts by < one window;
+        // aggregate conservation invariants are unaffected.
+        at = sh.sched.now();
+      }
+      sh.sched.ScheduleAt(at, [&sh, msg = std::move(msg)]() mutable {
+        sh.net.DeliverRemote(msg.from, msg.to, std::move(msg.payload));
+      });
+    };
+    hooks[s].completed = [&sh] { return sh.completed; };
+    hooks[s].idle_floor = [this, s] {
+      if (gossip_timers_.empty()) return std::uint64_t{0};
+      std::uint64_t armed = 0;
+      for (const std::uint32_t v : shards_[s]->venues) {
+        if (gossip_timers_[v] != 0) ++armed;
+      }
+      return armed;
+    };
+    hooks[s].quiesce = [this, s] {
+      StopGossipTimersShard(static_cast<std::uint32_t>(s));
+    };
+  }
+
+  netsim::ShardRunnerConfig runner_config;
+  runner_config.window = deterministic ? CrossShardLookahead()
+                                       : config_.execution.fast_window;
+  runner_config.expected_completions = expected_;
+
+  netsim::ShardRunner runner(runner_config, std::move(hooks));
+  runner_ = &runner;
+  const netsim::ShardRunner::Result result = runner.Run();
+  runner_ = nullptr;
+  gossip_timers_.clear();
+
+  COIC_CHECK_MSG(TotalCompleted() == expected_, StrandedDiagnostic());
+
+  open_loop_.sync_windows = result.windows;
+  open_loop_.cross_shard_messages = result.cross_messages;
+  open_loop_.per_worker_events_fired.resize(shard_total);
+  std::vector<FederationOutcome> merged;
+  merged.reserve(expected_);
+  bool any_completion = false;
+  for (std::size_t s = 0; s < shard_total; ++s) {
+    ShardState& sh = *shards_[s];
+    const std::uint64_t fired = sh.sched.total_fired() - fired_before[s];
+    open_loop_.per_worker_events_fired[s] = fired;
+    open_loop_.events_fired += fired;
+    open_loop_.max_inflight += sh.max_inflight;
+    open_loop_.gossip_rounds += sh.gossip_rounds;
+    if (sh.completed > 0 &&
+        (!any_completion ||
+         open_loop_.last_completion < sh.last_completion)) {
+      open_loop_.last_completion = sh.last_completion;
+      any_completion = true;
+    }
+    merged.insert(merged.end(), std::make_move_iterator(sh.outcomes.begin()),
+                  std::make_move_iterator(sh.outcomes.end()));
+    sh.outcomes.clear();
+  }
+  // Canonical completion order: per-shard streams are each in completion
+  // order already; interleave them on (completed_at, venue). Venue
+  // breaks ties deterministically because any one venue's outcomes come
+  // from a single shard (stable_sort keeps their relative order).
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const FederationOutcome& a, const FederationOutcome& b) {
+                     if (a.completed_at.micros() != b.completed_at.micros()) {
+                       return a.completed_at.micros() < b.completed_at.micros();
+                     }
+                     return a.venue < b.venue;
+                   });
+  return merged;
 }
 
 }  // namespace coic::federation

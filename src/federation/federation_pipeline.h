@@ -32,6 +32,7 @@
 #include "federation/topology.h"
 #include "netsim/chaos.h"
 #include "netsim/network.h"
+#include "netsim/shard.h"
 #include "trace/workload.h"
 
 namespace coic::federation {
@@ -112,6 +113,34 @@ struct FederationTransportConfig {
   static FederationTransportConfig Lossy(double loss_rate);
 };
 
+/// Multi-core execution knobs. With workers == 1 (default) the pipeline
+/// is the familiar single-thread engine, bit-identical to every earlier
+/// PR. With workers > 1 the cluster is sharded: venue v (its edge, its
+/// mobiles, their wifi links and every link the venue's nodes *send* on)
+/// lives on shard v % S, each shard with its own EventScheduler, Network,
+/// MetricsRegistry and tracer, synchronized by the conservative
+/// time-window protocol in netsim/shard.h. Only RunOpenLoop supports
+/// sharding (the closed loop is one-request-at-a-time by definition).
+struct ExecutionConfig {
+  /// Worker threads; clamped to the venue count (a shard owns >= 1
+  /// venue). 1 = classic single-thread engine.
+  std::uint32_t workers = 1;
+  enum class Mode : std::uint8_t {
+    /// Window = the cluster's cross-shard lookahead (min propagation of
+    /// any cross-shard link): outcomes are bit-identical to the
+    /// single-thread engine.
+    kDeterministic = 0,
+    /// Window = `fast_window`, typically much wider than the lookahead:
+    /// cross-shard arrivals that land in the receiver's past are clamped
+    /// to "now", so per-request latencies shift by up to one window;
+    /// only aggregate invariants (ops completed, conservation counts)
+    /// are pinned. Fewer barriers -> higher events/sec.
+    kFast = 1,
+  };
+  Mode mode = Mode::kDeterministic;
+  Duration fast_window = Duration::Millis(8);
+};
+
 struct FederationPipelineConfig {
   /// Venues (edges) in the cluster.
   std::uint32_t venues = 4;
@@ -176,6 +205,8 @@ struct FederationPipelineConfig {
   /// Scripted fault injection (crashes, partitions, brownouts, loss
   /// bursts), armed on the scheduler at construction. Empty = no chaos.
   netsim::FaultSchedule chaos;
+  /// Multi-core sharding (see ExecutionConfig). Defaults to one worker.
+  ExecutionConfig execution;
   core::CostModel costs;
   cache::IcCacheConfig cache;
   vision::FeatureExtractorConfig extractor;
@@ -199,6 +230,9 @@ struct OpenLoopStats {
   std::uint64_t operations = 0;
   /// Cluster-wide high-water mark of concurrently in-flight operations —
   /// the queueing depth the closed loop (always 1) never exercises.
+  /// Sharded runs report the *sum of per-shard maxima* (each shard
+  /// tracks its own high-water mark; the instants need not coincide), an
+  /// upper bound on the true cluster-wide mark.
   std::uint32_t max_inflight = 0;
   /// Per-edge gossip firings, including the round-0 warmup.
   std::uint64_t gossip_rounds = 0;
@@ -207,8 +241,15 @@ struct OpenLoopStats {
   SimTime first_arrival;
   SimTime last_completion;
   /// Scheduler actions executed during the run (simulator work, for
-  /// wall-clock events/sec reporting).
+  /// wall-clock events/sec reporting). Sharded: summed over workers.
   std::uint64_t events_fired = 0;
+  /// Scheduler actions per worker thread (one entry per shard; a single
+  /// entry equal to events_fired for the single-thread engine).
+  std::vector<std::uint64_t> per_worker_events_fired;
+  /// Sharded runs only: synchronization barrier rounds and frames that
+  /// crossed a shard boundary (both 0 for the single-thread engine).
+  std::uint64_t sync_windows = 0;
+  std::uint64_t cross_shard_messages = 0;
 };
 
 class FederationPipeline {
@@ -257,7 +298,10 @@ class FederationPipeline {
 
   [[nodiscard]] core::EdgeService& edge(std::uint32_t venue);
   [[nodiscard]] core::CloudService& cloud() noexcept { return *cloud_; }
-  [[nodiscard]] netsim::EventScheduler& scheduler() noexcept { return sched_; }
+  /// Shard 0's scheduler (the only one for the single-thread engine).
+  [[nodiscard]] netsim::EventScheduler& scheduler() noexcept {
+    return shards_.front()->sched;
+  }
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
   [[nodiscard]] const FederationPipelineConfig& config() const noexcept {
     return config_;
@@ -273,44 +317,30 @@ class FederationPipeline {
   [[nodiscard]] std::uint64_t total_cloud_forwards() const;
   /// SummaryUpdate messages sent (gossip overhead). With delta gossip
   /// this counts full summaries only; deltas are tallied separately.
-  [[nodiscard]] std::uint64_t summary_updates_sent() const noexcept {
-    return summary_updates_sent_.value();
-  }
+  /// Summed over shards in sharded runs, as are all gossip counters
+  /// below.
+  [[nodiscard]] std::uint64_t summary_updates_sent() const noexcept;
   /// SummaryDeltaUpdate messages sent (delta gossip only).
-  [[nodiscard]] std::uint64_t summary_deltas_sent() const noexcept {
-    return summary_deltas_sent_.value();
-  }
+  [[nodiscard]] std::uint64_t summary_deltas_sent() const noexcept;
   /// Encoded bytes of full-summary / delta-summary frames handed to the
   /// peer links (relay wrappers excluded) — the wire cost the delta
   /// ablation compares.
-  [[nodiscard]] std::uint64_t summary_bytes_full() const noexcept {
-    return summary_bytes_full_.value();
-  }
-  [[nodiscard]] std::uint64_t summary_bytes_delta() const noexcept {
-    return summary_bytes_delta_.value();
-  }
+  [[nodiscard]] std::uint64_t summary_bytes_full() const noexcept;
+  [[nodiscard]] std::uint64_t summary_bytes_delta() const noexcept;
   /// Venue `venue`'s view of its peers' summaries (tests compare delta-
   /// built tables against full-gossip tables byte for byte).
   [[nodiscard]] const SummaryTable& summary_table(std::uint32_t venue) const {
     return summary_tables_.at(venue);
   }
   /// Relay forwards performed by intermediate venues.
-  [[nodiscard]] std::uint64_t relay_forwards() const noexcept {
-    return relay_forwards_.value();
-  }
+  [[nodiscard]] std::uint64_t relay_forwards() const noexcept;
 
   /// SummaryAck frames piggybacked on peer traffic (transport.summary_ack).
-  [[nodiscard]] std::uint64_t summary_acks_sent() const noexcept {
-    return summary_acks_sent_.value();
-  }
+  [[nodiscard]] std::uint64_t summary_acks_sent() const noexcept;
   /// Targeted full-summary resends triggered by a behind/zero ack.
-  [[nodiscard]] std::uint64_t summary_ack_resends() const noexcept {
-    return summary_ack_resends_.value();
-  }
+  [[nodiscard]] std::uint64_t summary_ack_resends() const noexcept;
   /// Peer summaries dropped by the max-age sweep.
-  [[nodiscard]] std::uint64_t summaries_aged_out() const noexcept {
-    return summaries_aged_out_.value();
-  }
+  [[nodiscard]] std::uint64_t summaries_aged_out() const noexcept;
 
   /// The cluster-wide metrics registry: every edge/client/gossip counter
   /// under a dotted path ("edge.2.forwards", "client.0.3.timeouts",
@@ -319,11 +349,24 @@ class FederationPipeline {
   /// "cloud.tasks_executed"). Snapshot()/DiffSince replace the manual
   /// record-before/subtract-after dance in benches.
   [[nodiscard]] const obs::MetricsRegistry& metrics() const noexcept {
-    return metrics_;
+    return *shards_.front()->metrics;
   }
-  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept { return metrics_; }
+  [[nodiscard]] obs::MetricsRegistry& metrics() noexcept {
+    return *shards_.front()->metrics;
+  }
+  /// Counter values summed per path across every shard's registry — the
+  /// cluster-wide view. Identical to metrics().Snapshot() for the
+  /// single-thread engine.
+  [[nodiscard]] obs::MetricsSnapshot MergedMetricsSnapshot() const;
   /// The request tracer, or nullptr when config.trace.enabled is false.
-  [[nodiscard]] obs::RequestTracer* tracer() noexcept { return tracer_.get(); }
+  /// Shard 0's ring in sharded runs; DumpChromeTrace() merges all shards.
+  [[nodiscard]] obs::RequestTracer* tracer() noexcept {
+    return shards_.front()->tracer.get();
+  }
+  /// Chrome trace-event JSON with every shard's spans on one timeline
+  /// (sim clocks are a shared virtual time, so stamps compose directly).
+  /// "{}" when tracing is disabled.
+  [[nodiscard]] std::string DumpChromeTrace() const;
 
   /// Cluster-wide transport counters (sums over clients / edges).
   [[nodiscard]] std::uint64_t total_client_retransmissions() const;
@@ -338,12 +381,25 @@ class FederationPipeline {
   [[nodiscard]] std::uint64_t total_overload_sheds() const;
   [[nodiscard]] std::uint64_t total_overload_rejects() const;
 
-  /// The chaos engine, or nullptr when config.chaos is empty.
-  [[nodiscard]] netsim::ChaosEngine* chaos() noexcept { return chaos_.get(); }
+  /// Shard 0's counted chaos engine, or nullptr when config.chaos is
+  /// empty. The full schedule for the single-thread engine; sharded runs
+  /// split the schedule, so use chaos_events_fired() for cluster totals.
+  [[nodiscard]] netsim::ChaosEngine* chaos() noexcept {
+    return counted_chaos_.empty() ? nullptr : counted_chaos_.front().get();
+  }
+  /// Chaos events fired cluster-wide (summed over the counted engines).
+  [[nodiscard]] std::uint64_t chaos_events_fired() const noexcept;
+
+  /// Shards in the execution plan (1 = single-thread engine).
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
 
   /// Simulator access for fault-injection tests (ForceDropNext / SetDown
-  /// on specific links) and the loss-sweep bench.
-  [[nodiscard]] netsim::Network& network() noexcept { return net_; }
+  /// on specific links) and the loss-sweep bench. Shard 0's network.
+  [[nodiscard]] netsim::Network& network() noexcept {
+    return shards_.front()->net;
+  }
   [[nodiscard]] netsim::NodeId cloud_node() const noexcept {
     return cloud_node_;
   }
@@ -365,6 +421,82 @@ class FederationPipeline {
     SimTime at;  ///< Arrival time; only RunOpenLoop honors it.
     std::function<void(core::CoicClient::CompletionFn)> start;
   };
+
+  /// One shard's gossip counter cells, bound once at shard construction
+  /// (same paths as ever; the public accessors sum the cells over
+  /// shards).
+  struct GossipCounters {
+    explicit GossipCounters(obs::MetricsRegistry& m)
+        : summary_updates_sent(m.GetCounter("gossip.summary_updates_sent")),
+          summary_deltas_sent(m.GetCounter("gossip.summary_deltas_sent")),
+          summary_bytes_full(m.GetCounter("gossip.summary_bytes_full")),
+          summary_bytes_delta(m.GetCounter("gossip.summary_bytes_delta")),
+          relay_forwards(m.GetCounter("gossip.relay_forwards")),
+          summary_acks_sent(m.GetCounter("gossip.summary_acks_sent")),
+          summary_ack_resends(m.GetCounter("gossip.summary_ack_resends")),
+          summaries_aged_out(m.GetCounter("gossip.summaries_aged_out")) {}
+    obs::Counter& summary_updates_sent;
+    obs::Counter& summary_deltas_sent;
+    obs::Counter& summary_bytes_full;
+    obs::Counter& summary_bytes_delta;
+    obs::Counter& relay_forwards;
+    obs::Counter& summary_acks_sent;
+    obs::Counter& summary_ack_resends;
+    obs::Counter& summaries_aged_out;
+  };
+
+  /// Everything one worker thread owns: a scheduler, a full replica of
+  /// the cluster Network (every shard adds all nodes in the same order,
+  /// so node ids match; it only *creates* the links its own nodes send
+  /// on), a metrics shard, a tracer ring, and the live run counters. The
+  /// single-thread engine is exactly one of these.
+  struct ShardState {
+    explicit ShardState(const obs::TraceConfig& trace)
+        : metrics(std::make_unique<obs::MetricsRegistry>()),
+          tracer(trace.enabled ? std::make_unique<obs::RequestTracer>(trace)
+                               : nullptr),
+          gossip(*metrics) {}
+    netsim::EventScheduler sched;
+    netsim::Network net{sched};
+    /// unique_ptrs: edges and clients bind Counter& cells (and hold the
+    /// tracer pointer) for their whole lifetime, so both need stable
+    /// addresses that outlive the actors.
+    std::unique_ptr<obs::MetricsRegistry> metrics;
+    std::unique_ptr<obs::RequestTracer> tracer;
+    GossipCounters gossip;
+    std::vector<std::uint32_t> venues;  ///< Venues homed on this shard.
+    std::vector<FederationOutcome> outcomes;
+    std::uint32_t inflight = 0;
+    std::uint32_t max_inflight = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t gossip_rounds = 0;
+    SimTime last_completion;
+  };
+
+  /// Venue -> owning shard: v % shard_count(). The venue's edge, its
+  /// mobiles, and every link those nodes send on live there; cloud state
+  /// (and the links the cloud sends on) is on shard 0.
+  [[nodiscard]] std::uint32_t ShardIndexOf(std::uint32_t venue) const noexcept {
+    return venue % static_cast<std::uint32_t>(shards_.size());
+  }
+  [[nodiscard]] ShardState& ShardOf(std::uint32_t venue) noexcept {
+    return *shards_[ShardIndexOf(venue)];
+  }
+  [[nodiscard]] const ShardState& ShardOf(std::uint32_t venue) const noexcept {
+    return *shards_[ShardIndexOf(venue)];
+  }
+  [[nodiscard]] netsim::EventScheduler& SchedOf(std::uint32_t venue) noexcept {
+    return ShardOf(venue).sched;
+  }
+  [[nodiscard]] netsim::Network& NetOf(std::uint32_t venue) noexcept {
+    return ShardOf(venue).net;
+  }
+  [[nodiscard]] GossipCounters& Gc(std::uint32_t venue) noexcept {
+    return ShardOf(venue).gossip;
+  }
+  [[nodiscard]] obs::RequestTracer* TracerOf(std::uint32_t venue) noexcept {
+    return ShardOf(venue).tracer.get();
+  }
 
   static Topology BuildTopology(const FederationPipelineConfig& config);
 
@@ -430,6 +562,25 @@ class FederationPipeline {
   void StopGossipTimers();
   void IssueNext();
 
+  /// Splits config_.chaos across shards: each fault is armed *counted*
+  /// on its home shard (with that shard's metrics/tracer and, for
+  /// crashes, the cache wipe) and *silent* on every other shard that
+  /// replicates one of its links.
+  void ArmChaos();
+  /// Smallest propagation delay of any link whose endpoints live on
+  /// different shards — the conservative synchronization window.
+  [[nodiscard]] Duration CrossShardLookahead() const;
+  [[nodiscard]] std::uint64_t TotalCompleted() const noexcept;
+  /// Open-loop body for shard_count() > 1: builds a netsim::ShardRunner
+  /// and drives every shard's scheduler on its own worker thread.
+  std::vector<FederationOutcome> RunOpenLoopSharded();
+  /// Sharded gossip timer: same cadence as ArmGossipTimer minus the
+  /// stall bookkeeping (the runner detects cluster-wide stalls itself).
+  void ArmGossipTimerSharded(std::uint32_t venue);
+  /// Cancels the armed timers of `shard`'s venues only (a scheduler may
+  /// only be touched from its owning worker thread).
+  void StopGossipTimersShard(std::uint32_t shard);
+
   [[nodiscard]] std::uint32_t ClientIndex(std::uint32_t venue,
                                           std::uint32_t mobile) const {
     return venue * config_.mobiles_per_venue + mobile;
@@ -437,18 +588,23 @@ class FederationPipeline {
 
   FederationPipelineConfig config_;
   Topology topology_;
-  netsim::EventScheduler sched_;
-  netsim::Network net_;
+  /// Execution shards, built before any actor. Exactly one for the
+  /// single-thread engine. unique_ptrs: ShardState pins the addresses of
+  /// its scheduler/network/registry, which everything else binds.
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  /// Owning shard of every node id (ids are identical across the shard
+  /// network replicas).
+  std::vector<std::uint32_t> node_shard_;
   netsim::NodeId cloud_node_ = 0;
-  /// Cluster metrics registry and tracer. Declared before the actors:
-  /// edges and clients bind Counter& cells (and hold the tracer pointer)
-  /// for their whole lifetime, so both must outlive them.
-  obs::MetricsRegistry metrics_;
-  std::unique_ptr<obs::RequestTracer> tracer_;  ///< Null unless enabled.
   std::vector<netsim::NodeId> edge_nodes_;
   std::vector<netsim::NodeId> mobile_nodes_;  ///< Indexed by ClientIndex.
   std::unique_ptr<core::CloudService> cloud_;
-  std::unique_ptr<netsim::ChaosEngine> chaos_;  ///< Null without a schedule.
+  /// Per-shard chaos engines (empty without a schedule); see ArmChaos().
+  std::vector<std::unique_ptr<netsim::ChaosEngine>> counted_chaos_;
+  std::vector<std::unique_ptr<netsim::ChaosEngine>> silent_chaos_;
+  /// Non-null only inside RunOpenLoopSharded: the shard networks'
+  /// remote-dispatch hooks feed it.
+  netsim::ShardRunner* runner_ = nullptr;
   std::vector<std::unique_ptr<core::EdgeService>> edges_;
   std::vector<std::unique_ptr<core::CoicClient>> clients_;
   /// Peers each venue may probe (within hop_limit), ascending.
@@ -472,15 +628,6 @@ class FederationPipeline {
   std::vector<std::uint64_t> summary_cursors_;
   std::unordered_map<std::uint64_t, Digest128> model_digests_;
   SimTime next_gossip_ = SimTime::Epoch();
-  obs::Counter& summary_updates_sent_ =
-      metrics_.GetCounter("gossip.summary_updates_sent");
-  obs::Counter& summary_deltas_sent_ =
-      metrics_.GetCounter("gossip.summary_deltas_sent");
-  obs::Counter& summary_bytes_full_ =
-      metrics_.GetCounter("gossip.summary_bytes_full");
-  obs::Counter& summary_bytes_delta_ =
-      metrics_.GetCounter("gossip.summary_bytes_delta");
-  obs::Counter& relay_forwards_ = metrics_.GetCounter("gossip.relay_forwards");
   /// Ack/nack + aging state, venues x venues row-major ([venue][peer]):
   /// last version of peer's summary that venue acked (dedup; UINT64_MAX
   /// = "must ack next chance"), when venue last received a summary frame
@@ -488,19 +635,13 @@ class FederationPipeline {
   std::vector<std::vector<std::uint64_t>> ack_sent_version_;
   std::vector<std::vector<SimTime>> summary_received_at_;
   std::vector<std::vector<SimTime>> next_ack_resend_at_;
-  obs::Counter& summary_acks_sent_ =
-      metrics_.GetCounter("gossip.summary_acks_sent");
-  obs::Counter& summary_ack_resends_ =
-      metrics_.GetCounter("gossip.summary_ack_resends");
-  obs::Counter& summaries_aged_out_ =
-      metrics_.GetCounter("gossip.summaries_aged_out");
   std::deque<Op> ops_;
-  std::vector<FederationOutcome> outcomes_;
-  /// Open-loop state: armed timer per venue (0 = none), live counters.
+  /// Open-loop state: armed timer per venue (0 = none). Each entry is
+  /// written only by the venue's owning shard — distinct vector elements
+  /// are distinct objects, so no cross-thread race. Live run counters
+  /// and outcomes live per shard (ShardState) and merge after the run.
   std::vector<netsim::EventId> gossip_timers_;
   OpenLoopStats open_loop_;
-  std::uint32_t inflight_ = 0;
-  std::uint64_t completed_ = 0;
   std::uint64_t expected_ = 0;
   /// Stranded-workload detection (see ArmGossipTimer): completion count
   /// at the last timer firing, and consecutive firings without progress.

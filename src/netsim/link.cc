@@ -52,6 +52,55 @@ Frame FlattenGather(Frame head, const Frame& tail) {
 
 }  // namespace
 
+Link::Admission Link::Admit(Bytes size) {
+  const SimTime now = sched_.now();
+  const SimTime start = std::max(now, busy_until_);
+  const Duration tx = config_.bandwidth.TransmitTime(size);
+  busy_until_ = start + tx;
+  backlog_bytes_ += size;
+  ++stats_.frames_sent;
+  stats_.busy_time += tx;
+
+  // Forced drops (test seam / link down) take precedence but still
+  // consume the frame's ordinary loss draws, so injecting one never
+  // shifts which of the surrounding frames the loss processes kill.
+  Admission a;
+  a.down = down_;
+  a.forced = a.down;
+  if (!a.forced && force_drop_next_ > 0) {
+    if (force_drop_skip_ > 0) {
+      --force_drop_skip_;
+    } else {
+      --force_drop_next_;
+      a.forced = true;
+    }
+  }
+  bool random_loss = config_.loss_rate > 0 && rng_.NextBool(config_.loss_rate);
+  if (config_.burst_loss.enabled) {
+    // Gilbert–Elliott chain: one transition draw, then the per-state
+    // loss draw, both per accepted frame.
+    const double flip = burst_bad_ ? config_.burst_loss.bad_to_good
+                                   : config_.burst_loss.good_to_bad;
+    if (flip > 0 && rng_.NextBool(flip)) burst_bad_ = !burst_bad_;
+    const double p = burst_bad_ ? config_.burst_loss.bad_loss_rate
+                                : config_.burst_loss.good_loss_rate;
+    if (p > 0 && rng_.NextBool(p)) random_loss = true;
+  }
+  a.lost = a.forced || random_loss;
+  Duration extra = config_.propagation;
+  if (config_.jitter > Duration::Zero()) {
+    extra += Duration::Micros(static_cast<std::int64_t>(
+        rng_.NextDouble() * static_cast<double>(config_.jitter.micros())));
+  }
+  const SimTime serialized_at = busy_until_;
+  a.deliver_at = serialized_at + extra;
+
+  // Queue space frees at serialization completion; drained lazily at the
+  // next Send/backlog call instead of costing a scheduled event.
+  serializing_.push_back({serialized_at, size});
+  return a;
+}
+
 void Link::SendImpl(Frame head, Frame tail, DeliverFn on_delivered,
                     DropFn on_dropped) {
   COIC_CHECK(on_delivered != nullptr);
@@ -67,63 +116,20 @@ void Link::SendImpl(Frame head, Frame tail, DeliverFn on_delivered,
     return;
   }
 
-  const SimTime now = sched_.now();
-  const SimTime start = std::max(now, busy_until_);
-  const Duration tx = config_.bandwidth.TransmitTime(size);
-  busy_until_ = start + tx;
-  backlog_bytes_ += size;
-  ++stats_.frames_sent;
-  stats_.busy_time += tx;
-
-  // Forced drops (test seam / link down) take precedence but still
-  // consume the frame's ordinary loss draws, so injecting one never
-  // shifts which of the surrounding frames the loss processes kill.
-  const bool down = down_;
-  bool forced = down;
-  if (!forced && force_drop_next_ > 0) {
-    if (force_drop_skip_ > 0) {
-      --force_drop_skip_;
-    } else {
-      --force_drop_next_;
-      forced = true;
-    }
-  }
-  bool random_loss = config_.loss_rate > 0 && rng_.NextBool(config_.loss_rate);
-  if (config_.burst_loss.enabled) {
-    // Gilbert–Elliott chain: one transition draw, then the per-state
-    // loss draw, both per accepted frame.
-    const double flip = burst_bad_ ? config_.burst_loss.bad_to_good
-                                   : config_.burst_loss.good_to_bad;
-    if (flip > 0 && rng_.NextBool(flip)) burst_bad_ = !burst_bad_;
-    const double p = burst_bad_ ? config_.burst_loss.bad_loss_rate
-                                : config_.burst_loss.good_loss_rate;
-    if (p > 0 && rng_.NextBool(p)) random_loss = true;
-  }
-  const bool lost = forced || random_loss;
-  Duration extra = config_.propagation;
-  if (config_.jitter > Duration::Zero()) {
-    extra += Duration::Micros(static_cast<std::int64_t>(
-        rng_.NextDouble() * static_cast<double>(config_.jitter.micros())));
-  }
-  const SimTime serialized_at = busy_until_;
-  const SimTime deliver_at = serialized_at + extra;
-
-  // Queue space frees at serialization completion; drained lazily at the
-  // next Send/backlog call instead of costing a scheduled event.
-  serializing_.push_back({serialized_at, size});
+  const Admission a = Admit(size);
 
   // Delivery (or loss) after propagation — the only scheduled event.
-  auto deliver = [this, size, lost, forced, down, head = std::move(head),
+  auto deliver = [this, size, a, head = std::move(head),
                   tail = std::move(tail),
                   on_delivered = std::move(on_delivered),
                   on_dropped = std::move(on_dropped)]() mutable {
-    if (lost) {
+    if (a.lost) {
       ++stats_.frames_dropped_loss;
-      if (down) ++stats_.frames_dropped_down;
+      if (a.down) ++stats_.frames_dropped_down;
       if (on_dropped) {
-        const DropReason reason = down      ? DropReason::kLinkDown
-                                  : forced ? DropReason::kForced
-                                           : DropReason::kRandomLoss;
+        const DropReason reason = a.down      ? DropReason::kLinkDown
+                                  : a.forced ? DropReason::kForced
+                                             : DropReason::kRandomLoss;
         on_dropped(reason, FlattenGather(head, tail));
       }
       return;
@@ -132,7 +138,39 @@ void Link::SendImpl(Frame head, Frame tail, DeliverFn on_delivered,
     stats_.bytes_delivered += size;
     on_delivered(FlattenGather(std::move(head), tail));
   };
-  sched_.ScheduleAt(deliver_at, std::move(deliver));
+  sched_.ScheduleAt(a.deliver_at, std::move(deliver));
+}
+
+void Link::SendTimed(Frame payload, TimedDeliverFn on_delivered,
+                     DropFn on_dropped) {
+  COIC_CHECK(on_delivered != nullptr);
+  const Bytes size = payload.size();
+
+  DrainSerialized();
+  if (config_.queue_capacity != 0 &&
+      backlog_bytes_ + size > config_.queue_capacity) {
+    ++stats_.frames_dropped_queue;
+    if (on_dropped) on_dropped(DropReason::kQueueOverflow, std::move(payload));
+    return;
+  }
+
+  const Admission a = Admit(size);
+  if (a.lost) {
+    // Loss bookkeeping lands at send time here (at delivery time on the
+    // event path); final counter totals are identical either way.
+    ++stats_.frames_dropped_loss;
+    if (a.down) ++stats_.frames_dropped_down;
+    if (on_dropped) {
+      const DropReason reason = a.down      ? DropReason::kLinkDown
+                                : a.forced ? DropReason::kForced
+                                           : DropReason::kRandomLoss;
+      on_dropped(reason, std::move(payload));
+    }
+    return;
+  }
+  ++stats_.frames_delivered;
+  stats_.bytes_delivered += size;
+  on_delivered(a.deliver_at, std::move(payload));
 }
 
 double Link::Utilization() const noexcept {

@@ -97,6 +97,21 @@ class Link {
   /// immediately on queue overflow or at would-be delivery time on loss.
   void Send(Frame payload, DeliverFn on_delivered, DropFn on_dropped = nullptr);
 
+  /// Conservative-PDES form of Send for cross-shard traffic: runs the
+  /// exact admission path of Send (queue capacity, serialization FIFO,
+  /// loss and jitter draws, in the same rng order), but instead of
+  /// scheduling the delivery event it synchronously hands `on_delivered`
+  /// the computed delivery time together with the frame, at send time.
+  /// The sharded Network forwards the pair to the owning shard, which
+  /// schedules the arrival on its own clock — the handoff must happen at
+  /// send time so the receiver learns of the frame one full lookahead
+  /// window before it is due. Lost frames never reach `on_delivered`;
+  /// `on_dropped` and the loss counters fire at send time instead of at
+  /// would-be delivery time, which shifts bookkeeping, never an outcome.
+  using TimedDeliverFn = std::function<void(SimTime deliver_at, Frame payload)>;
+  void SendTimed(Frame payload, TimedDeliverFn on_delivered,
+                 DropFn on_dropped = nullptr);
+
   /// Scatter-gather form of Send: transmits `head` and `tail` as one
   /// frame of head.size() + tail.size() bytes (one serialization slot,
   /// one loss draw, one delivery), flattening them into a single buffer
@@ -141,8 +156,23 @@ class Link {
   /// Takes the link down (every frame sent while down is dropped with
   /// DropReason::kLinkDown) or back up — the crash/partition seam for
   /// the edge-failure scenarios. Frames already in flight still deliver.
-  void SetDown(bool down) noexcept { down_ = down; }
+  /// State *transitions* notify the down observer (see SetDownObserver).
+  void SetDown(bool down) {
+    if (down_ == down) return;
+    down_ = down;
+    if (down_observer_) down_observer_(down);
+  }
   [[nodiscard]] bool down() const noexcept { return down_; }
+
+  /// Observer invoked on every up<->down transition (with the new state).
+  /// The Network installs one per link to flush datagram reassembly
+  /// state when a crash/partition takes the link down mid-train —
+  /// without it a Partial whose tail chunks died with the link leaks
+  /// until the next message on that directed pair.
+  using DownObserver = std::function<void(bool down)>;
+  void SetDownObserver(DownObserver observer) {
+    down_observer_ = std::move(observer);
+  }
 
   [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
@@ -169,6 +199,22 @@ class Link {
     Bytes size;
   };
 
+  /// Outcome of admitting one frame for transmission: the loss draws and
+  /// the computed delivery time. Shared by the event-scheduling (Send)
+  /// and synchronous (SendTimed) delivery paths so both consume the rng
+  /// identically.
+  struct Admission {
+    bool lost = false;
+    bool forced = false;
+    bool down = false;
+    SimTime deliver_at;
+  };
+
+  /// Books `size` bytes through the serialization FIFO, runs the forced/
+  /// Bernoulli/burst loss draws and the jitter draw (in that order), and
+  /// returns the verdict. Updates frames_sent/busy_time/backlog.
+  Admission Admit(Bytes size);
+
   /// Shared body of Send/SendGather; `tail` is empty for plain sends.
   void SendImpl(Frame head, Frame tail, DeliverFn on_delivered,
                 DropFn on_dropped);
@@ -178,6 +224,7 @@ class Link {
   LinkConfig config_;
   LinkStats stats_;
   Rng rng_;
+  DownObserver down_observer_;
   std::uint64_t force_drop_next_ = 0;
   std::uint64_t force_drop_skip_ = 0;
   bool down_ = false;

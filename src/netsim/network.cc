@@ -20,23 +20,40 @@ void Network::SetHandler(NodeId node, MessageHandler handler) {
 
 void Network::Connect(NodeId a, NodeId b, const LinkConfig& a_to_b,
                       const LinkConfig& b_to_a) {
-  COIC_CHECK(a < nodes_.size() && b < nodes_.size());
-  COIC_CHECK_MSG(a != b, "self-links are not supported");
-  COIC_CHECK_MSG(links_.count(EdgeKey(a, b)) == 0, "nodes already connected");
+  ConnectOneWay(a, b, a_to_b);
+  ConnectOneWay(b, a, b_to_a);
+}
+
+void Network::ConnectOneWay(NodeId from, NodeId to, const LinkConfig& config) {
+  COIC_CHECK(from < nodes_.size() && to < nodes_.size());
+  COIC_CHECK_MSG(from != to, "self-links are not supported");
+  COIC_CHECK_MSG(links_.count(EdgeKey(from, to)) == 0,
+                 "nodes already connected");
   // Decorrelate the loss/jitter rng per directed link: many links are
   // stamped from one shared LinkConfig (every wifi link, every peer link
   // of a regular topology), and with a shared seed they would drop
   // exactly the same frame indices — every probe of a broadcast round
   // lost together, which no real network exhibits. Links that never draw
-  // (loss 0, jitter 0) are unaffected.
-  LinkConfig forward = a_to_b;
-  LinkConfig reverse = b_to_a;
-  forward.seed ^= 0x9E3779B97F4A7C15ULL * (EdgeKey(a, b) + 1);
-  reverse.seed ^= 0x9E3779B97F4A7C15ULL * (EdgeKey(b, a) + 1);
-  links_[EdgeKey(a, b)] = std::make_unique<Link>(
-      sched_, nodes_[a].name + "->" + nodes_[b].name, forward);
-  links_[EdgeKey(b, a)] = std::make_unique<Link>(
-      sched_, nodes_[b].name + "->" + nodes_[a].name, reverse);
+  // (loss 0, jitter 0) are unaffected. The mix depends only on the
+  // directed pair, so per-shard networks (which build one direction per
+  // link) seed identically to the single-thread engine.
+  LinkConfig mixed = config;
+  mixed.seed ^= 0x9E3779B97F4A7C15ULL * (EdgeKey(from, to) + 1);
+  auto link = std::make_unique<Link>(
+      sched_, nodes_[from].name + "->" + nodes_[to].name, mixed);
+  // A crash/partition that takes the link down kills the tail of any
+  // datagram train mid-flight; drop the receiver's partial immediately
+  // instead of leaking it until the next message on this pair (which,
+  // after a crash, may never come).
+  link->SetDownObserver([this, from, to](bool down) {
+    if (down) FlushPartial(from, to);
+  });
+  links_[EdgeKey(from, to)] = std::move(link);
+}
+
+void Network::MarkRemote(NodeId node) {
+  COIC_CHECK(node < nodes_.size());
+  nodes_[node].remote = true;
 }
 
 Link& Network::LinkBetween(NodeId from, NodeId to) {
@@ -57,10 +74,30 @@ void Network::EnableDatagram(Bytes mtu) {
 
 void Network::Dispatch(NodeId from, NodeId to, Frame payload) {
   COIC_CHECK(to < nodes_.size());
+  COIC_CHECK_MSG(!nodes_[to].remote,
+                 "local dispatch to a remote node (send path missed the "
+                 "remote divert)");
   auto& handler = nodes_[to].handler;
   COIC_CHECK_MSG(handler != nullptr,
                  "frame delivered to node without a handler");
   handler(from, std::move(payload));
+}
+
+void Network::DeliverRemote(NodeId from, NodeId to, Frame payload) {
+  COIC_CHECK(to < nodes_.size());
+  COIC_CHECK_MSG(!nodes_[to].remote,
+                 "cross-shard frame arrived at a node this shard does not own");
+  auto& handler = nodes_[to].handler;
+  COIC_CHECK_MSG(handler != nullptr,
+                 "frame delivered to node without a handler");
+  handler(from, std::move(payload));
+}
+
+void Network::FlushPartial(NodeId from, NodeId to) {
+  const auto it = partials_.find(EdgeKey(from, to));
+  if (it == partials_.end()) return;
+  ++datagram_stats_.partials_discarded;
+  partials_.erase(it);
 }
 
 void Network::Send(NodeId from, NodeId to, Frame payload,
@@ -70,6 +107,16 @@ void Network::Send(NodeId from, NodeId to, Frame payload,
     return;
   }
   Link& link = LinkBetween(from, to);
+  if (nodes_[to].remote) {
+    COIC_CHECK_MSG(remote_dispatch_ != nullptr,
+                   "send to a remote node without a dispatch hook");
+    link.SendTimed(std::move(payload),
+                   [this, from, to](SimTime at, Frame delivered) {
+                     remote_dispatch_(from, to, at, std::move(delivered));
+                   },
+                   std::move(on_dropped));
+    return;
+  }
   link.Send(std::move(payload),
             [this, from, to](Frame delivered) {
               Dispatch(from, to, std::move(delivered));
@@ -86,6 +133,15 @@ void Network::SendGather(NodeId from, NodeId to, Frame head, Frame tail,
     w.WriteRaw(head.span());
     w.WriteRaw(tail.span());
     SendChunked(from, to, Frame(w.TakeBytes()), std::move(on_dropped));
+    return;
+  }
+  if (nodes_[to].remote) {
+    // Cross-shard gather flattens eagerly: the segments would be fused
+    // at receive time anyway, and the timed handoff wants one frame.
+    ByteWriter w(head.size() + tail.size());
+    w.WriteRaw(head.span());
+    w.WriteRaw(tail.span());
+    Send(from, to, Frame(w.TakeBytes()), std::move(on_dropped));
     return;
   }
   Link& link = LinkBetween(from, to);
@@ -135,16 +191,28 @@ void Network::SendChunked(NodeId from, NodeId to, Frame payload,
     w.PatchU32(16, static_cast<std::uint32_t>(w.size() -
                                               proto::kEnvelopeHeaderSize));
     ++datagram_stats_.chunks_sent;
-    link.Send(Frame(w.TakeBytes()),
-              [this, from, to](Frame delivered) {
-                OnChunkDelivered(from, to, delivered);
-              },
-              chunk_drop);
+    if (nodes_[to].remote) {
+      // Chunk trains to a remote node reassemble here on the sender's
+      // shard, synchronously in send order (links are FIFO, so send
+      // order is delivery order); the completed message rides the
+      // remote hook stamped with the last chunk's delivery time.
+      link.SendTimed(Frame(w.TakeBytes()),
+                     [this, from, to](SimTime at, Frame delivered) {
+                       OnChunkDelivered(from, to, delivered, at);
+                     },
+                     chunk_drop);
+    } else {
+      link.Send(Frame(w.TakeBytes()),
+                [this, from, to](Frame delivered) {
+                  OnChunkDelivered(from, to, delivered, sched_.now());
+                },
+                chunk_drop);
+    }
   }
 }
 
 void Network::OnChunkDelivered(NodeId from, NodeId to,
-                               const Frame& chunk_frame) {
+                               const Frame& chunk_frame, SimTime deliver_at) {
   const auto env = proto::DecodeEnvelopeView(chunk_frame.span());
   COIC_CHECK_MSG(env.ok(), "malformed datagram chunk envelope");
   const auto chunk = proto::DecodePayloadAs<proto::DatagramChunkView>(
@@ -189,7 +257,13 @@ void Network::OnChunkDelivered(NodeId from, NodeId to,
     Frame message(p.assembled.TakeBytes());
     partials_.erase(it);
     ++datagram_stats_.messages_reassembled;
-    Dispatch(from, to, std::move(message));
+    if (nodes_[to].remote) {
+      COIC_CHECK_MSG(remote_dispatch_ != nullptr,
+                     "send to a remote node without a dispatch hook");
+      remote_dispatch_(from, to, deliver_at, std::move(message));
+    } else {
+      Dispatch(from, to, std::move(message));
+    }
   }
 }
 

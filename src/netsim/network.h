@@ -48,7 +48,9 @@ struct DatagramStats {
   std::uint64_t chunks_sent = 0;
   std::uint64_t messages_reassembled = 0;
   /// Partials abandoned because a chunk went missing (detected when the
-  /// next message's first chunk arrives or a gap breaks the sequence).
+  /// next message's first chunk arrives or a gap breaks the sequence)
+  /// or because the link went down mid-train (flushed immediately — a
+  /// crashed pair may never see a next message).
   std::uint64_t partials_discarded = 0;
 };
 
@@ -73,6 +75,41 @@ class Network {
   void Connect(NodeId a, NodeId b, const LinkConfig& both) {
     Connect(a, b, both, both);
   }
+
+  /// Creates only the directed from->to link. The sharded engine builds
+  /// each shard's Network with exactly the links whose *sender* the
+  /// shard owns; the per-link rng seed mixing is identical to Connect's,
+  /// so a sharded cluster draws the same loss/jitter sequence per link
+  /// as the single-thread engine.
+  void ConnectOneWay(NodeId from, NodeId to, const LinkConfig& config);
+
+  /// Marks `node` as owned by another shard: frames sent to it still run
+  /// the full local link model (serialization, loss, jitter), but the
+  /// surviving frame is handed to the remote-dispatch hook synchronously
+  /// at *send* time, stamped with its computed delivery time — the
+  /// conservative-PDES handoff that gives the receiving shard a full
+  /// lookahead window of warning. Reassembled datagram trains cross as
+  /// one message; chunks never ride the hook.
+  void MarkRemote(NodeId node);
+  [[nodiscard]] bool IsRemote(NodeId node) const {
+    return nodes_.at(node).remote;
+  }
+  /// One hook per Network: receives (from, to, deliver_at, payload) for
+  /// every surviving frame addressed to a remote node. The sharded
+  /// engine enqueues it on the owning shard's inbox; that shard
+  /// schedules the arrival at deliver_at on its own clock.
+  using RemoteDispatchFn =
+      std::function<void(NodeId from, NodeId to, SimTime deliver_at,
+                         Frame payload)>;
+  void SetRemoteDispatch(RemoteDispatchFn fn) {
+    remote_dispatch_ = std::move(fn);
+  }
+
+  /// Entry point for frames arriving from another shard: invokes `to`'s
+  /// local handler directly. The sending shard already modeled the link
+  /// (this is the receiving half of the remote-dispatch hook), so no
+  /// further delay applies here.
+  void DeliverRemote(NodeId from, NodeId to, Frame payload);
 
   /// The directed link from->to. CHECK-fails if the nodes are not
   /// adjacent; topology is static after setup by design.
@@ -124,6 +161,8 @@ class Network {
   struct NodeState {
     std::string name;
     MessageHandler handler;
+    /// Owned by another shard: deliveries route via remote_dispatch_.
+    bool remote = false;
   };
 
   /// In-progress reassembly for one directed pair. Links are FIFO, so at
@@ -141,7 +180,8 @@ class Network {
     return (static_cast<std::uint64_t>(from) << 32) | to;
   }
 
-  /// Delivers a frame to `to`'s handler (terminal step of every Send).
+  /// Delivers a frame to `to`'s local handler (terminal step of every
+  /// local Send; remote destinations divert to the hook before this).
   void Dispatch(NodeId from, NodeId to, Frame payload);
 
   /// Fragments `payload` into kDatagramChunk frames on the from->to link.
@@ -149,12 +189,21 @@ class Network {
                    Link::DropFn on_dropped);
 
   /// Feeds a delivered kDatagramChunk into the pair's reassembly state;
-  /// dispatches the original message when the last chunk lands.
-  void OnChunkDelivered(NodeId from, NodeId to, const Frame& chunk_frame);
+  /// dispatches the original message when the last chunk lands (to the
+  /// remote hook, stamped `deliver_at`, when `to` is remote — chunk
+  /// trains reassemble entirely on the sender's shard).
+  void OnChunkDelivered(NodeId from, NodeId to, const Frame& chunk_frame,
+                        SimTime deliver_at);
+
+  /// Abandons the directed pair's in-progress reassembly (link went
+  /// down: the train's remaining chunks are dead). Counted in
+  /// partials_discarded.
+  void FlushPartial(NodeId from, NodeId to);
 
   EventScheduler& sched_;
   std::vector<NodeState> nodes_;
   std::unordered_map<std::uint64_t, std::unique_ptr<Link>> links_;
+  RemoteDispatchFn remote_dispatch_;
   DatagramConfig datagram_;
   DatagramStats datagram_stats_;
   /// Per directed pair: next fragmentation sequence number (sender side)

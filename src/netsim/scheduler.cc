@@ -1,8 +1,11 @@
 #include "netsim/scheduler.h"
 
+#include <utility>
+
 namespace coic::netsim {
 
 EventId EventScheduler::ScheduleAt(SimTime when, Action action) {
+  CheckOwner();
   COIC_CHECK_MSG(when >= now_, "cannot schedule into the simulated past");
   COIC_CHECK(action != nullptr);
   const EventId id = next_id_++;
@@ -12,12 +15,27 @@ EventId EventScheduler::ScheduleAt(SimTime when, Action action) {
 }
 
 bool EventScheduler::Cancel(EventId id) {
+  CheckOwner();
   if (id == 0 || id >= next_id_) return false;
-  std::uint8_t& state = state_[id - 1];
+  if (id <= state_base_) return false;  // compacted away: already fired
+  std::uint8_t& state = state_[SlotFor(id)];
   if (state != kPending) return false;  // fired or already cancelled
   state = kCancelled;
   ++cancelled_count_;
   return true;
+}
+
+void EventScheduler::MaybeCompact() {
+  if (retired_floor_ < kCompactMin || retired_floor_ < state_.size() / 2) {
+    return;
+  }
+  std::vector<std::uint8_t> live(state_.begin() +
+                                     static_cast<std::ptrdiff_t>(retired_floor_),
+                                 state_.end());
+  state_ = std::move(live);
+  state_base_ += retired_floor_;
+  retired_floor_ = 0;
+  ++compactions_;
 }
 
 bool EventScheduler::FireTop() {
@@ -25,9 +43,20 @@ bool EventScheduler::FireTop() {
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = ev.when;
-  std::uint8_t& state = state_[ev.id - 1];
+  const std::size_t slot = SlotFor(ev.id);
+  std::uint8_t& state = state_[slot];
   const bool was_cancelled = state == kCancelled;
   state = kRetired;
+  if (slot == retired_floor_) {
+    // Advance the watermark over every contiguously-retired slot, then
+    // compact if the retired prefix dominates. Amortized O(1) per event:
+    // each slot is scanned once and copied at most once per compaction.
+    while (retired_floor_ < state_.size() &&
+           state_[retired_floor_] == kRetired) {
+      ++retired_floor_;
+    }
+    MaybeCompact();
+  }
   if (was_cancelled) {
     --cancelled_count_;
     return false;  // cancelled: clock still advances, action does not run
@@ -38,6 +67,7 @@ bool EventScheduler::FireTop() {
 }
 
 bool EventScheduler::Step() {
+  CheckOwner();
   // Skip over cancelled events so Step() observably fires one action.
   while (!queue_.empty()) {
     if (FireTop()) return true;
@@ -46,6 +76,7 @@ bool EventScheduler::Step() {
 }
 
 std::uint64_t EventScheduler::Run() {
+  CheckOwner();
   std::uint64_t fired = 0;
   while (!queue_.empty()) {
     if (FireTop()) ++fired;
@@ -54,6 +85,7 @@ std::uint64_t EventScheduler::Run() {
 }
 
 std::uint64_t EventScheduler::RunUntil(SimTime deadline) {
+  CheckOwner();
   std::uint64_t fired = 0;
   while (!queue_.empty() && queue_.top().when <= deadline) {
     if (FireTop()) ++fired;

@@ -10,14 +10,22 @@
 // event is discarded when it reaches the top of the heap. Ids are dense
 // (1, 2, 3, ...) so event state lives in a flat vector indexed by id —
 // one byte per event ever scheduled, no hash-set insert/erase on the
-// schedule/fire hot path. The open-loop throughput replays schedule a
-// few million events per run, so that byte array stays in the MB range
-// and the per-event cost is two vector writes.
+// schedule/fire hot path. The byte vector does not grow forever: once
+// every id below a watermark has retired, the prefix is compacted away
+// and lookups index relative to a base offset — long soaks (1M+ ops per
+// shard) hold a bounded window of live state, not one byte per event
+// ever scheduled.
+//
+// Sharded execution (netsim/shard.h) runs one scheduler per worker
+// thread. A scheduler is still strictly single-threaded: BindOwnerThread
+// arms an ownership check so Schedule/Cancel off the owning shard's
+// thread CHECK-fail instead of racing.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
@@ -47,6 +55,15 @@ class EventScheduler {
   /// divide this by wall time for the simulator's own events/sec.
   [[nodiscard]] std::uint64_t total_fired() const noexcept { return total_fired_; }
 
+  /// Earliest queued event's time in microseconds, or INT64_MAX when the
+  /// queue is empty. Cancelled events count — popping them still advances
+  /// the clock. The sharded engine's barrier step uses this to skip idle
+  /// stretches (a window whose earliest event is seconds away would
+  /// otherwise burn thousands of empty barrier rounds).
+  [[nodiscard]] std::int64_t NextEventMicros() const noexcept {
+    return queue_.empty() ? INT64_MAX : queue_.top().when.micros();
+  }
+
   /// Schedules `action` at absolute time `when`; `when` must not be in
   /// the simulated past.
   EventId ScheduleAt(SimTime when, Action action);
@@ -71,6 +88,29 @@ class EventScheduler {
   /// periodic sources can be re-armed by the caller).
   std::uint64_t RunUntil(SimTime deadline);
 
+  /// Arms the shard-ownership check: from now on ScheduleAt/Cancel (and
+  /// the Run* loops) CHECK-fail unless called from the calling thread.
+  /// The sharded engine binds each shard's scheduler at worker start so
+  /// a cross-shard Schedule is an immediate, attributable crash instead
+  /// of a data race.
+  void BindOwnerThread() noexcept {
+    owner_ = std::this_thread::get_id();
+    owner_armed_ = true;
+  }
+  /// Disarms the ownership check (end of a sharded run; the pipeline's
+  /// single-threaded epilogue may then inspect freely).
+  void ClearOwnerThread() noexcept { owner_armed_ = false; }
+
+  /// Bytes currently held by the per-event state vector — the watermark
+  /// compaction's bounded-memory contract, pinned by tests.
+  [[nodiscard]] std::size_t state_bytes() const noexcept {
+    return state_.capacity();
+  }
+  /// Watermark compactions performed so far.
+  [[nodiscard]] std::uint64_t compactions() const noexcept {
+    return compactions_;
+  }
+
  private:
   struct Event {
     SimTime when;
@@ -86,19 +126,50 @@ class EventScheduler {
 
   enum : std::uint8_t { kPending = 0, kCancelled = 1, kRetired = 2 };
 
+  /// Compaction triggers once the all-retired prefix reaches this many
+  /// slots (and at least half the vector) — large enough that short runs
+  /// never pay the copy, small enough that live state stays in the
+  /// ~100 KB range regardless of how many events a soak schedules.
+  static constexpr std::size_t kCompactMin = 1u << 16;
+
   /// Pops and retires the top event; runs its action unless cancelled.
   /// Returns true iff the action ran.
   bool FireTop();
 
+  void CheckOwner() const {
+    COIC_CHECK_MSG(!owner_armed_ || owner_ == std::this_thread::get_id(),
+                   "scheduler touched off its owning shard thread");
+  }
+
+  /// state_ slot for `id`, valid only for ids above the compaction
+  /// watermark (ids at or below state_base_ are retired by definition).
+  [[nodiscard]] std::size_t SlotFor(EventId id) const noexcept {
+    return static_cast<std::size_t>(id - 1) - state_base_;
+  }
+
+  /// Drops the all-retired prefix once it dominates the vector. Swaps
+  /// into a right-sized vector (erase alone keeps the old capacity, so
+  /// memory would still high-water).
+  void MaybeCompact();
+
   SimTime now_ = SimTime::Epoch();
   EventId next_id_ = 1;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  /// state_[id - 1] for every id ever issued — distinguishes "pending"
-  /// from "cancelled" from "fired/never existed" without per-event
-  /// hash-set bookkeeping.
+  /// state_[id - 1 - state_base_] for every live id — distinguishes
+  /// "pending" from "cancelled" from "fired/never existed" without
+  /// per-event hash-set bookkeeping. Ids <= state_base_ were compacted
+  /// away (all retired).
   std::vector<std::uint8_t> state_;
+  /// Ids at or below this watermark are retired and compacted away.
+  std::size_t state_base_ = 0;
+  /// Index into state_ of the first slot not known retired; everything
+  /// before it is retired and eligible for compaction.
+  std::size_t retired_floor_ = 0;
+  std::uint64_t compactions_ = 0;
   std::size_t cancelled_count_ = 0;
   std::uint64_t total_fired_ = 0;
+  std::thread::id owner_;
+  bool owner_armed_ = false;
 };
 
 }  // namespace coic::netsim

@@ -1,0 +1,69 @@
+// Unbounded single-producer / single-consumer FIFO.
+//
+// The sharded engine (netsim/shard.h) wires one of these per directed
+// shard pair: exactly one worker ever pushes and exactly one ever pops,
+// so a stub-node linked list with a single release/acquire edge per
+// element is enough — no CAS loops, no capacity tuning, no backpressure
+// (the barrier protocol bounds occupancy to one window's traffic).
+//
+// Thread contract:
+//  - Push: producer thread only.
+//  - Pop:  consumer thread only.
+//  - Construction and destruction: externally synchronized (the runner
+//    builds queues before workers start and destroys them after joins).
+#pragma once
+
+#include <atomic>
+#include <utility>
+
+namespace coic::netsim {
+
+template <typename T>
+class SpscQueue {
+ public:
+  SpscQueue() : head_(new Node()), tail_(head_) {}
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  ~SpscQueue() {
+    Node* n = head_;
+    while (n != nullptr) {
+      Node* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+  }
+
+  /// Producer side. The release store on the predecessor's `next` is the
+  /// edge the consumer's acquire load pairs with; `value` is fully
+  /// visible to the consumer after a successful Pop.
+  void Push(T value) {
+    Node* n = new Node(std::move(value));
+    tail_->next.store(n, std::memory_order_release);
+    tail_ = n;
+  }
+
+  /// Consumer side. Returns false when the queue is (momentarily) empty.
+  bool Pop(T& out) {
+    Node* next = head_->next.load(std::memory_order_acquire);
+    if (next == nullptr) return false;
+    out = std::move(next->value);
+    delete head_;
+    head_ = next;  // `next` becomes the new stub; its value is moved-from
+    return true;
+  }
+
+ private:
+  struct Node {
+    Node() = default;
+    explicit Node(T v) : value(std::move(v)) {}
+    std::atomic<Node*> next{nullptr};
+    T value{};
+  };
+
+  Node* head_;  ///< Consumer-owned stub; its value is already consumed.
+  Node* tail_;  ///< Producer-owned.
+};
+
+}  // namespace coic::netsim

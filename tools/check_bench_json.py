@@ -57,10 +57,84 @@ def check_phase_breakdown_row(i, row, errors):
         errors.append(f"row {i} p50_us {p50} exceeds p99_us {p99}")
 
 
+def check_sharded_storm_row(i, row, errors):
+    """Schema for the multi-core engine's aggregate rows.
+
+    Conservation is the contract (drained == operations — a sharded run
+    that loses or duplicates an operation is a synchronizer bug); the
+    wall-clock speedup is intentionally NOT checked, because it depends
+    on the host's core count and CI may run single-core.
+    """
+    for key in (
+        "workers",
+        "mode",
+        "operations",
+        "drained",
+        "sync_windows",
+        "cross_shard_messages",
+        "events_per_sec",
+    ):
+        if key not in row:
+            errors.append(f'row {i} lacks sharded-storm key "{key}"')
+    if row.get("mode") not in ("deterministic", "fast"):
+        errors.append(f"row {i} unknown sharded mode {row.get('mode')!r}")
+    workers = row.get("workers")
+    if isinstance(workers, int) and workers < 2:
+        errors.append(f"row {i} sharded_storm with workers {workers}")
+    ops, drained = row.get("operations"), row.get("drained")
+    if isinstance(ops, int) and isinstance(drained, int) and drained != ops:
+        errors.append(f"row {i} did not drain: {drained} of {ops} operations")
+
+
+def check_sharded_worker_row(i, row, errors):
+    """Schema for the per-worker-thread events/sec rows."""
+    for key in ("workers", "worker", "events_fired", "events_per_sec"):
+        if key not in row:
+            errors.append(f'row {i} lacks sharded-worker key "{key}"')
+    worker, workers = row.get("worker"), row.get("workers")
+    if (
+        isinstance(worker, int)
+        and isinstance(workers, int)
+        and not 0 <= worker < workers
+    ):
+        errors.append(f"row {i} worker {worker} outside [0, {workers})")
+
+
 def check_throughput_replay_row(i, row, errors):
     """Bench-specific schema for BENCH_throughput_replay.json rows."""
     if row.get("section") == "phase_breakdown":
         check_phase_breakdown_row(i, row, errors)
+    if row.get("regime") == "sharded_storm":
+        check_sharded_storm_row(i, row, errors)
+    if row.get("section") == "sharded_worker":
+        check_sharded_worker_row(i, row, errors)
+    if (
+        row.get("row") == "sharded-determinism"
+        and row.get("outcome_mismatch") != 0
+    ):
+        errors.append(
+            f"row {i} sharded replay diverged from single-thread: "
+            f"outcome_mismatch {row.get('outcome_mismatch')!r}"
+        )
+
+
+def check_throughput_replay_file(rows, errors):
+    """The sharded rows are load-bearing (multi-core scaling trajectory):
+    a run without them means the sharded path silently stopped being
+    exercised."""
+    regimes = {row.get("regime") for row in rows if isinstance(row, dict)}
+    if "sharded_storm" not in regimes:
+        errors.append("missing sharded_storm rows")
+    if not any(
+        isinstance(row, dict) and row.get("section") == "sharded_worker"
+        for row in rows
+    ):
+        errors.append("missing per-worker sharded rows")
+    if not any(
+        isinstance(row, dict) and row.get("row") == "sharded-determinism"
+        for row in rows
+    ):
+        errors.append("missing sharded-determinism row")
 
 
 def check_loss_sweep_row(i, row, errors):
@@ -164,6 +238,7 @@ BENCH_ROW_CHECKS = {
 # hand — for invariants that compare rows against each other.
 BENCH_FILE_CHECKS = {
     "chaos_soak": check_chaos_soak_file,
+    "throughput_replay": check_throughput_replay_file,
 }
 
 # Benches whose traced run must have produced per-phase rows: a missing
