@@ -113,6 +113,37 @@ void BM_EnvelopeDecodeView(benchmark::State& state) {
 }
 BENCHMARK(BM_EnvelopeDecodeView)->Arg(1024)->Arg(256 * 1024)->Arg(2 * 1024 * 1024);
 
+void BM_ControlFrameEncodeArenaVsPlain(benchmark::State& state) {
+  // Small control frames (peer probes, probe replies, region digests)
+  // dominate allocation churn at 64+ venues. The arena path recycles
+  // the backing buffer of the previous frame; the plain path allocates
+  // fresh every time. Wire bytes are identical.
+  const bool use_arena = state.range(0) != 0;
+  proto::PeerLookupRequest query;
+  query.descriptor = proto::FeatureDescriptor::ForHash(proto::TaskKind::kRender,
+                                                       Digest128{7, 9});
+  query.reply_type = proto::MessageType::kRenderResult;
+  FrameArena arena;
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    ++id;
+    if (use_arena) {
+      Frame f = arena.Seal(proto::EncodeMessageInto(
+          arena.Acquire(proto::kEnvelopeHeaderSize +
+                        static_cast<std::size_t>(query.WireSize())),
+          proto::MessageType::kPeerLookupRequest, id, query));
+      benchmark::DoNotOptimize(f);
+    } else {
+      Frame f(proto::EncodeMessage(proto::MessageType::kPeerLookupRequest, id,
+                                   query));
+      benchmark::DoNotOptimize(f);
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(use_arena ? "arena" : "plain");
+}
+BENCHMARK(BM_ControlFrameEncodeArenaVsPlain)->Arg(0)->Arg(1);
+
 void BM_NetworkBroadcastFanout(benchmark::State& state) {
   // One encoded frame fanned to 8 links — the gossip/relay broadcast
   // shape. With refcounted frames the payload is never duplicated
@@ -460,6 +491,48 @@ void EmitMicroJson() {
         .Set("frame_copies", frame_stats().copies() - copies_before)
         .Set("frame_bytes_copied",
              frame_stats().bytes_copied() - copy_bytes_before);
+  }
+  {
+    // Arena vs plain encode of a small control frame (a peer probe):
+    // the per-frame allocation the two-tier gossip/probe planes shed at
+    // scale. Wire bytes are identical; the arena loop must also stay
+    // copy-free (recycling is a buffer reuse, never a memcpy).
+    proto::PeerLookupRequest query;
+    query.descriptor = proto::FeatureDescriptor::ForHash(
+        proto::TaskKind::kRender, Digest128{7, 9});
+    query.reply_type = proto::MessageType::kRenderResult;
+    constexpr int kFrames = 200'000;
+    const auto plain_start = Clock::now();
+    for (int i = 0; i < kFrames; ++i) {
+      Frame f(proto::EncodeMessage(proto::MessageType::kPeerLookupRequest,
+                                   static_cast<std::uint64_t>(i), query));
+      benchmark::DoNotOptimize(f);
+    }
+    const double plain_secs =
+        std::chrono::duration<double>(Clock::now() - plain_start).count();
+    FrameArena arena;
+    const std::uint64_t copies_before = frame_stats().copies();
+    const auto arena_start = Clock::now();
+    for (int i = 0; i < kFrames; ++i) {
+      Frame f = arena.Seal(proto::EncodeMessageInto(
+          arena.Acquire(proto::kEnvelopeHeaderSize +
+                        static_cast<std::size_t>(query.WireSize())),
+          proto::MessageType::kPeerLookupRequest,
+          static_cast<std::uint64_t>(i), query));
+      benchmark::DoNotOptimize(f);
+    }
+    const double arena_secs =
+        std::chrono::duration<double>(Clock::now() - arena_start).count();
+    COIC_CHECK_MSG(frame_stats().copies() == copies_before,
+                   "arena encode must not copy frame bytes");
+    COIC_CHECK_MSG(arena.reuses() > 0, "warm arena must recycle buffers");
+    json.AddRow()
+        .Set("path", "control_frame_encode_arena_vs_plain")
+        .Set("plain_ns_per_frame", plain_secs * 1e9 / kFrames)
+        .Set("arena_ns_per_frame", arena_secs * 1e9 / kFrames)
+        .Set("arena_reuses", arena.reuses())
+        .Set("arena_allocations", arena.allocations())
+        .Set("frame_copies", frame_stats().copies() - copies_before);
   }
   double disabled_ns_per_site = 0;
   {

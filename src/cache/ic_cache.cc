@@ -169,8 +169,28 @@ void IcCache::RemoveEntry(EntryId id, bool count_as_eviction,
 void IcCache::EvictUntilFits(EntryId candidate) {
   if (config_.capacity_bytes == 0) return;
   while (bytes_used_ > config_.capacity_bytes && !entries_.empty()) {
-    const auto victim = policy_->Victim();
+    auto victim = policy_->Victim();
     COIC_CHECK_MSG(victim.has_value(), "policy lost track of entries");
+    if (config_.replicated_hint && config_.replication_scan_depth > 0) {
+      // Peer-aware steering: among the policy's next few picks, prefer
+      // an entry a 1-hop peer already advertises — its re-reference is
+      // a cheap peer probe, not a cloud round trip. The newcomer is
+      // never steered onto (admission, below, owns that decision).
+      const auto near = policy_->VictimCandidates(config_.replication_scan_depth);
+      for (const EntryId cand : near) {
+        if (cand == candidate) continue;
+        const auto it = entries_.find(cand);
+        if (it == entries_.end() ||
+            it->second.key.kind() != DescriptorKind::kContentHash) {
+          continue;
+        }
+        if (config_.replicated_hint(it->second.key.IndexKey())) {
+          if (cand != *victim) ++stats_.unique_spared;
+          victim = cand;
+          break;
+        }
+      }
+    }
     if (admission_ && candidate != 0 && *victim != candidate) {
       const auto candidate_it = entries_.find(candidate);
       const auto victim_it = entries_.find(*victim);

@@ -57,6 +57,15 @@ struct IcCacheConfig {
   /// feature only delta-summary consumers use; FederationPipeline
   /// auto-enables a 4096-entry journal when delta gossip is on.
   std::size_t journal_capacity = 0;
+  /// Peer-aware eviction: when set, the cache consults this predicate
+  /// (content-hash index key -> "a 1-hop peer advertises it") while
+  /// choosing eviction victims, steering onto a replicated entry within
+  /// the policy's next `replication_scan_depth` candidates. Evicting
+  /// replicated content costs a cheap peer probe on re-reference;
+  /// evicting a unique entry costs a cloud round trip. Null (default)
+  /// keeps the policy's choice bit-for-bit.
+  std::function<bool(std::uint64_t)> replicated_hint;
+  std::size_t replication_scan_depth = 4;
 };
 
 /// One content-hash key change recorded by the IcCache journal.
@@ -73,6 +82,9 @@ struct IcCacheStats {
   std::uint64_t evictions = 0;    ///< Capacity-driven removals.
   std::uint64_t expirations = 0;  ///< TTL-driven removals.
   std::uint64_t admission_rejects = 0;  ///< Candidates TinyLFU bounced.
+  /// Evictions steered onto a peer-replicated entry, sparing the
+  /// policy's first pick (which no 1-hop peer advertised).
+  std::uint64_t unique_spared = 0;
 
   [[nodiscard]] double HitRate() const noexcept {
     const auto total = hits + misses;

@@ -40,6 +40,15 @@ std::optional<EntryId> LruPolicy::Victim() const {
   return order_.back();
 }
 
+std::vector<EntryId> LruPolicy::VictimCandidates(std::size_t n) const {
+  std::vector<EntryId> out;
+  out.reserve(std::min(n, order_.size()));
+  for (auto it = order_.rbegin(); it != order_.rend() && out.size() < n; ++it) {
+    out.push_back(*it);
+  }
+  return out;
+}
+
 // --------------------------------- FIFO ------------------------------------
 
 void FifoPolicy::OnInsert(EntryId id) {

@@ -13,6 +13,7 @@
 #include <optional>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 
@@ -42,6 +43,17 @@ class EvictionPolicy {
   /// The entry the policy would evict next; nullopt if empty.
   [[nodiscard]] virtual std::optional<EntryId> Victim() const = 0;
 
+  /// Up to `n` victims in eviction order (Victim() first). The default
+  /// exposes only the head — policies that can enumerate cheaply
+  /// override it so the cache's peer-aware eviction has a window of
+  /// near-equivalent victims to steer within.
+  [[nodiscard]] virtual std::vector<EntryId> VictimCandidates(
+      std::size_t n) const {
+    const auto v = Victim();
+    if (!v || n == 0) return {};
+    return {*v};
+  }
+
   [[nodiscard]] virtual std::string_view name() const noexcept = 0;
   [[nodiscard]] virtual std::size_t tracked() const noexcept = 0;
 };
@@ -53,6 +65,8 @@ class LruPolicy final : public EvictionPolicy {
   void OnAccess(EntryId id) override;
   void OnErase(EntryId id) override;
   [[nodiscard]] std::optional<EntryId> Victim() const override;
+  [[nodiscard]] std::vector<EntryId> VictimCandidates(
+      std::size_t n) const override;
   [[nodiscard]] std::string_view name() const noexcept override { return "lru"; }
   [[nodiscard]] std::size_t tracked() const noexcept override { return pos_.size(); }
 

@@ -26,6 +26,11 @@ class ByteWriter {
  public:
   ByteWriter() = default;
   explicit ByteWriter(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+  /// Adopts `recycled`'s heap buffer (cleared, capacity kept) so pooled
+  /// control-frame encodes skip the allocation once the pool is warm.
+  explicit ByteWriter(ByteVec&& recycled) : buf_(std::move(recycled)) {
+    buf_.clear();
+  }
 
   void WriteU8(std::uint8_t v) { buf_.push_back(v); }
   void WriteU16(std::uint16_t v) { AppendLE(&v, 2); }

@@ -76,6 +76,16 @@ class Frame {
     return Frame(std::move(bytes));
   }
 
+  /// Adopts an already-shared buffer (no copy) — the FrameArena seal
+  /// path, where the shared_ptr carries a custom deleter that recycles
+  /// the buffer instead of freeing it. The pointee must have been
+  /// allocated non-const (see the adopting constructor's note on
+  /// MutableSpan).
+  [[nodiscard]] static Frame FromShared(std::shared_ptr<const ByteVec> buf) {
+    const std::size_t size = buf ? buf->size() : 0;
+    return Frame(std::move(buf), 0, size);
+  }
+
   /// Duplicates `bytes` into a fresh buffer. Counted in frame_stats() —
   /// this is the escape hatch, not the default.
   [[nodiscard]] static Frame Copy(std::span<const std::uint8_t> bytes);
@@ -145,6 +155,46 @@ class Frame {
   std::shared_ptr<const ByteVec> buf_;
   std::size_t offset_ = 0;
   std::size_t size_ = 0;
+};
+
+/// Buffer pool for small control frames (peer probes, summary acks,
+/// region digests). These are encoded at high rate, fanned out by
+/// refcount, and dropped microseconds later — so the heap churn is pure
+/// allocator traffic for buffers of near-identical size. The arena hands
+/// out ByteVecs whose capacity survives recycling: Acquire() pops a
+/// warm buffer (or allocates on a cold start), Seal() wraps the encoded
+/// bytes in a Frame whose deleter pushes the buffer back onto the free
+/// list when the last holder drops it. Only the shared_ptr control
+/// block remains a per-frame allocation.
+///
+/// Thread-safety: the free list is mutex-protected because a frame's
+/// last reference may drop on a different shard thread than the one
+/// that acquired the buffer (cross-shard gossip). The deleter holds a
+/// shared_ptr to the free list, so destroying the arena while sealed
+/// frames are still in flight is safe — late returns land on the
+/// orphaned list and are freed with it.
+class FrameArena {
+ public:
+  /// `max_free` bounds the free list; buffers returned beyond it are
+  /// simply freed.
+  explicit FrameArena(std::size_t max_free = 64);
+
+  /// A cleared buffer, reserving `reserve` bytes, with capacity retained
+  /// from a previously recycled control frame when one is available.
+  [[nodiscard]] ByteVec Acquire(std::size_t reserve);
+
+  /// Wraps `bytes` in a Frame whose backing buffer returns to this
+  /// arena's free list when the last holder drops it.
+  [[nodiscard]] Frame Seal(ByteVec&& bytes);
+
+  /// Buffers handed out from the free list (vs freshly allocated).
+  [[nodiscard]] std::uint64_t reuses() const;
+  /// Cold-start allocations made by Acquire().
+  [[nodiscard]] std::uint64_t allocations() const;
+
+ private:
+  struct FreeList;
+  std::shared_ptr<FreeList> list_;
 };
 
 }  // namespace coic

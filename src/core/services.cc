@@ -260,7 +260,9 @@ EdgeService::EdgeService(Config config, SendFn send, DelayFn delay, NowFn now)
       overload_sheds_(Metric("overload_sheds")),
       deadline_sheds_(Metric("deadline_sheds")),
       breaker_opens_(Metric("breaker_opens")),
-      breaker_sheds_(Metric("breaker_sheds")) {}
+      breaker_sheds_(Metric("breaker_sheds")),
+      peer_adoptions_skipped_(Metric("peer_adoptions_skipped")),
+      peer_probes_parked_(Metric("peer_probes_parked")) {}
 
 void EdgeService::Park(std::uint64_t request_id, PendingForward pending) {
   COIC_CHECK_MSG(pending_.count(request_id) == 0,
@@ -299,6 +301,62 @@ std::uint64_t EdgeService::CoalesceKey(
 
 void EdgeService::ReleaseCoalesceKey(const std::optional<std::uint64_t>& key) {
   if (key) inflight_keys_.erase(*key);
+}
+
+Frame EdgeService::EncodePeerLookupReplyFrame(
+    std::uint64_t request_id, bool found, MessageType reply_type,
+    std::span<const std::uint8_t> payload) {
+  // Single-buffer encode of the PeerLookupReply envelope (field order
+  // mirrors PeerLookupReply::Encode; pinned by a test) — the payload is
+  // copied exactly once, onto the wire. With an arena configured the
+  // buffer itself is recycled; wire bytes are identical either way.
+  const std::size_t reserve =
+      proto::kEnvelopeHeaderSize + 1 + 1 + 4 + payload.size();
+  ByteWriter w = config_.frame_arena
+                     ? ByteWriter(config_.frame_arena->Acquire(reserve))
+                     : ByteWriter(reserve);
+  proto::AppendEnvelopeHeader(
+      w, MessageType::kPeerLookupReply, request_id,
+      static_cast<std::uint32_t>(1 + 1 + 4 + payload.size()));
+  w.WriteU8(found ? 1 : 0);
+  w.WriteU8(static_cast<std::uint8_t>(reply_type));
+  w.WriteBlob(payload);
+  return config_.frame_arena ? config_.frame_arena->Seal(w.TakeBytes())
+                             : Frame(w.TakeBytes());
+}
+
+void EdgeService::AnswerRemoteWaiters(const std::vector<RemoteWaiter>& waiters,
+                                      bool found, const Frame& payload) {
+  if (waiters.empty() || !config_.peer_send) return;
+  for (const RemoteWaiter& rw : waiters) {
+    // Each prober gets a reply under its own probe request id — exactly
+    // the frame an immediate miss/hit answer would have produced.
+    config_.peer_send(
+        rw.peer, EncodePeerLookupReplyFrame(
+                     rw.request_id, found, rw.reply_type,
+                     found ? payload.span() : std::span<const std::uint8_t>{}));
+  }
+}
+
+void EdgeService::NoteKeyUse(std::uint64_t coalesce_key) {
+  if (config_.peer_hit_adopt_min_uses == 0) return;
+  // Bounded: old keys age out FIFO, so a workload with more distinct
+  // keys than the cap degrades toward "always adopt", never grows.
+  constexpr std::size_t kKeyUseCapacity = 16384;
+  const auto [it, inserted] = key_uses_.try_emplace(coalesce_key, 0u);
+  ++it->second;
+  if (inserted) {
+    key_uses_fifo_.push_back(coalesce_key);
+    while (key_uses_fifo_.size() > kKeyUseCapacity) {
+      key_uses_.erase(key_uses_fifo_.front());
+      key_uses_fifo_.pop_front();
+    }
+  }
+}
+
+std::uint32_t EdgeService::KeyUses(std::uint64_t coalesce_key) const noexcept {
+  const auto it = key_uses_.find(coalesce_key);
+  return it == key_uses_.end() ? 0u : it->second;
 }
 
 void EdgeService::ServeWaiters(const std::vector<std::uint64_t>& waiters,
@@ -368,6 +426,9 @@ void EdgeService::ShedPending(std::uint64_t request_id, PendingForward pending,
                               StatusCode code, const char* message,
                               const char* annotation) {
   ReleaseCoalesceKey(pending.coalesce_key);
+  // Parked peer probes get a definitive miss so the prober falls
+  // through to its own cloud path instead of timing out.
+  AnswerRemoteWaiters(pending.remote_waiters, false, Frame());
   ShedToClient(request_id, code, message, annotation);
   if (pending.waiters.empty()) return;
   // Waiters inherit the shed verdict: their clients degrade locally the
@@ -532,6 +593,7 @@ void EdgeService::HandleCloudFetchFailure(std::uint64_t request_id) {
   if (!found) {
     ReleaseCoalesceKey(dead.coalesce_key);
     FailWaiters(dead.waiters, err_payload);
+    AnswerRemoteWaiters(dead.remote_waiters, false, Frame());
     return;
   }
   ++leader_promotions_;
@@ -545,6 +607,9 @@ void EdgeService::HandleCloudFetchFailure(std::uint64_t request_id) {
   promoted.coalesce_key = dead.coalesce_key;
   promoted.waiters.assign(dead.waiters.begin() + static_cast<std::ptrdiff_t>(pos) + 1,
                           dead.waiters.end());
+  // Parked peer probes follow the key, not the dead leader: the
+  // promoted fetch answers them when it resolves.
+  promoted.remote_waiters = std::move(dead.remote_waiters);
   if (dead.coalesce_key) inflight_keys_[*dead.coalesce_key] = new_leader;
   Frame original = std::move(promoted.original);
   ForwardToCloud(std::move(original), std::move(promoted));
@@ -650,6 +715,10 @@ void EdgeService::OnLocalMiss(Frame frame,
   const std::uint64_t request_id = proto::PeekRequestId(frame.span());
   const MessageType request_type = proto::PeekMessageType(frame.span());
 
+  // Adoption-filter bookkeeping: every local miss counts as a use of
+  // the key, including the one being processed right now.
+  if (config_.peer_hit_adopt_min_uses > 0) NoteKeyUse(CoalesceKey(descriptor));
+
   // Admission control: a full pending queue sheds new misses up front —
   // an O(1) overload reply instead of another entry in a queue the edge
   // is already failing to drain. Cache hits never reach here, so an
@@ -722,8 +791,15 @@ void EdgeService::OnLocalMiss(Frame frame,
       query.descriptor = descriptor;
       query.reply_type = reply_type;
       // Encoded once; every probe fans out the same refcounted buffer.
-      const Frame probe = proto::EncodeMessage(
-          MessageType::kPeerLookupRequest, request_id, query);
+      // An arena recycles the probe's backing storage across requests.
+      FrameArena* arena = config_.frame_arena;
+      const Frame probe =
+          arena ? arena->Seal(proto::EncodeMessageInto(
+                      arena->Acquire(proto::kEnvelopeHeaderSize +
+                                     static_cast<std::size_t>(query.WireSize())),
+                      MessageType::kPeerLookupRequest, request_id, query))
+                : Frame(proto::EncodeMessage(MessageType::kPeerLookupRequest,
+                                             request_id, query));
       PendingForward pending;
       pending.request_type = request_type;
       pending.reply_type = reply_type;
@@ -782,6 +858,24 @@ void EdgeService::HandlePeerLookupRequest(
          [this, request_id = env.request_id, descriptor = std::move(descriptor),
           reply_type, from_peer] {
            const auto outcome = cache_.Lookup(descriptor, now_());
+           if (!outcome.hit && config_.park_peer_probes &&
+               config_.coalesce_requests && from_peer && config_.peer_send) {
+             // Probe-aware coalescing: we miss, but a same-key fetch of
+             // ours is already in flight — park the probe on it and
+             // answer from the result, instead of sending the prober to
+             // the cloud for bytes that are already on the wire to us.
+             const std::uint64_t key = CoalesceKey(descriptor);
+             if (const auto leader = inflight_keys_.find(key);
+                 leader != inflight_keys_.end()) {
+               if (const auto lp = pending_.find(leader->second);
+                   lp != pending_.end()) {
+                 lp->second.remote_waiters.push_back(
+                     {*from_peer, request_id, reply_type});
+                 ++peer_probes_parked_;
+                 return;
+               }
+             }
+           }
            const std::span<const std::uint8_t> payload =
                outcome.hit ? outcome.payload.span()
                            : std::span<const std::uint8_t>{};
@@ -804,18 +898,8 @@ void EdgeService::HandlePeerLookupRequest(
                                  outcome.payload);
              return;
            }
-           // Single-buffer encode of the PeerLookupReply envelope (field
-           // order mirrors PeerLookupReply::Encode; pinned by a test) —
-           // the cached payload is copied exactly once, onto the wire.
-           ByteWriter w(proto::kEnvelopeHeaderSize + 1 + 1 + 4 +
-                        payload.size());
-           proto::AppendEnvelopeHeader(
-               w, MessageType::kPeerLookupReply, request_id,
-               static_cast<std::uint32_t>(1 + 1 + 4 + payload.size()));
-           w.WriteU8(outcome.hit ? 1 : 0);
-           w.WriteU8(static_cast<std::uint8_t>(reply_type));
-           w.WriteBlob(payload);
-           Frame reply(w.TakeBytes());
+           Frame reply = EncodePeerLookupReplyFrame(request_id, outcome.hit,
+                                                    reply_type, payload);
            if (from_peer && config_.peer_send) {
              config_.peer_send(*from_peer, std::move(reply));
            } else {
@@ -872,12 +956,20 @@ void EdgeService::HandlePeerLookupReply(const Frame& frame,
       grace_armed = true;
     }
     pending.coalesce_key.reset();
+    // Adoption filter: peer-served results for low-reuse keys are not
+    // copied into the local cache — a 1-hop neighbor already serves
+    // them, and the insert would evict content only this edge holds.
+    const bool adopt = config_.peer_hit_adopt_min_uses == 0 ||
+                       KeyUses(CoalesceKey(*pending.insert_key)) >=
+                           config_.peer_hit_adopt_min_uses;
+    if (!adopt) ++peer_adoptions_skipped_;
     delay_(config_.costs.edge.cache_insert,
            [this, request_id = env.request_id,
             key = std::move(*pending.insert_key), payload, reply_type,
-            waiters = std::move(pending.waiters), grace_armed, grace_key,
-            grace_gen] {
-             cache_.Insert(key, payload, now_());
+            waiters = std::move(pending.waiters),
+            remote = std::move(pending.remote_waiters), adopt, grace_armed,
+            grace_key, grace_gen] {
+             if (adopt) cache_.Insert(key, payload, now_());
              if (grace_armed) {
                const auto g = grace_.find(grace_key);
                if (g != grace_.end() && g->second.gen == grace_gen) {
@@ -887,9 +979,11 @@ void EdgeService::HandlePeerLookupReply(const Frame& frame,
              ResolveToClient(request_id, reply_type, payload,
                              ResultSource::kPeerEdge);
              ServeWaiters(waiters, payload, ResultSource::kPeerEdge);
+             AnswerRemoteWaiters(remote, true, payload);
            });
     pending.insert_key.reset();
     pending.waiters.clear();
+    pending.remote_waiters.clear();
     if (pending.probes_outstanding == 0) pending_.erase(it);
     return;
   }
@@ -1093,6 +1187,7 @@ void EdgeService::OnCloudFrame(Frame frame) {
     if (env.type == MessageType::kError) {
       FailWaiters(pending.waiters, env.payload);
     }
+    AnswerRemoteWaiters(pending.remote_waiters, false, Frame());
     MemoizeResolved(env.request_id, {.reply = frame, .payload = {}});
     if (tracer_) {
       tracer_->Transition(env.request_id, obs::Phase::kDownlink, now_());
@@ -1133,7 +1228,8 @@ void EdgeService::OnCloudFrame(Frame frame) {
          [this, frame = std::move(frame), payload,
           request_id = env.request_id,
           key = std::move(*pending.insert_key),
-          waiters = std::move(pending.waiters), grace_armed, grace_key,
+          waiters = std::move(pending.waiters),
+          remote = std::move(pending.remote_waiters), grace_armed, grace_key,
           grace_gen]() mutable {
            cache_.Insert(key, payload, now_());
            if (grace_armed) {
@@ -1149,6 +1245,7 @@ void EdgeService::OnCloudFrame(Frame frame) {
            // Waiters share the same upstream result; the cloud produced
            // it once for all of them.
            ServeWaiters(waiters, payload, ResultSource::kCloud);
+           AnswerRemoteWaiters(remote, true, payload);
          });
 }
 

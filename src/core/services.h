@@ -220,6 +220,23 @@ class EdgeService {
     /// Request-lifecycle tracer; null => tracing disabled, and every
     /// instrumentation site reduces to one pointer test.
     obs::RequestTracer* tracer = nullptr;
+    /// Peer-hit adoption filter: a miss answered by a peer is only
+    /// inserted into the local cache when the key has been requested
+    /// here at least this many times (counting the current miss). 0
+    /// (default) adopts everything, as before. With peers one hop away,
+    /// adopting single-use content merely duplicates what the
+    /// federation already serves — and the insert may evict an entry
+    /// only this edge holds.
+    std::uint32_t peer_hit_adopt_min_uses = 0;
+    /// Probe-aware coalescing: a peer lookup that misses here while a
+    /// same-key fetch of ours is in flight parks on that fetch and is
+    /// answered from its result, instead of replying "miss" and sending
+    /// the prober to the cloud for bytes already on the wire. Requires
+    /// coalesce_requests; off by default.
+    bool park_peer_probes = false;
+    /// Buffer recycler for small control frames (probes, probe replies,
+    /// summary acks). Null => plain allocation, byte-identical wire.
+    FrameArena* frame_arena = nullptr;
   };
 
   EdgeService(Config config, SendFn send, DelayFn delay, NowFn now);
@@ -325,6 +342,17 @@ class EdgeService {
     return breaker_sheds_.value();
   }
 
+  /// Peer-hit results not adopted into the local cache because the key
+  /// had fewer than `peer_hit_adopt_min_uses` local requests.
+  [[nodiscard]] std::uint64_t peer_adoptions_skipped() const noexcept {
+    return peer_adoptions_skipped_.value();
+  }
+  /// Peer lookups that missed locally but parked on an in-flight
+  /// same-key fetch (answered from its result, not sent away empty).
+  [[nodiscard]] std::uint64_t peer_probes_parked() const noexcept {
+    return peer_probes_parked_.value();
+  }
+
   /// Cloud-path circuit-breaker state (exposed for tests/diagnostics).
   enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
   [[nodiscard]] BreakerState breaker_state() const noexcept {
@@ -332,6 +360,15 @@ class EdgeService {
   }
 
  private:
+  /// A peer lookup parked on this edge's in-flight fetch (probe-aware
+  /// coalescing): when the fetch resolves, the prober is answered with
+  /// a PeerLookupReply under its own probe request id.
+  struct RemoteWaiter {
+    std::uint32_t peer = 0;
+    std::uint64_t request_id = 0;
+    proto::MessageType reply_type = proto::MessageType::kRecognitionResult;
+  };
+
   struct PendingForward {
     proto::MessageType request_type = proto::MessageType::kPing;
     proto::OffloadMode mode = proto::OffloadMode::kCoic;
@@ -367,6 +404,10 @@ class EdgeService {
     /// Checked at ForwardToCloud: already-expired work is shed instead
     /// of paying a cloud round trip it can no longer use.
     std::optional<SimTime> deadline_at;
+    /// Peer probes parked on this fetch (probe-aware coalescing);
+    /// answered — found or not — when the fetch resolves, and handed to
+    /// the promoted leader on leader loss.
+    std::vector<RemoteWaiter> remote_waiters;
   };
 
   /// Registers an in-flight request; CHECK-fails on a duplicate id. The
@@ -405,6 +446,21 @@ class EdgeService {
   /// Fails waiter requests with the leader's error payload.
   void FailWaiters(const std::vector<std::uint64_t>& waiters,
                    std::span<const std::uint8_t> error_payload);
+  /// Answers parked peer probes with the leader's outcome: a
+  /// PeerLookupReply per waiter under its probe request id — found=1
+  /// with the result payload, or found=0 (empty payload) so the prober
+  /// falls through to its remaining peers / the cloud.
+  void AnswerRemoteWaiters(const std::vector<RemoteWaiter>& waiters,
+                           bool found, const Frame& payload);
+  /// Encodes a PeerLookupReply, recycling an arena buffer when one is
+  /// configured. Wire bytes match the plain path exactly.
+  [[nodiscard]] Frame EncodePeerLookupReplyFrame(
+      std::uint64_t request_id, bool found, proto::MessageType reply_type,
+      std::span<const std::uint8_t> payload);
+  /// Records a local request for `coalesce_key` (bounded map; counts
+  /// feed the peer-hit adoption filter). No-op unless the filter is on.
+  void NoteKeyUse(std::uint64_t coalesce_key);
+  [[nodiscard]] std::uint32_t KeyUses(std::uint64_t coalesce_key) const noexcept;
   /// Drops the in-flight marker for `key` (no-op for nullopt). Done the
   /// moment the leader's outcome is known: later same-key misses start a
   /// fresh fetch instead of waiting on a resolved leader.
@@ -517,6 +573,12 @@ class EdgeService {
   obs::Counter& deadline_sheds_;
   obs::Counter& breaker_opens_;
   obs::Counter& breaker_sheds_;
+  obs::Counter& peer_adoptions_skipped_;
+  obs::Counter& peer_probes_parked_;
+  /// Bounded per-key local request counts backing the peer-hit adoption
+  /// filter (FIFO-evicted; empty unless peer_hit_adopt_min_uses > 0).
+  std::unordered_map<std::uint64_t, std::uint32_t> key_uses_;
+  std::deque<std::uint64_t> key_uses_fifo_;
   std::size_t peak_pending_ = 0;
   // Cloud-path circuit breaker (inert unless breaker_failure_threshold
   // is set). Consecutive counts only full fetch failures — retry

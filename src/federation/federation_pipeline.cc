@@ -187,6 +187,29 @@ FederationPipeline::FederationPipeline(FederationPipelineConfig config)
   summary_mutations_.assign(config_.venues, 0);
   summaries_.resize(config_.venues);
   summary_cursors_.assign(config_.venues, 0);
+  if (Hierarchical()) {
+    std::uint32_t regions = config_.region.regions;
+    if (regions == 0) {
+      // floor(sqrt(venues)): minimizes per-round traffic, which is
+      // O(venues/regions) intra-region fulls + O(regions) digests.
+      while ((regions + 1) * (regions + 1) <= config_.venues) ++regions;
+      if (regions == 0) regions = 1;
+    }
+    region_map_ = RegionMap(config_.venues, regions);
+    digest_tables_.assign(config_.venues,
+                          RegionDigestTable(region_map_.regions()));
+    digest_built_versions_.assign(config_.venues, 0);
+    digest_frames_.resize(config_.venues);
+    digest_signatures_.assign(config_.venues, 0);
+    digest_sent_version_.assign(
+        config_.venues, std::vector<std::uint64_t>(config_.venues, 0));
+    region_rounds_.assign(config_.venues, 0);
+    own_head_view_.resize(config_.venues);
+    for (std::uint32_t v = 0; v < config_.venues; ++v) {
+      // Everyone starts believing the rank-0 member heads their region.
+      own_head_view_[v] = region_map_.members(region_map_.region_of(v)).front();
+    }
+  }
   // UINT64_MAX = "never acked": the very first piggybacked ack always
   // goes out, even when the held version is 0 — that zero-ack is how a
   // peer learns its first gossip frame was lost.
@@ -438,6 +461,28 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
   edge_config.cooperative = config_.cooperative && config_.venues > 1;
   edge_config.probe_budget = config_.probe_budget;
   edge_config.coalesce_requests = config_.coalesce_requests;
+  edge_config.peer_hit_adopt_min_uses = config_.peer_hit_adopt_min_uses;
+  edge_config.park_peer_probes =
+      config_.park_peer_probes && config_.coalesce_requests;
+  // Small control frames (probes, probe replies) recycle through the
+  // shard arena instead of hitting the allocator per miss.
+  edge_config.frame_arena = &shard.arena;
+  if (config_.peer_aware_eviction && edge_config.cooperative) {
+    // Peer-aware eviction: an entry some 1-hop neighbor also advertises
+    // is recoverable at peer-link cost, so evict it ahead of
+    // cluster-unique content. Bloom false positives only mis-order the
+    // victim scan; they never evict more than capacity demands.
+    edge_config.cache.replicated_hint = [this, venue](std::uint64_t key) {
+      for (const std::uint32_t peer : reachable_[venue]) {
+        if (topology_.HopDistance(venue, peer) != 1) continue;
+        const CacheSummary* summary = summary_tables_[venue].For(peer);
+        if (summary != nullptr && summary->bloom().MayContain(key)) {
+          return true;
+        }
+      }
+      return false;
+    };
+  }
   edge_config.cloud_retry = config_.transport.cloud_retry;
   edge_config.peer_probe_timeout = config_.transport.peer_probe_timeout;
   edge_config.max_pending = config_.transport.edge_max_pending;
@@ -456,11 +501,34 @@ void FederationPipeline::WireVenue(std::uint32_t venue) {
     MaybeSendSummaryAck(venue, peer, /*force=*/false);
     SendEdgeToEdge(venue, peer, std::move(frame));
   };
-  edge_config.peer_select =
-      [this, venue](const proto::FeatureDescriptor& key) {
-        return policies_[venue]->Select(key, reachable_[venue],
-                                        summary_tables_[venue]);
-      };
+  if (Hierarchical()) {
+    // Two-tier selection: member summaries intra-region, digests + the
+    // believed head cross-region. Targets outside the hop limit are
+    // dropped (SendEdgeToEdge cannot route them, and an unroutable probe
+    // would hang its miss until the probe timeout).
+    edge_config.peer_select =
+        [this, venue](const proto::FeatureDescriptor& key) {
+          std::vector<std::uint32_t> heads(region_map_.regions());
+          for (std::uint32_t r = 0; r < region_map_.regions(); ++r) {
+            heads[r] = HeadOf(venue, r);
+          }
+          auto targets = SelectHierarchical(
+              key, venue, region_map_, summary_tables_[venue],
+              digest_tables_[venue], heads, config_.policy.directed_fanout,
+              config_.region.cross_fanout);
+          std::erase_if(targets, [this, venue](std::uint32_t target) {
+            return !std::binary_search(reachable_[venue].begin(),
+                                       reachable_[venue].end(), target);
+          });
+          return targets;
+        };
+  } else {
+    edge_config.peer_select =
+        [this, venue](const proto::FeatureDescriptor& key) {
+          return policies_[venue]->Select(key, reachable_[venue],
+                                          summary_tables_[venue]);
+        };
+  }
   const netsim::NodeId self = edge_nodes_[venue];
   const bool lossy = LossyTransport();
   // Scatter-gather client replies: the per-request envelope head and the
@@ -612,7 +680,21 @@ void FederationPipeline::OnPeerEdgeFrame(std::uint32_t venue,
     case MessageType::kSummaryAck:
       HandleSummaryAck(venue, frame);
       return;
+    case MessageType::kRegionDigestUpdate:
+      HandleRegionDigestFrame(venue, frame);
+      return;
     default:
+      // Head-side probe resolution intercepts *directly arrived*
+      // cross-region lookups only. Relay-delivered probes (a head's
+      // forward among them) enter through HandleRelayFrame's terminal
+      // hop, never here — so a probe is forwarded at most once and can
+      // never cycle between divergent head views.
+      if (Hierarchical() &&
+          PeekMessageType(frame.span()) == MessageType::kPeerLookupRequest &&
+          !region_map_.SameRegion(src_index, venue) &&
+          MaybeForwardProbeAsHead(venue, src_index, frame)) {
+        return;
+      }
       edges_[venue]->OnPeerFrame(src_index, std::move(frame));
   }
 }
@@ -650,6 +732,8 @@ void FederationPipeline::HandleRelayFrame(std::uint32_t venue, Frame frame) {
       HandleSummaryFrame(venue, inner);
     } else if (inner_type == MessageType::kSummaryAck) {
       HandleSummaryAck(venue, inner);
+    } else if (inner_type == MessageType::kRegionDigestUpdate) {
+      HandleRegionDigestFrame(venue, inner);
     } else {
       edges_[venue]->OnPeerFrame(relay.src_edge, std::move(inner));
     }
@@ -764,6 +848,10 @@ void FederationPipeline::MaybeSendSummaryAck(std::uint32_t venue,
       peer >= config_.venues) {
     return;
   }
+  // Hierarchical mode gossips full summaries intra-region only; an ack
+  // to a cross-region peer would trigger exactly the cross-region
+  // full-summary resend the two-tier topology exists to avoid.
+  if (Hierarchical() && !region_map_.SameRegion(venue, peer)) return;
   const CacheSummary* held = summary_tables_[venue].For(peer);
   const std::uint64_t version = held != nullptr ? held->version() : 0;
   if (!force && ack_sent_version_[venue][peer] == version) return;
@@ -773,9 +861,12 @@ void FederationPipeline::MaybeSendSummaryAck(std::uint32_t venue,
   ack.acker_edge = venue;
   ack.subject_edge = peer;
   ack.version = version;
+  FrameArena& arena = ArenaOf(venue);
   SendEdgeToEdge(venue, peer,
-                 Frame(proto::EncodeMessage(MessageType::kSummaryAck, version,
-                                            ack)));
+                 arena.Seal(proto::EncodeMessageInto(
+                     arena.Acquire(proto::kEnvelopeHeaderSize +
+                                   static_cast<std::size_t>(ack.WireSize())),
+                     MessageType::kSummaryAck, version, ack)));
 }
 
 void FederationPipeline::HandleSummaryAck(std::uint32_t venue,
@@ -793,6 +884,9 @@ void FederationPipeline::HandleSummaryAck(std::uint32_t venue,
     return;
   }
   const std::uint32_t acker = ack.value().acker_edge;
+  // Mirror of the send-side gate: never let a cross-region ack trigger a
+  // cross-region full-summary resend in hierarchical mode.
+  if (Hierarchical() && !region_map_.SameRegion(venue, acker)) return;
   auto& sent = summary_tables_[venue].sent_to(acker);
   if (sent.version == 0 || ack.value().version >= sent.version) {
     // Nothing ever sent, or the acker is current (>= covers acks that
@@ -863,13 +957,20 @@ void FederationPipeline::RefreshSummary(std::uint32_t venue) {
   summary_mutations_[venue] = mutations;
   // Where the next delta slice starts for a peer based on this version.
   summary_cursors_[venue] = edges_[venue]->cache().journal_cursor();
-  // Only delta frames read the summary object back (centroids + absolute
-  // key count); full-gossip pipelines keep nothing beyond the frame.
-  if (config_.delta_gossip) summaries_[venue] = std::move(summary);
+  // Delta frames read the summary object back (centroids + absolute key
+  // count); hierarchical heads union it into region digests and score
+  // probes against it. Full-gossip flat pipelines keep only the frame.
+  if (config_.delta_gossip || Hierarchical()) {
+    summaries_[venue] = std::move(summary);
+  }
 }
 
 void FederationPipeline::GossipEdge(std::uint32_t venue) {
   AgeOutSummaries(venue);
+  if (Hierarchical()) {
+    GossipEdgeHierarchical(venue);
+    return;
+  }
   if (config_.delta_gossip) {
     GossipEdgeDelta(venue);
     return;
@@ -962,6 +1063,227 @@ void FederationPipeline::GossipEdgeDelta(std::uint32_t venue) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Two-tier federation (RegionConfig::hierarchical)
+// ---------------------------------------------------------------------------
+
+std::uint32_t FederationPipeline::HeadOf(std::uint32_t venue,
+                                         std::uint32_t region) const {
+  if (!Hierarchical()) return venue;
+  const auto members = region_map_.members(region);
+  if (region_map_.region_of(venue) == region) {
+    // Own region: the lowest-ranked member believed alive. Members are
+    // ascending by id, which is ascending succession rank; "alive" means
+    // self, or a member whose summary is currently held (the max-age
+    // sweep erases crashed peers' summaries, which is what demotes a
+    // dead head and promotes the next rank).
+    for (const std::uint32_t member : members) {
+      if (member == venue || summary_tables_[venue].For(member) != nullptr) {
+        return member;
+      }
+    }
+    return venue;  // unreachable: venue is always its own live member
+  }
+  // Foreign region: whoever signed the accepted digest; before any
+  // digest arrives, the static rank-0 default.
+  if (const RegionDigest* digest = digest_tables_[venue].For(region)) {
+    return digest->head_edge();
+  }
+  return members.front();
+}
+
+void FederationPipeline::GossipEdgeHierarchical(std::uint32_t venue) {
+  const std::uint32_t own_region = region_map_.region_of(venue);
+  const std::uint32_t head_now = HeadOf(venue, own_region);
+  if (head_now != own_head_view_[venue]) {
+    // Failover accounting: counted exactly once per succession, by the
+    // member that promotes *itself* (every member notices the change,
+    // but only the new head's self-promotion is the failover event).
+    if (head_now == venue) ++Rc(venue).failovers;
+    own_head_view_[venue] = head_now;
+  }
+
+  // Tier 1: full per-peer summaries stay inside the region, and only
+  // move when the version does — members of one region see each other
+  // exactly as flat gossip peers would, minus redundant resends.
+  RefreshSummary(venue);
+  const Frame& full = summary_frames_[venue];
+  const std::uint64_t version = summary_versions_[venue];
+  GossipCounters& gc = Gc(venue);
+  for (const std::uint32_t peer : reachable_[venue]) {
+    if (!region_map_.SameRegion(venue, peer)) continue;
+    auto& sent = summary_tables_[venue].sent_to(peer);
+    if (sent.version == version) continue;
+    sent.version = version;
+    sent.journal_cursor = summary_cursors_[venue];
+    sent.rounds_since_full = 0;
+    ++gc.summary_updates_sent;
+    gc.summary_bytes_full += full.size();
+    SendEdgeToEdge(venue, peer, full);
+  }
+
+  // Tier 2: the head aggregates the region every digest_period_rounds-th
+  // round and fans the digest to *every* reachable venue — foreign
+  // venues steer probes by it; own members track its version so a
+  // promoted successor resumes the version chain instead of restarting
+  // below what the cluster already accepted.
+  const std::uint32_t period =
+      std::max<std::uint32_t>(1, config_.region.digest_period_rounds);
+  const bool digest_due = region_rounds_[venue]++ % period == 0;
+  if (!digest_due || head_now != venue) return;
+
+  // Rebuild only when some member's summary version moved (own version
+  // included): the signature is order-sensitive over (edge, version),
+  // and members enter ascending so it is deterministic.
+  std::uint64_t signature = 0x9E3779B97F4A7C15ull;
+  const auto mix = [&signature](std::uint64_t x) {
+    signature ^= x + 0x9E3779B97F4A7C15ull + (signature << 6) +
+                 (signature >> 2);
+  };
+  std::vector<const CacheSummary*> member_summaries;
+  for (const std::uint32_t member : region_map_.members(own_region)) {
+    const CacheSummary* summary = member == venue
+                                      ? &summaries_[venue]
+                                      : summary_tables_[venue].For(member);
+    if (summary == nullptr) continue;
+    mix(member);
+    mix(summary->version());
+    member_summaries.push_back(summary);
+  }
+  if (digest_signatures_[venue] != signature || digest_frames_[venue].empty()) {
+    // Version continuity across successions: a promoted head has seen
+    // the old head's digests (heads broadcast to their own members too),
+    // so resuming past the accepted own-region version makes receivers
+    // accept the succession by plain comparison.
+    std::uint64_t base = digest_built_versions_[venue];
+    if (const RegionDigest* held = digest_tables_[venue].For(own_region)) {
+      base = std::max(base, held->version());
+    }
+    const std::uint64_t next_version = base + 1;
+    RegionDigest digest =
+        RegionDigest::Build(own_region, venue, next_version, member_summaries,
+                            config_.bloom);
+    const proto::RegionDigestUpdate wire = digest.ToWire();
+    FrameArena& arena = ArenaOf(venue);
+    digest_frames_[venue] = arena.Seal(proto::EncodeMessageInto(
+        arena.Acquire(proto::kEnvelopeHeaderSize +
+                      static_cast<std::size_t>(wire.WireSize())),
+        MessageType::kRegionDigestUpdate, next_version, wire));
+    digest_built_versions_[venue] = next_version;
+    digest_signatures_[venue] = signature;
+    digest_tables_[venue].Update(std::move(digest), region_map_.rank_of(venue));
+  }
+
+  const std::uint64_t built = digest_built_versions_[venue];
+  RegionCounters& rc = Rc(venue);
+  for (const std::uint32_t peer : reachable_[venue]) {
+    if (digest_sent_version_[venue][peer] >= built) continue;
+    digest_sent_version_[venue][peer] = built;
+    ++rc.digests_sent;
+    rc.digest_bytes += digest_frames_[venue].size();
+    SendEdgeToEdge(venue, peer, digest_frames_[venue]);
+  }
+}
+
+void FederationPipeline::HandleRegionDigestFrame(std::uint32_t venue,
+                                                 const Frame& frame) {
+  if (!Hierarchical()) return;
+  RegionCounters& rc = Rc(venue);
+  // Stale fast-drop before the Bloom bits / centroids decode, mirroring
+  // the summary path. Only same-head duplicates drop here: a different
+  // claimed head must go through the full succession rule.
+  if (const auto header = proto::PeekRegionDigestFrame(frame.span());
+      header.ok()) {
+    if (const RegionDigest* held =
+            digest_tables_[venue].For(header.value().region_id);
+        held != nullptr && held->head_edge() == header.value().head_edge &&
+        header.value().version <= held->version()) {
+      ++rc.digest_stale_drops;
+      return;
+    }
+  }
+  auto env = proto::DecodeEnvelopeView(frame.span());
+  if (!env.ok()) {
+    COIC_LOG(kWarn) << "federation: undecodable region digest";
+    return;
+  }
+  auto wire = proto::DecodePayloadAs<proto::RegionDigestUpdate>(
+      env.value(), MessageType::kRegionDigestUpdate);
+  if (!wire.ok() || wire.value().region_id >= region_map_.regions() ||
+      wire.value().head_edge >= config_.venues ||
+      region_map_.region_of(wire.value().head_edge) !=
+          wire.value().region_id) {
+    COIC_LOG(kWarn) << "federation: bad region digest at venue " << venue;
+    return;
+  }
+  auto digest = RegionDigest::FromWire(wire.value());
+  if (!digest.ok()) {
+    COIC_LOG(kWarn) << "federation: unusable region digest: "
+                    << digest.status().ToString();
+    return;
+  }
+  if (digest_tables_[venue].Update(
+          std::move(digest).value(),
+          region_map_.rank_of(wire.value().head_edge))) {
+    ++rc.digests_applied;
+  } else {
+    ++rc.digest_stale_drops;
+  }
+}
+
+bool FederationPipeline::MaybeForwardProbeAsHead(std::uint32_t venue,
+                                                 std::uint32_t src,
+                                                 const Frame& frame) {
+  const std::uint32_t own_region = region_map_.region_of(venue);
+  if (HeadOf(venue, own_region) != venue) return false;
+  auto env = proto::DecodeEnvelopeView(frame.span());
+  if (!env.ok()) return false;
+  const auto wire = proto::DecodePayloadAs<proto::PeerLookupRequest>(
+      env.value(), MessageType::kPeerLookupRequest);
+  if (!wire.ok()) return false;
+  const proto::FeatureDescriptor& key = wire.value().descriptor;
+  RegionCounters& rc = Rc(venue);
+  // Region -> member: hand the probe to the best-scoring member when one
+  // strictly beats the head's own summary (ties serve locally — it is
+  // the cheaper hop, and the head's view of itself is freshest).
+  const double own_score = summaries_[venue].MatchScore(key);
+  double best_score = own_score;
+  std::uint32_t best_member = venue;
+  for (const std::uint32_t member : region_map_.members(own_region)) {
+    if (member == venue) continue;
+    const CacheSummary* summary = summary_tables_[venue].For(member);
+    if (summary == nullptr) continue;
+    const double score = summary->MatchScore(key);
+    if (score > best_score ||
+        (score == best_score && best_member != venue && member < best_member)) {
+      best_score = score;
+      best_member = member;
+    }
+  }
+  if (best_member == venue) {
+    ++rc.head_self_serves;
+    return false;
+  }
+  const std::uint32_t dist = topology_.HopDistance(venue, best_member);
+  if (dist == Topology::kUnreachable) {
+    ++rc.head_self_serves;
+    return false;
+  }
+  // Relay-wrap with the ORIGINAL requester as source — even for an
+  // adjacent member — so the member sees the probe as src's and its
+  // reply routes straight back to src. HandlePeerLookupReply matches by
+  // request id alone, so the reply from a peer src never probed still
+  // resolves src's accounting; and relay-delivered probes are never
+  // re-intercepted, so this is the probe's only forward.
+  ++rc.head_forwards;
+  NetOf(venue).Send(edge_nodes_[venue],
+                    edge_nodes_[topology_.NextHop(venue, best_member)],
+                    proto::EncodeRelayFrame(src, best_member,
+                                            static_cast<std::uint8_t>(dist - 1),
+                                            frame.span()));
+  return true;
+}
+
 void FederationPipeline::MaybeGossip() {
   // Closed-loop only (single shard): shard 0's clock is the clock.
   if (!GossipEnabled()) return;
@@ -970,42 +1292,46 @@ void FederationPipeline::MaybeGossip() {
   for (std::uint32_t v = 0; v < config_.venues; ++v) GossipEdge(v);
 }
 
-void FederationPipeline::ArmGossipTimer(std::uint32_t venue) {
+void FederationPipeline::ArmGossipTimer() {
+  // One batched timer for the whole (single-shard) cluster, gossiping
+  // venues in ascending order each period. N per-venue timers armed in
+  // venue order fired in exactly that order at the same instants, so the
+  // batch is bit-identical to them at 1/N the scheduler events.
   ShardState& sh = *shards_.front();
-  gossip_timers_[venue] =
-      sh.sched.ScheduleAfter(config_.gossip_period, [this, venue] {
-        ShardState& sh = *shards_.front();
-        // Stranded-workload guard: a dropped frame (lossy link,
-        // overflowing queue) parks its client forever, and without it
-        // the timers would re-arm and spin the scheduler for eternity.
-        // Two triggers, either sufficient: (a) precise — the only
-        // pending events are the other venues' timers, so nothing can
-        // complete; (b) backstop for configs where in-flight summary
-        // frames always overlap the next round (gossip_period below
-        // peer-link latency) — no completion across a deep stretch of
-        // rounds. Stopping lets RunOpenLoop drain and report the stall
-        // via its completion CHECK instead of hanging. (Sharded runs
-        // use ArmGossipTimerSharded; the runner detects stalls itself.)
-        constexpr std::uint64_t kStallRoundsLimit = 100'000;
-        if (sh.completed == stall_completed_mark_) {
-          ++stall_rounds_;
-        } else {
-          stall_completed_mark_ = sh.completed;
-          stall_rounds_ = 0;
-        }
-        if (sh.completed < expected_ &&
-            (sh.sched.pending() == gossip_timers_.size() - 1 ||
-             stall_rounds_ >= kStallRoundsLimit)) {
-          COIC_LOG(kWarn) << "federation: open-loop workload stalled with "
-                          << (expected_ - sh.completed)
-                          << " operations incomplete; stopping gossip";
-          StopGossipTimers();
-          return;
-        }
-        ++open_loop_.gossip_rounds;
-        GossipEdge(venue);
-        ArmGossipTimer(venue);
-      });
+  gossip_timers_[0] = sh.sched.ScheduleAfter(config_.gossip_period, [this] {
+    ShardState& sh = *shards_.front();
+    // Stranded-workload guard: a dropped frame (lossy link, overflowing
+    // queue) parks its client forever, and without it the timer would
+    // re-arm and spin the scheduler for eternity. Two triggers, either
+    // sufficient: (a) precise — nothing else is pending inside this
+    // firing, so nothing can complete; (b) backstop for configs where
+    // in-flight summary frames always overlap the next round
+    // (gossip_period below peer-link latency) — no completion across a
+    // deep stretch of rounds. Stopping lets RunOpenLoop drain and
+    // report the stall via its completion CHECK instead of hanging.
+    // (Sharded runs use ArmGossipTimerSharded; the runner detects
+    // stalls itself.)
+    constexpr std::uint64_t kStallRoundsLimit = 100'000;
+    if (sh.completed == stall_completed_mark_) {
+      ++stall_rounds_;
+    } else {
+      stall_completed_mark_ = sh.completed;
+      stall_rounds_ = 0;
+    }
+    if (sh.completed < expected_ &&
+        (sh.sched.pending() == 0 || stall_rounds_ >= kStallRoundsLimit)) {
+      COIC_LOG(kWarn) << "federation: open-loop workload stalled with "
+                      << (expected_ - sh.completed)
+                      << " operations incomplete; stopping gossip";
+      StopGossipTimers();
+      return;
+    }
+    for (std::uint32_t v = 0; v < config_.venues; ++v) {
+      ++open_loop_.gossip_rounds;  // still counts per-edge firings
+      GossipEdge(v);
+    }
+    ArmGossipTimer();
+  });
 }
 
 void FederationPipeline::StopGossipTimers() {
@@ -1015,27 +1341,29 @@ void FederationPipeline::StopGossipTimers() {
   gossip_timers_.clear();
 }
 
-void FederationPipeline::ArmGossipTimerSharded(std::uint32_t venue) {
-  // Free-running per-edge timer on the venue's own shard clock. No
-  // stall bookkeeping here: the ShardRunner's decide barrier detects
-  // cluster-wide stalls (idle-floor match or no-progress backstop) and
-  // quiesces every shard through StopGossipTimersShard.
-  gossip_timers_[venue] =
-      SchedOf(venue).ScheduleAfter(config_.gossip_period, [this, venue] {
-        ++ShardOf(venue).gossip_rounds;
-        GossipEdge(venue);
-        ArmGossipTimerSharded(venue);
+void FederationPipeline::ArmGossipTimerSharded(std::uint32_t shard) {
+  // Free-running batched timer per shard, gossiping the shard's venues
+  // (ascending — the order their per-venue timers fired in) on the
+  // shard's own clock. No stall bookkeeping here: the ShardRunner's
+  // decide barrier detects cluster-wide stalls (idle-floor match or
+  // no-progress backstop) and quiesces through StopGossipTimersShard.
+  ShardState& sh = *shards_[shard];
+  gossip_timers_[shard] =
+      sh.sched.ScheduleAfter(config_.gossip_period, [this, shard] {
+        ShardState& sh = *shards_[shard];
+        for (const std::uint32_t v : sh.venues) {
+          ++sh.gossip_rounds;
+          GossipEdge(v);
+        }
+        ArmGossipTimerSharded(shard);
       });
 }
 
 void FederationPipeline::StopGossipTimersShard(std::uint32_t shard) {
   if (gossip_timers_.empty()) return;  // never armed (expected_ == 0)
-  ShardState& sh = *shards_[shard];
-  for (const std::uint32_t v : sh.venues) {
-    if (gossip_timers_[v] != 0) {
-      sh.sched.Cancel(gossip_timers_[v]);
-      gossip_timers_[v] = 0;
-    }
+  if (gossip_timers_[shard] != 0) {
+    shards_[shard]->sched.Cancel(gossip_timers_[shard]);
+    gossip_timers_[shard] = 0;
   }
 }
 
@@ -1179,6 +1507,64 @@ std::uint64_t FederationPipeline::summaries_aged_out() const noexcept {
   for (const auto& sh : shards_) {
     total += sh->gossip.summaries_aged_out.value();
   }
+  return total;
+}
+
+std::uint64_t FederationPipeline::region_digests_sent() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->region.digests_sent.value();
+  return total;
+}
+
+std::uint64_t FederationPipeline::region_digest_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->region.digest_bytes.value();
+  return total;
+}
+
+std::uint64_t FederationPipeline::region_digests_applied() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->region.digests_applied.value();
+  return total;
+}
+
+std::uint64_t FederationPipeline::region_digest_stale_drops() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    total += sh->region.digest_stale_drops.value();
+  }
+  return total;
+}
+
+std::uint64_t FederationPipeline::region_head_forwards() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->region.head_forwards.value();
+  return total;
+}
+
+std::uint64_t FederationPipeline::region_head_self_serves() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) {
+    total += sh->region.head_self_serves.value();
+  }
+  return total;
+}
+
+std::uint64_t FederationPipeline::region_failovers() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->region.failovers.value();
+  return total;
+}
+
+std::uint64_t FederationPipeline::arena_reuses() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->arena.reuses();
+  return total;
+}
+
+std::uint64_t FederationPipeline::arena_allocations() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& sh : shards_) total += sh->arena.allocations();
   return total;
 }
 
@@ -1402,8 +1788,8 @@ std::vector<FederationOutcome> FederationPipeline::RunOpenLoop() {
       ++open_loop_.gossip_rounds;
       GossipEdge(v);
     }
-    gossip_timers_.assign(config_.venues, 0);
-    for (std::uint32_t v = 0; v < config_.venues; ++v) ArmGossipTimer(v);
+    gossip_timers_.assign(1, 0);
+    ArmGossipTimer();
   }
 
   // Schedule every operation at its trace arrival time — the open-loop
@@ -1494,16 +1880,20 @@ std::vector<FederationOutcome> FederationPipeline::RunOpenLoopSharded() {
   open_loop_.last_completion = open_loop_.first_arrival;
 
   if (GossipEnabled() && expected_ > 0) {
-    // Round 0 runs as the first event on each venue's own shard (the
-    // single-thread engine runs it inline before the first op — same
-    // relative order, since op events scheduled later at the same
-    // instant fire after it).
-    gossip_timers_.assign(config_.venues, 0);
-    for (std::uint32_t v = 0; v < config_.venues; ++v) {
-      SchedOf(v).ScheduleAt(SimTime::Epoch(), [this, v] {
-        ++ShardOf(v).gossip_rounds;
-        GossipEdge(v);
-        ArmGossipTimerSharded(v);
+    // Round 0 runs as the first event on each shard, gossiping its
+    // venues ascending (the single-thread engine runs it inline before
+    // the first op — same relative order, since op events scheduled
+    // later at the same instant fire after it).
+    gossip_timers_.assign(shard_total, 0);
+    for (std::uint32_t s = 0; s < shard_total; ++s) {
+      if (shards_[s]->venues.empty()) continue;
+      shards_[s]->sched.ScheduleAt(SimTime::Epoch(), [this, s] {
+        ShardState& sh = *shards_[s];
+        for (const std::uint32_t v : sh.venues) {
+          ++sh.gossip_rounds;
+          GossipEdge(v);
+        }
+        ArmGossipTimerSharded(s);
       });
     }
   }
@@ -1557,12 +1947,10 @@ std::vector<FederationOutcome> FederationPipeline::RunOpenLoopSharded() {
     };
     hooks[s].completed = [&sh] { return sh.completed; };
     hooks[s].idle_floor = [this, s] {
+      // One batched timer per shard: the shard's idle floor is 1 while
+      // it is armed, 0 once quiesced.
       if (gossip_timers_.empty()) return std::uint64_t{0};
-      std::uint64_t armed = 0;
-      for (const std::uint32_t v : shards_[s]->venues) {
-        if (gossip_timers_[v] != 0) ++armed;
-      }
-      return armed;
+      return std::uint64_t{gossip_timers_[s] != 0 ? 1u : 0u};
     };
     hooks[s].quiesce = [this, s] {
       StopGossipTimersShard(static_cast<std::uint32_t>(s));

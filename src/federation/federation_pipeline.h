@@ -141,6 +141,35 @@ struct ExecutionConfig {
   Duration fast_window = Duration::Millis(8);
 };
 
+/// Two-tier federation knobs. Flat gossip sends every venue's summary to
+/// every reachable peer — O(N²) frames per round, which stops scaling
+/// past a few dozen venues. Hierarchical mode assigns venue v to region
+/// v % regions (aligned with the shard map, so a sharded run can put one
+/// region per shard); full per-peer gossip stays *intra-region*, and the
+/// region's head — the lowest-ranked member believed alive — aggregates
+/// its members' summaries into a compact RegionDigest (Bloom union +
+/// merged centroids + member hints) gossiped cross-region instead.
+/// Miss-path probing resolves region → member in two steps: the
+/// summary-directed policy matches digests and probes the believed head,
+/// which relays the probe to its best-matching member (or serves from
+/// its own cache); digest false positives fall through to the cloud
+/// exactly like flat-mode Bloom false positives.
+struct RegionConfig {
+  /// Master switch; off = flat PR 3 gossip, bit-identical.
+  bool hierarchical = false;
+  /// Region count; venue v belongs to region v % regions. 0 = auto
+  /// (floor(sqrt(venues)), the gossip-minimizing split). Clamped to
+  /// [1, venues].
+  std::uint32_t regions = 0;
+  /// A head rebuilds + sends its region digest every Nth gossip round
+  /// (round 0 included): member summaries churn every round during cache
+  /// warmup, and re-broadcasting the union at full gossip cadence would
+  /// give back much of the byte savings. Minimum 1.
+  std::uint32_t digest_period_rounds = 4;
+  /// Foreign-region heads probed per miss (best digest scores first).
+  std::uint32_t cross_fanout = 1;
+};
+
 struct FederationPipelineConfig {
   /// Venues (edges) in the cluster.
   std::uint32_t venues = 4;
@@ -195,6 +224,27 @@ struct FederationPipelineConfig {
   /// unreachable) bounds that divergence; 0 (default) never forces —
   /// the netsim peer links are reliable.
   std::uint32_t delta_full_refresh_rounds = 0;
+  /// Two-tier federation (see RegionConfig). Defaults to flat gossip.
+  RegionConfig region;
+  /// Peer-aware eviction: wire each edge cache's replicated-entry hint
+  /// to the 1-hop neighbors' gossiped Bloom filters, so eviction prefers
+  /// victims some adjacent peer also advertises over cluster-unique
+  /// entries (which would cost a cloud fetch to recover). Off by
+  /// default — byte-identical victim choice to every earlier PR.
+  bool peer_aware_eviction = false;
+  /// Peer-hit adoption filter (EdgeService::Config::peer_hit_adopt_min_uses):
+  /// skip the local cache insert when a peer hit resolves a key this
+  /// edge has seen fewer than this many times — low-reuse content stays
+  /// single-copy in the cluster instead of being replicated on first
+  /// touch. 0 (default) always adopts, the original behavior.
+  std::uint32_t peer_hit_adopt_min_uses = 0;
+  /// Probe-aware coalescing (EdgeService::Config::park_peer_probes): a
+  /// probed peer that misses but has an in-flight fetch for the same key
+  /// parks the probe and answers it from that fetch's result — the
+  /// requester joins the earliest in-flight fetch among its peers
+  /// instead of always riding its own leader's cloud trip. Off by
+  /// default.
+  bool park_peer_probes = false;
   /// Loss / datagram / retry / ack behavior; defaults are the reliable
   /// PR 5 transport, bit-identical outcomes included.
   FederationTransportConfig transport;
@@ -335,6 +385,43 @@ class FederationPipeline {
   /// Relay forwards performed by intermediate venues.
   [[nodiscard]] std::uint64_t relay_forwards() const noexcept;
 
+  // Hierarchical-federation counters (all zero in flat mode; summed over
+  // shards like the gossip counters).
+  /// RegionDigestUpdate frames heads handed to the peer links.
+  [[nodiscard]] std::uint64_t region_digests_sent() const noexcept;
+  /// Encoded bytes of those digest frames — with intra-region summary
+  /// bytes, the hierarchical side of the flat-vs-hierarchical gossip
+  /// byte comparison.
+  [[nodiscard]] std::uint64_t region_digest_bytes() const noexcept;
+  /// Digests accepted into a RegionDigestTable (fresh version or head
+  /// succession) vs. dropped as stale.
+  [[nodiscard]] std::uint64_t region_digests_applied() const noexcept;
+  [[nodiscard]] std::uint64_t region_digest_stale_drops() const noexcept;
+  /// Cross-region probes a head relayed to its best-matching member vs.
+  /// answered from its own cache.
+  [[nodiscard]] std::uint64_t region_head_forwards() const noexcept;
+  [[nodiscard]] std::uint64_t region_head_self_serves() const noexcept;
+  /// Times a member promoted itself to region head after the previous
+  /// head's summary aged out (the crash-failover path).
+  [[nodiscard]] std::uint64_t region_failovers() const noexcept;
+  /// The venue → region map (identity-free default when flat).
+  [[nodiscard]] const RegionMap& region_map() const noexcept {
+    return region_map_;
+  }
+  /// Venue `venue`'s accepted view of foreign-region digests.
+  [[nodiscard]] const RegionDigestTable& region_digest_table(
+      std::uint32_t venue) const {
+    return digest_tables_.at(venue);
+  }
+  /// `venue`'s current belief of who heads `region` (self-view included).
+  [[nodiscard]] std::uint32_t head_of(std::uint32_t venue,
+                                      std::uint32_t region) const {
+    return HeadOf(venue, region);
+  }
+  /// Arena recycling stats summed over shards (bench_micro rows).
+  [[nodiscard]] std::uint64_t arena_reuses() const noexcept;
+  [[nodiscard]] std::uint64_t arena_allocations() const noexcept;
+
   /// SummaryAck frames piggybacked on peer traffic (transport.summary_ack).
   [[nodiscard]] std::uint64_t summary_acks_sent() const noexcept;
   /// Targeted full-summary resends triggered by a behind/zero ack.
@@ -445,6 +532,27 @@ class FederationPipeline {
     obs::Counter& summaries_aged_out;
   };
 
+  /// One shard's hierarchical-federation counter cells ("region.*"),
+  /// bound at shard construction like GossipCounters. All zero in flat
+  /// mode.
+  struct RegionCounters {
+    explicit RegionCounters(obs::MetricsRegistry& m)
+        : digests_sent(m.GetCounter("region.digests_sent")),
+          digest_bytes(m.GetCounter("region.digest_bytes")),
+          digests_applied(m.GetCounter("region.digests_applied")),
+          digest_stale_drops(m.GetCounter("region.digest_stale_drops")),
+          head_forwards(m.GetCounter("region.head_forwards")),
+          head_self_serves(m.GetCounter("region.head_self_serves")),
+          failovers(m.GetCounter("region.failovers")) {}
+    obs::Counter& digests_sent;
+    obs::Counter& digest_bytes;
+    obs::Counter& digests_applied;
+    obs::Counter& digest_stale_drops;
+    obs::Counter& head_forwards;
+    obs::Counter& head_self_serves;
+    obs::Counter& failovers;
+  };
+
   /// Everything one worker thread owns: a scheduler, a full replica of
   /// the cluster Network (every shard adds all nodes in the same order,
   /// so node ids match; it only *creates* the links its own nodes send
@@ -455,7 +563,8 @@ class FederationPipeline {
         : metrics(std::make_unique<obs::MetricsRegistry>()),
           tracer(trace.enabled ? std::make_unique<obs::RequestTracer>(trace)
                                : nullptr),
-          gossip(*metrics) {}
+          gossip(*metrics),
+          region(*metrics) {}
     netsim::EventScheduler sched;
     netsim::Network net{sched};
     /// unique_ptrs: edges and clients bind Counter& cells (and hold the
@@ -464,6 +573,12 @@ class FederationPipeline {
     std::unique_ptr<obs::MetricsRegistry> metrics;
     std::unique_ptr<obs::RequestTracer> tracer;
     GossipCounters gossip;
+    RegionCounters region;
+    /// Recycles the small control-frame buffers (probes, acks, digests)
+    /// this shard's venues encode. The deleter-based free list is
+    /// thread-safe, so a frame whose last reference drops on another
+    /// shard still recycles here without a race.
+    FrameArena arena;
     std::vector<std::uint32_t> venues;  ///< Venues homed on this shard.
     std::vector<FederationOutcome> outcomes;
     std::uint32_t inflight = 0;
@@ -493,6 +608,12 @@ class FederationPipeline {
   }
   [[nodiscard]] GossipCounters& Gc(std::uint32_t venue) noexcept {
     return ShardOf(venue).gossip;
+  }
+  [[nodiscard]] RegionCounters& Rc(std::uint32_t venue) noexcept {
+    return ShardOf(venue).region;
+  }
+  [[nodiscard]] FrameArena& ArenaOf(std::uint32_t venue) noexcept {
+    return ShardOf(venue).arena;
   }
   [[nodiscard]] obs::RequestTracer* TracerOf(std::uint32_t venue) noexcept {
     return ShardOf(venue).tracer.get();
@@ -534,6 +655,38 @@ class FederationPipeline {
   /// crashed-edge aging sweep); runs at each gossip round.
   void AgeOutSummaries(std::uint32_t venue);
 
+  /// True when the two-tier topology is active (hierarchical flag set
+  /// on a gossiping multi-venue cluster).
+  [[nodiscard]] bool Hierarchical() const noexcept {
+    return config_.region.hierarchical && config_.venues >= 2 &&
+           config_.cooperative;
+  }
+  /// `venue`'s current belief of region `region`'s head. Own region:
+  /// the lowest-ranked member believed alive (self, or a member whose
+  /// summary is held — aged-out summaries demote crashed heads). Foreign
+  /// region: the head named by the accepted digest, else the rank-0
+  /// member (the static default before any digest arrives).
+  [[nodiscard]] std::uint32_t HeadOf(std::uint32_t venue,
+                                     std::uint32_t region) const;
+  /// Hierarchical gossip round for `venue`: version-gated full-summary
+  /// sends to same-region peers, then — when `venue` believes itself
+  /// head and the digest round is due — rebuild-on-change + version-
+  /// gated fan-out of the region digest to every reachable venue.
+  void GossipEdgeHierarchical(std::uint32_t venue);
+  /// Accepts a RegionDigestUpdate frame into `venue`'s digest table
+  /// (stale fast-drop via PeekRegionDigestFrame; head-succession rule in
+  /// RegionDigestTable::Update).
+  void HandleRegionDigestFrame(std::uint32_t venue, const Frame& frame);
+  /// Head-side probe resolution: a cross-region kPeerLookupRequest that
+  /// arrived *directly* (never relay-delivered — that is the anti-cycle
+  /// guarantee) at a venue that believes itself head is relayed to the
+  /// best-matching member, with the original requester as relay source
+  /// so the member's reply routes straight back. Returns false when the
+  /// probe should be served locally instead (not head, no better member,
+  /// undecodable).
+  bool MaybeForwardProbeAsHead(std::uint32_t venue, std::uint32_t src,
+                               const Frame& frame);
+
   /// Builds and gossips `venue`'s cache summary to its reachable peers.
   void GossipEdge(std::uint32_t venue);
   /// Delta-gossip counterpart: rebuilds on change like GossipEdge, then
@@ -557,8 +710,11 @@ class FederationPipeline {
            config_.transport.client_retry.enabled() ||
            config_.transport.cloud_retry.enabled();
   }
-  /// Free-running per-edge gossip timers (open-loop regime).
-  void ArmGossipTimer(std::uint32_t venue);
+  /// Free-running batched gossip timer (open-loop regime): one timer
+  /// per scheduler gossips every owned venue in ascending order — the
+  /// same per-venue send order N per-venue timers armed in venue order
+  /// produced, at 1/N the scheduler events.
+  void ArmGossipTimer();
   void StopGossipTimers();
   void IssueNext();
 
@@ -574,11 +730,12 @@ class FederationPipeline {
   /// Open-loop body for shard_count() > 1: builds a netsim::ShardRunner
   /// and drives every shard's scheduler on its own worker thread.
   std::vector<FederationOutcome> RunOpenLoopSharded();
-  /// Sharded gossip timer: same cadence as ArmGossipTimer minus the
+  /// Sharded batched gossip timer: one per shard, gossiping the shard's
+  /// venues in ascending order; same cadence as ArmGossipTimer minus the
   /// stall bookkeeping (the runner detects cluster-wide stalls itself).
-  void ArmGossipTimerSharded(std::uint32_t venue);
-  /// Cancels the armed timers of `shard`'s venues only (a scheduler may
-  /// only be touched from its owning worker thread).
+  void ArmGossipTimerSharded(std::uint32_t shard);
+  /// Cancels `shard`'s batched timer only (a scheduler may only be
+  /// touched from its owning worker thread).
   void StopGossipTimersShard(std::uint32_t shard);
 
   [[nodiscard]] std::uint32_t ClientIndex(std::uint32_t venue,
@@ -626,6 +783,25 @@ class FederationPipeline {
   /// slice starts for a peer based on this version.
   std::vector<CacheSummary> summaries_;
   std::vector<std::uint64_t> summary_cursors_;
+  /// Two-tier federation state (sized only when Hierarchical()).
+  RegionMap region_map_;
+  /// Per-venue view of foreign-region digests (indexed by venue).
+  std::vector<RegionDigestTable> digest_tables_;
+  /// Head-side digest build state per venue: version of the digest this
+  /// venue last *built* as head (succession continuity comes from
+  /// max()ing with the version last *seen* for the own region), the
+  /// memoized encoded frame, and the member-version signature it
+  /// digested (rebuild only when a member summary version moved).
+  std::vector<std::uint64_t> digest_built_versions_;
+  std::vector<Frame> digest_frames_;
+  std::vector<std::uint64_t> digest_signatures_;
+  /// venues x venues [venue][peer]: digest version venue last sent peer.
+  std::vector<std::vector<std::uint64_t>> digest_sent_version_;
+  /// Gossip rounds per venue (digest_period_rounds cadence).
+  std::vector<std::uint64_t> region_rounds_;
+  /// venue's last-believed head of its own region, for failover
+  /// accounting (counted once, by the member that promotes itself).
+  std::vector<std::uint32_t> own_head_view_;
   std::unordered_map<std::uint64_t, Digest128> model_digests_;
   SimTime next_gossip_ = SimTime::Epoch();
   /// Ack/nack + aging state, venues x venues row-major ([venue][peer]):
@@ -636,10 +812,11 @@ class FederationPipeline {
   std::vector<std::vector<SimTime>> summary_received_at_;
   std::vector<std::vector<SimTime>> next_ack_resend_at_;
   std::deque<Op> ops_;
-  /// Open-loop state: armed timer per venue (0 = none). Each entry is
-  /// written only by the venue's owning shard — distinct vector elements
-  /// are distinct objects, so no cross-thread race. Live run counters
-  /// and outcomes live per shard (ShardState) and merge after the run.
+  /// Open-loop state: one armed batched timer per shard (0 = none).
+  /// Each entry is written only by its owning shard — distinct vector
+  /// elements are distinct objects, so no cross-thread race. Live run
+  /// counters and outcomes live per shard (ShardState) and merge after
+  /// the run.
   std::vector<netsim::EventId> gossip_timers_;
   OpenLoopStats open_loop_;
   std::uint64_t expected_ = 0;

@@ -84,6 +84,22 @@ ByteVec EncodeMessage(MessageType type, std::uint64_t request_id,
   return w.TakeBytes();
 }
 
+/// EncodeMessage writing into caller-provided storage: `storage`'s heap
+/// capacity is reused (cleared first), so an arena-recycled buffer makes
+/// the encode allocation-free once warm. Returns the same bytes
+/// EncodeMessage would.
+template <typename Message>
+ByteVec EncodeMessageInto(ByteVec&& storage, MessageType type,
+                          std::uint64_t request_id, const Message& msg) {
+  ByteWriter w(std::move(storage));
+  AppendEnvelopeHeader(w, type, request_id, 0);
+  msg.Encode(w);
+  COIC_CHECK_MSG(w.size() - kEnvelopeHeaderSize <= kMaxPayloadBytes,
+                 "payload too large");
+  w.PatchU32(16, static_cast<std::uint32_t>(w.size() - kEnvelopeHeaderSize));
+  return w.TakeBytes();
+}
+
 /// Parses a full envelope from `data` without copying the payload (see
 /// EnvelopeView for the lifetime rule). Fails with kDataLoss on bad
 /// magic, unsupported version, truncated header/payload or oversized
@@ -198,6 +214,19 @@ struct SummaryDeltaFrameHeader {
   std::uint64_t base_version = 0;
 };
 Result<SummaryDeltaFrameHeader> PeekSummaryDeltaFrame(
+    std::span<const std::uint8_t> frame);
+
+/// Leading fields of an encoded kRegionDigestUpdate frame at their fixed
+/// offsets (u32 region, u32 head, u64 version right after the envelope
+/// header) — enough for the stale-drop / head-succession acceptance rule
+/// without decoding the bloom union and member hints. Fails with
+/// kDataLoss if the frame is not a region-digest envelope or too short.
+struct RegionDigestFrameHeader {
+  std::uint32_t region_id = 0;
+  std::uint32_t head_edge = 0;
+  std::uint64_t version = 0;
+};
+Result<RegionDigestFrameHeader> PeekRegionDigestFrame(
     std::span<const std::uint8_t> frame);
 
 /// Decodes the payload of `env` as message type M, checking that the

@@ -643,6 +643,114 @@ TEST(IcCacheTest, InsertKeepsSharingWhenTheSliceIsMostOfTheBuffer) {
   EXPECT_TRUE(out.payload.SharesBufferWith(delivery));
 }
 
+// ---------------------------------------------------------------------------
+// Peer-aware eviction
+// ---------------------------------------------------------------------------
+
+namespace {
+IcCacheConfig ThreeEntryLruConfig() {
+  IcCacheConfig config;
+  config.capacity_bytes =
+      3 * (100 + HashKey(0).WireSize() + IcCache::kEntryOverhead);
+  config.policy = PolicyKind::kLru;
+  return config;
+}
+}  // namespace
+
+TEST(PeerAwareEvictionTest, SteersOntoReplicatedEntryAndSparesUniqueOne) {
+  // Keys 1..3 fill the cache (LRU victim order 1, 2, 3). A peer
+  // advertises key 2, so the overflow insert of key 4 evicts the
+  // replicated 2 — its re-reference is a cheap probe — and spares the
+  // unique LRU pick 1, which would cost a cloud round trip.
+  IcCacheConfig config = ThreeEntryLruConfig();
+  const std::uint64_t replicated = HashKey(2).IndexKey();
+  config.replicated_hint = [replicated](std::uint64_t index_key) {
+    return index_key == replicated;
+  };
+  IcCache cache(config);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    cache.Insert(HashKey(i), DeterministicBytes(100, i), SimTime::Epoch());
+  }
+  cache.Insert(HashKey(4), DeterministicBytes(100, 4), SimTime::Epoch());
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().unique_spared, 1u);
+  EXPECT_TRUE(cache.Lookup(HashKey(1), SimTime::Epoch()).hit);
+  EXPECT_FALSE(cache.Lookup(HashKey(2), SimTime::Epoch()).hit);
+  EXPECT_TRUE(cache.Lookup(HashKey(3), SimTime::Epoch()).hit);
+  EXPECT_TRUE(cache.Lookup(HashKey(4), SimTime::Epoch()).hit);
+}
+
+TEST(PeerAwareEvictionTest, NullHintKeepsThePolicyChoiceExactly) {
+  // The default config (no hint) must be byte-identical to plain LRU;
+  // a hint that never fires must be too, with nothing counted spared.
+  for (const bool with_hint : {false, true}) {
+    IcCacheConfig config = ThreeEntryLruConfig();
+    if (with_hint) {
+      config.replicated_hint = [](std::uint64_t) { return false; };
+    }
+    IcCache cache(config);
+    for (std::uint64_t i = 1; i <= 3; ++i) {
+      cache.Insert(HashKey(i), DeterministicBytes(100, i), SimTime::Epoch());
+    }
+    cache.Insert(HashKey(4), DeterministicBytes(100, 4), SimTime::Epoch());
+    EXPECT_FALSE(cache.Lookup(HashKey(1), SimTime::Epoch()).hit);
+    EXPECT_TRUE(cache.Lookup(HashKey(2), SimTime::Epoch()).hit);
+    EXPECT_EQ(cache.stats().unique_spared, 0u);
+  }
+}
+
+TEST(PeerAwareEvictionTest, NewcomerIsNeverSteeredOnto) {
+  // Only the just-inserted key 4 is "replicated": steering must skip the
+  // candidate itself (admission owns that decision) and evict plain LRU.
+  IcCacheConfig config = ThreeEntryLruConfig();
+  const std::uint64_t newcomer = HashKey(4).IndexKey();
+  config.replicated_hint = [newcomer](std::uint64_t index_key) {
+    return index_key == newcomer;
+  };
+  IcCache cache(config);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    cache.Insert(HashKey(i), DeterministicBytes(100, i), SimTime::Epoch());
+  }
+  cache.Insert(HashKey(4), DeterministicBytes(100, 4), SimTime::Epoch());
+  EXPECT_FALSE(cache.Lookup(HashKey(1), SimTime::Epoch()).hit);
+  EXPECT_TRUE(cache.Lookup(HashKey(4), SimTime::Epoch()).hit);
+  EXPECT_EQ(cache.stats().unique_spared, 0u);
+}
+
+TEST(PeerAwareEvictionTest, ScanDepthBoundsTheSteeringWindow) {
+  // The replicated entry sits third in eviction order but the scan
+  // window only covers two candidates: steering finds nothing and the
+  // LRU pick stands. Near-equivalent victims may be traded; a recently
+  // touched entry never is.
+  IcCacheConfig config = ThreeEntryLruConfig();
+  config.replication_scan_depth = 2;
+  const std::uint64_t replicated = HashKey(3).IndexKey();
+  config.replicated_hint = [replicated](std::uint64_t index_key) {
+    return index_key == replicated;
+  };
+  IcCache cache(config);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    cache.Insert(HashKey(i), DeterministicBytes(100, i), SimTime::Epoch());
+  }
+  cache.Insert(HashKey(4), DeterministicBytes(100, 4), SimTime::Epoch());
+  EXPECT_FALSE(cache.Lookup(HashKey(1), SimTime::Epoch()).hit);
+  EXPECT_TRUE(cache.Lookup(HashKey(3), SimTime::Epoch()).hit);
+  EXPECT_EQ(cache.stats().unique_spared, 0u);
+}
+
+TEST(LruPolicyTest, VictimCandidatesEnumerateInEvictionOrder) {
+  LruPolicy lru;
+  lru.OnInsert(1);
+  lru.OnInsert(2);
+  lru.OnInsert(3);
+  lru.OnAccess(1);  // eviction order is now 2, 3, 1
+  EXPECT_EQ(lru.VictimCandidates(2), (std::vector<EntryId>{2, 3}));
+  EXPECT_EQ(lru.VictimCandidates(8), (std::vector<EntryId>{2, 3, 1}));
+  EXPECT_TRUE(lru.VictimCandidates(0).empty());
+  EXPECT_EQ(lru.VictimCandidates(1).front(), *lru.Victim());
+}
+
 TEST(IcCacheJournalTest, JournalIsOffByDefault) {
   // Non-delta-gossip caches must not pay for the journal; the default
   // config keeps it disabled (FederationPipeline enables it when delta

@@ -1211,5 +1211,287 @@ TEST(FrameFabricTest, HitHeavyStormStaysCopyFreeWithGatherReplies) {
   EXPECT_EQ(frame_stats().copies(), copies_before);
 }
 
+// ---------------------------------------------------------------------------
+// Two-tier (hierarchical) federation
+// ---------------------------------------------------------------------------
+
+TEST(RegionMapTest, PartitionRanksAndMembership) {
+  const federation::RegionMap map(10, 3);
+  EXPECT_EQ(map.venues(), 10u);
+  EXPECT_EQ(map.regions(), 3u);
+  const auto r0 = map.members(0);
+  EXPECT_EQ(std::vector<std::uint32_t>(r0.begin(), r0.end()),
+            (std::vector<std::uint32_t>{0, 3, 6, 9}));
+  const auto r2 = map.members(2);
+  EXPECT_EQ(std::vector<std::uint32_t>(r2.begin(), r2.end()),
+            (std::vector<std::uint32_t>{2, 5, 8}));
+  EXPECT_EQ(map.region_of(7), 1u);
+  EXPECT_EQ(map.rank_of(7), 2u);  // region 1 = {1, 4, 7}: third in line
+  EXPECT_TRUE(map.SameRegion(1, 4));
+  EXPECT_FALSE(map.SameRegion(1, 3));
+}
+
+TEST(RegionMapTest, RegionCountIsClamped) {
+  EXPECT_EQ(federation::RegionMap(4, 0).regions(), 1u);
+  EXPECT_EQ(federation::RegionMap(4, 9).regions(), 4u);
+  // Flat default: nothing constructed, every venue its own region head.
+  EXPECT_EQ(federation::RegionMap().venues(), 0u);
+}
+
+TEST(RegionDigestTest, BuildUnionsMembersAndRoundTripsByteExact) {
+  cache::IcCache cache_a(cache::IcCacheConfig{});
+  cache_a.Insert(RenderKey(1), DeterministicBytes(64, 1), SimTime::Epoch());
+  cache_a.Insert(RenderKey(2), DeterministicBytes(64, 2), SimTime::Epoch());
+  cache::IcCache cache_b(cache::IcCacheConfig{});
+  cache_b.Insert(RenderKey(3), DeterministicBytes(64, 3), SimTime::Epoch());
+  cache_b.Insert(
+      proto::FeatureDescriptor::ForVector(proto::TaskKind::kRecognition,
+                                          {1.0f, 0.0f}),
+      DeterministicBytes(64, 4), SimTime::Epoch());
+
+  const auto sum_a = CacheSummary::Build(1, 5, cache_a, BloomFilterConfig{});
+  const auto sum_b = CacheSummary::Build(4, 9, cache_b, BloomFilterConfig{});
+  const std::array<const CacheSummary*, 2> members = {&sum_a, &sum_b};
+  const auto digest = federation::RegionDigest::Build(
+      /*region_id=*/1, /*head_edge=*/1, /*version=*/3, members,
+      BloomFilterConfig{});
+
+  // Union keeps every member's keys (no false negatives across members).
+  EXPECT_GT(digest.MatchScore(RenderKey(1)), 0.0);
+  EXPECT_GT(digest.MatchScore(RenderKey(3)), 0.0);
+  EXPECT_DOUBLE_EQ(digest.MatchScore(RenderKey(999)), 0.0);
+  ASSERT_EQ(digest.member_edges(), (std::vector<std::uint32_t>{1, 4}));
+  EXPECT_EQ(digest.member_keys()[0], 2u);
+  EXPECT_EQ(digest.member_keys()[1], 1u);
+
+  // Encode -> decode -> re-encode reproduces the frame byte-for-byte.
+  const proto::RegionDigestUpdate wire = digest.ToWire();
+  const ByteVec frame =
+      proto::EncodeMessage(proto::MessageType::kRegionDigestUpdate, 3, wire);
+  auto env = proto::DecodeEnvelope(frame);
+  ASSERT_TRUE(env.ok());
+  auto decoded = proto::DecodePayloadAs<proto::RegionDigestUpdate>(
+      env.value(), proto::MessageType::kRegionDigestUpdate);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), wire);
+  EXPECT_EQ(proto::EncodeMessage(proto::MessageType::kRegionDigestUpdate, 3,
+                                 decoded.value()),
+            frame);
+  auto rebuilt = federation::RegionDigest::FromWire(decoded.value());
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_EQ(rebuilt.value().MatchScore(RenderKey(1)),
+            digest.MatchScore(RenderKey(1)));
+  EXPECT_EQ(rebuilt.value().version(), 3u);
+  EXPECT_EQ(rebuilt.value().head_edge(), 1u);
+}
+
+TEST(RegionDigestTableTest, SuccessionAcceptanceRule) {
+  cache::IcCache cache(cache::IcCacheConfig{});
+  cache.Insert(RenderKey(1), DeterministicBytes(32, 1), SimTime::Epoch());
+  const auto sum = CacheSummary::Build(1, 1, cache, BloomFilterConfig{});
+  const std::array<const CacheSummary*, 1> members = {&sum};
+  const auto make = [&](std::uint32_t head, std::uint64_t version) {
+    return federation::RegionDigest::Build(0, head, version, members,
+                                           BloomFilterConfig{});
+  };
+
+  federation::RegionDigestTable table(2);
+  EXPECT_EQ(table.For(0), nullptr);
+  // First digest from the rank-0 head installs.
+  EXPECT_TRUE(table.Update(make(1, 5), /*head_rank=*/0));
+  ASSERT_NE(table.For(0), nullptr);
+  // Same head, stale or equal version: dropped.
+  EXPECT_FALSE(table.Update(make(1, 5), 0));
+  EXPECT_FALSE(table.Update(make(1, 4), 0));
+  // A promoted successor (higher rank) must beat the held version.
+  EXPECT_FALSE(table.Update(make(4, 5), /*head_rank=*/1));
+  EXPECT_TRUE(table.Update(make(4, 6), /*head_rank=*/1));
+  EXPECT_EQ(table.For(0)->head_edge(), 4u);
+  // The original head reasserting (lower rank) wins immediately.
+  EXPECT_TRUE(table.Update(make(1, 2), /*head_rank=*/0));
+  EXPECT_EQ(table.For(0)->head_edge(), 1u);
+  EXPECT_EQ(table.For(0)->version(), 2u);
+  table.Erase(0);
+  EXPECT_EQ(table.For(0), nullptr);
+}
+
+FederationPipelineConfig HierarchicalConfig(std::uint32_t venues) {
+  FederationPipelineConfig config =
+      ClusterConfig(venues, PeerSelectKind::kSummaryDirected);
+  config.region.hierarchical = true;
+  config.region.digest_period_rounds = 1;  // converge fast in short tests
+  return config;
+}
+
+TEST(HierarchicalFederationTest, CrossRegionMissResolvesViaHeadForward) {
+  // 9 venues -> 3 regions ({0,3,6} {1,4,7} {2,5,8}). Venue 4 (region 1,
+  // not its head) holds the model; venue 0 (region 0) misses. The digest
+  // steers venue 0's probe to region 1's head (venue 1), which relays to
+  // venue 4, and venue 4's reply lands straight back at venue 0.
+  //
+  // Two-tier convergence takes two gossip rounds (member summary ->
+  // head, then digest -> cluster); closed-loop rounds fire at op
+  // boundaries, so a short period plus two filler cache hits at venue 4
+  // spaces the rounds out before venue 0 asks.
+  FederationPipelineConfig config = HierarchicalConfig(9);
+  config.gossip_period = Duration::Millis(1);
+  FederationPipeline pipeline(config);
+  pipeline.RegisterModel(1, KB(256));
+  pipeline.EnqueueRenderAt(4, 1);
+  pipeline.EnqueueRenderAt(4, 1);
+  pipeline.EnqueueRenderAt(4, 1);
+  pipeline.EnqueueRenderAt(0, 1);
+  const auto outcomes = pipeline.Run();
+  ASSERT_EQ(outcomes.size(), 4u);
+  EXPECT_EQ(outcomes[3].outcome.source, ResultSource::kPeerEdge);
+  EXPECT_GT(pipeline.region_digests_sent(), 0u);
+  EXPECT_GT(pipeline.region_digests_applied(), 0u);
+  EXPECT_EQ(pipeline.region_head_forwards(), 1u);
+  // One probe left venue 0: the head resolved region -> member itself.
+  EXPECT_EQ(pipeline.edge(0).peer_probes_sent(), 1u);
+  EXPECT_EQ(pipeline.cloud().tasks_executed(), 1u);
+}
+
+TEST(HierarchicalFederationTest, HeadServesItsOwnCacheWithoutForwarding) {
+  FederationPipeline pipeline(HierarchicalConfig(9));
+  pipeline.RegisterModel(1, KB(256));
+  pipeline.EnqueueRenderAt(1, 1);  // region 1's head itself
+  pipeline.EnqueueRenderAt(0, 1);
+  const auto outcomes = pipeline.Run();
+  EXPECT_EQ(outcomes[1].outcome.source, ResultSource::kPeerEdge);
+  EXPECT_GE(pipeline.region_head_self_serves(), 1u);
+  EXPECT_EQ(pipeline.region_head_forwards(), 0u);
+}
+
+TEST(HierarchicalFederationTest, IntraRegionHitStaysOnFullSummaries) {
+  // Venue 3 shares region 0 with venue 0: the hit routes on member
+  // summaries exactly as flat summary-directed would, no head involved.
+  FederationPipeline pipeline(HierarchicalConfig(9));
+  pipeline.RegisterModel(1, KB(256));
+  pipeline.EnqueueRenderAt(3, 1);
+  pipeline.EnqueueRenderAt(0, 1);
+  const auto outcomes = pipeline.Run();
+  EXPECT_EQ(outcomes[1].outcome.source, ResultSource::kPeerEdge);
+  EXPECT_EQ(pipeline.region_head_forwards(), 0u);
+  EXPECT_EQ(pipeline.edge(0).peer_probes_sent(), 1u);
+}
+
+TEST(HierarchicalFederationTest, DigestFalsePositiveFallsBackToCloud) {
+  // Nobody holds model 2: digests advertise nothing for it, so the miss
+  // pays no cross-region probe and goes straight to the cloud.
+  FederationPipeline pipeline(HierarchicalConfig(9));
+  pipeline.RegisterModel(1, KB(256));
+  pipeline.RegisterModel(2, KB(256));
+  pipeline.EnqueueRenderAt(4, 1);
+  pipeline.EnqueueRenderAt(0, 2);
+  const auto outcomes = pipeline.Run();
+  EXPECT_EQ(outcomes[1].outcome.source, ResultSource::kCloud);
+  EXPECT_EQ(pipeline.edge(0).peer_probes_sent(), 0u);
+  EXPECT_EQ(pipeline.cloud().tasks_executed(), 2u);
+}
+
+TEST(HierarchicalFederationTest, HierarchicalGossipBytesShrinkAtScale) {
+  // The tentpole economics at 16 venues on one seeded workload: flat
+  // full-mesh gossip pays O(V^2) summary sends per round; two-tier pays
+  // O(members^2) intra plus one digest broadcast per region.
+  const auto run_bytes = [](bool hierarchical) {
+    FederationPipelineConfig config =
+        ClusterConfig(16, PeerSelectKind::kSummaryDirected);
+    config.region.hierarchical = hierarchical;
+    FederationPipeline pipeline(config);
+    RegisterStormModels(pipeline, 6);
+    for (const auto& p : RenderStorm(16, 200, 400.0)) {
+      pipeline.EnqueuePlaced(p);
+    }
+    (void)pipeline.RunOpenLoop();
+    return pipeline.summary_bytes_full() + pipeline.summary_bytes_delta() +
+           pipeline.region_digest_bytes();
+  };
+  const std::uint64_t flat = run_bytes(false);
+  const std::uint64_t hier = run_bytes(true);
+  ASSERT_GT(flat, 0u);
+  EXPECT_LT(hier * 3, flat) << "flat=" << flat << " hier=" << hier;
+}
+
+TEST(HierarchicalFederationTest, HeadCrashPromotesSuccessorAndDrains) {
+  // Chaos: region 1's head (venue 1) goes dark for good mid-run. The
+  // rank-1 member (venue 4) must self-promote, resume the digest chain,
+  // and keep cross-region misses flowing — with zero stranded requests.
+  FederationPipelineConfig config = HierarchicalConfig(9);
+  config.transport.peer_probe_timeout = Duration::Millis(200);
+  // Members detect the dead head by its summary aging out of their
+  // tables; without aging the stale summary keeps electing venue 1.
+  config.transport.summary_max_age = Duration::Millis(150);
+  netsim::FaultSchedule::Crash crash;
+  crash.venue = 1;
+  crash.down_at = SimTime::FromMicros(250'000);
+  crash.restart = false;  // stays dark forever
+  config.chaos.crashes.push_back(crash);
+  FederationPipeline pipeline(config);
+  pipeline.RegisterModel(1, KB(128));
+  pipeline.RegisterModel(2, KB(128));
+
+  // Before the crash: warm venue 4 (region 1). After the crash: venue 6
+  // (region 0) asks for it — the digest must now name venue 4 as head.
+  pipeline.EnqueueRenderAt(4, 1, 0, SimTime::FromMicros(10'000));
+  pipeline.EnqueueRenderAt(0, 1, 0, SimTime::FromMicros(100'000));
+  pipeline.EnqueueRenderAt(4, 2, 0, SimTime::FromMicros(600'000));
+  pipeline.EnqueueRenderAt(6, 2, 0, SimTime::FromMicros(900'000));
+  const auto outcomes = pipeline.RunOpenLoop();
+  ASSERT_EQ(outcomes.size(), 4u);  // nothing stranded
+  EXPECT_GE(pipeline.region_failovers(), 1u);
+  // Venue 6's post-crash view of region 1 names the successor as head.
+  const auto* digest = pipeline.region_digest_table(6).For(1);
+  ASSERT_NE(digest, nullptr);
+  EXPECT_EQ(digest->head_edge(), 4u);
+  EXPECT_EQ(pipeline.head_of(6, 1), 4u);
+  // The post-crash cross-region request was still served by the peer.
+  EXPECT_EQ(outcomes[3].venue, 6u);
+  EXPECT_EQ(outcomes[3].outcome.source, ResultSource::kPeerEdge);
+}
+
+TEST(HierarchicalFederationTest, DeterministicAcrossWorkerCounts) {
+  // 12 venues / auto 3 regions: with 3 workers each region lands wholly
+  // on one shard (region_of and the shard map are both v % 3); with 4
+  // workers regions straddle shards. Deterministic mode must produce
+  // bit-identical outcome streams either way.
+  const auto run = [](std::uint32_t workers) {
+    FederationPipelineConfig config = OpenLoopClusterConfig(12);
+    config.region.hierarchical = true;
+    config.execution.workers = workers;
+    config.execution.mode = federation::ExecutionConfig::Mode::kDeterministic;
+    FederationPipeline pipeline(config);
+    RegisterStormModels(pipeline, 6);
+    for (const auto& p : RenderStorm(12, 240, 400.0)) {
+      pipeline.EnqueuePlaced(p);
+    }
+    std::vector<std::tuple<std::uint32_t, ResultSource, bool, std::int64_t,
+                           std::int64_t>>
+        rows;
+    for (const auto& o : pipeline.RunOpenLoop()) {
+      rows.emplace_back(o.venue, o.outcome.source, o.outcome.error,
+                        o.outcome.latency.micros(),
+                        (o.completed_at - SimTime::Epoch()).micros());
+    }
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto& x, const auto& y) {
+                       if (std::get<4>(x) != std::get<4>(y))
+                         return std::get<4>(x) < std::get<4>(y);
+                       return std::get<0>(x) < std::get<0>(y);
+                     });
+    return rows;
+  };
+  const auto single = run(1);
+  ASSERT_EQ(single.size(), 240u);
+  for (const std::uint32_t workers : {3u, 4u}) {
+    const auto sharded = run(workers);
+    ASSERT_EQ(sharded.size(), single.size()) << workers << " workers";
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      ASSERT_EQ(sharded[i], single[i])
+          << "outcome " << i << " diverged at " << workers << " workers";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace coic

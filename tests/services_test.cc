@@ -957,5 +957,204 @@ TEST(OverloadControlTest, NoRequestIsStrandedByADeadlineShed) {
   EXPECT_EQ(answered, (std::set<std::uint64_t>{7, 8}));
 }
 
+// ---------------------------------------------------------------------------
+// Probe-aware coalescing: peer probes park on in-flight fetches
+// ---------------------------------------------------------------------------
+
+TEST(ProbeParkingTest, PeerProbeParksOnInflightFetchAndSharesItsResult) {
+  FakeWire wire;
+  std::vector<std::pair<std::uint32_t, Frame>> peer_out;
+  EdgeService::Config config;
+  config.park_peer_probes = true;
+  config.peer_send = [&peer_out](std::uint32_t peer, Frame frame) {
+    peer_out.emplace_back(peer, std::move(frame));
+  };
+  auto edge = EdgeService(config, wire.MakeSendFn(), ImmediateDelay(),
+                          FixedNow());
+  const auto req = CoicRecognitionRequest(3);
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+  EXPECT_EQ(edge.forwards(), 1u);  // leader fetch is in flight
+
+  // A peer probes the same key: it misses here, but instead of a "not
+  // found" reply (which would send the prober to the cloud for bytes
+  // already on the wire to us) the probe parks on the leader's fetch.
+  proto::PeerLookupRequest query;
+  query.descriptor = req.descriptor;
+  query.reply_type = MessageType::kRecognitionResult;
+  edge.OnPeerFrame(/*from_peer=*/5, proto::EncodeMessage(
+                       MessageType::kPeerLookupRequest, 42, query));
+  EXPECT_EQ(edge.peer_probes_parked(), 1u);
+  EXPECT_TRUE(peer_out.empty());  // no immediate miss reply
+
+  proto::RecognitionResult result;
+  result.frame_id = 7;
+  result.label = "object_3";
+  result.source = proto::ResultSource::kCloud;
+  result.annotation = DeterministicBytes(64, 3);
+  edge.OnCloudFrame(
+      proto::EncodeMessage(MessageType::kRecognitionResult, 7, result));
+
+  // The leader's client reply and the parked probe's hit reply both ride
+  // the one cloud fetch.
+  EXPECT_EQ(FakeWire::Decode(wire.to_client).type,
+            MessageType::kRecognitionResult);
+  ASSERT_EQ(peer_out.size(), 1u);
+  EXPECT_EQ(peer_out.front().first, 5u);
+  auto env = proto::DecodeEnvelope(peer_out.front().second.span());
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env.value().request_id, 42u);
+  auto reply = proto::DecodePayloadAs<proto::PeerLookupReply>(
+      env.value(), MessageType::kPeerLookupReply);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_TRUE(reply.value().found);
+  EXPECT_EQ(reply.value().reply_type, MessageType::kRecognitionResult);
+  EXPECT_FALSE(reply.value().payload.empty());
+  EXPECT_EQ(edge.forwards(), 1u);  // the probe never caused a second fetch
+  EXPECT_EQ(edge.pending_inflight(), 0u);
+}
+
+TEST(ProbeParkingTest, ParkedProbeGetsNotFoundWhenTheLeaderFails) {
+  FakeWire wire;
+  std::vector<std::pair<std::uint32_t, Frame>> peer_out;
+  EdgeService::Config config;
+  config.park_peer_probes = true;
+  config.peer_send = [&peer_out](std::uint32_t peer, Frame frame) {
+    peer_out.emplace_back(peer, std::move(frame));
+  };
+  auto edge = EdgeService(config, wire.MakeSendFn(), ImmediateDelay(),
+                          FixedNow());
+  const auto req = CoicRecognitionRequest(4);
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+
+  proto::PeerLookupRequest query;
+  query.descriptor = req.descriptor;
+  query.reply_type = MessageType::kRecognitionResult;
+  edge.OnPeerFrame(/*from_peer=*/2, proto::EncodeMessage(
+                       MessageType::kPeerLookupRequest, 42, query));
+  EXPECT_EQ(edge.peer_probes_parked(), 1u);
+
+  proto::ErrorReply err;
+  err.message = "boom";
+  edge.OnCloudFrame(proto::EncodeMessage(MessageType::kError, 7, err));
+
+  // Leader failed: the remote waiter is released with a plain miss (the
+  // prober falls through to its own cloud fetch), never stranded.
+  ASSERT_EQ(peer_out.size(), 1u);
+  auto env = proto::DecodeEnvelope(peer_out.front().second.span());
+  ASSERT_TRUE(env.ok());
+  EXPECT_EQ(env.value().request_id, 42u);
+  auto reply = proto::DecodePayloadAs<proto::PeerLookupReply>(
+      env.value(), MessageType::kPeerLookupReply);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply.value().found);
+  EXPECT_TRUE(reply.value().payload.empty());
+  EXPECT_EQ(edge.pending_inflight(), 0u);
+}
+
+TEST(ProbeParkingTest, DisabledConfigRepliesMissImmediately) {
+  FakeWire wire;
+  std::vector<std::pair<std::uint32_t, Frame>> peer_out;
+  EdgeService::Config config;  // park_peer_probes defaults to false
+  config.peer_send = [&peer_out](std::uint32_t peer, Frame frame) {
+    peer_out.emplace_back(peer, std::move(frame));
+  };
+  auto edge = EdgeService(config, wire.MakeSendFn(), ImmediateDelay(),
+                          FixedNow());
+  const auto req = CoicRecognitionRequest(5);
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+
+  proto::PeerLookupRequest query;
+  query.descriptor = req.descriptor;
+  query.reply_type = MessageType::kRecognitionResult;
+  edge.OnPeerFrame(/*from_peer=*/2, proto::EncodeMessage(
+                       MessageType::kPeerLookupRequest, 42, query));
+  EXPECT_EQ(edge.peer_probes_parked(), 0u);
+  ASSERT_EQ(peer_out.size(), 1u);
+  auto reply = proto::DecodePayloadAs<proto::PeerLookupReply>(
+      proto::DecodeEnvelope(peer_out.front().second.span()).value(),
+      MessageType::kPeerLookupReply);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_FALSE(reply.value().found);
+}
+
+// ---------------------------------------------------------------------------
+// Peer-hit adoption filter
+// ---------------------------------------------------------------------------
+
+TEST(AdoptionFilterTest, LowReusePeerHitsAreServedButNotAdopted) {
+  FakeWire wire;
+  EdgeService::Config config;
+  config.cooperative = true;  // pairwise probe via SendFn(kPeerEdge)
+  config.peer_hit_adopt_min_uses = 2;
+  auto edge = EdgeService(config, wire.MakeSendFn(), ImmediateDelay(),
+                          FixedNow());
+  const auto req = CoicRecognitionRequest(6);
+
+  proto::RecognitionResult peer_result;
+  peer_result.frame_id = 7;
+  peer_result.label = "object_6";
+  peer_result.annotation = DeterministicBytes(64, 6);
+  ByteWriter w;
+  peer_result.Encode(w);
+  proto::PeerLookupReply hit;
+  hit.found = true;
+  hit.reply_type = MessageType::kRecognitionResult;
+  hit.payload = w.TakeBytes();
+
+  // First use of the key: the peer hit serves the client but is NOT
+  // copied into the local cache — a 1-hop neighbor already holds it.
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+  ASSERT_EQ(wire.to_peer.size(), 1u);
+  wire.to_peer.clear();
+  edge.OnPeerFrame(proto::EncodeMessage(MessageType::kPeerLookupReply, 7, hit));
+  EXPECT_EQ(edge.peer_adoptions_skipped(), 1u);
+  EXPECT_EQ(edge.cache().stats().insertions, 0u);
+  auto served = proto::DecodePayloadAs<proto::RecognitionResult>(
+      FakeWire::Decode(wire.to_client), MessageType::kRecognitionResult);
+  ASSERT_TRUE(served.ok());
+  EXPECT_EQ(served.value().source, proto::ResultSource::kPeerEdge);
+
+  // Second use crosses the threshold: this peer hit is adopted.
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 8, req));
+  ASSERT_EQ(wire.to_peer.size(), 1u);
+  edge.OnPeerFrame(proto::EncodeMessage(MessageType::kPeerLookupReply, 8, hit));
+  EXPECT_EQ(edge.peer_adoptions_skipped(), 1u);
+  EXPECT_EQ(edge.cache().stats().insertions, 1u);
+
+  // Third request now hits locally — no probe, no upstream.
+  wire.to_peer.clear();
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 9, req));
+  EXPECT_TRUE(wire.to_peer.empty());
+  EXPECT_EQ(edge.cache().stats().hits, 1u);
+}
+
+TEST(AdoptionFilterTest, DefaultConfigAdoptsEveryPeerHit) {
+  FakeWire wire;
+  auto edge = MakeEdge(wire, /*cooperative=*/true);
+  const auto req = CoicRecognitionRequest(7);
+  proto::RecognitionResult peer_result;
+  peer_result.frame_id = 7;
+  peer_result.label = "object_7";
+  peer_result.annotation = DeterministicBytes(32, 7);
+  ByteWriter w;
+  peer_result.Encode(w);
+  proto::PeerLookupReply hit;
+  hit.found = true;
+  hit.reply_type = MessageType::kRecognitionResult;
+  hit.payload = w.TakeBytes();
+
+  edge.OnClientFrame(
+      proto::EncodeMessage(MessageType::kRecognitionRequest, 7, req));
+  edge.OnPeerFrame(proto::EncodeMessage(MessageType::kPeerLookupReply, 7, hit));
+  EXPECT_EQ(edge.peer_adoptions_skipped(), 0u);
+  EXPECT_EQ(edge.cache().stats().insertions, 1u);
+}
+
 }  // namespace
 }  // namespace coic::core

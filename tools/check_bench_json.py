@@ -18,8 +18,11 @@ Checks, per file:
     (bench/bench_util.h kBenchJsonSchemaVersion) — cross-PR trajectory
     tooling keys on it, so an unstamped or mismatched row fails CI;
   * every numeric value in every row is finite;
-  * bench-specific schemas: the loss sweep's drain invariant, and —
-    for benches that run a traced pass — the per-phase breakdown rows
+  * bench-specific schemas: the loss sweep's drain invariant, the
+    federation bench's two-tier scaling contract (hierarchical gossip
+    >= 10x fewer bytes than flat at 64+ edges within 3 hit-rate points,
+    sharded + determinism rows present), and — for benches that run a
+    traced pass — the per-phase breakdown rows
     (section == "phase_breakdown") exist and are coherent.
 """
 
@@ -227,9 +230,117 @@ def check_chaos_soak_file(rows, errors):
         )
 
 
+def check_hierarchy_row(i, row, errors):
+    """Schema for the federation bench's two-tier scaling rows.
+
+    Rows tagged section == "hierarchy" / "hierarchy_sharded" carry one
+    flat or hierarchical run at one cluster size: each must name its
+    mode, report a finite tail (a stranded open-loop request would
+    surface as a missing/NaN p99), and have fully drained — the same
+    "no run ever hangs" invariant the loss sweep pins.
+    """
+    for key in (
+        "venues",
+        "mode",
+        "workers",
+        "operations",
+        "drained",
+        "hit_rate",
+        "p99_ms",
+        "gossip_bytes",
+        "bytes_ratio_vs_flat",
+    ):
+        if key not in row:
+            errors.append(f'row {i} lacks hierarchy key "{key}"')
+    if row.get("mode") not in ("flat", "hierarchical"):
+        errors.append(f"row {i} unknown hierarchy mode {row.get('mode')!r}")
+    p99 = row.get("p99_ms")
+    if not isinstance(p99, (int, float)) or not math.isfinite(p99):
+        errors.append(f"row {i} p99_ms is not a finite number: {p99!r}")
+    ops, drained = row.get("operations"), row.get("drained")
+    if isinstance(ops, int) and isinstance(drained, int) and drained != ops:
+        errors.append(f"row {i} did not drain: {drained} of {ops} operations")
+
+
+def check_federation_scaling_row(i, row, errors):
+    """Bench-specific schema for BENCH_federation_scaling.json rows."""
+    if row.get("section") in ("hierarchy", "hierarchy_sharded"):
+        check_hierarchy_row(i, row, errors)
+    if (
+        row.get("section") == "hierarchy_determinism"
+        and row.get("outcome_mismatch") != 0
+    ):
+        errors.append(
+            f"row {i} sharded hierarchical run diverged from single-thread: "
+            f"outcome_mismatch {row.get('outcome_mismatch')!r}"
+        )
+
+
+# Hierarchical gossip must cut wire bytes by at least this factor at
+# HIERARCHY_SCALE_VENUES+ edges while staying within
+# HIERARCHY_HIT_RATE_SLACK of flat's hit rate — the scaling claim the
+# two-tier design exists to make, pinned so a regression that quietly
+# re-broadcasts summaries cluster-wide (or tanks the hit rate) fails CI.
+HIERARCHY_SCALE_VENUES = 64
+HIERARCHY_BYTE_RATIO_FLOOR = 10.0
+HIERARCHY_HIT_RATE_SLACK = 0.03
+
+
+def check_federation_scaling_file(rows, errors):
+    """Cross-row contract for the two-tier federation section."""
+    pairs = {}
+    for row in rows:
+        if not isinstance(row, dict) or row.get("section") != "hierarchy":
+            continue
+        if isinstance(row.get("venues"), int):
+            pairs.setdefault(row["venues"], {})[row.get("mode")] = row
+    if not any(v >= HIERARCHY_SCALE_VENUES for v in pairs):
+        errors.append(
+            f"no hierarchy rows at >= {HIERARCHY_SCALE_VENUES} venues"
+        )
+    for venues in sorted(pairs):
+        flat, hier = pairs[venues].get("flat"), pairs[venues].get("hierarchical")
+        if flat is None or hier is None:
+            errors.append(f"hierarchy rows at {venues} venues lack a "
+                          "flat/hierarchical pair")
+            continue
+        flat_hit, hier_hit = flat.get("hit_rate"), hier.get("hit_rate")
+        if (
+            isinstance(flat_hit, (int, float))
+            and isinstance(hier_hit, (int, float))
+            and abs(flat_hit - hier_hit) > HIERARCHY_HIT_RATE_SLACK
+        ):
+            errors.append(
+                f"hierarchical hit rate at {venues} venues strayed "
+                f"{abs(flat_hit - hier_hit):.3f} from flat "
+                f"(> {HIERARCHY_HIT_RATE_SLACK})"
+            )
+        ratio = hier.get("bytes_ratio_vs_flat")
+        if venues >= HIERARCHY_SCALE_VENUES and (
+            not isinstance(ratio, (int, float))
+            or ratio < HIERARCHY_BYTE_RATIO_FLOOR
+        ):
+            errors.append(
+                f"hierarchical gossip at {venues} venues saved only "
+                f"{ratio!r}x bytes vs flat "
+                f"(floor {HIERARCHY_BYTE_RATIO_FLOOR}x)"
+            )
+    if not any(
+        isinstance(row, dict) and row.get("section") == "hierarchy_sharded"
+        for row in rows
+    ):
+        errors.append("missing hierarchy_sharded row")
+    if not any(
+        isinstance(row, dict) and row.get("section") == "hierarchy_determinism"
+        for row in rows
+    ):
+        errors.append("missing hierarchy_determinism row")
+
+
 # Per-bench row checks, keyed on the top-level "bench" name.
 BENCH_ROW_CHECKS = {
     "chaos_soak": check_chaos_soak_row,
+    "federation_scaling": check_federation_scaling_row,
     "loss_sweep": check_loss_sweep_row,
     "throughput_replay": check_throughput_replay_row,
 }
@@ -238,6 +349,7 @@ BENCH_ROW_CHECKS = {
 # hand — for invariants that compare rows against each other.
 BENCH_FILE_CHECKS = {
     "chaos_soak": check_chaos_soak_file,
+    "federation_scaling": check_federation_scaling_file,
     "throughput_replay": check_throughput_replay_file,
 }
 
